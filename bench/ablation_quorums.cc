@@ -1,0 +1,94 @@
+// Ablation A3 — Quorum settings (R, W) vs latency and staleness.
+//
+// The system model (Section II) promises: R+W > N gives reads that see the
+// latest acked write; R+W <= N trades that for latency. This bench sweeps
+// (R, W) on base-table traffic, reporting read/write latency and a measured
+// staleness rate (fraction of read-your-write probes that returned a stale
+// value).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace mvstore::bench {
+namespace {
+
+struct Result {
+  double read_ms;
+  double write_ms;
+  double stale_rate;
+};
+
+Result MeasureQuorums(int read_quorum, int write_quorum,
+                      const BenchScale& scale) {
+  store::ClusterConfig config = PaperConfig();
+  config.default_read_quorum = read_quorum;
+  config.default_write_quorum = write_quorum;
+  BenchCluster bc(Scenario::kBaseTable, scale, config);
+  auto client = bc.cluster.NewClient(0);
+  Rng rng(333);
+
+  Histogram read_latency;
+  Histogram write_latency;
+  std::int64_t remaining = scale.latency_reads;
+  std::int64_t probes = 0;
+  std::int64_t stale = 0;
+
+  std::function<void()> next = [&] {
+    if (remaining-- <= 0) return;
+    const auto rank =
+        static_cast<std::uint64_t>(rng.UniformInt(0, scale.rows - 1));
+    const Key key = workload::FormatKey("k", rank);
+    const std::string value = "v" + std::to_string(remaining);
+    const SimTime wstart = bc.cluster.Now();
+    client->Put("usertable", key, {{"field0", value}},
+                [&, key, value, wstart](Status s) {
+                  MVSTORE_CHECK(s.ok());
+                  write_latency.Record(bc.cluster.Now() - wstart);
+                  const SimTime rstart = bc.cluster.Now();
+                  client->Get("usertable", key, {"field0"},
+                              [&, value, rstart](StatusOr<storage::Row> row) {
+                                MVSTORE_CHECK(row.ok());
+                                read_latency.Record(bc.cluster.Now() - rstart);
+                                ++probes;
+                                if (row->GetValue("field0").value_or("") !=
+                                    value) {
+                                  ++stale;
+                                }
+                                next();
+                              });
+                });
+  };
+  next();
+  while (read_latency.count() <
+         static_cast<std::uint64_t>(scale.latency_reads)) {
+    MVSTORE_CHECK(bc.cluster.simulation().Step());
+  }
+  return Result{read_latency.Mean() / 1000.0, write_latency.Mean() / 1000.0,
+                probes == 0 ? 0.0
+                            : static_cast<double>(stale) /
+                                  static_cast<double>(probes)};
+}
+
+void Run() {
+  BenchScale scale;
+  PrintTitle("Ablation A3: quorum settings (N=3) vs latency and staleness");
+  std::printf("%-10s %10s %11s %12s %12s\n", "R,W", "R+W>N?", "read(ms)",
+              "write(ms)", "stale reads");
+  const std::vector<std::pair<int, int>> settings = {
+      {1, 1}, {1, 3}, {2, 2}, {3, 1}, {2, 1}, {1, 2}};
+  for (const auto& [r, w] : settings) {
+    Result result = MeasureQuorums(r, w, scale);
+    std::printf("R=%d,W=%d    %10s %11.3f %12.3f %11.2f%%\n", r, w,
+                r + w > 3 ? "yes" : "no", result.read_ms, result.write_ms,
+                100.0 * result.stale_rate);
+  }
+  PrintNote("R+W>N rows must show 0% stale; R+W<=N may not");
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

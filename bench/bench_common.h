@@ -1,0 +1,183 @@
+// Shared infrastructure for the figure-reproduction benches.
+//
+// Each bench binary rebuilds one of the paper's experiments (Section VI) on
+// the simulated cluster: 4 servers, N=3, R=W=1 (Cassandra defaults), a
+// uniformly keyed base table with a unique secondary-key column, and one of
+// three access-path scenarios:
+//
+//   BT — plain base table (primary-key access only)
+//   SI — native secondary index on the secondary-key column
+//   MV — materialized view keyed by the secondary-key column
+//
+// Scale is controlled by environment variables so the full paper-scale run
+// is possible but the default stays laptop-quick:
+//   MV_BENCH_ROWS             table size          (default 20000; paper 1M)
+//   MV_BENCH_MEASURE_SECONDS  measurement window  (default 10; paper 300)
+//   MV_BENCH_READS            fixed-count latency reads (default 2000;
+//                             paper 100k)
+
+#ifndef MVSTORE_BENCH_BENCH_COMMON_H_
+#define MVSTORE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/str_util.h"
+#include "store/client.h"
+#include "store/cluster.h"
+#include "store/config.h"
+#include "store/schema.h"
+#include "view/maintenance_engine.h"
+#include "workload/key_generator.h"
+#include "workload/runner.h"
+
+namespace mvstore::bench {
+
+enum class Scenario { kBaseTable, kSecondaryIndex, kMaterializedView };
+
+inline const char* ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kBaseTable:
+      return "BT";
+    case Scenario::kSecondaryIndex:
+      return "SI";
+    case Scenario::kMaterializedView:
+      return "MV";
+  }
+  return "?";
+}
+
+inline std::int64_t EnvInt(const char* name, std::int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+struct BenchScale {
+  std::int64_t rows = EnvInt("MV_BENCH_ROWS", 20000);
+  std::int64_t measure_seconds = EnvInt("MV_BENCH_MEASURE_SECONDS", 10);
+  std::int64_t latency_reads = EnvInt("MV_BENCH_READS", 2000);
+};
+
+/// The PerfModel calibrated against the paper's testbed (DESIGN.md §4):
+/// dual-core servers on a 1 GbE LAN; constants tuned so BT read latency and
+/// the BT:SI:MV ratios land near Figures 3 and 5.
+inline store::ClusterConfig PaperConfig(std::uint64_t seed = 42) {
+  store::ClusterConfig config;
+  config.num_servers = 4;
+  config.replication_factor = 3;
+  config.cores_per_server = 2;
+  config.default_read_quorum = 1;
+  config.default_write_quorum = 1;
+  config.seed = seed;
+  config.network.base_latency = Micros(100);
+  config.network.jitter_mean = Micros(55);
+  config.perf.read_local = Micros(60);
+  config.perf.write_local = Micros(50);
+  config.perf.coordinator_op = Micros(15);
+  config.perf.index_update_local = Micros(20);
+  config.perf.index_scan_local = Micros(950);
+  config.perf.view_scan_local = Micros(90);
+  // The paper's measured prototype propagated without concurrency control
+  // (Section IV-F's lock service / dedicated propagators are proposals;
+  // bench/ablation_propagation_mode compares all three).
+  config.propagation_mode = store::PropagationMode::kUnsynchronized;
+  return config;
+}
+
+/// Schema: "usertable" keyed by primary key, with the secondary-key column
+/// "skey" (values unique across rows, as in Section VI-A) and a payload
+/// column "field0". The scenario decides whether an index or a view exists
+/// on skey.
+inline store::Schema BenchSchema(Scenario scenario) {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "usertable"}).ok());
+  if (scenario == Scenario::kSecondaryIndex) {
+    MVSTORE_CHECK(
+        schema.CreateIndex({.table = "usertable", .column = "skey"}).ok());
+  }
+  if (scenario == Scenario::kMaterializedView) {
+    store::ViewDef view;
+    view.name = "by_skey";
+    view.base_table = "usertable";
+    view.view_key_column = "skey";
+    view.materialized_columns = {"field0"};
+    MVSTORE_CHECK(schema.CreateView(view).ok());
+  }
+  return schema;
+}
+
+/// A cluster plus view engine for one scenario, loaded with `rows` records:
+/// primary key k<i>, skey s<i> (unique), payload field0.
+struct BenchCluster {
+  BenchCluster(Scenario scenario, const BenchScale& scale,
+               store::ClusterConfig config = PaperConfig())
+      : scenario(scenario),
+        cluster(config, BenchSchema(scenario)),
+        views(std::make_unique<view::MaintenanceEngine>(&cluster)) {
+    cluster.Start();
+    for (std::int64_t i = 0; i < scale.rows; ++i) {
+      cluster.BootstrapLoadRow(
+          "usertable", workload::FormatKey("k", static_cast<std::uint64_t>(i)),
+          {{"skey", workload::FormatKey("s", static_cast<std::uint64_t>(i))},
+           {"field0", std::string("payload-") + std::to_string(i)}},
+          /*ts=*/1000 + i);
+    }
+  }
+
+  Scenario scenario;
+  store::Cluster cluster;
+  std::unique_ptr<view::MaintenanceEngine> views;
+};
+
+/// One secondary- or primary-key read, per scenario. `done(ok)` fires on
+/// completion. `rank` selects the record.
+inline void IssueRead(Scenario scenario, store::Client& client,
+                      std::uint64_t rank, std::function<void(bool)> done) {
+  switch (scenario) {
+    case Scenario::kBaseTable:
+      client.Get("usertable", workload::FormatKey("k", rank), {"field0"},
+                 [done](StatusOr<storage::Row> row) { done(row.ok()); });
+      break;
+    case Scenario::kSecondaryIndex:
+      client.IndexGet(
+          "usertable", "skey", workload::FormatKey("s", rank),
+          [done](StatusOr<std::vector<storage::KeyedRow>> rows) {
+            done(rows.ok() && !rows->empty());
+          });
+      break;
+    case Scenario::kMaterializedView:
+      client.ViewGet(
+          "by_skey", workload::FormatKey("s", rank), {"field0"},
+          [done](StatusOr<std::vector<store::ViewRecord>> records) {
+            done(records.ok() && !records->empty());
+          });
+      break;
+  }
+}
+
+/// One base-table update of the secondary-key column (the write the paper's
+/// Section VI-B measures). New skey values are drawn from a disjoint range
+/// so they stay unique.
+inline void IssueSkeyUpdate(store::Client& client, std::uint64_t rank,
+                            std::uint64_t fresh_value,
+                            std::function<void(bool)> done) {
+  client.Put("usertable", workload::FormatKey("k", rank),
+             {{"skey", workload::FormatKey("x", fresh_value, 12)}},
+             [done](Status s) { done(s.ok()); });
+}
+
+// --- output helpers: every bench prints a paper-shaped table ---
+
+inline void PrintTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void PrintNote(const std::string& note) {
+  std::printf("%s\n", note.c_str());
+}
+
+}  // namespace mvstore::bench
+
+#endif  // MVSTORE_BENCH_BENCH_COMMON_H_

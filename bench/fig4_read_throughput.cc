@@ -1,0 +1,58 @@
+// Figure 4 — Read throughput vs number of concurrent clients.
+//
+// Paper setup: same data as Figure 3; 1..10 closed-loop clients reading
+// randomly chosen records for 5 minutes; aggregate requests/second.
+//
+// Paper result: BT highest and climbing with clients; MV slightly lower
+// (view reads scan/filter stale rows); SI far lower and saturating early —
+// every SI lookup consumes index-probe service on EVERY server, so the
+// whole cluster caps its rate.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace mvstore::bench {
+namespace {
+
+double MeasureThroughput(Scenario scenario, int clients,
+                         const BenchScale& scale) {
+  BenchCluster bc(scenario, scale);
+  Rng rng(4000 + static_cast<std::uint64_t>(clients));
+  workload::ClosedLoopRunner runner(
+      &bc.cluster, clients,
+      [scenario, &rng, &scale](int, store::Client& client,
+                               std::function<void(bool)> done) {
+        const auto rank =
+            static_cast<std::uint64_t>(rng.UniformInt(0, scale.rows - 1));
+        IssueRead(scenario, client, rank, std::move(done));
+      });
+  workload::RunResult result =
+      runner.Run(Millis(500), Seconds(scale.measure_seconds));
+  MVSTORE_CHECK_EQ(result.failures, 0u);
+  return result.Throughput();
+}
+
+void Run() {
+  BenchScale scale;
+  PrintTitle("Figure 4: Read Throughput (req/sec vs #clients)");
+  PrintNote(StrFormat(
+      "rows=%lld window=%llds per point (paper: 1M rows, 300s)",
+      static_cast<long long>(scale.rows),
+      static_cast<long long>(scale.measure_seconds)));
+  std::printf("%-8s %10s %10s %10s\n", "clients", "BT", "SI", "MV");
+  for (int clients = 1; clients <= 10; ++clients) {
+    const double bt = MeasureThroughput(Scenario::kBaseTable, clients, scale);
+    const double si =
+        MeasureThroughput(Scenario::kSecondaryIndex, clients, scale);
+    const double mv =
+        MeasureThroughput(Scenario::kMaterializedView, clients, scale);
+    std::printf("%-8d %10.0f %10.0f %10.0f\n", clients, bt, si, mv);
+  }
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

@@ -1,0 +1,73 @@
+// Figure 5 — Write latency.
+//
+// Paper setup: a single client updating the secondary-key column of randomly
+// chosen records by primary key, under BT (no index/view), SI (native index
+// on the column), and MV (view keyed by the column).
+//
+// Paper result: BT ~= SI (native indexes update locally and synchronously);
+// MV ~2.5x higher, because the coordinator must read the old view key before
+// writing (Algorithm 1 line 2 — the paper's prototype issues it as a
+// separate Get; see ablation_combined_getput for the fused variant).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace mvstore::bench {
+namespace {
+
+struct Result {
+  double mean_ms;
+  double p99_ms;
+};
+
+Result MeasureWriteLatency(Scenario scenario, const BenchScale& scale) {
+  BenchCluster bc(scenario, scale);
+  auto client = bc.cluster.NewClient(0);
+  Rng rng(5678);
+
+  Histogram latency;
+  std::int64_t remaining = scale.latency_reads;  // reuse the request budget
+  std::uint64_t fresh = 0;
+  std::function<void()> next = [&] {
+    if (remaining-- <= 0) return;
+    const auto rank =
+        static_cast<std::uint64_t>(rng.UniformInt(0, scale.rows - 1));
+    const SimTime start = bc.cluster.Now();
+    IssueSkeyUpdate(*client, rank, fresh++, [&, start](bool ok) {
+      MVSTORE_CHECK(ok);
+      latency.Record(bc.cluster.Now() - start);
+      next();
+    });
+  };
+  next();
+  while (latency.count() < static_cast<std::uint64_t>(scale.latency_reads)) {
+    MVSTORE_CHECK(bc.cluster.simulation().Step());
+  }
+  return Result{latency.Mean() / 1000.0, latency.Percentile(99) / 1000.0};
+}
+
+void Run() {
+  BenchScale scale;
+  PrintTitle("Figure 5: Write Latency (single client, mean ms)");
+  PrintNote(StrFormat("rows=%lld requests=%lld (paper: 1M rows, 100k reqs)",
+                      static_cast<long long>(scale.rows),
+                      static_cast<long long>(scale.latency_reads)));
+  std::printf("%-4s %12s %12s\n", "", "mean(ms)", "p99(ms)");
+  double bt = 0;
+  double mv = 0;
+  for (Scenario s : {Scenario::kBaseTable, Scenario::kSecondaryIndex,
+                     Scenario::kMaterializedView}) {
+    Result r = MeasureWriteLatency(s, scale);
+    if (s == Scenario::kBaseTable) bt = r.mean_ms;
+    if (s == Scenario::kMaterializedView) mv = r.mean_ms;
+    std::printf("%-4s %12.3f %12.3f\n", ScenarioName(s), r.mean_ms, r.p99_ms);
+  }
+  PrintNote(StrFormat("MV/BT latency ratio: %.2fx (paper: ~2.5x)", mv / bt));
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

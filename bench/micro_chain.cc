@@ -1,0 +1,69 @@
+// Microbench M1b — GetLiveKey cost vs stale-chain length.
+//
+// Builds a versioned-view row family with a stale chain of length L (by L
+// sequential view-key reassignments), then runs a propagation whose guess is
+// the OLDEST key, so GetLiveKey must walk the whole chain. Reports simulated
+// time and chain hops per propagation — the mechanism behind Figure 8's
+// degradation ("the more updates to a row, the larger the number of
+// corresponding stale rows, and potentially the longer it will take to find
+// the live row").
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "view/propagation.h"
+
+namespace mvstore::bench {
+namespace {
+
+void Run() {
+  PrintTitle("Micro M1b: GetLiveKey latency vs stale-chain length");
+  std::printf("%-8s %14s %12s\n", "chain", "sim-time(ms)", "hops");
+  for (int length : {0, 1, 2, 4, 8, 16, 32, 64}) {
+    BenchScale scale;
+    scale.rows = 1;
+    BenchCluster bc(Scenario::kMaterializedView, scale);
+    auto client = bc.cluster.NewClient(0);
+
+    // Build the chain: L reassignments, each propagated before the next, so
+    // every old key leaves exactly one stale row pointing onward.
+    for (int i = 1; i <= length; ++i) {
+      MVSTORE_CHECK(client
+                        ->PutSync("usertable", workload::FormatKey("k", 0),
+                                  {{"skey", "hop" + std::to_string(i)}})
+                        .ok());
+      bc.views->Quiesce();
+    }
+    bc.cluster.RunFor(Millis(100));
+
+    // A propagation that guesses the ORIGINAL view key walks all L hops.
+    auto task = std::make_shared<view::PropagationTask>();
+    task->view = bc.cluster.schema().GetView("by_skey");
+    task->base_key = workload::FormatKey("k", 0);
+    task->materialized_updates.Apply(
+        "field0", storage::Cell::Live("probe", store::kClientTimestampEpoch +
+                                                   Seconds(900)));
+    task->guesses.push_back(storage::Cell::Live(workload::FormatKey("s", 0),
+                                                1000));
+    const std::uint64_t hops_before = bc.cluster.metrics().chain_hops;
+    const SimTime start = bc.cluster.Now();
+    bool done = false;
+    SimTime elapsed = 0;
+    view::Propagation::Run(&bc.cluster.server(0), task, task->guesses[0],
+                           [&](Status status) {
+                             MVSTORE_CHECK(status.ok()) << status;
+                             elapsed = bc.cluster.Now() - start;
+                             done = true;
+                           });
+    while (!done) MVSTORE_CHECK(bc.cluster.simulation().Step());
+    std::printf("%-8d %14.3f %12llu\n", length, ToMillis(elapsed),
+                static_cast<unsigned long long>(
+                    bc.cluster.metrics().chain_hops - hops_before));
+  }
+  PrintNote("sim-time grows linearly: one majority-quorum read per hop");
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

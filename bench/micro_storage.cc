@@ -1,0 +1,162 @@
+// Microbench M1a — data-structure hot paths (google-benchmark, wall time):
+// the storage engine (apply / point read / prefix scan / compaction), cell
+// merging, composite-key codec, ring lookups, and workload generators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "storage/engine.h"
+#include "store/codec.h"
+#include "store/ring.h"
+#include "workload/key_generator.h"
+
+namespace mvstore {
+namespace {
+
+void BM_CellMerge(benchmark::State& state) {
+  storage::Cell a = storage::Cell::Live("value-a", 100);
+  storage::Cell b = storage::Cell::Live("value-b", 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(storage::MergeCells(a, b));
+  }
+}
+BENCHMARK(BM_CellMerge);
+
+void BM_MemTableApply(benchmark::State& state) {
+  storage::MemTable memtable;
+  Rng rng(1);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    const Key key = workload::FormatKey(
+        "k", static_cast<std::uint64_t>(rng.UniformInt(0, 4095)));
+    memtable.Apply(key, "c", storage::Cell::Live("v", ++ts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemTableApply);
+
+void BM_EngineApply(benchmark::State& state) {
+  storage::Engine engine;
+  Rng rng(2);
+  Timestamp ts = 0;
+  for (auto _ : state) {
+    const Key key = workload::FormatKey(
+        "k", static_cast<std::uint64_t>(rng.UniformInt(0, 65535)));
+    engine.Apply(key, "c", storage::Cell::Live("v", ++ts));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineApply);
+
+void BM_EnginePointRead(benchmark::State& state) {
+  storage::Engine engine;
+  const std::int64_t rows = state.range(0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    engine.Apply(workload::FormatKey("k", static_cast<std::uint64_t>(i)), "c",
+                 storage::Cell::Live("v", i));
+  }
+  engine.Flush();
+  Rng rng(3);
+  for (auto _ : state) {
+    const Key key = workload::FormatKey(
+        "k", static_cast<std::uint64_t>(rng.UniformInt(0, rows - 1)));
+    benchmark::DoNotOptimize(engine.GetRow(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePointRead)->Arg(1024)->Arg(65536);
+
+void BM_EnginePrefixScan(benchmark::State& state) {
+  storage::Engine engine;
+  // 64 partitions x 16 rows, composite keys like a view table.
+  for (std::uint64_t p = 0; p < 64; ++p) {
+    for (std::uint64_t r = 0; r < 16; ++r) {
+      engine.Apply(store::ComposeViewRowKey(workload::FormatKey("vk", p),
+                                            workload::FormatKey("b", r)),
+                   "c", storage::Cell::Live("v", 1));
+    }
+  }
+  engine.Flush();
+  Rng rng(4);
+  for (auto _ : state) {
+    const Key prefix = store::ViewPartitionPrefix(workload::FormatKey(
+        "vk", static_cast<std::uint64_t>(rng.UniformInt(0, 63))));
+    std::size_t count = 0;
+    engine.ScanPrefix(prefix,
+                      [&count](const Key&, const storage::Row&) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnginePrefixScan);
+
+void BM_EngineCompaction(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::EngineOptions options;
+    options.memtable_flush_entries = 256;
+    options.max_runs = 1000;  // no auto-compaction
+    storage::Engine engine(options);
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+      engine.Apply(workload::FormatKey("k", i % 1024), "c",
+                   storage::Cell::Live("v", static_cast<Timestamp>(i)));
+    }
+    state.ResumeTiming();
+    engine.Compact(kNullTimestamp);
+    benchmark::DoNotOptimize(engine.num_runs());
+  }
+}
+BENCHMARK(BM_EngineCompaction);
+
+void BM_CodecCompose(benchmark::State& state) {
+  Rng rng(5);
+  for (auto _ : state) {
+    const Key composed = store::ComposeViewRowKey(
+        workload::FormatKey(
+            "vk", static_cast<std::uint64_t>(rng.UniformInt(0, 9999))),
+        workload::FormatKey(
+            "b", static_cast<std::uint64_t>(rng.UniformInt(0, 9999))));
+    benchmark::DoNotOptimize(store::SplitViewRowKey(composed));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CodecCompose);
+
+void BM_RingReplicas(benchmark::State& state) {
+  store::Ring ring(16, 64, 7);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.ReplicasFor(
+        workload::FormatKey(
+            "k", static_cast<std::uint64_t>(rng.UniformInt(0, 1 << 20))),
+        3));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingReplicas);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(7);
+  ZipfianGenerator zipf(1000000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram histogram;
+  Rng rng(8);
+  for (auto _ : state) {
+    histogram.Record(rng.UniformInt(0, 1000000));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+}  // namespace
+}  // namespace mvstore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// The paper's running example (Figures 1 and 2): a help-desk ticket table
+// with an ASSIGNEDTO view, including the concurrent-reassignment race of
+// Example 2 — printed with the versioned view's internal live/stale rows so
+// you can see Definition 3 at work.
+
+#include <cstdio>
+#include <map>
+
+#include "store/client.h"
+#include "store/cluster.h"
+#include "store/codec.h"
+#include "view/maintenance_engine.h"
+#include "view/view_row.h"
+
+using namespace mvstore;  // NOLINT: example brevity
+
+namespace {
+
+// Prints the merged versioned view, stale rows included (clients never see
+// those; this peeks at the replicas directly, like Figure 2 does).
+void DumpVersionedView(store::Cluster& cluster) {
+  std::map<Key, storage::Row> merged;
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    cluster.server(static_cast<ServerId>(s))
+        .EngineFor("assigned_to")
+        .ForEach([&merged](const Key& key, const storage::Row& row) {
+          merged[key].MergeFrom(row);
+        });
+  }
+  std::printf("  %-12s %-6s %-10s %-10s %s\n", "AssignedTo", "Ticket",
+              "Status", "Next", "role");
+  int anchors = 0;
+  for (const auto& [key, row] : merged) {
+    auto split = store::SplitViewRowKey(key);
+    if (!split) continue;
+    view::RowStatus status = view::ClassifyViewRow(row, split->first);
+    if (!status.exists) continue;
+    if (store::IsSentinelViewKey(split->first)) {
+      ++anchors;  // per-family chain roots; elided for Figure 2 clarity
+      continue;
+    }
+    const std::string next = store::IsSentinelViewKey(status.next)
+                                 ? "(deleted)"
+                                 : status.next;
+    std::printf("  %-12s %-6s %-10s %-10s %s\n", split->first.c_str(),
+                split->second.c_str(),
+                row.GetValue("status").value_or("-").c_str(), next.c_str(),
+                status.live ? "live" : "stale");
+  }
+  std::printf("  (+ %d hidden sentinel anchor rows, one per ticket)\n",
+              anchors);
+}
+
+void DumpClientView(store::Client& client, const char* who) {
+  auto records = client.ViewGetSync("assigned_to", who, {}, 3);
+  MVSTORE_CHECK(records.ok());
+  std::printf("  %s ->", who);
+  for (const store::ViewRecord& r : *records) {
+    std::printf(" [ticket %s, %s]", r.base_key.c_str(),
+                r.cells.GetValue("status").value_or("?").c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "ticket"}).ok());
+  store::ViewDef view;
+  view.name = "assigned_to";
+  view.base_table = "ticket";
+  view.view_key_column = "assignee";
+  view.materialized_columns = {"status"};
+  MVSTORE_CHECK(schema.CreateView(view).ok());
+
+  store::Cluster cluster(store::ClusterConfig{}, std::move(schema));
+  view::MaintenanceEngine views(&cluster);
+  cluster.Start();
+
+  // Figure 1's database.
+  struct Ticket {
+    const char* id;
+    const char* status;
+    const char* assignee;  // nullptr = unassigned
+  };
+  const Ticket tickets[] = {
+      {"1", "open", "rliu"},    {"2", "open", "kmsalem"},
+      {"3", "open", "kmsalem"}, {"4", "resolved", "rliu"},
+      {"5", "open", "cjin"},    {"6", "new", nullptr},
+      {"7", "resolved", "cjin"},
+  };
+  Timestamp ts = 100;
+  for (const Ticket& t : tickets) {
+    store::Mutation m;
+    m["status"] = t.status;
+    if (t.assignee != nullptr) m["assignee"] = t.assignee;
+    cluster.BootstrapLoadRow("ticket", t.id, m, ts++);
+  }
+
+  auto client = cluster.NewClient();
+  std::printf("== Figure 1: the ASSIGNEDTO view ==\n");
+  for (const char* who : {"rliu", "kmsalem", "cjin"}) {
+    DumpClientView(*client, who);
+  }
+
+  // Example 2: two clients concurrently reassign ticket 2. The first sets
+  // rliu (smaller timestamp), the second sets cjin (larger timestamp); both
+  // are in flight at once, and the propagations may land in either order.
+  std::printf("\n== Example 2: concurrent reassignment of ticket 2 ==\n");
+  auto client1 = cluster.NewClient(0);
+  auto client2 = cluster.NewClient(1);
+  const Timestamp base = store::kClientTimestampEpoch + Seconds(1);
+  int done = 0;
+  client1->Put("ticket", "2", {{"assignee", std::string("rliu")}},
+               [&done](Status s) { ++done; }, -1, base + 1);
+  client2->Put("ticket", "2", {{"assignee", std::string("cjin")}},
+               [&done](Status s) { ++done; }, -1, base + 2);
+  while (done < 2) cluster.simulation().Step();
+  views.Quiesce();
+  cluster.RunFor(Millis(100));
+
+  std::printf("versioned view internals (compare to Figure 2):\n");
+  DumpVersionedView(cluster);
+
+  std::printf("\nwhat clients see (stale rows filtered):\n");
+  for (const char* who : {"rliu", "kmsalem", "cjin"}) {
+    DumpClientView(*client, who);
+  }
+  std::printf(
+      "\nboth orders converge: ticket 2 belongs to cjin (largest timestamp),\n"
+      "and the loser left only invisible stale rows chaining to the live "
+      "row.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Update skew and stale chains (Section VI-D / Figure 8, in miniature):
+// hammer one base row's view key, watch the versioned view grow stale rows
+// and propagation retries pile up, then scrub the view to verify the
+// algorithm still converged to the right answer.
+
+#include <cstdio>
+
+#include "store/client.h"
+#include "store/cluster.h"
+#include "view/maintenance_engine.h"
+#include "view/scrub.h"
+
+using namespace mvstore;  // NOLINT: example brevity
+
+int main() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "doc"}).ok());
+  store::ViewDef view;
+  view.name = "by_owner";
+  view.base_table = "doc";
+  view.view_key_column = "owner";
+  view.materialized_columns = {"title"};
+  MVSTORE_CHECK(schema.CreateView(view).ok());
+
+  store::Cluster cluster(store::ClusterConfig{}, std::move(schema));
+  view::MaintenanceEngine views(&cluster);
+  cluster.Start();
+  cluster.BootstrapLoadRow(
+      "doc", "design-doc",
+      {{"owner", std::string("alice")}, {"title", std::string("MV design")}},
+      100);
+
+  // Six clients fight over the document's ownership, 8 rounds each, all in
+  // flight simultaneously.
+  constexpr int kClients = 6;
+  constexpr int kRounds = 8;
+  std::vector<std::unique_ptr<store::Client>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(cluster.NewClient(static_cast<ServerId>(c % 4)));
+  }
+  int done = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int c = 0; c < kClients; ++c) {
+      const std::string owner = "user" + std::to_string(c);
+      clients[static_cast<std::size_t>(c)]->Put(
+          "doc", "design-doc", {{"owner", owner}},
+          [&done](Status s) { ++done; });
+    }
+  }
+  while (done < kClients * kRounds) cluster.simulation().Step();
+  views.Quiesce();
+  cluster.RunFor(Millis(200));
+
+  const store::Metrics& m = cluster.metrics();
+  std::printf("after %d conflicting ownership changes:\n", done);
+  std::printf("  propagations: %llu completed, %llu retried attempts\n",
+              static_cast<unsigned long long>(m.propagations_completed),
+              static_cast<unsigned long long>(m.propagation_failures));
+  std::printf("  stale rows created: %llu, chain hops walked: %llu\n",
+              static_cast<unsigned long long>(m.stale_rows_created),
+              static_cast<unsigned long long>(m.chain_hops));
+  std::printf("  lock waits: %llu\n",
+              static_cast<unsigned long long>(m.lock_waits));
+
+  auto reader = cluster.NewClient();
+  for (int c = 0; c < kClients; ++c) {
+    const std::string owner = "user" + std::to_string(c);
+    auto records = reader->ViewGetSync("by_owner", owner, {}, 3);
+    MVSTORE_CHECK(records.ok());
+    if (!records->empty()) {
+      std::printf("  final owner: %s\n", owner.c_str());
+    }
+  }
+
+  const store::ViewDef& def = *cluster.schema().GetView("by_owner");
+  view::ScrubReport report = view::CheckView(cluster, def);
+  std::printf("  scrub: %s\n", report.Summary().c_str());
+  MVSTORE_CHECK(report.clean()) << "versioned view must have converged";
+  std::printf(
+      "\nthe losers' rows remain as stale rows (invisible to reads) whose\n"
+      "Next pointers all lead to the single live row - Definition 3 held\n"
+      "despite %llu conflicting concurrent propagations.\n",
+      static_cast<unsigned long long>(m.propagations_started));
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace mvstore {
+
+namespace {
+
+inline std::uint64_t Fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+inline std::uint64_t Load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t Hash64(std::string_view data, std::uint64_t seed) {
+  // MurmurHash2-64A variant.
+  constexpr std::uint64_t kMul = 0xC6A4A7935BD1E995ull;
+  constexpr int kShift = 47;
+
+  std::uint64_t h = seed ^ (data.size() * kMul);
+  const char* p = data.data();
+  const char* end = p + (data.size() & ~std::size_t{7});
+
+  while (p != end) {
+    std::uint64_t k = Load64(p);
+    k *= kMul;
+    k ^= k >> kShift;
+    k *= kMul;
+    h ^= k;
+    h *= kMul;
+    p += 8;
+  }
+
+  const std::size_t tail = data.size() & 7;
+  if (tail != 0) {
+    std::uint64_t k = 0;
+    std::memcpy(&k, p, tail);
+    h ^= k;
+    h *= kMul;
+  }
+
+  return Fmix64(h);
+}
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Fmix64(a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+}  // namespace mvstore

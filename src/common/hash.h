@@ -1,0 +1,24 @@
+// Hashing utilities.
+//
+// Record placement on the consistent-hash ring and secondary-index bucketing
+// use a 64-bit MurmurHash3-style finalizer-quality hash over byte strings.
+
+#ifndef MVSTORE_COMMON_HASH_H_
+#define MVSTORE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mvstore {
+
+/// 64-bit hash of an arbitrary byte string (xxhash-like construction).
+/// Stable across runs and platforms; used for data placement, so changing it
+/// changes the partitioning of every simulated cluster.
+std::uint64_t Hash64(std::string_view data, std::uint64_t seed = 0);
+
+/// Mixes two 64-bit values (for composing hashes).
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_HASH_H_

@@ -1,0 +1,102 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mvstore {
+
+const std::vector<std::int64_t>& Histogram::BucketBounds() {
+  // Upper bound (inclusive) of each bucket. Never destroyed (static storage
+  // duration objects with non-trivial destructors are avoided by leaking).
+  static const auto& bounds = *new std::vector<std::int64_t>([] {
+    std::vector<std::int64_t> b;
+    for (std::int64_t v = 0; v < 16; ++v) b.push_back(v);
+    double v = 16;
+    while (v < 4e15) {
+      b.push_back(static_cast<std::int64_t>(v));
+      v *= 1.08;
+    }
+    b.push_back(std::numeric_limits<std::int64_t>::max());
+    return b;
+  }());
+  return bounds;
+}
+
+std::size_t Histogram::BucketFor(std::int64_t value) {
+  const auto& bounds = BucketBounds();
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<std::size_t>(it - bounds.begin());
+}
+
+Histogram::Histogram()
+    : buckets_(BucketBounds().size(), 0),
+      count_(0),
+      sum_(0),
+      min_(std::numeric_limits<std::int64_t>::max()),
+      max_(std::numeric_limits<std::int64_t>::min()) {}
+
+void Histogram::Record(std::int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  MVSTORE_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::int64_t>::max();
+  max_ = std::numeric_limits<std::int64_t>::min();
+}
+
+std::int64_t Histogram::min() const { return count_ == 0 ? 0 : min_; }
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= target && buckets_[i] > 0) {
+      // Report the bucket's upper bound, clamped to observed extremes.
+      const std::int64_t bound = BucketBounds()[i];
+      return static_cast<double>(std::clamp(bound, min_, max_));
+    }
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  os << "n=" << count_;
+  if (count_ > 0) {
+    os << " mean=" << Mean() << " p50=" << Percentile(50)
+       << " p99=" << Percentile(99) << " max=" << max_;
+  }
+  return os.str();
+}
+
+}  // namespace mvstore

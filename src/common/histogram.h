@@ -1,0 +1,55 @@
+// Latency statistics.
+//
+// Histogram records non-negative integer samples (simulated microseconds)
+// into exponentially sized buckets, supporting approximate percentiles with
+// bounded relative error, plus exact count / sum / min / max.
+
+#ifndef MVSTORE_COMMON_HISTOGRAM_H_
+#define MVSTORE_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvstore {
+
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one sample. Negative samples are clamped to zero.
+  void Record(std::int64_t value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const { return max_; }
+  double Mean() const;
+
+  /// Approximate p-th percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50); }
+
+  /// One-line summary, e.g. "n=100 mean=4.2 p50=4 p99=9 max=12".
+  std::string Summary() const;
+
+ private:
+  // Buckets: [0], [1], ..., [15], then ~8% geometric growth. Index for a
+  // value is found by binary search over precomputed bounds.
+  static const std::vector<std::int64_t>& BucketBounds();
+  static std::size_t BucketFor(std::int64_t value);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_;
+  double sum_;
+  std::int64_t min_;
+  std::int64_t max_;
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_HISTOGRAM_H_

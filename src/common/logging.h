@@ -1,0 +1,82 @@
+// Minimal logging and assertion macros.
+//
+// MVSTORE_CHECK(cond) << "context";   aborts with the message if cond fails.
+// MVSTORE_LOG(INFO) << "message";     writes to stderr, filtered by level.
+//
+// Logging is intentionally tiny: the library runs inside a deterministic
+// simulation, so structured logging frameworks would be overkill. Severity
+// filtering is controlled at runtime via SetLogLevel.
+
+#ifndef MVSTORE_COMMON_LOGGING_H_
+#define MVSTORE_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace mvstore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity emitted by MVSTORE_LOG. Default: kWarning
+/// (benches and tests stay quiet unless something is wrong).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal);
+  ~LogMessage();  // emits the message; aborts if fatal
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+// Turns the result of streaming into void so it can appear in a ternary
+// expression alongside (void)0.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace mvstore
+
+#define MVSTORE_LOG(severity)                                             \
+  ::mvstore::internal_logging::LogMessage(                                \
+      ::mvstore::LogLevel::k##severity, __FILE__, __LINE__, false)        \
+      .stream()
+
+// Fatal assertion: aborts the process with the streamed context when the
+// condition is false. Used for library invariants, never for user errors
+// (those return Status).
+#define MVSTORE_CHECK(cond)                                               \
+  (cond) ? static_cast<void>(0)                                           \
+         : ::mvstore::internal_logging::Voidify() &                       \
+               ::mvstore::internal_logging::LogMessage(                   \
+                   ::mvstore::LogLevel::kError, __FILE__, __LINE__, true) \
+                   .stream()                                              \
+               << "Check failed: " #cond " "
+
+#define MVSTORE_CHECK_EQ(a, b) \
+  MVSTORE_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVSTORE_CHECK_NE(a, b) \
+  MVSTORE_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVSTORE_CHECK_LE(a, b) \
+  MVSTORE_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVSTORE_CHECK_LT(a, b) \
+  MVSTORE_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVSTORE_CHECK_GE(a, b) \
+  MVSTORE_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MVSTORE_CHECK_GT(a, b) \
+  MVSTORE_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // MVSTORE_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in the simulator flows through Rng instances seeded from the
+// experiment configuration, so every run is exactly reproducible. The core
+// generator is xoshiro256**, seeded via splitmix64.
+
+#ifndef MVSTORE_COMMON_RNG_H_
+#define MVSTORE_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace mvstore {
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  /// Seeds the generator deterministically from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t Next();
+
+  /// Creates an independent generator derived from this one's seed stream.
+  /// Used to give each simulated component its own stream so that adding a
+  /// component does not perturb the randomness seen by the others.
+  Rng Fork();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Exponentially distributed with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Log-normal with the given parameters of the underlying normal.
+  double LogNormal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double Normal();
+
+  /// Bernoulli trial.
+  bool Chance(double p);
+
+  /// Uniformly shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, i - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+/// Zipfian distribution over {0, ..., n-1} with skew parameter theta
+/// (theta = 0 is uniform; YCSB uses 0.99). Uses the Gray et al. rejection-
+/// free method with precomputed zeta constants.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(std::uint64_t n, double theta);
+
+  /// Draws the next rank; rank 0 is the most popular item.
+  std::uint64_t Next(Rng& rng);
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_RNG_H_

@@ -1,0 +1,107 @@
+// Error handling primitives for mvstore.
+//
+// The library does not use exceptions. Fallible operations return a Status
+// (or a StatusOr<T>, see statusor.h) that callers must inspect. The design
+// follows the conventions of absl::Status / arrow::Status: a Status is a
+// cheap value type carrying an error code and a human-readable message.
+
+#ifndef MVSTORE_COMMON_STATUS_H_
+#define MVSTORE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mvstore {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound = 1,         // requested record / table / row does not exist
+  kAlreadyExists = 2,    // create of an existing table / view / index
+  kInvalidArgument = 3,  // caller error: bad quorum, bad column set, ...
+  kFailedPrecondition = 4,  // operation not valid in the current state
+  kUnavailable = 5,      // quorum not reachable / server down
+  kTimedOut = 6,         // operation exceeded its deadline
+  kAborted = 7,          // lost a conflict and should be retried
+  kInternal = 8,         // invariant violation inside the library
+};
+
+/// Returns the canonical lowercase name of a status code ("ok", "not_found").
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type describing the outcome of an operation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Propagates a non-OK Status to the caller. Usable in functions returning
+// Status.
+#define MVSTORE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::mvstore::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_STATUS_H_

@@ -1,0 +1,25 @@
+// Small string formatting helpers used by examples and bench tables.
+
+#ifndef MVSTORE_COMMON_STR_UTIL_H_
+#define MVSTORE_COMMON_STR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvstore {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Zero-padded decimal rendering of `v` to `width` digits. Used to build
+/// lexicographically ordered numeric keys, e.g. PaddedInt(7, 8) == "00000007".
+std::string PaddedInt(std::uint64_t v, int width);
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_STR_UTIL_H_

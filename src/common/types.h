@@ -1,0 +1,53 @@
+// Fundamental types shared across mvstore.
+//
+// Terminology follows the paper's generic system model (Section II):
+// a *table* maps a *key* to a record of named *columns*; each (key, column)
+// pair is a *cell* holding a value and an application-supplied timestamp.
+
+#ifndef MVSTORE_COMMON_TYPES_H_
+#define MVSTORE_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace mvstore {
+
+/// Primary (or view) key of a record. Keys are opaque byte strings; ordering
+/// is lexicographic.
+using Key = std::string;
+
+/// Name of a column within a record.
+using ColumnName = std::string;
+
+/// Cell payload. NULL values are represented by tombstones (see
+/// storage/cell.h), never by a distinguished Value.
+using Value = std::string;
+
+/// Application-supplied update timestamp (microseconds by convention).
+/// Put operations carry timestamps; last-writer-wins resolution compares
+/// them. kNullTimestamp orders before every real timestamp — it is the
+/// timestamp of a never-written cell.
+using Timestamp = std::int64_t;
+inline constexpr Timestamp kNullTimestamp =
+    std::numeric_limits<Timestamp>::min();
+
+/// Identifies a server in the cluster. Dense, 0-based.
+using ServerId = std::uint32_t;
+inline constexpr ServerId kInvalidServer =
+    std::numeric_limits<ServerId>::max();
+
+/// Simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Convenience conversions for simulated durations.
+constexpr SimTime Micros(std::int64_t us) { return us; }
+constexpr SimTime Millis(std::int64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(std::int64_t s) { return s * 1000 * 1000; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_TYPES_H_

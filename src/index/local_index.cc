@@ -1,0 +1,28 @@
+#include "index/local_index.h"
+
+namespace mvstore::index {
+
+void LocalIndex::Update(const Key& key, const std::optional<Value>& old_value,
+                        const std::optional<Value>& new_value) {
+  if (old_value == new_value) return;
+  if (old_value) {
+    auto it = postings_.find(*old_value);
+    if (it != postings_.end() && it->second.erase(key) > 0) {
+      --entries_;
+      if (it->second.empty()) postings_.erase(it);
+    }
+  }
+  if (new_value) {
+    if (postings_[*new_value].insert(key).second) {
+      ++entries_;
+    }
+  }
+}
+
+std::vector<Key> LocalIndex::Lookup(const Value& value) const {
+  auto it = postings_.find(value);
+  if (it == postings_.end()) return {};
+  return std::vector<Key>(it->second.begin(), it->second.end());
+}
+
+}  // namespace mvstore::index

@@ -1,0 +1,56 @@
+// Native secondary indexes, modeled after Cassandra's.
+//
+// Each server keeps a LOCAL index over its OWN replicas, partitioned and
+// distributed by the base table's primary key (Section I of the paper). That
+// choice is what gives native indexes their performance profile:
+//   - maintenance is synchronous and cheap (the indexed data is local), so
+//     indexed writes cost about the same as plain writes (Fig 5),
+//   - lookups must be broadcast to every server, each of which probes its
+//     fragment, so indexed reads are slow and expensive (Fig 3/4).
+
+#ifndef MVSTORE_INDEX_LOCAL_INDEX_H_
+#define MVSTORE_INDEX_LOCAL_INDEX_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mvstore::index {
+
+/// The index fragment for one (table, column) on one server:
+/// column value -> set of primary keys whose local replica has that value.
+class LocalIndex {
+ public:
+  LocalIndex(std::string table, ColumnName column)
+      : table_(std::move(table)), column_(std::move(column)) {}
+
+  /// Reflects a local cell change: removes the (old_value -> key) posting if
+  /// any, adds (new_value -> key) if any. Called synchronously from the
+  /// server's local write path, AFTER the write has merged, with the merged
+  /// before/after values.
+  void Update(const Key& key, const std::optional<Value>& old_value,
+              const std::optional<Value>& new_value);
+
+  /// Primary keys whose local replica currently has `value` in the indexed
+  /// column.
+  std::vector<Key> Lookup(const Value& value) const;
+
+  const std::string& table() const { return table_; }
+  const ColumnName& column() const { return column_; }
+  std::size_t distinct_values() const { return postings_.size(); }
+  std::size_t entries() const { return entries_; }
+
+ private:
+  std::string table_;
+  ColumnName column_;
+  std::map<Value, std::set<Key>> postings_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace mvstore::index
+
+#endif  // MVSTORE_INDEX_LOCAL_INDEX_H_

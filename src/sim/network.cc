@@ -1,0 +1,55 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+namespace mvstore::sim {
+
+namespace {
+std::pair<EndpointId, EndpointId> Ordered(EndpointId a, EndpointId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+SimTime Network::SampleLatency() {
+  SimTime jitter = 0;
+  if (config_.jitter_mean > 0) {
+    jitter = static_cast<SimTime>(
+        rng_.Exponential(static_cast<double>(config_.jitter_mean)));
+  }
+  return config_.base_latency + jitter;
+}
+
+void Network::Send(EndpointId from, EndpointId to,
+                   std::function<void()> deliver) {
+  ++messages_sent_;
+  if (down_.count(from) != 0 || down_.count(to) != 0 ||
+      (from != to && cut_links_.count(Ordered(from, to)) != 0) ||
+      (config_.drop_probability > 0 && rng_.Chance(config_.drop_probability))) {
+    ++messages_dropped_;
+    return;
+  }
+  const SimTime latency = from == to ? Micros(1) : SampleLatency();
+  sim_->After(latency, std::move(deliver));
+}
+
+void Network::PartitionLink(EndpointId a, EndpointId b) {
+  cut_links_.insert(Ordered(a, b));
+}
+
+void Network::RestoreLink(EndpointId a, EndpointId b) {
+  cut_links_.erase(Ordered(a, b));
+}
+
+void Network::SetEndpointDown(EndpointId e, bool down) {
+  if (down) {
+    down_.insert(e);
+  } else {
+    down_.erase(e);
+  }
+}
+
+bool Network::IsEndpointDown(EndpointId e) const {
+  return down_.count(e) != 0;
+}
+
+}  // namespace mvstore::sim

@@ -1,0 +1,77 @@
+// Simulated message-passing network.
+//
+// Endpoints (servers and client hosts) are numbered densely. Send() delivers
+// a callback to the destination after a sampled one-way latency, unless the
+// message is dropped (random drop injection or an explicit partition). The
+// network is fail-silent: senders learn about losses only through their own
+// timeouts, exactly as in the modeled system.
+
+#ifndef MVSTORE_SIM_NETWORK_H_
+#define MVSTORE_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace mvstore::sim {
+
+using EndpointId = std::uint32_t;
+
+struct NetworkConfig {
+  /// Fixed one-way propagation + protocol cost per message.
+  SimTime base_latency = Micros(60);
+  /// Mean of the exponential jitter added to every message.
+  SimTime jitter_mean = Micros(20);
+  /// Probability that any given message is silently dropped.
+  double drop_probability = 0.0;
+};
+
+class Network {
+ public:
+  Network(Simulation* sim, Rng rng, NetworkConfig config)
+      : sim_(sim), rng_(rng), config_(config) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Delivers `deliver` at the destination after a sampled latency, or never
+  /// (drop / partition / endpoint down). Self-sends skip the wire but still
+  /// go through the event queue (never synchronous), preserving the
+  /// asynchrony the view-maintenance algorithms must tolerate.
+  void Send(EndpointId from, EndpointId to, std::function<void()> deliver);
+
+  /// Cuts both directions of the (a, b) link until RestoreLink.
+  void PartitionLink(EndpointId a, EndpointId b);
+  void RestoreLink(EndpointId a, EndpointId b);
+
+  /// Marks an endpoint down: all traffic to and from it is dropped.
+  void SetEndpointDown(EndpointId e, bool down);
+  bool IsEndpointDown(EndpointId e) const;
+
+  void set_drop_probability(double p) { config_.drop_probability = p; }
+  const NetworkConfig& config() const { return config_; }
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+
+ private:
+  SimTime SampleLatency();
+
+  Simulation* sim_;
+  Rng rng_;
+  NetworkConfig config_;
+  std::set<std::pair<EndpointId, EndpointId>> cut_links_;
+  std::set<EndpointId> down_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace mvstore::sim
+
+#endif  // MVSTORE_SIM_NETWORK_H_

@@ -1,0 +1,32 @@
+#include "sim/service_queue.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mvstore::sim {
+
+ServiceQueue::ServiceQueue(Simulation* sim, int cores) : sim_(sim) {
+  MVSTORE_CHECK_GT(cores, 0);
+  const std::size_t n = cores > 0 ? static_cast<std::size_t>(cores) : 1;
+  core_free_at_.assign(n, 0);
+}
+
+void ServiceQueue::Submit(SimTime service_time, std::function<void()> fn) {
+  MVSTORE_CHECK_GE(service_time, 0);
+  auto it = std::min_element(core_free_at_.begin(), core_free_at_.end());
+  const SimTime start = std::max(sim_->Now(), *it);
+  const SimTime end = start + service_time;
+  *it = end;
+  busy_time_ += service_time;
+  ++tasks_;
+  sim_->At(end, std::move(fn));
+}
+
+SimTime ServiceQueue::QueueDelay() const {
+  const SimTime soonest =
+      *std::min_element(core_free_at_.begin(), core_free_at_.end());
+  return std::max<SimTime>(0, soonest - sim_->Now());
+}
+
+}  // namespace mvstore::sim

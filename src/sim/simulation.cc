@@ -1,0 +1,67 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mvstore::sim {
+
+void Simulation::Push(SimTime t, std::function<void()> fn,
+                      std::shared_ptr<bool> cancelled) {
+  MVSTORE_CHECK_GE(t, now_);
+  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(cancelled)});
+}
+
+void Simulation::At(SimTime t, std::function<void()> fn) {
+  Push(t, std::move(fn), nullptr);
+}
+
+void Simulation::After(SimTime dt, std::function<void()> fn) {
+  MVSTORE_CHECK_GE(dt, 0);
+  Push(now_ + dt, std::move(fn), nullptr);
+}
+
+EventHandle Simulation::AfterCancelable(SimTime dt, std::function<void()> fn) {
+  MVSTORE_CHECK_GE(dt, 0);
+  auto cancelled = std::make_shared<bool>(false);
+  Push(now_ + dt, std::move(fn), cancelled);
+  return EventHandle(std::move(cancelled));
+}
+
+bool Simulation::Step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  if (!(ev.cancelled && *ev.cancelled)) {
+    ++steps_;
+    ev.fn();
+  }
+  return true;
+}
+
+void Simulation::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.cancelled && *ev.cancelled) continue;
+    ++steps_;
+    ev.fn();
+  }
+}
+
+void Simulation::RunUntil(SimTime t) {
+  MVSTORE_CHECK_GE(t, now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    if (ev.cancelled && *ev.cancelled) continue;
+    ++steps_;
+    ev.fn();
+  }
+  now_ = t;
+}
+
+}  // namespace mvstore::sim

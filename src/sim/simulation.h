@@ -1,0 +1,108 @@
+// Discrete-event simulation core.
+//
+// The entire cluster (servers, network, clients) runs inside one Simulation:
+// a virtual clock plus an ordered queue of events. Events scheduled for the
+// same instant execute in scheduling order, so runs are fully deterministic.
+//
+// This is the substrate substitution described in DESIGN.md section 4: the
+// paper evaluates on a physical 4-node Cassandra cluster; we reproduce the
+// relevant behaviour (message latencies, per-server service demand, and the
+// interleavings that make multi-master view maintenance hard) in simulated
+// time.
+
+#ifndef MVSTORE_SIM_SIMULATION_H_
+#define MVSTORE_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mvstore::sim {
+
+/// Cancellation handle for a scheduled event. Default-constructed handles are
+/// inert. Cancelling after the event fired is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Prevents the event from running (if it has not run yet).
+  void Cancel() {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool active() const { return cancelled_ != nullptr && !*cancelled_; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::shared_ptr<bool> cancelled)
+      : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current virtual time (microseconds since simulation start).
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (>= Now()).
+  void At(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay of `dt` (>= 0).
+  void After(SimTime dt, std::function<void()> fn);
+
+  /// Like After, but returns a handle that can cancel the event.
+  EventHandle AfterCancelable(SimTime dt, std::function<void()> fn);
+
+  /// Runs events until the queue is empty.
+  void Run();
+
+  /// Executes the next event. Returns false when the queue is empty.
+  /// (Cancelled events are skipped but still count as progress.)
+  bool Step();
+
+  /// Runs all events with time <= `t`, then sets the clock to `t`.
+  void RunUntil(SimTime t);
+
+  /// Runs for `dt` more virtual time.
+  void RunFor(SimTime dt) { RunUntil(now_ + dt); }
+
+  /// Total events executed (for tests and debugging).
+  std::uint64_t steps() const { return steps_; }
+
+  /// Number of pending events.
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO within an instant
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;  // may be null
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void Push(SimTime t, std::function<void()> fn,
+            std::shared_ptr<bool> cancelled);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace mvstore::sim
+
+#endif  // MVSTORE_SIM_SIMULATION_H_

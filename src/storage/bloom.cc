@@ -1,0 +1,47 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace mvstore::storage {
+
+BloomFilter::BloomFilter(std::size_t expected_keys, int bits_per_key) {
+  bit_count_ = std::max<std::size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bit_count_ + 63) / 64, 0);
+  probes_ = std::clamp(
+      static_cast<int>(bits_per_key * 0.69 /* ln 2 */ + 0.5), 1, 8);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  // Double hashing: h_i = h1 + i * h2 (Kirsch-Mitzenmacher).
+  const std::uint64_t h1 = Hash64(key, /*seed=*/0x62463137);
+  const std::uint64_t h2 = Hash64(key, /*seed=*/0x7C3A9D51) | 1;
+  for (int i = 0; i < probes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bit_count_;
+    bits_[bit / 64] |= (std::uint64_t{1} << (bit % 64));
+  }
+  ++added_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const std::uint64_t h1 = Hash64(key, /*seed=*/0x62463137);
+  const std::uint64_t h2 = Hash64(key, /*seed=*/0x7C3A9D51) | 1;
+  for (int i = 0; i < probes_; ++i) {
+    const std::size_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bit_count_;
+    if ((bits_[bit / 64] & (std::uint64_t{1} << (bit % 64))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFalsePositiveRate() const {
+  const double k = probes_;
+  const double n = static_cast<double>(added_);
+  const double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace mvstore::storage

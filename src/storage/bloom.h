@@ -1,0 +1,45 @@
+// Bloom filters for immutable runs.
+//
+// Point lookups consult every run; most runs do not contain the key. A
+// per-run bloom filter (built at seal/compaction time, ~10 bits per key)
+// short-circuits those probes, the same way SSTable filters do in
+// Cassandra/RocksDB. False positives cost one binary search; false
+// negatives cannot happen.
+
+#ifndef MVSTORE_STORAGE_BLOOM_H_
+#define MVSTORE_STORAGE_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mvstore::storage {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_keys` at `bits_per_key` (k hash probes
+  /// derived as ln2 * bits_per_key, clamped to [1, 8]).
+  explicit BloomFilter(std::size_t expected_keys, int bits_per_key = 10);
+
+  void Add(std::string_view key);
+
+  /// False means DEFINITELY absent; true means probably present.
+  bool MayContain(std::string_view key) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+  int probes() const { return probes_; }
+
+  /// Measured false-positive probability estimate for the current load
+  /// (classic (1 - e^(-kn/m))^k formula).
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  std::vector<std::uint64_t> bits_;
+  std::size_t bit_count_;
+  int probes_;
+  std::size_t added_ = 0;
+};
+
+}  // namespace mvstore::storage
+
+#endif  // MVSTORE_STORAGE_BLOOM_H_

@@ -1,0 +1,21 @@
+#include "storage/cell.h"
+
+namespace mvstore::storage {
+
+bool Supersedes(const Cell& a, const Cell& b) {
+  if (a.ts != b.ts) return a.ts > b.ts;
+  if (a.tombstone != b.tombstone) return a.tombstone;
+  return a.value > b.value;
+}
+
+const Cell& MergeCells(const Cell& a, const Cell& b) {
+  return Supersedes(a, b) ? a : b;
+}
+
+std::ostream& operator<<(std::ostream& os, const Cell& c) {
+  if (c.IsNull()) return os << "(null)";
+  if (c.tombstone) return os << "(tombstone@" << c.ts << ")";
+  return os << "('" << c.value << "'@" << c.ts << ")";
+}
+
+}  // namespace mvstore::storage

@@ -1,0 +1,50 @@
+// Cells: the unit of storage and of conflict resolution.
+//
+// A cell is (value, timestamp) or a tombstone (deletion marker, also carrying
+// the timestamp of the deleting Put). Replicas resolve divergent cells by
+// last-writer-wins on the application timestamp; ties break toward the
+// tombstone, then toward the lexicographically larger value, which makes the
+// merge a commutative, associative, idempotent join — the property that lets
+// every replica converge regardless of delivery order (Section II of the
+// paper: "all servers will agree on the ordering of updates to each cell").
+
+#ifndef MVSTORE_STORAGE_CELL_H_
+#define MVSTORE_STORAGE_CELL_H_
+
+#include <ostream>
+#include <string>
+
+#include "common/types.h"
+
+namespace mvstore::storage {
+
+struct Cell {
+  Value value;
+  Timestamp ts = kNullTimestamp;
+  bool tombstone = false;
+
+  /// A live cell.
+  static Cell Live(Value v, Timestamp t) { return Cell{std::move(v), t, false}; }
+  /// A deletion marker with the deleting Put's timestamp.
+  static Cell Tombstone(Timestamp t) { return Cell{Value(), t, true}; }
+
+  /// True for a cell that has never been written (NULL timestamp).
+  bool IsNull() const { return ts == kNullTimestamp; }
+
+  friend bool operator==(const Cell& a, const Cell& b) {
+    return a.ts == b.ts && a.tombstone == b.tombstone && a.value == b.value;
+  }
+};
+
+/// True when `a` supersedes `b` under last-writer-wins.
+bool Supersedes(const Cell& a, const Cell& b);
+
+/// The LWW join of two cells (whichever supersedes; b if neither, so that
+/// Merge(x, x) == x).
+const Cell& MergeCells(const Cell& a, const Cell& b);
+
+std::ostream& operator<<(std::ostream& os, const Cell& c);
+
+}  // namespace mvstore::storage
+
+#endif  // MVSTORE_STORAGE_CELL_H_

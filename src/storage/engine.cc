@@ -1,0 +1,117 @@
+#include "storage/engine.h"
+
+#include <map>
+
+namespace mvstore::storage {
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+void Engine::Apply(const Key& key, const ColumnName& col, const Cell& cell) {
+  memtable_.Apply(key, col, cell);
+  MaybeFlushAndCompact();
+}
+
+void Engine::ApplyRow(const Key& key, const Row& row) {
+  memtable_.ApplyRow(key, row);
+  MaybeFlushAndCompact();
+}
+
+std::optional<Row> Engine::GetRow(const Key& key) const {
+  Row merged;
+  bool found = false;
+  for (const auto& run : runs_) {
+    if (const Row* row = run->Get(key)) {
+      merged.MergeFrom(*row);
+      found = true;
+    }
+  }
+  if (const Row* row = memtable_.Get(key)) {
+    merged.MergeFrom(*row);
+    found = true;
+  }
+  if (!found) return std::nullopt;
+  return merged;
+}
+
+std::optional<Cell> Engine::GetCell(const Key& key,
+                                    const ColumnName& col) const {
+  std::optional<Cell> best;
+  auto consider = [&](const Row* row) {
+    if (row == nullptr) return;
+    if (auto cell = row->Get(col)) {
+      if (!best || Supersedes(*cell, *best)) best = *cell;
+    }
+  };
+  for (const auto& run : runs_) consider(run->Get(key));
+  consider(memtable_.Get(key));
+  return best;
+}
+
+void Engine::ScanPrefix(
+    const Key& prefix,
+    const std::function<void(const Key&, const Row&)>& fn) const {
+  std::map<Key, Row> merged;
+  auto collect = [&](const Key& key, const Row& row) {
+    merged[key].MergeFrom(row);
+  };
+  for (const auto& run : runs_) run->ScanPrefix(prefix, collect);
+  memtable_.ScanPrefix(prefix, collect);
+  for (const auto& [key, row] : merged) fn(key, row);
+}
+
+void Engine::ForEach(
+    const std::function<void(const Key&, const Row&)>& fn) const {
+  std::map<Key, Row> merged;
+  auto collect = [&](const Key& key, const Row& row) {
+    merged[key].MergeFrom(row);
+  };
+  for (const auto& run : runs_) run->ForEach(collect);
+  memtable_.ForEach(collect);
+  for (const auto& [key, row] : merged) fn(key, row);
+}
+
+void Engine::Flush() {
+  if (memtable_.empty()) return;
+  std::vector<KeyedRow> entries;
+  entries.reserve(memtable_.entries());
+  memtable_.ForEach([&](const Key& key, const Row& row) {
+    entries.push_back(KeyedRow{key, row});
+  });
+  runs_.push_back(Run::FromSorted(std::move(entries)));
+  memtable_.Clear();
+}
+
+void Engine::Compact(Timestamp now) {
+  // Flush first so no structure outside the merge can hold cells older than
+  // a purged tombstone (which would resurrect deleted data).
+  Flush();
+  if (runs_.empty()) return;
+  const Timestamp purge_before =
+      now == kNullTimestamp ? kNullTimestamp : now - options_.tombstone_gc_grace;
+  auto merged = Run::Merge(runs_, purge_before);
+  runs_.clear();
+  if (merged->entries() > 0) runs_.push_back(std::move(merged));
+  ++compactions_;
+}
+
+void Engine::MaybeFlushAndCompact() {
+  if (memtable_.entries() >= options_.memtable_flush_entries) {
+    Flush();
+  }
+  if (runs_.size() > options_.max_runs) {
+    // Periodic size-tiered compaction without a clock: keep tombstones
+    // (purge only on explicit Compact(now) calls from the server's GC task).
+    auto merged = Run::Merge(runs_, kNullTimestamp);
+    runs_.clear();
+    if (merged->entries() > 0) runs_.push_back(std::move(merged));
+    ++compactions_;
+  }
+}
+
+std::size_t Engine::ApproxEntries() const {
+  std::size_t total = memtable_.entries();
+  for (const auto& run : runs_) total += run->entries();
+  return total;
+}
+
+}  // namespace mvstore::storage

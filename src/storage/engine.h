@@ -1,0 +1,86 @@
+// The per-replica storage engine: one Engine instance per (server, table).
+//
+// LSM-lite layout: an active memtable absorbing writes, plus a stack of
+// immutable sorted runs. Reads merge cell-wise across memtable and runs
+// (LWW), so a read is correct regardless of where the newest cell lives.
+// Size-tiered compaction bounds the run count; compaction purges tombstones
+// older than the GC grace period (expired deletions).
+
+#ifndef MVSTORE_STORAGE_ENGINE_H_
+#define MVSTORE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/memtable.h"
+#include "storage/run.h"
+
+namespace mvstore::storage {
+
+struct EngineOptions {
+  /// Seal the memtable into a run once it holds this many rows.
+  std::size_t memtable_flush_entries = 8192;
+  /// Trigger compaction when more than this many runs exist.
+  std::size_t max_runs = 6;
+  /// Tombstones older than this (relative to the compaction call's `now`)
+  /// are purged during compaction. Mirrors Cassandra's gc_grace_seconds.
+  Timestamp tombstone_gc_grace = Seconds(600);
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = EngineOptions());
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Applies one cell write (LWW). May trigger a flush and compaction.
+  void Apply(const Key& key, const ColumnName& col, const Cell& cell);
+
+  /// Merges a whole row (replication / anti-entropy path).
+  void ApplyRow(const Key& key, const Row& row);
+
+  /// Merged view of a row across memtable and all runs. Returns nullopt when
+  /// the key appears nowhere (tombstoned rows ARE returned).
+  std::optional<Row> GetRow(const Key& key) const;
+
+  /// Merged cell for (key, col); nullopt when never written.
+  std::optional<Cell> GetCell(const Key& key, const ColumnName& col) const;
+
+  /// Merged prefix scan in key order.
+  void ScanPrefix(const Key& prefix,
+                  const std::function<void(const Key&, const Row&)>& fn) const;
+
+  /// Merged full scan in key order (anti-entropy, index rebuild).
+  void ForEach(
+      const std::function<void(const Key&, const Row&)>& fn) const;
+
+  /// Seals the memtable into a run (no-op when empty).
+  void Flush();
+
+  /// Full compaction of all runs; `now` drives tombstone GC.
+  void Compact(Timestamp now);
+
+  std::size_t num_runs() const { return runs_.size(); }
+  std::size_t memtable_entries() const { return memtable_.entries(); }
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Total distinct keys across structures (upper bound; pre-merge).
+  std::size_t ApproxEntries() const;
+
+ private:
+  void MaybeFlushAndCompact();
+
+  EngineOptions options_;
+  MemTable memtable_;
+  std::vector<std::shared_ptr<const Run>> runs_;  // oldest first
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace mvstore::storage
+
+#endif  // MVSTORE_STORAGE_ENGINE_H_

@@ -1,0 +1,73 @@
+#include "storage/row.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace mvstore::storage {
+
+bool Row::Apply(const ColumnName& col, const Cell& cell) {
+  auto [it, inserted] = cells_.try_emplace(col, cell);
+  if (inserted) return true;
+  if (Supersedes(cell, it->second)) {
+    it->second = cell;
+    return true;
+  }
+  return false;
+}
+
+void Row::MergeFrom(const Row& other) {
+  for (const auto& [col, cell] : other.cells_) {
+    Apply(col, cell);
+  }
+}
+
+std::optional<Cell> Row::Get(const ColumnName& col) const {
+  auto it = cells_.find(col);
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Value> Row::GetValue(const ColumnName& col) const {
+  auto it = cells_.find(col);
+  if (it == cells_.end() || it->second.tombstone) return std::nullopt;
+  return it->second.value;
+}
+
+Timestamp Row::MaxTimestamp() const {
+  Timestamp max_ts = kNullTimestamp;
+  for (const auto& [col, cell] : cells_) {
+    max_ts = std::max(max_ts, cell.ts);
+  }
+  return max_ts;
+}
+
+bool Row::AllTombstones() const {
+  return std::all_of(cells_.begin(), cells_.end(),
+                     [](const auto& kv) { return kv.second.tombstone; });
+}
+
+std::uint64_t RowDigest(const Row& row) {
+  std::uint64_t digest = 0x9E3779B97F4A7C15ull;
+  for (const auto& [col, cell] : row.cells()) {
+    std::uint64_t h = Hash64(col);
+    h = HashCombine(h, Hash64(cell.value));
+    h = HashCombine(h, static_cast<std::uint64_t>(cell.ts));
+    h = HashCombine(h, cell.tombstone ? 1 : 0);
+    digest = HashCombine(digest, h);
+  }
+  return digest;
+}
+
+std::ostream& operator<<(std::ostream& os, const Row& row) {
+  os << "{";
+  bool first = true;
+  for (const auto& [col, cell] : row.cells()) {
+    if (!first) os << ", ";
+    first = false;
+    os << col << "=" << cell;
+  }
+  return os << "}";
+}
+
+}  // namespace mvstore::storage

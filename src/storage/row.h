@@ -1,0 +1,76 @@
+// Rows: maps from column name to cell.
+//
+// Different records in the same table may have different column sets
+// (schema-free, as in the paper's system model), so a Row is simply an
+// ordered map. Merging two versions of a row merges cell-wise with LWW.
+
+#ifndef MVSTORE_STORAGE_ROW_H_
+#define MVSTORE_STORAGE_ROW_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/cell.h"
+
+namespace mvstore::storage {
+
+class Row {
+ public:
+  Row() = default;
+
+  /// Applies `cell` to `col` with LWW resolution. Returns true if the stored
+  /// cell changed.
+  bool Apply(const ColumnName& col, const Cell& cell);
+
+  /// Merges every cell of `other` into this row.
+  void MergeFrom(const Row& other);
+
+  /// The cell stored under `col`, or nullopt if the column was never written
+  /// (tombstoned columns ARE returned — callers distinguish deletions from
+  /// absence, which replication needs).
+  std::optional<Cell> Get(const ColumnName& col) const;
+
+  /// The live value under `col`: nullopt if absent or tombstoned.
+  std::optional<Value> GetValue(const ColumnName& col) const;
+
+  bool empty() const { return cells_.empty(); }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Largest cell timestamp in the row (kNullTimestamp if empty).
+  Timestamp MaxTimestamp() const;
+
+  /// True if every cell in the row is a tombstone (the row is logically
+  /// deleted and eligible for GC once past the grace period).
+  bool AllTombstones() const;
+
+  const std::map<ColumnName, Cell>& cells() const { return cells_; }
+
+  friend bool operator==(const Row& a, const Row& b) {
+    return a.cells_ == b.cells_;
+  }
+
+ private:
+  std::map<ColumnName, Cell> cells_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Row& row);
+
+/// Order-insensitive 64-bit digest of a row's full cell content (columns,
+/// values, timestamps, tombstones). Two replicas hold identical copies of a
+/// row iff the digests match (modulo hash collisions); anti-entropy compares
+/// these instead of shipping rows.
+std::uint64_t RowDigest(const Row& row);
+
+/// A (key, row) pair returned from scans.
+struct KeyedRow {
+  Key key;
+  Row row;
+};
+
+}  // namespace mvstore::storage
+
+#endif  // MVSTORE_STORAGE_ROW_H_

@@ -1,0 +1,80 @@
+#include "storage/run.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace mvstore::storage {
+
+Run::Run(std::vector<KeyedRow> entries)
+    : entries_(std::move(entries)), filter_(entries_.size()) {
+  for (const KeyedRow& entry : entries_) {
+    filter_.Add(entry.key);
+  }
+}
+
+std::shared_ptr<const Run> Run::FromSorted(std::vector<KeyedRow> entries) {
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    MVSTORE_CHECK_LT(entries[i - 1].key, entries[i].key)
+        << "Run entries must be sorted and unique";
+  }
+  return std::shared_ptr<const Run>(new Run(std::move(entries)));
+}
+
+std::shared_ptr<const Run> Run::Merge(
+    const std::vector<std::shared_ptr<const Run>>& runs,
+    Timestamp purge_tombstones_before) {
+  // Simulation-scale partitions are small; a map-based merge keeps this
+  // obviously correct. (A k-way heap merge would be the disk-scale choice.)
+  std::map<Key, Row> merged;
+  for (const auto& run : runs) {
+    run->ForEach([&](const Key& key, const Row& row) {
+      merged[key].MergeFrom(row);
+    });
+  }
+  std::vector<KeyedRow> entries;
+  entries.reserve(merged.size());
+  for (auto& [key, row] : merged) {
+    Row kept;
+    for (const auto& [col, cell] : row.cells()) {
+      if (cell.tombstone && cell.ts < purge_tombstones_before) continue;
+      kept.Apply(col, cell);
+    }
+    if (!kept.empty()) {
+      entries.push_back(KeyedRow{key, std::move(kept)});
+    }
+  }
+  return std::shared_ptr<const Run>(new Run(std::move(entries)));
+}
+
+const Row* Run::Get(const Key& key) const {
+  if (!filter_.MayContain(key)) {
+    ++bloom_negatives_;
+    return nullptr;
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const KeyedRow& e, const Key& k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return nullptr;
+  return &it->row;
+}
+
+void Run::ScanPrefix(
+    const Key& prefix,
+    const std::function<void(const Key&, const Row&)>& fn) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const KeyedRow& e, const Key& k) { return e.key < k; });
+  for (; it != entries_.end(); ++it) {
+    if (it->key.compare(0, prefix.size(), prefix) != 0) break;
+    fn(it->key, it->row);
+  }
+}
+
+void Run::ForEach(
+    const std::function<void(const Key&, const Row&)>& fn) const {
+  for (const auto& entry : entries_) fn(entry.key, entry.row);
+}
+
+}  // namespace mvstore::storage

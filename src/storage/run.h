@@ -1,0 +1,60 @@
+// Immutable sorted runs (in-memory SSTables).
+//
+// A Run is a sealed, key-sorted array of rows produced by flushing a memtable
+// or by compacting older runs. Point lookups binary-search; prefix scans walk
+// a contiguous range. Runs never change after construction, which is what
+// makes size-tiered compaction and consistent iteration simple.
+
+#ifndef MVSTORE_STORAGE_RUN_H_
+#define MVSTORE_STORAGE_RUN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "storage/bloom.h"
+#include "storage/row.h"
+
+namespace mvstore::storage {
+
+class Run {
+ public:
+  /// Builds a run from pre-sorted unique-keyed entries.
+  static std::shared_ptr<const Run> FromSorted(std::vector<KeyedRow> entries);
+
+  /// Merges several runs (newest data wins cell-wise; input order is
+  /// irrelevant because the cell merge is commutative). Tombstones with
+  /// timestamp < `purge_tombstones_before` are dropped; rows left empty are
+  /// elided.
+  static std::shared_ptr<const Run> Merge(
+      const std::vector<std::shared_ptr<const Run>>& runs,
+      Timestamp purge_tombstones_before = kNullTimestamp);
+
+  /// Point lookup; consults the run's bloom filter first, so misses are
+  /// usually resolved without touching the entries.
+  const Row* Get(const Key& key) const;
+
+  /// Bloom statistics (tests and microbenches).
+  std::uint64_t bloom_negatives() const { return bloom_negatives_; }
+
+  void ScanPrefix(const Key& prefix,
+                  const std::function<void(const Key&, const Row&)>& fn) const;
+
+  void ForEach(
+      const std::function<void(const Key&, const Row&)>& fn) const;
+
+  std::size_t entries() const { return entries_.size(); }
+
+ private:
+  explicit Run(std::vector<KeyedRow> entries);
+
+  std::vector<KeyedRow> entries_;
+  BloomFilter filter_;
+  mutable std::uint64_t bloom_negatives_ = 0;
+};
+
+}  // namespace mvstore::storage
+
+#endif  // MVSTORE_STORAGE_RUN_H_

@@ -1,0 +1,223 @@
+#include "store/client.h"
+
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "common/logging.h"
+#include "store/cluster.h"
+
+namespace mvstore::store {
+
+Client::Client(Cluster* cluster, ServerId coordinator, std::uint64_t id)
+    : cluster_(cluster), coordinator_(coordinator), id_(id) {}
+
+Timestamp Client::NextTimestamp() {
+  const Timestamp now = kClientTimestampEpoch + cluster_->simulation().Now();
+  last_ts_ = std::max(now, last_ts_ + 1);
+  return last_ts_;
+}
+
+void Client::BeginSession() { session_ = cluster_->NewSession(); }
+
+int Client::ReadQuorum(int requested) const {
+  return requested > 0 ? requested : cluster_->config().default_read_quorum;
+}
+
+int Client::WriteQuorum(int requested) const {
+  return requested > 0 ? requested : cluster_->config().default_write_quorum;
+}
+
+Timestamp Client::ResolveTimestamp(Timestamp ts) {
+  return ts == kNullTimestamp ? NextTimestamp() : ts;
+}
+
+void Client::SendToCoordinator(std::function<void(Server&)> fn) {
+  Server* server = &cluster_->server(coordinator_);
+  cluster_->network().Send(cluster_->client_endpoint(), coordinator_,
+                           [server, fn = std::move(fn)] { fn(*server); });
+}
+
+namespace {
+
+// The error delivered when a client-side request deadline expires.
+template <typename ResultT>
+ResultT TimeoutResult() {
+  if constexpr (std::is_same_v<ResultT, Status>) {
+    return Status::TimedOut("client request deadline expired");
+  } else {
+    return ResultT(Status::TimedOut("client request deadline expired"));
+  }
+}
+
+}  // namespace
+
+template <typename ResultT>
+std::function<void(ResultT)> Client::ReturnToClient(
+    std::function<void(ResultT)> callback, Histogram* latency) {
+  const SimTime start = cluster_->simulation().Now();
+  Cluster* cluster = cluster_;
+  const ServerId coordinator = coordinator_;
+
+  // At most one of {reply, deadline} reaches the caller.
+  auto delivered = std::make_shared<bool>(false);
+  auto shared_callback =
+      std::make_shared<std::function<void(ResultT)>>(std::move(callback));
+  if (request_timeout_ > 0) {
+    cluster->simulation().After(
+        request_timeout_, [delivered, shared_callback] {
+          if (*delivered) return;
+          *delivered = true;
+          (*shared_callback)(TimeoutResult<ResultT>());
+        });
+  }
+  return [cluster, coordinator, start, latency, delivered,
+          shared_callback](ResultT result) mutable {
+    cluster->network().Send(
+        coordinator, cluster->client_endpoint(),
+        [cluster, start, latency, delivered, shared_callback,
+         result = std::move(result)]() mutable {
+          if (*delivered) return;  // deadline already fired
+          *delivered = true;
+          if (latency != nullptr) {
+            latency->Record(cluster->simulation().Now() - start);
+          }
+          (*shared_callback)(std::move(result));
+        });
+  };
+}
+
+void Client::Get(const std::string& table, const Key& key,
+                 std::vector<ColumnName> columns,
+                 std::function<void(StatusOr<storage::Row>)> callback,
+                 int read_quorum) {
+  auto reply = ReturnToClient<StatusOr<storage::Row>>(
+      std::move(callback), &cluster_->metrics().get_latency);
+  const int quorum = ReadQuorum(read_quorum);
+  SendToCoordinator([table, key, columns = std::move(columns), quorum,
+                     reply = std::move(reply)](Server& server) mutable {
+    server.HandleClientGet(table, key, std::move(columns), quorum,
+                           std::move(reply));
+  });
+}
+
+void Client::Put(const std::string& table, const Key& key,
+                 const Mutation& mutation, std::function<void(Status)> callback,
+                 int write_quorum, Timestamp ts) {
+  auto reply = ReturnToClient<Status>(std::move(callback),
+                                      &cluster_->metrics().put_latency);
+  const int quorum = WriteQuorum(write_quorum);
+  const Timestamp resolved = ResolveTimestamp(ts);
+  const SessionId session = session_;
+  SendToCoordinator([table, key, mutation, resolved, quorum, session,
+                     reply = std::move(reply)](Server& server) mutable {
+    server.HandleClientPut(table, key, mutation, resolved, quorum, session,
+                           std::move(reply));
+  });
+}
+
+void Client::Delete(const std::string& table, const Key& key,
+                    std::vector<ColumnName> columns,
+                    std::function<void(Status)> callback, int write_quorum,
+                    Timestamp ts) {
+  Mutation mutation;
+  for (ColumnName& col : columns) {
+    mutation.emplace(std::move(col), std::nullopt);
+  }
+  Put(table, key, mutation, std::move(callback), write_quorum, ts);
+}
+
+void Client::ViewGet(
+    const std::string& view, const Key& view_key,
+    std::vector<ColumnName> columns,
+    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
+    int read_quorum) {
+  auto reply = ReturnToClient<StatusOr<std::vector<ViewRecord>>>(
+      std::move(callback), &cluster_->metrics().view_get_latency);
+  const int quorum = ReadQuorum(read_quorum);
+  const SessionId session = session_;
+  SendToCoordinator([view, view_key, columns = std::move(columns), quorum,
+                     session, reply = std::move(reply)](Server& server) mutable {
+    server.HandleClientViewGet(view, view_key, std::move(columns), quorum,
+                               session, std::move(reply));
+  });
+}
+
+void Client::IndexGet(
+    const std::string& table, const ColumnName& column, const Value& value,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  auto reply = ReturnToClient<StatusOr<std::vector<storage::KeyedRow>>>(
+      std::move(callback), &cluster_->metrics().index_get_latency);
+  SendToCoordinator([table, column, value,
+                     reply = std::move(reply)](Server& server) mutable {
+    server.HandleClientIndexGet(table, column, value, std::move(reply));
+  });
+}
+
+namespace {
+
+// Drives the simulation until the optional holds a value.
+template <typename T>
+T Await(sim::Simulation& sim, std::optional<T>& slot) {
+  while (!slot.has_value() && sim.Step()) {
+  }
+  MVSTORE_CHECK(slot.has_value())
+      << "simulation ran dry before the operation completed";
+  return *std::move(slot);
+}
+
+}  // namespace
+
+StatusOr<storage::Row> Client::GetSync(const std::string& table,
+                                       const Key& key,
+                                       std::vector<ColumnName> columns,
+                                       int read_quorum) {
+  std::optional<StatusOr<storage::Row>> slot;
+  Get(table, key, std::move(columns),
+      [&slot](StatusOr<storage::Row> result) { slot = std::move(result); },
+      read_quorum);
+  return Await(cluster_->simulation(), slot);
+}
+
+Status Client::PutSync(const std::string& table, const Key& key,
+                       const Mutation& mutation, int write_quorum,
+                       Timestamp ts) {
+  std::optional<Status> slot;
+  Put(table, key, mutation, [&slot](Status status) { slot = status; },
+      write_quorum, ts);
+  return Await(cluster_->simulation(), slot);
+}
+
+Status Client::DeleteSync(const std::string& table, const Key& key,
+                          std::vector<ColumnName> columns, int write_quorum,
+                          Timestamp ts) {
+  std::optional<Status> slot;
+  Delete(table, key, std::move(columns),
+         [&slot](Status status) { slot = status; }, write_quorum, ts);
+  return Await(cluster_->simulation(), slot);
+}
+
+StatusOr<std::vector<ViewRecord>> Client::ViewGetSync(
+    const std::string& view, const Key& view_key,
+    std::vector<ColumnName> columns, int read_quorum) {
+  std::optional<StatusOr<std::vector<ViewRecord>>> slot;
+  ViewGet(view, view_key, std::move(columns),
+          [&slot](StatusOr<std::vector<ViewRecord>> result) {
+            slot = std::move(result);
+          },
+          read_quorum);
+  return Await(cluster_->simulation(), slot);
+}
+
+StatusOr<std::vector<storage::KeyedRow>> Client::IndexGetSync(
+    const std::string& table, const ColumnName& column, const Value& value) {
+  std::optional<StatusOr<std::vector<storage::KeyedRow>>> slot;
+  IndexGet(table, column, value,
+           [&slot](StatusOr<std::vector<storage::KeyedRow>> result) {
+             slot = std::move(result);
+           });
+  return Await(cluster_->simulation(), slot);
+}
+
+}  // namespace mvstore::store

@@ -1,0 +1,132 @@
+// Application client handle.
+//
+// A Client models an application process on the (simulated) client host: it
+// talks to one coordinator server over the network, exactly as in the
+// paper's experiments ("an application client connects to any server in the
+// system; that server acts as the coordinator"). Operations are
+// asynchronous; *Sync convenience wrappers drive the simulation until the
+// operation completes (tests and examples only — workloads use the async
+// API so many clients can run concurrently).
+
+#ifndef MVSTORE_STORE_CLIENT_H_
+#define MVSTORE_STORE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/statusor.h"
+#include "common/types.h"
+#include "storage/row.h"
+#include "store/hooks.h"
+#include "store/server.h"
+
+namespace mvstore::store {
+
+class Cluster;
+
+/// Client-generated timestamps live above this epoch, so that bootstrap-
+/// loaded data (whose timestamps must be below it; Cluster::BootstrapLoadRow
+/// enforces this) always loses LWW against live updates.
+inline constexpr Timestamp kClientTimestampEpoch = Seconds(1000);
+
+class Client {
+ public:
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  ServerId coordinator() const { return coordinator_; }
+
+  /// Monotonically increasing per-client timestamp: epoch + simulated
+  /// microsecond clock, bumped to stay strictly increasing. Distinct clients
+  /// can collide — the store's LWW tie-break handles that, as in the modeled
+  /// systems.
+  Timestamp NextTimestamp();
+
+  /// Starts a session (Section V). Subsequent Puts and view Gets carry the
+  /// session until EndSession; with `session_guarantees` enabled, view Gets
+  /// then block until the session's own updates have propagated.
+  void BeginSession();
+  void EndSession() { session_ = 0; }
+  SessionId session() const { return session_; }
+
+  /// Client-side request deadline: if no reply arrives in time (e.g. the
+  /// coordinator is down), the callback fires with kTimedOut. 0 disables
+  /// (the default — a request into a dead coordinator then hangs forever,
+  /// as in the modeled system's raw transport).
+  void set_request_timeout(SimTime timeout) { request_timeout_ = timeout; }
+  SimTime request_timeout() const { return request_timeout_; }
+
+  // --- asynchronous operations (quorum < 0 uses the config default) ---
+
+  void Get(const std::string& table, const Key& key,
+           std::vector<ColumnName> columns,
+           std::function<void(StatusOr<storage::Row>)> callback,
+           int read_quorum = -1);
+
+  void Put(const std::string& table, const Key& key, const Mutation& mutation,
+           std::function<void(Status)> callback, int write_quorum = -1,
+           Timestamp ts = kNullTimestamp);
+
+  /// Deletes cells (Put of NULLs, stored as tombstones).
+  void Delete(const std::string& table, const Key& key,
+              std::vector<ColumnName> columns,
+              std::function<void(Status)> callback, int write_quorum = -1,
+              Timestamp ts = kNullTimestamp);
+
+  void ViewGet(const std::string& view, const Key& view_key,
+               std::vector<ColumnName> columns,
+               std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
+               int read_quorum = -1);
+
+  void IndexGet(
+      const std::string& table, const ColumnName& column, const Value& value,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
+  // --- synchronous wrappers (drive the simulation until completion) ---
+
+  StatusOr<storage::Row> GetSync(const std::string& table, const Key& key,
+                                 std::vector<ColumnName> columns = {},
+                                 int read_quorum = -1);
+  Status PutSync(const std::string& table, const Key& key,
+                 const Mutation& mutation, int write_quorum = -1,
+                 Timestamp ts = kNullTimestamp);
+  Status DeleteSync(const std::string& table, const Key& key,
+                    std::vector<ColumnName> columns, int write_quorum = -1,
+                    Timestamp ts = kNullTimestamp);
+  StatusOr<std::vector<ViewRecord>> ViewGetSync(
+      const std::string& view, const Key& view_key,
+      std::vector<ColumnName> columns = {}, int read_quorum = -1);
+  StatusOr<std::vector<storage::KeyedRow>> IndexGetSync(
+      const std::string& table, const ColumnName& column, const Value& value);
+
+ private:
+  friend class Cluster;
+  Client(Cluster* cluster, ServerId coordinator, std::uint64_t id);
+
+  int ReadQuorum(int requested) const;
+  int WriteQuorum(int requested) const;
+  Timestamp ResolveTimestamp(Timestamp ts);
+
+  /// Ships `fn` to the coordinator over the network; `fn` runs there.
+  void SendToCoordinator(std::function<void(Server&)> fn);
+
+  /// Wraps a result callback so it is delivered back at the client host
+  /// (adds the return network hop) and records latency into `latency`.
+  template <typename ResultT>
+  std::function<void(ResultT)> ReturnToClient(
+      std::function<void(ResultT)> callback, Histogram* latency);
+
+  Cluster* cluster_;
+  ServerId coordinator_;
+  std::uint64_t id_;
+  SessionId session_ = 0;
+  Timestamp last_ts_ = 0;
+  SimTime request_timeout_ = 0;
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_CLIENT_H_

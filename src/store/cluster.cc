@@ -1,0 +1,130 @@
+#include "store/cluster.h"
+
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "store/client.h"
+#include "store/codec.h"
+
+namespace mvstore::store {
+
+Cluster::Cluster(ClusterConfig config, Schema schema)
+    : config_(config),
+      schema_(std::move(schema)),
+      rng_(HashCombine(config.seed, 0x434C5553 /*"CLUS"*/)),
+      ring_(config.num_servers, config.vnodes_per_server, config.seed) {
+  network_ =
+      std::make_unique<sim::Network>(&sim_, rng_.Fork(), config_.network);
+  servers_.reserve(static_cast<std::size_t>(config_.num_servers));
+  for (ServerId id = 0; id < static_cast<ServerId>(config_.num_servers);
+       ++id) {
+    servers_.push_back(std::make_unique<Server>(
+        id, &sim_, network_.get(), &schema_, &ring_, &config_, &metrics_));
+  }
+  server_ptrs_.reserve(servers_.size());
+  for (const auto& server : servers_) server_ptrs_.push_back(server.get());
+  for (const auto& server : servers_) server->set_peers(&server_ptrs_);
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::set_view_hook(ViewMaintenanceHook* hook) {
+  for (const auto& server : servers_) server->set_view_hook(hook);
+}
+
+void Cluster::Start() {
+  for (const auto& server : servers_) server->Start();
+}
+
+std::unique_ptr<Client> Cluster::NewClient() {
+  return NewClient(
+      static_cast<ServerId>(next_client_ % servers_.size()));
+}
+
+std::unique_ptr<Client> Cluster::NewClient(ServerId coordinator) {
+  MVSTORE_CHECK_LT(coordinator, servers_.size());
+  return std::unique_ptr<Client>(new Client(this, coordinator, ++next_client_));
+}
+
+void Cluster::BootstrapLoadRow(const std::string& table, const Key& key,
+                               const Mutation& mutation, Timestamp ts) {
+  const TableDef* def = schema_.GetTable(table);
+  MVSTORE_CHECK(def != nullptr) << "bootstrap into unknown table " << table;
+  MVSTORE_CHECK(!def->is_view_backing) << "bootstrap base tables only";
+  MVSTORE_CHECK_LT(ts, kClientTimestampEpoch)
+      << "bootstrap timestamps must stay below the client epoch";
+
+  storage::Row cells;
+  for (const auto& [col, value] : mutation) {
+    cells.Apply(col, value ? storage::Cell::Live(*value, ts)
+                           : storage::Cell::Tombstone(ts));
+  }
+  for (ServerId replica : servers_[0]->ReplicasOf(table, key)) {
+    servers_[replica]->LocalApply(table, key, cells);
+  }
+
+  // Populate each view per Definition 1, mirroring exactly what the
+  // propagation engine would produce: a live row under the view-key value
+  // when one exists (with a __ds hidden marker when the selection predicate
+  // fails), or the hidden sentinel ANCHOR row when the row has no view key —
+  // so that every bootstrapped row family is anchored and later update
+  // propagations can always find it.
+  for (const ViewDef* view : schema_.ViewsOn(table)) {
+    auto view_key_cell = cells.Get(view->view_key_column);
+    Key view_key;
+    Timestamp ts_key;
+    if (view_key_cell && !view_key_cell->tombstone) {
+      MVSTORE_CHECK(view_key_cell->value.empty() ||
+                    view_key_cell->value[0] != kSentinelPrefix)
+          << "view key values must not start with the reserved 0x03 byte";
+      view_key = view_key_cell->value;
+      ts_key = view_key_cell->ts;
+    } else {
+      view_key = DeletedSentinelViewKey(key);
+      ts_key = view_key_cell ? view_key_cell->ts : kNullTimestamp + 1;
+    }
+    const Key row_key = ComposeViewRowKey(view_key, key);
+    storage::Row view_cells;
+    view_cells.Apply(kViewBaseKeyColumn, storage::Cell::Live(key, ts_key));
+    view_cells.Apply(kViewNextColumn, storage::Cell::Live(view_key, ts_key));
+    view_cells.Apply(kViewInitColumn, storage::Cell::Live("1", ts_key));
+    for (const ColumnName& col : view->materialized_columns) {
+      if (auto cell = cells.Get(col)) view_cells.Apply(col, *cell);
+    }
+    if (view->selection.has_value()) {
+      auto selected = cells.Get(view->selection->column);
+      const bool pass = selected && !selected->tombstone &&
+                        selected->value == view->selection->equals;
+      const Timestamp ts_sel = selected ? selected->ts : ts_key;
+      view_cells.Apply(kViewSelectionColumn,
+                       pass ? storage::Cell::Tombstone(ts_sel)
+                            : storage::Cell::Live("1", ts_sel));
+    }
+    for (ServerId replica : servers_[0]->ReplicasOf(view->name, row_key)) {
+      servers_[replica]->LocalApply(view->name, row_key, view_cells);
+    }
+
+    // Every row family's chain originates at the sentinel anchor — an
+    // invariant the propagation engine relies on when all of an update's
+    // collected pre-images were lost: chasing from the sentinel always
+    // reaches the live row. When the view key exists, the anchor is a
+    // STALE row pointing at the initial live key (created live above in
+    // the key-less case).
+    if (!IsSentinelViewKey(view_key)) {
+      const Key anchor_key = DeletedSentinelViewKey(key);
+      storage::Row anchor;
+      anchor.Apply(kViewBaseKeyColumn,
+                   storage::Cell::Live(key, kNullTimestamp + 1));
+      anchor.Apply(kViewNextColumn,
+                   storage::Cell::Live(view_key, kNullTimestamp + 1));
+      const Key anchor_row = ComposeViewRowKey(anchor_key, key);
+      for (ServerId replica :
+           servers_[0]->ReplicasOf(view->name, anchor_row)) {
+        servers_[replica]->LocalApply(view->name, anchor_row, anchor);
+      }
+    }
+  }
+}
+
+}  // namespace mvstore::store

@@ -1,0 +1,113 @@
+// Cluster assembly: wires the simulation, network, ring, and servers
+// together, and owns the cluster-wide schema, config, and metrics.
+//
+// Typical usage (see examples/quickstart.cc):
+//
+//   store::Schema schema;
+//   schema.CreateTable({.name = "ticket"});
+//   schema.CreateView({.name = "assigned_to", .base_table = "ticket",
+//                      .view_key_column = "assignee",
+//                      .materialized_columns = {"status"}});
+//   store::Cluster cluster(config, std::move(schema));
+//   view::MaintenanceEngine views(&cluster);   // installs itself as the hook
+//   cluster.Start();
+//   auto client = cluster.NewClient();
+//   ...
+
+#ifndef MVSTORE_STORE_CLUSTER_H_
+#define MVSTORE_STORE_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+#include "store/config.h"
+#include "store/hooks.h"
+#include "store/metrics.h"
+#include "store/ring.h"
+#include "store/schema.h"
+#include "store/server.h"
+
+namespace mvstore::store {
+
+class Client;
+
+class Cluster {
+ public:
+  /// The schema must be complete before construction (views and indexes are
+  /// cluster metadata, not online DDL).
+  Cluster(ClusterConfig config, Schema schema);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Simulation& simulation() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const Schema& schema() const { return schema_; }
+  const ClusterConfig& config() const { return config_; }
+  Metrics& metrics() { return metrics_; }
+  const Ring& ring() const { return ring_; }
+
+  int num_servers() const { return config_.num_servers; }
+  Server& server(ServerId id) { return *servers_[id]; }
+  const std::vector<std::unique_ptr<Server>>& servers() const {
+    return servers_;
+  }
+
+  /// Endpoint ids beyond the servers.
+  sim::EndpointId client_endpoint() const {
+    return static_cast<sim::EndpointId>(config_.num_servers);
+  }
+  sim::EndpointId lock_service_endpoint() const {
+    return static_cast<sim::EndpointId>(config_.num_servers + 1);
+  }
+
+  /// Installs the view-maintenance engine on every server.
+  void set_view_hook(ViewMaintenanceHook* hook);
+
+  /// Starts background tasks (anti-entropy, if configured).
+  void Start();
+
+  /// Creates a client attached to the given coordinator (round-robin by
+  /// client id when omitted).
+  std::unique_ptr<Client> NewClient();
+  std::unique_ptr<Client> NewClient(ServerId coordinator);
+
+  /// Allocates a session id (Section V).
+  SessionId NewSession() { return ++next_session_; }
+
+  /// Loads a row directly into every replica — and, per Definition 1, into
+  /// every view and index — in zero simulated time. This builds the initial
+  /// states B0/V0 the paper's experiments start from; it must only be used
+  /// before the workload runs, and at most once per key.
+  void BootstrapLoadRow(const std::string& table, const Key& key,
+                        const Mutation& mutation, Timestamp ts);
+
+  /// Convenience: run the simulation.
+  void RunFor(SimTime dt) { sim_.RunFor(dt); }
+  SimTime Now() const { return sim_.Now(); }
+
+  /// Deterministic per-purpose RNG streams derived from the config seed.
+  Rng ForkRng() { return rng_.Fork(); }
+
+ private:
+  ClusterConfig config_;
+  Schema schema_;
+  Metrics metrics_;
+  sim::Simulation sim_;
+  Rng rng_;
+  std::unique_ptr<sim::Network> network_;
+  Ring ring_;
+  std::vector<std::unique_ptr<Server>> servers_;
+  std::vector<Server*> server_ptrs_;
+  SessionId next_session_ = 0;
+  std::uint64_t next_client_ = 0;
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_CLUSTER_H_

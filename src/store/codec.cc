@@ -1,0 +1,98 @@
+#include "store/codec.h"
+
+namespace mvstore::store {
+
+std::string EscapeComponent(const std::string& component) {
+  std::string out;
+  out.reserve(component.size());
+  for (char c : component) {
+    if (c == kComponentSeparator) {
+      out.push_back(kEscape);
+      out.push_back('s');
+    } else if (c == kEscape) {
+      out.push_back(kEscape);
+      out.push_back('e');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Key DeletedSentinelViewKey(const Key& base_key) {
+  Key out;
+  out.push_back(kSentinelPrefix);
+  out += base_key;
+  return out;
+}
+
+bool IsSentinelViewKey(const Key& view_key) {
+  return !view_key.empty() && view_key[0] == kSentinelPrefix;
+}
+
+std::optional<std::string> UnescapeComponent(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (std::size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c == kComponentSeparator) return std::nullopt;
+    if (c == kEscape) {
+      if (i + 1 >= escaped.size()) return std::nullopt;
+      const char next = escaped[++i];
+      if (next == 's') {
+        out.push_back(kComponentSeparator);
+      } else if (next == 'e') {
+        out.push_back(kEscape);
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Key ComposeViewRowKey(const Key& view_key, const Key& base_key) {
+  Key out = EscapeComponent(view_key);
+  out.push_back(kComponentSeparator);
+  out += EscapeComponent(base_key);
+  return out;
+}
+
+Key ViewPartitionPrefix(const Key& view_key) {
+  Key out = EscapeComponent(view_key);
+  out.push_back(kComponentSeparator);
+  return out;
+}
+
+std::optional<std::pair<Key, Key>> SplitViewRowKey(const Key& key) {
+  // Find the (only unescaped) separator.
+  std::size_t sep = std::string::npos;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    if (key[i] == kEscape) {
+      ++i;  // skip escaped byte
+    } else if (key[i] == kComponentSeparator) {
+      sep = i;
+      break;
+    }
+  }
+  if (sep == std::string::npos) return std::nullopt;
+  auto view_key = UnescapeComponent(key.substr(0, sep));
+  auto base_key = UnescapeComponent(key.substr(sep + 1));
+  if (!view_key || !base_key) return std::nullopt;
+  return std::make_pair(std::move(*view_key), std::move(*base_key));
+}
+
+Key PartitionPrefixOf(const Key& composed_key) {
+  for (std::size_t i = 0; i < composed_key.size(); ++i) {
+    if (composed_key[i] == kEscape) {
+      ++i;
+    } else if (composed_key[i] == kComponentSeparator) {
+      return composed_key.substr(0, i + 1);
+    }
+  }
+  return composed_key;
+}
+
+}  // namespace mvstore::store

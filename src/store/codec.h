@@ -1,0 +1,74 @@
+// Composite key encoding for view tables.
+//
+// A view row is identified by (view key, base key) — Definition 1 allows
+// several view rows per view key, distinguished by the base key. The backing
+// table stores each view row under one flat key:
+//
+//   Compose(kv, kB) = Escape(kv) + SEP + Escape(kB)
+//
+// with SEP escaped inside components, so that
+//   * encoding is injective,
+//   * lexicographic order groups all rows of one view key contiguously, and
+//   * PartitionPrefix(kv) = Escape(kv) + SEP is a scan prefix that matches
+//     exactly the rows with that view key (no accidental prefix collisions).
+//
+// Record placement for composite-key tables hashes only the partition prefix,
+// so every row of a view key lands on the same replica set — a view read is
+// a single-partition operation, which is the entire point of materialized
+// views (Section I).
+
+#ifndef MVSTORE_STORE_CODEC_H_
+#define MVSTORE_STORE_CODEC_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/types.h"
+
+namespace mvstore::store {
+
+/// Separator and escape bytes (chosen to be rare in textual keys; arbitrary
+/// binary keys are still handled correctly by escaping).
+inline constexpr char kComponentSeparator = '\x01';
+inline constexpr char kEscape = '\x02';
+
+/// Reserved first byte of *deleted-row sentinel* view keys. When a base
+/// row's view key is deleted, the deletion propagates as a view-key change
+/// to the sentinel key for that base row: the versioned view keeps a hidden
+/// live row there, so stale chains stay intact and a later re-assignment can
+/// still find — and copy data from — the row. User view-key values must not
+/// start with this byte (writes are rejected).
+inline constexpr char kSentinelPrefix = '\x03';
+
+/// The sentinel view key for `base_key` (unique per base row, so sentinel
+/// rows spread over the ring like any other partition).
+Key DeletedSentinelViewKey(const Key& base_key);
+
+/// True for sentinel view keys (hidden from all reads).
+bool IsSentinelViewKey(const Key& view_key);
+
+/// Escapes one key component.
+std::string EscapeComponent(const std::string& component);
+
+/// Inverse of EscapeComponent; nullopt on malformed input.
+std::optional<std::string> UnescapeComponent(const std::string& escaped);
+
+/// Flat storage key for the view row (view_key, base_key).
+Key ComposeViewRowKey(const Key& view_key, const Key& base_key);
+
+/// Scan prefix matching exactly the rows with this view key.
+Key ViewPartitionPrefix(const Key& view_key);
+
+/// Splits a composed key back into (view_key, base_key); nullopt if `key` is
+/// not a well-formed composite.
+std::optional<std::pair<Key, Key>> SplitViewRowKey(const Key& key);
+
+/// The partition component of a key in a composite-key table (everything up
+/// to and including the separator). For non-composite tables callers use the
+/// whole key.
+Key PartitionPrefixOf(const Key& composed_key);
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_CODEC_H_

@@ -1,0 +1,73 @@
+// Interface between the record store and the view-maintenance engine.
+//
+// The store's coordinator (src/store/server.*) knows WHEN maintenance is
+// needed — a base-table Put touched a view key or a view-materialized column
+// — and collects the pre-update view-key versions from the base row's
+// replicas (Algorithm 1, line 2). The maintenance engine (src/view/*) knows
+// HOW to propagate (Algorithms 2 and 3). This interface is the seam.
+
+#ifndef MVSTORE_STORE_HOOKS_H_
+#define MVSTORE_STORE_HOOKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/types.h"
+#include "storage/cell.h"
+#include "storage/row.h"
+#include "store/schema.h"
+
+namespace mvstore::store {
+
+class Server;
+
+/// Identifies a client session (Section V). 0 = no session.
+using SessionId = std::uint64_t;
+
+/// One record returned by a view Get: the base key that produced the view
+/// row plus the requested materialized cells.
+struct ViewRecord {
+  Key base_key;
+  storage::Row cells;
+};
+
+/// Pre-update view-key versions collected for one affected view.
+struct CollectedViewKeys {
+  const ViewDef* view;
+  /// Distinct versions of the view-key column observed across the base
+  /// row's replicas before the update applied. Null cells (replica had no
+  /// value) appear as default-constructed Cells with kNullTimestamp.
+  std::vector<storage::Cell> old_keys;
+  /// True when every replica answered the collection (see
+  /// PropagationTask::full_collection).
+  bool full_collection = false;
+};
+
+class ViewMaintenanceHook {
+ public:
+  virtual ~ViewMaintenanceHook() = default;
+
+  /// Called on the coordinating server after a base-table Put has been
+  /// acknowledged to the client AND the pre-update view keys have been
+  /// collected from all reachable replicas. `written` holds exactly the
+  /// cells the Put applied (with their timestamps). The hook schedules the
+  /// asynchronous propagation (Algorithm 1, lines 5-7).
+  virtual void OnBasePutCommitted(Server* coordinator, const Key& base_key,
+                                  const storage::Row& written,
+                                  std::vector<CollectedViewKeys> views,
+                                  SessionId session) = 0;
+
+  /// Serves a client Get on a view (Algorithm 4), honoring the session
+  /// guarantee (Definition 4) when `session` != 0.
+  virtual void HandleViewGet(
+      Server* coordinator, const ViewDef& view, const Key& view_key,
+      std::vector<ColumnName> columns, int read_quorum, SessionId session,
+      std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) = 0;
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_HOOKS_H_

@@ -1,0 +1,57 @@
+#include "store/ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace mvstore::store {
+
+Ring::Ring(int num_servers, int vnodes_per_server, std::uint64_t seed)
+    : num_servers_(num_servers) {
+  MVSTORE_CHECK_GT(num_servers, 0);
+  MVSTORE_CHECK_GT(vnodes_per_server, 0);
+  Rng rng(HashCombine(seed, 0x52494E47 /*"RING"*/));
+  vnodes_.reserve(static_cast<std::size_t>(num_servers) * vnodes_per_server);
+  for (ServerId s = 0; s < static_cast<ServerId>(num_servers); ++s) {
+    for (int v = 0; v < vnodes_per_server; ++v) {
+      vnodes_.push_back(VNode{rng.Next(), s});
+    }
+  }
+  std::sort(vnodes_.begin(), vnodes_.end(),
+            [](const VNode& a, const VNode& b) {
+              if (a.token != b.token) return a.token < b.token;
+              return a.server < b.server;
+            });
+}
+
+std::vector<ServerId> Ring::ReplicasFor(const Key& partition_key,
+                                        int n) const {
+  MVSTORE_CHECK_LE(n, num_servers_);
+  const std::uint64_t token = Hash64(partition_key);
+  auto it = std::lower_bound(
+      vnodes_.begin(), vnodes_.end(), token,
+      [](const VNode& v, std::uint64_t t) { return v.token < t; });
+  std::vector<ServerId> replicas;
+  replicas.reserve(static_cast<std::size_t>(n));
+  std::vector<bool> used(static_cast<std::size_t>(num_servers_), false);
+  for (std::size_t walked = 0;
+       walked < vnodes_.size() && replicas.size() < static_cast<std::size_t>(n);
+       ++walked) {
+    if (it == vnodes_.end()) it = vnodes_.begin();
+    if (!used[it->server]) {
+      used[it->server] = true;
+      replicas.push_back(it->server);
+    }
+    ++it;
+  }
+  MVSTORE_CHECK_EQ(replicas.size(), static_cast<std::size_t>(n));
+  return replicas;
+}
+
+ServerId Ring::PrimaryFor(const Key& partition_key) const {
+  return ReplicasFor(partition_key, 1)[0];
+}
+
+}  // namespace mvstore::store

@@ -1,0 +1,46 @@
+// Consistent-hash ring for record placement.
+//
+// Each server contributes `vnodes_per_server` virtual nodes at pseudo-random
+// tokens; a partition key hashes to a token and its N replicas are the next
+// N DISTINCT servers clockwise. This is the Dynamo/Cassandra placement the
+// paper assumes ("placement of a record's copies is determined by its key
+// value"); the exact policy is orthogonal to view maintenance, but a real
+// ring gives realistic per-server load spread for the throughput figures.
+
+#ifndef MVSTORE_STORE_RING_H_
+#define MVSTORE_STORE_RING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mvstore::store {
+
+class Ring {
+ public:
+  /// Builds the ring deterministically from the seed.
+  Ring(int num_servers, int vnodes_per_server, std::uint64_t seed);
+
+  /// The `n` distinct servers responsible for `partition_key`, in preference
+  /// order. Requires n <= num_servers.
+  std::vector<ServerId> ReplicasFor(const Key& partition_key, int n) const;
+
+  /// First replica (used to pick dedicated propagators).
+  ServerId PrimaryFor(const Key& partition_key) const;
+
+  int num_servers() const { return num_servers_; }
+
+ private:
+  struct VNode {
+    std::uint64_t token;
+    ServerId server;
+  };
+
+  int num_servers_;
+  std::vector<VNode> vnodes_;  // sorted by token
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_RING_H_

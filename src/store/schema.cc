@@ -1,0 +1,131 @@
+#include "store/schema.h"
+
+#include <algorithm>
+
+namespace mvstore::store {
+
+bool ViewDef::Affects(const ColumnName& column) const {
+  return column == view_key_column || IsMaterialized(column);
+}
+
+bool ViewDef::IsMaterialized(const ColumnName& column) const {
+  return std::find(materialized_columns.begin(), materialized_columns.end(),
+                   column) != materialized_columns.end();
+}
+
+Status Schema::CreateTable(TableDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("table name must not be empty");
+  }
+  if (tables_.count(def.name) != 0) {
+    return Status::AlreadyExists("table '" + def.name + "' already exists");
+  }
+  tables_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+Status Schema::CreateIndex(IndexDef def) {
+  const TableDef* table = GetTable(def.table);
+  if (table == nullptr) {
+    return Status::NotFound("no table '" + def.table + "' to index");
+  }
+  if (table->is_view_backing) {
+    return Status::InvalidArgument("cannot index a view");
+  }
+  if (FindIndex(def.table, def.column) != nullptr) {
+    return Status::AlreadyExists("index on " + def.table + "." + def.column +
+                                 " already exists");
+  }
+  indexes_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status Schema::CreateView(ViewDef def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  const TableDef* base = GetTable(def.base_table);
+  if (base == nullptr) {
+    return Status::NotFound("no base table '" + def.base_table + "'");
+  }
+  if (base->is_view_backing) {
+    return Status::InvalidArgument("views on views are not supported");
+  }
+  if (views_.count(def.name) != 0 || tables_.count(def.name) != 0) {
+    return Status::AlreadyExists("name '" + def.name + "' already in use");
+  }
+  if (def.view_key_column.empty()) {
+    return Status::InvalidArgument("view must name a view-key column");
+  }
+  auto reserved = [](const ColumnName& col) {
+    return col.rfind("__", 0) == 0;
+  };
+  if (reserved(def.view_key_column)) {
+    return Status::InvalidArgument("column names starting with __ are reserved");
+  }
+  for (const ColumnName& col : def.materialized_columns) {
+    if (reserved(col)) {
+      return Status::InvalidArgument(
+          "column names starting with __ are reserved");
+    }
+  }
+  if (def.IsMaterialized(def.view_key_column)) {
+    return Status::InvalidArgument(
+        "the view-key column is implicit; do not also materialize it");
+  }
+  if (def.selection.has_value() && !def.Affects(def.selection->column)) {
+    return Status::InvalidArgument(
+        "selection column must be the view key or a materialized column");
+  }
+  // The backing table that stores the (versioned) view rows.
+  TableDef backing;
+  backing.name = def.name;
+  backing.composite_keys = true;
+  backing.is_view_backing = true;
+  tables_.emplace(backing.name, std::move(backing));
+  views_.emplace(def.name, std::move(def));
+  return Status::OK();
+}
+
+const TableDef* Schema::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+const ViewDef* Schema::GetView(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<IndexDef> Schema::IndexesOn(const std::string& table) const {
+  std::vector<IndexDef> result;
+  for (const auto& index : indexes_) {
+    if (index.table == table) result.push_back(index);
+  }
+  return result;
+}
+
+const IndexDef* Schema::FindIndex(const std::string& table,
+                                  const ColumnName& column) const {
+  for (const auto& index : indexes_) {
+    if (index.table == table && index.column == column) return &index;
+  }
+  return nullptr;
+}
+
+std::vector<const ViewDef*> Schema::ViewsOn(const std::string& table) const {
+  std::vector<const ViewDef*> result;
+  for (const auto& [name, view] : views_) {
+    if (view.base_table == table) result.push_back(&view);
+  }
+  return result;
+}
+
+std::vector<std::string> Schema::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, def] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mvstore::store

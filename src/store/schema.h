@@ -1,0 +1,97 @@
+// Catalog: tables, native secondary indexes, and view definitions.
+//
+// The schema is static cluster metadata shared by all servers (the paper
+// does not study online DDL; views are "defined" before the workload runs).
+// View *definitions* live here because the store's coordinator must know,
+// for every base-table Put, which views are affected and which columns are
+// view keys; the maintenance *algorithms* live in src/view/.
+
+#ifndef MVSTORE_STORE_SCHEMA_H_
+#define MVSTORE_STORE_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace mvstore::store {
+
+// Bookkeeping columns of versioned-view rows (Definition 3 plus the
+// concurrency additions of Section IV-F). Application columns never clash
+// with these names because of the "__" prefix, which CreateView rejects in
+// user column names.
+inline constexpr char kViewBaseKeyColumn[] = "__B";  ///< Definition 3's B
+inline constexpr char kViewNextColumn[] = "__next";  ///< stale-chain pointer
+inline constexpr char kViewInitColumn[] = "__init";  ///< accessibility marker
+inline constexpr char kViewSelectionColumn[] = "__ds";    ///< selection failed
+
+struct TableDef {
+  std::string name;
+  /// Composite-key tables (view backing tables) are partitioned by the first
+  /// key component instead of the whole key (see store/codec.h).
+  bool composite_keys = false;
+  /// True for view backing tables: client Puts are rejected (views are not
+  /// updateable, Section III) and client Gets go through the view read path.
+  bool is_view_backing = false;
+};
+
+struct IndexDef {
+  std::string table;
+  ColumnName column;
+};
+
+/// Optional relational selection on a view (the extension Section III calls
+/// easy): a base row contributes to the view only while `column == equals`.
+/// `column` must be the view-key column or a view-materialized column, so
+/// that every propagated update carries enough information to decide
+/// membership.
+struct SelectionDef {
+  ColumnName column;
+  Value equals;
+};
+
+/// Definition 1: a view over `base_table`, keyed by the value of
+/// `view_key_column`, carrying `materialized_columns` copies.
+struct ViewDef {
+  std::string name;  // also the backing table's name
+  std::string base_table;
+  ColumnName view_key_column;
+  std::vector<ColumnName> materialized_columns;
+  std::optional<SelectionDef> selection;
+
+  /// True if a Put touching `column` requires maintenance of this view.
+  bool Affects(const ColumnName& column) const;
+  bool IsMaterialized(const ColumnName& column) const;
+};
+
+class Schema {
+ public:
+  Status CreateTable(TableDef def);
+  Status CreateIndex(IndexDef def);
+  Status CreateView(ViewDef def);
+
+  const TableDef* GetTable(const std::string& name) const;
+  const ViewDef* GetView(const std::string& name) const;
+
+  /// Indexes defined on `table` (native secondary indexes).
+  std::vector<IndexDef> IndexesOn(const std::string& table) const;
+  const IndexDef* FindIndex(const std::string& table,
+                            const ColumnName& column) const;
+
+  /// Views whose base table is `table`.
+  std::vector<const ViewDef*> ViewsOn(const std::string& table) const;
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::map<std::string, TableDef> tables_;
+  std::vector<IndexDef> indexes_;
+  std::map<std::string, ViewDef> views_;
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_SCHEMA_H_

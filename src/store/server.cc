@@ -1,0 +1,1017 @@
+#include "store/server.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "store/codec.h"
+
+namespace mvstore::store {
+
+Server::Server(ServerId id, sim::Simulation* sim, sim::Network* network,
+               const Schema* schema, const Ring* ring,
+               const ClusterConfig* config, Metrics* metrics)
+    : id_(id),
+      sim_(sim),
+      network_(network),
+      schema_(schema),
+      ring_(ring),
+      config_(config),
+      metrics_(metrics),
+      queue_(sim, config->cores_per_server) {
+  // One local index fragment per index definition in the schema.
+  for (const std::string& table : schema_->TableNames()) {
+    for (const IndexDef& def : schema_->IndexesOn(table)) {
+      indexes_.push_back(
+          std::make_unique<index::LocalIndex>(def.table, def.column));
+    }
+  }
+}
+
+storage::Engine& Server::EngineFor(const std::string& table) {
+  auto it = engines_.find(table);
+  if (it == engines_.end()) {
+    it = engines_
+             .emplace(table,
+                      std::make_unique<storage::Engine>(config_->engine))
+             .first;
+  }
+  return *it->second;
+}
+
+Key Server::PartitionKeyFor(const std::string& table, const Key& key) const {
+  const TableDef* def = schema_->GetTable(table);
+  if (def != nullptr && def->composite_keys) {
+    return PartitionPrefixOf(key);
+  }
+  return key;
+}
+
+std::vector<ServerId> Server::ReplicasOf(const std::string& table,
+                                         const Key& key) const {
+  return ring_->ReplicasFor(PartitionKeyFor(table, key),
+                            config_->replication_factor);
+}
+
+// ---------------------------------------------------------------------------
+// Local replica handlers.
+// ---------------------------------------------------------------------------
+
+storage::Row Server::LocalRead(const std::string& table, const Key& key,
+                               const std::vector<ColumnName>& columns) {
+  metrics_->replica_reads++;
+  storage::Engine& engine = EngineFor(table);
+  storage::Row result;
+  if (columns.empty()) {
+    if (auto row = engine.GetRow(key)) result = *std::move(row);
+    return result;
+  }
+  for (const ColumnName& col : columns) {
+    if (auto cell = engine.GetCell(key, col)) {
+      result.Apply(col, *cell);
+    }
+  }
+  return result;
+}
+
+void Server::LocalApply(const std::string& table, const Key& key,
+                        const storage::Row& cells) {
+  metrics_->replica_writes++;
+  storage::Engine& engine = EngineFor(table);
+
+  // Snapshot indexed-column values before the merge so the local index
+  // fragments can be maintained synchronously (Cassandra-style).
+  std::vector<std::pair<index::LocalIndex*, std::optional<Value>>> touched;
+  for (const auto& index : indexes_) {
+    if (index->table() != table) continue;
+    if (!cells.Get(index->column())) continue;  // column not written
+    std::optional<Value> before;
+    if (auto cell = engine.GetCell(key, index->column());
+        cell && !cell->tombstone) {
+      before = cell->value;
+    }
+    touched.emplace_back(index.get(), std::move(before));
+  }
+
+  engine.ApplyRow(key, cells);
+
+  for (auto& [index, before] : touched) {
+    std::optional<Value> after;
+    if (auto cell = engine.GetCell(key, index->column());
+        cell && !cell->tombstone) {
+      after = cell->value;
+    }
+    if (before != after) {
+      index->Update(key, before, after);
+      metrics_->index_updates++;
+    }
+  }
+}
+
+storage::Row Server::LocalReadThenApply(
+    const std::string& table, const Key& key,
+    const std::vector<ColumnName>& read_columns, const storage::Row& cells) {
+  storage::Row pre_image = LocalRead(table, key, read_columns);
+  LocalApply(table, key, cells);
+  return pre_image;
+}
+
+std::vector<storage::KeyedRow> Server::LocalScanPrefix(
+    const std::string& table, const Key& prefix) {
+  metrics_->replica_reads++;
+  std::vector<storage::KeyedRow> result;
+  EngineFor(table).ScanPrefix(prefix, [&](const Key& key,
+                                          const storage::Row& row) {
+    result.push_back(storage::KeyedRow{key, row});
+  });
+  return result;
+}
+
+std::vector<storage::KeyedRow> Server::LocalIndexProbe(
+    const std::string& table, const ColumnName& column, const Value& value) {
+  metrics_->index_fragment_probes++;
+  std::vector<storage::KeyedRow> result;
+  for (const auto& index : indexes_) {
+    if (index->table() != table || index->column() != column) continue;
+    storage::Engine& engine = EngineFor(table);
+    for (const Key& key : index->Lookup(value)) {
+      if (auto row = engine.GetRow(key)) {
+        result.push_back(storage::KeyedRow{key, *std::move(row)});
+      }
+    }
+    break;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Quorum read.
+// ---------------------------------------------------------------------------
+
+struct Server::ReadOp {
+  Server* coord;
+  std::string table;
+  Key key;
+  std::vector<ColumnName> columns;
+  int quorum;
+  std::vector<ServerId> replicas;
+  std::vector<std::optional<storage::Row>> responses;
+  int num_responses = 0;
+  bool replied = false;
+  bool finalized = false;
+  std::function<void(StatusOr<storage::Row>)> callback;
+  std::function<void(std::vector<storage::Row>)> collect_all;
+  sim::EventHandle timeout;
+
+  storage::Row MergedSoFar() const {
+    storage::Row merged;
+    for (const auto& row : responses) {
+      if (row) merged.MergeFrom(*row);
+    }
+    return merged;
+  }
+
+  void OnReply(std::size_t slot, storage::Row row) {
+    if (finalized) return;
+    if (responses[slot]) return;  // duplicate
+    responses[slot] = std::move(row);
+    ++num_responses;
+    if (!replied && num_responses >= quorum) {
+      replied = true;
+      callback(MergedSoFar());
+    }
+    if (num_responses == static_cast<int>(replicas.size())) Finalize();
+  }
+
+  void Finalize() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      coord->metrics_->quorum_failures++;
+      callback(Status::Unavailable("read quorum not reached"));
+    }
+    // Read repair: push the merged image to every replica that answered
+    // with something older.
+    storage::Row merged = MergedSoFar();
+    if (!merged.empty()) {
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (responses[i] && !(*responses[i] == merged)) {
+          coord->metrics_->read_repairs++;
+          std::string t = table;
+          Key k = key;
+          storage::Row m = merged;
+          coord->CallPeer<bool>(
+              replicas[i], coord->config_->perf.write_local,
+              [t = std::move(t), k = std::move(k),
+               m = std::move(m)](Server& s) {
+                s.LocalApply(t, k, m);
+                return true;
+              },
+              [](bool) {});
+        }
+      }
+    }
+    if (collect_all) {
+      std::vector<storage::Row> collected;
+      for (auto& row : responses) {
+        if (row) collected.push_back(*std::move(row));
+      }
+      collect_all(std::move(collected));
+    }
+  }
+};
+
+void Server::CoordinateRead(
+    const std::string& table, const Key& key, std::vector<ColumnName> columns,
+    int read_quorum, std::function<void(StatusOr<storage::Row>)> callback,
+    std::function<void(std::vector<storage::Row>)> collect_all) {
+  auto op = std::make_shared<ReadOp>();
+  op->coord = this;
+  op->table = table;
+  op->key = key;
+  op->columns = std::move(columns);
+  op->quorum = read_quorum;
+  op->replicas = ReplicasOf(table, key);
+  op->responses.resize(op->replicas.size());
+  op->callback = std::move(callback);
+  op->collect_all = std::move(collect_all);
+  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
+
+  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
+    CallPeer<storage::Row>(
+        op->replicas[i], config_->perf.read_local,
+        [table = op->table, key = op->key, columns = op->columns](Server& s) {
+          return s.LocalRead(table, key, columns);
+        },
+        [op, i](storage::Row row) { op->OnReply(i, std::move(row)); });
+  }
+  op->timeout =
+      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+}
+
+// ---------------------------------------------------------------------------
+// Quorum write.
+// ---------------------------------------------------------------------------
+
+struct Server::WriteOp {
+  Server* coord;
+  std::string table;
+  Key key;
+  storage::Row cells;
+  int quorum;
+  std::vector<ServerId> replicas;
+  std::vector<bool> acked;
+  int acks = 0;
+  bool replied = false;
+  bool finalized = false;
+  std::function<void(Status)> callback;
+  sim::EventHandle timeout;
+
+  void OnAck(std::size_t slot) {
+    if (finalized) return;
+    if (acked[slot]) return;
+    acked[slot] = true;
+    ++acks;
+    if (!replied && acks >= quorum) {
+      replied = true;
+      callback(Status::OK());
+    }
+    if (acks == static_cast<int>(replicas.size())) Finalize();
+  }
+
+  void Finalize() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      coord->metrics_->quorum_failures++;
+      callback(Status::Unavailable("write quorum not reached"));
+    }
+    // Hinted handoff: every replica that did not acknowledge in time gets a
+    // hint at this coordinator, replayed until it acks (the write may or may
+    // not have landed; re-applying is idempotent under LWW).
+    if (coord->config_->hint_replay_interval > 0) {
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (!acked[i]) {
+          coord->StoreHint(replicas[i], table, key, cells);
+        }
+      }
+    }
+  }
+};
+
+// Per-replica service demand of applying `cells` to `table`: the base write
+// plus synchronous maintenance of each local index fragment whose column is
+// being written (Cassandra-style).
+SimTime Server::WriteServiceFor(const std::string& table,
+                                const storage::Row& cells) const {
+  SimTime service = config_->perf.write_local;
+  for (const IndexDef& index : schema_->IndexesOn(table)) {
+    if (cells.Get(index.column)) {
+      service += config_->perf.index_update_local;
+    }
+  }
+  return service;
+}
+
+void Server::CoordinateWrite(const std::string& table, const Key& key,
+                             const storage::Row& cells, int write_quorum,
+                             std::function<void(Status)> callback) {
+  auto op = std::make_shared<WriteOp>();
+  op->coord = this;
+  op->table = table;
+  op->key = key;
+  op->cells = cells;
+  op->quorum = write_quorum;
+  op->replicas = ReplicasOf(table, key);
+  op->acked.assign(op->replicas.size(), false);
+  op->callback = std::move(callback);
+  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
+
+  const SimTime service = WriteServiceFor(table, cells);
+  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
+    CallPeer<bool>(
+        op->replicas[i], service,
+        [table, key, cells](Server& s) {
+          s.LocalApply(table, key, cells);
+          return true;
+        },
+        [op, i](bool) { op->OnAck(i); });
+  }
+  op->timeout =
+      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+}
+
+// ---------------------------------------------------------------------------
+// Combined Get-then-Put (Section IV-C).
+// ---------------------------------------------------------------------------
+
+struct Server::ReadThenWriteOp {
+  Server* coord;
+  std::string table;
+  Key key;
+  storage::Row cells;
+  std::vector<ServerId> replicas;
+  int quorum;
+  int total;
+  std::vector<std::optional<storage::Row>> pre_images;
+  int num_responses = 0;
+  bool replied = false;
+  bool finalized = false;
+  std::function<void(Status)> callback;
+  std::function<void(std::vector<storage::Row>)> collect;
+  sim::EventHandle timeout;
+
+  void OnReply(std::size_t slot, storage::Row pre_image) {
+    if (finalized) return;
+    if (pre_images[slot]) return;
+    pre_images[slot] = std::move(pre_image);
+    ++num_responses;
+    if (!replied && num_responses >= quorum) {
+      replied = true;
+      callback(Status::OK());
+    }
+    if (num_responses == total) Finalize();
+  }
+
+  void Finalize() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      coord->metrics_->quorum_failures++;
+      callback(Status::Unavailable("write quorum not reached"));
+    }
+    if (coord->config_->hint_replay_interval > 0) {
+      for (std::size_t i = 0; i < replicas.size(); ++i) {
+        if (!pre_images[i]) {
+          coord->StoreHint(replicas[i], table, key, cells);
+        }
+      }
+    }
+    std::vector<storage::Row> collected;
+    for (auto& row : pre_images) {
+      if (row) collected.push_back(*std::move(row));
+    }
+    collect(std::move(collected));
+  }
+};
+
+void Server::CoordinateReadThenWrite(
+    const std::string& table, const Key& key,
+    std::vector<ColumnName> read_columns, const storage::Row& cells,
+    int write_quorum, std::function<void(Status)> callback,
+    std::function<void(std::vector<storage::Row>)> collect_pre_images) {
+  auto op = std::make_shared<ReadThenWriteOp>();
+  op->coord = this;
+  op->table = table;
+  op->key = key;
+  op->cells = cells;
+  op->quorum = write_quorum;
+  op->replicas = ReplicasOf(table, key);
+  const std::vector<ServerId>& replicas = op->replicas;
+  op->total = static_cast<int>(replicas.size());
+  op->pre_images.resize(replicas.size());
+  op->callback = std::move(callback);
+  op->collect = std::move(collect_pre_images);
+  MVSTORE_CHECK_LE(op->quorum, op->total);
+
+  const SimTime service =
+      config_->perf.read_local + WriteServiceFor(table, cells);
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    CallPeer<storage::Row>(
+        replicas[i], service,
+        [table, key, read_columns, cells](Server& s) {
+          return s.LocalReadThenApply(table, key, read_columns, cells);
+        },
+        [op, i](storage::Row pre) { op->OnReply(i, std::move(pre)); });
+  }
+  op->timeout =
+      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+}
+
+// ---------------------------------------------------------------------------
+// Partition scan.
+// ---------------------------------------------------------------------------
+
+struct Server::ScanOp {
+  Server* coord;
+  std::string table;
+  int quorum;
+  std::vector<ServerId> replicas;
+  std::vector<std::optional<std::vector<storage::KeyedRow>>> responses;
+  int num_responses = 0;
+  bool replied = false;
+  bool finalized = false;
+  std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
+  sim::EventHandle timeout;
+
+  std::map<Key, storage::Row> MergedSoFar() const {
+    std::map<Key, storage::Row> merged;
+    for (const auto& response : responses) {
+      if (!response) continue;
+      for (const auto& kr : *response) {
+        merged[kr.key].MergeFrom(kr.row);
+      }
+    }
+    return merged;
+  }
+
+  void Reply() {
+    replied = true;
+    std::vector<storage::KeyedRow> rows;
+    std::map<Key, storage::Row> merged = MergedSoFar();
+    rows.reserve(merged.size());
+    for (auto& [key, row] : merged) {
+      rows.push_back(storage::KeyedRow{key, std::move(row)});
+    }
+    callback(std::move(rows));
+  }
+
+  void OnReply(std::size_t slot, std::vector<storage::KeyedRow> rows) {
+    if (finalized) return;
+    if (responses[slot]) return;
+    responses[slot] = std::move(rows);
+    ++num_responses;
+    if (!replied && num_responses >= quorum) Reply();
+    if (num_responses == static_cast<int>(replicas.size())) Finalize();
+  }
+
+  void Finalize() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      coord->metrics_->quorum_failures++;
+      callback(Status::Unavailable("scan quorum not reached"));
+      return;
+    }
+    // Scan-path read repair: push every row a responding replica is missing
+    // or holds stale, batched per replica. This is what heals view
+    // partitions on access (a view row's replicas may have missed the
+    // propagation's third write).
+    const std::map<Key, storage::Row> merged = MergedSoFar();
+    for (std::size_t i = 0; i < replicas.size(); ++i) {
+      if (!responses[i]) continue;
+      std::map<Key, const storage::Row*> have;
+      for (const auto& kr : *responses[i]) have[kr.key] = &kr.row;
+      std::vector<storage::KeyedRow> fixes;
+      for (const auto& [key, row] : merged) {
+        auto it = have.find(key);
+        if (it == have.end() || !(*it->second == row)) {
+          fixes.push_back(storage::KeyedRow{key, row});
+        }
+      }
+      if (fixes.empty()) continue;
+      coord->metrics_->read_repairs += fixes.size();
+      const SimTime service =
+          coord->config_->perf.write_local *
+          static_cast<SimTime>(fixes.size());
+      std::string t = table;
+      coord->CallPeer<bool>(
+          replicas[i], service,
+          [t, fixes = std::move(fixes)](Server& s) {
+            for (const auto& kr : fixes) s.LocalApply(t, kr.key, kr.row);
+            return true;
+          },
+          [](bool) {});
+    }
+  }
+};
+
+void Server::CoordinateScan(
+    const std::string& table, const Key& partition_prefix, int read_quorum,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  auto op = std::make_shared<ScanOp>();
+  op->coord = this;
+  op->table = table;
+  op->quorum = read_quorum;
+  op->replicas = ReplicasOf(table, partition_prefix);
+  op->responses.resize(op->replicas.size());
+  op->callback = std::move(callback);
+  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
+
+  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
+    CallPeer<std::vector<storage::KeyedRow>>(
+        op->replicas[i], config_->perf.view_scan_local,
+        [table, partition_prefix](Server& s) {
+          return s.LocalScanPrefix(table, partition_prefix);
+        },
+        [op, i](std::vector<storage::KeyedRow> rows) {
+          op->OnReply(i, std::move(rows));
+        });
+  }
+  op->timeout =
+      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast secondary-index lookup.
+// ---------------------------------------------------------------------------
+
+struct Server::IndexScanOp {
+  Server* coord;
+  ColumnName column;
+  Value value;
+  int total;
+  int num_responses = 0;
+  bool done = false;
+  std::map<Key, storage::Row> merged;
+  std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
+  sim::EventHandle timeout;
+
+  void OnReply(std::vector<storage::KeyedRow> rows) {
+    if (done) return;
+    for (auto& kr : rows) {
+      merged[kr.key].MergeFrom(kr.row);
+    }
+    ++num_responses;
+    if (num_responses == total) Complete();
+  }
+
+  void Complete() {
+    if (done) return;
+    done = true;
+    timeout.Cancel();
+    // A fragment may return keys whose globally-latest value no longer
+    // matches (its replica was stale); filter on the merged image, as
+    // Cassandra's coordinator re-checks index hits.
+    std::vector<storage::KeyedRow> rows;
+    for (auto& [key, row] : merged) {
+      auto current = row.GetValue(column);
+      if (!current || *current != value) continue;
+      rows.push_back(storage::KeyedRow{key, std::move(row)});
+    }
+    callback(std::move(rows));
+  }
+
+  void OnTimeout() {
+    if (done) return;
+    done = true;
+    coord->metrics_->quorum_failures++;
+    callback(Status::Unavailable("index fragments unreachable"));
+  }
+};
+
+void Server::HandleClientIndexGet(
+    const std::string& table, const ColumnName& column, const Value& value,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  metrics_->client_index_gets++;
+  if (schema_->FindIndex(table, column) == nullptr) {
+    callback(Status::NotFound("no index on " + table + "." + column));
+    return;
+  }
+  auto op = std::make_shared<IndexScanOp>();
+  op->coord = this;
+  op->column = column;
+  op->value = value;
+  op->total = config_->num_servers;
+  op->callback = WrapReply(std::move(callback));
+
+  Enqueue(config_->perf.coordinator_op, [this, op, table, column, value] {
+    for (ServerId s = 0; s < static_cast<ServerId>(config_->num_servers);
+         ++s) {
+      CallPeer<std::vector<storage::KeyedRow>>(
+          s, config_->perf.index_scan_local,
+          [table, column, value](Server& server) {
+            return server.LocalIndexProbe(table, column, value);
+          },
+          [op](std::vector<storage::KeyedRow> rows) {
+            op->OnReply(std::move(rows));
+          });
+    }
+    op->timeout = sim_->AfterCancelable(config_->rpc_timeout,
+                                        [op] { op->OnTimeout(); });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Client-facing entry points.
+// ---------------------------------------------------------------------------
+
+template <typename ResultT>
+std::function<void(ResultT)> Server::WrapReply(
+    std::function<void(ResultT)> callback) {
+  // Charges coordinator service time for assembling the reply, so reply
+  // processing contributes to saturation under load.
+  return [this, callback = std::move(callback)](ResultT result) mutable {
+    Enqueue(config_->perf.coordinator_op,
+            [callback = std::move(callback),
+             result = std::move(result)]() mutable {
+              callback(std::move(result));
+            });
+  };
+}
+
+void Server::HandleClientGet(
+    const std::string& table, const Key& key, std::vector<ColumnName> columns,
+    int read_quorum, std::function<void(StatusOr<storage::Row>)> callback) {
+  metrics_->client_gets++;
+  const TableDef* def = schema_->GetTable(table);
+  if (def == nullptr) {
+    callback(Status::NotFound("no table '" + table + "'"));
+    return;
+  }
+  if (def->is_view_backing) {
+    callback(Status::InvalidArgument(
+        "use view Get for '" + table + "' (views return record sets)"));
+    return;
+  }
+  auto reply = WrapReply(std::move(callback));
+  Enqueue(config_->perf.coordinator_op,
+          [this, table, key, columns = std::move(columns), read_quorum,
+           reply = std::move(reply)]() mutable {
+            CoordinateRead(table, key, std::move(columns), read_quorum,
+                           std::move(reply));
+          });
+}
+
+void Server::HandleClientPut(const std::string& table, const Key& key,
+                             const Mutation& mutation, Timestamp ts,
+                             int write_quorum, SessionId session,
+                             std::function<void(Status)> callback) {
+  metrics_->client_puts++;
+  const TableDef* def = schema_->GetTable(table);
+  if (def == nullptr) {
+    callback(Status::NotFound("no table '" + table + "'"));
+    return;
+  }
+  if (def->is_view_backing) {
+    callback(Status::InvalidArgument("views are not updateable"));
+    return;
+  }
+  if (mutation.empty()) {
+    callback(Status::InvalidArgument("empty mutation"));
+    return;
+  }
+
+  storage::Row cells;
+  for (const auto& [col, value] : mutation) {
+    cells.Apply(col, value ? storage::Cell::Live(*value, ts)
+                           : storage::Cell::Tombstone(ts));
+  }
+
+  // Which views does this Put affect (Algorithm 1, line 1)?
+  std::vector<const ViewDef*> affected;
+  if (view_hook_ != nullptr) {
+    for (const ViewDef* view : schema_->ViewsOn(table)) {
+      // The first byte of sentinel view keys is reserved (deleted-row
+      // anchors, see store/codec.h).
+      if (auto it = mutation.find(view->view_key_column);
+          it != mutation.end() && it->second.has_value() &&
+          !it->second->empty() && (*it->second)[0] == kSentinelPrefix) {
+        callback(Status::InvalidArgument(
+            "view key values must not start with byte 0x03 (reserved)"));
+        return;
+      }
+      for (const auto& [col, unused] : mutation) {
+        if (view->Affects(col)) {
+          affected.push_back(view);
+          break;
+        }
+      }
+    }
+  }
+
+  auto reply = WrapReply(std::move(callback));
+
+  if (affected.empty()) {
+    Enqueue(config_->perf.coordinator_op,
+            [this, table, key, cells, write_quorum,
+             reply = std::move(reply)]() mutable {
+              CoordinateWrite(table, key, cells, write_quorum,
+                              std::move(reply));
+            });
+    return;
+  }
+
+  // Columns whose pre-update versions Algorithm 1 must collect: the view
+  // key column of every affected view.
+  std::vector<ColumnName> read_columns;
+  for (const ViewDef* view : affected) {
+    if (std::find(read_columns.begin(), read_columns.end(),
+                  view->view_key_column) == read_columns.end()) {
+      read_columns.push_back(view->view_key_column);
+    }
+  }
+
+  auto on_collected = [this, affected, key, cells,
+                       session](std::vector<storage::Row> pre_images) {
+    const bool full_collection =
+        static_cast<int>(pre_images.size()) == config_->replication_factor;
+    std::vector<CollectedViewKeys> collected;
+    collected.reserve(affected.size());
+    for (const ViewDef* view : affected) {
+      CollectedViewKeys entry;
+      entry.view = view;
+      entry.full_collection = full_collection;
+      std::set<std::pair<Timestamp, Value>> seen;
+      for (const storage::Row& pre : pre_images) {
+        storage::Cell cell;  // null cell when the replica had no value
+        if (auto c = pre.Get(view->view_key_column)) cell = *c;
+        if (cell.tombstone) cell.value.clear();
+        const auto fingerprint =
+            std::make_pair(cell.ts, cell.tombstone ? Value() : cell.value);
+        if (seen.insert(fingerprint).second) {
+          entry.old_keys.push_back(std::move(cell));
+        }
+      }
+      if (entry.old_keys.empty()) {
+        entry.old_keys.push_back(storage::Cell{});  // nothing collected
+      }
+      collected.push_back(std::move(entry));
+    }
+    view_hook_->OnBasePutCommitted(this, key, cells, std::move(collected),
+                                   session);
+  };
+
+  if (config_->combined_get_then_put) {
+    Enqueue(config_->perf.coordinator_op,
+            [this, table, key, cells, write_quorum,
+             read_columns = std::move(read_columns),
+             reply = std::move(reply),
+             on_collected = std::move(on_collected)]() mutable {
+              CoordinateReadThenWrite(table, key, std::move(read_columns),
+                                      cells, write_quorum, std::move(reply),
+                                      std::move(on_collected));
+            });
+    return;
+  }
+
+  // Paper-prototype mode: a separate Get (line 2) collects the distinct
+  // view-key versions from ALL replicas before the Put (line 3) is issued —
+  // the simplest way to have every version in hand when propagation starts,
+  // and the reason Figure 5's MV write latency is ~2.5x BT's. (The combined
+  // mode above fuses both into one round; see bench/ablation_combined_getput.)
+  const int preread_quorum = config_->replication_factor;
+  Enqueue(config_->perf.coordinator_op, [this, table, key, cells, write_quorum,
+                                         preread_quorum,
+                                         read_columns = std::move(read_columns),
+                                         reply = std::move(reply),
+                                         on_collected =
+                                             std::move(on_collected)]() mutable {
+    CoordinateRead(
+        table, key, read_columns, preread_quorum,
+        [this, table, key, cells, write_quorum,
+         reply = std::move(reply)](StatusOr<storage::Row> pre) mutable {
+          // The pre-read's value only feeds propagation guesses; an
+          // unreachable replica (Unavailable after the timeout) must not
+          // fail the client's Put — Algorithm 1 issues the Put regardless,
+          // and collection proceeds with the versions that did arrive.
+          CoordinateWrite(table, key, cells, write_quorum, std::move(reply));
+        },
+        std::move(on_collected));
+  });
+}
+
+void Server::HandleClientViewGet(
+    const std::string& view_name, const Key& view_key,
+    std::vector<ColumnName> columns, int read_quorum, SessionId session,
+    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) {
+  metrics_->client_view_gets++;
+  const ViewDef* view = schema_->GetView(view_name);
+  if (view == nullptr) {
+    callback(Status::NotFound("no view '" + view_name + "'"));
+    return;
+  }
+  if (view_hook_ == nullptr) {
+    callback(Status::FailedPrecondition("view engine not installed"));
+    return;
+  }
+  auto reply = WrapReply(std::move(callback));
+  Enqueue(config_->perf.coordinator_op,
+          [this, view, view_key, columns = std::move(columns), read_quorum,
+           session, reply = std::move(reply)]() mutable {
+            view_hook_->HandleViewGet(this, *view, view_key,
+                                      std::move(columns), read_quorum, session,
+                                      std::move(reply));
+          });
+}
+
+// ---------------------------------------------------------------------------
+// Background anti-entropy.
+// ---------------------------------------------------------------------------
+
+void Server::Start() {
+  if (config_->anti_entropy_interval > 0) {
+    // Stagger the servers so rounds do not align.
+    const SimTime phase = config_->anti_entropy_interval *
+                          static_cast<SimTime>(id_ + 1) /
+                          static_cast<SimTime>(config_->num_servers);
+    sim_->After(phase, [this] { AntiEntropyTick(); });
+  }
+  if (config_->hint_replay_interval > 0) {
+    const SimTime phase = config_->hint_replay_interval *
+                          static_cast<SimTime>(id_ + 1) /
+                          static_cast<SimTime>(config_->num_servers);
+    sim_->After(phase, [this] { HintReplayTick(); });
+  }
+}
+
+void Server::AntiEntropyTick() {
+  RunAntiEntropyRound();
+  sim_->After(config_->anti_entropy_interval, [this] { AntiEntropyTick(); });
+}
+
+std::vector<std::uint64_t> Server::ComputeSyncDigests(const std::string& table,
+                                                      ServerId peer,
+                                                      int buckets) const {
+  std::vector<std::uint64_t> digests(static_cast<std::size_t>(buckets), 0);
+  auto it = engines_.find(table);
+  if (it == engines_.end()) return digests;
+  it->second->ForEach([&](const Key& key, const storage::Row& row) {
+    const auto replicas = ReplicasOf(table, key);
+    const bool shared =
+        std::find(replicas.begin(), replicas.end(), id_) != replicas.end() &&
+        std::find(replicas.begin(), replicas.end(), peer) != replicas.end();
+    if (!shared) return;
+    const std::size_t bucket =
+        Hash64(key) % static_cast<std::uint64_t>(buckets);
+    // XOR-combine so the bucket digest is set-like (order-insensitive).
+    digests[bucket] ^= HashCombine(Hash64(key), storage::RowDigest(row));
+  });
+  return digests;
+}
+
+std::vector<storage::KeyedRow> Server::CollectBucketRows(
+    const std::string& table, ServerId peer, const std::vector<int>& buckets,
+    int total_buckets) const {
+  std::vector<storage::KeyedRow> rows;
+  auto it = engines_.find(table);
+  if (it == engines_.end()) return rows;
+  std::vector<bool> wanted(static_cast<std::size_t>(total_buckets), false);
+  for (int bucket : buckets) wanted[static_cast<std::size_t>(bucket)] = true;
+  it->second->ForEach([&](const Key& key, const storage::Row& row) {
+    const std::size_t bucket =
+        Hash64(key) % static_cast<std::uint64_t>(total_buckets);
+    if (!wanted[bucket]) return;
+    const auto replicas = ReplicasOf(table, key);
+    const bool shared =
+        std::find(replicas.begin(), replicas.end(), id_) != replicas.end() &&
+        std::find(replicas.begin(), replicas.end(), peer) != replicas.end();
+    if (shared) rows.push_back(storage::KeyedRow{key, row});
+  });
+  return rows;
+}
+
+void Server::SyncTableWithPeer(const std::string& table, ServerId peer) {
+  const int buckets = config_->anti_entropy_buckets;
+  const std::vector<std::uint64_t> mine =
+      ComputeSyncDigests(table, peer, buckets);
+  metrics_->anti_entropy_digest_exchanges++;
+  const ServerId self_id = id_;
+  // Phase 1: the peer compares digests and answers with mismatched buckets.
+  CallPeer<std::vector<int>>(
+      peer, config_->perf.read_local,
+      [table, self_id, buckets, mine](Server& s) {
+        const std::vector<std::uint64_t> theirs =
+            s.ComputeSyncDigests(table, self_id, buckets);
+        std::vector<int> mismatched;
+        for (int b = 0; b < buckets; ++b) {
+          if (mine[static_cast<std::size_t>(b)] !=
+              theirs[static_cast<std::size_t>(b)]) {
+            mismatched.push_back(b);
+          }
+        }
+        return mismatched;
+      },
+      [this, table, peer, buckets](std::vector<int> mismatched) {
+        if (mismatched.empty()) return;
+        metrics_->anti_entropy_buckets_synced += mismatched.size();
+        // Phase 2: ship our rows of the mismatched buckets; the peer applies
+        // them and answers with ITS rows of the same buckets (bidirectional).
+        std::vector<storage::KeyedRow> ours =
+            CollectBucketRows(table, peer, mismatched, buckets);
+        metrics_->anti_entropy_rows_pushed += ours.size();
+        const ServerId self_id2 = id_;
+        const SimTime service =
+            config_->perf.write_local *
+            static_cast<SimTime>(ours.size() + 1);
+        CallPeer<std::vector<storage::KeyedRow>>(
+            peer, service,
+            [table, self_id2, mismatched, buckets,
+             ours = std::move(ours)](Server& s) {
+              for (const auto& kr : ours) s.LocalApply(table, kr.key, kr.row);
+              return s.CollectBucketRows(table, self_id2, mismatched, buckets);
+            },
+            [this, table](std::vector<storage::KeyedRow> theirs) {
+              metrics_->anti_entropy_rows_pushed += theirs.size();
+              for (const auto& kr : theirs) LocalApply(table, kr.key, kr.row);
+            });
+      });
+}
+
+void Server::RunAntiEntropyRound() {
+  for (ServerId peer = 0; peer < static_cast<ServerId>(config_->num_servers);
+       ++peer) {
+    if (peer == id_) continue;
+    for (const auto& [table, engine] : engines_) {
+      SyncTableWithPeer(table, peer);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hinted handoff.
+// ---------------------------------------------------------------------------
+
+void Server::StoreHint(ServerId target, const std::string& table,
+                       const Key& key, const storage::Row& cells) {
+  std::deque<Hint>& queue = hints_[target];
+  if (queue.size() >= config_->max_hints_per_target) {
+    queue.pop_front();  // oldest first; anti-entropy is the backstop
+    metrics_->hints_dropped++;
+  }
+  queue.push_back(Hint{table, key, cells});
+  metrics_->hints_stored++;
+}
+
+std::size_t Server::pending_hints(ServerId target) const {
+  auto it = hints_.find(target);
+  return it == hints_.end() ? 0 : it->second.size();
+}
+
+void Server::HintReplayTick() {
+  ReplayHints();
+  sim_->After(config_->hint_replay_interval, [this] { HintReplayTick(); });
+}
+
+void Server::ReplayHints() {
+  for (auto& [target, queue] : hints_) {
+    if (queue.empty()) continue;
+    // Ship the whole queue; drop it only when the target acknowledges.
+    // (Re-delivery after a lost ack is harmless: LWW applies are
+    // idempotent.)
+    auto batch =
+        std::make_shared<std::vector<Hint>>(queue.begin(), queue.end());
+    const std::size_t count = batch->size();
+    const ServerId target_id = target;
+    const SimTime service =
+        config_->perf.write_local * static_cast<SimTime>(count);
+    CallPeer<bool>(
+        target_id, service,
+        [batch](Server& s) {
+          for (const Hint& hint : *batch) {
+            s.LocalApply(hint.table, hint.key, hint.cells);
+          }
+          return true;
+        },
+        [this, target_id, count](bool) {
+          // Acked: retire the replayed prefix (new hints may have queued
+          // behind it meanwhile).
+          std::deque<Hint>& q = hints_[target_id];
+          const std::size_t drop = std::min(count, q.size());
+          q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(drop));
+          metrics_->hints_replayed += drop;
+        });
+  }
+}
+
+}  // namespace mvstore::store

@@ -1,0 +1,302 @@
+// A storage server: replica storage, local secondary-index fragments, and
+// the coordinator role.
+//
+// Every server can coordinate any request (multi-master, Section II): the
+// coordinator locates the N replicas via the ring, fans the request out, and
+// acknowledges once the quorum (R or W) has answered. Late replica responses
+// keep flowing into the finished operation, driving read repair and — on the
+// write path — the collection of pre-update view-key versions that
+// Algorithm 1 hands to the view-maintenance hook.
+
+#ifndef MVSTORE_STORE_SERVER_H_
+#define MVSTORE_STORE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/types.h"
+#include "index/local_index.h"
+#include "sim/network.h"
+#include "sim/service_queue.h"
+#include "sim/simulation.h"
+#include "storage/engine.h"
+#include "store/config.h"
+#include "store/hooks.h"
+#include "store/metrics.h"
+#include "store/ring.h"
+#include "store/schema.h"
+
+namespace mvstore::store {
+
+/// Write payload: column -> new value (nullopt = delete the cell).
+using Mutation = std::map<ColumnName, std::optional<Value>>;
+
+class Server {
+ public:
+  Server(ServerId id, sim::Simulation* sim, sim::Network* network,
+         const Schema* schema, const Ring* ring, const ClusterConfig* config,
+         Metrics* metrics);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  ServerId id() const { return id_; }
+  sim::Simulation* simulation() const { return sim_; }
+  sim::Network* network() const { return network_; }
+  const Schema& schema() const { return *schema_; }
+  const Ring& ring() const { return *ring_; }
+  const ClusterConfig& config() const { return *config_; }
+  Metrics* metrics() const { return metrics_; }
+
+  /// Installed by the Cluster after construction; may be null (no views).
+  void set_view_hook(ViewMaintenanceHook* hook) { view_hook_ = hook; }
+
+  /// All servers of the cluster, indexed by ServerId (set by the Cluster;
+  /// used to address peers).
+  void set_peers(const std::vector<Server*>* peers) { peers_ = peers; }
+
+  // ---------------------------------------------------------------------
+  // Client-facing entry points (invoked on the coordinator, typically via
+  // store::Client which models the client<->coordinator network hop).
+  // ---------------------------------------------------------------------
+
+  /// Get on a base table (paper Get): merged cells of the first R replica
+  /// responses. `columns` empty = whole row.
+  void HandleClientGet(const std::string& table, const Key& key,
+                       std::vector<ColumnName> columns, int read_quorum,
+                       std::function<void(StatusOr<storage::Row>)> callback);
+
+  /// Put on a base table (paper Put), with Algorithm 1's view-key
+  /// collection and asynchronous view maintenance when views are affected.
+  void HandleClientPut(const std::string& table, const Key& key,
+                       const Mutation& mutation, Timestamp ts,
+                       int write_quorum, SessionId session,
+                       std::function<void(Status)> callback);
+
+  /// Get on a view by view key (Algorithm 4; set of live records).
+  void HandleClientViewGet(
+      const std::string& view, const Key& view_key,
+      std::vector<ColumnName> columns, int read_quorum, SessionId session,
+      std::function<void(StatusOr<std::vector<ViewRecord>>)> callback);
+
+  /// Lookup by secondary key through the native secondary index: broadcast
+  /// to every server, probe local fragments, merge.
+  void HandleClientIndexGet(
+      const std::string& table, const ColumnName& column, const Value& value,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
+  // ---------------------------------------------------------------------
+  // Coordinator primitives (used internally and by the view-maintenance
+  // engine, which issues quorum reads/writes on view tables).
+  // ---------------------------------------------------------------------
+
+  /// Fires once with the merge of the first `read_quorum` responses (or
+  /// Unavailable on timeout). If `collect_all` is provided it fires once
+  /// more, after every replica answered or the timeout expired, with each
+  /// reachable replica's raw response; read repair happens at that point.
+  void CoordinateRead(
+      const std::string& table, const Key& key,
+      std::vector<ColumnName> columns, int read_quorum,
+      std::function<void(StatusOr<storage::Row>)> callback,
+      std::function<void(std::vector<storage::Row>)> collect_all = nullptr);
+
+  /// Applies `cells` (already timestamped) at the key's replicas; fires at
+  /// `write_quorum` acks or Unavailable at timeout.
+  void CoordinateWrite(const std::string& table, const Key& key,
+                       const storage::Row& cells, int write_quorum,
+                       std::function<void(Status)> callback);
+
+  /// Combined Get-then-Put (Section IV-C): one message per replica that
+  /// returns the pre-update `read_columns` and then applies `cells`.
+  /// `callback` fires at the write quorum; `collect_pre_images` fires when
+  /// all replicas answered or the timeout expired.
+  void CoordinateReadThenWrite(
+      const std::string& table, const Key& key,
+      std::vector<ColumnName> read_columns, const storage::Row& cells,
+      int write_quorum, std::function<void(Status)> callback,
+      std::function<void(std::vector<storage::Row>)> collect_pre_images);
+
+  /// Merged prefix scan over the key's partition (composite-key tables):
+  /// merge of the first `read_quorum` replica scans.
+  void CoordinateScan(
+      const std::string& table, const Key& partition_prefix, int read_quorum,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
+  // ---------------------------------------------------------------------
+  // Local replica handlers (run on THIS server under its service queue;
+  // invoked via peer messages).
+  // ---------------------------------------------------------------------
+
+  /// Local read of requested columns (all columns when empty). Returns an
+  /// empty row when the key is absent.
+  storage::Row LocalRead(const std::string& table, const Key& key,
+                         const std::vector<ColumnName>& columns);
+
+  /// Local LWW apply + synchronous maintenance of local index fragments.
+  void LocalApply(const std::string& table, const Key& key,
+                  const storage::Row& cells);
+
+  /// LocalRead of `read_columns` followed atomically by LocalApply.
+  storage::Row LocalReadThenApply(const std::string& table, const Key& key,
+                                  const std::vector<ColumnName>& read_columns,
+                                  const storage::Row& cells);
+
+  /// Local merged prefix scan.
+  std::vector<storage::KeyedRow> LocalScanPrefix(const std::string& table,
+                                                 const Key& prefix);
+
+  /// Probe this server's index fragment; returns matching local rows.
+  std::vector<storage::KeyedRow> LocalIndexProbe(const std::string& table,
+                                                 const ColumnName& column,
+                                                 const Value& value);
+
+  /// Sends `handler` to run on peer `to` under its service queue (service
+  /// time `remote_service`); the returned value travels back and `on_reply`
+  /// runs here. Either leg may be dropped by the network.
+  template <typename Response>
+  void CallPeer(ServerId to, SimTime remote_service,
+                std::function<Response(Server&)> handler,
+                std::function<void(Response)> on_reply);
+
+  /// Runs `fn` on this server after (queueing +) `service` time.
+  void Enqueue(SimTime service, std::function<void()> fn) {
+    queue_.Submit(service, std::move(fn));
+  }
+
+  /// Replicas of `key` in `table` (partition prefix for composite keys).
+  std::vector<ServerId> ReplicasOf(const std::string& table,
+                                   const Key& key) const;
+
+  /// Majority quorum for the replication factor (view maintenance ops).
+  int MajorityQuorum() const { return config_->replication_factor / 2 + 1; }
+
+  /// Direct access to the local storage engine (bootstrap loading, scrub,
+  /// tests). Creates the engine on first use.
+  storage::Engine& EngineFor(const std::string& table);
+
+  /// Starts background tasks (anti-entropy, hint replay) if configured.
+  void Start();
+
+  /// One anti-entropy round: Merkle-style synchronization with every peer.
+  /// For each (table, peer) the servers first exchange per-bucket digests
+  /// over the keys they both replicate, then ship rows only for mismatched
+  /// buckets (bidirectionally). Exposed for tests; also runs periodically
+  /// when `anti_entropy_interval` > 0.
+  void RunAntiEntropyRound();
+
+  // --- hinted handoff ---
+
+  /// A write a replica failed to acknowledge in time, kept for replay.
+  struct Hint {
+    std::string table;
+    Key key;
+    storage::Row cells;
+  };
+
+  /// Hints currently queued for `target` (introspection for tests).
+  std::size_t pending_hints(ServerId target) const;
+
+  /// One replay pass: re-sends queued hints; a hint is dropped only when its
+  /// target acknowledges. Runs periodically when `hint_replay_interval` > 0.
+  void ReplayHints();
+
+  // --- anti-entropy internals (public: invoked on peers via messages) ---
+
+  /// Digest of this server's rows of `table` that are co-replicated with
+  /// `peer`, bucketed by key hash. XOR-combined per bucket, so the digest is
+  /// insensitive to iteration order.
+  std::vector<std::uint64_t> ComputeSyncDigests(const std::string& table,
+                                                ServerId peer,
+                                                int buckets) const;
+
+  /// This server's rows of `table` (co-replicated with `peer`) falling into
+  /// `buckets`.
+  std::vector<storage::KeyedRow> CollectBucketRows(
+      const std::string& table, ServerId peer,
+      const std::vector<int>& buckets, int total_buckets) const;
+
+ private:
+  friend class Cluster;
+
+  struct ReadOp;
+  struct WriteOp;
+  struct ReadThenWriteOp;
+  struct ScanOp;
+  struct IndexScanOp;
+
+  /// Wraps a reply callback so that assembling the reply charges coordinator
+  /// service time (reply processing contributes to saturation under load).
+  template <typename ResultT>
+  std::function<void(ResultT)> WrapReply(
+      std::function<void(ResultT)> callback);
+
+  void AntiEntropyTick();
+  void HintReplayTick();
+  void SyncTableWithPeer(const std::string& table, ServerId peer);
+
+  /// Records a hint for a write `target` did not acknowledge.
+  void StoreHint(ServerId target, const std::string& table, const Key& key,
+                 const storage::Row& cells);
+
+  /// Per-replica service demand of a write (base apply + synchronous local
+  /// index maintenance for written indexed columns).
+  SimTime WriteServiceFor(const std::string& table,
+                          const storage::Row& cells) const;
+
+  /// Resolves the partition key used for ring placement.
+  Key PartitionKeyFor(const std::string& table, const Key& key) const;
+
+  ServerId id_;
+  sim::Simulation* sim_;
+  sim::Network* network_;
+  const Schema* schema_;
+  const Ring* ring_;
+  const ClusterConfig* config_;
+  Metrics* metrics_;
+  ViewMaintenanceHook* view_hook_ = nullptr;
+  const std::vector<Server*>* peers_ = nullptr;
+
+  sim::ServiceQueue queue_;
+  std::map<std::string, std::unique_ptr<storage::Engine>> engines_;
+  std::vector<std::unique_ptr<index::LocalIndex>> indexes_;
+  std::map<ServerId, std::deque<Hint>> hints_;
+};
+
+// ---------------------------------------------------------------------------
+// Implementation details only below here.
+// ---------------------------------------------------------------------------
+
+template <typename Response>
+void Server::CallPeer(ServerId to, SimTime remote_service,
+                      std::function<Response(Server&)> handler,
+                      std::function<void(Response)> on_reply) {
+  Server* self = this;
+  Server* peer = (*peers_)[to];
+  network_->Send(id_, to, [peer, self, remote_service,
+                           handler = std::move(handler),
+                           on_reply = std::move(on_reply)]() mutable {
+    peer->queue_.Submit(
+        remote_service,
+        [peer, self, handler = std::move(handler),
+         on_reply = std::move(on_reply)]() mutable {
+          Response response = handler(*peer);
+          peer->network_->Send(
+              peer->id_, self->id_,
+              [on_reply = std::move(on_reply),
+               response = std::move(response)]() mutable {
+                on_reply(std::move(response));
+              });
+        });
+  });
+}
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_SERVER_H_

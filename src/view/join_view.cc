@@ -1,0 +1,97 @@
+#include "view/join_view.h"
+
+#include <memory>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace mvstore::view {
+
+Status DeclareJoinView(store::Schema& schema, const JoinViewDef& def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("join view needs a name");
+  }
+  store::ViewDef left;
+  left.name = def.LeftViewName();
+  left.base_table = def.left_table;
+  left.view_key_column = def.left_join_column;
+  left.materialized_columns = def.left_columns;
+  MVSTORE_RETURN_IF_ERROR(schema.CreateView(left));
+
+  store::ViewDef right;
+  right.name = def.RightViewName();
+  right.base_table = def.right_table;
+  right.view_key_column = def.right_join_column;
+  right.materialized_columns = def.right_columns;
+  return schema.CreateView(right);
+}
+
+namespace {
+
+struct JoinState {
+  std::optional<StatusOr<std::vector<store::ViewRecord>>> left;
+  std::optional<StatusOr<std::vector<store::ViewRecord>>> right;
+  std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback;
+
+  void MaybeFinish() {
+    if (!left.has_value() || !right.has_value()) return;
+    if (!left->ok()) {
+      callback(left->status());
+      return;
+    }
+    if (!right->ok()) {
+      callback(right->status());
+      return;
+    }
+    std::vector<JoinedRecord> joined;
+    joined.reserve(left->value().size() * right->value().size());
+    for (const store::ViewRecord& l : left->value()) {
+      for (const store::ViewRecord& r : right->value()) {
+        joined.push_back(
+            JoinedRecord{l.base_key, l.cells, r.base_key, r.cells});
+      }
+    }
+    callback(std::move(joined));
+  }
+};
+
+}  // namespace
+
+void JoinGet(
+    store::Client& client, const JoinViewDef& def, const Value& join_key,
+    std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback,
+    int read_quorum) {
+  auto state = std::make_shared<JoinState>();
+  state->callback = std::move(callback);
+  client.ViewGet(def.LeftViewName(), join_key, def.left_columns,
+                 [state](StatusOr<std::vector<store::ViewRecord>> records) {
+                   state->left = std::move(records);
+                   state->MaybeFinish();
+                 },
+                 read_quorum);
+  client.ViewGet(def.RightViewName(), join_key, def.right_columns,
+                 [state](StatusOr<std::vector<store::ViewRecord>> records) {
+                   state->right = std::move(records);
+                   state->MaybeFinish();
+                 },
+                 read_quorum);
+}
+
+StatusOr<std::vector<JoinedRecord>> JoinGetSync(sim::Simulation& sim,
+                                                store::Client& client,
+                                                const JoinViewDef& def,
+                                                const Value& join_key,
+                                                int read_quorum) {
+  std::optional<StatusOr<std::vector<JoinedRecord>>> slot;
+  JoinGet(client, def, join_key,
+          [&slot](StatusOr<std::vector<JoinedRecord>> result) {
+            slot = std::move(result);
+          },
+          read_quorum);
+  while (!slot.has_value() && sim.Step()) {
+  }
+  MVSTORE_CHECK(slot.has_value()) << "simulation ran dry during JoinGet";
+  return *std::move(slot);
+}
+
+}  // namespace mvstore::view

@@ -1,0 +1,107 @@
+#include "view/lock_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mvstore::view {
+
+LockService::LockService(sim::Simulation* sim, sim::Network* network,
+                         sim::EndpointId endpoint, SimTime hop_latency)
+    : sim_(sim),
+      network_(network),
+      endpoint_(endpoint),
+      hop_latency_(hop_latency) {}
+
+void LockService::Acquire(sim::EndpointId requester,
+                          const std::string& resource, LockMode mode,
+                          std::function<void()> granted) {
+  // Request message travels to the lock endpoint (reliable channel).
+  sim_->After(hop_latency_,
+              [this, resource,
+               waiter = Waiter{requester, mode, std::move(granted)}]() mutable {
+                DoAcquire(std::move(waiter), resource);
+              });
+}
+
+void LockService::Release(sim::EndpointId requester,
+                          const std::string& resource, LockMode mode) {
+  sim_->After(hop_latency_,
+              [this, resource, mode] { DoRelease(resource, mode); });
+}
+
+bool LockService::Compatible(const LockState& state, LockMode mode) const {
+  if (state.exclusive_held) return false;
+  if (mode == LockMode::kExclusive) return state.shared_held == 0;
+  return true;
+}
+
+void LockService::Grant(Waiter waiter) {
+  ++grants_;
+  // ...and the grant travels back to the requester (reliable channel).
+  sim_->After(hop_latency_, [granted = std::move(waiter.granted)] { granted(); });
+}
+
+void LockService::DoAcquire(Waiter waiter, const std::string& resource) {
+  LockState& state = locks_[resource];
+  // FIFO fairness: grant immediately only when compatible AND nobody is
+  // already queued (otherwise a shared stream could starve an exclusive
+  // waiter forever).
+  if (state.waiters.empty() && Compatible(state, waiter.mode)) {
+    if (waiter.mode == LockMode::kExclusive) {
+      state.exclusive_held = true;
+    } else {
+      ++state.shared_held;
+    }
+    Grant(std::move(waiter));
+    return;
+  }
+  ++waits_;
+  state.waiters.push_back(std::move(waiter));
+}
+
+void LockService::DoRelease(const std::string& resource, LockMode mode) {
+  auto it = locks_.find(resource);
+  MVSTORE_CHECK(it != locks_.end()) << "release of unknown lock " << resource;
+  LockState& state = it->second;
+  if (mode == LockMode::kExclusive) {
+    MVSTORE_CHECK(state.exclusive_held);
+    state.exclusive_held = false;
+  } else {
+    MVSTORE_CHECK_GT(state.shared_held, 0);
+    --state.shared_held;
+  }
+  PumpWaiters(resource);
+  // Re-find: PumpWaiters may have erased the entry.
+  it = locks_.find(resource);
+  if (it != locks_.end() && it->second.waiters.empty() &&
+      it->second.shared_held == 0 && !it->second.exclusive_held) {
+    locks_.erase(it);
+  }
+}
+
+void LockService::PumpWaiters(const std::string& resource) {
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  while (!state.waiters.empty() &&
+         Compatible(state, state.waiters.front().mode)) {
+    Waiter waiter = std::move(state.waiters.front());
+    state.waiters.pop_front();
+    if (waiter.mode == LockMode::kExclusive) {
+      state.exclusive_held = true;
+    } else {
+      ++state.shared_held;
+    }
+    Grant(std::move(waiter));
+  }
+}
+
+bool LockService::WouldGrantImmediately(const std::string& resource,
+                                        LockMode mode) const {
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return true;
+  return it->second.waiters.empty() && Compatible(it->second, mode);
+}
+
+}  // namespace mvstore::view

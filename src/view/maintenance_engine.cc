@@ -1,0 +1,509 @@
+#include "view/maintenance_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "store/codec.h"
+#include "view/view_row.h"
+
+namespace mvstore::view {
+
+namespace {
+using storage::Cell;
+using storage::Row;
+}  // namespace
+
+MaintenanceEngine::MaintenanceEngine(store::Cluster* cluster)
+    : cluster_(cluster),
+      rng_(cluster->ForkRng()),
+      locks_(&cluster->simulation(), &cluster->network(),
+             cluster->lock_service_endpoint()),
+      row_queues_(static_cast<std::size_t>(cluster->num_servers())) {
+  sessions_.reserve(static_cast<std::size_t>(cluster->num_servers()));
+  for (int i = 0; i < cluster->num_servers(); ++i) {
+    sessions_.push_back(std::make_unique<SessionManager>());
+  }
+  cluster_->set_view_hook(this);
+}
+
+std::string MaintenanceEngine::ResourceOf(const PropagationTask& task) {
+  std::string resource = task.view->name;
+  resource.push_back('\0');
+  resource += task.base_key;
+  return resource;
+}
+
+SimTime MaintenanceEngine::RetryDelay(const PropagationTask& task) const {
+  const store::PerfModel& perf = cluster_->config().perf;
+  const SimTime delay =
+      perf.propagation_retry_delay *
+      static_cast<SimTime>(task.attempts + task.infra_failures + 1);
+  return std::min(delay, perf.propagation_retry_delay_max);
+}
+
+const storage::Cell& MaintenanceEngine::CurrentGuess(
+    const PropagationTask& task) const {
+  MVSTORE_CHECK(!task.guesses.empty());
+  return task.guesses[static_cast<std::size_t>(task.attempts) %
+                      task.guesses.size()];
+}
+
+SimTime MaintenanceEngine::SampleDispatchDelay() {
+  const store::PerfModel& perf = cluster_->config().perf;
+  const double sampled = rng_.LogNormal(perf.propagation_dispatch_mu,
+                                        perf.propagation_dispatch_sigma);
+  return std::clamp(static_cast<SimTime>(sampled),
+                    perf.propagation_dispatch_min,
+                    perf.propagation_dispatch_max);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1, lines 5-7: schedule asynchronous propagation.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::OnBasePutCommitted(
+    store::Server* coordinator, const Key& base_key,
+    const storage::Row& written, std::vector<store::CollectedViewKeys> views,
+    store::SessionId session) {
+  for (store::CollectedViewKeys& collected : views) {
+    const store::ViewDef* view = collected.view;
+    auto task = std::make_shared<PropagationTask>();
+    task->id = ++next_task_id_;
+    task->view = view;
+    task->base_key = base_key;
+    if (auto cell = written.Get(view->view_key_column)) {
+      task->view_key_update = *cell;
+    }
+    for (const ColumnName& col : view->materialized_columns) {
+      if (auto cell = written.Get(col)) {
+        task->materialized_updates.Apply(col, *cell);
+      }
+    }
+    if (!task->view_key_update && task->materialized_updates.empty()) {
+      continue;  // Put did not actually touch this view
+    }
+    // Prefer recent guesses: the newest pre-image is most likely to be the
+    // current live key (the coordinator "is free to try the keys in any
+    // order").
+    task->guesses = std::move(collected.old_keys);
+    task->full_collection = collected.full_collection;
+    std::sort(task->guesses.begin(), task->guesses.end(),
+              [](const Cell& a, const Cell& b) { return a.ts > b.ts; });
+    task->session = session;
+    task->origin = coordinator->id();
+    task->created_at = cluster_->simulation().Now();
+
+    sessions_[task->origin]->PropagationStarted(session, view->name);
+    cluster_->metrics().propagations_started++;
+    ++active_;
+
+    const SimTime delay = SampleDispatchDelay();
+    switch (cluster_->config().propagation_mode) {
+      case store::PropagationMode::kLockService:
+        cluster_->simulation().After(delay,
+                                     [this, task] { RunWithLocks(task); });
+        break;
+      case store::PropagationMode::kDedicatedPropagators:
+        cluster_->simulation().After(
+            delay, [this, task] { EnqueueOnPropagator(task); });
+        break;
+      case store::PropagationMode::kUnsynchronized:
+        cluster_->simulation().After(
+            delay, [this, task] { RunUnsynchronized(task); });
+        break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attempt outcome handling (shared by both concurrency-control modes).
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::OnAttemptDone(
+    std::shared_ptr<PropagationTask> task, Status status,
+    std::function<void(bool)> then) {
+  if (status.ok()) {
+    TaskCompleted(task);
+    then(true);
+    return;
+  }
+  cluster_->metrics().propagation_failures++;
+  if (status.IsAborted()) {
+    task->attempts++;  // rotate to the next guess
+  } else {
+    task->infra_failures++;  // same guess: redo the idempotent sequence
+  }
+  if (task->attempts >= kMaxAttempts || task->infra_failures >= kMaxAttempts) {
+    TaskAbandoned(task);
+    then(true);
+    return;
+  }
+  // After cycling through every guess once, refresh the guesses from the
+  // base row: concurrent updates may have propagated meanwhile and their
+  // keys now exist in the view (Section IV-D's progress argument).
+  if (status.IsAborted() &&
+      task->attempts % static_cast<int>(task->guesses.size()) == 0) {
+    RefreshGuesses(task, [then] { then(false); });
+    return;
+  }
+  then(false);
+}
+
+void MaintenanceEngine::RefreshGuesses(std::shared_ptr<PropagationTask> task,
+                                       std::function<void()> then) {
+  store::Server& origin = cluster_->server(task->origin);
+  origin.CoordinateRead(
+      task->view->base_table, task->base_key,
+      {task->view->view_key_column}, origin.MajorityQuorum(),
+      [](StatusOr<storage::Row>) {},
+      [task, then = std::move(then),
+       n = cluster_->config().replication_factor](
+          std::vector<storage::Row> replicas) {
+        if (static_cast<int>(replicas.size()) == n) {
+          task->full_collection = true;
+        }
+        for (const storage::Row& row : replicas) {
+          Cell cell;
+          if (auto c = row.Get(task->view->view_key_column)) cell = *c;
+          // Never chase our OWN write read back from the base table: before
+          // this task completes, chasing it can only land on this task's
+          // own partial debris (case-2c shortcut) instead of the real live
+          // row.
+          if (task->view_key_update && cell.ts == task->view_key_update->ts &&
+              cell.tombstone == task->view_key_update->tombstone &&
+              cell.value == task->view_key_update->value) {
+            continue;
+          }
+          const bool known =
+              std::any_of(task->guesses.begin(), task->guesses.end(),
+                          [&cell](const Cell& g) {
+                            return g.ts == cell.ts && g.value == cell.value &&
+                                   g.tombstone == cell.tombstone;
+                          });
+          if (!known) task->guesses.push_back(cell);
+        }
+        then();
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Retry parking lot (the two Section IV-F modes): a failed propagation
+// almost always failed because a SAME-ROW update has not propagated yet, so
+// instead of polling on a timer it parks until a same-row propagation
+// completes. A fallback timer guards liveness (e.g. the dependency was
+// abandoned, or lives on another row family after a refresh).
+// The paper-prototype (unsynchronized) mode deliberately keeps plain timer
+// retries — its retry traffic is part of what Figure 8 measures.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::DispatchTask(std::shared_ptr<PropagationTask> task) {
+  switch (cluster_->config().propagation_mode) {
+    case store::PropagationMode::kLockService:
+      RunWithLocks(std::move(task));
+      break;
+    case store::PropagationMode::kDedicatedPropagators:
+      EnqueueOnPropagator(std::move(task));
+      break;
+    case store::PropagationMode::kUnsynchronized:
+      RunUnsynchronized(std::move(task));
+      break;
+  }
+}
+
+void MaintenanceEngine::ParkForRetry(const std::string& resource,
+                                     std::shared_ptr<PropagationTask> task) {
+  task->parked = true;
+  parked_[resource].push_back(task);
+  cluster_->simulation().After(RetryDelay(*task), [this, task, resource] {
+    if (!task->parked) return;  // already woken by a completion
+    task->parked = false;
+    auto it = parked_.find(resource);
+    if (it != parked_.end()) {
+      auto& tasks = it->second;
+      tasks.erase(std::remove(tasks.begin(), tasks.end(), task), tasks.end());
+      if (tasks.empty()) parked_.erase(it);
+    }
+    DispatchTask(task);
+  });
+}
+
+void MaintenanceEngine::WakeParked(const std::string& resource) {
+  auto it = parked_.find(resource);
+  if (it == parked_.end()) return;
+  std::vector<std::shared_ptr<PropagationTask>> tasks = std::move(it->second);
+  parked_.erase(it);
+  for (auto& task : tasks) {
+    if (!task->parked) continue;
+    task->parked = false;
+    DispatchTask(task);
+  }
+}
+
+void MaintenanceEngine::TaskCompleted(
+    const std::shared_ptr<PropagationTask>& task) {
+  cluster_->metrics().propagations_completed++;
+  cluster_->metrics().propagation_delay.Record(
+      cluster_->simulation().Now() - task->created_at);
+  --active_;
+  NotifyOrigin(task);
+  WakeParked(ResourceOf(*task));
+}
+
+void MaintenanceEngine::TaskAbandoned(
+    const std::shared_ptr<PropagationTask>& task) {
+  // Under pathological conflict rates (Figure 8 at range 1) thousands of
+  // tasks can exhaust their budgets; log the first few and then sample.
+  const std::uint64_t n = ++cluster_->metrics().propagations_abandoned;
+  if (n <= 3 || n % 1000 == 0) {
+    MVSTORE_LOG(Warning) << "abandoning propagation of base key '"
+                         << task->base_key << "' to view '"
+                         << task->view->name << "' after " << task->attempts
+                         << " guess attempts (+" << task->infra_failures
+                         << " infra retries); " << n
+                         << " abandoned so far (view scrub/repair recovers)";
+  }
+  --active_;
+  NotifyOrigin(task);
+}
+
+void MaintenanceEngine::NotifyOrigin(
+    const std::shared_ptr<PropagationTask>& task) {
+  // Session bookkeeping lives at the originating coordinator; in dedicated-
+  // propagator mode the completion notice crosses the network.
+  SessionManager* sessions = sessions_[task->origin].get();
+  const store::SessionId session = task->session;
+  const std::string view = task->view->name;
+  sim::EndpointId origin_endpoint = task->origin;
+  if (cluster_->config().propagation_mode !=
+      store::PropagationMode::kDedicatedPropagators) {
+    // Lock-service and unsynchronized modes execute on the origin itself.
+    sessions->PropagationFinished(session, view);
+    return;
+  }
+  cluster_->network().Send(
+      cluster_->ring().PrimaryFor(task->base_key), origin_endpoint,
+      [sessions, session, view] {
+        sessions->PropagationFinished(session, view);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Paper-prototype mode: coordinator-driven propagation with NO concurrency
+// control. Conflicting propagations to the same base row may interleave —
+// acceptable when view-key conflicts are rare, and exactly the behaviour
+// Figure 8 measures under skew (retry storms from unpropagated guesses).
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::RunUnsynchronized(
+    std::shared_ptr<PropagationTask> task) {
+  store::Server* executor = &cluster_->server(task->origin);
+  Propagation::Run(executor, task, CurrentGuess(*task),
+                   [this, task](Status status) {
+                     OnAttemptDone(task, std::move(status),
+                                   [this, task](bool done) {
+                                     if (done) return;
+                                     cluster_->simulation().After(
+                                         RetryDelay(*task), [this, task] {
+                                           RunUnsynchronized(task);
+                                         });
+                                   });
+                   });
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-F mode 1: coordinator-driven propagation under a lock service.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
+  store::Server* executor = &cluster_->server(task->origin);
+  const std::string resource = ResourceOf(*task);
+  const LockMode mode = task->view_key_update.has_value()
+                            ? LockMode::kExclusive
+                            : LockMode::kShared;
+  if (!locks_.WouldGrantImmediately(resource, mode)) {
+    cluster_->metrics().lock_waits++;
+  }
+  locks_.Acquire(
+      executor->id(), resource, mode, [this, task, executor, resource, mode] {
+        Propagation::Run(
+            executor, task, CurrentGuess(*task),
+            [this, task, executor, resource, mode](Status status) {
+              // Release between attempts: holding the lock across a retry
+              // would deadlock against the very propagation this one is
+              // waiting for.
+              locks_.Release(executor->id(), resource, mode);
+              OnAttemptDone(task, std::move(status),
+                            [this, task, resource](bool done) {
+                              if (done) return;
+                              ParkForRetry(resource, task);
+                            });
+            });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Section IV-F mode 2: dedicated propagators chosen by consistent hashing of
+// the base key; per-(view, base key) FIFO execution.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::EnqueueOnPropagator(
+    std::shared_ptr<PropagationTask> task) {
+  const ServerId propagator = cluster_->ring().PrimaryFor(task->base_key);
+  const std::string resource = ResourceOf(*task);
+  // Hand the task over the network (no-op hop when origin == propagator).
+  cluster_->network().Send(
+      task->origin, propagator, [this, task, propagator, resource] {
+        RowQueue& queue = row_queues_[propagator][resource];
+        queue.tasks.push_back(task);
+        if (!queue.running) {
+          queue.running = true;
+          PumpRowQueue(propagator, resource);
+        }
+      });
+}
+
+void MaintenanceEngine::PumpRowQueue(ServerId propagator,
+                                     const std::string& resource) {
+  RowQueue& queue = row_queues_[propagator][resource];
+  MVSTORE_CHECK(queue.running);
+  if (queue.tasks.empty()) {
+    queue.running = false;
+    row_queues_[propagator].erase(resource);
+    return;
+  }
+  std::shared_ptr<PropagationTask> task = queue.tasks.front();
+  queue.tasks.pop_front();
+  store::Server* executor = &cluster_->server(propagator);
+  Propagation::Run(
+      executor, task, CurrentGuess(*task),
+      [this, task, propagator, resource](Status status) {
+        OnAttemptDone(
+            task, std::move(status),
+            [this, task, propagator, resource](bool done) {
+              if (!done) {
+                // The update this one depends on has not propagated yet;
+                // park until a same-row propagation completes (or the
+                // fallback timer fires) and keep the queue moving.
+                ParkForRetry(resource, task);
+              }
+              PumpRowQueue(propagator, resource);
+            });
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: reading from a versioned view.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::HandleViewGet(
+    store::Server* coordinator, const store::ViewDef& view,
+    const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
+    store::SessionId session,
+    std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback) {
+  SessionManager& sessions = *sessions_[coordinator->id()];
+  // The ViewDef lives in the cluster schema, which is immutable for the
+  // cluster's lifetime; hold it by pointer across the async hops.
+  const store::ViewDef* view_def = &view;
+  if (cluster_->config().session_guarantees && session != 0 &&
+      sessions.MustDefer(session, view.name)) {
+    cluster_->metrics().view_get_deferrals++;
+    sessions.Defer(session, view.name,
+                   [this, coordinator, view_def, view_key,
+                    columns = std::move(columns), read_quorum,
+                    callback = std::move(callback)]() mutable {
+                     DoViewGet(coordinator, *view_def, view_key,
+                               std::move(columns), read_quorum, /*attempt=*/0,
+                               std::move(callback));
+                   });
+    return;
+  }
+  DoViewGet(coordinator, view, view_key, std::move(columns), read_quorum,
+            /*attempt=*/0, std::move(callback));
+}
+
+void MaintenanceEngine::DoViewGet(
+    store::Server* coordinator, const store::ViewDef& view,
+    const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
+    int attempt,
+    std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback) {
+  const store::ViewDef* view_def = &view;
+  coordinator->CoordinateScan(
+      view.name, store::ViewPartitionPrefix(view_key), read_quorum,
+      [this, coordinator, view_def, view_key, columns, read_quorum, attempt,
+       callback = std::move(callback)](
+          StatusOr<std::vector<storage::KeyedRow>> scan) mutable {
+        if (!scan.ok()) {
+          callback(scan.status());
+          return;
+        }
+        std::map<Key, const storage::Row*> live_rows;  // by base key
+        std::map<Key, bool> initializing;              // by base key
+        for (const storage::KeyedRow& kr : *scan) {
+          auto split = store::SplitViewRowKey(kr.key);
+          if (!split || split->first != view_key) continue;
+          const Key& base_key = split->second;
+          RowStatus status = ClassifyViewRow(kr.row, view_key);
+          if (!status.exists) continue;
+          if (!status.live) {
+            cluster_->metrics().stale_rows_filtered++;
+            continue;
+          }
+          if (!status.initialized) {
+            initializing[base_key] = true;
+            continue;
+          }
+          if (status.hidden) continue;
+          live_rows[base_key] = &kr.row;
+        }
+        // Section IV-F: never expose a window where the row's only live
+        // version is still being initialized — wait for the promotion to
+        // finish (bounded).
+        bool must_spin = false;
+        for (const auto& [base_key, unused] : initializing) {
+          if (live_rows.count(base_key) == 0) {
+            must_spin = true;
+            break;
+          }
+        }
+        if (must_spin && attempt < kMaxReadSpins) {
+          cluster_->metrics().view_get_spins++;
+          cluster_->simulation().After(
+              kReadSpinDelay,
+              [this, coordinator, view_def, view_key,
+               columns = std::move(columns), read_quorum, attempt,
+               callback = std::move(callback)]() mutable {
+                DoViewGet(coordinator, *view_def, view_key, std::move(columns),
+                          read_quorum, attempt + 1, std::move(callback));
+              });
+          return;
+        }
+        const std::vector<ColumnName>& wanted =
+            columns.empty() ? view_def->materialized_columns : columns;
+        std::vector<store::ViewRecord> records;
+        records.reserve(live_rows.size());
+        for (const auto& [base_key, row] : live_rows) {
+          store::ViewRecord record;
+          record.base_key = base_key;
+          for (const ColumnName& col : wanted) {
+            if (auto cell = row->Get(col); cell && !cell->tombstone) {
+              record.cells.Apply(col, *cell);
+            }
+          }
+          records.push_back(std::move(record));
+        }
+        callback(std::move(records));
+      });
+}
+
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::Quiesce() {
+  while (active_ > 0) {
+    MVSTORE_CHECK(cluster_->simulation().Step())
+        << "simulation ran dry with " << active_ << " propagations pending";
+  }
+}
+
+}  // namespace mvstore::view

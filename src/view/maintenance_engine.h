@@ -1,0 +1,136 @@
+// The view-maintenance engine: Algorithm 1's asynchronous propagation driver,
+// Algorithm 4's view reads, session guarantees, and both Section IV-F
+// concurrency-control designs.
+//
+// One engine serves the whole cluster. It installs itself as every server's
+// ViewMaintenanceHook. Per-coordinator state (session managers, in the
+// dedicated mode per-propagator row queues) is kept per server id.
+
+#ifndef MVSTORE_VIEW_MAINTENANCE_ENGINE_H_
+#define MVSTORE_VIEW_MAINTENANCE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/cluster.h"
+#include "store/hooks.h"
+#include "view/lock_service.h"
+#include "view/propagation.h"
+#include "view/session_manager.h"
+
+namespace mvstore::view {
+
+class MaintenanceEngine : public store::ViewMaintenanceHook {
+ public:
+  /// Creates the engine and installs it on every server of `cluster`.
+  explicit MaintenanceEngine(store::Cluster* cluster);
+
+  MaintenanceEngine(const MaintenanceEngine&) = delete;
+  MaintenanceEngine& operator=(const MaintenanceEngine&) = delete;
+
+  // --- store::ViewMaintenanceHook ---
+  void OnBasePutCommitted(store::Server* coordinator, const Key& base_key,
+                          const storage::Row& written,
+                          std::vector<store::CollectedViewKeys> views,
+                          store::SessionId session) override;
+  void HandleViewGet(
+      store::Server* coordinator, const store::ViewDef& view,
+      const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
+      store::SessionId session,
+      std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback)
+      override;
+
+  /// Number of propagations registered but not yet completed or abandoned.
+  std::uint64_t active_propagations() const { return active_; }
+
+  /// Drives the simulation until every registered propagation has completed
+  /// (tests and examples; CHECK-fails if the simulation runs dry first).
+  void Quiesce();
+
+  LockService& lock_service() { return locks_; }
+  SessionManager& session_manager(ServerId server) {
+    return *sessions_[server];
+  }
+
+  /// Retry budget per propagation before it is abandoned (counted in
+  /// attempts; generous — Section IV-D argues success is eventually
+  /// guaranteed when propagations are retried).
+  static constexpr int kMaxAttempts = 500;
+
+ private:
+  struct RowQueue {
+    std::deque<std::shared_ptr<PropagationTask>> tasks;
+    bool running = false;
+  };
+
+  /// Serialization resource name for a task (one lock / one queue per
+  /// (view, base key), Section IV-F).
+  static std::string ResourceOf(const PropagationTask& task);
+
+  const storage::Cell& CurrentGuess(const PropagationTask& task) const;
+
+  /// Linear backoff (capped) for retrying a failed attempt.
+  SimTime RetryDelay(const PropagationTask& task) const;
+
+  SimTime SampleDispatchDelay();
+
+  // Lock-service mode.
+  void RunWithLocks(std::shared_ptr<PropagationTask> task);
+
+  // Paper-prototype mode: no concurrency control.
+  void RunUnsynchronized(std::shared_ptr<PropagationTask> task);
+
+  // Dedicated-propagator mode.
+  void EnqueueOnPropagator(std::shared_ptr<PropagationTask> task);
+  void PumpRowQueue(ServerId propagator, const std::string& resource);
+
+  /// Handles one attempt's outcome: completion, retry with the next guess
+  /// (optionally refreshing guesses from the base row), or abandonment.
+  void OnAttemptDone(std::shared_ptr<PropagationTask> task, Status status,
+                     std::function<void(bool /*completed*/)> then);
+
+  void RefreshGuesses(std::shared_ptr<PropagationTask> task,
+                      std::function<void()> then);
+
+  /// Re-enters a task through its mode's execution path.
+  void DispatchTask(std::shared_ptr<PropagationTask> task);
+
+  /// Parks a failed task until a same-row propagation completes (or a
+  /// fallback timer fires); Section IV-F modes only.
+  void ParkForRetry(const std::string& resource,
+                    std::shared_ptr<PropagationTask> task);
+  void WakeParked(const std::string& resource);
+
+  void TaskCompleted(const std::shared_ptr<PropagationTask>& task);
+  void TaskAbandoned(const std::shared_ptr<PropagationTask>& task);
+  void NotifyOrigin(const std::shared_ptr<PropagationTask>& task);
+
+  // Algorithm 4 with the Section IV-F wait-on-initializing-row rule.
+  void DoViewGet(
+      store::Server* coordinator, const store::ViewDef& view,
+      const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
+      int attempt,
+      std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback);
+
+  static constexpr int kMaxReadSpins = 64;
+  static constexpr SimTime kReadSpinDelay = Millis(1);
+
+  store::Cluster* cluster_;
+  Rng rng_;
+  LockService locks_;
+  std::vector<std::unique_ptr<SessionManager>> sessions_;
+  std::vector<std::map<std::string, RowQueue>> row_queues_;  // by propagator
+  std::map<std::string, std::vector<std::shared_ptr<PropagationTask>>>
+      parked_;  // retry parking lot, by resource
+  std::uint64_t active_ = 0;
+  std::uint64_t next_task_id_ = 0;
+};
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_MAINTENANCE_ENGINE_H_

@@ -1,0 +1,134 @@
+// PropagateUpdate and GetLiveKey (Algorithms 2 and 3).
+//
+// One Propagation object executes a single attempt to propagate one base-
+// table update to one view, starting from one view-key guess. It is an
+// asynchronous state machine over the coordinator primitives of the server
+// it runs on: every Get/Put inside it is a majority-quorum operation on the
+// view's backing table ("write quorum for all Puts is a majority of the view
+// replicas").
+//
+// Outcomes:
+//   OK        — the versioned view reflects the update (Definition 3).
+//   kAborted  — the guess was written by an update that has not itself
+//               propagated yet (GetLiveKey found no row). The caller retries
+//               with another guess (Algorithm 1, lines 5-7).
+//   other     — infrastructure failure (quorum unreachable); caller retries.
+
+#ifndef MVSTORE_VIEW_PROPAGATION_H_
+#define MVSTORE_VIEW_PROPAGATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/cell.h"
+#include "storage/row.h"
+#include "store/schema.h"
+#include "store/server.h"
+
+namespace mvstore::view {
+
+/// One base-table update bound for one view (built by the maintenance
+/// engine from Algorithm 1's collection step).
+struct PropagationTask {
+  std::uint64_t id = 0;
+  const store::ViewDef* view = nullptr;
+  Key base_key;
+
+  /// The written view-key cell, when the update touched the view key:
+  /// a live cell = the key was set; a tombstone = the key was deleted
+  /// (the row must be marked deleted in the view, Section IV-C).
+  std::optional<storage::Cell> view_key_update;
+
+  /// Written cells of view-materialized columns (possibly empty).
+  storage::Row materialized_updates;
+
+  /// Distinct pre-update view-key versions collected from the base row's
+  /// replicas; null cells mean a replica had never seen a view key.
+  std::vector<storage::Cell> guesses;
+
+  store::SessionId session = 0;
+  ServerId origin = 0;       ///< coordinator that owns session bookkeeping
+  SimTime created_at = 0;
+  /// Guess-rotation counter: bumped only on kAborted (guess not propagated
+  /// yet), so the next attempt tries a different guess.
+  int attempts = 0;
+  /// Infrastructure-failure counter (quorum timeouts etc.). These retry
+  /// with the SAME guess: a timed-out step's writes may have landed without
+  /// their acks, and redoing the identical idempotent sequence is what
+  /// cleans that limbo up; switching guesses could instead take the
+  /// case-2c shortcut and strand a rival live row.
+  int infra_failures = 0;
+  /// True while the task sits in the engine's retry parking lot waiting for
+  /// a same-row propagation to complete (or for its fallback timer).
+  bool parked = false;
+
+  /// True when the pre-image collection heard from EVERY replica
+  /// (diagnostics; creation no longer depends on it because every existing
+  /// row family carries its sentinel anchor from birth).
+  bool full_collection = false;
+
+  /// True when no replica had ever seen a view key for this row — the only
+  /// situation in which propagation may create the row's first view row.
+  bool AllGuessesNull() const;
+};
+
+class Propagation : public std::enable_shared_from_this<Propagation> {
+ public:
+  /// Runs one attempt on `executor` using `guess`. `done` fires exactly once.
+  static void Run(store::Server* executor,
+                  std::shared_ptr<PropagationTask> task,
+                  const storage::Cell& guess,
+                  std::function<void(Status)> done);
+
+ private:
+  static constexpr int kMaxChainHops = 1024;
+
+  Propagation(store::Server* executor, std::shared_ptr<PropagationTask> task,
+              storage::Cell guess, std::function<void(Status)> done);
+
+  void Start();
+  void GetLiveKeyStep(Key kv, int hops);
+  void OnGuessMissing(const Key& kv, int hops);
+  void Dispatch();
+  Key EffectiveNewKey() const;
+
+  // Row-family creation (first insert): see CreateAnchor in the .cc.
+  void CreateAnchor();
+  void RefreshLiveRow();   ///< Case 2c: knew is already the live key
+  void Promote();          ///< new key supersedes the live row
+  void StaleInsert();      ///< new key loses: insert a stale row
+
+  // Shared tails.
+  void ApplyMaterialized(const Key& target_view_key);
+  void Finish(Status status);
+
+  // Helpers.
+  storage::Row SelectionMarkFromViewKey() const;
+  storage::Row SelectionMarkFromMaterialized() const;
+  void ViewPut(const Key& view_key, storage::Row cells,
+               std::function<void()> next);
+  void ViewReadRow(const Key& view_key, std::vector<ColumnName> columns,
+                   std::function<void(StatusOr<storage::Row>)> next);
+
+  store::Server* executor_;
+  std::shared_ptr<PropagationTask> task_;
+  storage::Cell guess_;
+  std::function<void(Status)> done_;
+
+  // Resolved by GetLiveKey.
+  Key live_key_;
+  Timestamp live_ts_ = kNullTimestamp;
+  bool have_live_ = false;
+  /// True when the chase started from a null guess via the sentinel key
+  /// (first-insert candidate).
+  bool chasing_from_null_ = false;
+};
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_PROPAGATION_H_

@@ -1,0 +1,320 @@
+#include "view/scrub.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "store/codec.h"
+#include "view/view_row.h"
+
+namespace mvstore::view {
+
+namespace {
+
+using storage::Cell;
+using storage::Row;
+
+/// Cell-wise merge of a table across every server's replica: the state all
+/// replicas converge to under anti-entropy.
+std::map<Key, Row> MergedTable(store::Cluster& cluster,
+                               const std::string& table) {
+  std::map<Key, Row> merged;
+  for (int s = 0; s < cluster.num_servers(); ++s) {
+    cluster.server(static_cast<ServerId>(s))
+        .EngineFor(table)
+        .ForEach([&merged](const Key& key, const Row& row) {
+          merged[key].MergeFrom(row);
+        });
+  }
+  return merged;
+}
+
+bool RecordLess(const ExpectedRecord& a, const ExpectedRecord& b) {
+  if (a.view_key != b.view_key) return a.view_key < b.view_key;
+  return a.base_key < b.base_key;
+}
+
+}  // namespace
+
+std::vector<ExpectedRecord> ComputeExpectedView(store::Cluster& cluster,
+                                                const store::ViewDef& view) {
+  std::vector<ExpectedRecord> expected;
+  for (const auto& [base_key, row] : MergedTable(cluster, view.base_table)) {
+    auto view_key = row.Get(view.view_key_column);
+    if (!view_key || view_key->tombstone) continue;  // no row (Definition 1)
+    if (view.selection.has_value()) {
+      auto selected = row.GetValue(view.selection->column);
+      if (!selected || *selected != view.selection->equals) continue;
+    }
+    ExpectedRecord record;
+    record.view_key = view_key->value;
+    record.base_key = base_key;
+    for (const ColumnName& col : view.materialized_columns) {
+      if (auto cell = row.Get(col); cell && !cell->tombstone) {
+        record.cells.Apply(col, *cell);
+      }
+    }
+    expected.push_back(std::move(record));
+  }
+  std::sort(expected.begin(), expected.end(), RecordLess);
+  return expected;
+}
+
+std::vector<ExpectedRecord> ReadConvergedView(store::Cluster& cluster,
+                                              const store::ViewDef& view) {
+  std::vector<ExpectedRecord> exposed;
+  for (const auto& [key, row] : MergedTable(cluster, view.name)) {
+    auto split = store::SplitViewRowKey(key);
+    if (!split) continue;
+    RowStatus status = ClassifyViewRow(row, split->first);
+    if (!status.exists || !status.live || !status.initialized ||
+        status.hidden) {
+      continue;
+    }
+    ExpectedRecord record;
+    record.view_key = split->first;
+    record.base_key = split->second;
+    for (const ColumnName& col : view.materialized_columns) {
+      if (auto cell = row.Get(col); cell && !cell->tombstone) {
+        record.cells.Apply(col, *cell);
+      }
+    }
+    exposed.push_back(std::move(record));
+  }
+  std::sort(exposed.begin(), exposed.end(), RecordLess);
+  return exposed;
+}
+
+std::string ScrubReport::Summary() const {
+  std::ostringstream os;
+  os << "rows=" << rows_examined << " live=" << live_rows
+     << " stale=" << stale_rows << " hidden=" << hidden_rows;
+  if (clean()) {
+    os << " CLEAN";
+  } else {
+    os << " VIOLATIONS:"
+       << " multi_live=" << multiple_live_rows.size()
+       << " broken_chains=" << broken_chains.size()
+       << " uninit_live=" << uninitialized_live.size()
+       << " missing=" << missing_records.size()
+       << " spurious=" << spurious_records.size()
+       << " wrong=" << wrong_cells.size();
+  }
+  return os.str();
+}
+
+ScrubReport CheckView(store::Cluster& cluster, const store::ViewDef& view) {
+  ScrubReport report;
+  const std::map<Key, Row> rows = MergedTable(cluster, view.name);
+
+  // Index the versioned view by (base key -> view key -> status).
+  std::map<Key, std::map<Key, RowStatus>> by_base;
+  for (const auto& [key, row] : rows) {
+    auto split = store::SplitViewRowKey(key);
+    if (!split) continue;
+    RowStatus status = ClassifyViewRow(row, split->first);
+    if (!status.exists) continue;
+    report.rows_examined++;
+    if (status.live) {
+      report.live_rows++;
+      if (status.hidden) report.hidden_rows++;
+      if (!status.initialized) {
+        report.uninitialized_live.push_back(split->second + "@" +
+                                            split->first);
+      }
+    } else {
+      report.stale_rows++;
+    }
+    by_base[split->second][split->first] = status;
+  }
+
+  // Definition 3: one live row per base key; every stale chain reaches it.
+  for (const auto& [base_key, versions] : by_base) {
+    int live_count = 0;
+    Key live_key;
+    for (const auto& [view_key, status] : versions) {
+      if (status.live) {
+        ++live_count;
+        live_key = view_key;
+      }
+    }
+    if (live_count > 1) report.multiple_live_rows.push_back(base_key);
+    for (const auto& [view_key, status] : versions) {
+      if (status.live) continue;
+      // Follow the chain.
+      Key at = view_key;
+      bool reached_live = false;
+      std::set<Key> seen;
+      while (seen.insert(at).second) {
+        auto it = versions.find(at);
+        if (it == versions.end()) break;  // dangling pointer
+        if (it->second.live) {
+          reached_live = true;
+          break;
+        }
+        at = it->second.next;
+      }
+      if (!reached_live) {
+        report.broken_chains.push_back(base_key + "@" + view_key);
+      }
+    }
+  }
+
+  // Content: the exposed records must equal the Definition-1 evaluation.
+  const std::vector<ExpectedRecord> expected =
+      ComputeExpectedView(cluster, view);
+  const std::vector<ExpectedRecord> exposed = ReadConvergedView(cluster, view);
+  auto label = [](const ExpectedRecord& r) {
+    return r.base_key + "@" + r.view_key;
+  };
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < expected.size() || j < exposed.size()) {
+    if (j == exposed.size() ||
+        (i < expected.size() && RecordLess(expected[i], exposed[j]))) {
+      report.missing_records.push_back(label(expected[i]));
+      ++i;
+    } else if (i == expected.size() || RecordLess(exposed[j], expected[i])) {
+      report.spurious_records.push_back(label(exposed[j]));
+      ++j;
+    } else {
+      if (!(expected[i].cells == exposed[j].cells)) {
+        report.wrong_cells.push_back(label(expected[i]));
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return report;
+}
+
+std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view) {
+  const std::vector<ExpectedRecord> expected =
+      ComputeExpectedView(cluster, view);
+  std::set<Key> keep;
+  Timestamp repair_ts = 0;
+  const std::map<Key, Row> existing = MergedTable(cluster, view.name);
+  for (const auto& [key, row] : existing) {
+    repair_ts = std::max(repair_ts, row.MaxTimestamp());
+  }
+  repair_ts += 1;
+
+  auto apply_everywhere = [&cluster, &view](const Key& key, const Row& cells) {
+    for (ServerId replica :
+         cluster.server(0).ReplicasOf(view.name, key)) {
+      cluster.server(replica).EngineFor(view.name).ApplyRow(key, cells);
+    }
+  };
+
+  for (const ExpectedRecord& record : expected) {
+    const Key key = store::ComposeViewRowKey(record.view_key, record.base_key);
+    keep.insert(key);
+    Row cells;
+    cells.Apply(store::kViewBaseKeyColumn,
+                Cell::Live(record.base_key, repair_ts));
+    cells.Apply(store::kViewNextColumn,
+                Cell::Live(record.view_key, repair_ts));
+    cells.Apply(store::kViewInitColumn, Cell::Live("1", repair_ts));
+    cells.Apply(store::kViewSelectionColumn, Cell::Tombstone(repair_ts));
+    cells.MergeFrom(record.cells);
+    apply_everywhere(key, cells);
+
+    // Re-root the family: the sentinel anchor survives as a stale row
+    // pointing at the repaired live key (the invariant the propagation
+    // engine's creation logic relies on).
+    const Key anchor_key =
+        store::DeletedSentinelViewKey(record.base_key);
+    const Key anchor_row =
+        store::ComposeViewRowKey(anchor_key, record.base_key);
+    keep.insert(anchor_row);
+    Row anchor;
+    anchor.Apply(store::kViewBaseKeyColumn,
+                 Cell::Live(record.base_key, repair_ts));
+    anchor.Apply(store::kViewNextColumn,
+                 Cell::Live(record.view_key, repair_ts));
+    anchor.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
+    apply_everywhere(anchor_row, anchor);
+  }
+
+  // Retire every row that is not an expected live row: tombstone its Next
+  // pointer so reads and GetLiveKey treat it as nonexistent.
+  for (const auto& [key, row] : existing) {
+    if (keep.count(key) != 0) continue;
+    Row cells;
+    cells.Apply(store::kViewNextColumn, Cell::Tombstone(repair_ts));
+    cells.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
+    apply_everywhere(key, cells);
+  }
+  return expected.size();
+}
+
+std::size_t TrimStaleViewRows(store::Cluster& cluster,
+                              const store::ViewDef& view,
+                              Timestamp older_than) {
+  const std::map<Key, Row> rows = MergedTable(cluster, view.name);
+
+  // Identify families that currently have a live row — only their stale
+  // rows are retireable (a family mid-promotion must not lose chain links)
+  // — and remember each family's live key so anchors can be re-pointed.
+  std::map<Key, Key> live_key_of;  // base key -> live view key
+  for (const auto& [key, row] : rows) {
+    auto split = store::SplitViewRowKey(key);
+    if (!split) continue;
+    RowStatus status = ClassifyViewRow(row, split->first);
+    if (status.exists && status.live) live_key_of[split->second] = split->first;
+  }
+
+  std::size_t trimmed = 0;
+  std::set<Key> trimmed_families;
+  for (const auto& [key, row] : rows) {
+    auto split = store::SplitViewRowKey(key);
+    if (!split) continue;
+    // The sentinel anchor is the row family's permanent chain root: never
+    // trimmed (it is re-pointed below instead).
+    if (store::IsSentinelViewKey(split->first)) continue;
+    RowStatus status = ClassifyViewRow(row, split->first);
+    if (!status.exists || status.live) continue;
+    if (live_key_of.count(split->second) == 0) continue;
+    // Freshness is judged by the Next pointer's timestamp: chain targets are
+    // always at least as fresh as their pointers, so trimming by next_ts can
+    // never leave a surviving non-anchor row dangling.
+    if (status.next_ts >= older_than) continue;
+
+    // Sever only the BOOKKEEPING cells: without a live __next the row is
+    // invisible to reads and nonexistent to GetLiveKey, and compaction
+    // purges the tombstones after the GC grace period. Materialized cells
+    // are left in place: CopyData writes carry their ORIGINAL (old)
+    // timestamps, so a tombstone at `older_than` would shadow the data a
+    // future re-promotion of this key copies back in. The leftovers are
+    // inert (they come from the same base-cell history, so LWW merges them
+    // harmlessly if the key is reused).
+    Row tombstones;
+    tombstones.Apply(store::kViewNextColumn, Cell::Tombstone(older_than));
+    tombstones.Apply(store::kViewInitColumn, Cell::Tombstone(older_than));
+    for (ServerId replica : cluster.server(0).ReplicasOf(view.name, key)) {
+      cluster.server(replica).EngineFor(view.name).ApplyRow(key, tombstones);
+    }
+    trimmed_families.insert(split->second);
+    ++trimmed;
+  }
+
+  // Re-point affected anchors straight at their live rows, so the chain
+  // root stays valid after its old target was retired. (LWW: a newer
+  // deletion/reassignment pointer on the anchor wins over this.)
+  for (const Key& base_key : trimmed_families) {
+    const Key anchor_key = store::DeletedSentinelViewKey(base_key);
+    Row repoint;
+    repoint.Apply(store::kViewNextColumn,
+                  Cell::Live(live_key_of[base_key], older_than));
+    const Key anchor_row = store::ComposeViewRowKey(anchor_key, base_key);
+    for (ServerId replica :
+         cluster.server(0).ReplicasOf(view.name, anchor_row)) {
+      cluster.server(replica).EngineFor(view.name).ApplyRow(anchor_row,
+                                                            repoint);
+    }
+  }
+  return trimmed;
+}
+
+}  // namespace mvstore::view

@@ -1,0 +1,111 @@
+// View scrubber: offline verification and repair of materialized views.
+//
+// Two jobs:
+//
+//  1. ComputeExpectedView — evaluates Definition 1 (plus selection and the
+//     deletion semantics) against the CURRENT merged state of the base
+//     table, yielding the set of records a fully-propagated, fully-converged
+//     view must expose. Property tests compare the live rows of the real
+//     versioned view against this after quiescing.
+//
+//  2. CheckView / RepairView — audits the versioned view's structural
+//     invariants (Definition 3): at most one live row per base key, every
+//     stale chain reaches the live row, no cycles, live rows initialized —
+//     and that the live rows agree with the expected view. RepairView
+//     force-writes the expected state (the recovery tool for the
+//     failure-window cases DESIGN.md documents, e.g. orphan live rows
+//     created when replicas were unreachable during pre-image collection).
+//
+// The scrubber runs outside simulated time (direct engine access), as an
+// offline maintenance utility would.
+
+#ifndef MVSTORE_VIEW_SCRUB_H_
+#define MVSTORE_VIEW_SCRUB_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/row.h"
+#include "store/cluster.h"
+#include "store/schema.h"
+
+namespace mvstore::view {
+
+/// One expected view record: (view key, base key) -> materialized cells.
+struct ExpectedRecord {
+  Key view_key;
+  Key base_key;
+  storage::Row cells;  ///< materialized columns only
+
+  friend bool operator==(const ExpectedRecord& a, const ExpectedRecord& b) {
+    return a.view_key == b.view_key && a.base_key == b.base_key &&
+           a.cells == b.cells;
+  }
+};
+
+/// Definition-1 evaluation against the merged base table (all replicas
+/// merged cell-wise, i.e. the state every replica converges to).
+/// Records are sorted by (view_key, base_key).
+std::vector<ExpectedRecord> ComputeExpectedView(store::Cluster& cluster,
+                                                const store::ViewDef& view);
+
+/// The records the versioned view currently exposes (live, initialized, not
+/// hidden), evaluated on the merged view table. Sorted like
+/// ComputeExpectedView. Values are restricted to materialized columns.
+std::vector<ExpectedRecord> ReadConvergedView(store::Cluster& cluster,
+                                              const store::ViewDef& view);
+
+/// Structural-invariant and content findings of one audit.
+struct ScrubReport {
+  std::uint64_t rows_examined = 0;
+  std::uint64_t live_rows = 0;
+  std::uint64_t stale_rows = 0;
+  std::uint64_t hidden_rows = 0;
+
+  // Definition-3 violations.
+  std::vector<std::string> multiple_live_rows;   ///< base keys with >1 live
+  std::vector<std::string> broken_chains;        ///< stale rows not reaching live
+  std::vector<std::string> uninitialized_live;   ///< live rows missing __init
+
+  // Content divergence vs ComputeExpectedView.
+  std::vector<std::string> missing_records;      ///< expected but not exposed
+  std::vector<std::string> spurious_records;     ///< exposed but not expected
+  std::vector<std::string> wrong_cells;          ///< exposed with wrong values
+
+  bool clean() const {
+    return multiple_live_rows.empty() && broken_chains.empty() &&
+           uninitialized_live.empty() && missing_records.empty() &&
+           spurious_records.empty() && wrong_cells.empty();
+  }
+  std::string Summary() const;
+};
+
+/// Audits `view` (structure + content) against the merged base table.
+ScrubReport CheckView(store::Cluster& cluster, const store::ViewDef& view);
+
+/// Rewrites the view's backing table (on every replica) to exactly the
+/// expected state: live rows per Definition 1, no stale rows. Returns the
+/// number of records written. Timestamps are preserved from the base table.
+std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view);
+
+/// Retires stale rows whose every cell is older than `older_than` by
+/// tombstoning them on all replicas (the engines' tombstone GC then purges
+/// them at compaction). Returns the number of rows retired.
+///
+/// Safety: a stale row is only ever needed by an in-flight propagation
+/// whose view-key guess predates the row's retirement; propagations are
+/// bounded in lifetime (retry budget x max backoff), so calling this with
+/// `older_than` = now - grace, grace far above that bound, never breaks a
+/// chase. A trimmed key can still come back: a later view-key update to the
+/// same value rewrites the row's cells with fresh timestamps, superseding
+/// the tombstones (Theorem 1 case 2b). Rows of families without a live row
+/// and rows still carrying recent cells are left alone. This closes the
+/// lifecycle the paper leaves open ("stale rows accumulate").
+std::size_t TrimStaleViewRows(store::Cluster& cluster,
+                              const store::ViewDef& view,
+                              Timestamp older_than);
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_SCRUB_H_

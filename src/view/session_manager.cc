@@ -1,0 +1,41 @@
+#include "view/session_manager.h"
+
+#include "common/logging.h"
+
+namespace mvstore::view {
+
+void SessionManager::PropagationStarted(store::SessionId session,
+                                        const std::string& view) {
+  if (session == 0) return;
+  pending_[{session, view}]++;
+}
+
+void SessionManager::PropagationFinished(store::SessionId session,
+                                         const std::string& view) {
+  if (session == 0) return;
+  const SessionView key{session, view};
+  auto it = pending_.find(key);
+  MVSTORE_CHECK(it != pending_.end()) << "finish without start";
+  if (--it->second > 0) return;
+  pending_.erase(it);
+  auto waiting = waiting_.find(key);
+  if (waiting == waiting_.end()) return;
+  std::vector<std::function<void()>> resumes = std::move(waiting->second);
+  waiting_.erase(waiting);
+  for (auto& resume : resumes) resume();
+}
+
+bool SessionManager::MustDefer(store::SessionId session,
+                               const std::string& view) const {
+  if (session == 0) return false;
+  return pending_.count({session, view}) != 0;
+}
+
+void SessionManager::Defer(store::SessionId session, const std::string& view,
+                           std::function<void()> resume) {
+  MVSTORE_CHECK(MustDefer(session, view));
+  ++deferred_total_;
+  waiting_[{session, view}].push_back(std::move(resume));
+}
+
+}  // namespace mvstore::view

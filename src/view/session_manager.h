@@ -1,0 +1,57 @@
+// Session guarantees (Section V, Definition 4).
+//
+// One SessionManager per coordinator server ("all requests in a session are
+// directed by the client to the same coordinator server"). The coordinator
+// associates every pending view-update propagation with the session of the
+// base-table update that triggered it; a session's view Get blocks until the
+// session's own pending propagations for that view have completed.
+
+#ifndef MVSTORE_VIEW_SESSION_MANAGER_H_
+#define MVSTORE_VIEW_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "store/hooks.h"
+
+namespace mvstore::view {
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Registers one pending propagation for (session, view). Called when the
+  /// base Put commits — before the propagation is even dispatched — so a
+  /// view Get issued immediately after the Put's ack observes it.
+  void PropagationStarted(store::SessionId session, const std::string& view);
+
+  /// Marks one propagation complete; resumes any Gets it was blocking.
+  void PropagationFinished(store::SessionId session, const std::string& view);
+
+  /// True when a Get on `view` within `session` must wait.
+  bool MustDefer(store::SessionId session, const std::string& view) const;
+
+  /// Parks `resume` until (session, view) has no pending propagations.
+  /// Callers check MustDefer first.
+  void Defer(store::SessionId session, const std::string& view,
+             std::function<void()> resume);
+
+  std::uint64_t deferred_total() const { return deferred_total_; }
+
+ private:
+  using SessionView = std::pair<store::SessionId, std::string>;
+
+  std::map<SessionView, int> pending_;
+  std::map<SessionView, std::vector<std::function<void()>>> waiting_;
+  std::uint64_t deferred_total_ = 0;
+};
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_SESSION_MANAGER_H_

@@ -1,0 +1,30 @@
+#include "view/view_row.h"
+
+#include "store/codec.h"
+#include "store/schema.h"
+
+namespace mvstore::view {
+
+RowStatus ClassifyViewRow(const storage::Row& row, const Key& view_key) {
+  RowStatus status;
+  auto next = row.Get(store::kViewNextColumn);
+  if (!next || next->tombstone) return status;  // not a versioned-view row
+  status.exists = true;
+  status.next = next->value;
+  status.next_ts = next->ts;
+  status.live = (next->value == view_key);
+
+  if (auto init = row.Get(store::kViewInitColumn);
+      init && !init->tombstone) {
+    status.initialized = true;
+  }
+  if (store::IsSentinelViewKey(view_key)) {
+    status.hidden = true;  // deleted-row sentinel: never exposed
+  }
+  if (auto ds = row.Get(store::kViewSelectionColumn); ds && !ds->tombstone) {
+    status.hidden = true;
+  }
+  return status;
+}
+
+}  // namespace mvstore::view

@@ -1,0 +1,47 @@
+// Interpretation of versioned-view rows (Definition 3 + Section IV-F).
+//
+// A view's backing table stores one flat row per (view key, base key) pair.
+// Bookkeeping cells give each row its role:
+//
+//   __next  — the stale-chain pointer. Self-pointer  => live row;
+//             other value => stale row pointing toward the live row.
+//   __init  — accessibility marker: present and live on fully initialized
+//             live rows; tombstoned while a promotion is copying data.
+//   __B     — the base key (redundant with the composite row key; kept per
+//             Definition 3 and used by the scrubber).
+//   __ds    — live cell => the selection predicate currently fails (hidden).
+//
+// Rows whose view key is the deleted-row sentinel (store::IsSentinelViewKey)
+// are hidden: a view-key deletion propagates as a view-key change to the
+// base row's sentinel key, keeping the chain intact for later updates.
+//
+// These helpers centralize the interpretation so the read path, the
+// propagation engine, the scrubber, and the tests all agree on it.
+
+#ifndef MVSTORE_VIEW_VIEW_ROW_H_
+#define MVSTORE_VIEW_VIEW_ROW_H_
+
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "storage/row.h"
+
+namespace mvstore::view {
+
+/// Decoded role of one versioned-view row.
+struct RowStatus {
+  bool exists = false;        ///< has a usable __next cell
+  bool live = false;          ///< __next points to itself
+  bool initialized = false;   ///< __init present and live
+  bool hidden = false;        ///< sentinel key or __ds live (hidden row)
+  Key next;                   ///< __next target (valid when exists)
+  Timestamp next_ts = kNullTimestamp;  ///< __next timestamp (tlive / tstale)
+};
+
+/// Classifies `row`, stored under view key `view_key`.
+RowStatus ClassifyViewRow(const storage::Row& row, const Key& view_key);
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_VIEW_ROW_H_

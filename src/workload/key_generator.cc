@@ -1,0 +1,41 @@
+#include "workload/key_generator.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/str_util.h"
+
+namespace mvstore::workload {
+
+Key FormatKey(const std::string& prefix, std::uint64_t i, int width) {
+  return prefix + PaddedInt(i, width);
+}
+
+Key UniformKeyGenerator::Next(Rng& rng) {
+  return FormatKey(prefix_,
+                   static_cast<std::uint64_t>(
+                       rng.UniformInt(0, static_cast<std::int64_t>(n_) - 1)));
+}
+
+Key RangeKeyGenerator::Next(Rng& rng) {
+  const std::uint64_t offset =
+      width_ <= 1 ? 0
+                  : static_cast<std::uint64_t>(rng.UniformInt(
+                        0, static_cast<std::int64_t>(width_) - 1));
+  return FormatKey(prefix_, lo_ + offset);
+}
+
+ZipfianKeyGenerator::ZipfianKeyGenerator(std::string prefix, std::uint64_t n,
+                                         double theta)
+    : prefix_(std::move(prefix)), n_(n), zipf_(n, theta) {}
+
+Key ZipfianKeyGenerator::Next(Rng& rng) {
+  const std::uint64_t rank = zipf_.Next(rng);
+  // Scramble so that popularity is independent of key order.
+  const std::uint64_t scrambled =
+      Hash64(std::string_view(reinterpret_cast<const char*>(&rank),
+                              sizeof(rank))) %
+      n_;
+  return FormatKey(prefix_, scrambled);
+}
+
+}  // namespace mvstore::workload

@@ -1,0 +1,70 @@
+// Key generators for workloads.
+//
+// Keys are zero-padded decimals (lexicographic order == numeric order) with
+// an optional prefix, e.g. "k00004213". Generators draw ranks from a
+// distribution and format them; all draw through the caller's Rng so runs
+// stay deterministic.
+
+#ifndef MVSTORE_WORKLOAD_KEY_GENERATOR_H_
+#define MVSTORE_WORKLOAD_KEY_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mvstore::workload {
+
+/// Formats rank `i` as prefix + zero-padded decimal.
+Key FormatKey(const std::string& prefix, std::uint64_t i, int width = 8);
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+  virtual Key Next(Rng& rng) = 0;
+};
+
+/// Uniform over ranks [0, n).
+class UniformKeyGenerator : public KeyGenerator {
+ public:
+  UniformKeyGenerator(std::string prefix, std::uint64_t n)
+      : prefix_(std::move(prefix)), n_(n) {}
+  Key Next(Rng& rng) override;
+
+ private:
+  std::string prefix_;
+  std::uint64_t n_;
+};
+
+/// Uniform over a sub-range [lo, lo + width) — Figure 8's skew knob: the
+/// narrower the range, the hotter each row.
+class RangeKeyGenerator : public KeyGenerator {
+ public:
+  RangeKeyGenerator(std::string prefix, std::uint64_t lo, std::uint64_t width)
+      : prefix_(std::move(prefix)), lo_(lo), width_(width) {}
+  Key Next(Rng& rng) override;
+
+ private:
+  std::string prefix_;
+  std::uint64_t lo_;
+  std::uint64_t width_;
+};
+
+/// Zipfian over ranks [0, n), theta in [0, 1) (0.99 = YCSB default), with
+/// rank scrambling so hot keys are spread over the keyspace.
+class ZipfianKeyGenerator : public KeyGenerator {
+ public:
+  ZipfianKeyGenerator(std::string prefix, std::uint64_t n, double theta);
+  Key Next(Rng& rng) override;
+
+ private:
+  std::string prefix_;
+  std::uint64_t n_;
+  ZipfianGenerator zipf_;
+};
+
+}  // namespace mvstore::workload
+
+#endif  // MVSTORE_WORKLOAD_KEY_GENERATOR_H_

@@ -1,0 +1,87 @@
+#include "workload/runner.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace mvstore::workload {
+
+// Everything the in-flight closures touch lives here, kept alive by
+// shared_ptr until the last scheduled event has fired (events can outlive
+// Run(): a think-time wakeup scheduled just before the window closed fires
+// during a later simulation run; it must find valid state and no-op).
+struct ClosedLoopRunner::State {
+  store::Cluster* cluster = nullptr;
+  Operation op;
+  SimTime think_time = 0;
+  SimTime window_start = 0;
+  SimTime window_end = 0;
+  bool stopped = false;
+  std::vector<std::unique_ptr<store::Client>> clients;
+  RunResult result;
+};
+
+namespace {
+
+void Issue(const std::shared_ptr<ClosedLoopRunner::State>& state, int index);
+
+void OnOpDone(const std::shared_ptr<ClosedLoopRunner::State>& state,
+              int index, SimTime issued_at, bool ok) {
+  sim::Simulation& sim = state->cluster->simulation();
+  const SimTime now = sim.Now();
+  if (now >= state->window_start && now < state->window_end) {
+    state->result.operations++;
+    if (!ok) state->result.failures++;
+    state->result.latency.Record(now - issued_at);
+  }
+  if (state->stopped || now >= state->window_end) return;
+  if (state->think_time > 0) {
+    sim.After(state->think_time, [state, index] { Issue(state, index); });
+  } else {
+    Issue(state, index);
+  }
+}
+
+void Issue(const std::shared_ptr<ClosedLoopRunner::State>& state, int index) {
+  if (state->stopped) return;
+  const SimTime issued_at = state->cluster->simulation().Now();
+  state->op(index, *state->clients[static_cast<std::size_t>(index)],
+            [state, index, issued_at](bool ok) {
+              OnOpDone(state, index, issued_at, ok);
+            });
+}
+
+}  // namespace
+
+ClosedLoopRunner::ClosedLoopRunner(store::Cluster* cluster, int num_clients,
+                                   Operation op)
+    : cluster_(cluster), num_clients_(num_clients), op_(std::move(op)) {
+  MVSTORE_CHECK_GT(num_clients, 0);
+}
+
+RunResult ClosedLoopRunner::Run(SimTime warmup, SimTime measure) {
+  auto state = std::make_shared<State>();
+  sim::Simulation& sim = cluster_->simulation();
+  state->cluster = cluster_;
+  state->op = op_;
+  state->think_time = think_time_;
+  state->window_start = sim.Now() + warmup;
+  state->window_end = state->window_start + measure;
+  state->result.window = measure;
+  state->clients.reserve(static_cast<std::size_t>(num_clients_));
+  for (int i = 0; i < num_clients_; ++i) {
+    state->clients.push_back(cluster_->NewClient(
+        static_cast<ServerId>(i % cluster_->num_servers())));
+  }
+
+  for (int i = 0; i < num_clients_; ++i) Issue(state, i);
+
+  sim.RunUntil(state->window_end);
+  state->stopped = true;
+  // Let in-flight work drain so it does not leak into later measurements
+  // (drained completions fall outside the window and are not recorded).
+  sim.RunFor(Millis(50));
+  return state->result;
+}
+
+}  // namespace mvstore::workload

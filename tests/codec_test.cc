@@ -1,0 +1,126 @@
+// Composite view-row key encoding: injectivity, ordering, prefix-scan
+// safety, and the deleted-row sentinel keys.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/codec.h"
+
+namespace mvstore::store {
+namespace {
+
+TEST(CodecTest, RoundTripSimple) {
+  Key composed = ComposeViewRowKey("rliu", "ticket-1");
+  auto split = SplitViewRowKey(composed);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "rliu");
+  EXPECT_EQ(split->second, "ticket-1");
+}
+
+TEST(CodecTest, RoundTripWithSeparatorAndEscapeBytes) {
+  const std::string nasty1 = std::string("a\x01b\x02c");
+  const std::string nasty2 = std::string("\x02\x02\x01");
+  Key composed = ComposeViewRowKey(nasty1, nasty2);
+  auto split = SplitViewRowKey(composed);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, nasty1);
+  EXPECT_EQ(split->second, nasty2);
+}
+
+TEST(CodecTest, EmptyComponents) {
+  Key composed = ComposeViewRowKey("", "");
+  auto split = SplitViewRowKey(composed);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "");
+  EXPECT_EQ(split->second, "");
+}
+
+TEST(CodecTest, PartitionPrefixMatchesExactlyItsViewKey) {
+  // "a" must not be a prefix-match for view key "ab" rows.
+  Key prefix_a = ViewPartitionPrefix("a");
+  Key row_ab = ComposeViewRowKey("ab", "k");
+  Key row_a = ComposeViewRowKey("a", "k");
+  EXPECT_EQ(row_a.compare(0, prefix_a.size(), prefix_a), 0);
+  EXPECT_NE(row_ab.compare(0, prefix_a.size(), prefix_a), 0);
+}
+
+TEST(CodecTest, PartitionPrefixOfComposedKey) {
+  Key composed = ComposeViewRowKey("user\x01x", "base");
+  EXPECT_EQ(PartitionPrefixOf(composed), ViewPartitionPrefix("user\x01x"));
+}
+
+TEST(CodecTest, SameViewKeyGroupsContiguously) {
+  // All rows of one view key sort between the prefix and any other view key.
+  std::vector<Key> keys = {
+      ComposeViewRowKey("bob", "2"),  ComposeViewRowKey("alice", "9"),
+      ComposeViewRowKey("bob", "1"),  ComposeViewRowKey("alice", "1"),
+      ComposeViewRowKey("carol", "5"),
+  };
+  std::sort(keys.begin(), keys.end());
+  // alice rows first, then bob rows, then carol.
+  EXPECT_EQ(SplitViewRowKey(keys[0])->first, "alice");
+  EXPECT_EQ(SplitViewRowKey(keys[1])->first, "alice");
+  EXPECT_EQ(SplitViewRowKey(keys[2])->first, "bob");
+  EXPECT_EQ(SplitViewRowKey(keys[3])->first, "bob");
+  EXPECT_EQ(SplitViewRowKey(keys[4])->first, "carol");
+}
+
+TEST(CodecTest, InjectivityRandomized) {
+  // Distinct (view key, base key) pairs never collide after encoding.
+  Rng rng(99);
+  std::set<Key> seen_composed;
+  std::set<std::pair<Key, Key>> seen_pairs;
+  auto random_component = [&rng]() {
+    std::string s;
+    const int len = static_cast<int>(rng.UniformInt(0, 6));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.UniformInt(0, 4)));  // nasty bytes
+    }
+    return s;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    Key vk = random_component();
+    Key bk = random_component();
+    const bool fresh_pair = seen_pairs.insert({vk, bk}).second;
+    const bool fresh_key = seen_composed.insert(ComposeViewRowKey(vk, bk)).second;
+    EXPECT_EQ(fresh_pair, fresh_key) << "collision or instability";
+  }
+}
+
+TEST(CodecTest, MalformedKeysRejected) {
+  EXPECT_FALSE(SplitViewRowKey("no-separator-here").has_value());
+  // Dangling escape byte.
+  EXPECT_FALSE(
+      SplitViewRowKey(std::string("ab\x02") + kComponentSeparator + "c")
+          .has_value());
+  // Unknown escape code.
+  EXPECT_FALSE(
+      SplitViewRowKey(std::string("a\x02x") + kComponentSeparator + "c")
+          .has_value());
+}
+
+TEST(CodecTest, UnescapeRejectsRawSeparator) {
+  EXPECT_FALSE(UnescapeComponent(std::string(1, kComponentSeparator))
+                   .has_value());
+}
+
+TEST(CodecTest, SentinelViewKeys) {
+  Key sentinel = DeletedSentinelViewKey("base-7");
+  EXPECT_TRUE(IsSentinelViewKey(sentinel));
+  EXPECT_FALSE(IsSentinelViewKey("base-7"));
+  EXPECT_FALSE(IsSentinelViewKey(""));
+  EXPECT_NE(DeletedSentinelViewKey("a"), DeletedSentinelViewKey("b"));
+
+  // Sentinel rows round-trip through the codec like any other view key.
+  Key composed = ComposeViewRowKey(sentinel, "base-7");
+  auto split = SplitViewRowKey(composed);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, sentinel);
+  EXPECT_TRUE(IsSentinelViewKey(split->first));
+}
+
+}  // namespace
+}  // namespace mvstore::store

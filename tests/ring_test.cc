@@ -1,0 +1,81 @@
+// Consistent-hash ring: replica selection, determinism, balance, and
+// stability properties.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "store/ring.h"
+
+namespace mvstore::store {
+namespace {
+
+TEST(RingTest, ReplicasAreDistinctAndComplete) {
+  Ring ring(4, 32, 1);
+  for (int i = 0; i < 200; ++i) {
+    auto replicas = ring.ReplicasFor("key" + std::to_string(i), 3);
+    ASSERT_EQ(replicas.size(), 3u);
+    std::set<ServerId> unique(replicas.begin(), replicas.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (ServerId s : replicas) EXPECT_LT(s, 4u);
+  }
+}
+
+TEST(RingTest, FullReplicationCoversAllServers) {
+  Ring ring(5, 16, 2);
+  auto replicas = ring.ReplicasFor("anything", 5);
+  std::set<ServerId> unique(replicas.begin(), replicas.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RingTest, DeterministicAcrossInstances) {
+  Ring a(4, 32, 77);
+  Ring b(4, 32, 77);
+  for (int i = 0; i < 100; ++i) {
+    const Key key = "k" + std::to_string(i);
+    EXPECT_EQ(a.ReplicasFor(key, 3), b.ReplicasFor(key, 3));
+  }
+}
+
+TEST(RingTest, SeedChangesPlacement) {
+  Ring a(4, 32, 1);
+  Ring b(4, 32, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Key key = "k" + std::to_string(i);
+    if (a.ReplicasFor(key, 3) != b.ReplicasFor(key, 3)) ++differing;
+  }
+  EXPECT_GT(differing, 50);
+}
+
+TEST(RingTest, PrimaryLoadIsRoughlyBalanced) {
+  Ring ring(4, 64, 3);
+  std::map<ServerId, int> load;
+  constexpr int kKeys = 8000;
+  for (int i = 0; i < kKeys; ++i) {
+    load[ring.PrimaryFor("key" + std::to_string(i))]++;
+  }
+  for (const auto& [server, count] : load) {
+    // Within 40% of fair share (vnodes smooth but do not equalize).
+    EXPECT_GT(count, kKeys / 4 * 0.6) << "server " << server;
+    EXPECT_LT(count, kKeys / 4 * 1.4) << "server " << server;
+  }
+}
+
+TEST(RingTest, PrimaryIsFirstReplica) {
+  Ring ring(4, 32, 4);
+  for (int i = 0; i < 50; ++i) {
+    const Key key = "k" + std::to_string(i);
+    EXPECT_EQ(ring.PrimaryFor(key), ring.ReplicasFor(key, 3)[0]);
+  }
+}
+
+TEST(RingTest, SingleServerRing) {
+  Ring ring(1, 8, 5);
+  EXPECT_EQ(ring.ReplicasFor("x", 1), (std::vector<ServerId>{0}));
+}
+
+}  // namespace
+}  // namespace mvstore::store

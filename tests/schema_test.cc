@@ -1,0 +1,142 @@
+// Schema/catalog validation: table, index, and view definitions.
+
+#include <gtest/gtest.h>
+
+#include "store/schema.h"
+
+namespace mvstore::store {
+namespace {
+
+ViewDef SampleView() {
+  ViewDef view;
+  view.name = "by_owner";
+  view.base_table = "items";
+  view.view_key_column = "owner";
+  view.materialized_columns = {"state"};
+  return view;
+}
+
+TEST(SchemaTest, CreateTableAndLookup) {
+  Schema schema;
+  EXPECT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ASSERT_NE(schema.GetTable("items"), nullptr);
+  EXPECT_FALSE(schema.GetTable("items")->composite_keys);
+  EXPECT_EQ(schema.GetTable("nope"), nullptr);
+}
+
+TEST(SchemaTest, DuplicateTableRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  EXPECT_EQ(schema.CreateTable({.name = "items"}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, EmptyTableNameRejected) {
+  Schema schema;
+  EXPECT_EQ(schema.CreateTable({.name = ""}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, IndexRequiresTable) {
+  Schema schema;
+  EXPECT_EQ(schema.CreateIndex({.table = "items", .column = "owner"}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, IndexLookupAndDuplicates) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ASSERT_TRUE(schema.CreateIndex({.table = "items", .column = "owner"}).ok());
+  EXPECT_NE(schema.FindIndex("items", "owner"), nullptr);
+  EXPECT_EQ(schema.FindIndex("items", "state"), nullptr);
+  EXPECT_EQ(schema.CreateIndex({.table = "items", .column = "owner"}).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema.IndexesOn("items").size(), 1u);
+}
+
+TEST(SchemaTest, ViewCreatesBackingTable) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ASSERT_TRUE(schema.CreateView(SampleView()).ok());
+  const TableDef* backing = schema.GetTable("by_owner");
+  ASSERT_NE(backing, nullptr);
+  EXPECT_TRUE(backing->composite_keys);
+  EXPECT_TRUE(backing->is_view_backing);
+  ASSERT_EQ(schema.ViewsOn("items").size(), 1u);
+  EXPECT_EQ(schema.ViewsOn("items")[0]->name, "by_owner");
+  EXPECT_NE(schema.GetView("by_owner"), nullptr);
+}
+
+TEST(SchemaTest, ViewRequiresBaseTable) {
+  Schema schema;
+  EXPECT_EQ(schema.CreateView(SampleView()).code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ViewsOnViewsRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ASSERT_TRUE(schema.CreateView(SampleView()).ok());
+  ViewDef nested = SampleView();
+  nested.name = "nested";
+  nested.base_table = "by_owner";
+  EXPECT_EQ(schema.CreateView(nested).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ViewNameCollisionRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef clash = SampleView();
+  clash.name = "items";
+  EXPECT_EQ(schema.CreateView(clash).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, ViewKeyColumnCannotAlsoBeMaterialized) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.materialized_columns.push_back("owner");
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ReservedColumnNamesRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.view_key_column = "__next";
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+  view = SampleView();
+  view.materialized_columns = {"__init"};
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, SelectionColumnMustBeMaterializedOrViewKey) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.selection = SelectionDef{.column = "other", .equals = "x"};
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+
+  view.selection = SelectionDef{.column = "state", .equals = "x"};
+  EXPECT_TRUE(schema.CreateView(view).ok());
+}
+
+TEST(SchemaTest, IndexOnViewRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ASSERT_TRUE(schema.CreateView(SampleView()).ok());
+  EXPECT_EQ(
+      schema.CreateIndex({.table = "by_owner", .column = "state"}).code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, AffectsAndIsMaterialized) {
+  ViewDef view = SampleView();
+  EXPECT_TRUE(view.Affects("owner"));
+  EXPECT_TRUE(view.Affects("state"));
+  EXPECT_FALSE(view.Affects("description"));
+  EXPECT_TRUE(view.IsMaterialized("state"));
+  EXPECT_FALSE(view.IsMaterialized("owner"));
+}
+
+}  // namespace
+}  // namespace mvstore::store

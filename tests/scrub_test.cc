@@ -1,0 +1,176 @@
+// The view scrubber: Definition-1 evaluation, violation detection, and
+// offline repair.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/client.h"
+#include "store/codec.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+
+namespace mvstore {
+namespace {
+
+using storage::Cell;
+using storage::Row;
+using test::TestCluster;
+
+void Load(TestCluster& t, const Key& base, const std::string& who,
+          const std::string& status, Timestamp ts) {
+  t.cluster.BootstrapLoadRow("ticket", base,
+                             {{"assigned_to", who}, {"status", status}}, ts);
+}
+
+TEST(ScrubTest, ExpectedViewMatchesDefinition1) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  Load(t, "2", "bob", "closed", 101);
+  Load(t, "3", "alice", "closed", 102);
+
+  auto expected = view::ComputeExpectedView(t.cluster, test::TicketView(t.cluster));
+  ASSERT_EQ(expected.size(), 3u);
+  EXPECT_EQ(expected[0].view_key, "alice");
+  EXPECT_EQ(expected[0].base_key, "1");
+  EXPECT_EQ(expected[1].view_key, "alice");
+  EXPECT_EQ(expected[1].base_key, "3");
+  EXPECT_EQ(expected[2].view_key, "bob");
+  EXPECT_EQ(expected[2].cells.GetValue("status").value_or(""), "closed");
+}
+
+TEST(ScrubTest, CleanViewPassesCheck) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_EQ(report.live_rows, 1u);
+  EXPECT_EQ(report.stale_rows, 1u);  // the family's sentinel anchor
+}
+
+TEST(ScrubTest, DetectsMissingRecord) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  // Corrupt: delete the view row from every replica.
+  const Key row_key = store::ComposeViewRowKey("alice", "1");
+  for (ServerId replica :
+       t.cluster.server(0).ReplicasOf("assigned_to_view", row_key)) {
+    Row tomb;
+    tomb.Apply(store::kViewNextColumn, Cell::Tombstone(500));
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(row_key,
+                                                                     tomb);
+  }
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_FALSE(report.clean());
+  ASSERT_EQ(report.missing_records.size(), 1u);
+  EXPECT_EQ(report.missing_records[0], "1@alice");
+}
+
+TEST(ScrubTest, DetectsSpuriousRecordAndMultipleLiveRows) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  // Corrupt: inject an orphan live row claiming base key 1 belongs to mallory.
+  const Key orphan = store::ComposeViewRowKey("mallory", "1");
+  Row row;
+  row.Apply(store::kViewBaseKeyColumn, Cell::Live("1", 99));
+  row.Apply(store::kViewNextColumn, Cell::Live("mallory", 99));
+  row.Apply(store::kViewInitColumn, Cell::Live("1", 99));
+  for (ServerId replica :
+       t.cluster.server(0).ReplicasOf("assigned_to_view", orphan)) {
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(orphan,
+                                                                     row);
+  }
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.spurious_records.size(), 1u);
+  EXPECT_EQ(report.multiple_live_rows.size(), 1u);
+}
+
+TEST(ScrubTest, DetectsWrongCells) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  const Key row_key = store::ComposeViewRowKey("alice", "1");
+  Row wrong;
+  wrong.Apply("status", Cell::Live("bogus", 400));
+  for (ServerId replica :
+       t.cluster.server(0).ReplicasOf("assigned_to_view", row_key)) {
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(row_key,
+                                                                     wrong);
+  }
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.wrong_cells.size(), 1u);
+}
+
+TEST(ScrubTest, DetectsBrokenChain) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  // Inject a stale row whose Next points at a nonexistent key.
+  const Key stale = store::ComposeViewRowKey("ghost", "1");
+  Row row;
+  row.Apply(store::kViewBaseKeyColumn, Cell::Live("1", 50));
+  row.Apply(store::kViewNextColumn, Cell::Live("nowhere", 50));
+  for (ServerId replica :
+       t.cluster.server(0).ReplicasOf("assigned_to_view", stale)) {
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(stale,
+                                                                     row);
+  }
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.broken_chains.size(), 1u);
+}
+
+TEST(ScrubTest, RepairRestoresEveryCorruption) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  Load(t, "2", "bob", "closed", 101);
+
+  // Wreck the view thoroughly: drop one row, corrupt another, add an orphan.
+  auto& engine0 = t.cluster.server(0);
+  const Key row1 = store::ComposeViewRowKey("alice", "1");
+  for (ServerId replica :
+       engine0.ReplicasOf("assigned_to_view", row1)) {
+    Row tomb;
+    tomb.Apply(store::kViewNextColumn, Cell::Tombstone(500));
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(row1,
+                                                                     tomb);
+  }
+  const Key orphan = store::ComposeViewRowKey("mallory", "2");
+  Row bad;
+  bad.Apply(store::kViewBaseKeyColumn, Cell::Live("2", 600));
+  bad.Apply(store::kViewNextColumn, Cell::Live("mallory", 600));
+  bad.Apply(store::kViewInitColumn, Cell::Live("1", 600));
+  for (ServerId replica : engine0.ReplicasOf("assigned_to_view", orphan)) {
+    t.cluster.server(replica).EngineFor("assigned_to_view").ApplyRow(orphan,
+                                                                     bad);
+  }
+  ASSERT_FALSE(view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+
+  const std::size_t repaired =
+      view::RepairView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_EQ(repaired, 2u);
+  auto report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+
+  // And the repaired view still serves reads correctly.
+  auto client = t.cluster.NewClient();
+  auto records = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].base_key, "1");
+  auto gone = client->ViewGetSync("assigned_to_view", "mallory", {}, 3);
+  ASSERT_TRUE(gone.ok());
+  EXPECT_TRUE(gone->empty());
+}
+
+TEST(ScrubTest, RepairOnCleanViewIsIdempotent) {
+  TestCluster t;
+  Load(t, "1", "alice", "open", 100);
+  ASSERT_TRUE(view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+  view::RepairView(t.cluster, test::TicketView(t.cluster));
+  view::RepairView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+}
+
+}  // namespace
+}  // namespace mvstore

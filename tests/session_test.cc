@@ -1,0 +1,185 @@
+// Session guarantees (Section V, Definition 4): a session's view Get must
+// reflect the session's own preceding base-table Puts, implemented by
+// blocking the Get until the session's pending propagations complete.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "view/session_manager.h"
+
+namespace mvstore {
+namespace {
+
+using store::Mutation;
+using test::TestCluster;
+
+// Slow down propagation dispatch so the guarantee actually has to block.
+store::ClusterConfig SlowPropagationConfig() {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.perf.propagation_dispatch_mu = std::log(50000.0);  // ~50 ms
+  config.perf.propagation_dispatch_sigma = 0.0;
+  config.perf.propagation_dispatch_min = Millis(50);
+  return config;
+}
+
+TEST(SessionManagerTest, TracksPendingPerSessionAndView) {
+  view::SessionManager manager;
+  EXPECT_FALSE(manager.MustDefer(1, "v"));
+  manager.PropagationStarted(1, "v");
+  manager.PropagationStarted(1, "v");
+  EXPECT_TRUE(manager.MustDefer(1, "v"));
+  EXPECT_FALSE(manager.MustDefer(2, "v"));   // other session unaffected
+  EXPECT_FALSE(manager.MustDefer(1, "w"));   // other view unaffected
+
+  int resumed = 0;
+  manager.Defer(1, "v", [&resumed] { ++resumed; });
+  manager.PropagationFinished(1, "v");
+  EXPECT_EQ(resumed, 0) << "one of two propagations still pending";
+  manager.PropagationFinished(1, "v");
+  EXPECT_EQ(resumed, 1);
+  EXPECT_FALSE(manager.MustDefer(1, "v"));
+  EXPECT_EQ(manager.deferred_total(), 1u);
+}
+
+TEST(SessionManagerTest, SessionZeroNeverDefers) {
+  view::SessionManager manager;
+  manager.PropagationStarted(0, "v");
+  EXPECT_FALSE(manager.MustDefer(0, "v"));
+}
+
+TEST(SessionTest, ViewGetSeesOwnPrecedingPut) {
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(0);
+  client->BeginSession();
+
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+          .ok());
+  // Immediately read the view within the session: despite the ~50 ms
+  // propagation dispatch delay, the Get must block and then see the update.
+  auto records = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "resolved");
+  EXPECT_GT(t.cluster.metrics().view_get_deferrals, 0u);
+}
+
+TEST(SessionTest, WithoutSessionViewMayBeStale) {
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(0);  // NO session
+
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+          .ok());
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 3);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  // Propagation dispatch is ~50 ms away; the read races ahead and sees the
+  // stale value — exactly the staleness Section IV accepts.
+  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "open");
+  EXPECT_EQ(t.cluster.metrics().view_get_deferrals, 0u);
+}
+
+TEST(SessionTest, GuaranteeCoversViewKeyUpdates) {
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(0);
+  client->BeginSession();
+
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}})
+          .ok());
+  auto records = client->ViewGetSync("assigned_to_view", "bob");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].base_key, "1");
+  // And the old key's row is gone from the reader's perspective.
+  auto old_records = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(old_records.ok());
+  EXPECT_TRUE(old_records->empty());
+}
+
+TEST(SessionTest, OtherSessionsDoNotBlock) {
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto writer = t.cluster.NewClient(0);
+  auto reader = t.cluster.NewClient(0);  // same coordinator, own session
+  writer->BeginSession();
+  reader->BeginSession();
+
+  ASSERT_TRUE(
+      writer->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+          .ok());
+  const SimTime before = t.cluster.Now();
+  auto records = reader->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(records.ok());
+  // The reader's session has no pending propagations: no blocking beyond
+  // normal request latency (far less than the 50 ms dispatch delay).
+  EXPECT_LT(t.cluster.Now() - before, Millis(20));
+}
+
+TEST(SessionTest, SessionsDisabledByConfig) {
+  store::ClusterConfig config = SlowPropagationConfig();
+  config.session_guarantees = false;
+  TestCluster t(config);
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(0);
+  client->BeginSession();
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+          .ok());
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 3);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "open");
+}
+
+TEST(SessionTest, MultiplePendingPutsAllVisible) {
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("s0")}},
+                             100);
+  t.cluster.BootstrapLoadRow("ticket", "2",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("s0")}},
+                             101);
+  auto client = t.cluster.NewClient(0);
+  client->BeginSession();
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("s1")}}).ok());
+  ASSERT_TRUE(
+      client->PutSync("ticket", "2", {{"status", std::string("s2")}}).ok());
+  auto records = client->ViewGetSync("assigned_to_view", "a");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  for (const auto& record : *records) {
+    if (record.base_key == "1") {
+      EXPECT_EQ(record.cells.GetValue("status").value_or(""), "s1");
+    } else {
+      EXPECT_EQ(record.cells.GetValue("status").value_or(""), "s2");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvstore

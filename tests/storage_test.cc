@@ -1,0 +1,301 @@
+// Unit and property tests for the storage engine: LWW cell merge semantics
+// (the foundation of replica convergence), rows, memtable, runs, flush,
+// compaction, and tombstone GC.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/cell.h"
+#include "storage/engine.h"
+#include "storage/memtable.h"
+#include "storage/row.h"
+#include "storage/run.h"
+
+namespace mvstore::storage {
+namespace {
+
+TEST(CellTest, LargerTimestampWins) {
+  Cell a = Cell::Live("x", 10);
+  Cell b = Cell::Live("y", 20);
+  EXPECT_TRUE(Supersedes(b, a));
+  EXPECT_FALSE(Supersedes(a, b));
+  EXPECT_EQ(MergeCells(a, b).value, "y");
+}
+
+TEST(CellTest, TombstoneWinsTimestampTie) {
+  Cell live = Cell::Live("x", 10);
+  Cell dead = Cell::Tombstone(10);
+  EXPECT_TRUE(Supersedes(dead, live));
+  EXPECT_TRUE(MergeCells(live, dead).tombstone);
+}
+
+TEST(CellTest, ValueBreaksFullTie) {
+  Cell a = Cell::Live("apple", 10);
+  Cell b = Cell::Live("banana", 10);
+  EXPECT_TRUE(Supersedes(b, a));
+  EXPECT_EQ(MergeCells(a, b).value, "banana");
+}
+
+TEST(CellTest, MergeIsIdempotent) {
+  Cell a = Cell::Live("x", 10);
+  EXPECT_EQ(MergeCells(a, a), a);
+}
+
+// The convergence property: merge must be commutative and associative so
+// replicas agree regardless of delivery order. Exercised over random cells.
+TEST(CellTest, MergeCommutativeAssociativeRandomized) {
+  Rng rng(42);
+  auto random_cell = [&rng]() {
+    Cell c;
+    c.ts = rng.UniformInt(0, 4);
+    c.tombstone = rng.Chance(0.3);
+    if (!c.tombstone) c.value = std::string(1, 'a' + rng.UniformInt(0, 3));
+    return c;
+  };
+  for (int trial = 0; trial < 2000; ++trial) {
+    Cell a = random_cell();
+    Cell b = random_cell();
+    Cell c = random_cell();
+    EXPECT_EQ(MergeCells(a, b), MergeCells(b, a));
+    EXPECT_EQ(MergeCells(MergeCells(a, b), c), MergeCells(a, MergeCells(b, c)));
+  }
+}
+
+TEST(RowTest, ApplyKeepsNewest) {
+  Row row;
+  EXPECT_TRUE(row.Apply("c", Cell::Live("v1", 10)));
+  EXPECT_FALSE(row.Apply("c", Cell::Live("old", 5)));
+  EXPECT_TRUE(row.Apply("c", Cell::Live("v2", 20)));
+  EXPECT_EQ(row.GetValue("c").value_or(""), "v2");
+}
+
+TEST(RowTest, GetValueHidesTombstones) {
+  Row row;
+  row.Apply("c", Cell::Live("v", 10));
+  row.Apply("c", Cell::Tombstone(20));
+  EXPECT_FALSE(row.GetValue("c").has_value());
+  ASSERT_TRUE(row.Get("c").has_value());  // raw cell still visible
+  EXPECT_TRUE(row.Get("c")->tombstone);
+}
+
+TEST(RowTest, MergeFromIsCellwise) {
+  Row a;
+  a.Apply("x", Cell::Live("ax", 10));
+  a.Apply("y", Cell::Live("ay", 30));
+  Row b;
+  b.Apply("x", Cell::Live("bx", 20));
+  b.Apply("z", Cell::Live("bz", 5));
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetValue("x").value_or(""), "bx");
+  EXPECT_EQ(a.GetValue("y").value_or(""), "ay");
+  EXPECT_EQ(a.GetValue("z").value_or(""), "bz");
+}
+
+TEST(RowTest, MaxTimestampAndAllTombstones) {
+  Row row;
+  EXPECT_EQ(row.MaxTimestamp(), kNullTimestamp);
+  row.Apply("a", Cell::Tombstone(7));
+  row.Apply("b", Cell::Tombstone(9));
+  EXPECT_EQ(row.MaxTimestamp(), 9);
+  EXPECT_TRUE(row.AllTombstones());
+  row.Apply("b", Cell::Live("v", 12));
+  EXPECT_FALSE(row.AllTombstones());
+}
+
+TEST(MemTableTest, ApplyAndGet) {
+  MemTable mt;
+  mt.Apply("k1", "c", Cell::Live("v", 1));
+  ASSERT_NE(mt.Get("k1"), nullptr);
+  EXPECT_EQ(mt.Get("k1")->GetValue("c").value_or(""), "v");
+  EXPECT_EQ(mt.Get("k2"), nullptr);
+  EXPECT_EQ(mt.entries(), 1u);
+  EXPECT_EQ(mt.cell_count(), 1u);
+}
+
+TEST(MemTableTest, ScanPrefixOrderedAndBounded) {
+  MemTable mt;
+  for (const char* k : {"a1", "a2", "b1", "a3", "ab"}) {
+    mt.Apply(k, "c", Cell::Live(k, 1));
+  }
+  std::vector<Key> keys;
+  mt.ScanPrefix("a", [&](const Key& k, const Row&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<Key>{"a1", "a2", "a3", "ab"}));
+}
+
+TEST(RunTest, BinarySearchGet) {
+  std::vector<KeyedRow> entries;
+  for (const char* k : {"a", "c", "e"}) {
+    Row row;
+    row.Apply("v", Cell::Live(k, 1));
+    entries.push_back(KeyedRow{k, row});
+  }
+  auto run = Run::FromSorted(std::move(entries));
+  EXPECT_NE(run->Get("c"), nullptr);
+  EXPECT_EQ(run->Get("b"), nullptr);
+  EXPECT_EQ(run->Get("z"), nullptr);
+  EXPECT_EQ(run->entries(), 3u);
+}
+
+TEST(RunTest, MergePurgesExpiredTombstones) {
+  std::vector<KeyedRow> e1;
+  Row r1;
+  r1.Apply("c", Cell::Tombstone(50));
+  e1.push_back(KeyedRow{"k", r1});
+  auto run1 = Run::FromSorted(std::move(e1));
+
+  // Purge threshold above the tombstone timestamp: the cell disappears and
+  // the empty row is elided.
+  auto merged = Run::Merge({run1}, /*purge_tombstones_before=*/100);
+  EXPECT_EQ(merged->entries(), 0u);
+
+  // Below the threshold it must be kept (still shadowing older live cells).
+  auto kept = Run::Merge({run1}, /*purge_tombstones_before=*/10);
+  EXPECT_EQ(kept->entries(), 1u);
+}
+
+TEST(EngineTest, GetMergesAcrossMemtableAndRuns) {
+  EngineOptions options;
+  options.memtable_flush_entries = 2;  // flush aggressively
+  Engine engine(options);
+  engine.Apply("k", "a", Cell::Live("v1", 10));
+  engine.Apply("k2", "a", Cell::Live("x", 10));  // triggers flush
+  engine.Apply("k", "b", Cell::Live("v2", 20));  // lands in new memtable
+
+  auto row = engine.GetRow("k");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetValue("a").value_or(""), "v1");
+  EXPECT_EQ(row->GetValue("b").value_or(""), "v2");
+  EXPECT_GE(engine.num_runs(), 1u);
+}
+
+TEST(EngineTest, NewerCellInOlderRunStillWins) {
+  EngineOptions options;
+  options.memtable_flush_entries = 1000;
+  Engine engine(options);
+  engine.Apply("k", "c", Cell::Live("new", 100));
+  engine.Flush();
+  engine.Apply("k", "c", Cell::Live("stale", 50));  // older write arrives late
+  auto cell = engine.GetCell("k", "c");
+  ASSERT_TRUE(cell.has_value());
+  EXPECT_EQ(cell->value, "new");
+}
+
+TEST(EngineTest, ScanPrefixMergesStructures) {
+  Engine engine;
+  engine.Apply("p1", "c", Cell::Live("a", 1));
+  engine.Flush();
+  engine.Apply("p2", "c", Cell::Live("b", 1));
+  std::vector<Key> keys;
+  engine.ScanPrefix("p", [&](const Key& k, const Row&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<Key>{"p1", "p2"}));
+}
+
+TEST(EngineTest, CompactionReducesRunsAndKeepsData) {
+  EngineOptions options;
+  options.memtable_flush_entries = 1;
+  options.max_runs = 100;  // no automatic compaction
+  Engine engine(options);
+  for (int i = 0; i < 10; ++i) {
+    engine.Apply("k" + std::to_string(i), "c", Cell::Live("v", i));
+  }
+  EXPECT_GE(engine.num_runs(), 9u);
+  engine.Compact(kNullTimestamp);
+  EXPECT_EQ(engine.num_runs(), 1u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(engine.GetRow("k" + std::to_string(i)).has_value());
+  }
+  EXPECT_EQ(engine.compactions(), 1u);
+}
+
+TEST(EngineTest, AutomaticCompactionBoundsRunCount) {
+  EngineOptions options;
+  options.memtable_flush_entries = 1;
+  options.max_runs = 3;
+  Engine engine(options);
+  for (int i = 0; i < 50; ++i) {
+    engine.Apply("k" + std::to_string(i), "c", Cell::Live("v", i));
+  }
+  EXPECT_LE(engine.num_runs(), 4u);
+}
+
+TEST(EngineTest, TombstoneGcHonorsGracePeriod) {
+  EngineOptions options;
+  options.tombstone_gc_grace = 100;
+  Engine engine(options);
+  engine.Apply("k", "c", Cell::Live("v", 10));
+  engine.Apply("k", "c", Cell::Tombstone(20));
+  engine.Flush();
+  engine.Apply("other", "c", Cell::Live("x", 30));
+  engine.Flush();
+
+  // Within grace: tombstone retained.
+  engine.Compact(/*now=*/50);
+  ASSERT_TRUE(engine.GetCell("k", "c").has_value());
+  EXPECT_TRUE(engine.GetCell("k", "c")->tombstone);
+
+  // Past grace: tombstone (and the empty row) disappear.
+  engine.Compact(/*now=*/500);
+  EXPECT_FALSE(engine.GetRow("k").has_value());
+  EXPECT_TRUE(engine.GetRow("other").has_value());
+}
+
+TEST(EngineTest, CompactionDoesNotResurrectDeletedData) {
+  // The deletion shadows an older live cell sitting in an older run. GC of
+  // the tombstone must not bring the old value back.
+  EngineOptions options;
+  options.tombstone_gc_grace = 100;
+  Engine engine(options);
+  engine.Apply("k", "c", Cell::Live("old", 10));
+  engine.Flush();
+  engine.Apply("k", "c", Cell::Tombstone(20));
+  engine.Compact(/*now=*/500);  // grace expired; both cells merge first
+  EXPECT_FALSE(engine.GetCell("k", "c").has_value());
+}
+
+TEST(EngineTest, ForEachVisitsMergedRowsInOrder) {
+  Engine engine;
+  engine.Apply("b", "c", Cell::Live("1", 1));
+  engine.Flush();
+  engine.Apply("a", "c", Cell::Live("2", 1));
+  std::vector<Key> keys;
+  engine.ForEach([&](const Key& k, const Row&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<Key>{"a", "b"}));
+}
+
+// Randomized: an Engine receiving updates in ANY order equals a plain map
+// applying LWW — regardless of interleaved flushes and compactions.
+TEST(EngineTest, RandomizedEquivalenceToLwwMap) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    EngineOptions options;
+    options.memtable_flush_entries = 4;
+    options.max_runs = 3;
+    Engine engine(options);
+    std::map<Key, Row> model;
+    for (int i = 0; i < 300; ++i) {
+      Key key = "k" + std::to_string(rng.UniformInt(0, 10));
+      ColumnName col = "c" + std::to_string(rng.UniformInt(0, 2));
+      Cell cell;
+      cell.ts = rng.UniformInt(0, 50);
+      cell.tombstone = rng.Chance(0.2);
+      if (!cell.tombstone) {
+        cell.value = std::to_string(rng.UniformInt(0, 99));
+      }
+      engine.Apply(key, col, cell);
+      model[key].Apply(col, cell);
+      if (rng.Chance(0.05)) engine.Flush();
+      if (rng.Chance(0.02)) engine.Compact(kNullTimestamp);
+    }
+    for (const auto& [key, row] : model) {
+      auto stored = engine.GetRow(key);
+      ASSERT_TRUE(stored.has_value()) << key;
+      EXPECT_EQ(*stored, row) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvstore::storage

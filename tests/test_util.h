@@ -1,0 +1,89 @@
+// Shared fixtures for mvstore tests.
+//
+// TestCluster bundles a small simulated cluster with the view-maintenance
+// engine installed and the help-desk schema from the paper's Figure 1
+// (table "ticket" keyed by ticket id, view "assigned_to" keyed by the
+// assignee, native index on the same column for baseline comparisons).
+
+#ifndef MVSTORE_TESTS_TEST_UTIL_H_
+#define MVSTORE_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "store/client.h"
+#include "store/cluster.h"
+#include "store/config.h"
+#include "store/schema.h"
+#include "view/maintenance_engine.h"
+
+namespace mvstore::test {
+
+/// Makes propagation dispatch deterministic and fast: tasks dispatch in
+/// submission order after a constant short delay.
+inline void FastPropagation(store::ClusterConfig& config) {
+  config.perf.propagation_dispatch_mu = std::log(500.0);  // 0.5 ms
+  config.perf.propagation_dispatch_sigma = 0.0;
+  config.perf.propagation_dispatch_min = Micros(500);
+  config.perf.propagation_retry_delay = Millis(1);
+}
+
+inline store::ClusterConfig DefaultTestConfig() {
+  store::ClusterConfig config;
+  config.num_servers = 4;
+  config.replication_factor = 3;
+  config.seed = 20130401;  // DMC'13 workshop month
+  FastPropagation(config);
+  return config;
+}
+
+/// The paper's Figure 1 schema.
+inline store::Schema TicketSchema(bool with_index = true,
+                                  bool with_view = true) {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "ticket"}).ok());
+  if (with_index) {
+    MVSTORE_CHECK(
+        schema.CreateIndex({.table = "ticket", .column = "assigned_to"}).ok());
+  }
+  if (with_view) {
+    store::ViewDef view;
+    view.name = "assigned_to_view";
+    view.base_table = "ticket";
+    view.view_key_column = "assigned_to";
+    view.materialized_columns = {"status"};
+    MVSTORE_CHECK(schema.CreateView(view).ok());
+  }
+  return schema;
+}
+
+struct TestCluster {
+  explicit TestCluster(store::ClusterConfig config = DefaultTestConfig(),
+                       store::Schema schema = TicketSchema())
+      : cluster(std::move(config), std::move(schema)),
+        views(std::make_unique<view::MaintenanceEngine>(&cluster)) {
+    cluster.Start();
+  }
+
+  /// Runs the simulation until all pending view propagations finish, then a
+  /// grace period so trailing messages (read repair, session notices) land.
+  void Quiesce() {
+    views->Quiesce();
+    cluster.RunFor(Millis(100));
+  }
+
+  store::Cluster cluster;
+  std::unique_ptr<view::MaintenanceEngine> views;
+};
+
+/// The view definition of the TicketSchema.
+inline const store::ViewDef& TicketView(store::Cluster& cluster) {
+  const store::ViewDef* view = cluster.schema().GetView("assigned_to_view");
+  MVSTORE_CHECK(view != nullptr);
+  return *view;
+}
+
+}  // namespace mvstore::test
+
+#endif  // MVSTORE_TESTS_TEST_UTIL_H_

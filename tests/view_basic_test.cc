@@ -1,0 +1,239 @@
+// Basic materialized-view behaviour: Definition 1 reads, incremental
+// maintenance of single updates (paper Example 1), versioned-view structure,
+// and the view/base divergence-then-convergence lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "store/codec.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+#include "view/view_row.h"
+
+namespace mvstore {
+namespace {
+
+using store::Mutation;
+using store::ViewRecord;
+using test::TestCluster;
+
+// Loads the Figure 1 database: seven tickets with assignees and statuses.
+void LoadFigure1(store::Cluster& cluster) {
+  struct Ticket {
+    const char* id;
+    const char* status;
+    const char* assigned_to;  // nullptr = unassigned (ticket 6)
+  };
+  const Ticket tickets[] = {
+      {"1", "open", "rliu"},    {"2", "open", "kmsalem"},
+      {"3", "open", "kmsalem"}, {"4", "resolved", "rliu"},
+      {"5", "open", "cjin"},    {"6", "new", nullptr},
+      {"7", "resolved", "cjin"},
+  };
+  Timestamp ts = 1000;
+  for (const Ticket& t : tickets) {
+    Mutation m;
+    m["status"] = t.status;
+    m["description"] = std::string("desc-") + t.id;
+    if (t.assigned_to != nullptr) m["assigned_to"] = t.assigned_to;
+    cluster.BootstrapLoadRow("ticket", t.id, m, ts++);
+  }
+}
+
+std::map<Key, Value> StatusByTicket(const std::vector<ViewRecord>& records) {
+  std::map<Key, Value> result;
+  for (const ViewRecord& r : records) {
+    result[r.base_key] = r.cells.GetValue("status").value_or("<none>");
+  }
+  return result;
+}
+
+TEST(ViewBasicTest, Figure1ViewContents) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(rliu.ok()) << rliu.status();
+  EXPECT_EQ(StatusByTicket(*rliu),
+            (std::map<Key, Value>{{"1", "open"}, {"4", "resolved"}}));
+
+  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem");
+  ASSERT_TRUE(kmsalem.ok());
+  EXPECT_EQ(StatusByTicket(*kmsalem),
+            (std::map<Key, Value>{{"2", "open"}, {"3", "open"}}));
+
+  auto cjin = client->ViewGetSync("assigned_to_view", "cjin");
+  ASSERT_TRUE(cjin.ok());
+  EXPECT_EQ(StatusByTicket(*cjin),
+            (std::map<Key, Value>{{"5", "open"}, {"7", "resolved"}}));
+
+  // Ticket 6 has a NULL view key: no view row anywhere (Definition 1).
+  auto nobody = client->ViewGetSync("assigned_to_view", "");
+  ASSERT_TRUE(nobody.ok());
+  EXPECT_TRUE(nobody->empty());
+}
+
+TEST(ViewBasicTest, ViewsAreNotUpdateable) {
+  TestCluster t;
+  auto client = t.cluster.NewClient();
+  Status put = client->PutSync("assigned_to_view", "rliu", {{"status", "x"}});
+  EXPECT_EQ(put.code(), StatusCode::kInvalidArgument);
+  // And plain Gets are redirected away from the backing table.
+  auto get = client->GetSync("assigned_to_view", "rliu");
+  EXPECT_EQ(get.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ViewBasicTest, MaterializedColumnUpdatePropagates) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client->PutSync("ticket", "1", {{"status", "resolved"}}).ok());
+  t.Quiesce();
+
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(rliu.ok());
+  EXPECT_EQ(StatusByTicket(*rliu),
+            (std::map<Key, Value>{{"1", "resolved"}, {"4", "resolved"}}));
+}
+
+// Example 1: reassigning ticket 2 from kmsalem to rliu moves the view row.
+TEST(ViewBasicTest, Example1ViewKeyUpdate) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client->PutSync("ticket", "2", {{"assigned_to", "rliu"}}).ok());
+  t.Quiesce();
+
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(rliu.ok());
+  EXPECT_EQ(StatusByTicket(*rliu),
+            (std::map<Key, Value>{
+                {"1", "open"}, {"2", "open"}, {"4", "resolved"}}));
+
+  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem");
+  ASSERT_TRUE(kmsalem.ok());
+  EXPECT_EQ(StatusByTicket(*kmsalem), (std::map<Key, Value>{{"3", "open"}}));
+
+  // The versioned view retains a stale row under kmsalem whose Next pointer
+  // leads to rliu (Definition 3) — invisible to reads, visible to the
+  // scrubber.
+  view::ScrubReport report = view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_GE(report.stale_rows, 1u);
+}
+
+TEST(ViewBasicTest, ViewGetReturnsOnlyRequestedColumns) {
+  store::Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "ticket"}).ok());
+  store::ViewDef def;
+  def.name = "assigned_to_view";
+  def.base_table = "ticket";
+  def.view_key_column = "assigned_to";
+  def.materialized_columns = {"status", "priority"};
+  ASSERT_TRUE(schema.CreateView(def).ok());
+
+  TestCluster t(test::DefaultTestConfig(), std::move(schema));
+  t.cluster.BootstrapLoadRow(
+      "ticket", "1",
+      {{"assigned_to", "rliu"}, {"status", "open"}, {"priority", "P1"}}, 100);
+
+  auto client = t.cluster.NewClient();
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {"priority"});
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].cells.GetValue("priority").value_or(""), "P1");
+  EXPECT_FALSE((*records)[0].cells.GetValue("status").has_value());
+}
+
+TEST(ViewBasicTest, FreshInsertCreatesViewRow) {
+  TestCluster t;
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "42",
+                            {{"assigned_to", "alice"}, {"status", "new"}})
+                  .ok());
+  t.Quiesce();
+
+  auto records = client->ViewGetSync("assigned_to_view", "alice");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(StatusByTicket(*records),
+            (std::map<Key, Value>{{"42", "new"}}));
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+}
+
+TEST(ViewBasicTest, ViewKeyDeletionHidesRow) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client->DeleteSync("ticket", "1", {"assigned_to"}).ok());
+  t.Quiesce();
+
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(rliu.ok());
+  EXPECT_EQ(StatusByTicket(*rliu), (std::map<Key, Value>{{"4", "resolved"}}));
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+
+  // Reassigning later (larger timestamp) resurrects the row under a new key.
+  ASSERT_TRUE(client->PutSync("ticket", "1", {{"assigned_to", "bob"}}).ok());
+  t.Quiesce();
+  auto bob = client->ViewGetSync("assigned_to_view", "bob");
+  ASSERT_TRUE(bob.ok());
+  EXPECT_EQ(StatusByTicket(*bob), (std::map<Key, Value>{{"1", "open"}}));
+}
+
+TEST(ViewBasicTest, ChainOfReassignments) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  const char* assignees[] = {"a", "b", "c", "d", "e"};
+  for (const char* who : assignees) {
+    ASSERT_TRUE(
+        client->PutSync("ticket", "5", {{"assigned_to", who}}).ok());
+  }
+  t.Quiesce();
+
+  for (const char* who : {"cjin", "a", "b", "c", "d"}) {
+    auto records = client->ViewGetSync("assigned_to_view", who);
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(StatusByTicket(*records).count("5"), 0u) << who;
+  }
+  auto e = client->ViewGetSync("assigned_to_view", "e");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(StatusByTicket(*e), (std::map<Key, Value>{{"5", "open"}}));
+
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_GE(report.stale_rows, 5u);  // cjin + a..d are stale rows now
+}
+
+TEST(ViewBasicTest, UpdateBothViewKeyAndMaterializedColumn) {
+  TestCluster t;
+  LoadFigure1(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "3",
+                            {{"assigned_to", "rliu"}, {"status", "resolved"}})
+                  .ok());
+  t.Quiesce();
+
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  ASSERT_TRUE(rliu.ok());
+  EXPECT_EQ(StatusByTicket(*rliu)["3"], "resolved");
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+}
+
+}  // namespace
+}  // namespace mvstore

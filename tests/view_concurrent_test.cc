@@ -1,0 +1,271 @@
+// Concurrent update propagation: the paper's Example 2 (both propagation
+// orders), Theorem 1's case analysis, lock-service vs dedicated-propagator
+// serialization, and read behaviour during promotions.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "store/client.h"
+#include "store/codec.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+#include "view/view_row.h"
+
+namespace mvstore {
+namespace {
+
+using store::kClientTimestampEpoch;
+using store::Mutation;
+using store::PropagationMode;
+using test::TestCluster;
+
+constexpr Timestamp kT0 = kClientTimestampEpoch + 1000;
+
+store::ClusterConfig ConfigFor(PropagationMode mode) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.propagation_mode = mode;
+  return config;
+}
+
+class ViewConcurrentTest : public ::testing::TestWithParam<PropagationMode> {};
+
+INSTANTIATE_TEST_SUITE_P(Modes, ViewConcurrentTest,
+                         ::testing::Values(PropagationMode::kLockService,
+                                           PropagationMode::kDedicatedPropagators),
+                         [](const auto& info) {
+                           return info.param == PropagationMode::kLockService
+                                      ? "LockService"
+                                      : "DedicatedPropagators";
+                         });
+
+void LoadTicket2(store::Cluster& cluster) {
+  cluster.BootstrapLoadRow(
+      "ticket", "2", {{"assigned_to", std::string("kmsalem")},
+                      {"status", std::string("open")}},
+      100);
+}
+
+std::map<Key, Value> Assignments(store::Cluster& cluster) {
+  // Who does the (converged) view say ticket 2 belongs to?
+  std::map<Key, Value> owners;
+  for (const auto& record :
+       view::ReadConvergedView(cluster, test::TicketView(cluster))) {
+    owners[record.base_key] = record.view_key;
+  }
+  return owners;
+}
+
+// Example 2, order 1: the first client's update (rliu, smaller timestamp)
+// propagates first, then the second client's (cjin, larger timestamp).
+TEST_P(ViewConcurrentTest, Example2FirstUpdatePropagatesFirst) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+  auto c1 = t.cluster.NewClient(0);
+  auto c2 = t.cluster.NewClient(1);
+
+  // Issue in submission order rliu -> cjin; dispatch delay is constant, so
+  // propagation follows submission order.
+  ASSERT_TRUE(c1->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
+                          -1, kT0 + 1)
+                  .ok());
+  ASSERT_TRUE(c2->PutSync("ticket", "2", {{"assigned_to", std::string("cjin")}},
+                          -1, kT0 + 2)
+                  .ok());
+  t.Quiesce();
+
+  EXPECT_EQ(Assignments(t.cluster), (std::map<Key, Value>{{"2", "cjin"}}));
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  // Figure 2's structure: stale rows under kmsalem and rliu (plus the
+  // family's permanent sentinel anchor), live under cjin.
+  EXPECT_EQ(report.stale_rows, 3u);
+  EXPECT_EQ(report.live_rows, 1u);
+}
+
+// Example 2, order 2: the second client's update (cjin, larger timestamp)
+// propagates FIRST. The first client's update must then discover, via the
+// stale row, that it lost, and insert itself as a stale row.
+TEST_P(ViewConcurrentTest, Example2SecondUpdatePropagatesFirst) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+  auto c1 = t.cluster.NewClient(0);
+  auto c2 = t.cluster.NewClient(1);
+
+  // cjin carries the LARGER timestamp but is issued (and so propagated)
+  // first; rliu's smaller-timestamped update propagates second.
+  ASSERT_TRUE(c2->PutSync("ticket", "2", {{"assigned_to", std::string("cjin")}},
+                          -1, kT0 + 2)
+                  .ok());
+  t.Quiesce();  // cjin's propagation completes first
+  ASSERT_TRUE(c1->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
+                          -1, kT0 + 1)
+                  .ok());
+  t.Quiesce();
+
+  EXPECT_EQ(Assignments(t.cluster), (std::map<Key, Value>{{"2", "cjin"}}));
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_EQ(report.stale_rows, 3u);  // kmsalem + rliu + the sentinel anchor
+  EXPECT_EQ(report.live_rows, 1u);
+}
+
+// Both updates genuinely in flight at once (no quiescing in between): the
+// concurrency-control mode under test must serialize their propagations.
+TEST_P(ViewConcurrentTest, Example2FullyConcurrent) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+  auto c1 = t.cluster.NewClient(0);
+  auto c2 = t.cluster.NewClient(1);
+
+  int done = 0;
+  c1->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
+          [&done](Status s) {
+            ASSERT_TRUE(s.ok());
+            ++done;
+          },
+          -1, kT0 + 1);
+  c2->Put("ticket", "2", {{"assigned_to", std::string("cjin")}},
+          [&done](Status s) {
+            ASSERT_TRUE(s.ok());
+            ++done;
+          },
+          -1, kT0 + 2);
+  while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
+  t.Quiesce();
+
+  EXPECT_EQ(Assignments(t.cluster), (std::map<Key, Value>{{"2", "cjin"}}));
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+}
+
+// Theorem 1 case 2b: the propagating key already exists as a STALE row.
+// Re-setting the view key back to a previously used value must promote the
+// existing stale row back to live.
+TEST_P(ViewConcurrentTest, ReassignBackToFormerAssignee) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
+                            -1, kT0 + 1)
+                  .ok());
+  t.Quiesce();
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "2",
+                            {{"assigned_to", std::string("kmsalem")}}, -1,
+                            kT0 + 2)
+                  .ok());
+  t.Quiesce();
+
+  EXPECT_EQ(Assignments(t.cluster), (std::map<Key, Value>{{"2", "kmsalem"}}));
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  // kmsalem's old stale row was promoted back to live; rliu is stale.
+  EXPECT_EQ(report.live_rows, 1u);
+}
+
+// A materialized-column update racing a view-key update on the same row:
+// the status value must land on whichever row ends up live.
+TEST_P(ViewConcurrentTest, MaterializedRacesViewKeyUpdate) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+  auto c1 = t.cluster.NewClient(0);
+  auto c2 = t.cluster.NewClient(1);
+
+  int done = 0;
+  c1->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
+          [&done](Status s) { ++done; }, -1, kT0 + 1);
+  c2->Put("ticket", "2", {{"status", std::string("resolved")}},
+          [&done](Status s) { ++done; }, -1, kT0 + 2);
+  while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
+  t.Quiesce();
+
+  auto client = t.cluster.NewClient();
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 2);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "resolved");
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
+}
+
+// Delete racing a reassignment, both orders by timestamp.
+TEST_P(ViewConcurrentTest, DeleteRacesReassignment) {
+  for (const bool delete_wins : {true, false}) {
+    TestCluster t(ConfigFor(GetParam()));
+    LoadTicket2(t.cluster);
+    auto c1 = t.cluster.NewClient(0);
+    auto c2 = t.cluster.NewClient(1);
+
+    const Timestamp ts_delete = delete_wins ? kT0 + 2 : kT0 + 1;
+    const Timestamp ts_assign = delete_wins ? kT0 + 1 : kT0 + 2;
+    int done = 0;
+    c1->Delete("ticket", "2", {"assigned_to"},
+               [&done](Status s) { ++done; }, -1, ts_delete);
+    c2->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
+            [&done](Status s) { ++done; }, -1, ts_assign);
+    while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
+    t.Quiesce();
+
+    const auto owners = Assignments(t.cluster);
+    if (delete_wins) {
+      EXPECT_TRUE(owners.empty()) << "expected no visible assignment";
+    } else {
+      EXPECT_EQ(owners, (std::map<Key, Value>{{"2", "rliu"}}));
+    }
+    view::ScrubReport report =
+        view::CheckView(t.cluster, test::TicketView(t.cluster));
+    EXPECT_TRUE(report.clean())
+        << report.Summary() << " delete_wins=" << delete_wins;
+  }
+}
+
+// Many clients hammering the same row's view key: everything must still
+// converge to the largest timestamp, with one live row and clean chains.
+TEST_P(ViewConcurrentTest, HotRowConvergence) {
+  TestCluster t(ConfigFor(GetParam()));
+  LoadTicket2(t.cluster);
+
+  constexpr int kClients = 6;
+  constexpr int kUpdatesPerClient = 5;
+  std::vector<std::unique_ptr<store::Client>> clients;
+  int done = 0;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(t.cluster.NewClient(static_cast<ServerId>(c % 4)));
+  }
+  for (int round = 0; round < kUpdatesPerClient; ++round) {
+    for (int c = 0; c < kClients; ++c) {
+      const std::string who = "user" + std::to_string(c);
+      const Timestamp ts = kT0 + round * 100 + c;
+      clients[static_cast<std::size_t>(c)]->Put(
+          "ticket", "2", {{"assigned_to", who}},
+          [&done](Status s) { ++done; }, -1, ts);
+    }
+  }
+  while (done < kClients * kUpdatesPerClient) {
+    ASSERT_TRUE(t.cluster.simulation().Step());
+  }
+  t.Quiesce();
+
+  // Largest timestamp wins: round 4, client 5.
+  EXPECT_EQ(Assignments(t.cluster),
+            (std::map<Key, Value>{{"2", "user5"}}));
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << report.Summary();
+  EXPECT_EQ(t.cluster.metrics().propagations_abandoned, 0u);
+  if (GetParam() == PropagationMode::kLockService) {
+    // The hot row must actually have serialized through the lock service.
+    EXPECT_GT(t.views->lock_service().grants(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace mvstore

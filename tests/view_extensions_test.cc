@@ -1,0 +1,328 @@
+// Extensions beyond the paper's core: equi-join views (PNUTS-style),
+// stale-row trimming, multiple views per base table, and client request
+// deadlines.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "view/join_view.h"
+#include "view/scrub.h"
+
+namespace mvstore {
+namespace {
+
+using test::TestCluster;
+
+// ---------------------------------------------------------------------------
+// Equi-join views.
+// ---------------------------------------------------------------------------
+
+view::JoinViewDef OrdersJoin() {
+  view::JoinViewDef def;
+  def.name = "orders_with_customers";
+  def.left_table = "customer";
+  def.left_join_column = "region";
+  def.left_columns = {"name"};
+  def.right_table = "orders";
+  def.right_join_column = "region";
+  def.right_columns = {"item"};
+  return def;
+}
+
+store::Schema JoinSchema() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "customer"}).ok());
+  MVSTORE_CHECK(schema.CreateTable({.name = "orders"}).ok());
+  MVSTORE_CHECK(view::DeclareJoinView(schema, OrdersJoin()).ok());
+  return schema;
+}
+
+TEST(JoinViewTest, DeclareCreatesBothPhysicalViews) {
+  store::Schema schema = JoinSchema();
+  EXPECT_NE(schema.GetView("orders_with_customers_left"), nullptr);
+  EXPECT_NE(schema.GetView("orders_with_customers_right"), nullptr);
+}
+
+TEST(JoinViewTest, DeclareRequiresBothTables) {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "customer"}).ok());
+  EXPECT_FALSE(view::DeclareJoinView(schema, OrdersJoin()).ok());
+}
+
+TEST(JoinViewTest, InnerJoinByJoinKey) {
+  TestCluster t(test::DefaultTestConfig(), JoinSchema());
+  t.cluster.BootstrapLoadRow(
+      "customer", "c1",
+      {{"region", std::string("emea")}, {"name", std::string("acme")}}, 100);
+  t.cluster.BootstrapLoadRow(
+      "customer", "c2",
+      {{"region", std::string("apac")}, {"name", std::string("initech")}},
+      101);
+  t.cluster.BootstrapLoadRow(
+      "orders", "o1",
+      {{"region", std::string("emea")}, {"item", std::string("widget")}}, 102);
+  t.cluster.BootstrapLoadRow(
+      "orders", "o2",
+      {{"region", std::string("emea")}, {"item", std::string("gadget")}}, 103);
+
+  auto client = t.cluster.NewClient();
+  auto emea = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
+                                "emea", 3);
+  ASSERT_TRUE(emea.ok());
+  ASSERT_EQ(emea->size(), 2u);  // 1 customer x 2 orders
+  for (const view::JoinedRecord& r : *emea) {
+    EXPECT_EQ(r.left_key, "c1");
+    EXPECT_EQ(r.left.GetValue("name").value_or(""), "acme");
+  }
+
+  // apac has a customer but no orders: inner join is empty.
+  auto apac = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
+                                "apac", 3);
+  ASSERT_TRUE(apac.ok());
+  EXPECT_TRUE(apac->empty());
+}
+
+TEST(JoinViewTest, MaintainedIncrementallyOnBothSides) {
+  TestCluster t(test::DefaultTestConfig(), JoinSchema());
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(client
+                  ->PutSync("customer", "c1",
+                            {{"region", std::string("emea")},
+                             {"name", std::string("acme")}})
+                  .ok());
+  ASSERT_TRUE(client
+                  ->PutSync("orders", "o1",
+                            {{"region", std::string("emea")},
+                             {"item", std::string("widget")}})
+                  .ok());
+  t.Quiesce();
+  auto joined = view::JoinGetSync(t.cluster.simulation(), *client,
+                                  OrdersJoin(), "emea", 3);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_EQ((*joined)[0].right.GetValue("item").value_or(""), "widget");
+
+  // Moving the order to another region drops it from the emea join.
+  ASSERT_TRUE(
+      client->PutSync("orders", "o1", {{"region", std::string("apac")}})
+          .ok());
+  t.Quiesce();
+  joined = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
+                             "emea", 3);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+}
+
+// ---------------------------------------------------------------------------
+// Stale-row trimming.
+// ---------------------------------------------------------------------------
+
+TEST(TrimTest, RetiresOldStaleRowsOnly) {
+  TestCluster t;
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a0")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient();
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(client
+                    ->PutSync("ticket", "1",
+                              {{"assigned_to", "a" + std::to_string(i)}})
+                    .ok());
+    t.Quiesce();
+  }
+  const store::ViewDef& view = test::TicketView(t.cluster);
+  view::ScrubReport before = view::CheckView(t.cluster, view);
+  ASSERT_TRUE(before.clean()) << before.Summary();
+  ASSERT_EQ(before.stale_rows, 6u);  // 5 superseded keys + the anchor
+
+  // Trim everything older than "now" (the cutoff must stay below any
+  // future client timestamp): all five stale rows are older; the live row
+  // stays.
+  const Timestamp cutoff = store::kClientTimestampEpoch + t.cluster.Now();
+  EXPECT_EQ(view::TrimStaleViewRows(t.cluster, view, cutoff), 5u);
+
+  view::ScrubReport after = view::CheckView(t.cluster, view);
+  EXPECT_TRUE(after.clean()) << after.Summary();
+  EXPECT_EQ(after.stale_rows, 1u);  // only the (re-pointed) anchor remains
+  EXPECT_EQ(after.live_rows, 1u);
+
+  // Reads still serve the live row.
+  auto records = client->ViewGetSync("assigned_to_view", "a5", {}, 3);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST(TrimTest, FreshStaleRowsSurvive) {
+  TestCluster t;
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a0")}}, 100);
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("a1")}})
+          .ok());
+  t.Quiesce();
+  const store::ViewDef& view = test::TicketView(t.cluster);
+  // Cutoff below the stale row's timestamps: nothing to trim.
+  EXPECT_EQ(view::TrimStaleViewRows(t.cluster, view, 50), 0u);
+  EXPECT_EQ(view::CheckView(t.cluster, view).stale_rows, 2u);  // a0 + anchor
+}
+
+TEST(TrimTest, TrimmedKeyCanBeReassignedBack) {
+  TestCluster t;
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("alice")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}})
+          .ok());
+  t.Quiesce();
+  const store::ViewDef& view = test::TicketView(t.cluster);
+  ASSERT_EQ(view::TrimStaleViewRows(
+                t.cluster, view,
+                store::kClientTimestampEpoch + t.cluster.Now()),
+            1u);  // alice's stale row retired
+  // Writes at the exact cutoff instant would TIE with the trim tombstones
+  // (and deletions win ties); step past it, as any real deployment's
+  // grace-period cutoff trivially is.
+  t.cluster.RunFor(Millis(1));
+
+  // Theorem 1 case 2b territory: assign back to the trimmed key.
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("alice")}})
+          .ok());
+  t.Quiesce();
+  auto records = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_TRUE(view::CheckView(t.cluster, view).clean());
+}
+
+// ---------------------------------------------------------------------------
+// Multiple views on one base table.
+// ---------------------------------------------------------------------------
+
+store::Schema TwoViewSchema() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "ticket"}).ok());
+  store::ViewDef by_assignee;
+  by_assignee.name = "by_assignee";
+  by_assignee.base_table = "ticket";
+  by_assignee.view_key_column = "assigned_to";
+  by_assignee.materialized_columns = {"status"};
+  MVSTORE_CHECK(schema.CreateView(by_assignee).ok());
+  store::ViewDef by_status;
+  by_status.name = "by_status";
+  by_status.base_table = "ticket";
+  by_status.view_key_column = "status";
+  by_status.materialized_columns = {"assigned_to"};
+  MVSTORE_CHECK(schema.CreateView(by_status).ok());
+  return schema;
+}
+
+TEST(MultiViewTest, OnePutMaintainsBothViews) {
+  TestCluster t(test::DefaultTestConfig(), TwoViewSchema());
+  auto client = t.cluster.NewClient();
+  // One Put touches BOTH view keys (assigned_to is by_assignee's key and
+  // by_status materializes it; status symmetrically).
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "1",
+                            {{"assigned_to", std::string("alice")},
+                             {"status", std::string("open")}})
+                  .ok());
+  t.Quiesce();
+
+  auto by_assignee = client->ViewGetSync("by_assignee", "alice", {}, 3);
+  ASSERT_TRUE(by_assignee.ok());
+  ASSERT_EQ(by_assignee->size(), 1u);
+  EXPECT_EQ((*by_assignee)[0].cells.GetValue("status").value_or(""), "open");
+
+  auto by_status = client->ViewGetSync("by_status", "open", {}, 3);
+  ASSERT_TRUE(by_status.ok());
+  ASSERT_EQ(by_status->size(), 1u);
+  EXPECT_EQ((*by_status)[0].cells.GetValue("assigned_to").value_or(""),
+            "alice");
+
+  for (const char* name : {"by_assignee", "by_status"}) {
+    view::ScrubReport report =
+        view::CheckView(t.cluster, *t.cluster.schema().GetView(name));
+    EXPECT_TRUE(report.clean()) << name << ": " << report.Summary();
+  }
+}
+
+TEST(MultiViewTest, ViewsEvolveIndependently) {
+  TestCluster t(test::DefaultTestConfig(), TwoViewSchema());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("alice")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("closed")}})
+          .ok());
+  t.Quiesce();
+
+  // by_status saw a view-KEY change; by_assignee a materialized change.
+  auto open = client->ViewGetSync("by_status", "open", {}, 3);
+  ASSERT_TRUE(open.ok());
+  EXPECT_TRUE(open->empty());
+  auto closed = client->ViewGetSync("by_status", "closed", {}, 3);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_EQ(closed->size(), 1u);
+  auto alice = client->ViewGetSync("by_assignee", "alice", {}, 3);
+  ASSERT_TRUE(alice.ok());
+  ASSERT_EQ(alice->size(), 1u);
+  EXPECT_EQ((*alice)[0].cells.GetValue("status").value_or(""), "closed");
+}
+
+// ---------------------------------------------------------------------------
+// Client request deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(ClientTimeoutTest, DeadCoordinatorTimesOut) {
+  TestCluster t;
+  t.cluster.network().SetEndpointDown(2, true);
+  auto client = t.cluster.NewClient(2);
+  client->set_request_timeout(Millis(100));
+  const SimTime before = t.cluster.Now();
+  auto row = client->GetSync("ticket", "k");
+  EXPECT_TRUE(row.status().IsTimedOut()) << row.status();
+  EXPECT_GE(t.cluster.Now() - before, Millis(100));
+}
+
+TEST(ClientTimeoutTest, HealthyRequestsUnaffected) {
+  TestCluster t;
+  t.cluster.BootstrapLoadRow("ticket", "k",
+                             {{"status", std::string("open")}}, 100);
+  auto client = t.cluster.NewClient();
+  client->set_request_timeout(Millis(100));
+  auto row = client->GetSync("ticket", "k");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->GetValue("status").value_or(""), "open");
+  // The armed deadline must be inert after the reply.
+  t.cluster.RunFor(Millis(200));
+}
+
+TEST(ClientTimeoutTest, AppliesToAllOperationTypes) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  test::TestCluster t(config);
+  t.cluster.network().SetEndpointDown(1, true);
+  auto client = t.cluster.NewClient(1);
+  client->set_request_timeout(Millis(50));
+  EXPECT_TRUE(client->PutSync("ticket", "k", {{"status", std::string("x")}})
+                  .IsTimedOut());
+  EXPECT_TRUE(
+      client->ViewGetSync("assigned_to_view", "a").status().IsTimedOut());
+  EXPECT_TRUE(client->IndexGetSync("ticket", "assigned_to", "a")
+                  .status()
+                  .IsTimedOut());
+}
+
+}  // namespace
+}  // namespace mvstore

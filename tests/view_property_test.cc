@@ -1,0 +1,160 @@
+// Property-based testing of incremental view maintenance.
+//
+// The core obligation (Definition 2 after full propagation + Definition 1):
+// for ANY sequence of base-table updates, issued concurrently from many
+// clients with timestamps deliberately decoupled from issue order, once all
+// propagations complete the view's live rows must equal the view computed
+// directly from the (merged) base table. The structural invariants of
+// Definition 3 must hold as well. Swept across both concurrency-control
+// modes, both Get-then-Put modes, and several workload shapes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+
+namespace mvstore {
+namespace {
+
+using store::kClientTimestampEpoch;
+using store::Mutation;
+using store::PropagationMode;
+using test::TestCluster;
+
+struct WorkloadShape {
+  const char* name;
+  int num_ops;
+  int num_base_keys;
+  int num_assignees;
+  int num_clients;
+  // Op mix weights (percent): view-key set, materialized set, both, delete.
+  int w_set;
+  int w_mat;
+  int w_both;
+  int w_del;
+};
+
+constexpr WorkloadShape kShapes[] = {
+    {"spread", 120, 40, 8, 6, 50, 30, 10, 10},
+    {"hot_row", 80, 2, 5, 6, 60, 20, 10, 10},
+    {"single_row", 60, 1, 4, 8, 70, 10, 10, 10},
+    {"insert_heavy", 120, 100, 6, 4, 60, 30, 10, 0},
+    {"delete_heavy", 100, 10, 5, 6, 40, 20, 10, 30},
+};
+
+using Param = std::tuple<PropagationMode, bool /*combined*/, int /*shape*/,
+                         int /*seed*/>;
+
+class ViewPropertyTest : public ::testing::TestWithParam<Param> {};
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [mode, combined, shape, seed] = info.param;
+  std::string name =
+      mode == PropagationMode::kLockService ? "Locks" : "Propagators";
+  name += combined ? "_Combined" : "_Separate";
+  name += "_";
+  name += kShapes[shape].name;
+  name += "_s" + std::to_string(seed);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ViewPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(PropagationMode::kLockService,
+                          PropagationMode::kDedicatedPropagators),
+        ::testing::Bool(), ::testing::Range(0, 5), ::testing::Values(1, 2)),
+    ParamName);
+
+TEST_P(ViewPropertyTest, ConvergesToDefinition1) {
+  const auto& [mode, combined, shape_index, seed] = GetParam();
+  const WorkloadShape& shape = kShapes[shape_index];
+
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.propagation_mode = mode;
+  config.combined_get_then_put = combined;
+  config.seed = 77000 + static_cast<std::uint64_t>(seed);
+  TestCluster t(config);
+
+  Rng rng(config.seed * 31 + static_cast<std::uint64_t>(shape_index));
+
+  // Bootstrap half the key space so updates hit both existing and fresh rows.
+  for (int k = 0; k < shape.num_base_keys; k += 2) {
+    t.cluster.BootstrapLoadRow(
+        "ticket", "t" + std::to_string(k),
+        {{"assigned_to", "a" + std::to_string(k % shape.num_assignees)},
+         {"status", std::string("open")}},
+        100 + k);
+  }
+
+  std::vector<std::unique_ptr<store::Client>> clients;
+  for (int c = 0; c < shape.num_clients; ++c) {
+    clients.push_back(t.cluster.NewClient(static_cast<ServerId>(c % 4)));
+  }
+
+  // Pre-generate ops with timestamps decoupled from issue order: shuffle the
+  // timestamp assignment so propagation order and serialization order
+  // disagree heavily.
+  std::vector<Timestamp> timestamps;
+  for (int i = 0; i < shape.num_ops; ++i) {
+    timestamps.push_back(kClientTimestampEpoch + 1000 + i);
+  }
+  rng.Shuffle(timestamps);
+
+  int completed = 0;
+  for (int i = 0; i < shape.num_ops; ++i) {
+    const Key key =
+        "t" + std::to_string(rng.UniformInt(0, shape.num_base_keys - 1));
+    const std::string who =
+        "a" + std::to_string(rng.UniformInt(0, shape.num_assignees - 1));
+    const std::string status = rng.Chance(0.5) ? "open" : "resolved";
+    const Timestamp ts = timestamps[static_cast<std::size_t>(i)];
+    store::Client& client =
+        *clients[static_cast<std::size_t>(rng.UniformInt(
+            0, shape.num_clients - 1))];
+
+    const int total = shape.w_set + shape.w_mat + shape.w_both + shape.w_del;
+    const int roll = static_cast<int>(rng.UniformInt(0, total - 1));
+    auto done = [&completed](Status s) {
+      ASSERT_TRUE(s.ok()) << s;
+      ++completed;
+    };
+    // Spread issue times over a window so ops from different clients overlap.
+    const SimTime issue_at =
+        t.cluster.Now() + static_cast<SimTime>(rng.UniformInt(0, 20000));
+    t.cluster.simulation().At(
+        issue_at, [&client, key, who, status, ts, roll, done, &shape] {
+          if (roll < shape.w_set) {
+            client.Put("ticket", key, {{"assigned_to", who}}, done, -1, ts);
+          } else if (roll < shape.w_set + shape.w_mat) {
+            client.Put("ticket", key, {{"status", status}}, done, -1, ts);
+          } else if (roll < shape.w_set + shape.w_mat + shape.w_both) {
+            client.Put("ticket", key,
+                       {{"assigned_to", who}, {"status", status}}, done, -1,
+                       ts);
+          } else {
+            client.Delete("ticket", key, {"assigned_to"}, done, -1, ts);
+          }
+        });
+  }
+
+  while (completed < shape.num_ops) {
+    ASSERT_TRUE(t.cluster.simulation().Step()) << "ran dry at " << completed;
+  }
+  t.Quiesce();
+
+  EXPECT_EQ(t.cluster.metrics().propagations_abandoned, 0u);
+  view::ScrubReport report =
+      view::CheckView(t.cluster, test::TicketView(t.cluster));
+  EXPECT_TRUE(report.clean()) << shape.name << ": " << report.Summary();
+}
+
+}  // namespace
+}  // namespace mvstore

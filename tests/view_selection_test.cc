@@ -1,0 +1,168 @@
+// Selection views (the extension Section III calls easy): a row belongs to
+// the view only while the selection column equals the configured value.
+// Selection flips must propagate through the __ds hidden marker with LWW
+// ordering.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+
+namespace mvstore {
+namespace {
+
+using store::kClientTimestampEpoch;
+using test::TestCluster;
+
+store::Schema SelectionSchema() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "ticket"}).ok());
+  store::ViewDef view;
+  view.name = "open_by_assignee";
+  view.base_table = "ticket";
+  view.view_key_column = "assigned_to";
+  view.materialized_columns = {"status", "priority"};
+  view.selection = store::SelectionDef{.column = "status", .equals = "open"};
+  MVSTORE_CHECK(schema.CreateView(view).ok());
+  return schema;
+}
+
+const store::ViewDef& SelectionView(store::Cluster& cluster) {
+  return *cluster.schema().GetView("open_by_assignee");
+}
+
+TEST(ViewSelectionTest, BootstrapHonorsSelection) {
+  TestCluster t(test::DefaultTestConfig(), SelectionSchema());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("open")}},
+                             100);
+  t.cluster.BootstrapLoadRow("ticket", "2",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("closed")}},
+                             101);
+  auto client = t.cluster.NewClient();
+  auto records = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].base_key, "1");
+}
+
+TEST(ViewSelectionTest, StatusFlipRemovesAndRestoresRow) {
+  TestCluster t(test::DefaultTestConfig(), SelectionSchema());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient();
+
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("closed")}})
+          .ok());
+  t.Quiesce();
+  auto closed = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->empty());
+
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("open")}}).ok());
+  t.Quiesce();
+  auto reopened = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened->size(), 1u);
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
+}
+
+TEST(ViewSelectionTest, OutOfOrderFlipsConvergeByTimestamp) {
+  TestCluster t(test::DefaultTestConfig(), SelectionSchema());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("open")}},
+                             100);
+  auto c1 = t.cluster.NewClient(0);
+  auto c2 = t.cluster.NewClient(1);
+
+  // "closed" carries the larger timestamp but is issued first; the
+  // lower-timestamped "open" propagates later and must NOT resurrect the row.
+  ASSERT_TRUE(c1->PutSync("ticket", "1", {{"status", std::string("closed")}},
+                          -1, kClientTimestampEpoch + 200)
+                  .ok());
+  t.Quiesce();
+  ASSERT_TRUE(c2->PutSync("ticket", "1", {{"status", std::string("open")}},
+                          -1, kClientTimestampEpoch + 100)
+                  .ok());
+  t.Quiesce();
+
+  auto client = t.cluster.NewClient();
+  auto records = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
+}
+
+TEST(ViewSelectionTest, ReassignmentCarriesSelectionState) {
+  TestCluster t(test::DefaultTestConfig(), SelectionSchema());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("a")},
+                              {"status", std::string("closed")}},
+                             100);
+  auto client = t.cluster.NewClient();
+  // Reassign a deselected (closed) ticket: the promoted row must stay hidden.
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("b")}})
+          .ok());
+  t.Quiesce();
+  auto records = client->ViewGetSync("open_by_assignee", "b", {}, 3);
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
+
+  // Reopening makes it visible under the new assignee.
+  ASSERT_TRUE(
+      client->PutSync("ticket", "1", {{"status", std::string("open")}}).ok());
+  t.Quiesce();
+  auto visible = client->ViewGetSync("open_by_assignee", "b", {}, 3);
+  ASSERT_TRUE(visible.ok());
+  ASSERT_EQ(visible->size(), 1u);
+}
+
+TEST(ViewSelectionTest, SelectionOnViewKeyColumn) {
+  store::Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "ticket"}).ok());
+  store::ViewDef view;
+  view.name = "rliu_only";
+  view.base_table = "ticket";
+  view.view_key_column = "assigned_to";
+  view.materialized_columns = {"status"};
+  view.selection =
+      store::SelectionDef{.column = "assigned_to", .equals = "rliu"};
+  ASSERT_TRUE(schema.CreateView(view).ok());
+  TestCluster t(test::DefaultTestConfig(), std::move(schema));
+
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "1", {{"assigned_to", std::string("rliu")},
+                                            {"status", std::string("open")}})
+                  .ok());
+  ASSERT_TRUE(client
+                  ->PutSync("ticket", "2", {{"assigned_to", std::string("bob")},
+                                            {"status", std::string("open")}})
+                  .ok());
+  t.Quiesce();
+  auto rliu = client->ViewGetSync("rliu_only", "rliu", {}, 3);
+  ASSERT_TRUE(rliu.ok());
+  EXPECT_EQ(rliu->size(), 1u);
+  auto bob = client->ViewGetSync("rliu_only", "bob", {}, 3);
+  ASSERT_TRUE(bob.ok());
+  EXPECT_TRUE(bob->empty());
+  EXPECT_TRUE(
+      view::CheckView(t.cluster, *t.cluster.schema().GetView("rliu_only"))
+          .clean());
+}
+
+}  // namespace
+}  // namespace mvstore

@@ -1,0 +1,124 @@
+// Workload tooling: key generators and the closed-loop runner.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "workload/key_generator.h"
+#include "workload/runner.h"
+
+namespace mvstore::workload {
+namespace {
+
+TEST(KeyGeneratorTest, FormatKeyPadsAndOrders) {
+  EXPECT_EQ(FormatKey("k", 7), "k00000007");
+  EXPECT_LT(FormatKey("k", 9), FormatKey("k", 10));  // lexicographic == numeric
+}
+
+TEST(KeyGeneratorTest, UniformCoversSpace) {
+  Rng rng(1);
+  UniformKeyGenerator gen("k", 10);
+  std::set<Key> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(gen.Next(rng));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(KeyGeneratorTest, RangeStaysInRange) {
+  Rng rng(2);
+  RangeKeyGenerator gen("k", 100, 5);
+  for (int i = 0; i < 200; ++i) {
+    const Key key = gen.Next(rng);
+    EXPECT_GE(key, FormatKey("k", 100));
+    EXPECT_LE(key, FormatKey("k", 104));
+  }
+}
+
+TEST(KeyGeneratorTest, RangeWidthOneIsConstant) {
+  Rng rng(3);
+  RangeKeyGenerator gen("k", 42, 1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(gen.Next(rng), FormatKey("k", 42));
+}
+
+TEST(KeyGeneratorTest, ZipfianSkewsTraffic) {
+  Rng rng(4);
+  ZipfianKeyGenerator gen("k", 1000, 0.99);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[gen.Next(rng)]++;
+  int max_count = 0;
+  for (const auto& [key, count] : counts) max_count = std::max(max_count, count);
+  // The hottest key should absorb far more than its uniform share (20).
+  EXPECT_GT(max_count, 1000);
+}
+
+TEST(RunnerTest, CountsOperationsAndLatency) {
+  test::TestCluster tc;
+  tc.cluster.BootstrapLoadRow("ticket", "k",
+                              {{"status", std::string("open")}}, 100);
+  ClosedLoopRunner runner(
+      &tc.cluster, /*num_clients=*/2,
+      [](int index, store::Client& client, std::function<void(bool)> done) {
+        client.Get("ticket", "k", {"status"},
+                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+      });
+  RunResult result = runner.Run(Millis(20), Millis(200));
+  EXPECT_GT(result.operations, 100u);
+  EXPECT_EQ(result.failures, 0u);
+  EXPECT_GT(result.Throughput(), 0.0);
+  EXPECT_GT(result.latency.Mean(), 0.0);
+  EXPECT_EQ(result.latency.count(), result.operations);
+}
+
+TEST(RunnerTest, MoreClientsMoreThroughputWhileUnsaturated) {
+  test::TestCluster tc;
+  tc.cluster.BootstrapLoadRow("ticket", "k",
+                              {{"status", std::string("open")}}, 100);
+  auto run_with = [&tc](int clients) {
+    ClosedLoopRunner runner(
+        &tc.cluster, clients,
+        [](int, store::Client& client, std::function<void(bool)> done) {
+          client.Get("ticket", "k", {"status"},
+                     [done](StatusOr<storage::Row> row) { done(row.ok()); });
+        });
+    return runner.Run(Millis(20), Millis(200)).Throughput();
+  };
+  const double one = run_with(1);
+  const double four = run_with(4);
+  EXPECT_GT(four, one * 2.0);
+}
+
+TEST(RunnerTest, ThinkTimeThrottlesThroughput) {
+  test::TestCluster tc;
+  tc.cluster.BootstrapLoadRow("ticket", "k",
+                              {{"status", std::string("open")}}, 100);
+  ClosedLoopRunner runner(
+      &tc.cluster, 1,
+      [](int, store::Client& client, std::function<void(bool)> done) {
+        client.Get("ticket", "k", {"status"},
+                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+      });
+  runner.set_think_time(Millis(10));
+  RunResult result = runner.Run(Millis(10), Millis(500));
+  // ~1 op per 10ms of think time: around 50 ops, certainly < 80.
+  EXPECT_GT(result.operations, 20u);
+  EXPECT_LT(result.operations, 80u);
+}
+
+TEST(RunnerTest, FailuresAreCounted) {
+  test::TestCluster tc;
+  ClosedLoopRunner runner(
+      &tc.cluster, 1,
+      [](int, store::Client& client, std::function<void(bool)> done) {
+        client.Get("no_such_table", "k", {},
+                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+      });
+  RunResult result = runner.Run(0, Millis(50));
+  EXPECT_GT(result.operations, 0u);
+  EXPECT_EQ(result.failures, result.operations);
+}
+
+}  // namespace
+}  // namespace mvstore::workload
