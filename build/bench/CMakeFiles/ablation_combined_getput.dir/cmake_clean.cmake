@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_combined_getput.dir/ablation_combined_getput.cc.o"
+  "CMakeFiles/ablation_combined_getput.dir/ablation_combined_getput.cc.o.d"
+  "ablation_combined_getput"
+  "ablation_combined_getput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_combined_getput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

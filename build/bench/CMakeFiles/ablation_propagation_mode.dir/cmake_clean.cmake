@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_propagation_mode.dir/ablation_propagation_mode.cc.o"
+  "CMakeFiles/ablation_propagation_mode.dir/ablation_propagation_mode.cc.o.d"
+  "ablation_propagation_mode"
+  "ablation_propagation_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_propagation_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_read_latency.dir/fig3_read_latency.cc.o"
+  "CMakeFiles/fig3_read_latency.dir/fig3_read_latency.cc.o.d"
+  "fig3_read_latency"
+  "fig3_read_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_read_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_session_guarantees.dir/fig7_session_guarantees.cc.o"
+  "CMakeFiles/fig7_session_guarantees.dir/fig7_session_guarantees.cc.o.d"
+  "fig7_session_guarantees"
+  "fig7_session_guarantees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_session_guarantees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

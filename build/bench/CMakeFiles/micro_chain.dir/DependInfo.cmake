@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_chain.cc" "bench/CMakeFiles/micro_chain.dir/micro_chain.cc.o" "gcc" "bench/CMakeFiles/micro_chain.dir/micro_chain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/view/CMakeFiles/mv_view.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/mv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mv_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mv_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

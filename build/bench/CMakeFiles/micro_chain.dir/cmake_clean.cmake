@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chain.dir/micro_chain.cc.o"
+  "CMakeFiles/micro_chain.dir/micro_chain.cc.o.d"
+  "micro_chain"
+  "micro_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

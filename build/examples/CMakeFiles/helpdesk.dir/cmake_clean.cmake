@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helpdesk.dir/helpdesk.cc.o"
+  "CMakeFiles/helpdesk.dir/helpdesk.cc.o.d"
+  "helpdesk"
+  "helpdesk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helpdesk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

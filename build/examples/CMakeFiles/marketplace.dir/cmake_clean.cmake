@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace.dir/marketplace.cc.o"
+  "CMakeFiles/marketplace.dir/marketplace.cc.o.d"
+  "marketplace"
+  "marketplace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

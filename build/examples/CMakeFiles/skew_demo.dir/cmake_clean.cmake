@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skew_demo.dir/skew_demo.cc.o"
+  "CMakeFiles/skew_demo.dir/skew_demo.cc.o.d"
+  "skew_demo"
+  "skew_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skew_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

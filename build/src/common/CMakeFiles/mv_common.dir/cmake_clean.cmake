@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_common.dir/hash.cc.o"
+  "CMakeFiles/mv_common.dir/hash.cc.o.d"
+  "CMakeFiles/mv_common.dir/histogram.cc.o"
+  "CMakeFiles/mv_common.dir/histogram.cc.o.d"
+  "CMakeFiles/mv_common.dir/logging.cc.o"
+  "CMakeFiles/mv_common.dir/logging.cc.o.d"
+  "CMakeFiles/mv_common.dir/rng.cc.o"
+  "CMakeFiles/mv_common.dir/rng.cc.o.d"
+  "CMakeFiles/mv_common.dir/status.cc.o"
+  "CMakeFiles/mv_common.dir/status.cc.o.d"
+  "CMakeFiles/mv_common.dir/str_util.cc.o"
+  "CMakeFiles/mv_common.dir/str_util.cc.o.d"
+  "libmv_common.a"
+  "libmv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

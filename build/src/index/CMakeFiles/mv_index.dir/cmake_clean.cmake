@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_index.dir/local_index.cc.o"
+  "CMakeFiles/mv_index.dir/local_index.cc.o.d"
+  "libmv_index.a"
+  "libmv_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

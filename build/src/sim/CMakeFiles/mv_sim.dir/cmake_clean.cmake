@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_sim.dir/network.cc.o"
+  "CMakeFiles/mv_sim.dir/network.cc.o.d"
+  "CMakeFiles/mv_sim.dir/service_queue.cc.o"
+  "CMakeFiles/mv_sim.dir/service_queue.cc.o.d"
+  "CMakeFiles/mv_sim.dir/simulation.cc.o"
+  "CMakeFiles/mv_sim.dir/simulation.cc.o.d"
+  "libmv_sim.a"
+  "libmv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

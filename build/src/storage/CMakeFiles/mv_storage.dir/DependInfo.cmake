@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bloom.cc" "src/storage/CMakeFiles/mv_storage.dir/bloom.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/bloom.cc.o.d"
+  "/root/repo/src/storage/cell.cc" "src/storage/CMakeFiles/mv_storage.dir/cell.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/cell.cc.o.d"
+  "/root/repo/src/storage/engine.cc" "src/storage/CMakeFiles/mv_storage.dir/engine.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/engine.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/storage/CMakeFiles/mv_storage.dir/memtable.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/memtable.cc.o.d"
+  "/root/repo/src/storage/row.cc" "src/storage/CMakeFiles/mv_storage.dir/row.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/row.cc.o.d"
+  "/root/repo/src/storage/run.cc" "src/storage/CMakeFiles/mv_storage.dir/run.cc.o" "gcc" "src/storage/CMakeFiles/mv_storage.dir/run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

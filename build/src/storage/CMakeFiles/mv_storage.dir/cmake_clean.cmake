@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_storage.dir/bloom.cc.o"
+  "CMakeFiles/mv_storage.dir/bloom.cc.o.d"
+  "CMakeFiles/mv_storage.dir/cell.cc.o"
+  "CMakeFiles/mv_storage.dir/cell.cc.o.d"
+  "CMakeFiles/mv_storage.dir/engine.cc.o"
+  "CMakeFiles/mv_storage.dir/engine.cc.o.d"
+  "CMakeFiles/mv_storage.dir/memtable.cc.o"
+  "CMakeFiles/mv_storage.dir/memtable.cc.o.d"
+  "CMakeFiles/mv_storage.dir/row.cc.o"
+  "CMakeFiles/mv_storage.dir/row.cc.o.d"
+  "CMakeFiles/mv_storage.dir/run.cc.o"
+  "CMakeFiles/mv_storage.dir/run.cc.o.d"
+  "libmv_storage.a"
+  "libmv_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

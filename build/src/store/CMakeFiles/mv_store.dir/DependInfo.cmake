@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/client.cc" "src/store/CMakeFiles/mv_store.dir/client.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/client.cc.o.d"
+  "/root/repo/src/store/cluster.cc" "src/store/CMakeFiles/mv_store.dir/cluster.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/cluster.cc.o.d"
+  "/root/repo/src/store/codec.cc" "src/store/CMakeFiles/mv_store.dir/codec.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/codec.cc.o.d"
+  "/root/repo/src/store/ring.cc" "src/store/CMakeFiles/mv_store.dir/ring.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/ring.cc.o.d"
+  "/root/repo/src/store/schema.cc" "src/store/CMakeFiles/mv_store.dir/schema.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/schema.cc.o.d"
+  "/root/repo/src/store/server.cc" "src/store/CMakeFiles/mv_store.dir/server.cc.o" "gcc" "src/store/CMakeFiles/mv_store.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mv_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_store.dir/client.cc.o"
+  "CMakeFiles/mv_store.dir/client.cc.o.d"
+  "CMakeFiles/mv_store.dir/cluster.cc.o"
+  "CMakeFiles/mv_store.dir/cluster.cc.o.d"
+  "CMakeFiles/mv_store.dir/codec.cc.o"
+  "CMakeFiles/mv_store.dir/codec.cc.o.d"
+  "CMakeFiles/mv_store.dir/ring.cc.o"
+  "CMakeFiles/mv_store.dir/ring.cc.o.d"
+  "CMakeFiles/mv_store.dir/schema.cc.o"
+  "CMakeFiles/mv_store.dir/schema.cc.o.d"
+  "CMakeFiles/mv_store.dir/server.cc.o"
+  "CMakeFiles/mv_store.dir/server.cc.o.d"
+  "libmv_store.a"
+  "libmv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/view/join_view.cc" "src/view/CMakeFiles/mv_view.dir/join_view.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/join_view.cc.o.d"
+  "/root/repo/src/view/lock_service.cc" "src/view/CMakeFiles/mv_view.dir/lock_service.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/lock_service.cc.o.d"
+  "/root/repo/src/view/maintenance_engine.cc" "src/view/CMakeFiles/mv_view.dir/maintenance_engine.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/maintenance_engine.cc.o.d"
+  "/root/repo/src/view/propagation.cc" "src/view/CMakeFiles/mv_view.dir/propagation.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/propagation.cc.o.d"
+  "/root/repo/src/view/scrub.cc" "src/view/CMakeFiles/mv_view.dir/scrub.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/scrub.cc.o.d"
+  "/root/repo/src/view/session_manager.cc" "src/view/CMakeFiles/mv_view.dir/session_manager.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/session_manager.cc.o.d"
+  "/root/repo/src/view/view_row.cc" "src/view/CMakeFiles/mv_view.dir/view_row.cc.o" "gcc" "src/view/CMakeFiles/mv_view.dir/view_row.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mv_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mv_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/mv_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/mv_index.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

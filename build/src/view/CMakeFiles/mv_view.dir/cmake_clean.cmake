@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_view.dir/join_view.cc.o"
+  "CMakeFiles/mv_view.dir/join_view.cc.o.d"
+  "CMakeFiles/mv_view.dir/lock_service.cc.o"
+  "CMakeFiles/mv_view.dir/lock_service.cc.o.d"
+  "CMakeFiles/mv_view.dir/maintenance_engine.cc.o"
+  "CMakeFiles/mv_view.dir/maintenance_engine.cc.o.d"
+  "CMakeFiles/mv_view.dir/propagation.cc.o"
+  "CMakeFiles/mv_view.dir/propagation.cc.o.d"
+  "CMakeFiles/mv_view.dir/scrub.cc.o"
+  "CMakeFiles/mv_view.dir/scrub.cc.o.d"
+  "CMakeFiles/mv_view.dir/session_manager.cc.o"
+  "CMakeFiles/mv_view.dir/session_manager.cc.o.d"
+  "CMakeFiles/mv_view.dir/view_row.cc.o"
+  "CMakeFiles/mv_view.dir/view_row.cc.o.d"
+  "libmv_view.a"
+  "libmv_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_workload.dir/key_generator.cc.o"
+  "CMakeFiles/mv_workload.dir/key_generator.cc.o.d"
+  "CMakeFiles/mv_workload.dir/runner.cc.o"
+  "CMakeFiles/mv_workload.dir/runner.cc.o.d"
+  "libmv_workload.a"
+  "libmv_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

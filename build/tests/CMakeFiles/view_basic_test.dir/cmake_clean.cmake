@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_basic_test.dir/view_basic_test.cc.o"
+  "CMakeFiles/view_basic_test.dir/view_basic_test.cc.o.d"
+  "view_basic_test"
+  "view_basic_test.pdb"
+  "view_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

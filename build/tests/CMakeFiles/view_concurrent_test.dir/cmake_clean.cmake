@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_concurrent_test.dir/view_concurrent_test.cc.o"
+  "CMakeFiles/view_concurrent_test.dir/view_concurrent_test.cc.o.d"
+  "view_concurrent_test"
+  "view_concurrent_test.pdb"
+  "view_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

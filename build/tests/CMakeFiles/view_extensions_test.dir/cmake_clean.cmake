@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_extensions_test.dir/view_extensions_test.cc.o"
+  "CMakeFiles/view_extensions_test.dir/view_extensions_test.cc.o.d"
+  "view_extensions_test"
+  "view_extensions_test.pdb"
+  "view_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_failure_test.dir/view_failure_test.cc.o"
+  "CMakeFiles/view_failure_test.dir/view_failure_test.cc.o.d"
+  "view_failure_test"
+  "view_failure_test.pdb"
+  "view_failure_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

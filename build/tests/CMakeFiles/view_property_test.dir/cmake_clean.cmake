@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_property_test.dir/view_property_test.cc.o"
+  "CMakeFiles/view_property_test.dir/view_property_test.cc.o.d"
+  "view_property_test"
+  "view_property_test.pdb"
+  "view_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_read_window_test.dir/view_read_window_test.cc.o"
+  "CMakeFiles/view_read_window_test.dir/view_read_window_test.cc.o.d"
+  "view_read_window_test"
+  "view_read_window_test.pdb"
+  "view_read_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_read_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/index_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_service_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/scrub_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/store_test[1]_include.cmake")
+include("/root/repo/build/tests/substrate_test[1]_include.cmake")
+include("/root/repo/build/tests/view_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/view_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/view_property_test[1]_include.cmake")
+include("/root/repo/build/tests/view_read_window_test[1]_include.cmake")
+include("/root/repo/build/tests/view_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/view_failure_test[1]_include.cmake")
+include("/root/repo/build/tests/view_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
