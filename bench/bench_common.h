@@ -178,6 +178,28 @@ inline void PrintNote(const std::string& note) {
   std::printf("%s\n", note.c_str());
 }
 
+/// The crash-fault-model counters, one per line (chaos/nemesis benches).
+inline void PrintFaultCounters(const store::Metrics& m) {
+  std::printf("  %-34s %10llu\n  %-34s %10llu\n  %-34s %10llu\n"
+              "  %-34s %10llu\n  %-34s %10llu\n  %-34s %10llu\n"
+              "  %-34s %10llu\n",
+              "server crashes",
+              static_cast<unsigned long long>(m.server_crashes),
+              "server restarts",
+              static_cast<unsigned long long>(m.server_restarts),
+              "commit-log cells replayed",
+              static_cast<unsigned long long>(m.wal_cells_replayed),
+              "in-flight ops aborted",
+              static_cast<unsigned long long>(m.inflight_ops_aborted),
+              "lock leases expired",
+              static_cast<unsigned long long>(m.locks_expired),
+              "propagations orphaned",
+              static_cast<unsigned long long>(m.propagations_orphaned),
+              "orphaned families re-scrubbed",
+              static_cast<unsigned long long>(
+                  m.orphaned_propagations_recovered));
+}
+
 }  // namespace mvstore::bench
 
 #endif  // MVSTORE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,200 @@
+#include "sim/nemesis.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mvstore::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kHeal:
+      return "heal";
+    case FaultKind::kDropRate:
+      return "drop-rate";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  std::ostringstream os;
+  os << "t=" << ToMillis(at) << "ms " << FaultKindName(kind);
+  switch (kind) {
+    case FaultKind::kCrash:
+    case FaultKind::kRestart:
+      os << " s" << a;
+      break;
+    case FaultKind::kPartition:
+    case FaultKind::kHeal:
+      os << " s" << a << "<->s" << b;
+      break;
+    case FaultKind::kDropRate:
+    case FaultKind::kLatencySpike:
+      os << " " << rate;
+      break;
+  }
+  return os.str();
+}
+
+FaultSchedule GenerateRandomSchedule(Rng rng, const NemesisOptions& options) {
+  FaultSchedule schedule;
+
+  // Crash/restart cycles: sample windows, rejecting ones that would crash an
+  // already-down server or exceed the concurrent-down budget.
+  struct Window {
+    EndpointId server;
+    SimTime start;
+    SimTime end;
+  };
+  std::vector<Window> windows;
+  for (int i = 0; i < options.crashes; ++i) {
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      const auto server = static_cast<EndpointId>(
+          rng.UniformInt(0, options.num_servers - 1));
+      const SimTime downtime =
+          rng.UniformInt(options.min_downtime, options.max_downtime);
+      if (options.horizon <= downtime) break;
+      const SimTime start = rng.UniformInt(0, options.horizon - downtime - 1);
+      const SimTime end = start + downtime;
+      bool ok = true;
+      for (const Window& w : windows) {
+        if (w.server == server && start < w.end + options.min_downtime &&
+            w.start < end + options.min_downtime) {
+          ok = false;  // same server: keep windows well separated
+          break;
+        }
+      }
+      if (ok) {
+        // Concurrency budget: count overlapping windows of other servers.
+        int concurrent = 1;
+        for (const Window& w : windows) {
+          if (w.server != server && start < w.end && w.start < end) {
+            ++concurrent;
+          }
+        }
+        if (concurrent > options.max_concurrent_down) ok = false;
+      }
+      if (!ok) continue;
+      windows.push_back(Window{server, start, end});
+      schedule.push_back({start, FaultKind::kCrash, server, 0, 0.0});
+      schedule.push_back({end, FaultKind::kRestart, server, 0, 0.0});
+      break;
+    }
+  }
+
+  for (int i = 0; i < options.partitions; ++i) {
+    const auto a =
+        static_cast<EndpointId>(rng.UniformInt(0, options.num_servers - 1));
+    auto b = static_cast<EndpointId>(rng.UniformInt(0, options.num_servers - 2));
+    if (b >= a) ++b;
+    const SimTime duration =
+        rng.UniformInt(options.min_partition, options.max_partition);
+    if (options.horizon <= duration) continue;
+    const SimTime start = rng.UniformInt(0, options.horizon - duration - 1);
+    schedule.push_back({start, FaultKind::kPartition, a, b, 0.0});
+    schedule.push_back({start + duration, FaultKind::kHeal, a, b, 0.0});
+  }
+
+  for (int i = 0; i < options.drop_surges; ++i) {
+    if (options.horizon <= options.surge_duration) break;
+    const SimTime start =
+        rng.UniformInt(0, options.horizon - options.surge_duration - 1);
+    const double rate = rng.Uniform(0.05, 0.3);
+    schedule.push_back({start, FaultKind::kDropRate, 0, 0, rate});
+    schedule.push_back({start + options.surge_duration, FaultKind::kDropRate,
+                        0, 0, options.baseline_drop_rate});
+  }
+
+  for (int i = 0; i < options.latency_spikes; ++i) {
+    if (options.horizon <= options.spike_duration) break;
+    const SimTime start =
+        rng.UniformInt(0, options.horizon - options.spike_duration - 1);
+    const double multiplier = rng.Uniform(2.0, 8.0);
+    schedule.push_back({start, FaultKind::kLatencySpike, 0, 0, multiplier});
+    schedule.push_back(
+        {start + options.spike_duration, FaultKind::kLatencySpike, 0, 0, 1.0});
+  }
+
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultEvent& x, const FaultEvent& y) {
+              return x.at < y.at;
+            });
+  return schedule;
+}
+
+Nemesis::Nemesis(Simulation* sim, Network* network,
+                 std::function<void(EndpointId)> crash,
+                 std::function<void(EndpointId)> restart)
+    : sim_(sim),
+      network_(network),
+      crash_(std::move(crash)),
+      restart_(std::move(restart)) {}
+
+void Nemesis::Schedule(FaultSchedule schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const FaultEvent& x, const FaultEvent& y) {
+                     return x.at < y.at;
+                   });
+  for (const FaultEvent& event : schedule) {
+    sim_->At(event.at, [this, event] { Execute(event); });
+  }
+}
+
+void Nemesis::Execute(const FaultEvent& event) {
+  ++events_fired_;
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      if (down_servers_.count(event.a) != 0) return;  // already down
+      down_servers_.insert(event.a);
+      crash_(event.a);
+      break;
+    case FaultKind::kRestart:
+      if (down_servers_.count(event.a) == 0) return;  // not down
+      down_servers_.erase(event.a);
+      restart_(event.a);
+      break;
+    case FaultKind::kPartition:
+      open_partitions_.insert({event.a, event.b});
+      network_->PartitionLink(event.a, event.b);
+      break;
+    case FaultKind::kHeal:
+      open_partitions_.erase({event.a, event.b});
+      network_->RestoreLink(event.a, event.b);
+      break;
+    case FaultKind::kDropRate:
+      network_->set_drop_probability(event.rate);
+      break;
+    case FaultKind::kLatencySpike:
+      network_->set_latency_multiplier(event.rate);
+      break;
+  }
+}
+
+void Nemesis::HealAllAt(SimTime at) {
+  sim_->At(at, [this] {
+    for (const auto& [a, b] : open_partitions_) {
+      network_->RestoreLink(a, b);
+    }
+    open_partitions_.clear();
+    network_->set_drop_probability(0.0);
+    network_->set_latency_multiplier(1.0);
+    // Restart last so recovery (commit-log replay, anti-entropy kick,
+    // re-scrub) runs against a healthy network.
+    for (EndpointId server : down_servers_) {
+      restart_(server);
+    }
+    down_servers_.clear();
+  });
+}
+
+}  // namespace mvstore::sim

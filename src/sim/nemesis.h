@@ -1,0 +1,121 @@
+// Deterministic fault-injection (nemesis) harness.
+//
+// A FaultSchedule is an explicit timeline of fault events — crash, restart,
+// partition, heal, drop-rate surge, latency spike — executed as ordinary
+// simulation events, so a whole chaos run is exactly reproducible: the same
+// schedule (or the same generator seed) against the same cluster seed yields
+// the same simulation, event for event.
+//
+// The sim layer knows how to drive the Network directly; crashing and
+// restarting a server is a store-layer concern, so the Nemesis is handed
+// crash/restart callbacks at construction (the cluster wires them to
+// Server::Crash / Server::Restart). Schedules can be scripted by hand or
+// generated from a seed via GenerateRandomSchedule.
+
+#ifndef MVSTORE_SIM_NEMESIS_H_
+#define MVSTORE_SIM_NEMESIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/network.h"
+#include "sim/simulation.h"
+
+namespace mvstore::sim {
+
+enum class FaultKind {
+  kCrash,         ///< crash-stop server `a` (volatile state lost)
+  kRestart,       ///< restart server `a` (commit-log replay + rejoin)
+  kPartition,     ///< cut the (a, b) link
+  kHeal,          ///< restore the (a, b) link
+  kDropRate,      ///< set the network drop probability to `rate`
+  kLatencySpike,  ///< set the network latency multiplier to `rate`
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  SimTime at = 0;  ///< absolute simulation time
+  FaultKind kind = FaultKind::kCrash;
+  EndpointId a = 0;
+  EndpointId b = 0;     ///< second endpoint (partition/heal only)
+  double rate = 0.0;    ///< drop probability or latency multiplier
+
+  std::string ToString() const;
+};
+
+/// A timeline, sorted by `at` (Schedule() sorts defensively).
+using FaultSchedule = std::vector<FaultEvent>;
+
+struct NemesisOptions {
+  SimTime horizon = Seconds(10);  ///< events fall in [0, horizon)
+  int num_servers = 4;
+  /// Crash/restart cycles to inject (spread across servers; a server is
+  /// never crashed while already down, and every crash is paired with a
+  /// restart inside the horizon).
+  int crashes = 4;
+  SimTime min_downtime = Millis(200);
+  SimTime max_downtime = Millis(1500);
+  /// At most this many servers may be down simultaneously (keep quorums
+  /// reachable often enough for the workload to make progress).
+  int max_concurrent_down = 1;
+  /// Partition/heal cycles between random server pairs.
+  int partitions = 3;
+  SimTime min_partition = Millis(200);
+  SimTime max_partition = Millis(1200);
+  /// Drop-rate surges (surge to [0.05, 0.3], then back to the baseline).
+  int drop_surges = 2;
+  SimTime surge_duration = Millis(500);
+  double baseline_drop_rate = 0.0;  ///< restored when a surge ends
+  /// Latency spikes (multiplier in [2, 8], then back to 1).
+  int latency_spikes = 2;
+  SimTime spike_duration = Millis(500);
+};
+
+/// Deterministically generates a random-but-reproducible schedule: the same
+/// (rng seed, options) always yields the same timeline.
+FaultSchedule GenerateRandomSchedule(Rng rng, const NemesisOptions& options);
+
+class Nemesis {
+ public:
+  /// `crash` / `restart` are invoked with a server's endpoint id when a
+  /// kCrash / kRestart event fires (the store wires these to the servers).
+  Nemesis(Simulation* sim, Network* network,
+          std::function<void(EndpointId)> crash,
+          std::function<void(EndpointId)> restart);
+
+  Nemesis(const Nemesis&) = delete;
+  Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Registers every event of `schedule` with the simulation. May be called
+  /// more than once; timelines interleave.
+  void Schedule(FaultSchedule schedule);
+
+  /// Crashed-but-not-yet-restarted servers are restarted and all partitions,
+  /// drop surges, and latency spikes are cleared — at simulation time `at`.
+  /// Call before the quiescence phase so convergence is reachable.
+  void HealAllAt(SimTime at);
+
+  std::uint64_t events_fired() const { return events_fired_; }
+
+ private:
+  void Execute(const FaultEvent& event);
+
+  Simulation* sim_;
+  Network* network_;
+  std::function<void(EndpointId)> crash_;
+  std::function<void(EndpointId)> restart_;
+  std::set<EndpointId> down_servers_;
+  std::set<std::pair<EndpointId, EndpointId>> open_partitions_;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace mvstore::sim
+
+#endif  // MVSTORE_SIM_NEMESIS_H_

@@ -16,20 +16,40 @@ SimTime Network::SampleLatency() {
     jitter = static_cast<SimTime>(
         rng_.Exponential(static_cast<double>(config_.jitter_mean)));
   }
-  return config_.base_latency + jitter;
+  const SimTime latency = config_.base_latency + jitter;
+  if (latency_multiplier_ == 1.0) return latency;
+  return static_cast<SimTime>(static_cast<double>(latency) *
+                              latency_multiplier_);
+}
+
+bool Network::Blocked(EndpointId from, EndpointId to) const {
+  return down_.count(from) != 0 || down_.count(to) != 0 ||
+         (from != to && cut_links_.count(Ordered(from, to)) != 0);
 }
 
 void Network::Send(EndpointId from, EndpointId to,
                    std::function<void()> deliver) {
   ++messages_sent_;
-  if (down_.count(from) != 0 || down_.count(to) != 0 ||
-      (from != to && cut_links_.count(Ordered(from, to)) != 0) ||
+  if (Blocked(from, to) ||
       (config_.drop_probability > 0 && rng_.Chance(config_.drop_probability))) {
     ++messages_dropped_;
     return;
   }
   const SimTime latency = from == to ? Micros(1) : SampleLatency();
-  sim_->After(latency, std::move(deliver));
+  // Fault state is re-evaluated when the message ARRIVES: a destination that
+  // crashed, a link that partitioned, or an endpoint that restarted into a
+  // new incarnation while the message was in flight all lose it.
+  const std::uint64_t from_inc = incarnation(from);
+  const std::uint64_t to_inc = incarnation(to);
+  sim_->After(latency, [this, from, to, from_inc, to_inc,
+                        deliver = std::move(deliver)] {
+    if (Blocked(from, to) || incarnation(from) != from_inc ||
+        incarnation(to) != to_inc) {
+      ++messages_dropped_;
+      return;
+    }
+    deliver();
+  });
 }
 
 void Network::PartitionLink(EndpointId a, EndpointId b) {
@@ -50,6 +70,13 @@ void Network::SetEndpointDown(EndpointId e, bool down) {
 
 bool Network::IsEndpointDown(EndpointId e) const {
   return down_.count(e) != 0;
+}
+
+void Network::BumpIncarnation(EndpointId e) { ++incarnations_[e]; }
+
+std::uint64_t Network::incarnation(EndpointId e) const {
+  auto it = incarnations_.find(e);
+  return it == incarnations_.end() ? 0 : it->second;
 }
 
 }  // namespace mvstore::sim

@@ -2,15 +2,21 @@
 //
 // Endpoints (servers and client hosts) are numbered densely. Send() delivers
 // a callback to the destination after a sampled one-way latency, unless the
-// message is dropped (random drop injection or an explicit partition). The
-// network is fail-silent: senders learn about losses only through their own
-// timeouts, exactly as in the modeled system.
+// message is dropped (random drop injection, an explicit partition, or a
+// down endpoint). Fault state is evaluated BOTH at send time and again at
+// delivery time: a message already in flight when its destination crashes or
+// the link partitions is lost, exactly as a broken TCP connection loses its
+// unacknowledged bytes. Each endpoint carries an incarnation counter bumped
+// by crashes, so a message addressed to one incarnation is never delivered
+// to the next one. The network is fail-silent: senders learn about losses
+// only through their own timeouts, exactly as in the modeled system.
 
 #ifndef MVSTORE_SIM_NETWORK_H_
 #define MVSTORE_SIM_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <set>
 #include <utility>
 #include <vector>
@@ -41,20 +47,33 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Delivers `deliver` at the destination after a sampled latency, or never
-  /// (drop / partition / endpoint down). Self-sends skip the wire but still
-  /// go through the event queue (never synchronous), preserving the
-  /// asynchrony the view-maintenance algorithms must tolerate.
+  /// (drop / partition / endpoint down / destination restarted into a new
+  /// incarnation while the message was in flight). Self-sends skip the wire
+  /// but still go through the event queue (never synchronous), preserving
+  /// the asynchrony the view-maintenance algorithms must tolerate.
   void Send(EndpointId from, EndpointId to, std::function<void()> deliver);
 
-  /// Cuts both directions of the (a, b) link until RestoreLink.
+  /// Cuts both directions of the (a, b) link until RestoreLink. Messages in
+  /// flight across the link when it is cut are lost.
   void PartitionLink(EndpointId a, EndpointId b);
   void RestoreLink(EndpointId a, EndpointId b);
 
-  /// Marks an endpoint down: all traffic to and from it is dropped.
+  /// Marks an endpoint down: all traffic to and from it is dropped,
+  /// including messages already in flight.
   void SetEndpointDown(EndpointId e, bool down);
   bool IsEndpointDown(EndpointId e) const;
 
+  /// Advances an endpoint's incarnation (crash-stop model): every message
+  /// sent to or from the previous incarnation — even one surviving the
+  /// down-window because the endpoint restarted quickly — is discarded at
+  /// delivery time.
+  void BumpIncarnation(EndpointId e);
+  std::uint64_t incarnation(EndpointId e) const;
+
   void set_drop_probability(double p) { config_.drop_probability = p; }
+  /// Scales sampled latencies (base + jitter); nemesis latency spikes.
+  void set_latency_multiplier(double m) { latency_multiplier_ = m; }
+  double latency_multiplier() const { return latency_multiplier_; }
   const NetworkConfig& config() const { return config_; }
 
   std::uint64_t messages_sent() const { return messages_sent_; }
@@ -62,12 +81,15 @@ class Network {
 
  private:
   SimTime SampleLatency();
+  bool Blocked(EndpointId from, EndpointId to) const;
 
   Simulation* sim_;
   Rng rng_;
   NetworkConfig config_;
+  double latency_multiplier_ = 1.0;
   std::set<std::pair<EndpointId, EndpointId>> cut_links_;
   std::set<EndpointId> down_;
+  std::map<EndpointId, std::uint64_t> incarnations_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
 };

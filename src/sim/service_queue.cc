@@ -23,6 +23,10 @@ void ServiceQueue::Submit(SimTime service_time, std::function<void()> fn) {
   sim_->At(end, std::move(fn));
 }
 
+void ServiceQueue::Reset() {
+  std::fill(core_free_at_.begin(), core_free_at_.end(), sim_->Now());
+}
+
 SimTime ServiceQueue::QueueDelay() const {
   const SimTime soonest =
       *std::min_element(core_free_at_.begin(), core_free_at_.end());

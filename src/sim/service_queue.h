@@ -33,6 +33,12 @@ class ServiceQueue {
   /// Virtual time the next submission would wait before starting service.
   SimTime QueueDelay() const;
 
+  /// Frees every core as of the current simulation time, discarding queued
+  /// backlog delay (a crashed server's restarted process starts with empty
+  /// run queues; the already-scheduled closures still fire but their owners
+  /// guard them by incarnation).
+  void Reset();
+
   /// Total busy time accumulated across cores (utilization accounting).
   SimTime busy_time() const { return busy_time_; }
   std::uint64_t tasks() const { return tasks_; }

@@ -7,13 +7,42 @@ namespace mvstore::storage {
 Engine::Engine(EngineOptions options) : options_(options) {}
 
 void Engine::Apply(const Key& key, const ColumnName& col, const Cell& cell) {
+  AppendToLog(key, col, cell);
   memtable_.Apply(key, col, cell);
   MaybeFlushAndCompact();
 }
 
 void Engine::ApplyRow(const Key& key, const Row& row) {
+  for (const auto& [col, cell] : row.cells()) {
+    AppendToLog(key, col, cell);
+  }
   memtable_.ApplyRow(key, row);
   MaybeFlushAndCompact();
+}
+
+void Engine::AppendToLog(const Key& key, const ColumnName& col,
+                         const Cell& cell) {
+  if (!options_.commit_log_enabled) return;
+  if (options_.commit_log_max_cells > 0 &&
+      log_.size() >= options_.commit_log_max_cells) {
+    log_.pop_front();
+    ++log_dropped_;
+  }
+  log_.push_back(LogRecord{key, col, cell});
+}
+
+void Engine::LoseVolatileState() { memtable_.Clear(); }
+
+std::size_t Engine::RecoverFromLog() {
+  // Replay straight into the memtable: re-appending the replayed cells to
+  // the log would double them, and LWW makes the replay idempotent even
+  // when some cells also reached a durable run before the crash.
+  for (const LogRecord& record : log_) {
+    memtable_.Apply(record.key, record.col, record.cell);
+  }
+  const std::size_t replayed = log_.size();
+  MaybeFlushAndCompact();
+  return replayed;
 }
 
 std::optional<Row> Engine::GetRow(const Key& key) const {
@@ -79,6 +108,8 @@ void Engine::Flush() {
   });
   runs_.push_back(Run::FromSorted(std::move(entries)));
   memtable_.Clear();
+  // Checkpoint: everything logged so far now lives in a durable run.
+  log_.clear();
 }
 
 void Engine::Compact(Timestamp now) {

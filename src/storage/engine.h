@@ -5,11 +5,20 @@
 // (LWW), so a read is correct regardless of where the newest cell lives.
 // Size-tiered compaction bounds the run count; compaction purges tombstones
 // older than the GC grace period (expired deletions).
+//
+// Durability model (crash-stop faults): sorted runs are durable, the
+// memtable is volatile. Every Apply/ApplyRow also appends to a per-engine
+// commit log; sealing the memtable into a run checkpoints (truncates) the
+// log, so the log always holds exactly the cells that would be lost with
+// the memtable. LoseVolatileState() models the crash, RecoverFromLog()
+// the restart replay. The log can be capped or disabled to model real
+// data loss (a replica that forgets acknowledged writes).
 
 #ifndef MVSTORE_STORAGE_ENGINE_H_
 #define MVSTORE_STORAGE_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -29,6 +38,14 @@ struct EngineOptions {
   /// Tombstones older than this (relative to the compaction call's `now`)
   /// are purged during compaction. Mirrors Cassandra's gc_grace_seconds.
   Timestamp tombstone_gc_grace = Seconds(600);
+  /// Append every applied cell to the commit log (replayed after a crash).
+  /// Off = a crash loses the whole memtable, as in a store running with
+  /// fsync disabled.
+  bool commit_log_enabled = true;
+  /// Cap on logged cells; once full the OLDEST records are discarded, so a
+  /// recovery replays only a suffix of the unflushed writes (models a
+  /// bounded WAL device losing data). 0 = unbounded.
+  std::size_t commit_log_max_cells = 0;
 };
 
 class Engine {
@@ -72,13 +89,35 @@ class Engine {
   /// Total distinct keys across structures (upper bound; pre-merge).
   std::size_t ApproxEntries() const;
 
+  // --- crash-stop fault model ---
+
+  /// Models a crash: discards the memtable (volatile state). Durable runs
+  /// and the commit log survive. Does NOT flush first — that is the point.
+  void LoseVolatileState();
+
+  /// Replays the commit log into the memtable (idempotent under LWW).
+  /// Returns the number of cells replayed.
+  std::size_t RecoverFromLog();
+
+  std::size_t commit_log_cells() const { return log_.size(); }
+  std::uint64_t commit_log_cells_dropped() const { return log_dropped_; }
+
  private:
+  struct LogRecord {
+    Key key;
+    ColumnName col;
+    Cell cell;
+  };
+
   void MaybeFlushAndCompact();
+  void AppendToLog(const Key& key, const ColumnName& col, const Cell& cell);
 
   EngineOptions options_;
   MemTable memtable_;
   std::vector<std::shared_ptr<const Run>> runs_;  // oldest first
   std::uint64_t compactions_ = 0;
+  std::deque<LogRecord> log_;  // cells applied since the last flush
+  std::uint64_t log_dropped_ = 0;
 };
 
 }  // namespace mvstore::storage

@@ -72,6 +72,11 @@ class Cluster {
   /// Starts background tasks (anti-entropy, if configured).
   void Start();
 
+  /// Crash-stops / restarts one server (nemesis entry points; see
+  /// Server::Crash / Server::Restart for the exact semantics).
+  void CrashServer(ServerId id) { servers_[id]->Crash(); }
+  void RestartServer(ServerId id) { servers_[id]->Restart(); }
+
   /// Creates a client attached to the given coordinator (round-robin by
   /// client id when omitted).
   std::unique_ptr<Client> NewClient();

@@ -111,6 +111,21 @@ struct ClusterConfig {
 
   PropagationMode propagation_mode = PropagationMode::kLockService;
 
+  /// Lease TTL on view-propagation locks: a hold not released within this
+  /// window (its coordinator crashed between acquire and release) is
+  /// reclaimed by the lock service, so the base row's future propagations
+  /// are not wedged forever behind a dead lock holder. 0 disables expiry
+  /// (pre-crash-model behaviour).
+  SimTime lock_lease_ttl = Seconds(5);
+
+  /// Period of each server's background view scrub over the base-key ranges
+  /// it primarily owns; 0 disables (the default — quorum propagation plus
+  /// read repair suffice without crashes). Under the crash fault model this
+  /// is the backstop that re-derives view rows for propagations orphaned by
+  /// a coordinator crash: every base key has exactly one primary owner, so
+  /// every orphan is recovered within one scrub period of its owner being up.
+  SimTime view_scrub_interval = 0;
+
   /// Enforce Definition 4 (session guarantee) for view reads issued within a
   /// session.
   bool session_guarantees = true;

@@ -66,6 +66,17 @@ class ViewMaintenanceHook {
       Server* coordinator, const ViewDef& view, const Key& view_key,
       std::vector<ColumnName> columns, int read_quorum, SessionId session,
       std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) = 0;
+
+  /// Called synchronously from Server::Crash, BEFORE in-flight coordinator
+  /// ops are aborted: the engine must treat the server's share of its
+  /// volatile state (propagation tasks, session bookkeeping, propagator
+  /// queues) as lost.
+  virtual void OnServerCrash(Server* server) {}
+
+  /// Called from Server::Restart after commit-log replay: the engine may
+  /// kick recovery work for the ranges the server owns (e.g. a view
+  /// re-scrub that adopts propagations orphaned by the crash).
+  virtual void OnServerRestart(Server* server) {}
 };
 
 }  // namespace mvstore::store

@@ -50,6 +50,16 @@ struct Metrics {
   std::uint64_t view_get_spins = 0;         ///< waits on initializing rows
   std::uint64_t stale_rows_filtered = 0;    ///< non-live rows skipped by reads
 
+  // Crash-stop fault model (ISSUE 1): crashes, recovery, and the state the
+  // cluster salvages afterwards.
+  std::uint64_t server_crashes = 0;
+  std::uint64_t server_restarts = 0;
+  std::uint64_t wal_cells_replayed = 0;      ///< commit-log cells re-applied
+  std::uint64_t locks_expired = 0;           ///< lease TTL reclaimed a hold
+  std::uint64_t inflight_ops_aborted = 0;    ///< coordinator ops killed by crash
+  std::uint64_t propagations_orphaned = 0;   ///< tasks lost with a coordinator
+  std::uint64_t orphaned_propagations_recovered = 0;  ///< healed by re-scrub
+
   // Latency recorders (simulated microseconds).
   Histogram get_latency;
   Histogram put_latency;

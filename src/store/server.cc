@@ -164,6 +164,7 @@ struct Server::ReadOp {
   std::function<void(StatusOr<storage::Row>)> callback;
   std::function<void(std::vector<storage::Row>)> collect_all;
   sim::EventHandle timeout;
+  std::uint64_t op_id = 0;
 
   storage::Row MergedSoFar() const {
     storage::Row merged;
@@ -185,9 +186,32 @@ struct Server::ReadOp {
     if (num_responses == static_cast<int>(replicas.size())) Finalize();
   }
 
+  /// Crash-stop: the coordinator process died mid-operation. Fire the
+  /// outstanding callbacks with errors/partials (internal callers need them
+  /// to stay live; client-facing callbacks are incarnation-guarded and get
+  /// dropped) but perform NO side effects — a dead process cannot push read
+  /// repairs.
+  void Abort() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      callback(Status::Unavailable("coordinator crashed"));
+    }
+    if (collect_all) {
+      std::vector<storage::Row> collected;
+      for (auto& row : responses) {
+        if (row) collected.push_back(*std::move(row));
+      }
+      collect_all(std::move(collected));
+    }
+  }
+
   void Finalize() {
     if (finalized) return;
     finalized = true;
+    coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
     if (!replied) {
       replied = true;
@@ -239,6 +263,7 @@ void Server::CoordinateRead(
   op->responses.resize(op->replicas.size());
   op->callback = std::move(callback);
   op->collect_all = std::move(collect_all);
+  op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
   for (std::size_t i = 0; i < op->replicas.size(); ++i) {
@@ -270,6 +295,7 @@ struct Server::WriteOp {
   bool finalized = false;
   std::function<void(Status)> callback;
   sim::EventHandle timeout;
+  std::uint64_t op_id = 0;
 
   void OnAck(std::size_t slot) {
     if (finalized) return;
@@ -283,9 +309,22 @@ struct Server::WriteOp {
     if (acks == static_cast<int>(replicas.size())) Finalize();
   }
 
+  /// Crash-stop: error the caller out, store no hints (they would be lost
+  /// with the crashed process anyway).
+  void Abort() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      callback(Status::Unavailable("coordinator crashed"));
+    }
+  }
+
   void Finalize() {
     if (finalized) return;
     finalized = true;
+    coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
     if (!replied) {
       replied = true;
@@ -331,6 +370,7 @@ void Server::CoordinateWrite(const std::string& table, const Key& key,
   op->replicas = ReplicasOf(table, key);
   op->acked.assign(op->replicas.size(), false);
   op->callback = std::move(callback);
+  op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
   const SimTime service = WriteServiceFor(table, cells);
@@ -366,6 +406,7 @@ struct Server::ReadThenWriteOp {
   std::function<void(Status)> callback;
   std::function<void(std::vector<storage::Row>)> collect;
   sim::EventHandle timeout;
+  std::uint64_t op_id = 0;
 
   void OnReply(std::size_t slot, storage::Row pre_image) {
     if (finalized) return;
@@ -379,9 +420,26 @@ struct Server::ReadThenWriteOp {
     if (num_responses == total) Finalize();
   }
 
+  /// Crash-stop: error + partial collection, no hints.
+  void Abort() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      callback(Status::Unavailable("coordinator crashed"));
+    }
+    std::vector<storage::Row> collected;
+    for (auto& row : pre_images) {
+      if (row) collected.push_back(*std::move(row));
+    }
+    collect(std::move(collected));
+  }
+
   void Finalize() {
     if (finalized) return;
     finalized = true;
+    coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
     if (!replied) {
       replied = true;
@@ -420,6 +478,7 @@ void Server::CoordinateReadThenWrite(
   op->pre_images.resize(replicas.size());
   op->callback = std::move(callback);
   op->collect = std::move(collect_pre_images);
+  op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, op->total);
 
   const SimTime service =
@@ -451,6 +510,7 @@ struct Server::ScanOp {
   bool finalized = false;
   std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
   sim::EventHandle timeout;
+  std::uint64_t op_id = 0;
 
   std::map<Key, storage::Row> MergedSoFar() const {
     std::map<Key, storage::Row> merged;
@@ -483,9 +543,21 @@ struct Server::ScanOp {
     if (num_responses == static_cast<int>(replicas.size())) Finalize();
   }
 
+  /// Crash-stop: error the caller out; no scan-path read repair.
+  void Abort() {
+    if (finalized) return;
+    finalized = true;
+    timeout.Cancel();
+    if (!replied) {
+      replied = true;
+      callback(Status::Unavailable("coordinator crashed"));
+    }
+  }
+
   void Finalize() {
     if (finalized) return;
     finalized = true;
+    coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
     if (!replied) {
       replied = true;
@@ -536,6 +608,7 @@ void Server::CoordinateScan(
   op->replicas = ReplicasOf(table, partition_prefix);
   op->responses.resize(op->replicas.size());
   op->callback = std::move(callback);
+  op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
   for (std::size_t i = 0; i < op->replicas.size(); ++i) {
@@ -566,6 +639,7 @@ struct Server::IndexScanOp {
   std::map<Key, storage::Row> merged;
   std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
   sim::EventHandle timeout;
+  std::uint64_t op_id = 0;
 
   void OnReply(std::vector<storage::KeyedRow> rows) {
     if (done) return;
@@ -576,9 +650,18 @@ struct Server::IndexScanOp {
     if (num_responses == total) Complete();
   }
 
+  /// Crash-stop: error the caller out.
+  void Abort() {
+    if (done) return;
+    done = true;
+    timeout.Cancel();
+    callback(Status::Unavailable("coordinator crashed"));
+  }
+
   void Complete() {
     if (done) return;
     done = true;
+    coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
     // A fragment may return keys whose globally-latest value no longer
     // matches (its replica was stale); filter on the merged image, as
@@ -595,6 +678,7 @@ struct Server::IndexScanOp {
   void OnTimeout() {
     if (done) return;
     done = true;
+    coord->DeregisterInflightOp(op_id);
     coord->metrics_->quorum_failures++;
     callback(Status::Unavailable("index fragments unreachable"));
   }
@@ -614,6 +698,7 @@ void Server::HandleClientIndexGet(
   op->value = value;
   op->total = config_->num_servers;
   op->callback = WrapReply(std::move(callback));
+  op->op_id = RegisterInflightOp([op] { op->Abort(); });
 
   Enqueue(config_->perf.coordinator_op, [this, op, table, column, value] {
     for (ServerId s = 0; s < static_cast<ServerId>(config_->num_servers);
@@ -839,25 +924,39 @@ void Server::HandleClientViewGet(
 // Background anti-entropy.
 // ---------------------------------------------------------------------------
 
-void Server::Start() {
+void Server::Start() { ScheduleBackgroundTicks(); }
+
+void Server::ScheduleBackgroundTicks() {
+  // Tick chains belong to one process incarnation: when the server crashes,
+  // the pending chain link notices the incarnation changed and dies;
+  // Restart() arms a fresh chain.
+  const std::uint64_t incarnation = incarnation_;
   if (config_->anti_entropy_interval > 0) {
     // Stagger the servers so rounds do not align.
     const SimTime phase = config_->anti_entropy_interval *
                           static_cast<SimTime>(id_ + 1) /
                           static_cast<SimTime>(config_->num_servers);
-    sim_->After(phase, [this] { AntiEntropyTick(); });
+    sim_->After(phase, [this, incarnation] {
+      if (incarnation == incarnation_) AntiEntropyTick();
+    });
   }
   if (config_->hint_replay_interval > 0) {
     const SimTime phase = config_->hint_replay_interval *
                           static_cast<SimTime>(id_ + 1) /
                           static_cast<SimTime>(config_->num_servers);
-    sim_->After(phase, [this] { HintReplayTick(); });
+    sim_->After(phase, [this, incarnation] {
+      if (incarnation == incarnation_) HintReplayTick();
+    });
   }
 }
 
 void Server::AntiEntropyTick() {
+  if (crashed_) return;
   RunAntiEntropyRound();
-  sim_->After(config_->anti_entropy_interval, [this] { AntiEntropyTick(); });
+  const std::uint64_t incarnation = incarnation_;
+  sim_->After(config_->anti_entropy_interval, [this, incarnation] {
+    if (incarnation == incarnation_) AntiEntropyTick();
+  });
 }
 
 std::vector<std::uint64_t> Server::ComputeSyncDigests(const std::string& table,
@@ -959,6 +1058,79 @@ void Server::RunAntiEntropyRound() {
 }
 
 // ---------------------------------------------------------------------------
+// Crash-stop fault model.
+// ---------------------------------------------------------------------------
+
+std::uint64_t Server::RegisterInflightOp(std::function<void()> abort) {
+  const std::uint64_t op_id = ++next_op_id_;
+  inflight_aborts_.emplace(op_id, std::move(abort));
+  return op_id;
+}
+
+void Server::DeregisterInflightOp(std::uint64_t op_id) {
+  inflight_aborts_.erase(op_id);
+}
+
+void Server::Crash() {
+  MVSTORE_CHECK(!crashed_) << "server " << id_ << " crashed while down";
+  crashed_ = true;
+  metrics_->server_crashes++;
+
+  // 1. The view engine loses this server's share of its volatile state
+  //    (propagation tasks, session bookkeeping, propagator queues) FIRST, so
+  //    the abort callbacks below cannot resurrect work on a dead process.
+  if (view_hook_ != nullptr) view_hook_->OnServerCrash(this);
+
+  // 2. Abort every in-flight coordinator operation. Internal callers (the
+  //    propagation machines) get their error callbacks synchronously; client
+  //    replies travel through WrapReply -> Enqueue, which is guarded by the
+  //    incarnation bump below, so clients learn of the crash only through
+  //    their own request timeouts — exactly like a real silent crash.
+  auto aborts = std::move(inflight_aborts_);
+  inflight_aborts_.clear();
+  for (auto& [op_id, abort] : aborts) abort();
+  metrics_->inflight_ops_aborted += aborts.size();
+
+  // 3. Volatile state dies with the process: memtables (the commit logs and
+  //    flushed runs are durable), stored hints, and the run-queue backlog.
+  for (auto& [table, engine] : engines_) engine->LoseVolatileState();
+  hints_.clear();
+  queue_.Reset();
+
+  // 4. Disappear from the network. Bumping the incarnation (a) drops every
+  //    in-flight message to/from the dead process at delivery time and
+  //    (b) invalidates every closure the old incarnation enqueued.
+  ++incarnation_;
+  network_->BumpIncarnation(id_);
+  network_->SetEndpointDown(id_, true);
+}
+
+void Server::Restart() {
+  MVSTORE_CHECK(crashed_) << "restart of live server " << id_;
+  crashed_ = false;
+  metrics_->server_restarts++;
+
+  // Rejoin the ring: the endpoint comes back up under the incarnation
+  // Crash() already bumped.
+  network_->SetEndpointDown(id_, false);
+
+  // Recovery: replay each table's commit log into the fresh memtable
+  // (idempotent under LWW; the log was truncated at the last flush).
+  for (auto& [table, engine] : engines_) {
+    metrics_->wal_cells_replayed += engine->RecoverFromLog();
+  }
+
+  // Catch up with the writes this replica missed while down: re-arm the
+  // periodic ticks and run one anti-entropy round right away.
+  ScheduleBackgroundTicks();
+  RunAntiEntropyRound();
+
+  // Let the view engine re-scrub the ranges this server owns, adopting
+  // propagations orphaned by the crash.
+  if (view_hook_ != nullptr) view_hook_->OnServerRestart(this);
+}
+
+// ---------------------------------------------------------------------------
 // Hinted handoff.
 // ---------------------------------------------------------------------------
 
@@ -979,8 +1151,12 @@ std::size_t Server::pending_hints(ServerId target) const {
 }
 
 void Server::HintReplayTick() {
+  if (crashed_) return;
   ReplayHints();
-  sim_->After(config_->hint_replay_interval, [this] { HintReplayTick(); });
+  const std::uint64_t incarnation = incarnation_;
+  sim_->After(config_->hint_replay_interval, [this, incarnation] {
+    if (incarnation == incarnation_) HintReplayTick();
+  });
 }
 
 void Server::ReplayHints() {

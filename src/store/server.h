@@ -58,6 +58,30 @@ class Server {
   /// Installed by the Cluster after construction; may be null (no views).
   void set_view_hook(ViewMaintenanceHook* hook) { view_hook_ = hook; }
 
+  // ---------------------------------------------------------------------
+  // Crash-stop fault model.
+  // ---------------------------------------------------------------------
+
+  /// Crash-stops this server: the view hook is told first (it orphans the
+  /// server's propagation tasks and session state), every in-flight
+  /// coordinator operation is aborted with an error callback, stored hints
+  /// are dropped, the endpoint disappears from the network (in-flight
+  /// messages to/from this incarnation are lost), and all volatile storage
+  /// (memtables) is discarded. Durable commit logs and flushed runs survive.
+  void Crash();
+
+  /// Restarts a crashed server: replays the per-table commit logs into fresh
+  /// memtables, rejoins the ring (endpoint back up, new incarnation already
+  /// in effect), re-arms background tasks, kicks one anti-entropy round to
+  /// catch up with peers, and lets the view hook re-scrub owned ranges.
+  void Restart();
+
+  bool crashed() const { return crashed_; }
+
+  /// Monotonic process generation: bumped on every crash. Closures created
+  /// by one incarnation refuse to run under a later one.
+  std::uint64_t incarnation() const { return incarnation_; }
+
   /// All servers of the cluster, indexed by ServerId (set by the Cluster;
   /// used to address peers).
   void set_peers(const std::vector<Server*>* peers) { peers_ = peers; }
@@ -165,9 +189,15 @@ class Server {
                 std::function<Response(Server&)> handler,
                 std::function<void(Response)> on_reply);
 
-  /// Runs `fn` on this server after (queueing +) `service` time.
+  /// Runs `fn` on this server after (queueing +) `service` time — unless the
+  /// server has crashed (or crashed and restarted) in between: work queued
+  /// by one process incarnation dies with it.
   void Enqueue(SimTime service, std::function<void()> fn) {
-    queue_.Submit(service, std::move(fn));
+    queue_.Submit(service, [this, incarnation = incarnation_,
+                            fn = std::move(fn)] {
+      if (incarnation != incarnation_ || crashed_) return;
+      fn();
+    });
   }
 
   /// Replicas of `key` in `table` (partition prefix for composite keys).
@@ -241,6 +271,15 @@ class Server {
   void HintReplayTick();
   void SyncTableWithPeer(const std::string& table, ServerId peer);
 
+  /// (Re-)arms the periodic background ticks for the current incarnation.
+  void ScheduleBackgroundTicks();
+
+  /// Registers an abort closure for an in-flight coordinator operation;
+  /// Crash() invokes every registered closure. Returns the registration id
+  /// the op passes to DeregisterInflightOp when it finalizes normally.
+  std::uint64_t RegisterInflightOp(std::function<void()> abort);
+  void DeregisterInflightOp(std::uint64_t op_id);
+
   /// Records a hint for a write `target` did not acknowledge.
   void StoreHint(ServerId target, const std::string& table, const Key& key,
                  const storage::Row& cells);
@@ -267,6 +306,13 @@ class Server {
   std::map<std::string, std::unique_ptr<storage::Engine>> engines_;
   std::vector<std::unique_ptr<index::LocalIndex>> indexes_;
   std::map<ServerId, std::deque<Hint>> hints_;
+
+  bool crashed_ = false;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t next_op_id_ = 0;
+  /// Abort closures of in-flight coordinator ops, by registration id
+  /// (ordered map: Crash() aborts in deterministic id order).
+  std::map<std::uint64_t, std::function<void()>> inflight_aborts_;
 };
 
 // ---------------------------------------------------------------------------
@@ -282,7 +328,9 @@ void Server::CallPeer(ServerId to, SimTime remote_service,
   network_->Send(id_, to, [peer, self, remote_service,
                            handler = std::move(handler),
                            on_reply = std::move(on_reply)]() mutable {
-    peer->queue_.Submit(
+    // Enqueue (not a bare queue submit) so work delivered to an incarnation
+    // that crashes before servicing it dies with that incarnation.
+    peer->Enqueue(
         remote_service,
         [peer, self, handler = std::move(handler),
          on_reply = std::move(on_reply)]() mutable {

@@ -1,5 +1,6 @@
 #include "view/lock_service.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -7,11 +8,13 @@
 namespace mvstore::view {
 
 LockService::LockService(sim::Simulation* sim, sim::Network* network,
-                         sim::EndpointId endpoint, SimTime hop_latency)
+                         sim::EndpointId endpoint, SimTime hop_latency,
+                         SimTime lease_ttl)
     : sim_(sim),
       network_(network),
       endpoint_(endpoint),
-      hop_latency_(hop_latency) {}
+      hop_latency_(hop_latency),
+      lease_ttl_(lease_ttl) {}
 
 void LockService::Acquire(sim::EndpointId requester,
                           const std::string& resource, LockMode mode,
@@ -26,8 +29,9 @@ void LockService::Acquire(sim::EndpointId requester,
 
 void LockService::Release(sim::EndpointId requester,
                           const std::string& resource, LockMode mode) {
-  sim_->After(hop_latency_,
-              [this, resource, mode] { DoRelease(resource, mode); });
+  sim_->After(hop_latency_, [this, resource, requester, mode] {
+    DoRelease(resource, requester, mode);
+  });
 }
 
 bool LockService::Compatible(const LockState& state, LockMode mode) const {
@@ -42,28 +46,51 @@ void LockService::Grant(Waiter waiter) {
   sim_->After(hop_latency_, [granted = std::move(waiter.granted)] { granted(); });
 }
 
+void LockService::GrantHold(const std::string& resource, LockState& state,
+                            Waiter waiter) {
+  if (waiter.mode == LockMode::kExclusive) {
+    state.exclusive_held = true;
+  } else {
+    ++state.shared_held;
+  }
+  Hold hold;
+  hold.id = ++next_hold_id_;
+  hold.requester = waiter.requester;
+  hold.mode = waiter.mode;
+  if (lease_ttl_ > 0) {
+    const std::uint64_t hold_id = hold.id;
+    hold.expiry = sim_->AfterCancelable(
+        lease_ttl_, [this, resource, hold_id] { ExpireHold(resource, hold_id); });
+  }
+  state.holds.push_back(std::move(hold));
+  Grant(std::move(waiter));
+}
+
 void LockService::DoAcquire(Waiter waiter, const std::string& resource) {
   LockState& state = locks_[resource];
   // FIFO fairness: grant immediately only when compatible AND nobody is
   // already queued (otherwise a shared stream could starve an exclusive
   // waiter forever).
   if (state.waiters.empty() && Compatible(state, waiter.mode)) {
-    if (waiter.mode == LockMode::kExclusive) {
-      state.exclusive_held = true;
-    } else {
-      ++state.shared_held;
-    }
-    Grant(std::move(waiter));
+    GrantHold(resource, state, std::move(waiter));
     return;
   }
   ++waits_;
   state.waiters.push_back(std::move(waiter));
 }
 
-void LockService::DoRelease(const std::string& resource, LockMode mode) {
+void LockService::DoRelease(const std::string& resource,
+                            sim::EndpointId requester, LockMode mode) {
   auto it = locks_.find(resource);
-  MVSTORE_CHECK(it != locks_.end()) << "release of unknown lock " << resource;
+  if (it == locks_.end()) return;  // hold already reclaimed by lease expiry
   LockState& state = it->second;
+  auto hold = std::find_if(state.holds.begin(), state.holds.end(),
+                           [requester, mode](const Hold& h) {
+                             return h.requester == requester && h.mode == mode;
+                           });
+  if (hold == state.holds.end()) return;  // already reclaimed
+  hold->expiry.Cancel();
+  state.holds.erase(hold);
   if (mode == LockMode::kExclusive) {
     MVSTORE_CHECK(state.exclusive_held);
     state.exclusive_held = false;
@@ -72,10 +99,34 @@ void LockService::DoRelease(const std::string& resource, LockMode mode) {
     --state.shared_held;
   }
   PumpWaiters(resource);
-  // Re-find: PumpWaiters may have erased the entry.
-  it = locks_.find(resource);
+  EraseIfIdle(resource);
+}
+
+void LockService::ExpireHold(const std::string& resource,
+                             std::uint64_t hold_id) {
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  auto hold = std::find_if(state.holds.begin(), state.holds.end(),
+                           [hold_id](const Hold& h) { return h.id == hold_id; });
+  if (hold == state.holds.end()) return;  // released in the same tick
+  if (hold->mode == LockMode::kExclusive) {
+    state.exclusive_held = false;
+  } else {
+    --state.shared_held;
+  }
+  state.holds.erase(hold);
+  ++expirations_;
+  if (expired_counter_ != nullptr) ++*expired_counter_;
+  PumpWaiters(resource);
+  EraseIfIdle(resource);
+}
+
+void LockService::EraseIfIdle(const std::string& resource) {
+  auto it = locks_.find(resource);
   if (it != locks_.end() && it->second.waiters.empty() &&
-      it->second.shared_held == 0 && !it->second.exclusive_held) {
+      it->second.holds.empty() && it->second.shared_held == 0 &&
+      !it->second.exclusive_held) {
     locks_.erase(it);
   }
 }
@@ -88,12 +139,7 @@ void LockService::PumpWaiters(const std::string& resource) {
          Compatible(state, state.waiters.front().mode)) {
     Waiter waiter = std::move(state.waiters.front());
     state.waiters.pop_front();
-    if (waiter.mode == LockMode::kExclusive) {
-      state.exclusive_held = true;
-    } else {
-      ++state.shared_held;
-    }
-    Grant(std::move(waiter));
+    GrantHold(resource, state, std::move(waiter));
   }
 }
 

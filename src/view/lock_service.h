@@ -13,6 +13,12 @@
 // strand its propagation forever), so messages bypass the lossy datapath
 // network and pay a fixed per-hop latency instead. Locks affect only update
 // propagation — never base-table Puts/Gets or view Gets.
+//
+// Crash model: grants are LEASES. A holder that crashes between acquire and
+// release never sends its Release, so every hold carries a TTL; when it
+// expires the service force-releases the hold and pumps the wait queue. A
+// Release arriving for an already-expired hold is ignored (the service
+// already reclaimed it). TTL 0 disables expiry (pre-crash-model behaviour).
 
 #ifndef MVSTORE_VIEW_LOCK_SERVICE_H_
 #define MVSTORE_VIEW_LOCK_SERVICE_H_
@@ -22,6 +28,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "sim/network.h"
 #include "sim/simulation.h"
@@ -33,10 +40,12 @@ enum class LockMode { kShared, kExclusive };
 class LockService {
  public:
   /// `endpoint` is the lock service's address (kept for diagnostics);
-  /// `hop_latency` is the one-way cost of each lock message.
+  /// `hop_latency` is the one-way cost of each lock message; `lease_ttl` is
+  /// the hold expiry window (0 = holds never expire).
   LockService(sim::Simulation* sim, sim::Network* network,
               sim::EndpointId endpoint,
-              SimTime hop_latency = Micros(120));
+              SimTime hop_latency = Micros(120),
+              SimTime lease_ttl = 0);
 
   LockService(const LockService&) = delete;
   LockService& operator=(const LockService&) = delete;
@@ -59,33 +68,68 @@ class LockService {
   std::uint64_t grants() const { return grants_; }
   std::uint64_t waits() const { return waits_; }
 
+  /// Holds reclaimed by lease expiry (their holder never released).
+  std::uint64_t expirations() const { return expirations_; }
+
+  /// Optional external counter (store::Metrics::locks_expired) bumped on
+  /// every lease expiry.
+  void set_expired_counter(std::uint64_t* counter) {
+    expired_counter_ = counter;
+  }
+
+  SimTime lease_ttl() const { return lease_ttl_; }
+
+  /// Currently granted holds across all resources (test introspection: lets
+  /// a crash test fire exactly while some propagation holds its lock).
+  std::size_t holds_outstanding() const {
+    std::size_t n = 0;
+    for (const auto& [resource, state] : locks_) n += state.holds.size();
+    return n;
+  }
+
  private:
   struct Waiter {
     sim::EndpointId requester;
     LockMode mode;
     std::function<void()> granted;
   };
+  /// One granted hold; `expiry` fires if the holder never releases.
+  struct Hold {
+    std::uint64_t id = 0;
+    sim::EndpointId requester = 0;
+    LockMode mode = LockMode::kShared;
+    sim::EventHandle expiry;
+  };
   struct LockState {
     int shared_held = 0;
     bool exclusive_held = false;
+    std::vector<Hold> holds;
     std::deque<Waiter> waiters;
   };
 
   // Executed at the lock endpoint.
   void DoAcquire(Waiter waiter, const std::string& resource);
-  void DoRelease(const std::string& resource, LockMode mode);
+  void DoRelease(const std::string& resource, sim::EndpointId requester,
+                 LockMode mode);
   bool Compatible(const LockState& state, LockMode mode) const;
+  void GrantHold(const std::string& resource, LockState& state, Waiter waiter);
   void Grant(Waiter waiter);
   void PumpWaiters(const std::string& resource);
+  void ExpireHold(const std::string& resource, std::uint64_t hold_id);
+  void EraseIfIdle(const std::string& resource);
 
   sim::Simulation* sim_;
   sim::Network* network_;  // unused for transport (reliable channel); kept
                            // for future partition-aware modeling
   sim::EndpointId endpoint_;
   SimTime hop_latency_;
+  SimTime lease_ttl_;
   std::map<std::string, LockState> locks_;
   std::uint64_t grants_ = 0;
   std::uint64_t waits_ = 0;
+  std::uint64_t expirations_ = 0;
+  std::uint64_t next_hold_id_ = 0;
+  std::uint64_t* expired_counter_ = nullptr;
 };
 
 }  // namespace mvstore::view

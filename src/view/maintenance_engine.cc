@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "store/codec.h"
+#include "view/scrub.h"
 #include "view/view_row.h"
 
 namespace mvstore::view {
@@ -19,11 +20,25 @@ MaintenanceEngine::MaintenanceEngine(store::Cluster* cluster)
     : cluster_(cluster),
       rng_(cluster->ForkRng()),
       locks_(&cluster->simulation(), &cluster->network(),
-             cluster->lock_service_endpoint()),
+             cluster->lock_service_endpoint(), Micros(120),
+             cluster->config().lock_lease_ttl),
       row_queues_(static_cast<std::size_t>(cluster->num_servers())) {
+  locks_.set_expired_counter(&cluster->metrics().locks_expired);
   sessions_.reserve(static_cast<std::size_t>(cluster->num_servers()));
   for (int i = 0; i < cluster->num_servers(); ++i) {
     sessions_.push_back(std::make_unique<SessionManager>());
+  }
+  // Background owned-range scrub: one staggered tick chain per server.
+  const SimTime scrub_interval = cluster->config().view_scrub_interval;
+  if (scrub_interval > 0) {
+    for (int i = 0; i < cluster->num_servers(); ++i) {
+      const ServerId server = static_cast<ServerId>(i);
+      const SimTime phase =
+          scrub_interval * static_cast<SimTime>(i + 1) /
+          static_cast<SimTime>(cluster->num_servers());
+      cluster_->simulation().After(
+          phase, [this, server] { OwnedRangeScrubTick(server); });
+    }
   }
   cluster_->set_view_hook(this);
 }
@@ -84,6 +99,14 @@ void MaintenanceEngine::OnBasePutCommitted(
     if (!task->view_key_update && task->materialized_updates.empty()) {
       continue;  // Put did not actually touch this view
     }
+    if (coordinator->crashed()) {
+      // The coordinator died between committing the Put and scheduling the
+      // propagation (the abort path still delivers the collected pre-images).
+      // The base update is durable on its replicas but nobody will propagate
+      // it — orphaned until the owned-range scrub re-derives the view row.
+      cluster_->metrics().propagations_orphaned++;
+      continue;
+    }
     // Prefer recent guesses: the newest pre-image is most likely to be the
     // current live key (the coordinator "is free to try the keys in any
     // order").
@@ -98,6 +121,7 @@ void MaintenanceEngine::OnBasePutCommitted(
     sessions_[task->origin]->PropagationStarted(session, view->name);
     cluster_->metrics().propagations_started++;
     ++active_;
+    RegisterTask(task);
 
     const SimTime delay = SampleDispatchDelay();
     switch (cluster_->config().propagation_mode) {
@@ -124,6 +148,7 @@ void MaintenanceEngine::OnBasePutCommitted(
 void MaintenanceEngine::OnAttemptDone(
     std::shared_ptr<PropagationTask> task, Status status,
     std::function<void(bool)> then) {
+  if (task->orphaned) return;  // executor crashed; bookkeeping already done
   if (status.ok()) {
     TaskCompleted(task);
     then(true);
@@ -153,7 +178,9 @@ void MaintenanceEngine::OnAttemptDone(
 
 void MaintenanceEngine::RefreshGuesses(std::shared_ptr<PropagationTask> task,
                                        std::function<void()> then) {
-  store::Server& origin = cluster_->server(task->origin);
+  // Read from the executing server (== the origin except in dedicated-
+  // propagator mode, where a handed-off task outlives its origin).
+  store::Server& origin = cluster_->server(ExecutorOf(*task));
   origin.CoordinateRead(
       task->view->base_table, task->base_key,
       {task->view->view_key_column}, origin.MajorityQuorum(),
@@ -199,6 +226,7 @@ void MaintenanceEngine::RefreshGuesses(std::shared_ptr<PropagationTask> task,
 // ---------------------------------------------------------------------------
 
 void MaintenanceEngine::DispatchTask(std::shared_ptr<PropagationTask> task) {
+  if (task->orphaned) return;
   switch (cluster_->config().propagation_mode) {
     case store::PropagationMode::kLockService:
       RunWithLocks(std::move(task));
@@ -214,6 +242,7 @@ void MaintenanceEngine::DispatchTask(std::shared_ptr<PropagationTask> task) {
 
 void MaintenanceEngine::ParkForRetry(const std::string& resource,
                                      std::shared_ptr<PropagationTask> task) {
+  if (task->orphaned) return;
   task->parked = true;
   parked_[resource].push_back(task);
   cluster_->simulation().After(RetryDelay(*task), [this, task, resource] {
@@ -247,6 +276,7 @@ void MaintenanceEngine::TaskCompleted(
   cluster_->metrics().propagation_delay.Record(
       cluster_->simulation().Now() - task->created_at);
   --active_;
+  UnregisterTask(task);
   NotifyOrigin(task);
   WakeParked(ResourceOf(*task));
 }
@@ -265,7 +295,111 @@ void MaintenanceEngine::TaskAbandoned(
                          << " abandoned so far (view scrub/repair recovers)";
   }
   --active_;
+  UnregisterTask(task);
   NotifyOrigin(task);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop fault model: eager orphaning of a crashed server's tasks, and
+// owned-range scrub as the recovery path.
+// ---------------------------------------------------------------------------
+
+ServerId MaintenanceEngine::ExecutorOf(const PropagationTask& task) const {
+  if (cluster_->config().propagation_mode ==
+      store::PropagationMode::kDedicatedPropagators) {
+    return cluster_->ring().PrimaryFor(task.base_key);
+  }
+  return task.origin;
+}
+
+void MaintenanceEngine::RegisterTask(
+    const std::shared_ptr<PropagationTask>& task) {
+  live_tasks_.emplace(task->id, task);
+  active_per_resource_[ResourceOf(*task)]++;
+}
+
+void MaintenanceEngine::UnregisterTask(
+    const std::shared_ptr<PropagationTask>& task) {
+  live_tasks_.erase(task->id);
+  const std::string resource = ResourceOf(*task);
+  auto it = active_per_resource_.find(resource);
+  if (it != active_per_resource_.end() && --it->second <= 0) {
+    active_per_resource_.erase(it);
+  }
+}
+
+void MaintenanceEngine::OrphanTask(
+    const std::shared_ptr<PropagationTask>& task) {
+  if (task->orphaned) return;
+  task->orphaned = true;
+  cluster_->metrics().propagations_orphaned++;
+  --active_;
+  UnregisterTask(task);
+  if (task->parked) {
+    task->parked = false;
+    auto it = parked_.find(ResourceOf(*task));
+    if (it != parked_.end()) {
+      auto& tasks = it->second;
+      tasks.erase(std::remove(tasks.begin(), tasks.end(), task), tasks.end());
+      if (tasks.empty()) parked_.erase(it);
+    }
+  }
+  // Unblock the origin's session bookkeeping directly (engine-level cleanup
+  // modeling the origin's failure detector): a session must not wait forever
+  // on a propagation that died with another server. When the origin itself
+  // is the crashed server, OnServerCrash resets its sessions right after.
+  sessions_[task->origin]->PropagationFinished(task->session,
+                                               task->view->name);
+}
+
+void MaintenanceEngine::OnServerCrash(store::Server* server) {
+  const ServerId id = server->id();
+  const bool dedicated = cluster_->config().propagation_mode ==
+                         store::PropagationMode::kDedicatedPropagators;
+  // Volatile task state on `id` dies: tasks executing there, and — in
+  // dedicated mode — tasks born at `id` that never reached their propagator
+  // (the in-flight handoff message is dropped by the incarnation bump).
+  std::vector<std::shared_ptr<PropagationTask>> doomed;
+  for (const auto& [task_id, task] : live_tasks_) {
+    if (ExecutorOf(*task) == id ||
+        (dedicated && !task->handed_off && task->origin == id)) {
+      doomed.push_back(task);
+    }
+  }
+  for (const auto& task : doomed) OrphanTask(task);
+  row_queues_[id].clear();
+  sessions_[id]->Reset();
+}
+
+void MaintenanceEngine::OnServerRestart(store::Server* server) {
+  cluster_->metrics().orphaned_propagations_recovered +=
+      RunOwnedRangeScrub(server->id());
+}
+
+std::size_t MaintenanceEngine::RunOwnedRangeScrub(ServerId server) {
+  std::size_t recovered = 0;
+  for (const std::string& table : cluster_->schema().TableNames()) {
+    for (const store::ViewDef* view : cluster_->schema().ViewsOn(table)) {
+      recovered += ScrubOwnedRanges(
+          *cluster_, *view, server, [this, view](const Key& base_key) {
+            std::string resource = view->name;
+            resource.push_back('\0');
+            resource += base_key;
+            return active_per_resource_.count(resource) != 0;
+          });
+    }
+  }
+  return recovered;
+}
+
+void MaintenanceEngine::OwnedRangeScrubTick(ServerId server) {
+  if (!cluster_->server(server).crashed()) {
+    cluster_->metrics().orphaned_propagations_recovered +=
+        RunOwnedRangeScrub(server);
+  }
+  cluster_->simulation().After(
+      cluster_->config().view_scrub_interval,
+      [this, server] { OwnedRangeScrubTick(server); });
 }
 
 void MaintenanceEngine::NotifyOrigin(
@@ -298,6 +432,7 @@ void MaintenanceEngine::NotifyOrigin(
 
 void MaintenanceEngine::RunUnsynchronized(
     std::shared_ptr<PropagationTask> task) {
+  if (task->orphaned) return;
   store::Server* executor = &cluster_->server(task->origin);
   Propagation::Run(executor, task, CurrentGuess(*task),
                    [this, task](Status status) {
@@ -317,6 +452,7 @@ void MaintenanceEngine::RunUnsynchronized(
 // ---------------------------------------------------------------------------
 
 void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
+  if (task->orphaned) return;
   store::Server* executor = &cluster_->server(task->origin);
   const std::string resource = ResourceOf(*task);
   const LockMode mode = task->view_key_update.has_value()
@@ -327,9 +463,20 @@ void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
   }
   locks_.Acquire(
       executor->id(), resource, mode, [this, task, executor, resource, mode] {
+        if (task->orphaned) {
+          // The grant reached a crashed requester: the dead process cannot
+          // release, so the hold stays registered at the service until its
+          // lease expires (counted in Metrics::locks_expired).
+          return;
+        }
         Propagation::Run(
             executor, task, CurrentGuess(*task),
             [this, task, executor, resource, mode](Status status) {
+              if (task->orphaned) {
+                // Crashed mid-attempt: the Release below is never sent —
+                // lease expiry reclaims the hold.
+                return;
+              }
               // Release between attempts: holding the lock across a retry
               // would deadlock against the very propagation this one is
               // waiting for.
@@ -350,24 +497,37 @@ void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
 
 void MaintenanceEngine::EnqueueOnPropagator(
     std::shared_ptr<PropagationTask> task) {
+  if (task->orphaned) return;
   const ServerId propagator = cluster_->ring().PrimaryFor(task->base_key);
   const std::string resource = ResourceOf(*task);
+  auto enqueue = [this, task, propagator, resource] {
+    if (task->orphaned) return;
+    task->handed_off = true;
+    RowQueue& queue = row_queues_[propagator][resource];
+    queue.tasks.push_back(task);
+    if (!queue.running) {
+      queue.running = true;
+      PumpRowQueue(propagator, resource);
+    }
+  };
+  if (task->handed_off) {
+    // Re-dispatch of a task already at the propagator (retry wake-up): no
+    // network hop — responsibility was transferred once.
+    enqueue();
+    return;
+  }
   // Hand the task over the network (no-op hop when origin == propagator).
-  cluster_->network().Send(
-      task->origin, propagator, [this, task, propagator, resource] {
-        RowQueue& queue = row_queues_[propagator][resource];
-        queue.tasks.push_back(task);
-        if (!queue.running) {
-          queue.running = true;
-          PumpRowQueue(propagator, resource);
-        }
-      });
+  cluster_->network().Send(task->origin, propagator, std::move(enqueue));
 }
 
 void MaintenanceEngine::PumpRowQueue(ServerId propagator,
                                      const std::string& resource) {
-  RowQueue& queue = row_queues_[propagator][resource];
-  MVSTORE_CHECK(queue.running);
+  // The queue entry may have vanished under us: a propagator crash clears
+  // row_queues_[propagator] while a completion callback for a previous head
+  // is still in flight.
+  auto per_server = row_queues_[propagator].find(resource);
+  if (per_server == row_queues_[propagator].end()) return;
+  RowQueue& queue = per_server->second;
   if (queue.tasks.empty()) {
     queue.running = false;
     row_queues_[propagator].erase(resource);
@@ -379,6 +539,11 @@ void MaintenanceEngine::PumpRowQueue(ServerId propagator,
   Propagation::Run(
       executor, task, CurrentGuess(*task),
       [this, task, propagator, resource](Status status) {
+        if (task->orphaned) {
+          // Propagator crashed mid-attempt; its queues were cleared and the
+          // owned-range scrub inherits this family.
+          return;
+        }
         OnAttemptDone(
             task, std::move(status),
             [this, task, propagator, resource](bool done) {

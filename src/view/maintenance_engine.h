@@ -44,6 +44,8 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
       store::SessionId session,
       std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback)
       override;
+  void OnServerCrash(store::Server* server) override;
+  void OnServerRestart(store::Server* server) override;
 
   /// Number of propagations registered but not yet completed or abandoned.
   std::uint64_t active_propagations() const { return active_; }
@@ -110,6 +112,25 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   void TaskAbandoned(const std::shared_ptr<PropagationTask>& task);
   void NotifyOrigin(const std::shared_ptr<PropagationTask>& task);
 
+  // --- crash-stop fault model ---
+
+  /// The server a task's attempts execute on: the origin coordinator, or the
+  /// base key's primary in dedicated-propagator mode.
+  ServerId ExecutorOf(const PropagationTask& task) const;
+
+  void RegisterTask(const std::shared_ptr<PropagationTask>& task);
+  void UnregisterTask(const std::shared_ptr<PropagationTask>& task);
+
+  /// Marks a task lost to a crash: it leaves the active set, every pending
+  /// closure that still holds it bails out, and the scrub inherits recovery.
+  void OrphanTask(const std::shared_ptr<PropagationTask>& task);
+
+  /// Scrubs the view families whose base key is primarily owned by `server`
+  /// (skipping families with a propagation still in flight); returns the
+  /// number of broken families repaired.
+  std::size_t RunOwnedRangeScrub(ServerId server);
+  void OwnedRangeScrubTick(ServerId server);
+
   // Algorithm 4 with the Section IV-F wait-on-initializing-row rule.
   void DoViewGet(
       store::Server* coordinator, const store::ViewDef& view,
@@ -129,6 +150,14 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
       parked_;  // retry parking lot, by resource
   std::uint64_t active_ = 0;
   std::uint64_t next_task_id_ = 0;
+
+  /// Every not-yet-finished task, so OnServerCrash can orphan a crashed
+  /// server's share eagerly (closures dropped by the network would otherwise
+  /// leak them out of the active count).
+  std::map<std::uint64_t, std::shared_ptr<PropagationTask>> live_tasks_;
+  /// In-flight tasks per serialization resource; the owned-range scrub skips
+  /// families that propagation is still working on.
+  std::map<std::string, int> active_per_resource_;
 };
 
 }  // namespace mvstore::view

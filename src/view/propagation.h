@@ -67,6 +67,18 @@ struct PropagationTask {
   /// a same-row propagation to complete (or for its fallback timer).
   bool parked = false;
 
+  /// Set by the engine when the server executing this task crashes: the
+  /// task's volatile state died with the process, every pending closure that
+  /// still holds the task bails out, and recovery is left to the view scrub
+  /// (which counts it as an orphaned propagation).
+  bool orphaned = false;
+
+  /// Dedicated-propagator mode only: true once the task has reached its
+  /// propagator's row queue. Before the handoff the task still lives at the
+  /// origin (an origin crash orphans it); afterwards it survives origin
+  /// crashes and re-dispatches run locally at the propagator.
+  bool handed_off = false;
+
   /// True when the pre-image collection heard from EVERY replica
   /// (diagnostics; creation no longer depends on it because every existing
   /// row family carries its sentinel anchor from birth).

@@ -22,6 +22,7 @@
 #ifndef MVSTORE_VIEW_SCRUB_H_
 #define MVSTORE_VIEW_SCRUB_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,6 +89,21 @@ ScrubReport CheckView(store::Cluster& cluster, const store::ViewDef& view);
 /// expected state: live rows per Definition 1, no stale rows. Returns the
 /// number of records written. Timestamps are preserved from the base table.
 std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view);
+
+/// Incremental, ownership-scoped variant of RepairView for the crash fault
+/// model: audits only the view families whose base key is PRIMARILY owned by
+/// `owner` on the ring, and repairs just the broken ones (one repair per
+/// family, mirroring RepairView's cell layout). A family is broken when the
+/// records it exposes differ from Definition 1 — the signature a propagation
+/// orphaned by a coordinator crash leaves behind — or when a live row is
+/// uninitialized (which would wedge Algorithm-4 readers). Families for which
+/// `skip` returns true (a propagation still in flight) are left to the
+/// propagation engine. Repairs are applied to the non-crashed replicas only;
+/// anti-entropy carries them to recovering servers. Returns the number of
+/// families repaired.
+std::size_t ScrubOwnedRanges(store::Cluster& cluster,
+                             const store::ViewDef& view, ServerId owner,
+                             const std::function<bool(const Key&)>& skip);
 
 /// Retires stale rows whose every cell is older than `older_than` by
 /// tombstoning them on all replicas (the engines' tombstone GC then purges

@@ -15,7 +15,10 @@ void SessionManager::PropagationFinished(store::SessionId session,
   if (session == 0) return;
   const SessionView key{session, view};
   auto it = pending_.find(key);
-  MVSTORE_CHECK(it != pending_.end()) << "finish without start";
+  // A finish with no matching start is possible under the crash model: the
+  // coordinator crashed (resetting its session bookkeeping) and a completion
+  // notice for a pre-crash propagation arrived afterwards.
+  if (it == pending_.end()) return;
   if (--it->second > 0) return;
   pending_.erase(it);
   auto waiting = waiting_.find(key);
@@ -29,6 +32,11 @@ bool SessionManager::MustDefer(store::SessionId session,
                                const std::string& view) const {
   if (session == 0) return false;
   return pending_.count({session, view}) != 0;
+}
+
+void SessionManager::Reset() {
+  pending_.clear();
+  waiting_.clear();
 }
 
 void SessionManager::Defer(store::SessionId session, const std::string& view,

@@ -42,6 +42,11 @@ class SessionManager {
   void Defer(store::SessionId session, const std::string& view,
              std::function<void()> resume);
 
+  /// Drops all session bookkeeping and parked resumes: the coordinator that
+  /// owned these sessions crashed, and its sessions died with it (deferred
+  /// Gets are answered by the client's own request timeout).
+  void Reset();
+
   std::uint64_t deferred_total() const { return deferred_total_; }
 
  private:

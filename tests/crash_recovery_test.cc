@@ -1,0 +1,348 @@
+// Crash-stop fault model, end to end: commit-log durability at the engine,
+// Server::Crash/Restart semantics (in-flight op aborts, WAL replay), lock
+// lease expiry for holds stranded by a crashed coordinator, owned-range
+// scrub recovery of orphaned propagations, and the chaos invariant — after
+// a seeded nemesis run heals and the cluster quiesces, every view equals
+// the Definition-1 recomputation of its base table.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/nemesis.h"
+#include "storage/engine.h"
+#include "store/client.h"
+#include "tests/test_util.h"
+#include "view/scrub.h"
+
+namespace mvstore {
+namespace {
+
+using storage::Cell;
+
+// --------------------------------------------------------------------------
+// Engine-level commit log.
+// --------------------------------------------------------------------------
+
+TEST(EngineWalTest, CrashLosesMemtableAndRecoveryReplaysIt) {
+  storage::Engine engine;
+  engine.Apply("k1", "c", Cell::Live("v1", 10));
+  engine.Apply("k2", "c", Cell::Live("v2", 11));
+  ASSERT_EQ(engine.commit_log_cells(), 2u);
+
+  engine.LoseVolatileState();
+  EXPECT_FALSE(engine.GetRow("k1").has_value()) << "memtable must be gone";
+
+  EXPECT_EQ(engine.RecoverFromLog(), 2u);
+  auto row = engine.GetRow("k1");
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetValue("c"), "v1");
+  EXPECT_EQ(engine.GetRow("k2")->GetValue("c"), "v2");
+}
+
+TEST(EngineWalTest, FlushCheckpointsTheLog) {
+  storage::Engine engine;
+  engine.Apply("k1", "c", Cell::Live("v1", 10));
+  engine.Flush();
+  EXPECT_EQ(engine.commit_log_cells(), 0u) << "flush truncates the log";
+
+  engine.Apply("k2", "c", Cell::Live("v2", 11));
+  engine.LoseVolatileState();
+  EXPECT_EQ(engine.RecoverFromLog(), 1u) << "only the unflushed suffix";
+  // The flushed cell survives in the durable run; the logged one replays.
+  EXPECT_EQ(engine.GetRow("k1")->GetValue("c"), "v1");
+  EXPECT_EQ(engine.GetRow("k2")->GetValue("c"), "v2");
+}
+
+TEST(EngineWalTest, CappedLogDropsOldestCells) {
+  storage::EngineOptions options;
+  options.commit_log_max_cells = 2;
+  storage::Engine engine(options);
+  for (int i = 0; i < 5; ++i) {
+    engine.Apply("k" + std::to_string(i), "c",
+                 Cell::Live("v" + std::to_string(i), 10 + i));
+  }
+  EXPECT_EQ(engine.commit_log_cells(), 2u);
+  EXPECT_EQ(engine.commit_log_cells_dropped(), 3u);
+
+  engine.LoseVolatileState();
+  EXPECT_EQ(engine.RecoverFromLog(), 2u);
+  EXPECT_FALSE(engine.GetRow("k0").has_value()) << "dropped from the log";
+  EXPECT_EQ(engine.GetRow("k4")->GetValue("c"), "v4");
+}
+
+TEST(EngineWalTest, DisabledLogLosesAcknowledgedWrites) {
+  storage::EngineOptions options;
+  options.commit_log_enabled = false;
+  storage::Engine engine(options);
+  engine.Apply("k1", "c", Cell::Live("v1", 10));
+  engine.LoseVolatileState();
+  EXPECT_EQ(engine.RecoverFromLog(), 0u);
+  EXPECT_FALSE(engine.GetRow("k1").has_value());
+}
+
+// --------------------------------------------------------------------------
+// Server crash/restart.
+// --------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, RestartReplaysCommitLogAndDataSurvives) {
+  test::TestCluster t;
+  auto client = t.cluster.NewClient(/*coordinator=*/1);
+  // Full-quorum writes so server 0 definitely holds every row.
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(client
+                    ->PutSync("ticket", "t" + std::to_string(k),
+                              {{"assigned_to", std::string("alice")},
+                               {"status", std::string("open")}},
+                              /*write_quorum=*/3)
+                    .ok());
+  }
+  t.Quiesce();
+
+  t.cluster.CrashServer(0);
+  t.cluster.RunFor(Millis(50));
+  t.cluster.RestartServer(0);
+  t.cluster.RunFor(Millis(50));
+
+  EXPECT_EQ(t.cluster.metrics().server_crashes, 1u);
+  EXPECT_EQ(t.cluster.metrics().server_restarts, 1u);
+  EXPECT_GT(t.cluster.metrics().wal_cells_replayed, 0u)
+      << "server 0 replicated rows from its memtable via the commit log";
+
+  // Server 0's replica is intact: read it directly.
+  for (int k = 0; k < 6; ++k) {
+    const Key key = "t" + std::to_string(k);
+    auto row = t.cluster.server(0).EngineFor("ticket").GetRow(key);
+    if (!row.has_value()) continue;  // not a replica of this key
+    EXPECT_EQ(row->GetValue("assigned_to"), "alice") << key;
+  }
+  auto row = client->GetSync("ticket", "t0", {"status"}, /*read_quorum=*/3);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->GetValue("status"), "open");
+}
+
+TEST(CrashRecoveryTest, CrashAbortsInflightCoordinatorOps) {
+  test::TestCluster t;
+  t.cluster.BootstrapLoadRow("ticket", "t0",
+                             {{"assigned_to", std::string("alice")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(/*coordinator=*/0);
+  client->set_request_timeout(Millis(500));
+
+  // Pin the write in flight: one replica is unreachable, so a full-quorum
+  // Put sits at the coordinator waiting out the rpc timeout.
+  const auto replicas = t.cluster.server(0).ReplicasOf("ticket", "t0");
+  ServerId slow = replicas[0] != 0 ? replicas[0] : replicas[1];
+  t.cluster.network().SetEndpointDown(slow, true);
+
+  bool replied = false;
+  Status result = Status::OK();
+  client->Put("ticket", "t0", {{"status", std::string("closed")}},
+              [&replied, &result](Status s) {
+                replied = true;
+                result = s;
+              },
+              /*write_quorum=*/3);
+  // Let the request reach the coordinator, then kill it mid-operation.
+  t.cluster.RunFor(Millis(5));
+  t.cluster.CrashServer(0);
+  EXPECT_GT(t.cluster.metrics().inflight_ops_aborted, 0u);
+
+  // A dead coordinator cannot answer; the client's own deadline resolves
+  // the call.
+  t.cluster.network().SetEndpointDown(slow, false);
+  t.cluster.RunFor(Seconds(1));
+  ASSERT_TRUE(replied);
+  EXPECT_FALSE(result.ok());
+}
+
+// --------------------------------------------------------------------------
+// Lock leases + owned-range scrub: the ISSUE's acceptance scenario. A
+// coordinator crashes while holding view-propagation locks; the lease TTL
+// reclaims them, the orphaned propagations never finish, and the periodic
+// owned-range scrub re-derives the affected view rows — bounded-time
+// recovery, visible in the fault counters.
+// --------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, CrashedLockHolderIsReclaimedAndScrubConverges) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.propagation_mode = store::PropagationMode::kLockService;
+  config.lock_lease_ttl = Millis(50);
+  config.view_scrub_interval = Millis(200);
+  config.anti_entropy_interval = Millis(300);
+  test::TestCluster t(config);
+  for (int k = 0; k < 8; ++k) {
+    t.cluster.BootstrapLoadRow(
+        "ticket", "t" + std::to_string(k),
+        {{"assigned_to", "a" + std::to_string(k % 3)},
+         {"status", std::string("open")}},
+        100 + k);
+  }
+
+  auto client = t.cluster.NewClient(/*coordinator=*/0);
+  client->set_request_timeout(Millis(100));
+  for (int k = 0; k < 8; ++k) {
+    client->Put("ticket", "t" + std::to_string(k),
+                {{"assigned_to", "b" + std::to_string(k)}}, [](Status) {}, 1);
+  }
+  // Step until some propagation from server 0 holds its lock, then crash
+  // the coordinator: the holds are stranded (a dead process cannot send
+  // Release) and its propagations are orphaned.
+  while (t.views->lock_service().holds_outstanding() == 0) {
+    ASSERT_TRUE(t.cluster.simulation().Step()) << "no lock ever granted";
+  }
+  t.cluster.CrashServer(0);
+  EXPECT_GT(t.cluster.metrics().propagations_orphaned, 0u);
+
+  // The lease TTL bounds how long the stranded holds persist.
+  t.cluster.RunFor(Millis(100));
+  EXPECT_GT(t.cluster.metrics().locks_expired, 0u)
+      << "stranded holds must be reclaimed within the lease TTL";
+
+  t.cluster.RestartServer(0);
+  t.Quiesce();
+  t.cluster.RunFor(Millis(800));  // > 2 scrub periods + anti-entropy rounds
+
+  EXPECT_GT(t.cluster.metrics().orphaned_propagations_recovered, 0u)
+      << "the owned-range scrub must repair the orphaned families";
+
+  // Value-level convergence: the view equals the Definition-1 recomputation.
+  auto expected = view::ComputeExpectedView(t.cluster, test::TicketView(t.cluster));
+  auto exposed = view::ReadConvergedView(t.cluster, test::TicketView(t.cluster));
+  ASSERT_EQ(expected.size(), exposed.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].view_key, exposed[i].view_key);
+    EXPECT_EQ(expected[i].base_key, exposed[i].base_key);
+    EXPECT_EQ(expected[i].cells.GetValue("status"),
+              exposed[i].cells.GetValue("status"))
+        << expected[i].base_key;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Chaos invariant: a seeded nemesis (crashes, partitions, drop surges,
+// latency spikes) over a live workload; after healing and quiescence the
+// views must equal recomputation for every seed.
+// --------------------------------------------------------------------------
+
+TEST(CrashRecoveryTest, ChaosNemesisViewsConvergeAfterHeal) {
+  for (std::uint64_t seed : {7u, 31u}) {
+    store::ClusterConfig config = test::DefaultTestConfig();
+    config.seed = seed;
+    config.rpc_timeout = Millis(50);
+    config.lock_lease_ttl = Millis(100);
+    config.view_scrub_interval = Millis(250);
+    config.anti_entropy_interval = Millis(300);
+    test::TestCluster t(config);
+    for (int k = 0; k < 12; ++k) {
+      t.cluster.BootstrapLoadRow(
+          "ticket", "t" + std::to_string(k),
+          {{"assigned_to", "a" + std::to_string(k % 3)},
+           {"status", std::string("open")}},
+          100 + k);
+    }
+
+    sim::Nemesis nemesis(
+        &t.cluster.simulation(), &t.cluster.network(),
+        [&t](sim::EndpointId s) { t.cluster.CrashServer(s); },
+        [&t](sim::EndpointId s) { t.cluster.RestartServer(s); });
+    sim::NemesisOptions options;
+    options.horizon = Seconds(3);
+    options.num_servers = t.cluster.num_servers();
+    options.crashes = 3;
+    options.min_downtime = Millis(150);
+    options.max_downtime = Millis(600);
+    options.partitions = 2;
+    options.drop_surges = 1;
+    options.latency_spikes = 1;
+    const sim::FaultSchedule schedule =
+        sim::GenerateRandomSchedule(Rng(seed * 31), options);
+    ASSERT_FALSE(schedule.empty());
+    nemesis.Schedule(schedule);
+    nemesis.HealAllAt(options.horizon);
+
+    // Closed-loop workload: 3 clients on distinct coordinators, each with a
+    // request deadline so a crashed coordinator doesn't wedge its loop.
+    Rng rng(seed * 77);
+    std::vector<std::unique_ptr<store::Client>> clients;
+    std::function<void(int)> issue = [&](int c) {
+      const Key key = "t" + std::to_string(rng.UniformInt(0, 11));
+      auto next = [&issue, c](bool) { issue(c); };
+      if (rng.Chance(0.5)) {
+        clients[c]->Put("ticket", key,
+                        {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 5))}},
+                        [next](Status s) { next(s.ok()); }, 1);
+      } else if (rng.Chance(0.5)) {
+        clients[c]->Put("ticket", key,
+                        {{"status", rng.Chance(0.5) ? "open" : "closed"}},
+                        [next](Status s) { next(s.ok()); }, 1);
+      } else {
+        clients[c]->ViewGet(
+            "assigned_to_view", "a" + std::to_string(rng.UniformInt(0, 5)),
+            {"status"},
+            [next](StatusOr<std::vector<store::ViewRecord>> r) {
+              next(r.ok());
+            });
+      }
+    };
+    for (int c = 0; c < 3; ++c) {
+      clients.push_back(t.cluster.NewClient(c));
+      clients.back()->set_request_timeout(Millis(120));
+      issue(c);
+    }
+
+    t.cluster.RunFor(options.horizon + Millis(500));
+    EXPECT_EQ(nemesis.events_fired(), schedule.size()) << "seed " << seed;
+    const store::Metrics& m = t.cluster.metrics();
+    EXPECT_GT(m.server_crashes, 0u) << "seed " << seed;
+    EXPECT_EQ(m.server_crashes, m.server_restarts) << "seed " << seed;
+
+    // Drain: stop issuing by swapping the loop out, then quiesce and give
+    // the scrub + anti-entropy their convergence window.
+    issue = [](int) {};
+    t.views->Quiesce();
+    t.cluster.RunFor(Seconds(2));
+
+    // Every base-table replica converged (value level).
+    for (int k = 0; k < 12; ++k) {
+      const Key key = "t" + std::to_string(k);
+      const auto replicas = t.cluster.server(0).ReplicasOf("ticket", key);
+      std::optional<storage::Row> first;
+      for (ServerId r : replicas) {
+        auto row = t.cluster.server(r).EngineFor("ticket").GetRow(key);
+        ASSERT_TRUE(row.has_value())
+            << "seed " << seed << ": replica " << r << " lost " << key;
+        if (!first.has_value()) {
+          first = row;
+          continue;
+        }
+        EXPECT_EQ(first->GetValue("assigned_to"), row->GetValue("assigned_to"))
+            << "seed " << seed << " " << key << " replica " << r;
+        EXPECT_EQ(first->GetValue("status"), row->GetValue("status"))
+            << "seed " << seed << " " << key << " replica " << r;
+      }
+    }
+
+    auto expected =
+        view::ComputeExpectedView(t.cluster, test::TicketView(t.cluster));
+    auto exposed =
+        view::ReadConvergedView(t.cluster, test::TicketView(t.cluster));
+    ASSERT_EQ(expected.size(), exposed.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(expected[i].view_key, exposed[i].view_key) << "seed " << seed;
+      EXPECT_EQ(expected[i].base_key, exposed[i].base_key) << "seed " << seed;
+      EXPECT_EQ(expected[i].cells.GetValue("status"),
+                exposed[i].cells.GetValue("status"))
+          << "seed " << seed << " " << expected[i].base_key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mvstore

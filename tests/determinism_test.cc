@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "sim/nemesis.h"
 #include "store/client.h"
 #include "tests/test_util.h"
 #include "view/scrub.h"
@@ -91,6 +92,96 @@ TEST(DeterminismTest, FingerprintStableAcrossThreeRuns) {
   for (int i = 0; i < 2; ++i) {
     EXPECT_TRUE(RunOnce(777) == first) << "run " << i;
   }
+}
+
+// A chaos run is a simulation like any other: the same nemesis seed must
+// reproduce the same crashes, the same aborted operations, the same WAL
+// replays — event for event.
+struct ChaosFingerprint {
+  std::uint64_t steps;
+  SimTime end_time;
+  std::uint64_t crashes;
+  std::uint64_t restarts;
+  std::uint64_t aborted;
+  std::uint64_t wal_replayed;
+  std::uint64_t locks_expired;
+  std::uint64_t orphaned;
+  std::uint64_t recovered;
+  std::uint64_t events_fired;
+
+  friend bool operator==(const ChaosFingerprint& a, const ChaosFingerprint& b) {
+    return a.steps == b.steps && a.end_time == b.end_time &&
+           a.crashes == b.crashes && a.restarts == b.restarts &&
+           a.aborted == b.aborted && a.wal_replayed == b.wal_replayed &&
+           a.locks_expired == b.locks_expired && a.orphaned == b.orphaned &&
+           a.recovered == b.recovered && a.events_fired == b.events_fired;
+  }
+};
+
+ChaosFingerprint RunChaosOnce(std::uint64_t seed) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.seed = seed;
+  config.rpc_timeout = Millis(50);
+  config.lock_lease_ttl = Millis(100);
+  config.view_scrub_interval = Millis(250);
+  config.anti_entropy_interval = Millis(300);
+  test::TestCluster t(config);
+  for (int k = 0; k < 10; ++k) {
+    t.cluster.BootstrapLoadRow(
+        "ticket", "t" + std::to_string(k),
+        {{"assigned_to", "a" + std::to_string(k % 3)},
+         {"status", std::string("open")}},
+        100 + k);
+  }
+  sim::Nemesis nemesis(
+      &t.cluster.simulation(), &t.cluster.network(),
+      [&t](sim::EndpointId s) { t.cluster.CrashServer(s); },
+      [&t](sim::EndpointId s) { t.cluster.RestartServer(s); });
+  sim::NemesisOptions options;
+  options.horizon = Seconds(2);
+  options.num_servers = t.cluster.num_servers();
+  options.crashes = 2;
+  options.partitions = 1;
+  const sim::FaultSchedule schedule =
+      sim::GenerateRandomSchedule(Rng(seed * 13), options);
+  nemesis.Schedule(schedule);
+  nemesis.HealAllAt(options.horizon);
+
+  Rng rng(seed * 5);
+  auto client = t.cluster.NewClient(0);
+  client->set_request_timeout(Millis(120));
+  std::function<void()> issue = [&] {
+    const Key key = "t" + std::to_string(rng.UniformInt(0, 9));
+    client->Put("ticket", key,
+                {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 4))}},
+                [&issue](Status) { issue(); }, 1);
+  };
+  issue();
+  t.cluster.RunFor(options.horizon + Millis(500));
+  issue = [] {};
+  t.views->Quiesce();
+  t.cluster.RunFor(Seconds(1));
+
+  const store::Metrics& m = t.cluster.metrics();
+  return ChaosFingerprint{t.cluster.simulation().steps(),
+                          t.cluster.Now(),
+                          m.server_crashes,
+                          m.server_restarts,
+                          m.inflight_ops_aborted,
+                          m.wal_cells_replayed,
+                          m.locks_expired,
+                          m.propagations_orphaned,
+                          m.orphaned_propagations_recovered,
+                          nemesis.events_fired()};
+}
+
+TEST(DeterminismTest, IdenticalNemesisSeedsProduceIdenticalChaosRuns) {
+  const ChaosFingerprint a = RunChaosOnce(4242);
+  const ChaosFingerprint b = RunChaosOnce(4242);
+  EXPECT_TRUE(a == b) << "steps " << a.steps << " vs " << b.steps << ", end "
+                      << a.end_time << " vs " << b.end_time << ", crashes "
+                      << a.crashes << " vs " << b.crashes;
+  EXPECT_GT(a.crashes, 0u) << "the schedule must actually crash something";
 }
 
 }  // namespace
