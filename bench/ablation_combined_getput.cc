@@ -82,6 +82,15 @@ void Run() {
               combined / bt);
   PrintNote(StrFormat("combining recovers %.0f%% of the MV write penalty",
                       100.0 * (separate - combined) / (separate - bt)));
+  BenchReport report("ablation_combined_getput");
+  report.Add("rows", scale.rows);
+  report.Add("requests", scale.latency_reads);
+  report.Add("bt_mean_ms", bt);
+  report.Add("mv_separate_mean_ms", separate);
+  report.Add("mv_combined_mean_ms", combined);
+  report.Add("penalty_recovered_fraction",
+             (separate - combined) / (separate - bt));
+  report.Write();
 }
 
 }  // namespace

@@ -87,6 +87,11 @@ void Run() {
       {store::PropagationMode::kLockService, "lock service (IV-F)"},
       {store::PropagationMode::kDedicatedPropagators, "propagators (IV-F)"},
   };
+  BenchReport report("ablation_propagation_mode");
+  report.Add("range", range);
+  report.Add("window_seconds", scale.measure_seconds);
+  const char* keys[] = {"unsynchronized", "lock_service", "propagators"};
+  int index = 0;
   for (const ModeInfo& info : modes) {
     Result r = MeasureMode(info.mode, range, scale);
     std::printf("%-24s %10.0f %11llu %11llu %9llu %10llu %7s\n", info.name,
@@ -95,7 +100,15 @@ void Run() {
                 static_cast<unsigned long long>(r.retries),
                 static_cast<unsigned long long>(r.abandoned),
                 r.scrub_clean ? "clean" : "DIRTY");
+    const std::string prefix = keys[index++];
+    report.Add(prefix + "_rps", r.throughput);
+    report.Add(prefix + "_prop_completed", r.completed);
+    report.Add(prefix + "_prop_started", r.started);
+    report.Add(prefix + "_retries", r.retries);
+    report.Add(prefix + "_abandoned", r.abandoned);
+    report.Add(prefix + "_scrub_clean", r.scrub_clean ? "clean" : "dirty");
   }
+  report.Write();
 }
 
 }  // namespace

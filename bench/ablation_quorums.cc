@@ -79,13 +79,22 @@ void Run() {
               "write(ms)", "stale reads");
   const std::vector<std::pair<int, int>> settings = {
       {1, 1}, {1, 3}, {2, 2}, {3, 1}, {2, 1}, {1, 2}};
+  BenchReport report("ablation_quorums");
+  report.Add("rows", scale.rows);
+  report.Add("requests", scale.latency_reads);
   for (const auto& [r, w] : settings) {
     Result result = MeasureQuorums(r, w, scale);
     std::printf("R=%d,W=%d    %10s %11.3f %12.3f %11.2f%%\n", r, w,
                 r + w > 3 ? "yes" : "no", result.read_ms, result.write_ms,
                 100.0 * result.stale_rate);
+    const std::string prefix =
+        "R" + std::to_string(r) + "W" + std::to_string(w);
+    report.Add(prefix + "_read_ms", result.read_ms);
+    report.Add(prefix + "_write_ms", result.write_ms);
+    report.Add(prefix + "_stale_rate", result.stale_rate);
   }
   PrintNote("R+W>N rows must show 0% stale; R+W<=N may not");
+  report.Write();
 }
 
 }  // namespace

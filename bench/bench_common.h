@@ -21,9 +21,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/histogram.h"
+#include "common/json_writer.h"
 #include "common/str_util.h"
 #include "store/client.h"
 #include "store/cluster.h"
@@ -199,6 +204,87 @@ inline void PrintFaultCounters(const store::Metrics& m) {
               static_cast<unsigned long long>(
                   m.orphaned_propagations_recovered));
 }
+
+// --- machine-readable output: every bench also writes BENCH_<name>.json ---
+
+/// Collects a bench's headline numbers and writes them as one JSON document,
+/// `BENCH_<name>.json`, into $MV_BENCH_JSON_DIR (or the working directory).
+/// Entries keep insertion order; doubles use the deterministic formatter, so
+/// same-seed runs produce byte-identical files. The human-readable table the
+/// bench prints is unaffected — this rides alongside it for CI artifacts and
+/// plotting scripts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Add(const std::string& key, double value) {
+    entries_.emplace_back(key, JsonFormatDouble(value));
+  }
+  void Add(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<std::int64_t>(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, JsonQuote(value));
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+
+  /// Records a latency histogram (simulated microseconds) as an object of
+  /// count / mean / p50 / p95 / p99 / max.
+  void AddHistogramUs(const std::string& key, const Histogram& h) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("count").Value(h.count());
+    w.Key("mean_us").Value(h.count() > 0 ? h.Mean() : 0.0);
+    w.Key("p50_us").Value(h.count() > 0 ? h.Percentile(50) : 0.0);
+    w.Key("p95_us").Value(h.count() > 0 ? h.Percentile(95) : 0.0);
+    w.Key("p99_us").Value(h.count() > 0 ? h.Percentile(99) : 0.0);
+    w.Key("max_us").Value(h.count() > 0 ? h.max() : 0);
+    w.EndObject();
+    entries_.emplace_back(key, w.str());
+  }
+
+  /// Splices a pre-rendered JSON value (e.g. Metrics::ToJson()) verbatim.
+  void AddRaw(const std::string& key, const std::string& json) {
+    entries_.emplace_back(key, json);
+  }
+
+  /// Writes BENCH_<name>.json and prints its path. Returns false (and warns
+  /// on stderr) when the file cannot be opened.
+  bool Write() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").Value(name_);
+    for (const auto& [key, json] : entries_) w.Key(key).Raw(json);
+    w.EndObject();
+
+    std::string dir = ".";
+    if (const char* env = std::getenv("MV_BENCH_JSON_DIR");
+        env != nullptr && env[0] != '\0') {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << w.str() << "\n";
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace mvstore::bench
 

@@ -115,6 +115,28 @@ void Run() {
               "exposed, %zu value mismatches)\n",
               converged ? "CONVERGED" : "DIVERGED", expected.size(),
               exposed.size(), value_mismatches);
+
+  const store::Metrics& m = bc.cluster.metrics();
+  BenchReport report("chaos_nemesis");
+  report.Add("seed", seed);
+  report.Add("horizon_seconds", seconds);
+  report.Add("crash_cycles", crashes);
+  report.Add("rps", run.Throughput());
+  report.Add("ops_ok", run.operations - run.failures);
+  report.Add("ops_failed", run.failures);
+  report.Add("converged", converged ? "converged" : "diverged");
+  report.Add("expected_records", static_cast<std::uint64_t>(expected.size()));
+  report.Add("exposed_records", static_cast<std::uint64_t>(exposed.size()));
+  report.Add("value_mismatches",
+             static_cast<std::uint64_t>(value_mismatches));
+  report.Add("server_crashes", static_cast<std::uint64_t>(m.server_crashes));
+  report.Add("server_restarts", static_cast<std::uint64_t>(m.server_restarts));
+  report.Add("wal_cells_replayed",
+             static_cast<std::uint64_t>(m.wal_cells_replayed));
+  report.Add("propagations_orphaned",
+             static_cast<std::uint64_t>(m.propagations_orphaned));
+  report.AddRaw("metrics", m.ToJson());
+  report.Write();
 }
 
 }  // namespace

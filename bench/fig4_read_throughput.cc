@@ -42,6 +42,9 @@ void Run() {
       static_cast<long long>(scale.rows),
       static_cast<long long>(scale.measure_seconds)));
   std::printf("%-8s %10s %10s %10s\n", "clients", "BT", "SI", "MV");
+  BenchReport report("fig4_read_throughput");
+  report.Add("rows", scale.rows);
+  report.Add("window_seconds", scale.measure_seconds);
   for (int clients = 1; clients <= 10; ++clients) {
     const double bt = MeasureThroughput(Scenario::kBaseTable, clients, scale);
     const double si =
@@ -49,7 +52,12 @@ void Run() {
     const double mv =
         MeasureThroughput(Scenario::kMaterializedView, clients, scale);
     std::printf("%-8d %10.0f %10.0f %10.0f\n", clients, bt, si, mv);
+    const std::string prefix = "clients" + std::to_string(clients);
+    report.Add(prefix + "_BT_rps", bt);
+    report.Add(prefix + "_SI_rps", si);
+    report.Add(prefix + "_MV_rps", mv);
   }
+  report.Write();
 }
 
 }  // namespace

@@ -55,6 +55,9 @@ void Run() {
                       static_cast<long long>(scale.rows),
                       static_cast<long long>(scale.latency_reads)));
   std::printf("%-4s %12s %12s\n", "", "mean(ms)", "p99(ms)");
+  BenchReport report("fig5_write_latency");
+  report.Add("rows", scale.rows);
+  report.Add("requests", scale.latency_reads);
   double bt = 0;
   double mv = 0;
   for (Scenario s : {Scenario::kBaseTable, Scenario::kSecondaryIndex,
@@ -63,8 +66,12 @@ void Run() {
     if (s == Scenario::kBaseTable) bt = r.mean_ms;
     if (s == Scenario::kMaterializedView) mv = r.mean_ms;
     std::printf("%-4s %12.3f %12.3f\n", ScenarioName(s), r.mean_ms, r.p99_ms);
+    report.Add(std::string(ScenarioName(s)) + "_mean_ms", r.mean_ms);
+    report.Add(std::string(ScenarioName(s)) + "_p99_ms", r.p99_ms);
   }
   PrintNote(StrFormat("MV/BT latency ratio: %.2fx (paper: ~2.5x)", mv / bt));
+  report.Add("mv_over_bt_ratio", mv / bt);
+  report.Write();
 }
 
 }  // namespace

@@ -44,6 +44,9 @@ void Run() {
       static_cast<long long>(scale.rows),
       static_cast<long long>(scale.measure_seconds)));
   std::printf("%-8s %10s %10s %10s\n", "clients", "BT", "SI", "MV");
+  BenchReport report("fig6_write_throughput");
+  report.Add("rows", scale.rows);
+  report.Add("window_seconds", scale.measure_seconds);
   for (int clients = 1; clients <= 10; ++clients) {
     const double bt =
         MeasureWriteThroughput(Scenario::kBaseTable, clients, scale);
@@ -52,7 +55,12 @@ void Run() {
     const double mv =
         MeasureWriteThroughput(Scenario::kMaterializedView, clients, scale);
     std::printf("%-8d %10.0f %10.0f %10.0f\n", clients, bt, si, mv);
+    const std::string prefix = "clients" + std::to_string(clients);
+    report.Add(prefix + "_BT_rps", bt);
+    report.Add(prefix + "_SI_rps", si);
+    report.Add(prefix + "_MV_rps", mv);
   }
+  report.Write();
 }
 
 }  // namespace

@@ -82,6 +82,9 @@ void Run() {
                       static_cast<long long>(scale.rows),
                       static_cast<long long>(pairs)));
   std::printf("%-12s %10s %10s\n", "interval(ms)", "SI", "MV");
+  BenchReport report("fig7_session_guarantees");
+  report.Add("rows", scale.rows);
+  report.Add("pairs", pairs);
   const std::vector<std::int64_t> delays_ms = {10, 20,  40,  80,
                                                160, 320, 640, 1000};
   for (std::int64_t delay : delays_ms) {
@@ -91,9 +94,13 @@ void Run() {
                                          Millis(delay), scale, pairs);
     std::printf("%-12lld %10.2f %10.2f\n", static_cast<long long>(delay), si,
                 mv);
+    const std::string prefix = "delay" + std::to_string(delay) + "ms";
+    report.Add(prefix + "_SI_ms", si);
+    report.Add(prefix + "_MV_ms", mv);
   }
   PrintNote(
       "expected shape: SI flat; MV decaying with delay, flat after ~640 ms");
+  report.Write();
 }
 
 }  // namespace

@@ -57,6 +57,9 @@ void Run() {
     if (w < static_cast<std::uint64_t>(scale.rows)) widths.push_back(w);
   }
   widths.push_back(static_cast<std::uint64_t>(scale.rows));
+  BenchReport report("fig8_update_skew");
+  report.Add("rows", scale.rows);
+  report.Add("window_seconds", scale.measure_seconds);
   for (std::uint64_t width : widths) {
     std::uint64_t hops = 0;
     std::uint64_t retries = 0;
@@ -66,8 +69,13 @@ void Run() {
                 static_cast<unsigned long long>(width), throughput,
                 static_cast<unsigned long long>(hops),
                 static_cast<unsigned long long>(retries));
+    const std::string prefix = "range" + std::to_string(width);
+    report.Add(prefix + "_rps", throughput);
+    report.Add(prefix + "_chain_hops", hops);
+    report.Add(prefix + "_retries", retries);
   }
   PrintNote("expected shape: throughput falls steeply as the range narrows");
+  report.Write();
 }
 
 }  // namespace

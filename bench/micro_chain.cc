@@ -19,6 +19,7 @@ namespace {
 void Run() {
   PrintTitle("Micro M1b: GetLiveKey latency vs stale-chain length");
   std::printf("%-8s %14s %12s\n", "chain", "sim-time(ms)", "hops");
+  BenchReport report("micro_chain");
   for (int length : {0, 1, 2, 4, 8, 16, 32, 64}) {
     BenchScale scale;
     scale.rows = 1;
@@ -56,11 +57,15 @@ void Run() {
                              done = true;
                            });
     while (!done) MVSTORE_CHECK(bc.cluster.simulation().Step());
+    const std::uint64_t hops = bc.cluster.metrics().chain_hops - hops_before;
     std::printf("%-8d %14.3f %12llu\n", length, ToMillis(elapsed),
-                static_cast<unsigned long long>(
-                    bc.cluster.metrics().chain_hops - hops_before));
+                static_cast<unsigned long long>(hops));
+    const std::string prefix = "chain" + std::to_string(length);
+    report.Add(prefix + "_sim_ms", ToMillis(elapsed));
+    report.Add(prefix + "_hops", hops);
   }
   PrintNote("sim-time grows linearly: one majority-quorum read per hop");
+  report.Write();
 }
 
 }  // namespace

@@ -4,6 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/histogram.h"
 #include "common/rng.h"
 #include "storage/engine.h"
@@ -159,4 +165,35 @@ BENCHMARK(BM_HistogramRecord);
 }  // namespace
 }  // namespace mvstore
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults --benchmark_out to
+// BENCH_micro_storage.json (google-benchmark's own JSON schema) in
+// $MV_BENCH_JSON_DIR, next to the other benches' reports. An explicit
+// --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("MV_BENCH_JSON_DIR");
+      env != nullptr && env[0] != '\0') {
+    dir = env;
+  }
+  const std::string path = dir + "/BENCH_micro_storage.json";
+  const std::string out_flag = "--benchmark_out=" + path;
+  const std::string format_flag = "--benchmark_out_format=json";
+
+  bool user_out = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) user_out = true;
+  }
+  if (!user_out) {
+    args.push_back(const_cast<char*>(out_flag.c_str()));
+    args.push_back(const_cast<char*>(format_flag.c_str()));
+  }
+
+  int new_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&new_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(new_argc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!user_out) std::printf("wrote %s\n", path.c_str());
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,6 +28,7 @@ class Histogram {
   std::uint64_t count() const { return count_; }
   std::int64_t min() const;
   std::int64_t max() const { return max_; }
+  double sum() const { return sum_; }
   double Mean() const;
 
   /// Approximate p-th percentile, p in [0, 100].

@@ -1,0 +1,60 @@
+// Deterministic JSON emission.
+//
+// JsonWriter builds a JSON document as a string, handling commas, key
+// quoting, and string escaping. Output is byte-deterministic: the same
+// sequence of calls always yields the same bytes (doubles are printed with
+// a fixed shortest-round-trip format, never locale-dependent), which is
+// what lets same-seed runs assert byte-identical metrics exports.
+
+#ifndef MVSTORE_COMMON_JSON_WRITER_H_
+#define MVSTORE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvstore {
+
+/// Formats a double deterministically (shortest representation that round-
+/// trips, via %.17g then trimming; "0" for zero, no locale effects).
+std::string JsonFormatDouble(double value);
+
+/// Escapes and quotes a string for JSON.
+std::string JsonQuote(const std::string& s);
+
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits an object key (must be inside an object, before a value).
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v);
+  JsonWriter& Value(double v);
+  JsonWriter& Value(std::int64_t v);
+  JsonWriter& Value(std::uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<std::int64_t>(v)); }
+  JsonWriter& Value(bool v);
+
+  /// Splices a pre-rendered JSON fragment in value position, verbatim.
+  JsonWriter& Raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: true once the first element was written
+  /// (the next element needs a leading comma).
+  std::vector<bool> has_element_;
+  bool pending_key_ = false;
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_JSON_WRITER_H_

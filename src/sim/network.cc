@@ -30,22 +30,44 @@ bool Network::Blocked(EndpointId from, EndpointId to) const {
 void Network::Send(EndpointId from, EndpointId to,
                    std::function<void()> deliver) {
   ++messages_sent_;
+  // A hop span inherits the sender's ambient context; the span stays open
+  // until delivery (a dropped message leaves it unended — visible loss).
+  TraceContext hop;
+  if (tracer_ != nullptr && tracer_->current()) {
+    hop = tracer_->StartSpan(
+        tracer_->current(),
+        "net " + std::to_string(from) + "->" + std::to_string(to),
+        static_cast<int>(to), sim_->Now());
+  }
   if (Blocked(from, to) ||
       (config_.drop_probability > 0 && rng_.Chance(config_.drop_probability))) {
     ++messages_dropped_;
+    if (hop) tracer_->Annotate(hop, "dropped at send");
     return;
   }
   const SimTime latency = from == to ? Micros(1) : SampleLatency();
+  if (latency_histogram_ != nullptr && from != to) {
+    latency_histogram_->Record(latency);
+  }
   // Fault state is re-evaluated when the message ARRIVES: a destination that
   // crashed, a link that partitioned, or an endpoint that restarted into a
   // new incarnation while the message was in flight all lose it.
   const std::uint64_t from_inc = incarnation(from);
   const std::uint64_t to_inc = incarnation(to);
-  sim_->After(latency, [this, from, to, from_inc, to_inc,
+  sim_->After(latency, [this, from, to, from_inc, to_inc, hop,
                         deliver = std::move(deliver)] {
     if (Blocked(from, to) || incarnation(from) != from_inc ||
         incarnation(to) != to_inc) {
       ++messages_dropped_;
+      if (hop) tracer_->Annotate(hop, "dropped in flight");
+      return;
+    }
+    if (hop) {
+      tracer_->EndSpan(hop, sim_->Now());
+      // Deliver under the hop's context so the receiver's work (service
+      // queue spans, further sends) nests beneath it.
+      Tracer::Scope scope(tracer_, hop);
+      deliver();
       return;
     }
     deliver();

@@ -21,7 +21,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/rng.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulation.h"
 
@@ -76,6 +78,17 @@ class Network {
   double latency_multiplier() const { return latency_multiplier_; }
   const NetworkConfig& config() const { return config_; }
 
+  /// Observability taps (both optional; neither perturbs the simulation).
+  /// With a tracer installed, every Send under a live ambient trace context
+  /// records a network-hop span and delivers the message under it, so causal
+  /// chains thread through the wire automatically.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+  /// Records each sampled one-way latency (self-sends excluded).
+  void set_latency_histogram(Histogram* histogram) {
+    latency_histogram_ = histogram;
+  }
+
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
 
@@ -86,6 +99,8 @@ class Network {
   Simulation* sim_;
   Rng rng_;
   NetworkConfig config_;
+  Tracer* tracer_ = nullptr;
+  Histogram* latency_histogram_ = nullptr;
   double latency_multiplier_ = 1.0;
   std::set<std::pair<EndpointId, EndpointId>> cut_links_;
   std::set<EndpointId> down_;

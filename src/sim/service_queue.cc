@@ -20,6 +20,22 @@ void ServiceQueue::Submit(SimTime service_time, std::function<void()> fn) {
   *it = end;
   busy_time_ += service_time;
   ++tasks_;
+  const SimTime queue_wait = start - sim_->Now();
+  if (queue_wait_histogram_ != nullptr) queue_wait_histogram_->Record(queue_wait);
+  if (service_histogram_ != nullptr) service_histogram_->Record(service_time);
+  if (tracer_ != nullptr && tracer_->current()) {
+    TraceContext span =
+        tracer_->StartSpan(tracer_->current(), "svc", endpoint_, sim_->Now());
+    if (queue_wait > 0) {
+      tracer_->Annotate(span, "queue_wait_us=" + std::to_string(queue_wait));
+    }
+    sim_->At(end, [tracer = tracer_, span, end, fn = std::move(fn)] {
+      tracer->EndSpan(span, end);
+      Tracer::Scope scope(tracer, span);
+      fn();
+    });
+    return;
+  }
   sim_->At(end, std::move(fn));
 }
 

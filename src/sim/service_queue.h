@@ -14,6 +14,8 @@
 #include <functional>
 #include <vector>
 
+#include "common/histogram.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "sim/simulation.h"
 
@@ -43,11 +45,29 @@ class ServiceQueue {
   SimTime busy_time() const { return busy_time_; }
   std::uint64_t tasks() const { return tasks_; }
 
+  /// Observability taps (optional; neither perturbs the simulation).
+  /// With a tracer installed, each Submit under a live ambient context
+  /// records a service span (annotated with its queue wait) and runs `fn`
+  /// under it. `endpoint` labels the spans with this queue's owner.
+  void set_tracer(Tracer* tracer, int endpoint) {
+    tracer_ = tracer;
+    endpoint_ = endpoint;
+  }
+  /// Per-submission queue-wait and service-time samples.
+  void set_stage_histograms(Histogram* queue_wait, Histogram* service) {
+    queue_wait_histogram_ = queue_wait;
+    service_histogram_ = service;
+  }
+
  private:
   Simulation* sim_;
   std::vector<SimTime> core_free_at_;
   SimTime busy_time_ = 0;
   std::uint64_t tasks_ = 0;
+  Tracer* tracer_ = nullptr;
+  int endpoint_ = -1;
+  Histogram* queue_wait_histogram_ = nullptr;
+  Histogram* service_histogram_ = nullptr;
 };
 
 }  // namespace mvstore::sim

@@ -33,6 +33,16 @@ Timestamp Client::ResolveTimestamp(Timestamp ts) {
   return ts == kNullTimestamp ? NextTimestamp() : ts;
 }
 
+TraceContext Client::StartOpTrace(const std::string& name,
+                                  const TraceContext& parent) {
+  Tracer& tracer = cluster_->tracer();
+  const int where = static_cast<int>(cluster_->client_endpoint());
+  const SimTime now = cluster_->simulation().Now();
+  if (parent) return tracer.StartSpan(parent, name, where, now);
+  if (!cluster_->config().trace_client_ops) return {};
+  return tracer.StartTrace(name, where, now);
+}
+
 void Client::SendToCoordinator(std::function<void(Server&)> fn) {
   Server* server = &cluster_->server(coordinator_);
   cluster_->network().Send(cluster_->client_endpoint(), coordinator_,
@@ -46,8 +56,21 @@ template <typename ResultT>
 ResultT TimeoutResult() {
   if constexpr (std::is_same_v<ResultT, Status>) {
     return Status::TimedOut("client request deadline expired");
-  } else {
+  } else if constexpr (std::is_constructible_v<ResultT, Status>) {
     return ResultT(Status::TimedOut("client request deadline expired"));
+  } else {
+    ResultT result;
+    result.status = Status::TimedOut("client request deadline expired");
+    return result;
+  }
+}
+
+// Stamps the operation's trace id into result types that carry one
+// (ReadResult/WriteResult); no-op for the legacy Status/StatusOr shapes.
+template <typename ResultT>
+void SetResultTrace(ResultT& result, TraceId trace) {
+  if constexpr (requires { result.trace = trace; }) {
+    result.trace = trace;
   }
 }
 
@@ -55,105 +78,169 @@ ResultT TimeoutResult() {
 
 template <typename ResultT>
 std::function<void(ResultT)> Client::ReturnToClient(
-    std::function<void(ResultT)> callback, Histogram* latency) {
+    std::function<void(ResultT)> callback, Histogram* latency, TraceContext op,
+    SimTime timeout_override) {
   const SimTime start = cluster_->simulation().Now();
   Cluster* cluster = cluster_;
   const ServerId coordinator = coordinator_;
+  Tracer* tracer = &cluster_->tracer();
 
   // At most one of {reply, deadline} reaches the caller.
   auto delivered = std::make_shared<bool>(false);
   auto shared_callback =
       std::make_shared<std::function<void(ResultT)>>(std::move(callback));
-  if (request_timeout_ > 0) {
+  const SimTime timeout =
+      timeout_override > 0 ? timeout_override : request_timeout_;
+  if (timeout > 0) {
     cluster->simulation().After(
-        request_timeout_, [delivered, shared_callback] {
+        timeout, [cluster, tracer, op, delivered, shared_callback] {
           if (*delivered) return;
           *delivered = true;
-          (*shared_callback)(TimeoutResult<ResultT>());
+          if (op) {
+            tracer->Annotate(op, "client deadline expired");
+            tracer->EndSpan(op, cluster->simulation().Now());
+          }
+          ResultT result = TimeoutResult<ResultT>();
+          SetResultTrace(result, op.trace);
+          (*shared_callback)(std::move(result));
         });
   }
-  return [cluster, coordinator, start, latency, delivered,
+  return [cluster, tracer, coordinator, start, latency, op, delivered,
           shared_callback](ResultT result) mutable {
     cluster->network().Send(
         coordinator, cluster->client_endpoint(),
-        [cluster, start, latency, delivered, shared_callback,
+        [cluster, tracer, start, latency, op, delivered, shared_callback,
          result = std::move(result)]() mutable {
           if (*delivered) return;  // deadline already fired
           *delivered = true;
           if (latency != nullptr) {
             latency->Record(cluster->simulation().Now() - start);
           }
+          if (op) tracer->EndSpan(op, cluster->simulation().Now());
+          SetResultTrace(result, op.trace);
           (*shared_callback)(std::move(result));
         });
   };
 }
 
+// ---------------------------------------------------------------------------
+// Canonical options-based operations.
+// ---------------------------------------------------------------------------
+
 void Client::Get(const std::string& table, const Key& key,
-                 std::vector<ColumnName> columns,
-                 std::function<void(StatusOr<storage::Row>)> callback,
-                 int read_quorum) {
-  auto reply = ReturnToClient<StatusOr<storage::Row>>(
-      std::move(callback), &cluster_->metrics().get_latency);
-  const int quorum = ReadQuorum(read_quorum);
-  SendToCoordinator([table, key, columns = std::move(columns), quorum,
-                     reply = std::move(reply)](Server& server) mutable {
+                 const ReadOptions& options, ReadCallback callback) {
+  TraceContext op = StartOpTrace("client.get", options.trace);
+  auto reply = ReturnToClient<ReadResult>(std::move(callback),
+                                          &cluster_->metrics().get_latency, op,
+                                          options.timeout);
+  // Adapt the coordinator's reply shape at the coordinator, so one result
+  // object travels the return hop.
+  auto adapted = [reply = std::move(reply)](StatusOr<storage::Row> row) {
+    ReadResult result;
+    if (row.ok()) {
+      result.row = *std::move(row);
+    } else {
+      result.status = row.status();
+    }
+    reply(std::move(result));
+  };
+  const int quorum = ReadQuorum(options.quorum);
+  Tracer::Scope scope(&cluster_->tracer(), op);
+  SendToCoordinator([table, key, columns = options.columns, quorum,
+                     adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientGet(table, key, std::move(columns), quorum,
-                           std::move(reply));
+                           std::move(adapted));
   });
 }
 
 void Client::Put(const std::string& table, const Key& key,
-                 const Mutation& mutation, std::function<void(Status)> callback,
-                 int write_quorum, Timestamp ts) {
-  auto reply = ReturnToClient<Status>(std::move(callback),
-                                      &cluster_->metrics().put_latency);
-  const int quorum = WriteQuorum(write_quorum);
-  const Timestamp resolved = ResolveTimestamp(ts);
+                 const Mutation& mutation, const WriteOptions& options,
+                 WriteCallback callback) {
+  TraceContext op = StartOpTrace("client.put", options.trace);
+  auto reply = ReturnToClient<WriteResult>(std::move(callback),
+                                           &cluster_->metrics().put_latency,
+                                           op, options.timeout);
+  const Timestamp resolved = ResolveTimestamp(options.ts);
+  auto adapted = [reply = std::move(reply), resolved](Status status) {
+    WriteResult result;
+    result.status = std::move(status);
+    result.ts = resolved;
+    reply(std::move(result));
+  };
+  const int quorum = WriteQuorum(options.quorum);
   const SessionId session = session_;
+  Tracer::Scope scope(&cluster_->tracer(), op);
   SendToCoordinator([table, key, mutation, resolved, quorum, session,
-                     reply = std::move(reply)](Server& server) mutable {
+                     adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientPut(table, key, mutation, resolved, quorum, session,
-                           std::move(reply));
+                           std::move(adapted));
   });
 }
 
 void Client::Delete(const std::string& table, const Key& key,
                     std::vector<ColumnName> columns,
-                    std::function<void(Status)> callback, int write_quorum,
-                    Timestamp ts) {
+                    const WriteOptions& options, WriteCallback callback) {
   Mutation mutation;
   for (ColumnName& col : columns) {
     mutation.emplace(std::move(col), std::nullopt);
   }
-  Put(table, key, mutation, std::move(callback), write_quorum, ts);
+  Put(table, key, mutation, options, std::move(callback));
 }
 
-void Client::ViewGet(
-    const std::string& view, const Key& view_key,
-    std::vector<ColumnName> columns,
-    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
-    int read_quorum) {
-  auto reply = ReturnToClient<StatusOr<std::vector<ViewRecord>>>(
-      std::move(callback), &cluster_->metrics().view_get_latency);
-  const int quorum = ReadQuorum(read_quorum);
+void Client::ViewGet(const std::string& view, const Key& view_key,
+                     const ReadOptions& options, ReadCallback callback) {
+  TraceContext op = StartOpTrace("client.view_get", options.trace);
+  auto reply = ReturnToClient<ReadResult>(
+      std::move(callback), &cluster_->metrics().view_get_latency, op,
+      options.timeout);
+  auto adapted =
+      [reply = std::move(reply)](StatusOr<std::vector<ViewRecord>> records) {
+        ReadResult result;
+        if (records.ok()) {
+          result.records = *std::move(records);
+        } else {
+          result.status = records.status();
+        }
+        reply(std::move(result));
+      };
+  const int quorum = ReadQuorum(options.quorum);
   const SessionId session = session_;
-  SendToCoordinator([view, view_key, columns = std::move(columns), quorum,
-                     session, reply = std::move(reply)](Server& server) mutable {
+  Tracer::Scope scope(&cluster_->tracer(), op);
+  SendToCoordinator([view, view_key, columns = options.columns, quorum,
+                     session,
+                     adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientViewGet(view, view_key, std::move(columns), quorum,
-                               session, std::move(reply));
+                               session, std::move(adapted));
   });
 }
 
-void Client::IndexGet(
-    const std::string& table, const ColumnName& column, const Value& value,
-    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
-  auto reply = ReturnToClient<StatusOr<std::vector<storage::KeyedRow>>>(
-      std::move(callback), &cluster_->metrics().index_get_latency);
+void Client::IndexGet(const std::string& table, const ColumnName& column,
+                      const Value& value, const ReadOptions& options,
+                      ReadCallback callback) {
+  TraceContext op = StartOpTrace("client.index_get", options.trace);
+  auto reply = ReturnToClient<ReadResult>(
+      std::move(callback), &cluster_->metrics().index_get_latency, op,
+      options.timeout);
+  auto adapted = [reply = std::move(reply)](
+                     StatusOr<std::vector<storage::KeyedRow>> rows) {
+    ReadResult result;
+    if (rows.ok()) {
+      result.rows = *std::move(rows);
+    } else {
+      result.status = rows.status();
+    }
+    reply(std::move(result));
+  };
+  Tracer::Scope scope(&cluster_->tracer(), op);
   SendToCoordinator([table, column, value,
-                     reply = std::move(reply)](Server& server) mutable {
-    server.HandleClientIndexGet(table, column, value, std::move(reply));
+                     adapted = std::move(adapted)](Server& server) mutable {
+    server.HandleClientIndexGet(table, column, value, std::move(adapted));
   });
 }
+
+// ---------------------------------------------------------------------------
+// Canonical synchronous wrappers.
+// ---------------------------------------------------------------------------
 
 namespace {
 
@@ -168,6 +255,126 @@ T Await(sim::Simulation& sim, std::optional<T>& slot) {
 }
 
 }  // namespace
+
+ReadResult Client::GetSync(const std::string& table, const Key& key,
+                           const ReadOptions& options) {
+  std::optional<ReadResult> slot;
+  Get(table, key, options,
+      [&slot](ReadResult result) { slot = std::move(result); });
+  return Await(cluster_->simulation(), slot);
+}
+
+WriteResult Client::PutSync(const std::string& table, const Key& key,
+                            const Mutation& mutation,
+                            const WriteOptions& options) {
+  std::optional<WriteResult> slot;
+  Put(table, key, mutation, options,
+      [&slot](WriteResult result) { slot = std::move(result); });
+  return Await(cluster_->simulation(), slot);
+}
+
+WriteResult Client::DeleteSync(const std::string& table, const Key& key,
+                               std::vector<ColumnName> columns,
+                               const WriteOptions& options) {
+  std::optional<WriteResult> slot;
+  Delete(table, key, std::move(columns), options,
+         [&slot](WriteResult result) { slot = std::move(result); });
+  return Await(cluster_->simulation(), slot);
+}
+
+ReadResult Client::ViewGetSync(const std::string& view, const Key& view_key,
+                               const ReadOptions& options) {
+  std::optional<ReadResult> slot;
+  ViewGet(view, view_key, options,
+          [&slot](ReadResult result) { slot = std::move(result); });
+  return Await(cluster_->simulation(), slot);
+}
+
+ReadResult Client::IndexGetSync(const std::string& table,
+                                const ColumnName& column, const Value& value,
+                                const ReadOptions& options) {
+  std::optional<ReadResult> slot;
+  IndexGet(table, column, value, options,
+           [&slot](ReadResult result) { slot = std::move(result); });
+  return Await(cluster_->simulation(), slot);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated pre-options wrappers.
+// ---------------------------------------------------------------------------
+
+void Client::Get(const std::string& table, const Key& key,
+                 std::vector<ColumnName> columns,
+                 std::function<void(StatusOr<storage::Row>)> callback,
+                 int read_quorum) {
+  ReadOptions options;
+  options.quorum = read_quorum;
+  options.columns = std::move(columns);
+  Get(table, key, options,
+      [callback = std::move(callback)](ReadResult result) {
+        if (result.ok()) {
+          callback(std::move(result.row));
+        } else {
+          callback(std::move(result.status));
+        }
+      });
+}
+
+void Client::Put(const std::string& table, const Key& key,
+                 const Mutation& mutation, std::function<void(Status)> callback,
+                 int write_quorum, Timestamp ts) {
+  WriteOptions options;
+  options.quorum = write_quorum;
+  options.ts = ts;
+  Put(table, key, mutation, options,
+      [callback = std::move(callback)](WriteResult result) {
+        callback(std::move(result.status));
+      });
+}
+
+void Client::Delete(const std::string& table, const Key& key,
+                    std::vector<ColumnName> columns,
+                    std::function<void(Status)> callback, int write_quorum,
+                    Timestamp ts) {
+  WriteOptions options;
+  options.quorum = write_quorum;
+  options.ts = ts;
+  Delete(table, key, std::move(columns), options,
+         [callback = std::move(callback)](WriteResult result) {
+           callback(std::move(result.status));
+         });
+}
+
+void Client::ViewGet(
+    const std::string& view, const Key& view_key,
+    std::vector<ColumnName> columns,
+    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
+    int read_quorum) {
+  ReadOptions options;
+  options.quorum = read_quorum;
+  options.columns = std::move(columns);
+  ViewGet(view, view_key, options,
+          [callback = std::move(callback)](ReadResult result) {
+            if (result.ok()) {
+              callback(std::move(result.records));
+            } else {
+              callback(std::move(result.status));
+            }
+          });
+}
+
+void Client::IndexGet(
+    const std::string& table, const ColumnName& column, const Value& value,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  IndexGet(table, column, value, ReadOptions{},
+           [callback = std::move(callback)](ReadResult result) {
+             if (result.ok()) {
+               callback(std::move(result.rows));
+             } else {
+               callback(std::move(result.status));
+             }
+           });
+}
 
 StatusOr<storage::Row> Client::GetSync(const std::string& table,
                                        const Key& key,

@@ -7,6 +7,14 @@
 // asynchronous; *Sync convenience wrappers drive the simulation until the
 // operation completes (tests and examples only — workloads use the async
 // API so many clients can run concurrently).
+//
+// The canonical read surface is Get/ViewGet/IndexGet taking a ReadOptions
+// and delivering one ReadResult; writes take a WriteOptions and deliver a
+// WriteResult. Both options structs carry an optional parent TraceContext;
+// when none is given (and the cluster's `trace_client_ops` is on) the client
+// mints a fresh root trace per operation, whose id comes back in the result
+// so callers can dump the causal timeline (Tracer::DumpJson). The older
+// per-operation signatures remain as thin deprecated wrappers.
 
 #ifndef MVSTORE_STORE_CLIENT_H_
 #define MVSTORE_STORE_CLIENT_H_
@@ -18,6 +26,7 @@
 
 #include "common/histogram.h"
 #include "common/statusor.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "storage/row.h"
 #include "store/hooks.h"
@@ -31,6 +40,58 @@ class Cluster;
 /// loaded data (whose timestamps must be below it; Cluster::BootstrapLoadRow
 /// enforces this) always loses LWW against live updates.
 inline constexpr Timestamp kClientTimestampEpoch = Seconds(1000);
+
+/// Options shared by every read-shaped operation (Get, ViewGet, IndexGet).
+struct ReadOptions {
+  /// Read quorum R; < 0 uses the config default. (IndexGet broadcasts to
+  /// every server and ignores it.)
+  int quorum = -1;
+  /// Columns to return; empty = all. (IndexGet always returns whole rows.)
+  std::vector<ColumnName> columns;
+  /// Per-request client deadline; 0 falls back to request_timeout().
+  SimTime timeout = 0;
+  /// Explicit parent span: the operation's span becomes its child, letting
+  /// callers stitch several operations into one causal trace. Null = mint a
+  /// root trace (when the cluster's `trace_client_ops` is enabled).
+  TraceContext trace;
+};
+
+/// Options shared by every write-shaped operation (Put, Delete).
+struct WriteOptions {
+  /// Write quorum W; < 0 uses the config default.
+  int quorum = -1;
+  /// Write timestamp; kNullTimestamp draws the client's next timestamp.
+  Timestamp ts = kNullTimestamp;
+  /// Per-request client deadline; 0 falls back to request_timeout().
+  SimTime timeout = 0;
+  /// Explicit parent span (see ReadOptions::trace).
+  TraceContext trace;
+};
+
+/// The one result shape every read-shaped operation delivers. Exactly one
+/// payload field is populated, matching the operation: `row` for Get,
+/// `records` for ViewGet, `rows` for IndexGet.
+struct ReadResult {
+  Status status = Status::OK();
+  storage::Row row;
+  std::vector<ViewRecord> records;
+  std::vector<storage::KeyedRow> rows;
+  /// Trace id of the operation (0 when untraced).
+  TraceId trace = 0;
+  bool ok() const { return status.ok(); }
+};
+
+struct WriteResult {
+  Status status = Status::OK();
+  /// The timestamp the write was issued at (resolved from WriteOptions::ts).
+  Timestamp ts = kNullTimestamp;
+  /// Trace id of the operation (0 when untraced).
+  TraceId trace = 0;
+  bool ok() const { return status.ok(); }
+};
+
+using ReadCallback = std::function<void(ReadResult)>;
+using WriteCallback = std::function<void(WriteResult)>;
 
 class Client {
  public:
@@ -55,11 +116,47 @@ class Client {
   /// Client-side request deadline: if no reply arrives in time (e.g. the
   /// coordinator is down), the callback fires with kTimedOut. 0 disables
   /// (the default — a request into a dead coordinator then hangs forever,
-  /// as in the modeled system's raw transport).
+  /// as in the modeled system's raw transport). ReadOptions/WriteOptions
+  /// `timeout` overrides this per request.
   void set_request_timeout(SimTime timeout) { request_timeout_ = timeout; }
   SimTime request_timeout() const { return request_timeout_; }
 
-  // --- asynchronous operations (quorum < 0 uses the config default) ---
+  // --- canonical asynchronous operations ---
+
+  void Get(const std::string& table, const Key& key,
+           const ReadOptions& options, ReadCallback callback);
+
+  void Put(const std::string& table, const Key& key, const Mutation& mutation,
+           const WriteOptions& options, WriteCallback callback);
+
+  /// Deletes cells (Put of NULLs, stored as tombstones).
+  void Delete(const std::string& table, const Key& key,
+              std::vector<ColumnName> columns, const WriteOptions& options,
+              WriteCallback callback);
+
+  void ViewGet(const std::string& view, const Key& view_key,
+               const ReadOptions& options, ReadCallback callback);
+
+  void IndexGet(const std::string& table, const ColumnName& column,
+                const Value& value, const ReadOptions& options,
+                ReadCallback callback);
+
+  // --- canonical synchronous wrappers (drive the simulation) ---
+
+  ReadResult GetSync(const std::string& table, const Key& key,
+                     const ReadOptions& options);
+  WriteResult PutSync(const std::string& table, const Key& key,
+                      const Mutation& mutation, const WriteOptions& options);
+  WriteResult DeleteSync(const std::string& table, const Key& key,
+                         std::vector<ColumnName> columns,
+                         const WriteOptions& options);
+  ReadResult ViewGetSync(const std::string& view, const Key& view_key,
+                         const ReadOptions& options);
+  ReadResult IndexGetSync(const std::string& table, const ColumnName& column,
+                          const Value& value, const ReadOptions& options);
+
+  // --- deprecated pre-options signatures (thin wrappers; prefer the
+  //     ReadOptions/WriteOptions forms above) ---
 
   void Get(const std::string& table, const Key& key,
            std::vector<ColumnName> columns,
@@ -70,7 +167,6 @@ class Client {
            std::function<void(Status)> callback, int write_quorum = -1,
            Timestamp ts = kNullTimestamp);
 
-  /// Deletes cells (Put of NULLs, stored as tombstones).
   void Delete(const std::string& table, const Key& key,
               std::vector<ColumnName> columns,
               std::function<void(Status)> callback, int write_quorum = -1,
@@ -84,8 +180,6 @@ class Client {
   void IndexGet(
       const std::string& table, const ColumnName& column, const Value& value,
       std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
-
-  // --- synchronous wrappers (drive the simulation until completion) ---
 
   StatusOr<storage::Row> GetSync(const std::string& table, const Key& key,
                                  std::vector<ColumnName> columns = {},
@@ -110,14 +204,21 @@ class Client {
   int WriteQuorum(int requested) const;
   Timestamp ResolveTimestamp(Timestamp ts);
 
+  /// The operation's span: a child of `parent` when given, else a fresh root
+  /// trace (when config().trace_client_ops allows), else null.
+  TraceContext StartOpTrace(const std::string& name,
+                            const TraceContext& parent);
+
   /// Ships `fn` to the coordinator over the network; `fn` runs there.
   void SendToCoordinator(std::function<void(Server&)> fn);
 
   /// Wraps a result callback so it is delivered back at the client host
-  /// (adds the return network hop) and records latency into `latency`.
+  /// (adds the return network hop), records latency into `latency`, closes
+  /// the operation span `op`, and stamps the trace id into the result.
   template <typename ResultT>
   std::function<void(ResultT)> ReturnToClient(
-      std::function<void(ResultT)> callback, Histogram* latency);
+      std::function<void(ResultT)> callback, Histogram* latency,
+      TraceContext op, SimTime timeout_override);
 
   Cluster* cluster_;
   ServerId coordinator_;

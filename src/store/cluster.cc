@@ -12,15 +12,19 @@ namespace mvstore::store {
 Cluster::Cluster(ClusterConfig config, Schema schema)
     : config_(config),
       schema_(std::move(schema)),
+      tracer_(config.trace_capacity),
       rng_(HashCombine(config.seed, 0x434C5553 /*"CLUS"*/)),
       ring_(config.num_servers, config.vnodes_per_server, config.seed) {
   network_ =
       std::make_unique<sim::Network>(&sim_, rng_.Fork(), config_.network);
+  network_->set_tracer(&tracer_);
+  network_->set_latency_histogram(&metrics_.stage_network);
   servers_.reserve(static_cast<std::size_t>(config_.num_servers));
   for (ServerId id = 0; id < static_cast<ServerId>(config_.num_servers);
        ++id) {
-    servers_.push_back(std::make_unique<Server>(
-        id, &sim_, network_.get(), &schema_, &ring_, &config_, &metrics_));
+    servers_.push_back(std::make_unique<Server>(id, &sim_, network_.get(),
+                                                &schema_, &ring_, &config_,
+                                                &metrics_, &tracer_));
   }
   server_ptrs_.reserve(servers_.size());
   for (const auto& server : servers_) server_ptrs_.push_back(server.get());
@@ -35,6 +39,17 @@ void Cluster::set_view_hook(ViewMaintenanceHook* hook) {
 
 void Cluster::Start() {
   for (const auto& server : servers_) server->Start();
+  if (config_.metrics_sample_interval > 0) {
+    // First sample establishes the baseline; each subsequent tick records
+    // the per-interval registry delta into the time series.
+    metrics_.time_series.Sample(sim_.Now(), metrics_.registry);
+    sim_.After(config_.metrics_sample_interval, [this] { MetricsSampleTick(); });
+  }
+}
+
+void Cluster::MetricsSampleTick() {
+  metrics_.time_series.Sample(sim_.Now(), metrics_.registry);
+  sim_.After(config_.metrics_sample_interval, [this] { MetricsSampleTick(); });
 }
 
 std::unique_ptr<Client> Cluster::NewClient() {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 #include "store/config.h"
@@ -50,6 +51,8 @@ class Cluster {
   const Schema& schema() const { return schema_; }
   const ClusterConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
+  /// Cluster-wide causal-trace recorder (disabled when trace_capacity == 0).
+  Tracer& tracer() { return tracer_; }
   const Ring& ring() const { return ring_; }
 
   int num_servers() const { return config_.num_servers; }
@@ -100,9 +103,12 @@ class Cluster {
   Rng ForkRng() { return rng_.Fork(); }
 
  private:
+  void MetricsSampleTick();
+
   ClusterConfig config_;
   Schema schema_;
   Metrics metrics_;
+  Tracer tracer_;
   sim::Simulation sim_;
   Rng rng_;
   std::unique_ptr<sim::Network> network_;

@@ -129,6 +129,19 @@ struct ClusterConfig {
   /// Enforce Definition 4 (session guarantee) for view reads issued within a
   /// session.
   bool session_guarantees = true;
+
+  // --- observability (ISSUE 2) ---
+
+  /// Capacity of the cluster's causal-trace event ring buffer (spans);
+  /// 0 disables tracing entirely.
+  std::size_t trace_capacity = 65536;
+  /// Mint a root trace for every client operation. When false, only
+  /// operations given an explicit TraceContext (ReadOptions/WriteOptions)
+  /// are traced.
+  bool trace_client_ops = true;
+  /// Period of the cluster's metrics time-series sampler (per-interval
+  /// registry deltas into Metrics::time_series); 0 disables (the default).
+  SimTime metrics_sample_interval = 0;
 };
 
 }  // namespace mvstore::store

@@ -1,0 +1,57 @@
+#include "store/metrics.h"
+
+namespace mvstore::store {
+
+Metrics::Metrics()
+    : client_gets(registry.RegisterCounter("client_gets")),
+      client_puts(registry.RegisterCounter("client_puts")),
+      client_view_gets(registry.RegisterCounter("client_view_gets")),
+      client_index_gets(registry.RegisterCounter("client_index_gets")),
+      replica_reads(registry.RegisterCounter("replica_reads")),
+      replica_writes(registry.RegisterCounter("replica_writes")),
+      read_repairs(registry.RegisterCounter("read_repairs")),
+      quorum_failures(registry.RegisterCounter("quorum_failures")),
+      anti_entropy_rows_pushed(
+          registry.RegisterCounter("anti_entropy_rows_pushed")),
+      anti_entropy_digest_exchanges(
+          registry.RegisterCounter("anti_entropy_digest_exchanges")),
+      anti_entropy_buckets_synced(
+          registry.RegisterCounter("anti_entropy_buckets_synced")),
+      hints_stored(registry.RegisterCounter("hints_stored")),
+      hints_replayed(registry.RegisterCounter("hints_replayed")),
+      hints_dropped(registry.RegisterCounter("hints_dropped")),
+      index_updates(registry.RegisterCounter("index_updates")),
+      index_fragment_probes(
+          registry.RegisterCounter("index_fragment_probes")),
+      propagations_started(registry.RegisterCounter("propagations_started")),
+      propagations_completed(
+          registry.RegisterCounter("propagations_completed")),
+      propagation_failures(registry.RegisterCounter("propagation_failures")),
+      stale_rows_created(registry.RegisterCounter("stale_rows_created")),
+      live_row_switches(registry.RegisterCounter("live_row_switches")),
+      chain_hops(registry.RegisterCounter("chain_hops")),
+      lock_waits(registry.RegisterCounter("lock_waits")),
+      propagations_abandoned(
+          registry.RegisterCounter("propagations_abandoned")),
+      view_get_deferrals(registry.RegisterCounter("view_get_deferrals")),
+      view_get_spins(registry.RegisterCounter("view_get_spins")),
+      stale_rows_filtered(registry.RegisterCounter("stale_rows_filtered")),
+      server_crashes(registry.RegisterCounter("server_crashes")),
+      server_restarts(registry.RegisterCounter("server_restarts")),
+      wal_cells_replayed(registry.RegisterCounter("wal_cells_replayed")),
+      locks_expired(registry.RegisterCounter("locks_expired")),
+      inflight_ops_aborted(registry.RegisterCounter("inflight_ops_aborted")),
+      propagations_orphaned(
+          registry.RegisterCounter("propagations_orphaned")),
+      orphaned_propagations_recovered(
+          registry.RegisterCounter("orphaned_propagations_recovered")),
+      get_latency(registry.RegisterHistogram("get_latency")),
+      put_latency(registry.RegisterHistogram("put_latency")),
+      view_get_latency(registry.RegisterHistogram("view_get_latency")),
+      index_get_latency(registry.RegisterHistogram("index_get_latency")),
+      propagation_delay(registry.RegisterHistogram("propagation_delay")),
+      stage_queue_wait(registry.RegisterHistogram("stage_queue_wait")),
+      stage_service(registry.RegisterHistogram("stage_service")),
+      stage_network(registry.RegisterHistogram("stage_network")) {}
+
+}  // namespace mvstore::store

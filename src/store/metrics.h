@@ -4,70 +4,93 @@
 // increment counters as they work. Benches and tests read them to verify
 // behaviour ("propagation retried", "read repair fired") without poking at
 // internals.
+//
+// Every instrument lives in the embedded MetricsRegistry under the name of
+// the member that exposes it; the members are registry-owned references, so
+// the historical `metrics.foo++` call sites and test reads keep compiling
+// while Snapshot()/ToJson() see every instrument. Two same-seed runs export
+// byte-identical JSON.
 
 #ifndef MVSTORE_STORE_METRICS_H_
 #define MVSTORE_STORE_METRICS_H_
 
-#include <cstdint>
-
-#include "common/histogram.h"
+#include "common/metrics_registry.h"
 
 namespace mvstore::store {
 
 struct Metrics {
+  Metrics();
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  /// Owns every instrument below (plus any registered by extensions).
+  MetricsRegistry registry;
+  /// Per-interval deltas, sampled by the Cluster when
+  /// `metrics_sample_interval` > 0.
+  MetricsTimeSeries time_series;
+
   // Client-visible operations.
-  std::uint64_t client_gets = 0;
-  std::uint64_t client_puts = 0;
-  std::uint64_t client_view_gets = 0;
-  std::uint64_t client_index_gets = 0;
+  Counter& client_gets;
+  Counter& client_puts;
+  Counter& client_view_gets;
+  Counter& client_index_gets;
 
   // Replication internals.
-  std::uint64_t replica_reads = 0;
-  std::uint64_t replica_writes = 0;
-  std::uint64_t read_repairs = 0;
-  std::uint64_t quorum_failures = 0;
-  std::uint64_t anti_entropy_rows_pushed = 0;
-  std::uint64_t anti_entropy_digest_exchanges = 0;
-  std::uint64_t anti_entropy_buckets_synced = 0;
-  std::uint64_t hints_stored = 0;
-  std::uint64_t hints_replayed = 0;
-  std::uint64_t hints_dropped = 0;
+  Counter& replica_reads;
+  Counter& replica_writes;
+  Counter& read_repairs;
+  Counter& quorum_failures;
+  Counter& anti_entropy_rows_pushed;
+  Counter& anti_entropy_digest_exchanges;
+  Counter& anti_entropy_buckets_synced;
+  Counter& hints_stored;
+  Counter& hints_replayed;
+  Counter& hints_dropped;
 
   // Native secondary indexes.
-  std::uint64_t index_updates = 0;
-  std::uint64_t index_fragment_probes = 0;
+  Counter& index_updates;
+  Counter& index_fragment_probes;
 
   // View maintenance (Section IV).
-  std::uint64_t propagations_started = 0;
-  std::uint64_t propagations_completed = 0;
-  std::uint64_t propagation_failures = 0;   ///< GetLiveKey miss -> new guess
-  std::uint64_t stale_rows_created = 0;
-  std::uint64_t live_row_switches = 0;
-  std::uint64_t chain_hops = 0;             ///< Next-pointer follows
-  std::uint64_t lock_waits = 0;
-  std::uint64_t propagations_abandoned = 0; ///< retry budget exhausted
-  std::uint64_t view_get_deferrals = 0;     ///< session guarantee blocks
-  std::uint64_t view_get_spins = 0;         ///< waits on initializing rows
-  std::uint64_t stale_rows_filtered = 0;    ///< non-live rows skipped by reads
+  Counter& propagations_started;
+  Counter& propagations_completed;
+  Counter& propagation_failures;   ///< GetLiveKey miss -> new guess
+  Counter& stale_rows_created;
+  Counter& live_row_switches;
+  Counter& chain_hops;             ///< Next-pointer follows
+  Counter& lock_waits;
+  Counter& propagations_abandoned; ///< retry budget exhausted
+  Counter& view_get_deferrals;     ///< session guarantee blocks
+  Counter& view_get_spins;         ///< waits on initializing rows
+  Counter& stale_rows_filtered;    ///< non-live rows skipped by reads
 
   // Crash-stop fault model (ISSUE 1): crashes, recovery, and the state the
   // cluster salvages afterwards.
-  std::uint64_t server_crashes = 0;
-  std::uint64_t server_restarts = 0;
-  std::uint64_t wal_cells_replayed = 0;      ///< commit-log cells re-applied
-  std::uint64_t locks_expired = 0;           ///< lease TTL reclaimed a hold
-  std::uint64_t inflight_ops_aborted = 0;    ///< coordinator ops killed by crash
-  std::uint64_t propagations_orphaned = 0;   ///< tasks lost with a coordinator
-  std::uint64_t orphaned_propagations_recovered = 0;  ///< healed by re-scrub
+  Counter& server_crashes;
+  Counter& server_restarts;
+  Counter& wal_cells_replayed;      ///< commit-log cells re-applied
+  Counter& locks_expired;           ///< lease TTL reclaimed a hold
+  Counter& inflight_ops_aborted;    ///< coordinator ops killed by crash
+  Counter& propagations_orphaned;   ///< tasks lost with a coordinator
+  Counter& orphaned_propagations_recovered;  ///< healed by re-scrub
 
-  // Latency recorders (simulated microseconds).
-  Histogram get_latency;
-  Histogram put_latency;
-  Histogram view_get_latency;
-  Histogram index_get_latency;
-  Histogram propagation_delay;  ///< base Put ack -> propagation complete
+  // End-to-end latency recorders (simulated microseconds).
+  Histogram& get_latency;
+  Histogram& put_latency;
+  Histogram& view_get_latency;
+  Histogram& index_get_latency;
+  Histogram& propagation_delay;  ///< base Put ack -> propagation complete
 
-  void Reset() { *this = Metrics(); }
+  // Per-stage breakdowns: where an operation's time goes. Queue wait and
+  // service come from every server's CPU queue, network from every sampled
+  // message latency; propagation_delay above is the propagation-lag stage.
+  Histogram& stage_queue_wait;
+  Histogram& stage_service;
+  Histogram& stage_network;
+
+  MetricsSnapshot Snapshot() const { return registry.Snapshot(); }
+  std::string ToJson() const { return registry.ToJson(); }
+  void Reset() { registry.Reset(); }
 };
 
 }  // namespace mvstore::store

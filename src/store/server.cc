@@ -12,7 +12,7 @@ namespace mvstore::store {
 
 Server::Server(ServerId id, sim::Simulation* sim, sim::Network* network,
                const Schema* schema, const Ring* ring,
-               const ClusterConfig* config, Metrics* metrics)
+               const ClusterConfig* config, Metrics* metrics, Tracer* tracer)
     : id_(id),
       sim_(sim),
       network_(network),
@@ -20,7 +20,11 @@ Server::Server(ServerId id, sim::Simulation* sim, sim::Network* network,
       ring_(ring),
       config_(config),
       metrics_(metrics),
+      tracer_(tracer),
       queue_(sim, config->cores_per_server) {
+  queue_.set_tracer(tracer_, static_cast<int>(id_));
+  queue_.set_stage_histograms(&metrics_->stage_queue_wait,
+                              &metrics_->stage_service);
   // One local index fragment per index definition in the schema.
   for (const std::string& table : schema_->TableNames()) {
     for (const IndexDef& def : schema_->IndexesOn(table)) {
@@ -165,6 +169,10 @@ struct Server::ReadOp {
   std::function<void(std::vector<storage::Row>)> collect_all;
   sim::EventHandle timeout;
   std::uint64_t op_id = 0;
+  /// Ambient context at op creation; finalization re-enters it so read
+  /// repair and the collect_all continuation stay on the op's trace even
+  /// when triggered by the (context-free) rpc timeout.
+  TraceContext trace;
 
   storage::Row MergedSoFar() const {
     storage::Row merged;
@@ -195,6 +203,7 @@ struct Server::ReadOp {
     if (finalized) return;
     finalized = true;
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       callback(Status::Unavailable("coordinator crashed"));
@@ -213,6 +222,7 @@ struct Server::ReadOp {
     finalized = true;
     coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       coord->metrics_->quorum_failures++;
@@ -263,6 +273,7 @@ void Server::CoordinateRead(
   op->responses.resize(op->replicas.size());
   op->callback = std::move(callback);
   op->collect_all = std::move(collect_all);
+  if (tracer_ != nullptr) op->trace = tracer_->current();
   op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
@@ -296,6 +307,7 @@ struct Server::WriteOp {
   std::function<void(Status)> callback;
   sim::EventHandle timeout;
   std::uint64_t op_id = 0;
+  TraceContext trace;
 
   void OnAck(std::size_t slot) {
     if (finalized) return;
@@ -315,6 +327,7 @@ struct Server::WriteOp {
     if (finalized) return;
     finalized = true;
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       callback(Status::Unavailable("coordinator crashed"));
@@ -326,6 +339,7 @@ struct Server::WriteOp {
     finalized = true;
     coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       coord->metrics_->quorum_failures++;
@@ -370,6 +384,7 @@ void Server::CoordinateWrite(const std::string& table, const Key& key,
   op->replicas = ReplicasOf(table, key);
   op->acked.assign(op->replicas.size(), false);
   op->callback = std::move(callback);
+  if (tracer_ != nullptr) op->trace = tracer_->current();
   op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
@@ -407,6 +422,7 @@ struct Server::ReadThenWriteOp {
   std::function<void(std::vector<storage::Row>)> collect;
   sim::EventHandle timeout;
   std::uint64_t op_id = 0;
+  TraceContext trace;
 
   void OnReply(std::size_t slot, storage::Row pre_image) {
     if (finalized) return;
@@ -425,6 +441,7 @@ struct Server::ReadThenWriteOp {
     if (finalized) return;
     finalized = true;
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       callback(Status::Unavailable("coordinator crashed"));
@@ -441,6 +458,7 @@ struct Server::ReadThenWriteOp {
     finalized = true;
     coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       coord->metrics_->quorum_failures++;
@@ -478,6 +496,7 @@ void Server::CoordinateReadThenWrite(
   op->pre_images.resize(replicas.size());
   op->callback = std::move(callback);
   op->collect = std::move(collect_pre_images);
+  if (tracer_ != nullptr) op->trace = tracer_->current();
   op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, op->total);
 
@@ -511,6 +530,7 @@ struct Server::ScanOp {
   std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
   sim::EventHandle timeout;
   std::uint64_t op_id = 0;
+  TraceContext trace;
 
   std::map<Key, storage::Row> MergedSoFar() const {
     std::map<Key, storage::Row> merged;
@@ -548,6 +568,7 @@ struct Server::ScanOp {
     if (finalized) return;
     finalized = true;
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       callback(Status::Unavailable("coordinator crashed"));
@@ -559,6 +580,7 @@ struct Server::ScanOp {
     finalized = true;
     coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     if (!replied) {
       replied = true;
       coord->metrics_->quorum_failures++;
@@ -608,6 +630,7 @@ void Server::CoordinateScan(
   op->replicas = ReplicasOf(table, partition_prefix);
   op->responses.resize(op->replicas.size());
   op->callback = std::move(callback);
+  if (tracer_ != nullptr) op->trace = tracer_->current();
   op->op_id = RegisterInflightOp([op] { op->Abort(); });
   MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
 
@@ -640,6 +663,7 @@ struct Server::IndexScanOp {
   std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
   sim::EventHandle timeout;
   std::uint64_t op_id = 0;
+  TraceContext trace;
 
   void OnReply(std::vector<storage::KeyedRow> rows) {
     if (done) return;
@@ -663,6 +687,7 @@ struct Server::IndexScanOp {
     done = true;
     coord->DeregisterInflightOp(op_id);
     timeout.Cancel();
+    Tracer::Scope scope(coord->tracer_, trace);
     // A fragment may return keys whose globally-latest value no longer
     // matches (its replica was stale); filter on the merged image, as
     // Cassandra's coordinator re-checks index hits.
@@ -680,6 +705,7 @@ struct Server::IndexScanOp {
     done = true;
     coord->DeregisterInflightOp(op_id);
     coord->metrics_->quorum_failures++;
+    Tracer::Scope scope(coord->tracer_, trace);
     callback(Status::Unavailable("index fragments unreachable"));
   }
 };
@@ -698,6 +724,7 @@ void Server::HandleClientIndexGet(
   op->value = value;
   op->total = config_->num_servers;
   op->callback = WrapReply(std::move(callback));
+  if (tracer_ != nullptr) op->trace = tracer_->current();
   op->op_id = RegisterInflightOp([op] { op->Abort(); });
 
   Enqueue(config_->perf.coordinator_op, [this, op, table, column, value] {
@@ -1048,6 +1075,14 @@ void Server::SyncTableWithPeer(const std::string& table, ServerId peer) {
 }
 
 void Server::RunAntiEntropyRound() {
+  // Each round is its own root trace: background repair has no client
+  // operation to hang off, but its fan-out is still worth reconstructing.
+  TraceContext round;
+  if (tracer_ != nullptr) {
+    round = tracer_->StartTrace("anti_entropy.round", static_cast<int>(id_),
+                                sim_->Now());
+  }
+  Tracer::Scope scope(tracer_, round);
   for (ServerId peer = 0; peer < static_cast<ServerId>(config_->num_servers);
        ++peer) {
     if (peer == id_) continue;
@@ -1055,6 +1090,7 @@ void Server::RunAntiEntropyRound() {
       SyncTableWithPeer(table, peer);
     }
   }
+  if (round) tracer_->EndSpan(round, sim_->Now());
 }
 
 // ---------------------------------------------------------------------------
@@ -1141,7 +1177,17 @@ void Server::StoreHint(ServerId target, const std::string& table,
     queue.pop_front();  // oldest first; anti-entropy is the backstop
     metrics_->hints_dropped++;
   }
-  queue.push_back(Hint{table, key, cells});
+  Hint hint{table, key, cells, {}};
+  if (tracer_ != nullptr) {
+    hint.trace = tracer_->current();
+    if (hint.trace) {
+      TraceContext span = tracer_->StartSpan(
+          hint.trace, "hint.stored", static_cast<int>(id_), sim_->Now());
+      tracer_->Annotate(span, "target=" + std::to_string(target));
+      tracer_->EndSpan(span, sim_->Now());
+    }
+  }
+  queue.push_back(std::move(hint));
   metrics_->hints_stored++;
 }
 
@@ -1168,6 +1214,17 @@ void Server::ReplayHints() {
     auto batch =
         std::make_shared<std::vector<Hint>>(queue.begin(), queue.end());
     const std::size_t count = batch->size();
+    if (tracer_ != nullptr) {
+      // Instant markers tie each originating write's trace to the replay
+      // attempt that finally delivers it.
+      for (const Hint& hint : *batch) {
+        if (!hint.trace) continue;
+        TraceContext span = tracer_->StartSpan(
+            hint.trace, "hint.replay", static_cast<int>(id_), sim_->Now());
+        tracer_->Annotate(span, "target=" + std::to_string(target));
+        tracer_->EndSpan(span, sim_->Now());
+      }
+    }
     const ServerId target_id = target;
     const SimTime service =
         config_->perf.write_local * static_cast<SimTime>(count);

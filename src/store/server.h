@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "index/local_index.h"
 #include "sim/network.h"
@@ -42,7 +43,7 @@ class Server {
  public:
   Server(ServerId id, sim::Simulation* sim, sim::Network* network,
          const Schema* schema, const Ring* ring, const ClusterConfig* config,
-         Metrics* metrics);
+         Metrics* metrics, Tracer* tracer = nullptr);
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -54,6 +55,8 @@ class Server {
   const Ring& ring() const { return *ring_; }
   const ClusterConfig& config() const { return *config_; }
   Metrics* metrics() const { return metrics_; }
+  /// The cluster's trace recorder (null in bare standalone construction).
+  Tracer* tracer() const { return tracer_; }
 
   /// Installed by the Cluster after construction; may be null (no views).
   void set_view_hook(ViewMaintenanceHook* hook) { view_hook_ = hook; }
@@ -228,6 +231,9 @@ class Server {
     std::string table;
     Key key;
     storage::Row cells;
+    /// Context of the write that spawned the hint; replay records a marker
+    /// span under it, so a trace shows how a missed write eventually landed.
+    TraceContext trace;
   };
 
   /// Hints currently queued for `target` (introspection for tests).
@@ -299,6 +305,7 @@ class Server {
   const Ring* ring_;
   const ClusterConfig* config_;
   Metrics* metrics_;
+  Tracer* tracer_ = nullptr;
   ViewMaintenanceHook* view_hook_ = nullptr;
   const std::vector<Server*>* peers_ = nullptr;
 

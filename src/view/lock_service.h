@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "sim/network.h"
 #include "sim/simulation.h"
 
@@ -73,9 +74,7 @@ class LockService {
 
   /// Optional external counter (store::Metrics::locks_expired) bumped on
   /// every lease expiry.
-  void set_expired_counter(std::uint64_t* counter) {
-    expired_counter_ = counter;
-  }
+  void set_expired_counter(Counter* counter) { expired_counter_ = counter; }
 
   SimTime lease_ttl() const { return lease_ttl_; }
 
@@ -129,7 +128,7 @@ class LockService {
   std::uint64_t waits_ = 0;
   std::uint64_t expirations_ = 0;
   std::uint64_t next_hold_id_ = 0;
-  std::uint64_t* expired_counter_ = nullptr;
+  Counter* expired_counter_ = nullptr;
 };
 
 }  // namespace mvstore::view

@@ -117,6 +117,17 @@ void MaintenanceEngine::OnBasePutCommitted(
     task->session = session;
     task->origin = coordinator->id();
     task->created_at = cluster_->simulation().Now();
+    // The task's lifetime span hangs off the Put's trace (we run inside the
+    // collection continuation, which the coordinator scoped to the Put's
+    // operation context). It stays open across dispatch delays and retries
+    // until the task completes, is abandoned, or is orphaned.
+    {
+      Tracer& tracer = cluster_->tracer();
+      task->trace = tracer.StartSpan(tracer.current(),
+                                     "view.propagate " + view->name,
+                                     static_cast<int>(task->origin),
+                                     task->created_at);
+    }
 
     sessions_[task->origin]->PropagationStarted(session, view->name);
     cluster_->metrics().propagations_started++;
@@ -180,6 +191,7 @@ void MaintenanceEngine::RefreshGuesses(std::shared_ptr<PropagationTask> task,
                                        std::function<void()> then) {
   // Read from the executing server (== the origin except in dedicated-
   // propagator mode, where a handed-off task outlives its origin).
+  Tracer::Scope scope(&cluster_->tracer(), task->trace);
   store::Server& origin = cluster_->server(ExecutorOf(*task));
   origin.CoordinateRead(
       task->view->base_table, task->base_key,
@@ -275,6 +287,7 @@ void MaintenanceEngine::TaskCompleted(
   cluster_->metrics().propagations_completed++;
   cluster_->metrics().propagation_delay.Record(
       cluster_->simulation().Now() - task->created_at);
+  cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
   --active_;
   UnregisterTask(task);
   NotifyOrigin(task);
@@ -293,6 +306,10 @@ void MaintenanceEngine::TaskAbandoned(
                          << " guess attempts (+" << task->infra_failures
                          << " infra retries); " << n
                          << " abandoned so far (view scrub/repair recovers)";
+  }
+  if (task->trace) {
+    cluster_->tracer().Annotate(task->trace, "abandoned");
+    cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
   }
   --active_;
   UnregisterTask(task);
@@ -333,6 +350,10 @@ void MaintenanceEngine::OrphanTask(
   if (task->orphaned) return;
   task->orphaned = true;
   cluster_->metrics().propagations_orphaned++;
+  if (task->trace) {
+    cluster_->tracer().Annotate(task->trace, "orphaned by crash");
+    cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
+  }
   --active_;
   UnregisterTask(task);
   if (task->parked) {
@@ -434,6 +455,9 @@ void MaintenanceEngine::RunUnsynchronized(
     std::shared_ptr<PropagationTask> task) {
   if (task->orphaned) return;
   store::Server* executor = &cluster_->server(task->origin);
+  // Attempts run under the task's span (dispatch arrived via a bare timer,
+  // which carries no ambient context).
+  Tracer::Scope scope(&cluster_->tracer(), task->trace);
   Propagation::Run(executor, task, CurrentGuess(*task),
                    [this, task](Status status) {
                      OnAttemptDone(task, std::move(status),
@@ -458,17 +482,29 @@ void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
   const LockMode mode = task->view_key_update.has_value()
                             ? LockMode::kExclusive
                             : LockMode::kShared;
+  Tracer::Scope scope(&cluster_->tracer(), task->trace);
+  TraceContext lock_wait;
   if (!locks_.WouldGrantImmediately(resource, mode)) {
     cluster_->metrics().lock_waits++;
+    // The wait span runs from the acquire request to the grant, making the
+    // time spent queued behind a rival propagation visible in the trace.
+    lock_wait = cluster_->tracer().StartSpan(
+        task->trace, "view.lock_wait", static_cast<int>(executor->id()),
+        cluster_->simulation().Now());
   }
   locks_.Acquire(
-      executor->id(), resource, mode, [this, task, executor, resource, mode] {
+      executor->id(), resource, mode,
+      [this, task, executor, resource, mode, lock_wait] {
+        if (lock_wait) {
+          cluster_->tracer().EndSpan(lock_wait, cluster_->simulation().Now());
+        }
         if (task->orphaned) {
           // The grant reached a crashed requester: the dead process cannot
           // release, so the hold stays registered at the service until its
           // lease expires (counted in Metrics::locks_expired).
           return;
         }
+        Tracer::Scope attempt_scope(&cluster_->tracer(), task->trace);
         Propagation::Run(
             executor, task, CurrentGuess(*task),
             [this, task, executor, resource, mode](Status status) {
@@ -516,7 +552,9 @@ void MaintenanceEngine::EnqueueOnPropagator(
     enqueue();
     return;
   }
-  // Hand the task over the network (no-op hop when origin == propagator).
+  // Hand the task over the network (no-op hop when origin == propagator),
+  // under the task's span so the handoff hop shows up in its trace.
+  Tracer::Scope scope(&cluster_->tracer(), task->trace);
   cluster_->network().Send(task->origin, propagator, std::move(enqueue));
 }
 
@@ -536,6 +574,9 @@ void MaintenanceEngine::PumpRowQueue(ServerId propagator,
   std::shared_ptr<PropagationTask> task = queue.tasks.front();
   queue.tasks.pop_front();
   store::Server* executor = &cluster_->server(propagator);
+  // The pump may be running under the PREVIOUS task's delivery context;
+  // re-enter the dequeued task's own span.
+  Tracer::Scope scope(&cluster_->tracer(), task->trace);
   Propagation::Run(
       executor, task, CurrentGuess(*task),
       [this, task, propagator, resource](Status status) {
@@ -574,10 +615,22 @@ void MaintenanceEngine::HandleViewGet(
   if (cluster_->config().session_guarantees && session != 0 &&
       sessions.MustDefer(session, view.name)) {
     cluster_->metrics().view_get_deferrals++;
+    // The deferred continuation fires from PropagationFinished, under
+    // whatever context THAT runs in — capture this read's context explicitly
+    // and span the blocked interval (Definition 4's wait, Figure 7).
+    Tracer& tracer = cluster_->tracer();
+    const TraceContext ctx = tracer.current();
+    const TraceContext defer =
+        tracer.StartSpan(ctx, "view.session_defer",
+                         static_cast<int>(coordinator->id()),
+                         cluster_->simulation().Now());
     sessions.Defer(session, view.name,
-                   [this, coordinator, view_def, view_key,
+                   [this, coordinator, view_def, view_key, ctx, defer,
                     columns = std::move(columns), read_quorum,
                     callback = std::move(callback)]() mutable {
+                     cluster_->tracer().EndSpan(defer,
+                                                cluster_->simulation().Now());
+                     Tracer::Scope scope(&cluster_->tracer(), ctx);
                      DoViewGet(coordinator, *view_def, view_key,
                                std::move(columns), read_quorum, /*attempt=*/0,
                                std::move(callback));
@@ -634,11 +687,21 @@ void MaintenanceEngine::DoViewGet(
         }
         if (must_spin && attempt < kMaxReadSpins) {
           cluster_->metrics().view_get_spins++;
+          // The retry crosses a bare timer; carry the context over it and
+          // span the wait so initialization spins show in the timeline.
+          Tracer& tracer = cluster_->tracer();
+          const TraceContext ctx = tracer.current();
+          const TraceContext spin =
+              tracer.StartSpan(ctx, "view.read_spin",
+                               static_cast<int>(coordinator->id()),
+                               cluster_->simulation().Now());
           cluster_->simulation().After(
               kReadSpinDelay,
-              [this, coordinator, view_def, view_key,
+              [this, coordinator, view_def, view_key, ctx, spin,
                columns = std::move(columns), read_quorum, attempt,
                callback = std::move(callback)]() mutable {
+                cluster_->tracer().EndSpan(spin, cluster_->simulation().Now());
+                Tracer::Scope scope(&cluster_->tracer(), ctx);
                 DoViewGet(coordinator, *view_def, view_key, std::move(columns),
                           read_quorum, attempt + 1, std::move(callback));
               });

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "common/types.h"
 #include "storage/cell.h"
 #include "storage/row.h"
@@ -54,6 +55,10 @@ struct PropagationTask {
   store::SessionId session = 0;
   ServerId origin = 0;       ///< coordinator that owns session bookkeeping
   SimTime created_at = 0;
+  /// Span covering this task's whole propagation lifetime, a child of the
+  /// originating Put's trace. Every attempt, lock wait, chain hop, and
+  /// propagator handoff nests beneath it.
+  TraceContext trace;
   /// Guess-rotation counter: bumped only on kAborted (guess not propagated
   /// yet), so the next attempt tries a different guess.
   int attempts = 0;
