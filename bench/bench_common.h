@@ -15,6 +15,10 @@
 //   MV_BENCH_MEASURE_SECONDS  measurement window  (default 10; paper 300)
 //   MV_BENCH_READS            fixed-count latency reads (default 2000;
 //                             paper 100k)
+//   MV_BENCH_WRITE_BATCH      write-path batching: 0/1 disables replica-
+//                             write batching AND propagation coalescing;
+//                             N>1 sets write_batch_max=N with coalescing on;
+//                             unset keeps the ClusterConfig defaults
 
 #ifndef MVSTORE_BENCH_BENCH_COMMON_H_
 #define MVSTORE_BENCH_BENCH_COMMON_H_
@@ -88,6 +92,17 @@ inline store::ClusterConfig PaperConfig(std::uint64_t seed = 42) {
   // (Section IV-F's lock service / dedicated propagators are proposals;
   // bench/ablation_propagation_mode compares all three).
   config.propagation_mode = store::PropagationMode::kUnsynchronized;
+  // Hot-path batching toggle for before/after comparisons (CI runs the
+  // fig6 smoke with this at 0 and at 4 and requires on >= off).
+  const std::int64_t batch = EnvInt("MV_BENCH_WRITE_BATCH", -1);
+  if (batch == 0 || batch == 1) {
+    config.write_batch_max = 1;
+    config.propagation_coalescing = false;
+  } else if (batch > 1) {
+    config.write_batch_max = static_cast<int>(batch);
+    config.write_batch_delay = Micros(500);
+    config.propagation_coalescing = true;
+  }
   return config;
 }
 
@@ -141,24 +156,29 @@ struct BenchCluster {
 inline void IssueRead(Scenario scenario, store::Client& client,
                       std::uint64_t rank, std::function<void(bool)> done) {
   switch (scenario) {
-    case Scenario::kBaseTable:
-      client.Get("usertable", workload::FormatKey("k", rank), {"field0"},
-                 [done](StatusOr<storage::Row> row) { done(row.ok()); });
+    case Scenario::kBaseTable: {
+      store::ReadOptions options;
+      options.columns = {"field0"};
+      client.Get("usertable", workload::FormatKey("k", rank), options,
+                 [done](store::ReadResult result) { done(result.ok()); });
       break;
+    }
     case Scenario::kSecondaryIndex:
-      client.IndexGet(
-          "usertable", "skey", workload::FormatKey("s", rank),
-          [done](StatusOr<std::vector<storage::KeyedRow>> rows) {
-            done(rows.ok() && !rows->empty());
-          });
+      client.IndexGet("usertable", "skey", workload::FormatKey("s", rank),
+                      store::ReadOptions{},
+                      [done](store::ReadResult result) {
+                        done(result.ok() && !result.rows.empty());
+                      });
       break;
-    case Scenario::kMaterializedView:
-      client.ViewGet(
-          "by_skey", workload::FormatKey("s", rank), {"field0"},
-          [done](StatusOr<std::vector<store::ViewRecord>> records) {
-            done(records.ok() && !records->empty());
-          });
+    case Scenario::kMaterializedView: {
+      store::ReadOptions options;
+      options.columns = {"field0"};
+      client.ViewGet("by_skey", workload::FormatKey("s", rank), options,
+                     [done](store::ReadResult result) {
+                       done(result.ok() && !result.records.empty());
+                     });
       break;
+    }
   }
 }
 
@@ -170,7 +190,8 @@ inline void IssueSkeyUpdate(store::Client& client, std::uint64_t rank,
                             std::function<void(bool)> done) {
   client.Put("usertable", workload::FormatKey("k", rank),
              {{"skey", workload::FormatKey("x", fresh_value, 12)}},
-             [done](Status s) { done(s.ok()); });
+             store::WriteOptions{},
+             [done](store::WriteResult result) { done(result.ok()); });
 }
 
 // --- output helpers: every bench prints a paper-shaped table ---

@@ -7,10 +7,16 @@
 // counters, and whether the view converges to the Definition-1
 // recomputation after the nemesis heals and the cluster quiesces.
 //
-//   MV_BENCH_CHAOS_SECONDS  fault-window length  (default 10)
-//   MV_BENCH_CHAOS_SEED     nemesis seed         (default 1)
-//   MV_BENCH_CHAOS_CRASHES  crash/restart cycles (default 6)
+//   MV_BENCH_CHAOS_SECONDS   fault-window length  (default 10)
+//   MV_BENCH_CHAOS_SEED      nemesis seed         (default 1)
+//   MV_BENCH_CHAOS_CRASHES   crash/restart cycles (default 6)
+//   MV_BENCH_CHAOS_HOT_KEYS  update key range     (default 256; reads stay
+//                            uniform — skewed writes collide on base rows,
+//                            exercising propagation coalescing under faults;
+//                            very narrow ranges inflate unsynchronized-mode
+//                            retry storms and run much longer)
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_common.h"
@@ -26,6 +32,8 @@ void Run() {
   const auto seconds = EnvInt("MV_BENCH_CHAOS_SECONDS", 10);
   const auto seed = static_cast<std::uint64_t>(EnvInt("MV_BENCH_CHAOS_SEED", 1));
   const auto crashes = static_cast<int>(EnvInt("MV_BENCH_CHAOS_CRASHES", 6));
+  const auto hot_keys =
+      static_cast<std::uint64_t>(EnvInt("MV_BENCH_CHAOS_HOT_KEYS", 256));
 
   store::ClusterConfig config = PaperConfig();
   config.rpc_timeout = Millis(100);
@@ -55,19 +63,22 @@ void Run() {
   Rng rng(seed * 101);
   const auto rows = static_cast<std::uint64_t>(scale.rows);
   std::uint64_t fresh = 0;
+  const std::uint64_t hot = std::min(hot_keys, rows);
   workload::ClosedLoopRunner runner(
       &bc.cluster, /*num_clients=*/8,
-      [&rng, rows, &fresh](int, store::Client& client,
-                           std::function<void(bool)> done) {
+      [&rng, rows, hot, &fresh](int, store::Client& client,
+                                std::function<void(bool)> done) {
         if (client.request_timeout() == 0) {
           client.set_request_timeout(Millis(250));
         }
-        const auto rank =
-            static_cast<std::uint64_t>(rng.UniformInt(0, rows - 1));
         if (rng.Chance(0.5)) {
+          const auto rank =
+              static_cast<std::uint64_t>(rng.UniformInt(0, rows - 1));
           IssueRead(Scenario::kMaterializedView, client, rank,
                     std::move(done));
         } else {
+          const auto rank =
+              static_cast<std::uint64_t>(rng.UniformInt(0, hot - 1));
           IssueSkeyUpdate(client, rank, rows + fresh++, std::move(done));
         }
       });
@@ -94,6 +105,16 @@ void Run() {
 
   std::printf("\nfault counters:\n");
   PrintFaultCounters(bc.cluster.metrics());
+  std::printf("  %-34s %10llu\n  %-34s %10llu\n  %-34s %10llu\n",
+              "propagations coalesced",
+              static_cast<unsigned long long>(
+                  bc.cluster.metrics().prop_batched),
+              "replica-write batches",
+              static_cast<unsigned long long>(
+                  bc.cluster.metrics().replica_write_batches),
+              "coordinator retries",
+              static_cast<unsigned long long>(
+                  bc.cluster.metrics().coordinator_retries));
 
   const store::ViewDef& view = *bc.cluster.schema().GetView("by_skey");
   auto expected = view::ComputeExpectedView(bc.cluster, view);
@@ -121,6 +142,7 @@ void Run() {
   report.Add("seed", seed);
   report.Add("horizon_seconds", seconds);
   report.Add("crash_cycles", crashes);
+  report.Add("hot_keys", static_cast<std::uint64_t>(hot));
   report.Add("rps", run.Throughput());
   report.Add("ops_ok", run.operations - run.failures);
   report.Add("ops_failed", run.failures);
@@ -135,6 +157,11 @@ void Run() {
              static_cast<std::uint64_t>(m.wal_cells_replayed));
   report.Add("propagations_orphaned",
              static_cast<std::uint64_t>(m.propagations_orphaned));
+  report.Add("prop_batched", static_cast<std::uint64_t>(m.prop_batched));
+  report.Add("replica_write_batches",
+             static_cast<std::uint64_t>(m.replica_write_batches));
+  report.Add("coordinator_retries",
+             static_cast<std::uint64_t>(m.coordinator_retries));
   report.AddRaw("metrics", m.ToJson());
   report.Write();
 }

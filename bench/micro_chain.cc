@@ -65,6 +65,46 @@ void Run() {
     report.Add(prefix + "_hops", hops);
   }
   PrintNote("sim-time grows linearly: one majority-quorum read per hop");
+
+  // Burst phase — propagation throughput when one base row takes a salvo of
+  // updates back to back. With coalescing, pending same-row tasks merge into
+  // one maintenance round instead of racing each other through GetLiveKey.
+  constexpr int kBurst = 32;
+  {
+    BenchScale scale;
+    scale.rows = 1;
+    BenchCluster bc(Scenario::kMaterializedView, scale);
+    auto client = bc.cluster.NewClient(0);
+    std::printf("\nburst: %d same-row skey updates, issued back to back\n",
+                kBurst);
+    int pending = kBurst;
+    for (int i = 0; i < kBurst; ++i) {
+      client->Put("usertable", workload::FormatKey("k", 0),
+                  {{"skey", "burst" + std::to_string(i)}},
+                  store::WriteOptions{}, [&pending](store::WriteResult result) {
+                    MVSTORE_CHECK(result.ok()) << result.status;
+                    --pending;
+                  });
+    }
+    const SimTime start = bc.cluster.Now();
+    while (pending > 0) MVSTORE_CHECK(bc.cluster.simulation().Step());
+    bc.views->Quiesce();
+    const SimTime settle = bc.cluster.Now() - start;
+    const store::Metrics& m = bc.cluster.metrics();
+    std::printf("burst settle: %.3f ms, %llu propagations coalesced, "
+                "%llu completed, %llu guess misses\n",
+                ToMillis(settle),
+                static_cast<unsigned long long>(m.prop_batched),
+                static_cast<unsigned long long>(m.propagations_completed),
+                static_cast<unsigned long long>(m.propagation_failures));
+    report.Add("burst_updates", kBurst);
+    report.Add("burst_settle_ms", ToMillis(settle));
+    report.Add("burst_prop_batched", static_cast<std::uint64_t>(m.prop_batched));
+    report.Add("burst_propagations_completed",
+               static_cast<std::uint64_t>(m.propagations_completed));
+    report.Add("burst_propagation_failures",
+               static_cast<std::uint64_t>(m.propagation_failures));
+  }
   report.Write();
 }
 

@@ -27,24 +27,38 @@ int main() {
 
   // 2. Assemble a 4-server cluster (N=3 replication) with view maintenance.
   store::ClusterConfig config;  // defaults: 4 servers, N=3, R=W=1
+  // Hot-path batching knobs (DESIGN.md §6). Replica-write batching is
+  // Nagle-style: same-destination mutations arriving while a batch is in
+  // flight ship as one network message (idle lanes send immediately);
+  // propagation coalescing (on by default) merges pending same-row view
+  // updates into one maintenance round.
+  config.write_batch_max = 4;
+  config.write_batch_delay = Micros(500);
+  config.propagation_coalescing = true;
   store::Cluster cluster(config, std::move(schema));
   view::MaintenanceEngine views(&cluster);  // installs itself as the hook
   cluster.Start();
 
   // 3. Write some users through an ordinary client (any server coordinates).
   auto client = cluster.NewClient();
-  MVSTORE_CHECK(
-      client->PutSync("users", "u1", {{"city", std::string("waterloo")},
-                                      {"plan", std::string("pro")}})
-          .ok());
-  MVSTORE_CHECK(
-      client->PutSync("users", "u2", {{"city", std::string("waterloo")},
-                                      {"plan", std::string("free")}})
-          .ok());
-  MVSTORE_CHECK(
-      client->PutSync("users", "u3", {{"city", std::string("brisbane")},
-                                      {"plan", std::string("pro")}})
-          .ok());
+  MVSTORE_CHECK(client
+                    ->PutSync("users", "u1",
+                              {{"city", std::string("waterloo")},
+                               {"plan", std::string("pro")}},
+                              store::WriteOptions{})
+                    .ok());
+  MVSTORE_CHECK(client
+                    ->PutSync("users", "u2",
+                              {{"city", std::string("waterloo")},
+                               {"plan", std::string("free")}},
+                              store::WriteOptions{})
+                    .ok());
+  MVSTORE_CHECK(client
+                    ->PutSync("users", "u3",
+                              {{"city", std::string("brisbane")},
+                               {"plan", std::string("pro")}},
+                              store::WriteOptions{})
+                    .ok());
 
   // 4. View maintenance is ASYNCHRONOUS (Section IV): wait for the update
   //    propagations to finish. (Interactive apps would either tolerate the
@@ -53,22 +67,27 @@ int main() {
 
   // 5. Read by secondary key: one cheap single-partition Get instead of a
   //    cluster-wide scan.
-  auto waterloo = client->ViewGetSync("users_by_city", "waterloo");
+  auto waterloo =
+      client->ViewGetSync("users_by_city", "waterloo", store::ReadOptions{});
   MVSTORE_CHECK(waterloo.ok());
   std::printf("users in waterloo:\n");
-  for (const store::ViewRecord& record : *waterloo) {
+  for (const store::ViewRecord& record : waterloo.records) {
     std::printf("  %s (plan=%s)\n", record.base_key.c_str(),
                 record.cells.GetValue("plan").value_or("?").c_str());
   }
 
   // 6. Update a view key: u1 moves; the view follows.
-  MVSTORE_CHECK(
-      client->PutSync("users", "u1", {{"city", std::string("brisbane")}})
-          .ok());
+  MVSTORE_CHECK(client
+                    ->PutSync("users", "u1",
+                              {{"city", std::string("brisbane")}},
+                              store::WriteOptions{})
+                    .ok());
   views.Quiesce();
-  auto brisbane = client->ViewGetSync("users_by_city", "brisbane");
+  auto brisbane =
+      client->ViewGetSync("users_by_city", "brisbane", store::ReadOptions{});
   MVSTORE_CHECK(brisbane.ok());
-  std::printf("users in brisbane after the move: %zu\n", brisbane->size());
+  std::printf("users in brisbane after the move: %zu\n",
+              brisbane.records.size());
 
   // 7. Cluster health at a glance.
   const store::Metrics& m = cluster.metrics();

@@ -28,8 +28,9 @@ bool Network::Blocked(EndpointId from, EndpointId to) const {
 }
 
 void Network::Send(EndpointId from, EndpointId to,
-                   std::function<void()> deliver) {
+                   std::function<void()> deliver, std::uint64_t payloads) {
   ++messages_sent_;
+  payloads_sent_ += payloads;
   // A hop span inherits the sender's ambient context; the span stays open
   // until delivery (a dropped message leaves it unended — visible loss).
   TraceContext hop;

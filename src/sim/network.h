@@ -53,7 +53,11 @@ class Network {
   /// incarnation while the message was in flight). Self-sends skip the wire
   /// but still go through the event queue (never synchronous), preserving
   /// the asynchrony the view-maintenance algorithms must tolerate.
-  void Send(EndpointId from, EndpointId to, std::function<void()> deliver);
+  /// `payloads` counts the logical requests the message carries (a batched
+  /// replica-write flush ships several in one envelope); it only feeds the
+  /// payloads_sent() accounting — the wire cost is still one message.
+  void Send(EndpointId from, EndpointId to, std::function<void()> deliver,
+            std::uint64_t payloads = 1);
 
   /// Cuts both directions of the (a, b) link until RestoreLink. Messages in
   /// flight across the link when it is cut are lost.
@@ -91,6 +95,10 @@ class Network {
 
   std::uint64_t messages_sent() const { return messages_sent_; }
   std::uint64_t messages_dropped() const { return messages_dropped_; }
+  /// Logical requests carried across all messages; payloads_sent() ==
+  /// messages_sent() when no batching is in effect. The ratio is the
+  /// batching factor the coordinator achieved.
+  std::uint64_t payloads_sent() const { return payloads_sent_; }
 
  private:
   SimTime SampleLatency();
@@ -107,6 +115,7 @@ class Network {
   std::map<EndpointId, std::uint64_t> incarnations_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
+  std::uint64_t payloads_sent_ = 0;
 };
 
 }  // namespace mvstore::sim

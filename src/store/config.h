@@ -47,6 +47,10 @@ struct PerfModel {
   SimTime index_scan_local = Micros(600);   ///< probe the local index fragment
   SimTime view_scan_local = Micros(60);  ///< prefix-scan one view partition
   SimTime coordinator_op = Micros(12);   ///< coordinator bookkeeping/merge
+  /// Fixed receive overhead charged once per delivered peer message
+  /// (deserialization, dispatch). This is what replica-write batching saves:
+  /// a batch of k mutations costs one message_process instead of k.
+  SimTime message_process = Micros(8);
 
   // --- asynchronous view-maintenance executor (DESIGN.md substitution 2) ---
   // Delay between a base Put finishing its replica collection and the
@@ -85,6 +89,30 @@ struct ClusterConfig {
 
   /// Coordinator gives up on replicas that have not answered by then.
   SimTime rpc_timeout = Millis(250);
+
+  /// Per-replica silence handling inside a coordinator operation: a target
+  /// that has not answered within `replica_retry_timeout` is re-sent the
+  /// request (idempotent; slot dedupe absorbs duplicate replies), up to
+  /// `replica_retry_max` times, each probe backed off by another
+  /// `replica_retry_backoff`. 0 retries (or a 0 timeout) disables.
+  int replica_retry_max = 1;
+  SimTime replica_retry_timeout = Millis(100);
+  SimTime replica_retry_backoff = Millis(50);
+
+  /// Replica-write batching at the coordinator (Nagle-style, per
+  /// destination): a mutation ships immediately while its lane is idle;
+  /// while a batch is in flight, later same-destination mutations park and
+  /// flush as one network message when the batch acks, at `write_batch_max`
+  /// items, or after `write_batch_delay` at the latest (the lost-ack cap).
+  /// <= 1 disables (every mutation ships as its own message).
+  int write_batch_max = 1;
+  SimTime write_batch_delay = Micros(400);
+
+  /// Coalesce pending propagation tasks that target the same view row
+  /// family (same view + base key, same origin coordinator): the updates
+  /// merge by LWW into the earlier task and propagate in one locked
+  /// maintenance round instead of several conflicting ones.
+  bool propagation_coalescing = true;
 
   /// Period of the background replica-synchronization task; 0 disables it.
   /// Off by default: quorum paths plus read repair carry the experiments;

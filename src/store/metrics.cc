@@ -11,6 +11,9 @@ Metrics::Metrics()
       replica_writes(registry.RegisterCounter("replica_writes")),
       read_repairs(registry.RegisterCounter("read_repairs")),
       quorum_failures(registry.RegisterCounter("quorum_failures")),
+      coordinator_retries(registry.RegisterCounter("coordinator_retries")),
+      replica_write_batches(
+          registry.RegisterCounter("replica_write_batches")),
       anti_entropy_rows_pushed(
           registry.RegisterCounter("anti_entropy_rows_pushed")),
       anti_entropy_digest_exchanges(
@@ -33,6 +36,7 @@ Metrics::Metrics()
       lock_waits(registry.RegisterCounter("lock_waits")),
       propagations_abandoned(
           registry.RegisterCounter("propagations_abandoned")),
+      prop_batched(registry.RegisterCounter("prop_batched")),
       view_get_deferrals(registry.RegisterCounter("view_get_deferrals")),
       view_get_spins(registry.RegisterCounter("view_get_spins")),
       stale_rows_filtered(registry.RegisterCounter("stale_rows_filtered")),
@@ -52,6 +56,7 @@ Metrics::Metrics()
       propagation_delay(registry.RegisterHistogram("propagation_delay")),
       stage_queue_wait(registry.RegisterHistogram("stage_queue_wait")),
       stage_service(registry.RegisterHistogram("stage_service")),
-      stage_network(registry.RegisterHistogram("stage_network")) {}
+      stage_network(registry.RegisterHistogram("stage_network")),
+      stage_batch_flush(registry.RegisterHistogram("stage_batch_flush")) {}
 
 }  // namespace mvstore::store

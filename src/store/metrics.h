@@ -40,6 +40,8 @@ struct Metrics {
   Counter& replica_writes;
   Counter& read_repairs;
   Counter& quorum_failures;
+  Counter& coordinator_retries;  ///< silent-replica re-sends inside an op
+  Counter& replica_write_batches;  ///< batched replica-write flushes shipped
   Counter& anti_entropy_rows_pushed;
   Counter& anti_entropy_digest_exchanges;
   Counter& anti_entropy_buckets_synced;
@@ -60,6 +62,7 @@ struct Metrics {
   Counter& chain_hops;             ///< Next-pointer follows
   Counter& lock_waits;
   Counter& propagations_abandoned; ///< retry budget exhausted
+  Counter& prop_batched;           ///< tasks coalesced into an earlier round
   Counter& view_get_deferrals;     ///< session guarantee blocks
   Counter& view_get_spins;         ///< waits on initializing rows
   Counter& stale_rows_filtered;    ///< non-live rows skipped by reads
@@ -87,6 +90,7 @@ struct Metrics {
   Histogram& stage_queue_wait;
   Histogram& stage_service;
   Histogram& stage_network;
+  Histogram& stage_batch_flush;  ///< wait inside a replica-write batch
 
   MetricsSnapshot Snapshot() const { return registry.Snapshot(); }
   std::string ToJson() const { return registry.ToJson(); }

@@ -1,0 +1,158 @@
+#include "store/quorum_op.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "store/server.h"
+
+namespace mvstore::store {
+
+template <typename Response>
+QuorumOp<Response>::QuorumOp(Server* coord, Spec spec)
+    : coord_(coord), spec_(std::move(spec)) {
+  responses_.resize(spec_.targets.size());
+}
+
+template <typename Response>
+typename QuorumOp<Response>::Ptr QuorumOp<Response>::Start(Server* coord,
+                                                           Spec spec) {
+  MVSTORE_CHECK(spec.on_quorum && spec.on_error)
+      << "quorum op '" << spec.name << "' missing a reply policy";
+  MVSTORE_CHECK_LE(spec.quorum, static_cast<int>(spec.targets.size()));
+  Ptr op(new QuorumOp<Response>(coord, std::move(spec)));
+  op->Launch();
+  return op;
+}
+
+template <typename Response>
+void QuorumOp<Response>::Launch() {
+  Tracer* tracer = coord_->tracer();
+  if (tracer != nullptr && tracer->current()) {
+    trace_ = tracer->StartSpan(tracer->current(), "quorum." + spec_.name,
+                               static_cast<int>(coord_->id()),
+                               coord_->simulation()->Now());
+  }
+  auto self = this->shared_from_this();
+  op_id_ = coord_->RegisterInflightOp([self] { self->Abort(); });
+  // Fan out under the op's span so every request hop nests beneath it.
+  Tracer::Scope scope(tracer, trace_);
+  for (std::size_t i = 0; i < spec_.targets.size(); ++i) {
+    SendTo(i);
+    ArmReplicaRetry(i, /*attempt=*/1);
+  }
+  timeout_ = coord_->simulation()->AfterCancelable(
+      coord_->config().rpc_timeout, [self] { self->Finalize(); });
+}
+
+template <typename Response>
+void QuorumOp<Response>::SendTo(std::size_t slot) {
+  auto self = this->shared_from_this();
+  auto on_reply = [self, slot](Response response) {
+    self->OnResponse(slot, std::move(response));
+  };
+  if (spec_.send) {
+    spec_.send(*coord_, spec_.targets[slot], std::move(on_reply));
+    return;
+  }
+  coord_->CallPeer<Response>(spec_.targets[slot], spec_.service,
+                             spec_.request, std::move(on_reply));
+}
+
+template <typename Response>
+void QuorumOp<Response>::ArmReplicaRetry(std::size_t slot, int attempt) {
+  const ClusterConfig& config = coord_->config();
+  if (attempt > config.replica_retry_max || config.replica_retry_timeout <= 0) {
+    return;
+  }
+  const SimTime silence =
+      config.replica_retry_timeout +
+      config.replica_retry_backoff * static_cast<SimTime>(attempt - 1);
+  auto self = this->shared_from_this();
+  coord_->simulation()->After(silence, [self, slot, attempt] {
+    if (self->finalized_ || self->responses_[slot]) return;
+    // The target has been silent past the retry window: re-send (the
+    // request is idempotent — LWW applies absorb duplicates and the slot
+    // dedupe below absorbs a duplicate reply) and back off the next probe.
+    self->coord_->metrics()->coordinator_retries++;
+    if (self->trace_) {
+      self->coord_->tracer()->Annotate(
+          self->trace_, "retry #" + std::to_string(attempt) + " -> " +
+                            std::to_string(self->spec_.targets[slot]));
+    }
+    Tracer::Scope scope(self->coord_->tracer(), self->trace_);
+    self->SendTo(slot);
+    self->ArmReplicaRetry(slot, attempt + 1);
+  });
+}
+
+template <typename Response>
+void QuorumOp<Response>::OnResponse(std::size_t slot, Response response) {
+  if (finalized_) return;
+  if (responses_[slot]) return;  // duplicate reply for this slot
+  responses_[slot] = std::move(response);
+  ++num_responses_;
+  if (!replied_ && num_responses_ >= spec_.quorum) {
+    replied_ = true;
+    spec_.on_quorum(*this);
+  }
+  if (num_responses_ == static_cast<int>(spec_.targets.size())) Finalize();
+}
+
+template <typename Response>
+void QuorumOp<Response>::Finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  coord_->DeregisterInflightOp(op_id_);
+  timeout_.Cancel();
+  Tracer::Scope scope(coord_->tracer(), trace_);
+  if (!replied_) {
+    replied_ = true;
+    coord_->metrics()->quorum_failures++;
+    spec_.on_error(*this, Status::Unavailable(spec_.quorum_error));
+  }
+  Settle(/*aborted=*/false);
+  if (trace_) {
+    coord_->tracer()->EndSpan(trace_, coord_->simulation()->Now());
+  }
+}
+
+template <typename Response>
+void QuorumOp<Response>::Abort() {
+  if (finalized_) return;
+  finalized_ = true;
+  timeout_.Cancel();
+  Tracer::Scope scope(coord_->tracer(), trace_);
+  if (!replied_) {
+    replied_ = true;
+    spec_.on_error(*this, Status::Unavailable("coordinator crashed"));
+  }
+  Settle(/*aborted=*/true);
+  if (trace_) {
+    coord_->tracer()->Annotate(trace_, "aborted by crash");
+    coord_->tracer()->EndSpan(trace_, coord_->simulation()->Now());
+  }
+}
+
+template <typename Response>
+void QuorumOp<Response>::Settle(bool aborted) {
+  // Hinted handoff: every target that never answered gets a hint at this
+  // coordinator, replayed until it acks (the write may or may not have
+  // landed; re-applying is idempotent under LWW). A crashed coordinator
+  // stores none — its hints would die with the process anyway.
+  if (!aborted && !spec_.hint_table.empty() &&
+      coord_->config().hint_replay_interval > 0) {
+    for (std::size_t i = 0; i < spec_.targets.size(); ++i) {
+      if (!responses_[i]) {
+        coord_->StoreHint(spec_.targets[i], spec_.hint_table, spec_.hint_key,
+                          spec_.hint_cells);
+      }
+    }
+  }
+  if (spec_.on_settled) spec_.on_settled(*this, aborted);
+}
+
+template class QuorumOp<storage::Row>;
+template class QuorumOp<bool>;
+template class QuorumOp<std::vector<storage::KeyedRow>>;
+
+}  // namespace mvstore::store

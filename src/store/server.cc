@@ -7,8 +7,37 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "store/codec.h"
+#include "store/quorum_op.h"
 
 namespace mvstore::store {
+
+namespace {
+
+/// LWW merge of every answered slot's row.
+storage::Row MergeRowResponses(
+    const std::vector<std::optional<storage::Row>>& responses) {
+  storage::Row merged;
+  for (const auto& row : responses) {
+    if (row) merged.MergeFrom(*row);
+  }
+  return merged;
+}
+
+/// LWW merge of every answered slot's scan result, keyed by row.
+std::map<Key, storage::Row> MergeScanResponses(
+    const std::vector<std::optional<std::vector<storage::KeyedRow>>>&
+        responses) {
+  std::map<Key, storage::Row> merged;
+  for (const auto& response : responses) {
+    if (!response) continue;
+    for (const auto& kr : *response) {
+      merged[kr.key].MergeFrom(kr.row);
+    }
+  }
+  return merged;
+}
+
+}  // namespace
 
 Server::Server(ServerId id, sim::Simulation* sim, sim::Network* network,
                const Schema* schema, const Ring* ring,
@@ -151,212 +180,67 @@ std::vector<storage::KeyedRow> Server::LocalIndexProbe(
 }
 
 // ---------------------------------------------------------------------------
-// Quorum read.
+// Quorum read: a QuorumOp policy. The merge rule is LWW across the answered
+// slots; settlement pushes read repair to stale responders (never on abort —
+// a dead process cannot push repairs) and hands every reachable replica's
+// raw response to `collect_all` (Algorithm 1's version collection).
 // ---------------------------------------------------------------------------
-
-struct Server::ReadOp {
-  Server* coord;
-  std::string table;
-  Key key;
-  std::vector<ColumnName> columns;
-  int quorum;
-  std::vector<ServerId> replicas;
-  std::vector<std::optional<storage::Row>> responses;
-  int num_responses = 0;
-  bool replied = false;
-  bool finalized = false;
-  std::function<void(StatusOr<storage::Row>)> callback;
-  std::function<void(std::vector<storage::Row>)> collect_all;
-  sim::EventHandle timeout;
-  std::uint64_t op_id = 0;
-  /// Ambient context at op creation; finalization re-enters it so read
-  /// repair and the collect_all continuation stay on the op's trace even
-  /// when triggered by the (context-free) rpc timeout.
-  TraceContext trace;
-
-  storage::Row MergedSoFar() const {
-    storage::Row merged;
-    for (const auto& row : responses) {
-      if (row) merged.MergeFrom(*row);
-    }
-    return merged;
-  }
-
-  void OnReply(std::size_t slot, storage::Row row) {
-    if (finalized) return;
-    if (responses[slot]) return;  // duplicate
-    responses[slot] = std::move(row);
-    ++num_responses;
-    if (!replied && num_responses >= quorum) {
-      replied = true;
-      callback(MergedSoFar());
-    }
-    if (num_responses == static_cast<int>(replicas.size())) Finalize();
-  }
-
-  /// Crash-stop: the coordinator process died mid-operation. Fire the
-  /// outstanding callbacks with errors/partials (internal callers need them
-  /// to stay live; client-facing callbacks are incarnation-guarded and get
-  /// dropped) but perform NO side effects — a dead process cannot push read
-  /// repairs.
-  void Abort() {
-    if (finalized) return;
-    finalized = true;
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      callback(Status::Unavailable("coordinator crashed"));
-    }
-    if (collect_all) {
-      std::vector<storage::Row> collected;
-      for (auto& row : responses) {
-        if (row) collected.push_back(*std::move(row));
-      }
-      collect_all(std::move(collected));
-    }
-  }
-
-  void Finalize() {
-    if (finalized) return;
-    finalized = true;
-    coord->DeregisterInflightOp(op_id);
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      coord->metrics_->quorum_failures++;
-      callback(Status::Unavailable("read quorum not reached"));
-    }
-    // Read repair: push the merged image to every replica that answered
-    // with something older.
-    storage::Row merged = MergedSoFar();
-    if (!merged.empty()) {
-      for (std::size_t i = 0; i < replicas.size(); ++i) {
-        if (responses[i] && !(*responses[i] == merged)) {
-          coord->metrics_->read_repairs++;
-          std::string t = table;
-          Key k = key;
-          storage::Row m = merged;
-          coord->CallPeer<bool>(
-              replicas[i], coord->config_->perf.write_local,
-              [t = std::move(t), k = std::move(k),
-               m = std::move(m)](Server& s) {
-                s.LocalApply(t, k, m);
-                return true;
-              },
-              [](bool) {});
-        }
-      }
-    }
-    if (collect_all) {
-      std::vector<storage::Row> collected;
-      for (auto& row : responses) {
-        if (row) collected.push_back(*std::move(row));
-      }
-      collect_all(std::move(collected));
-    }
-  }
-};
 
 void Server::CoordinateRead(
     const std::string& table, const Key& key, std::vector<ColumnName> columns,
     int read_quorum, std::function<void(StatusOr<storage::Row>)> callback,
     std::function<void(std::vector<storage::Row>)> collect_all) {
-  auto op = std::make_shared<ReadOp>();
-  op->coord = this;
-  op->table = table;
-  op->key = key;
-  op->columns = std::move(columns);
-  op->quorum = read_quorum;
-  op->replicas = ReplicasOf(table, key);
-  op->responses.resize(op->replicas.size());
-  op->callback = std::move(callback);
-  op->collect_all = std::move(collect_all);
-  if (tracer_ != nullptr) op->trace = tracer_->current();
-  op->op_id = RegisterInflightOp([op] { op->Abort(); });
-  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
-
-  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
-    CallPeer<storage::Row>(
-        op->replicas[i], config_->perf.read_local,
-        [table = op->table, key = op->key, columns = op->columns](Server& s) {
-          return s.LocalRead(table, key, columns);
-        },
-        [op, i](storage::Row row) { op->OnReply(i, std::move(row)); });
-  }
-  op->timeout =
-      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
-}
-
-// ---------------------------------------------------------------------------
-// Quorum write.
-// ---------------------------------------------------------------------------
-
-struct Server::WriteOp {
-  Server* coord;
-  std::string table;
-  Key key;
-  storage::Row cells;
-  int quorum;
-  std::vector<ServerId> replicas;
-  std::vector<bool> acked;
-  int acks = 0;
-  bool replied = false;
-  bool finalized = false;
-  std::function<void(Status)> callback;
-  sim::EventHandle timeout;
-  std::uint64_t op_id = 0;
-  TraceContext trace;
-
-  void OnAck(std::size_t slot) {
-    if (finalized) return;
-    if (acked[slot]) return;
-    acked[slot] = true;
-    ++acks;
-    if (!replied && acks >= quorum) {
-      replied = true;
-      callback(Status::OK());
-    }
-    if (acks == static_cast<int>(replicas.size())) Finalize();
-  }
-
-  /// Crash-stop: error the caller out, store no hints (they would be lost
-  /// with the crashed process anyway).
-  void Abort() {
-    if (finalized) return;
-    finalized = true;
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      callback(Status::Unavailable("coordinator crashed"));
-    }
-  }
-
-  void Finalize() {
-    if (finalized) return;
-    finalized = true;
-    coord->DeregisterInflightOp(op_id);
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      coord->metrics_->quorum_failures++;
-      callback(Status::Unavailable("write quorum not reached"));
-    }
-    // Hinted handoff: every replica that did not acknowledge in time gets a
-    // hint at this coordinator, replayed until it acks (the write may or may
-    // not have landed; re-applying is idempotent under LWW).
-    if (coord->config_->hint_replay_interval > 0) {
-      for (std::size_t i = 0; i < replicas.size(); ++i) {
-        if (!acked[i]) {
-          coord->StoreHint(replicas[i], table, key, cells);
+  using Op = QuorumOp<storage::Row>;
+  Op::Spec spec;
+  spec.name = "read";
+  spec.targets = ReplicasOf(table, key);
+  spec.quorum = read_quorum;
+  spec.service = config_->perf.read_local;
+  spec.request = [table, key, columns = std::move(columns)](Server& s) {
+    return s.LocalRead(table, key, columns);
+  };
+  spec.quorum_error = "read quorum not reached";
+  spec.on_quorum = [callback](Op& op) {
+    callback(MergeRowResponses(op.responses()));
+  };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  spec.on_settled = [table, key, collect_all = std::move(collect_all)](
+                        Op& op, bool aborted) {
+    Server& coord = op.coordinator();
+    if (!aborted) {
+      // Read repair: push the merged image to every replica that answered
+      // with something older (rides the replica-write batch when enabled).
+      storage::Row merged = MergeRowResponses(op.responses());
+      if (!merged.empty()) {
+        for (std::size_t i = 0; i < op.targets().size(); ++i) {
+          if (op.responses()[i] && !(*op.responses()[i] == merged)) {
+            coord.metrics()->read_repairs++;
+            coord.SendReplicaWrite(op.targets()[i], table, key, merged,
+                                   coord.config().perf.write_local,
+                                   [](bool) {});
+          }
         }
       }
     }
-  }
-};
+    if (collect_all) {
+      std::vector<storage::Row> collected;
+      for (const auto& row : op.responses()) {
+        if (row) collected.push_back(*row);
+      }
+      collect_all(std::move(collected));
+    }
+  };
+  Op::Start(this, std::move(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Quorum write: a QuorumOp policy shipping through the replica-write batch.
+// Hinted handoff for unacknowledged targets is the framework's doing (the
+// spec carries the hint payload).
+// ---------------------------------------------------------------------------
 
 // Per-replica service demand of applying `cells` to `table`: the base write
 // plus synchronous maintenance of each local index fragment whose column is
@@ -375,227 +259,198 @@ SimTime Server::WriteServiceFor(const std::string& table,
 void Server::CoordinateWrite(const std::string& table, const Key& key,
                              const storage::Row& cells, int write_quorum,
                              std::function<void(Status)> callback) {
-  auto op = std::make_shared<WriteOp>();
-  op->coord = this;
-  op->table = table;
-  op->key = key;
-  op->cells = cells;
-  op->quorum = write_quorum;
-  op->replicas = ReplicasOf(table, key);
-  op->acked.assign(op->replicas.size(), false);
-  op->callback = std::move(callback);
-  if (tracer_ != nullptr) op->trace = tracer_->current();
-  op->op_id = RegisterInflightOp([op] { op->Abort(); });
-  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
-
+  using Op = QuorumOp<bool>;
+  Op::Spec spec;
+  spec.name = "write";
+  spec.targets = ReplicasOf(table, key);
+  spec.quorum = write_quorum;
   const SimTime service = WriteServiceFor(table, cells);
-  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
+  spec.send = [table, key, cells, service](
+                  Server& coord, ServerId to,
+                  std::function<void(bool)> on_reply) {
+    coord.SendReplicaWrite(to, table, key, cells, service,
+                           std::move(on_reply));
+  };
+  spec.quorum_error = "write quorum not reached";
+  spec.hint_table = table;
+  spec.hint_key = key;
+  spec.hint_cells = cells;
+  spec.on_quorum = [callback](Op&) { callback(Status::OK()); };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  Op::Start(this, std::move(spec));
+}
+
+void Server::SendReplicaWrite(ServerId to, const std::string& table,
+                              const Key& key, const storage::Row& cells,
+                              SimTime service,
+                              std::function<void(bool)> on_ack) {
+  if (config_->write_batch_max <= 1) {
     CallPeer<bool>(
-        op->replicas[i], service,
+        to, service,
         [table, key, cells](Server& s) {
           s.LocalApply(table, key, cells);
           return true;
         },
-        [op, i](bool) { op->OnAck(i); });
+        std::move(on_ack));
+    return;
   }
-  op->timeout =
-      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+  ReplicaWriteLane& lane = write_lanes_[to];
+  lane.parked.push_back(PendingReplicaWrite{table, key, cells, service,
+                                            std::move(on_ack), sim_->Now()});
+  // Nagle gate: while the lane is idle the mutation ships at once (a batch
+  // of one — no latency is ever added to a solo write). Only while a batch
+  // is in flight do later mutations park, so batch size adapts to how many
+  // writes arrive per round trip.
+  if (lane.in_flight == 0 ||
+      static_cast<int>(lane.parked.size()) >= config_->write_batch_max) {
+    FlushReplicaWrites(to);
+    return;
+  }
+  if (lane.parked.size() == 1) {
+    // First mutation parked in this flight: arm the fallback flush timer so
+    // a lost ack can only stall parked writes for write_batch_delay. An
+    // earlier flush may empty the lane first, in which case the timer
+    // flushes whatever newer batch has formed by then (or nothing).
+    const std::uint64_t incarnation = incarnation_;
+    sim_->After(config_->write_batch_delay, [this, to, incarnation] {
+      if (incarnation != incarnation_ || crashed_) return;
+      FlushReplicaWrites(to);
+    });
+  }
+}
+
+void Server::FlushReplicaWrites(ServerId to) {
+  auto it = write_lanes_.find(to);
+  if (it == write_lanes_.end() || it->second.parked.empty()) return;
+  ReplicaWriteLane& lane = it->second;
+  auto batch = std::make_shared<std::vector<PendingReplicaWrite>>(
+      std::move(lane.parked));
+  lane.parked.clear();
+  ++lane.in_flight;
+  metrics_->replica_write_batches++;
+  const SimTime now = sim_->Now();
+  SimTime service = 0;
+  for (const PendingReplicaWrite& item : *batch) {
+    metrics_->stage_batch_flush.Record(now - item.enqueued_at);
+    service += item.service;
+  }
+  // Reopen the lane when the batch acks — or after rpc_timeout if the ack
+  // was lost — and ship whatever parked during the flight.
+  auto open = std::make_shared<bool>(true);
+  auto settle = [this, to, open, incarnation = incarnation_] {
+    if (!*open) return;
+    *open = false;
+    if (incarnation != incarnation_ || crashed_) return;
+    auto lt = write_lanes_.find(to);
+    if (lt == write_lanes_.end()) return;
+    if (lt->second.in_flight > 0) --lt->second.in_flight;
+    FlushReplicaWrites(to);
+  };
+  // One message, one receive overhead, the summed apply demand; the single
+  // ack fans back out to every batched mutation's op.
+  CallPeer<bool>(
+      to, service,
+      [batch](Server& s) {
+        for (const PendingReplicaWrite& item : *batch) {
+          s.LocalApply(item.table, item.key, item.cells);
+        }
+        return true;
+      },
+      [batch, settle](bool ok) {
+        for (PendingReplicaWrite& item : *batch) item.on_ack(ok);
+        settle();
+      },
+      batch->size());
+  sim_->After(config_->rpc_timeout, settle);
 }
 
 // ---------------------------------------------------------------------------
-// Combined Get-then-Put (Section IV-C).
+// Combined Get-then-Put (Section IV-C): a QuorumOp policy. Each replica
+// returns its pre-update view-key versions and applies the write in one
+// round; settlement hands the collected pre-images to Algorithm 1 (on abort
+// too — the propagation machinery needs the partials to stay live).
 // ---------------------------------------------------------------------------
-
-struct Server::ReadThenWriteOp {
-  Server* coord;
-  std::string table;
-  Key key;
-  storage::Row cells;
-  std::vector<ServerId> replicas;
-  int quorum;
-  int total;
-  std::vector<std::optional<storage::Row>> pre_images;
-  int num_responses = 0;
-  bool replied = false;
-  bool finalized = false;
-  std::function<void(Status)> callback;
-  std::function<void(std::vector<storage::Row>)> collect;
-  sim::EventHandle timeout;
-  std::uint64_t op_id = 0;
-  TraceContext trace;
-
-  void OnReply(std::size_t slot, storage::Row pre_image) {
-    if (finalized) return;
-    if (pre_images[slot]) return;
-    pre_images[slot] = std::move(pre_image);
-    ++num_responses;
-    if (!replied && num_responses >= quorum) {
-      replied = true;
-      callback(Status::OK());
-    }
-    if (num_responses == total) Finalize();
-  }
-
-  /// Crash-stop: error + partial collection, no hints.
-  void Abort() {
-    if (finalized) return;
-    finalized = true;
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      callback(Status::Unavailable("coordinator crashed"));
-    }
-    std::vector<storage::Row> collected;
-    for (auto& row : pre_images) {
-      if (row) collected.push_back(*std::move(row));
-    }
-    collect(std::move(collected));
-  }
-
-  void Finalize() {
-    if (finalized) return;
-    finalized = true;
-    coord->DeregisterInflightOp(op_id);
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      coord->metrics_->quorum_failures++;
-      callback(Status::Unavailable("write quorum not reached"));
-    }
-    if (coord->config_->hint_replay_interval > 0) {
-      for (std::size_t i = 0; i < replicas.size(); ++i) {
-        if (!pre_images[i]) {
-          coord->StoreHint(replicas[i], table, key, cells);
-        }
-      }
-    }
-    std::vector<storage::Row> collected;
-    for (auto& row : pre_images) {
-      if (row) collected.push_back(*std::move(row));
-    }
-    collect(std::move(collected));
-  }
-};
 
 void Server::CoordinateReadThenWrite(
     const std::string& table, const Key& key,
     std::vector<ColumnName> read_columns, const storage::Row& cells,
     int write_quorum, std::function<void(Status)> callback,
     std::function<void(std::vector<storage::Row>)> collect_pre_images) {
-  auto op = std::make_shared<ReadThenWriteOp>();
-  op->coord = this;
-  op->table = table;
-  op->key = key;
-  op->cells = cells;
-  op->quorum = write_quorum;
-  op->replicas = ReplicasOf(table, key);
-  const std::vector<ServerId>& replicas = op->replicas;
-  op->total = static_cast<int>(replicas.size());
-  op->pre_images.resize(replicas.size());
-  op->callback = std::move(callback);
-  op->collect = std::move(collect_pre_images);
-  if (tracer_ != nullptr) op->trace = tracer_->current();
-  op->op_id = RegisterInflightOp([op] { op->Abort(); });
-  MVSTORE_CHECK_LE(op->quorum, op->total);
-
-  const SimTime service =
-      config_->perf.read_local + WriteServiceFor(table, cells);
-  for (std::size_t i = 0; i < replicas.size(); ++i) {
-    CallPeer<storage::Row>(
-        replicas[i], service,
-        [table, key, read_columns, cells](Server& s) {
-          return s.LocalReadThenApply(table, key, read_columns, cells);
-        },
-        [op, i](storage::Row pre) { op->OnReply(i, std::move(pre)); });
-  }
-  op->timeout =
-      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+  using Op = QuorumOp<storage::Row>;
+  Op::Spec spec;
+  spec.name = "get_then_put";
+  spec.targets = ReplicasOf(table, key);
+  spec.quorum = write_quorum;
+  spec.service = config_->perf.read_local + WriteServiceFor(table, cells);
+  spec.request = [table, key, read_columns = std::move(read_columns),
+                  cells](Server& s) {
+    return s.LocalReadThenApply(table, key, read_columns, cells);
+  };
+  spec.quorum_error = "get-then-put quorum not reached";
+  spec.hint_table = table;
+  spec.hint_key = key;
+  spec.hint_cells = cells;
+  spec.on_quorum = [callback](Op&) { callback(Status::OK()); };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  spec.on_settled = [collect = std::move(collect_pre_images)](Op& op, bool) {
+    std::vector<storage::Row> collected;
+    for (const auto& row : op.responses()) {
+      if (row) collected.push_back(*row);
+    }
+    collect(std::move(collected));
+  };
+  Op::Start(this, std::move(spec));
 }
 
 // ---------------------------------------------------------------------------
-// Partition scan.
+// Partition scan: a QuorumOp policy. The merge rule is per-key LWW across
+// the answered slots; settlement performs scan-path read repair — pushing
+// every row a responding replica is missing or holds stale, batched per
+// replica. This is what heals view partitions on access (a view row's
+// replicas may have missed the propagation's third write).
 // ---------------------------------------------------------------------------
 
-struct Server::ScanOp {
-  Server* coord;
-  std::string table;
-  int quorum;
-  std::vector<ServerId> replicas;
-  std::vector<std::optional<std::vector<storage::KeyedRow>>> responses;
-  int num_responses = 0;
-  bool replied = false;
-  bool finalized = false;
-  std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
-  sim::EventHandle timeout;
-  std::uint64_t op_id = 0;
-  TraceContext trace;
-
-  std::map<Key, storage::Row> MergedSoFar() const {
-    std::map<Key, storage::Row> merged;
-    for (const auto& response : responses) {
-      if (!response) continue;
-      for (const auto& kr : *response) {
-        merged[kr.key].MergeFrom(kr.row);
-      }
-    }
-    return merged;
-  }
-
-  void Reply() {
-    replied = true;
+void Server::CoordinateScan(
+    const std::string& table, const Key& partition_prefix, int read_quorum,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  using Op = QuorumOp<std::vector<storage::KeyedRow>>;
+  Op::Spec spec;
+  spec.name = "scan";
+  spec.targets = ReplicasOf(table, partition_prefix);
+  spec.quorum = read_quorum;
+  spec.service = config_->perf.view_scan_local;
+  spec.request = [table, partition_prefix](Server& s) {
+    return s.LocalScanPrefix(table, partition_prefix);
+  };
+  spec.quorum_error = "scan quorum not reached";
+  spec.on_quorum = [callback](Op& op) {
+    std::map<Key, storage::Row> merged = MergeScanResponses(op.responses());
     std::vector<storage::KeyedRow> rows;
-    std::map<Key, storage::Row> merged = MergedSoFar();
     rows.reserve(merged.size());
     for (auto& [key, row] : merged) {
       rows.push_back(storage::KeyedRow{key, std::move(row)});
     }
     callback(std::move(rows));
-  }
-
-  void OnReply(std::size_t slot, std::vector<storage::KeyedRow> rows) {
-    if (finalized) return;
-    if (responses[slot]) return;
-    responses[slot] = std::move(rows);
-    ++num_responses;
-    if (!replied && num_responses >= quorum) Reply();
-    if (num_responses == static_cast<int>(replicas.size())) Finalize();
-  }
-
-  /// Crash-stop: error the caller out; no scan-path read repair.
-  void Abort() {
-    if (finalized) return;
-    finalized = true;
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      callback(Status::Unavailable("coordinator crashed"));
-    }
-  }
-
-  void Finalize() {
-    if (finalized) return;
-    finalized = true;
-    coord->DeregisterInflightOp(op_id);
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    if (!replied) {
-      replied = true;
-      coord->metrics_->quorum_failures++;
-      callback(Status::Unavailable("scan quorum not reached"));
-      return;
-    }
-    // Scan-path read repair: push every row a responding replica is missing
-    // or holds stale, batched per replica. This is what heals view
-    // partitions on access (a view row's replicas may have missed the
-    // propagation's third write).
-    const std::map<Key, storage::Row> merged = MergedSoFar();
-    for (std::size_t i = 0; i < replicas.size(); ++i) {
-      if (!responses[i]) continue;
+  };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  spec.on_settled = [table, read_quorum](Op& op, bool aborted) {
+    if (aborted || op.num_responses() < read_quorum) return;
+    Server& coord = op.coordinator();
+    const std::map<Key, storage::Row> merged =
+        MergeScanResponses(op.responses());
+    for (std::size_t i = 0; i < op.targets().size(); ++i) {
+      if (!op.responses()[i]) continue;
       std::map<Key, const storage::Row*> have;
-      for (const auto& kr : *responses[i]) have[kr.key] = &kr.row;
+      for (const auto& kr : *op.responses()[i]) have[kr.key] = &kr.row;
       std::vector<storage::KeyedRow> fixes;
       for (const auto& [key, row] : merged) {
         auto it = have.find(key);
@@ -604,111 +459,29 @@ struct Server::ScanOp {
         }
       }
       if (fixes.empty()) continue;
-      coord->metrics_->read_repairs += fixes.size();
-      const SimTime service =
-          coord->config_->perf.write_local *
-          static_cast<SimTime>(fixes.size());
+      coord.metrics()->read_repairs += fixes.size();
+      const std::uint64_t payloads = fixes.size();
+      const SimTime service = coord.config().perf.write_local *
+                              static_cast<SimTime>(fixes.size());
       std::string t = table;
-      coord->CallPeer<bool>(
-          replicas[i], service,
+      coord.CallPeer<bool>(
+          op.targets()[i], service,
           [t, fixes = std::move(fixes)](Server& s) {
             for (const auto& kr : fixes) s.LocalApply(t, kr.key, kr.row);
             return true;
           },
-          [](bool) {});
+          [](bool) {}, payloads);
     }
-  }
-};
-
-void Server::CoordinateScan(
-    const std::string& table, const Key& partition_prefix, int read_quorum,
-    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
-  auto op = std::make_shared<ScanOp>();
-  op->coord = this;
-  op->table = table;
-  op->quorum = read_quorum;
-  op->replicas = ReplicasOf(table, partition_prefix);
-  op->responses.resize(op->replicas.size());
-  op->callback = std::move(callback);
-  if (tracer_ != nullptr) op->trace = tracer_->current();
-  op->op_id = RegisterInflightOp([op] { op->Abort(); });
-  MVSTORE_CHECK_LE(op->quorum, static_cast<int>(op->replicas.size()));
-
-  for (std::size_t i = 0; i < op->replicas.size(); ++i) {
-    CallPeer<std::vector<storage::KeyedRow>>(
-        op->replicas[i], config_->perf.view_scan_local,
-        [table, partition_prefix](Server& s) {
-          return s.LocalScanPrefix(table, partition_prefix);
-        },
-        [op, i](std::vector<storage::KeyedRow> rows) {
-          op->OnReply(i, std::move(rows));
-        });
-  }
-  op->timeout =
-      sim_->AfterCancelable(config_->rpc_timeout, [op] { op->Finalize(); });
+  };
+  Op::Start(this, std::move(spec));
 }
 
 // ---------------------------------------------------------------------------
-// Broadcast secondary-index lookup.
+// Broadcast secondary-index lookup: a QuorumOp policy whose quorum is ALL
+// fragments (every server holds part of the index). The framework's slot
+// dedupe also closes the old hole where a replayed fragment response could
+// count twice toward completion.
 // ---------------------------------------------------------------------------
-
-struct Server::IndexScanOp {
-  Server* coord;
-  ColumnName column;
-  Value value;
-  int total;
-  int num_responses = 0;
-  bool done = false;
-  std::map<Key, storage::Row> merged;
-  std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
-  sim::EventHandle timeout;
-  std::uint64_t op_id = 0;
-  TraceContext trace;
-
-  void OnReply(std::vector<storage::KeyedRow> rows) {
-    if (done) return;
-    for (auto& kr : rows) {
-      merged[kr.key].MergeFrom(kr.row);
-    }
-    ++num_responses;
-    if (num_responses == total) Complete();
-  }
-
-  /// Crash-stop: error the caller out.
-  void Abort() {
-    if (done) return;
-    done = true;
-    timeout.Cancel();
-    callback(Status::Unavailable("coordinator crashed"));
-  }
-
-  void Complete() {
-    if (done) return;
-    done = true;
-    coord->DeregisterInflightOp(op_id);
-    timeout.Cancel();
-    Tracer::Scope scope(coord->tracer_, trace);
-    // A fragment may return keys whose globally-latest value no longer
-    // matches (its replica was stale); filter on the merged image, as
-    // Cassandra's coordinator re-checks index hits.
-    std::vector<storage::KeyedRow> rows;
-    for (auto& [key, row] : merged) {
-      auto current = row.GetValue(column);
-      if (!current || *current != value) continue;
-      rows.push_back(storage::KeyedRow{key, std::move(row)});
-    }
-    callback(std::move(rows));
-  }
-
-  void OnTimeout() {
-    if (done) return;
-    done = true;
-    coord->DeregisterInflightOp(op_id);
-    coord->metrics_->quorum_failures++;
-    Tracer::Scope scope(coord->tracer_, trace);
-    callback(Status::Unavailable("index fragments unreachable"));
-  }
-};
 
 void Server::HandleClientIndexGet(
     const std::string& table, const ColumnName& column, const Value& value,
@@ -718,29 +491,40 @@ void Server::HandleClientIndexGet(
     callback(Status::NotFound("no index on " + table + "." + column));
     return;
   }
-  auto op = std::make_shared<IndexScanOp>();
-  op->coord = this;
-  op->column = column;
-  op->value = value;
-  op->total = config_->num_servers;
-  op->callback = WrapReply(std::move(callback));
-  if (tracer_ != nullptr) op->trace = tracer_->current();
-  op->op_id = RegisterInflightOp([op] { op->Abort(); });
-
-  Enqueue(config_->perf.coordinator_op, [this, op, table, column, value] {
+  auto reply = WrapReply(std::move(callback));
+  Enqueue(config_->perf.coordinator_op, [this, table, column, value,
+                                         reply = std::move(reply)]() mutable {
+    using Op = QuorumOp<std::vector<storage::KeyedRow>>;
+    Op::Spec spec;
+    spec.name = "index_scan";
+    spec.targets.resize(static_cast<std::size_t>(config_->num_servers));
     for (ServerId s = 0; s < static_cast<ServerId>(config_->num_servers);
          ++s) {
-      CallPeer<std::vector<storage::KeyedRow>>(
-          s, config_->perf.index_scan_local,
-          [table, column, value](Server& server) {
-            return server.LocalIndexProbe(table, column, value);
-          },
-          [op](std::vector<storage::KeyedRow> rows) {
-            op->OnReply(std::move(rows));
-          });
+      spec.targets[s] = s;
     }
-    op->timeout = sim_->AfterCancelable(config_->rpc_timeout,
-                                        [op] { op->OnTimeout(); });
+    spec.quorum = config_->num_servers;
+    spec.service = config_->perf.index_scan_local;
+    spec.request = [table, column, value](Server& server) {
+      return server.LocalIndexProbe(table, column, value);
+    };
+    spec.quorum_error = "index fragments unreachable";
+    spec.on_quorum = [column, value, reply](Op& op) {
+      // A fragment may return keys whose globally-latest value no longer
+      // matches (its replica was stale); filter on the merged image, as
+      // Cassandra's coordinator re-checks index hits.
+      std::map<Key, storage::Row> merged = MergeScanResponses(op.responses());
+      std::vector<storage::KeyedRow> rows;
+      for (auto& [key, row] : merged) {
+        auto current = row.GetValue(column);
+        if (!current || *current != value) continue;
+        rows.push_back(storage::KeyedRow{key, std::move(row)});
+      }
+      reply(std::move(rows));
+    };
+    spec.on_error = [reply = std::move(reply)](Op&, const Status& status) {
+      reply(status);
+    };
+    Op::Start(this, std::move(spec));
   });
 }
 
@@ -1128,9 +912,11 @@ void Server::Crash() {
   metrics_->inflight_ops_aborted += aborts.size();
 
   // 3. Volatile state dies with the process: memtables (the commit logs and
-  //    flushed runs are durable), stored hints, and the run-queue backlog.
+  //    flushed runs are durable), stored hints, parked replica-write
+  //    batches, and the run-queue backlog.
   for (auto& [table, engine] : engines_) engine->LoseVolatileState();
   hints_.clear();
+  write_lanes_.clear();
   queue_.Reset();
 
   // 4. Disappear from the network. Bumping the incarnation (a) drops every
@@ -1225,25 +1011,34 @@ void Server::ReplayHints() {
         tracer_->EndSpan(span, sim_->Now());
       }
     }
+    // The replay is a single-target QuorumOp: it inherits the framework's
+    // silence retry, crash abort, and uniform tracing for free.
     const ServerId target_id = target;
-    const SimTime service =
-        config_->perf.write_local * static_cast<SimTime>(count);
-    CallPeer<bool>(
-        target_id, service,
-        [batch](Server& s) {
-          for (const Hint& hint : *batch) {
-            s.LocalApply(hint.table, hint.key, hint.cells);
-          }
-          return true;
-        },
-        [this, target_id, count](bool) {
-          // Acked: retire the replayed prefix (new hints may have queued
-          // behind it meanwhile).
-          std::deque<Hint>& q = hints_[target_id];
-          const std::size_t drop = std::min(count, q.size());
-          q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(drop));
-          metrics_->hints_replayed += drop;
-        });
+    using Op = QuorumOp<bool>;
+    Op::Spec spec;
+    spec.name = "hint_replay";
+    spec.targets = {target_id};
+    spec.quorum = 1;
+    spec.service = config_->perf.write_local * static_cast<SimTime>(count);
+    spec.request = [batch](Server& s) {
+      for (const Hint& hint : *batch) {
+        s.LocalApply(hint.table, hint.key, hint.cells);
+      }
+      return true;
+    };
+    spec.quorum_error = "hint replay unacknowledged";
+    spec.on_quorum = [this, target_id, count](Op&) {
+      // Acked: retire the replayed prefix (new hints may have queued
+      // behind it meanwhile).
+      std::deque<Hint>& q = hints_[target_id];
+      const std::size_t drop = std::min(count, q.size());
+      q.erase(q.begin(), q.begin() + static_cast<std::ptrdiff_t>(drop));
+      metrics_->hints_replayed += drop;
+    };
+    spec.on_error = [](Op&, const Status&) {
+      // Target still unreachable: the queue stays put for the next tick.
+    };
+    Op::Start(this, std::move(spec));
   }
 }
 

@@ -185,12 +185,15 @@ class Server {
                                                  const Value& value);
 
   /// Sends `handler` to run on peer `to` under its service queue (service
-  /// time `remote_service`); the returned value travels back and `on_reply`
-  /// runs here. Either leg may be dropped by the network.
+  /// time `remote_service`, plus the fixed per-message receive overhead);
+  /// the returned value travels back and `on_reply` runs here. Either leg
+  /// may be dropped by the network. `payloads` is the logical request count
+  /// the message carries (> 1 for a batched replica-write flush).
   template <typename Response>
   void CallPeer(ServerId to, SimTime remote_service,
                 std::function<Response(Server&)> handler,
-                std::function<void(Response)> on_reply);
+                std::function<void(Response)> on_reply,
+                std::uint64_t payloads = 1);
 
   /// Runs `fn` on this server after (queueing +) `service` time — unless the
   /// server has crashed (or crashed and restarted) in between: work queued
@@ -258,14 +261,25 @@ class Server {
       const std::string& table, ServerId peer,
       const std::vector<int>& buckets, int total_buckets) const;
 
+  /// Ships one replica mutation to `to` and acks through `on_ack`. With
+  /// `write_batch_max` > 1, batching is Nagle-style per destination: a
+  /// mutation ships immediately while the lane is idle (no added latency at
+  /// low concurrency), and parks while a batch is in flight. Parked
+  /// mutations flush as ONE network message when the in-flight batch acks,
+  /// when `write_batch_max` accumulated, or after `write_batch_delay` at
+  /// the latest. With batching off every mutation is its own message.
+  /// `service` is the per-mutation replica-side demand (batching saves the
+  /// per-message receive overhead, not the apply work).
+  void SendReplicaWrite(ServerId to, const std::string& table, const Key& key,
+                        const storage::Row& cells, SimTime service,
+                        std::function<void(bool)> on_ack);
+
  private:
   friend class Cluster;
-
-  struct ReadOp;
-  struct WriteOp;
-  struct ReadThenWriteOp;
-  struct ScanOp;
-  struct IndexScanOp;
+  /// The generic coordinator state machine drives fan-out/hints/abort via
+  /// the private registration and hint primitives below.
+  template <typename Response>
+  friend class QuorumOp;
 
   /// Wraps a reply callback so that assembling the reply charges coordinator
   /// service time (reply processing contributes to saturation under load).
@@ -298,6 +312,27 @@ class Server {
   /// Resolves the partition key used for ring placement.
   Key PartitionKeyFor(const std::string& table, const Key& key) const;
 
+  /// One parked replica mutation awaiting a batch flush.
+  struct PendingReplicaWrite {
+    std::string table;
+    Key key;
+    storage::Row cells;
+    SimTime service;
+    std::function<void(bool)> on_ack;
+    SimTime enqueued_at;
+  };
+
+  /// Per-destination batching lane: parked mutations plus the number of
+  /// shipped-but-unacknowledged batches (the Nagle gate).
+  struct ReplicaWriteLane {
+    std::vector<PendingReplicaWrite> parked;
+    int in_flight = 0;
+  };
+
+  /// Ships everything parked for `to` as one network message whose replica
+  /// service demand is the sum of the batched mutations' demands.
+  void FlushReplicaWrites(ServerId to);
+
   ServerId id_;
   sim::Simulation* sim_;
   sim::Network* network_;
@@ -313,6 +348,9 @@ class Server {
   std::map<std::string, std::unique_ptr<storage::Engine>> engines_;
   std::vector<std::unique_ptr<index::LocalIndex>> indexes_;
   std::map<ServerId, std::deque<Hint>> hints_;
+  /// Per-destination replica-write lanes (write_batch_max > 1 only);
+  /// cleared on crash — parked mutations die with the coordinator.
+  std::map<ServerId, ReplicaWriteLane> write_lanes_;
 
   bool crashed_ = false;
   std::uint64_t incarnation_ = 0;
@@ -329,27 +367,35 @@ class Server {
 template <typename Response>
 void Server::CallPeer(ServerId to, SimTime remote_service,
                       std::function<Response(Server&)> handler,
-                      std::function<void(Response)> on_reply) {
+                      std::function<void(Response)> on_reply,
+                      std::uint64_t payloads) {
   Server* self = this;
   Server* peer = (*peers_)[to];
-  network_->Send(id_, to, [peer, self, remote_service,
-                           handler = std::move(handler),
-                           on_reply = std::move(on_reply)]() mutable {
-    // Enqueue (not a bare queue submit) so work delivered to an incarnation
-    // that crashes before servicing it dies with that incarnation.
-    peer->Enqueue(
-        remote_service,
-        [peer, self, handler = std::move(handler),
-         on_reply = std::move(on_reply)]() mutable {
-          Response response = handler(*peer);
-          peer->network_->Send(
-              peer->id_, self->id_,
-              [on_reply = std::move(on_reply),
-               response = std::move(response)]() mutable {
-                on_reply(std::move(response));
-              });
-        });
-  });
+  // Receiving a message costs a fixed deserialization/dispatch overhead on
+  // top of the handler's own demand — charged per MESSAGE, which is what a
+  // batched flush amortizes across its payloads.
+  const SimTime service = config_->perf.message_process + remote_service;
+  network_->Send(
+      id_, to,
+      [peer, self, service, handler = std::move(handler),
+       on_reply = std::move(on_reply)]() mutable {
+        // Enqueue (not a bare queue submit) so work delivered to an
+        // incarnation that crashes before servicing it dies with that
+        // incarnation.
+        peer->Enqueue(
+            service,
+            [peer, self, handler = std::move(handler),
+             on_reply = std::move(on_reply)]() mutable {
+              Response response = handler(*peer);
+              peer->network_->Send(
+                  peer->id_, self->id_,
+                  [on_reply = std::move(on_reply),
+                   response = std::move(response)]() mutable {
+                    on_reply(std::move(response));
+                  });
+            });
+      },
+      payloads);
 }
 
 }  // namespace mvstore::store

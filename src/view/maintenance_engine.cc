@@ -134,6 +134,21 @@ void MaintenanceEngine::OnBasePutCommitted(
     ++active_;
     RegisterTask(task);
 
+    // Propagation coalescing: a pending same-row, same-origin task that has
+    // not started writing absorbs this update — both propagate in ONE
+    // maintenance round instead of two conflicting ones (the conflicts are
+    // exactly what Figure 8's retry storms are made of).
+    if (cluster_->config().propagation_coalescing) {
+      const std::string resource = ResourceOf(*task);
+      auto anchor = coalesce_anchor_.find(resource);
+      if (anchor != coalesce_anchor_.end() &&
+          CanAbsorb(*anchor->second, *task)) {
+        AbsorbTask(anchor->second, task);
+        continue;  // no dispatch: the task settles with its winner
+      }
+      coalesce_anchor_[resource] = task;
+    }
+
     const SimTime delay = SampleDispatchDelay();
     switch (cluster_->config().propagation_mode) {
       case store::PropagationMode::kLockService:
@@ -282,6 +297,89 @@ void MaintenanceEngine::WakeParked(const std::string& resource) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Propagation coalescing: pending same-row tasks collapse into one round.
+// ---------------------------------------------------------------------------
+
+bool MaintenanceEngine::CanAbsorb(const PropagationTask& winner,
+                                  const PropagationTask& task) const {
+  // Merging is only safe while the winner's payload is still inert: no
+  // attempt running (its quorum writes would not carry the merged cells
+  // atomically), no timed-out attempt in limbo (an infra failure may have
+  // landed partial writes derived from the pre-merge payload — those must
+  // be redone verbatim, see PropagationTask::infra_failures). The origin
+  // must match so executor placement, crash semantics, and session
+  // bookkeeping stay aligned; and a shared-lock (materialized-only) round
+  // must not silently grow a view-key update it requested no exclusive
+  // lock for.
+  return !winner.orphaned && !winner.in_attempt &&
+         winner.infra_failures == 0 && winner.origin == task.origin &&
+         (winner.view_key_update.has_value() ||
+          !task.view_key_update.has_value());
+}
+
+void MaintenanceEngine::AbsorbTask(
+    const std::shared_ptr<PropagationTask>& winner,
+    const std::shared_ptr<PropagationTask>& task) {
+  cluster_->metrics().prop_batched++;
+  // The winner's (pre-merge) view-key write is superseded below if the
+  // newcomer's is newer; either way it never reached the view, so the
+  // newcomer's pre-image of it must not become a guess to chase.
+  const std::optional<Cell> own_write = winner->view_key_update;
+  if (task->view_key_update &&
+      (!winner->view_key_update ||
+       task->view_key_update->ts > winner->view_key_update->ts)) {
+    winner->view_key_update = task->view_key_update;
+  }
+  winner->materialized_updates.MergeFrom(task->materialized_updates);
+  for (const Cell& guess : task->guesses) {
+    if (own_write && guess.ts == own_write->ts &&
+        guess.value == own_write->value &&
+        guess.tombstone == own_write->tombstone) {
+      continue;
+    }
+    const bool known = std::any_of(
+        winner->guesses.begin(), winner->guesses.end(),
+        [&guess](const Cell& g) {
+          return g.ts == guess.ts && g.value == guess.value &&
+                 g.tombstone == guess.tombstone;
+        });
+    if (!known) winner->guesses.push_back(guess);
+  }
+  // Mirror the winner's handoff state so a crash dooms or spares them
+  // together (dedicated-propagator mode).
+  task->handed_off = winner->handed_off;
+  winner->absorbed.push_back(task);
+  if (task->trace) {
+    cluster_->tracer().Annotate(
+        task->trace,
+        "coalesced into propagation #" + std::to_string(winner->id));
+  }
+}
+
+void MaintenanceEngine::FinishAbsorbed(
+    const std::shared_ptr<PropagationTask>& winner, bool completed) {
+  for (const auto& task : winner->absorbed) {
+    if (task->orphaned) continue;  // crash bookkeeping already settled it
+    if (completed) {
+      cluster_->metrics().propagations_completed++;
+      cluster_->metrics().propagation_delay.Record(
+          cluster_->simulation().Now() - task->created_at);
+      cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
+    } else {
+      cluster_->metrics().propagations_abandoned++;
+      if (task->trace) {
+        cluster_->tracer().Annotate(task->trace, "abandoned");
+        cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
+      }
+    }
+    --active_;
+    UnregisterTask(task);
+    NotifyOrigin(task);
+  }
+  winner->absorbed.clear();
+}
+
 void MaintenanceEngine::TaskCompleted(
     const std::shared_ptr<PropagationTask>& task) {
   cluster_->metrics().propagations_completed++;
@@ -291,6 +389,7 @@ void MaintenanceEngine::TaskCompleted(
   --active_;
   UnregisterTask(task);
   NotifyOrigin(task);
+  FinishAbsorbed(task, /*completed=*/true);
   WakeParked(ResourceOf(*task));
 }
 
@@ -314,6 +413,7 @@ void MaintenanceEngine::TaskAbandoned(
   --active_;
   UnregisterTask(task);
   NotifyOrigin(task);
+  FinishAbsorbed(task, /*completed=*/false);
 }
 
 // ---------------------------------------------------------------------------
@@ -343,6 +443,10 @@ void MaintenanceEngine::UnregisterTask(
   if (it != active_per_resource_.end() && --it->second <= 0) {
     active_per_resource_.erase(it);
   }
+  auto anchor = coalesce_anchor_.find(resource);
+  if (anchor != coalesce_anchor_.end() && anchor->second == task) {
+    coalesce_anchor_.erase(anchor);
+  }
 }
 
 void MaintenanceEngine::OrphanTask(
@@ -371,6 +475,10 @@ void MaintenanceEngine::OrphanTask(
   // is the crashed server, OnServerCrash resets its sessions right after.
   sessions_[task->origin]->PropagationFinished(task->session,
                                                task->view->name);
+  // Tasks absorbed into this one died with it (the flag guard above makes
+  // this idempotent against OnServerCrash orphaning them directly).
+  for (const auto& absorbed : task->absorbed) OrphanTask(absorbed);
+  task->absorbed.clear();
 }
 
 void MaintenanceEngine::OnServerCrash(store::Server* server) {
@@ -458,8 +566,10 @@ void MaintenanceEngine::RunUnsynchronized(
   // Attempts run under the task's span (dispatch arrived via a bare timer,
   // which carries no ambient context).
   Tracer::Scope scope(&cluster_->tracer(), task->trace);
+  task->in_attempt = true;
   Propagation::Run(executor, task, CurrentGuess(*task),
                    [this, task](Status status) {
+                     task->in_attempt = false;
                      OnAttemptDone(task, std::move(status),
                                    [this, task](bool done) {
                                      if (done) return;
@@ -505,9 +615,11 @@ void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
           return;
         }
         Tracer::Scope attempt_scope(&cluster_->tracer(), task->trace);
+        task->in_attempt = true;
         Propagation::Run(
             executor, task, CurrentGuess(*task),
             [this, task, executor, resource, mode](Status status) {
+              task->in_attempt = false;
               if (task->orphaned) {
                 // Crashed mid-attempt: the Release below is never sent —
                 // lease expiry reclaims the hold.
@@ -577,9 +689,11 @@ void MaintenanceEngine::PumpRowQueue(ServerId propagator,
   // The pump may be running under the PREVIOUS task's delivery context;
   // re-enter the dequeued task's own span.
   Tracer::Scope scope(&cluster_->tracer(), task->trace);
+  task->in_attempt = true;
   Propagation::Run(
       executor, task, CurrentGuess(*task),
       [this, task, propagator, resource](Status status) {
+        task->in_attempt = false;
         if (task->orphaned) {
           // Propagator crashed mid-attempt; its queues were cleared and the
           // owned-range scrub inherits this family.

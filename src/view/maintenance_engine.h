@@ -112,6 +112,21 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   void TaskAbandoned(const std::shared_ptr<PropagationTask>& task);
   void NotifyOrigin(const std::shared_ptr<PropagationTask>& task);
 
+  // --- propagation coalescing ---
+
+  /// Whether `task` may be merged into `winner` (same resource assumed):
+  /// the winner must not be writing or in write-limbo, must share the
+  /// origin, and must not need a lock upgrade from the merge.
+  bool CanAbsorb(const PropagationTask& winner,
+                 const PropagationTask& task) const;
+  /// LWW-merges `task`'s payload into `winner` and records it for
+  /// settlement when the winner finishes.
+  void AbsorbTask(const std::shared_ptr<PropagationTask>& winner,
+                  const std::shared_ptr<PropagationTask>& task);
+  /// Settles the bookkeeping of every task the winner absorbed.
+  void FinishAbsorbed(const std::shared_ptr<PropagationTask>& winner,
+                      bool completed);
+
   // --- crash-stop fault model ---
 
   /// The server a task's attempts execute on: the origin coordinator, or the
@@ -158,6 +173,9 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   /// In-flight tasks per serialization resource; the owned-range scrub skips
   /// families that propagation is still working on.
   std::map<std::string, int> active_per_resource_;
+  /// The most recently created still-pending task per resource — the merge
+  /// target for propagation coalescing. Erased when that task finishes.
+  std::map<std::string, std::shared_ptr<PropagationTask>> coalesce_anchor_;
 };
 
 }  // namespace mvstore::view

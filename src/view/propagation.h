@@ -89,6 +89,16 @@ struct PropagationTask {
   /// row family carries its sentinel anchor from birth).
   bool full_collection = false;
 
+  /// True while a Propagation attempt is executing this task — its quorum
+  /// writes may be in flight, so coalescing must not mutate the payload.
+  bool in_attempt = false;
+
+  /// Tasks coalesced into this one (same view + base key + origin): their
+  /// updates were LWW-merged into this task's payload, and their lifecycle
+  /// bookkeeping (completion metrics, session notification, trace close)
+  /// settles when this task settles.
+  std::vector<std::shared_ptr<PropagationTask>> absorbed;
+
   /// True when no replica had ever seen a view key for this row — the only
   /// situation in which propagation may create the row's first view row.
   bool AllGuessesNull() const;
