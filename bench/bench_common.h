@@ -19,6 +19,11 @@
 //                             write batching AND propagation coalescing;
 //                             N>1 sets write_batch_max=N with coalescing on;
 //                             unset keeps the ClusterConfig defaults
+//   MV_BENCH_ROW_CACHE        replica-local row cache: 0 disables it (the
+//                             exact pre-cache read path, for before/after
+//                             runs); N>0 sets row_cache_entries=N; unset
+//                             uses the bench default (65536 — large enough
+//                             to keep every bootstrap-loaded replica hot)
 
 #ifndef MVSTORE_BENCH_BENCH_COMMON_H_
 #define MVSTORE_BENCH_BENCH_COMMON_H_
@@ -102,6 +107,17 @@ inline store::ClusterConfig PaperConfig(std::uint64_t seed = 42) {
     config.write_batch_max = static_cast<int>(batch);
     config.write_batch_delay = Micros(500);
     config.propagation_coalescing = true;
+  }
+  // Replica-local row cache (ISSUE 5). On by default for benches — real
+  // deployments read hot rows from memory — with 0 restoring the exact
+  // pre-cache path for before/after comparisons (CI diffs the two).
+  const std::int64_t cache = EnvInt("MV_BENCH_ROW_CACHE", -1);
+  if (cache == 0) {
+    config.row_cache_entries = 0;
+  } else if (cache > 0) {
+    config.row_cache_entries = static_cast<std::size_t>(cache);
+  } else {
+    config.row_cache_entries = 65536;
   }
   return config;
 }

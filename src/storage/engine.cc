@@ -1,5 +1,6 @@
 #include "storage/engine.h"
 
+#include <algorithm>
 #include <map>
 
 namespace mvstore::storage {
@@ -7,12 +8,14 @@ namespace mvstore::storage {
 Engine::Engine(EngineOptions options) : options_(options) {}
 
 void Engine::Apply(const Key& key, const ColumnName& col, const Cell& cell) {
+  if (row_cache_ != nullptr) row_cache_->Invalidate(cache_tag_, key);
   AppendToLog(key, col, cell);
   memtable_.Apply(key, col, cell);
   MaybeFlushAndCompact();
 }
 
 void Engine::ApplyRow(const Key& key, const Row& row) {
+  if (row_cache_ != nullptr) row_cache_->Invalidate(cache_tag_, key);
   for (const auto& [col, cell] : row.cells()) {
     AppendToLog(key, col, cell);
   }
@@ -31,7 +34,12 @@ void Engine::AppendToLog(const Key& key, const ColumnName& col,
   log_.push_back(LogRecord{key, col, cell});
 }
 
-void Engine::LoseVolatileState() { memtable_.Clear(); }
+void Engine::LoseVolatileState() {
+  memtable_.Clear();
+  // The cache is volatile too — and entries may now be newer than the
+  // surviving durable state, so keeping them would serve phantom rows.
+  if (row_cache_ != nullptr) row_cache_->Clear();
+}
 
 std::size_t Engine::RecoverFromLog() {
   // Replay straight into the memtable: re-appending the replayed cells to
@@ -46,6 +54,9 @@ std::size_t Engine::RecoverFromLog() {
 }
 
 std::optional<Row> Engine::GetRow(const Key& key) const {
+  if (row_cache_ != nullptr) {
+    if (const Row* cached = row_cache_->Get(cache_tag_, key)) return *cached;
+  }
   Row merged;
   bool found = false;
   for (const auto& run : runs_) {
@@ -59,11 +70,20 @@ std::optional<Row> Engine::GetRow(const Key& key) const {
     found = true;
   }
   if (!found) return std::nullopt;
+  if (row_cache_ != nullptr) row_cache_->Put(cache_tag_, key, merged);
   return merged;
 }
 
 std::optional<Cell> Engine::GetCell(const Key& key,
                                     const ColumnName& col) const {
+  if (row_cache_ != nullptr) {
+    // Route through the row cache: one merged-row hit answers every column
+    // of the hot row, and the merged row yields the same LWW winner as the
+    // structure-by-structure scan below.
+    auto row = GetRow(key);
+    if (!row) return std::nullopt;
+    return row->Get(col);
+  }
   std::optional<Cell> best;
   auto consider = [&](const Row* row) {
     if (row == nullptr) return;
@@ -112,31 +132,88 @@ void Engine::Flush() {
   log_.clear();
 }
 
-void Engine::Compact(Timestamp now) {
+GcStats Engine::Compact(Timestamp now, Timestamp purge_floor) {
+  GcStats stats;
   // Flush first so no structure outside the merge can hold cells older than
   // a purged tombstone (which would resurrect deleted data).
   Flush();
-  if (runs_.empty()) return;
-  const Timestamp purge_before =
+  if (runs_.empty()) return stats;
+  const Timestamp grace_cutoff =
       now == kNullTimestamp ? kNullTimestamp : now - options_.tombstone_gc_grace;
-  auto merged = Run::Merge(runs_, purge_before);
+  // The purge floor wins when it is lower: a tombstone whose delete is still
+  // owed to some replica (a stored hint) must survive even past grace,
+  // otherwise the lagging replica's stale live cell resurrects the row.
+  const Timestamp purge_before = std::min(grace_cutoff, purge_floor);
+  auto merged = Run::Merge(runs_, purge_before, grace_cutoff, &stats);
   runs_.clear();
   if (merged->entries() > 0) runs_.push_back(std::move(merged));
   ++compactions_;
+  // Cached rows may still carry cells the merge just purged.
+  if (row_cache_ != nullptr && stats.tombstones_purged > 0) {
+    row_cache_->Clear();
+  }
+  return stats;
 }
 
 void Engine::MaybeFlushAndCompact() {
   if (memtable_.entries() >= options_.memtable_flush_entries) {
     Flush();
   }
-  if (runs_.size() > options_.max_runs) {
-    // Periodic size-tiered compaction without a clock: keep tombstones
-    // (purge only on explicit Compact(now) calls from the server's GC task).
-    auto merged = Run::Merge(runs_, kNullTimestamp);
-    runs_.clear();
-    if (merged->entries() > 0) runs_.push_back(std::move(merged));
+  while (runs_.size() > options_.max_runs && runs_.size() >= 2) {
+    // Size-tiered: merge only the tier of smallest runs (every run within 2x
+    // of the smallest, minimum two) instead of rewriting the whole store on
+    // each trigger. Tombstones are kept — purging needs a clock and happens
+    // only on explicit Compact(now) calls from the server's GC task.
+    std::vector<std::size_t> order(runs_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (runs_[a]->entries() != runs_[b]->entries()) {
+        return runs_[a]->entries() < runs_[b]->entries();
+      }
+      return a < b;  // deterministic tie-break: older run first
+    });
+    const std::size_t smallest = runs_[order[0]]->entries();
+    std::vector<bool> in_tier(runs_.size(), false);
+    std::size_t tier_size = 0;
+    for (std::size_t idx : order) {
+      if (tier_size >= 2 && runs_[idx]->entries() > 2 * smallest) break;
+      in_tier[idx] = true;
+      ++tier_size;
+    }
+    std::vector<std::shared_ptr<const Run>> tier;
+    std::vector<std::shared_ptr<const Run>> rest;
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      (in_tier[i] ? tier : rest).push_back(runs_[i]);
+    }
+    auto merged = Run::Merge(tier, kNullTimestamp);
+    runs_ = std::move(rest);
+    // The merged tier is older than any run flushed after it; since `rest`
+    // preserves relative order and the tier spans the smallest (oldest-ish)
+    // runs, prepend to keep oldest-first ordering conservative.
+    if (merged->entries() > 0) {
+      runs_.insert(runs_.begin(), std::move(merged));
+    }
     ++compactions_;
   }
+}
+
+std::vector<std::size_t> Engine::run_entry_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(runs_.size());
+  for (const auto& run : runs_) counts.push_back(run->entries());
+  return counts;
+}
+
+std::uint64_t Engine::run_fence_skips() const {
+  std::uint64_t total = 0;
+  for (const auto& run : runs_) total += run->fence_skips();
+  return total;
+}
+
+std::uint64_t Engine::run_bloom_negatives() const {
+  std::uint64_t total = 0;
+  for (const auto& run : runs_) total += run->bloom_negatives();
+  return total;
 }
 
 std::size_t Engine::ApproxEntries() const {

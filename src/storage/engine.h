@@ -20,12 +20,15 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/types.h"
 #include "storage/memtable.h"
+#include "storage/row_cache.h"
 #include "storage/run.h"
 
 namespace mvstore::storage {
@@ -55,6 +58,16 @@ class Engine {
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
+  /// Attaches a (server-owned) row cache. `tag` namespaces this engine's
+  /// entries — the cache is shared by every table of one server. GetRow
+  /// consults and populates the cache; every apply invalidates the touched
+  /// key; tombstone-purging compactions and LoseVolatileState clear it.
+  /// Never attached (the default) = the exact pre-cache code path.
+  void set_row_cache(RowCache* cache, std::string tag) {
+    row_cache_ = cache;
+    cache_tag_ = std::move(tag);
+  }
+
   /// Applies one cell write (LWW). May trigger a flush and compaction.
   void Apply(const Key& key, const ColumnName& col, const Cell& cell);
 
@@ -79,12 +92,25 @@ class Engine {
   /// Seals the memtable into a run (no-op when empty).
   void Flush();
 
-  /// Full compaction of all runs; `now` drives tombstone GC.
-  void Compact(Timestamp now);
+  /// Full compaction of all runs; `now` drives tombstone GC. Tombstones past
+  /// the grace period are still kept when they are >= `purge_floor` — the
+  /// caller passes the oldest pending-hint timestamp so an unacknowledged
+  /// delete can never be purged before every replica has seen it (the
+  /// tombstone-resurrection guard). Returns what was purged and deferred.
+  GcStats Compact(Timestamp now,
+                  Timestamp purge_floor = std::numeric_limits<Timestamp>::max());
 
   std::size_t num_runs() const { return runs_.size(); }
   std::size_t memtable_entries() const { return memtable_.entries(); }
   std::uint64_t compactions() const { return compactions_; }
+
+  /// Entry count per run, oldest first (size-tier assertions in tests).
+  std::vector<std::size_t> run_entry_counts() const;
+
+  /// Sum of fence rejections across live runs (pruning observability).
+  std::uint64_t run_fence_skips() const;
+  /// Sum of bloom rejections across live runs.
+  std::uint64_t run_bloom_negatives() const;
 
   /// Total distinct keys across structures (upper bound; pre-merge).
   std::size_t ApproxEntries() const;
@@ -118,6 +144,8 @@ class Engine {
   std::uint64_t compactions_ = 0;
   std::deque<LogRecord> log_;  // cells applied since the last flush
   std::uint64_t log_dropped_ = 0;
+  RowCache* row_cache_ = nullptr;  // not owned; nullptr = caching disabled
+  std::string cache_tag_;
 };
 
 }  // namespace mvstore::storage

@@ -12,6 +12,10 @@ Run::Run(std::vector<KeyedRow> entries)
   for (const KeyedRow& entry : entries_) {
     filter_.Add(entry.key);
   }
+  if (!entries_.empty()) {
+    min_key_ = entries_.front().key;
+    max_key_ = entries_.back().key;
+  }
 }
 
 std::shared_ptr<const Run> Run::FromSorted(std::vector<KeyedRow> entries) {
@@ -24,7 +28,8 @@ std::shared_ptr<const Run> Run::FromSorted(std::vector<KeyedRow> entries) {
 
 std::shared_ptr<const Run> Run::Merge(
     const std::vector<std::shared_ptr<const Run>>& runs,
-    Timestamp purge_tombstones_before) {
+    Timestamp purge_tombstones_before, Timestamp defer_before,
+    GcStats* stats) {
   // Simulation-scale partitions are small; a map-based merge keeps this
   // obviously correct. (A k-way heap merge would be the disk-scale choice.)
   std::map<Key, Row> merged;
@@ -38,7 +43,15 @@ std::shared_ptr<const Run> Run::Merge(
   for (auto& [key, row] : merged) {
     Row kept;
     for (const auto& [col, cell] : row.cells()) {
-      if (cell.tombstone && cell.ts < purge_tombstones_before) continue;
+      if (cell.tombstone) {
+        if (cell.ts < purge_tombstones_before) {
+          if (stats != nullptr) ++stats->tombstones_purged;
+          continue;
+        }
+        if (cell.ts < defer_before && stats != nullptr) {
+          ++stats->tombstones_deferred;
+        }
+      }
       kept.Apply(col, cell);
     }
     if (!kept.empty()) {
@@ -49,6 +62,10 @@ std::shared_ptr<const Run> Run::Merge(
 }
 
 const Row* Run::Get(const Key& key) const {
+  if (entries_.empty() || key < min_key_ || max_key_ < key) {
+    ++fence_skips_;
+    return nullptr;
+  }
   if (!filter_.MayContain(key)) {
     ++bloom_negatives_;
     return nullptr;
@@ -60,9 +77,23 @@ const Row* Run::Get(const Key& key) const {
   return &it->row;
 }
 
+bool Run::MayContainPrefix(const Key& prefix) const {
+  if (entries_.empty()) return false;
+  // Everything below the prefix range: the largest key sorts before it.
+  if (max_key_ < prefix) return false;
+  // Everything above it: the smallest key already sorts after every key that
+  // could start with the prefix.
+  if (min_key_.compare(0, prefix.size(), prefix) > 0) return false;
+  return true;
+}
+
 void Run::ScanPrefix(
     const Key& prefix,
     const std::function<void(const Key&, const Row&)>& fn) const {
+  if (!MayContainPrefix(prefix)) {
+    ++fence_skips_;
+    return;
+  }
   auto it = std::lower_bound(
       entries_.begin(), entries_.end(), prefix,
       [](const KeyedRow& e, const Key& k) { return e.key < k; });

@@ -19,6 +19,15 @@
 
 namespace mvstore::storage {
 
+/// Tombstone-GC accounting for one Merge call (compaction observability and
+/// the hint-floor purge guard, ISSUE 5).
+struct GcStats {
+  std::uint64_t tombstones_purged = 0;
+  /// Tombstones past the grace period but retained because a stored hint
+  /// proves some replica may not have seen the deletion yet.
+  std::uint64_t tombstones_deferred = 0;
+};
+
 class Run {
  public:
   /// Builds a run from pre-sorted unique-keyed entries.
@@ -27,17 +36,32 @@ class Run {
   /// Merges several runs (newest data wins cell-wise; input order is
   /// irrelevant because the cell merge is commutative). Tombstones with
   /// timestamp < `purge_tombstones_before` are dropped; rows left empty are
-  /// elided.
+  /// elided. Tombstones in [`purge_tombstones_before`, `defer_before`) are
+  /// KEPT but counted as deferred in `stats` — the caller lowered the purge
+  /// threshold below the grace cutoff to protect an unacknowledged delete
+  /// (`defer_before` <= `purge_tombstones_before` disables the accounting).
   static std::shared_ptr<const Run> Merge(
       const std::vector<std::shared_ptr<const Run>>& runs,
-      Timestamp purge_tombstones_before = kNullTimestamp);
+      Timestamp purge_tombstones_before = kNullTimestamp,
+      Timestamp defer_before = kNullTimestamp, GcStats* stats = nullptr);
 
-  /// Point lookup; consults the run's bloom filter first, so misses are
-  /// usually resolved without touching the entries.
+  /// Point lookup; checks the run's min/max key fence, then the bloom
+  /// filter, so misses are usually resolved without touching the entries.
   const Row* Get(const Key& key) const;
 
-  /// Bloom statistics (tests and microbenches).
+  /// True when `prefix` could match a key in [min_key, max_key]. Exact on
+  /// the low side (max_key < prefix) and on the high side (min_key already
+  /// sorts above every key carrying the prefix).
+  bool MayContainPrefix(const Key& prefix) const;
+
+  /// Read-pruning statistics (tests and microbenches).
   std::uint64_t bloom_negatives() const { return bloom_negatives_; }
+  /// Lookups and scans rejected by the min/max key fence alone.
+  std::uint64_t fence_skips() const { return fence_skips_; }
+
+  /// Key-range fences (empty strings for an empty run).
+  const Key& min_key() const { return min_key_; }
+  const Key& max_key() const { return max_key_; }
 
   void ScanPrefix(const Key& prefix,
                   const std::function<void(const Key&, const Row&)>& fn) const;
@@ -52,7 +76,10 @@ class Run {
 
   std::vector<KeyedRow> entries_;
   BloomFilter filter_;
+  Key min_key_;
+  Key max_key_;
   mutable std::uint64_t bloom_negatives_ = 0;
+  mutable std::uint64_t fence_skips_ = 0;
 };
 
 }  // namespace mvstore::storage

@@ -36,10 +36,8 @@ namespace mvstore::store {
 
 class Cluster;
 
-/// Client-generated timestamps live above this epoch, so that bootstrap-
-/// loaded data (whose timestamps must be below it; Cluster::BootstrapLoadRow
-/// enforces this) always loses LWW against live updates.
-inline constexpr Timestamp kClientTimestampEpoch = Seconds(1000);
+// kClientTimestampEpoch (the floor of client-generated timestamps) lives in
+// store/config.h so clock-driven server tasks can share it.
 
 /// Options shared by every read-shaped operation (Get, ViewGet, IndexGet).
 struct ReadOptions {

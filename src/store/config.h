@@ -19,6 +19,12 @@
 
 namespace mvstore::store {
 
+/// Client (wall-clock) timestamps start here so they always exceed the
+/// bootstrap timestamps used when preloading data. Clock-driven background
+/// work (tombstone GC) converts sim time into this domain the same way the
+/// client library does: kClientTimestampEpoch + Now().
+inline constexpr Timestamp kClientTimestampEpoch = Seconds(1000);
+
 /// How update propagations to the same base row are kept from interfering.
 /// Section IV-F proposes the lock service and the dedicated propagators;
 /// the paper's measured prototype used neither (its Figure 8 throughput
@@ -47,6 +53,13 @@ struct PerfModel {
   SimTime index_scan_local = Micros(600);   ///< probe the local index fragment
   SimTime view_scan_local = Micros(60);  ///< prefix-scan one view partition
   SimTime coordinator_op = Micros(12);   ///< coordinator bookkeeping/merge
+  /// Point read answered from the replica-local row cache: no memtable/run
+  /// merge, just the cache probe and a copy. Used instead of `read_local`
+  /// when the row cache holds the key at dispatch time.
+  SimTime read_cached_local = Micros(8);
+  /// One clock-driven compaction round over a server's engines (merge +
+  /// tombstone GC), charged per run merged.
+  SimTime compaction_service = Micros(250);
   /// Fixed receive overhead charged once per delivered peer message
   /// (deserialization, dispatch). This is what replica-write batching saves:
   /// a batch of k mutations costs one message_process instead of k.
@@ -130,6 +143,22 @@ struct ClusterConfig {
   /// Cap on stored hints per target server (oldest dropped beyond this;
   /// anti-entropy remains the backstop).
   std::size_t max_hints_per_target = 4096;
+
+  /// Capacity (rows) of each server's replica-local row cache shared across
+  /// its engines; 0 disables caching entirely — the cache is then never
+  /// constructed and every read takes the exact pre-cache code path, so
+  /// same-seed runs are bit-identical to a build without the feature.
+  std::size_t row_cache_entries = 0;
+
+  /// Period of each server's clock-driven compaction round (flush + merge +
+  /// tombstone GC on every engine, scheduled through the service queue at
+  /// `perf.compaction_service` per run); 0 disables (the default — engines
+  /// still size-tier inline when the run count exceeds engine.max_runs, but
+  /// never purge tombstones). The GC clock is kClientTimestampEpoch + Now(),
+  /// and the purge threshold is additionally floored at the server's oldest
+  /// pending-hint timestamp so unacknowledged deletes survive until every
+  /// replica has seen them.
+  SimTime compaction_interval = 0;
 
   /// When true, the base-table Put and the pre-update read of the view key
   /// travel as ONE message per replica (the optimization Section IV-C says

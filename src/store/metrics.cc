@@ -40,6 +40,12 @@ Metrics::Metrics()
       view_get_deferrals(registry.RegisterCounter("view_get_deferrals")),
       view_get_spins(registry.RegisterCounter("view_get_spins")),
       stale_rows_filtered(registry.RegisterCounter("stale_rows_filtered")),
+      row_cache_hits(registry.RegisterCounter("row_cache_hits")),
+      row_cache_misses(registry.RegisterCounter("row_cache_misses")),
+      compactions_run(registry.RegisterCounter("compactions_run")),
+      tombstones_purged(registry.RegisterCounter("tombstones_purged")),
+      tombstone_purge_deferred(
+          registry.RegisterCounter("tombstone_purge_deferred")),
       server_crashes(registry.RegisterCounter("server_crashes")),
       server_restarts(registry.RegisterCounter("server_restarts")),
       wal_cells_replayed(registry.RegisterCounter("wal_cells_replayed")),
@@ -57,6 +63,7 @@ Metrics::Metrics()
       stage_queue_wait(registry.RegisterHistogram("stage_queue_wait")),
       stage_service(registry.RegisterHistogram("stage_service")),
       stage_network(registry.RegisterHistogram("stage_network")),
-      stage_batch_flush(registry.RegisterHistogram("stage_batch_flush")) {}
+      stage_batch_flush(registry.RegisterHistogram("stage_batch_flush")),
+      stage_compaction(registry.RegisterHistogram("stage_compaction")) {}
 
 }  // namespace mvstore::store

@@ -67,6 +67,15 @@ struct Metrics {
   Counter& view_get_spins;         ///< waits on initializing rows
   Counter& stale_rows_filtered;    ///< non-live rows skipped by reads
 
+  // Read-path performance layer (ISSUE 5): row cache, pruning, and the
+  // clock-driven tombstone GC.
+  Counter& row_cache_hits;        ///< replica reads answered from the cache
+  Counter& row_cache_misses;      ///< cache probed but row not present
+  Counter& compactions_run;       ///< clock-driven compaction rounds executed
+  Counter& tombstones_purged;     ///< tombstone cells dropped past grace
+  Counter& tombstone_purge_deferred;  ///< kept past grace: a hint still owes
+                                      ///< the delete to some replica
+
   // Crash-stop fault model (ISSUE 1): crashes, recovery, and the state the
   // cluster salvages afterwards.
   Counter& server_crashes;
@@ -91,6 +100,7 @@ struct Metrics {
   Histogram& stage_service;
   Histogram& stage_network;
   Histogram& stage_batch_flush;  ///< wait inside a replica-write batch
+  Histogram& stage_compaction;   ///< service time of each compaction round
 
   MetricsSnapshot Snapshot() const { return registry.Snapshot(); }
   std::string ToJson() const { return registry.ToJson(); }

@@ -54,6 +54,11 @@ void QuorumOp<Response>::SendTo(std::size_t slot) {
     spec_.send(*coord_, spec_.targets[slot], std::move(on_reply));
     return;
   }
+  if (spec_.service_at) {
+    coord_->CallPeerDynamic<Response>(spec_.targets[slot], spec_.service_at,
+                                      spec_.request, std::move(on_reply));
+    return;
+  }
   coord_->CallPeer<Response>(spec_.targets[slot], spec_.service,
                              spec_.request, std::move(on_reply));
 }

@@ -1,6 +1,7 @@
 #include "store/server.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -12,6 +13,11 @@
 namespace mvstore::store {
 
 namespace {
+
+/// Salt mixed into each anti-entropy digest entry before summation, so the
+/// combiner is not the plain entry hash (defense against crafted inputs
+/// that target the entry-hash function directly).
+constexpr std::uint64_t kSyncDigestSalt = 0x9e3779b97f4a7c15ULL;
 
 /// LWW merge of every answered slot's row.
 storage::Row MergeRowResponses(
@@ -54,6 +60,13 @@ Server::Server(ServerId id, sim::Simulation* sim, sim::Network* network,
   queue_.set_tracer(tracer_, static_cast<int>(id_));
   queue_.set_stage_histograms(&metrics_->stage_queue_wait,
                               &metrics_->stage_service);
+  // Row cache off (the default) means no cache object at all: every read
+  // takes the exact pre-cache code path, keeping same-seed runs bit-identical
+  // to a build without the feature.
+  if (config_->row_cache_entries > 0) {
+    row_cache_ =
+        std::make_unique<storage::RowCache>(config_->row_cache_entries);
+  }
   // One local index fragment per index definition in the schema.
   for (const std::string& table : schema_->TableNames()) {
     for (const IndexDef& def : schema_->IndexesOn(table)) {
@@ -70,6 +83,11 @@ storage::Engine& Server::EngineFor(const std::string& table) {
              .emplace(table,
                       std::make_unique<storage::Engine>(config_->engine))
              .first;
+    if (row_cache_ != nullptr) {
+      // All of this server's engines share the one cache, namespaced by
+      // table name.
+      it->second->set_row_cache(row_cache_.get(), table);
+    }
   }
   return *it->second;
 }
@@ -88,6 +106,32 @@ std::vector<ServerId> Server::ReplicasOf(const std::string& table,
                             config_->replication_factor);
 }
 
+SimTime Server::ReadServiceFor(const std::string& table,
+                               const Key& key) const {
+  if (row_cache_ != nullptr && row_cache_->Contains(table, key)) {
+    return config_->perf.read_cached_local;
+  }
+  return config_->perf.read_local;
+}
+
+void Server::WarmRowCache(const std::string& table, const Key& key) {
+  if (row_cache_ == nullptr) return;
+  // GetRow populates the cache as a side effect when the key exists.
+  EngineFor(table).GetRow(key);
+}
+
+Timestamp Server::OldestHintTimestamp() const {
+  Timestamp oldest = std::numeric_limits<Timestamp>::max();
+  for (const auto& [target, queue] : hints_) {
+    for (const Hint& hint : queue) {
+      for (const auto& [col, cell] : hint.cells.cells()) {
+        oldest = std::min(oldest, cell.ts);
+      }
+    }
+  }
+  return oldest;
+}
+
 // ---------------------------------------------------------------------------
 // Local replica handlers.
 // ---------------------------------------------------------------------------
@@ -96,14 +140,34 @@ storage::Row Server::LocalRead(const std::string& table, const Key& key,
                                const std::vector<ColumnName>& columns) {
   metrics_->replica_reads++;
   storage::Engine& engine = EngineFor(table);
+  const std::uint64_t hits_before =
+      row_cache_ != nullptr ? row_cache_->hits() : 0;
+  const std::uint64_t misses_before =
+      row_cache_ != nullptr ? row_cache_->misses() : 0;
   storage::Row result;
   if (columns.empty()) {
     if (auto row = engine.GetRow(key)) result = *std::move(row);
-    return result;
+  } else {
+    for (const ColumnName& col : columns) {
+      if (auto cell = engine.GetCell(key, col)) {
+        result.Apply(col, *cell);
+      }
+    }
   }
-  for (const ColumnName& col : columns) {
-    if (auto cell = engine.GetCell(key, col)) {
-      result.Apply(col, *cell);
+  if (row_cache_ != nullptr) {
+    // Delta-sample the cache so per-column reads of one hot row still count
+    // as one logical probe each.
+    const std::uint64_t hit_delta = row_cache_->hits() - hits_before;
+    const std::uint64_t miss_delta = row_cache_->misses() - misses_before;
+    metrics_->row_cache_hits += hit_delta;
+    metrics_->row_cache_misses += miss_delta;
+    if (tracer_ != nullptr && tracer_->current() &&
+        (hit_delta > 0 || miss_delta > 0)) {
+      TraceContext span = tracer_->StartSpan(
+          tracer_->current(), hit_delta > 0 ? "cache.hit" : "cache.miss",
+          static_cast<int>(id_), sim_->Now());
+      tracer_->Annotate(span, table + "/" + key);
+      tracer_->EndSpan(span, sim_->Now());
     }
   }
   return result;
@@ -196,6 +260,13 @@ void Server::CoordinateRead(
   spec.targets = ReplicasOf(table, key);
   spec.quorum = read_quorum;
   spec.service = config_->perf.read_local;
+  if (config_->row_cache_entries > 0) {
+    // Resolve the demand on each replica at delivery: a cached row costs
+    // read_cached_local there instead of the full merge.
+    spec.service_at = [table, key](Server& s) {
+      return s.ReadServiceFor(table, key);
+    };
+  }
   spec.request = [table, key, columns = std::move(columns)](Server& s) {
     return s.LocalRead(table, key, columns);
   };
@@ -385,6 +456,14 @@ void Server::CoordinateReadThenWrite(
   spec.targets = ReplicasOf(table, key);
   spec.quorum = write_quorum;
   spec.service = config_->perf.read_local + WriteServiceFor(table, cells);
+  if (config_->row_cache_entries > 0) {
+    // The write half is schema-determined (identical on every server); only
+    // the read half depends on the target's cache.
+    const SimTime write_service = WriteServiceFor(table, cells);
+    spec.service_at = [table, key, write_service](Server& s) {
+      return s.ReadServiceFor(table, key) + write_service;
+    };
+  }
   spec.request = [table, key, read_columns = std::move(read_columns),
                   cells](Server& s) {
     return s.LocalReadThenApply(table, key, read_columns, cells);
@@ -759,6 +838,14 @@ void Server::ScheduleBackgroundTicks() {
       if (incarnation == incarnation_) HintReplayTick();
     });
   }
+  if (config_->compaction_interval > 0) {
+    const SimTime phase = config_->compaction_interval *
+                          static_cast<SimTime>(id_ + 1) /
+                          static_cast<SimTime>(config_->num_servers);
+    sim_->After(phase, [this, incarnation] {
+      if (incarnation == incarnation_) CompactionTick();
+    });
+  }
 }
 
 void Server::AntiEntropyTick() {
@@ -770,12 +857,55 @@ void Server::AntiEntropyTick() {
   });
 }
 
+// ---------------------------------------------------------------------------
+// Clock-driven compaction (tombstone GC in the service model).
+// ---------------------------------------------------------------------------
+
+void Server::CompactionTick() {
+  if (crashed_) return;
+  RunCompactionRound();
+  const std::uint64_t incarnation = incarnation_;
+  sim_->After(config_->compaction_interval, [this, incarnation] {
+    if (incarnation == incarnation_) CompactionTick();
+  });
+}
+
+void Server::RunCompactionRound() {
+  for (const auto& [table, engine] : engines_) {
+    storage::Engine* eng = engine.get();
+    // Demand scales with the merge width; it contends with foreground work
+    // on the same cores (the point of modelling compaction at all).
+    const SimTime demand =
+        config_->perf.compaction_service *
+        static_cast<SimTime>(std::max<std::size_t>(1, eng->num_runs()));
+    Enqueue(demand, [this, eng, demand] {
+      // Both clocks are evaluated at execution time, not scheduling time:
+      // the GC cutoff in the client-timestamp domain, and the purge floor
+      // from whatever hints are STILL pending when the merge actually runs.
+      const Timestamp now = kClientTimestampEpoch + sim_->Now();
+      const storage::GcStats stats = eng->Compact(now, OldestHintTimestamp());
+      metrics_->compactions_run++;
+      metrics_->tombstones_purged += stats.tombstones_purged;
+      metrics_->tombstone_purge_deferred += stats.tombstones_deferred;
+      metrics_->stage_compaction.Record(demand);
+    });
+  }
+}
+
 std::vector<std::uint64_t> Server::ComputeSyncDigests(const std::string& table,
                                                       ServerId peer,
                                                       int buckets) const {
   std::vector<std::uint64_t> digests(static_cast<std::size_t>(buckets), 0);
   auto it = engines_.find(table);
   if (it == engines_.end()) return digests;
+  // Sum (mod 2^64) of salted entry hashes, folded with the bucket's row
+  // count. Addition is commutative, so the digest is still set-like — but
+  // unlike the XOR combiner this used to be, it is not a GF(2) linear map:
+  // with XOR, any bucket whose entry hashes form a linearly dependent set
+  // (guaranteed once a bucket holds > 64 rows, and constructible with far
+  // fewer) could cancel to the same digest on two replicas holding
+  // DIFFERENT rows, silently skipping the bucket forever.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(buckets), 0);
   it->second->ForEach([&](const Key& key, const storage::Row& row) {
     const auto replicas = ReplicasOf(table, key);
     const bool shared =
@@ -784,9 +914,17 @@ std::vector<std::uint64_t> Server::ComputeSyncDigests(const std::string& table,
     if (!shared) return;
     const std::size_t bucket =
         Hash64(key) % static_cast<std::uint64_t>(buckets);
-    // XOR-combine so the bucket digest is set-like (order-insensitive).
-    digests[bucket] ^= HashCombine(Hash64(key), storage::RowDigest(row));
+    digests[bucket] +=
+        HashCombine(HashCombine(Hash64(key), storage::RowDigest(row)),
+                    kSyncDigestSalt);
+    ++counts[bucket];
   });
+  for (std::size_t b = 0; b < digests.size(); ++b) {
+    // Empty buckets stay 0 so a server with no engine for the table (all-zero
+    // fast path above) agrees with a peer that has the engine but no shared
+    // rows.
+    if (counts[b] > 0) digests[b] = HashCombine(digests[b], counts[b]);
+  }
   return digests;
 }
 

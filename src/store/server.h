@@ -195,6 +195,39 @@ class Server {
                 std::function<void(Response)> on_reply,
                 std::uint64_t payloads = 1);
 
+  /// CallPeer variant whose service demand is resolved ON THE PEER when the
+  /// message is delivered: `remote_service(*peer)` runs just before the
+  /// handler is queued, so the demand can depend on replica-local state the
+  /// sender cannot know (is the row cached there?).
+  template <typename Response>
+  void CallPeerDynamic(ServerId to,
+                       std::function<SimTime(Server&)> remote_service,
+                       std::function<Response(Server&)> handler,
+                       std::function<void(Response)> on_reply,
+                       std::uint64_t payloads = 1);
+
+  /// Service demand of a local point read of (table, key): the cached rate
+  /// when this server's row cache holds the key, the full rate otherwise.
+  SimTime ReadServiceFor(const std::string& table, const Key& key) const;
+
+  /// This server's row cache; null when `row_cache_entries` == 0.
+  storage::RowCache* row_cache() const { return row_cache_.get(); }
+
+  /// Populates the row cache for a bootstrap-loaded key (loading applies
+  /// rows, and applies invalidate — warming restores the "hot replica"
+  /// steady state the benches measure from). No-op without a cache.
+  void WarmRowCache(const std::string& table, const Key& key);
+
+  /// The oldest write timestamp among this server's stored hints, or
+  /// Timestamp max when none are pending. Used as the tombstone purge floor:
+  /// a tombstone at/after this instant may still be owed to some replica.
+  Timestamp OldestHintTimestamp() const;
+
+  /// One clock-driven compaction round: flush + merge + tombstone GC on
+  /// every engine, charged through the service queue. Exposed for tests;
+  /// also runs periodically when `compaction_interval` > 0.
+  void RunCompactionRound();
+
   /// Runs `fn` on this server after (queueing +) `service` time — unless the
   /// server has crashed (or crashed and restarted) in between: work queued
   /// by one process incarnation dies with it.
@@ -249,8 +282,10 @@ class Server {
   // --- anti-entropy internals (public: invoked on peers via messages) ---
 
   /// Digest of this server's rows of `table` that are co-replicated with
-  /// `peer`, bucketed by key hash. XOR-combined per bucket, so the digest is
-  /// insensitive to iteration order.
+  /// `peer`, bucketed by key hash. Per bucket: sum (mod 2^64) of salted entry
+  /// hashes folded with the row count — commutative (order-insensitive) but,
+  /// unlike an XOR fold, not a GF(2) linear map that dependent entry sets can
+  /// cancel to a false match.
   std::vector<std::uint64_t> ComputeSyncDigests(const std::string& table,
                                                 ServerId peer,
                                                 int buckets) const;
@@ -289,6 +324,7 @@ class Server {
 
   void AntiEntropyTick();
   void HintReplayTick();
+  void CompactionTick();
   void SyncTableWithPeer(const std::string& table, ServerId peer);
 
   /// (Re-)arms the periodic background ticks for the current incarnation.
@@ -345,6 +381,9 @@ class Server {
   const std::vector<Server*>* peers_ = nullptr;
 
   sim::ServiceQueue queue_;
+  /// Replica-local row cache shared by every engine of this server; null
+  /// when `row_cache_entries` == 0 (caching compiled out of the read path).
+  std::unique_ptr<storage::RowCache> row_cache_;
   std::map<std::string, std::unique_ptr<storage::Engine>> engines_;
   std::vector<std::unique_ptr<index::LocalIndex>> indexes_;
   std::map<ServerId, std::deque<Hint>> hints_;
@@ -382,6 +421,40 @@ void Server::CallPeer(ServerId to, SimTime remote_service,
         // Enqueue (not a bare queue submit) so work delivered to an
         // incarnation that crashes before servicing it dies with that
         // incarnation.
+        peer->Enqueue(
+            service,
+            [peer, self, handler = std::move(handler),
+             on_reply = std::move(on_reply)]() mutable {
+              Response response = handler(*peer);
+              peer->network_->Send(
+                  peer->id_, self->id_,
+                  [on_reply = std::move(on_reply),
+                   response = std::move(response)]() mutable {
+                    on_reply(std::move(response));
+                  });
+            });
+      },
+      payloads);
+}
+
+template <typename Response>
+void Server::CallPeerDynamic(ServerId to,
+                             std::function<SimTime(Server&)> remote_service,
+                             std::function<Response(Server&)> handler,
+                             std::function<void(Response)> on_reply,
+                             std::uint64_t payloads) {
+  Server* self = this;
+  Server* peer = (*peers_)[to];
+  network_->Send(
+      id_, to,
+      [peer, self, remote_service = std::move(remote_service),
+       handler = std::move(handler),
+       on_reply = std::move(on_reply)]() mutable {
+        // Resolved at delivery, on the receiving replica: the demand can
+        // consult peer-local state (row cache contents) that the sender and
+        // send-time cannot.
+        const SimTime service =
+            peer->config_->perf.message_process + remote_service(*peer);
         peer->Enqueue(
             service,
             [peer, self, handler = std::move(handler),

@@ -7,12 +7,18 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <bitset>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/rng.h"
 #include "sim/nemesis.h"
 #include "storage/engine.h"
@@ -341,6 +347,197 @@ TEST(CrashRecoveryTest, ChaosNemesisViewsConvergeAfterHeal) {
                 exposed[i].cells.GetValue("status"))
           << "seed " << seed << " " << expected[i].base_key;
     }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Repair/GC convergence hazards.
+// --------------------------------------------------------------------------
+
+store::Schema PlainSchema() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "t"}).ok());
+  return schema;
+}
+
+// The anti-entropy digest used to XOR per-bucket entry hashes. XOR makes the
+// bucket digest a GF(2)-linear map of the entry set: any linearly dependent
+// set of 64-bit entry hashes (guaranteed to exist once a bucket holds more
+// than 64 rows, and constructible with far fewer) cancels to zero, so a
+// replica holding exactly that row set is indistinguishable from one holding
+// NONE of the rows — the bucket never syncs and the replicas diverge forever.
+// This test constructs such a cancelling set by Gaussian elimination over
+// GF(2) and asserts the salted sum-with-count digest now tells them apart and
+// the rows actually converge.
+TEST(AntiEntropyRegressionTest, XorCancellingRowSetIsCaughtByCountedDigest) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.replication_factor = 2;
+  config.anti_entropy_interval = 0;  // manual rounds only
+  const int kBuckets = config.anti_entropy_buckets;
+  test::TestCluster t(config, PlainSchema());
+
+  // Candidate keys that share one replica pair AND one digest bucket; 65+
+  // 64-bit hashes in one bucket guarantee a linearly dependent subset.
+  std::map<std::pair<std::pair<ServerId, ServerId>, std::size_t>,
+           std::vector<Key>>
+      groups;
+  std::vector<Key> keys;
+  ServerId holder = 0;
+  ServerId peer = 0;
+  std::size_t bucket = 0;
+  for (int i = 0; i < 200000 && keys.empty(); ++i) {
+    Key key = "x" + std::to_string(i);
+    const auto replicas = t.cluster.server(0).ReplicasOf("t", key);
+    const std::pair<ServerId, ServerId> pair{
+        std::min(replicas[0], replicas[1]),
+        std::max(replicas[0], replicas[1])};
+    const std::size_t b = Hash64(key) % static_cast<std::uint64_t>(kBuckets);
+    auto& group = groups[{pair, b}];
+    group.push_back(key);
+    if (group.size() >= 80) {
+      keys = group;
+      holder = pair.first;
+      peer = pair.second;
+      bucket = b;
+    }
+  }
+  ASSERT_GE(keys.size(), 65u) << "not enough co-bucketed keys found";
+
+  std::vector<storage::Row> rows;
+  std::vector<std::uint64_t> hashes;
+  for (const Key& key : keys) {
+    storage::Row row;
+    row.Apply("a", Cell::Live(key, 100));
+    // The OLD formula's per-entry hash, recomputed here verbatim.
+    hashes.push_back(HashCombine(Hash64(key), storage::RowDigest(row)));
+    rows.push_back(std::move(row));
+  }
+
+  // Gaussian elimination over GF(2): find a non-empty subset whose entry
+  // hashes XOR to zero, tracking subset membership alongside each reduced
+  // vector.
+  std::array<std::uint64_t, 64> basis_vec{};
+  std::array<std::bitset<128>, 64> basis_mask{};
+  std::bitset<128> subset;
+  bool found = false;
+  for (std::size_t i = 0; i < hashes.size() && !found; ++i) {
+    std::uint64_t v = hashes[i];
+    std::bitset<128> mask;
+    mask.set(i);
+    while (v != 0) {
+      int bit = 63;
+      while (((v >> bit) & 1u) == 0) --bit;
+      if (basis_vec[static_cast<std::size_t>(bit)] == 0) {
+        basis_vec[static_cast<std::size_t>(bit)] = v;
+        basis_mask[static_cast<std::size_t>(bit)] = mask;
+        break;
+      }
+      v ^= basis_vec[static_cast<std::size_t>(bit)];
+      mask ^= basis_mask[static_cast<std::size_t>(bit)];
+    }
+    if (v == 0) {
+      subset = mask;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "65+ vectors in a 64-dim space must be dependent";
+
+  // Apply the cancelling set to ONE replica of the pair only.
+  std::uint64_t xor_fold = 0;
+  std::size_t subset_size = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!subset[i]) continue;
+    xor_fold ^= hashes[i];
+    ++subset_size;
+    t.cluster.server(holder).LocalApply("t", keys[i], rows[i]);
+  }
+  ASSERT_GT(subset_size, 0u);
+  // The hazard, demonstrated: under the old XOR fold both replicas computed
+  // digest 0 for this bucket — rows on one side, nothing on the other.
+  ASSERT_EQ(xor_fold, 0u);
+
+  const auto mine = t.cluster.server(holder).ComputeSyncDigests(
+      "t", peer, kBuckets);
+  const auto theirs = t.cluster.server(peer).ComputeSyncDigests(
+      "t", holder, kBuckets);
+  EXPECT_NE(mine[bucket], theirs[bucket])
+      << "counted digest must distinguish " << subset_size
+      << " rows from an empty bucket";
+
+  t.cluster.server(holder).RunAntiEntropyRound();
+  t.cluster.RunFor(Millis(500));
+  EXPECT_GT(t.cluster.metrics().anti_entropy_buckets_synced, 0u);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (!subset[i]) continue;
+    auto cell = t.cluster.server(peer).EngineFor("t").GetCell(keys[i], "a");
+    ASSERT_TRUE(cell.has_value()) << keys[i] << " never reached the peer";
+    EXPECT_EQ(cell->value, keys[i]);
+  }
+}
+
+// Tombstone-resurrection guard: a tombstone whose delete is still owed to a
+// partitioned replica (a stored hint) must survive GC even past grace.
+// Without the purge floor, the coordinator compacts the tombstone away while
+// the lagging replica still holds the live cell; if the coordinator then
+// crashes (hints are volatile), nothing carries the delete any more and
+// anti-entropy resurrects the row cluster-wide.
+TEST(TombstoneGcTest, PendingHintDefersPurgeAndDeleteSurvivesCrash) {
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.replication_factor = 2;
+  config.rpc_timeout = Millis(50);
+  config.hint_replay_interval = Seconds(5);  // hints recorded, no tick fires
+  config.anti_entropy_interval = 0;          // manual rounds only
+  config.engine.tombstone_gc_grace = Millis(20);
+  test::TestCluster t(config, PlainSchema());
+
+  const Key key = "gc-key";
+  const auto replicas = t.cluster.server(0).ReplicasOf("t", key);
+  const ServerId coord = replicas[0];
+  const ServerId lagging = replicas[1];
+
+  auto client = t.cluster.NewClient(coord);
+  ASSERT_TRUE(client->PutSync("t", key, {{"a", std::string("v")}}, 2).ok());
+  t.cluster.RunFor(Millis(50));
+
+  // Partition the second replica, then delete at write quorum 1: the
+  // coordinator applies the tombstone and stores a hint for the replica
+  // still holding the live cell.
+  t.cluster.network().SetEndpointDown(lagging, true);
+  ASSERT_TRUE(client->PutSync("t", key, {{"a", std::nullopt}}, 1).ok());
+  t.cluster.RunFor(Millis(100));  // past the rpc timeout: hint stored
+  ASSERT_EQ(t.cluster.server(coord).pending_hints(lagging), 1u);
+
+  // Age the tombstone past grace, then compact: the pending hint's
+  // timestamp floors the purge.
+  t.cluster.RunFor(Millis(100));
+  t.cluster.server(coord).RunCompactionRound();
+  t.cluster.RunFor(Millis(50));
+  EXPECT_GT(t.cluster.metrics().compactions_run, 0u);
+  EXPECT_EQ(t.cluster.metrics().tombstones_purged, 0u);
+  EXPECT_GT(t.cluster.metrics().tombstone_purge_deferred, 0u)
+      << "purge must be deferred while the delete is owed to a replica";
+  auto cell = t.cluster.server(coord).EngineFor("t").GetCell(key, "a");
+  ASSERT_TRUE(cell.has_value()) << "tombstone purged with its hint pending";
+  EXPECT_TRUE(cell->tombstone);
+
+  // Worst case: the coordinator crashes and its volatile hints die with it.
+  // The delete now survives ONLY as the durable tombstone the floor refused
+  // to purge.
+  t.cluster.CrashServer(coord);
+  t.cluster.RunFor(Millis(50));
+  t.cluster.RestartServer(coord);
+  t.cluster.RunFor(Millis(50));
+  EXPECT_EQ(t.cluster.server(coord).pending_hints(lagging), 0u);
+
+  t.cluster.network().SetEndpointDown(lagging, false);
+  t.cluster.server(coord).RunAntiEntropyRound();
+  t.cluster.RunFor(Millis(500));
+
+  for (ServerId replica : replicas) {
+    auto c = t.cluster.server(replica).EngineFor("t").GetCell(key, "a");
+    ASSERT_TRUE(c.has_value()) << "replica " << replica;
+    EXPECT_TRUE(c->tombstone)
+        << "replica " << replica << " resurrected the deleted row";
   }
 }
 

@@ -12,6 +12,7 @@
 #include "storage/engine.h"
 #include "storage/memtable.h"
 #include "storage/row.h"
+#include "storage/row_cache.h"
 #include "storage/run.h"
 
 namespace mvstore::storage {
@@ -61,6 +62,34 @@ TEST(CellTest, MergeCommutativeAssociativeRandomized) {
     Cell c = random_cell();
     EXPECT_EQ(MergeCells(a, b), MergeCells(b, a));
     EXPECT_EQ(MergeCells(MergeCells(a, b), c), MergeCells(a, MergeCells(b, c)));
+  }
+}
+
+// The full merge algebra, fuzzed over the awkward corners the randomized
+// test above never generates: null cells (kNullTimestamp, no value),
+// timestamp ties between tombstones and lives, and identical cells. Any
+// violation here is a replica-divergence bug — MergeCells must be a
+// commutative, associative, idempotent join for LWW convergence to hold.
+TEST(CellTest, MergeAlgebraHoldsWithNullCellsAndTies) {
+  Rng rng(20130401);
+  auto random_cell = [&rng]() {
+    Cell c;
+    if (rng.Chance(0.15)) return c;  // null cell
+    c.ts = rng.UniformInt(0, 3);     // tight range: ties are common
+    c.tombstone = rng.Chance(0.4);
+    if (!c.tombstone) {
+      c.value = std::string(1, static_cast<char>('a' + rng.UniformInt(0, 1)));
+    }
+    return c;
+  };
+  for (int trial = 0; trial < 5000; ++trial) {
+    Cell a = random_cell();
+    Cell b = random_cell();
+    Cell c = random_cell();
+    EXPECT_EQ(MergeCells(a, a), a);  // idempotent
+    EXPECT_EQ(MergeCells(a, b), MergeCells(b, a));  // commutative
+    EXPECT_EQ(MergeCells(MergeCells(a, b), c),
+              MergeCells(a, MergeCells(b, c)));  // associative
   }
 }
 
@@ -156,6 +185,53 @@ TEST(RunTest, MergePurgesExpiredTombstones) {
   EXPECT_EQ(kept->entries(), 1u);
 }
 
+TEST(RunTest, MergeCountsPurgedAndDeferredTombstones) {
+  std::vector<KeyedRow> entries;
+  for (const auto& [key, ts] :
+       std::vector<std::pair<Key, Timestamp>>{{"a", 10}, {"b", 50}, {"c", 90}}) {
+    Row row;
+    row.Apply("col", Cell::Tombstone(ts));
+    entries.push_back(KeyedRow{key, row});
+  }
+  auto run = Run::FromSorted(std::move(entries));
+
+  GcStats stats;
+  // ts 10 is below the purge threshold (dropped); ts 50 sits in the deferral
+  // window [40, 80) — past grace but protected by a pending-hint floor; ts 90
+  // is simply within grace.
+  auto merged = Run::Merge({run}, /*purge_tombstones_before=*/40,
+                           /*defer_before=*/80, &stats);
+  EXPECT_EQ(stats.tombstones_purged, 1u);
+  EXPECT_EQ(stats.tombstones_deferred, 1u);
+  EXPECT_EQ(merged->entries(), 2u);
+  EXPECT_EQ(merged->Get("a"), nullptr);
+  EXPECT_NE(merged->Get("b"), nullptr);
+  EXPECT_NE(merged->Get("c"), nullptr);
+}
+
+TEST(RunTest, ScanPrefixFenceSkipsDisjointRuns) {
+  std::vector<KeyedRow> entries;
+  for (const char* k : {"m1", "m2", "m3"}) {
+    Row row;
+    row.Apply("c", Cell::Live(k, 1));
+    entries.push_back(KeyedRow{k, row});
+  }
+  auto run = Run::FromSorted(std::move(entries));
+
+  int visited = 0;
+  run->ScanPrefix("z", [&](const Key&, const Row&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  EXPECT_EQ(run->fence_skips(), 1u);  // every key < "z"
+
+  run->ScanPrefix("a", [&](const Key&, const Row&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  EXPECT_EQ(run->fence_skips(), 2u);  // every key already > the "a" prefix
+
+  run->ScanPrefix("m", [&](const Key&, const Row&) { ++visited; });
+  EXPECT_EQ(visited, 3);
+  EXPECT_EQ(run->fence_skips(), 2u);  // intersecting scan pays full price
+}
+
 TEST(EngineTest, GetMergesAcrossMemtableAndRuns) {
   EngineOptions options;
   options.memtable_flush_entries = 2;  // flush aggressively
@@ -219,6 +295,63 @@ TEST(EngineTest, AutomaticCompactionBoundsRunCount) {
     engine.Apply("k" + std::to_string(i), "c", Cell::Live("v", i));
   }
   EXPECT_LE(engine.num_runs(), 4u);
+}
+
+TEST(EngineTest, SizeTieredCompactionLeavesLargeRunsAlone) {
+  EngineOptions options;
+  options.memtable_flush_entries = 1000;  // manual flushes only
+  options.max_runs = 3;
+  Engine engine(options);
+
+  // One large, old run of 100 keys.
+  for (int i = 0; i < 100; ++i) {
+    engine.Apply("big" + std::to_string(i), "c", Cell::Live("v", 1));
+  }
+  engine.Flush();
+  // Three 1-entry runs behind it.
+  for (int i = 0; i < 3; ++i) {
+    engine.Apply("small" + std::to_string(i), "c", Cell::Live("v", 1));
+    engine.Flush();
+  }
+  ASSERT_EQ(engine.num_runs(), 4u);
+  const std::uint64_t before = engine.compactions();
+
+  // The next apply trips the run-count trigger. Size-tiering must merge the
+  // tier of small runs only — NOT rewrite the 100-entry run (the quadratic
+  // write amplification the old merge-everything behaviour had).
+  engine.Apply("trigger", "c", Cell::Live("v", 1));
+  EXPECT_EQ(engine.compactions(), before + 1);
+  const std::vector<std::size_t> counts = engine.run_entry_counts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_TRUE(counts[0] == 100 || counts[1] == 100)
+      << "the large run was rewritten";
+  // All data still readable.
+  EXPECT_TRUE(engine.GetRow("big42").has_value());
+  EXPECT_TRUE(engine.GetRow("small2").has_value());
+  EXPECT_TRUE(engine.GetRow("trigger").has_value());
+}
+
+TEST(EngineTest, CompactReportsGcStatsAndHonorsPurgeFloor) {
+  EngineOptions options;
+  options.tombstone_gc_grace = 100;
+  Engine engine(options);
+  engine.Apply("k", "c", Cell::Tombstone(200));
+  engine.Flush();
+
+  // Grace expired (cutoff 400 > 200) but the purge floor — the oldest
+  // pending-hint timestamp — protects the delete: it is counted deferred,
+  // not purged.
+  GcStats deferred = engine.Compact(/*now=*/500, /*purge_floor=*/150);
+  EXPECT_EQ(deferred.tombstones_purged, 0u);
+  EXPECT_EQ(deferred.tombstones_deferred, 1u);
+  ASSERT_TRUE(engine.GetCell("k", "c").has_value());
+  EXPECT_TRUE(engine.GetCell("k", "c")->tombstone);
+
+  // Floor lifted (hint acknowledged): the tombstone goes.
+  GcStats purged = engine.Compact(/*now=*/500);
+  EXPECT_EQ(purged.tombstones_purged, 1u);
+  EXPECT_EQ(purged.tombstones_deferred, 0u);
+  EXPECT_FALSE(engine.GetRow("k").has_value());
 }
 
 TEST(EngineTest, TombstoneGcHonorsGracePeriod) {
@@ -295,6 +428,100 @@ TEST(EngineTest, RandomizedEquivalenceToLwwMap) {
       EXPECT_EQ(*stored, row) << key;
     }
   }
+}
+
+TEST(RowCacheTest, LruEvictionAndStats) {
+  RowCache cache(2);
+  Row row;
+  row.Apply("c", Cell::Live("v", 1));
+  cache.Put("t", "a", row);
+  cache.Put("t", "b", row);
+  EXPECT_NE(cache.Get("t", "a"), nullptr);  // bumps "a" to MRU
+  cache.Put("t", "c", row);                 // evicts LRU "b"
+  EXPECT_TRUE(cache.Contains("t", "a"));
+  EXPECT_FALSE(cache.Contains("t", "b"));
+  EXPECT_TRUE(cache.Contains("t", "c"));
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 0u);  // Contains is a pure probe
+  EXPECT_EQ(cache.Get("t", "b"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(RowCacheTest, InvalidateAndClear) {
+  RowCache cache(8);
+  Row row;
+  row.Apply("c", Cell::Live("v", 1));
+  cache.Put("t", "a", row);
+  cache.Put("t", "b", row);
+  cache.Invalidate("t", "a");
+  EXPECT_FALSE(cache.Contains("t", "a"));
+  EXPECT_TRUE(cache.Contains("t", "b"));
+  EXPECT_EQ(cache.invalidations(), 1u);
+  cache.Invalidate("t", "nope");  // absent: no effect, no count
+  EXPECT_EQ(cache.invalidations(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+}
+
+TEST(RowCacheTest, ZeroCapacityStoresNothing) {
+  RowCache cache(0);
+  Row row;
+  row.Apply("c", Cell::Live("v", 1));
+  cache.Put("t", "a", row);
+  EXPECT_FALSE(cache.Contains("t", "a"));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RowCacheTest, TablesNamespaceKeys) {
+  RowCache cache(8);
+  Row row;
+  row.Apply("c", Cell::Live("v", 1));
+  cache.Put("t1", "k", row);
+  EXPECT_TRUE(cache.Contains("t1", "k"));
+  EXPECT_FALSE(cache.Contains("t2", "k"));
+}
+
+TEST(EngineTest, RowCacheServesInvalidatesAndClearsOnPurge) {
+  RowCache cache(16);
+  EngineOptions options;
+  options.tombstone_gc_grace = 100;
+  Engine engine(options);
+  engine.set_row_cache(&cache, "t");
+
+  engine.Apply("k", "c", Cell::Live("v1", 10));
+  EXPECT_FALSE(cache.Contains("t", "k"));
+  engine.GetRow("k");  // miss populates
+  EXPECT_TRUE(cache.Contains("t", "k"));
+  auto row = engine.GetRow("k");  // hit
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->GetValue("c").value_or(""), "v1");
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Every local apply invalidates, so a cached row can never mask a write.
+  engine.Apply("k", "c", Cell::Live("v2", 20));
+  EXPECT_FALSE(cache.Contains("t", "k"));
+  EXPECT_EQ(engine.GetRow("k")->GetValue("c").value_or(""), "v2");
+  // GetCell routes through the cached merged row and agrees with it.
+  EXPECT_EQ(engine.GetCell("k", "c")->value, "v2");
+  EXPECT_GE(cache.hits(), 2u);
+
+  // A tombstone-purging compaction clears the cache — a cached copy of the
+  // pre-purge row would otherwise resurface purged cells.
+  engine.Apply("k", "c", Cell::Tombstone(30));
+  engine.GetRow("k");  // re-cache the tombstoned row
+  EXPECT_TRUE(cache.Contains("t", "k"));
+  engine.Compact(/*now=*/500);
+  EXPECT_FALSE(cache.Contains("t", "k"));
+  EXPECT_FALSE(engine.GetRow("k").has_value());
+
+  // Crash path: volatile state includes the cache.
+  engine.Apply("k2", "c", Cell::Live("v", 40));
+  engine.GetRow("k2");
+  EXPECT_TRUE(cache.Contains("t", "k2"));
+  engine.LoseVolatileState();
+  EXPECT_FALSE(cache.Contains("t", "k2"));
 }
 
 }  // namespace

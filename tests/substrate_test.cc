@@ -63,10 +63,19 @@ TEST(BloomFilterTest, RunShortCircuitsMisses) {
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.key < b.key; });
   auto run = storage::Run::FromSorted(std::move(entries));
+  // Misses outside [min_key, max_key] are rejected by the key fence before
+  // the bloom filter is even consulted.
   for (int i = 0; i < 1000; ++i) {
     EXPECT_EQ(run->Get("zz" + std::to_string(i)), nullptr);
   }
-  // The vast majority of misses must have been answered by the filter.
+  EXPECT_EQ(run->fence_skips(), 1000u);
+  EXPECT_EQ(run->bloom_negatives(), 0u);
+  // Misses inside the key range fall through to the filter, which must
+  // answer the vast majority without touching the entries.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(run->Get("k1050x" + std::to_string(i)), nullptr);
+  }
+  EXPECT_EQ(run->fence_skips(), 1000u);
   EXPECT_GT(run->bloom_negatives(), 900u);
 }
 
