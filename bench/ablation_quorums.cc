@@ -43,23 +43,23 @@ Result MeasureQuorums(int read_quorum, int write_quorum,
     const Key key = workload::FormatKey("k", rank);
     const std::string value = "v" + std::to_string(remaining);
     const SimTime wstart = bc.cluster.Now();
-    client->Put("usertable", key, {{"field0", value}},
-                [&, key, value, wstart](Status s) {
-                  MVSTORE_CHECK(s.ok());
-                  write_latency.Record(bc.cluster.Now() - wstart);
-                  const SimTime rstart = bc.cluster.Now();
-                  client->Get("usertable", key, {"field0"},
-                              [&, value, rstart](StatusOr<storage::Row> row) {
-                                MVSTORE_CHECK(row.ok());
-                                read_latency.Record(bc.cluster.Now() - rstart);
-                                ++probes;
-                                if (row->GetValue("field0").value_or("") !=
-                                    value) {
-                                  ++stale;
-                                }
-                                next();
-                              });
-                });
+    client->Put(
+        "usertable", key, {{"field0", value}}, store::WriteOptions{},
+        [&, key, value, wstart](store::WriteResult w) {
+          MVSTORE_CHECK(w.ok());
+          write_latency.Record(bc.cluster.Now() - wstart);
+          const SimTime rstart = bc.cluster.Now();
+          client->Get("usertable", key, {.columns = {"field0"}},
+                      [&, value, rstart](store::ReadResult row) {
+                        MVSTORE_CHECK(row.ok());
+                        read_latency.Record(bc.cluster.Now() - rstart);
+                        ++probes;
+                        if (row.row.GetValue("field0").value_or("") != value) {
+                          ++stale;
+                        }
+                        next();
+                      });
+        });
   };
   next();
   while (read_latency.count() <

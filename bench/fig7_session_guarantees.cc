@@ -41,8 +41,9 @@ double MeasurePairLatency(Scenario scenario, SimTime client_delay,
     client->Put(
         "usertable", workload::FormatKey("k", rank),
         {{"field0", "v" + std::to_string(start)}},
-        [&, rank, start](Status s) {
-          MVSTORE_CHECK(s.ok()) << s;
+        store::WriteOptions{},
+        [&, rank, start](store::WriteResult w) {
+          MVSTORE_CHECK(w.ok()) << w.status;
           bc.cluster.simulation().After(client_delay, [&, rank, start] {
             auto finish = [&, start](bool ok) {
               MVSTORE_CHECK(ok);
@@ -52,14 +53,14 @@ double MeasurePairLatency(Scenario scenario, SimTime client_delay,
             if (bc.scenario == Scenario::kSecondaryIndex) {
               client->IndexGet(
                   "usertable", "skey", workload::FormatKey("s", rank),
-                  [finish](StatusOr<std::vector<storage::KeyedRow>> rows) {
-                    finish(rows.ok() && !rows->empty());
+                  store::ReadOptions{}, [finish](store::ReadResult r) {
+                    finish(r.ok() && !r.rows.empty());
                   });
             } else {
               client->ViewGet(
-                  "by_skey", workload::FormatKey("s", rank), {"field0"},
-                  [finish](StatusOr<std::vector<store::ViewRecord>> records) {
-                    finish(records.ok() && !records->empty());
+                  "by_skey", workload::FormatKey("s", rank),
+                  {.columns = {"field0"}}, [finish](store::ReadResult r) {
+                    finish(r.ok() && !r.records.empty());
                   });
             }
           });

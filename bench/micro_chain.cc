@@ -31,7 +31,8 @@ void Run() {
     for (int i = 1; i <= length; ++i) {
       MVSTORE_CHECK(client
                         ->PutSync("usertable", workload::FormatKey("k", 0),
-                                  {{"skey", "hop" + std::to_string(i)}})
+                                  {{"skey", "hop" + std::to_string(i)}},
+                                  store::WriteOptions{})
                         .ok());
       bc.views->Quiesce();
     }

@@ -52,10 +52,10 @@ void DumpVersionedView(store::Cluster& cluster) {
 }
 
 void DumpClientView(store::Client& client, const char* who) {
-  auto records = client.ViewGetSync("assigned_to", who, {}, 3);
+  auto records = client.ViewGetSync("assigned_to", who, {.quorum = 3});
   MVSTORE_CHECK(records.ok());
   std::printf("  %s ->", who);
-  for (const store::ViewRecord& r : *records) {
+  for (const store::ViewRecord& r : records.records) {
     std::printf(" [ticket %s, %s]", r.base_key.c_str(),
                 r.cells.GetValue("status").value_or("?").c_str());
   }
@@ -113,9 +113,9 @@ int main() {
   const Timestamp base = store::kClientTimestampEpoch + Seconds(1);
   int done = 0;
   client1->Put("ticket", "2", {{"assignee", std::string("rliu")}},
-               [&done](Status s) { ++done; }, -1, base + 1);
+               {.ts = base + 1}, [&done](store::WriteResult) { ++done; });
   client2->Put("ticket", "2", {{"assignee", std::string("cjin")}},
-               [&done](Status s) { ++done; }, -1, base + 2);
+               {.ts = base + 2}, [&done](store::WriteResult) { ++done; });
   while (done < 2) cluster.simulation().Step();
   views.Quiesce();
   cluster.RunFor(Millis(100));

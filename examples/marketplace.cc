@@ -33,7 +33,8 @@ int main() {
   auto client = cluster.NewClient();
   auto put = [&client](const char* table, const char* key,
                        store::Mutation mutation) {
-    MVSTORE_CHECK(client->PutSync(table, key, mutation).ok());
+    MVSTORE_CHECK(
+        client->PutSync(table, key, mutation, store::WriteOptions{}).ok());
   };
   put("seller", "s1", {{"region", std::string("emea")},
                        {"name", std::string("Ada's Antiques")},
@@ -51,7 +52,7 @@ int main() {
 
   auto show = [&](const char* region) {
     auto joined = view::JoinGetSync(cluster.simulation(), *client, market,
-                                    region, /*read_quorum=*/3);
+                                    region, {.quorum = 3});
     MVSTORE_CHECK(joined.ok());
     std::printf("%s:\n", region);
     if (joined->empty()) std::printf("  (no matches)\n");

@@ -27,9 +27,10 @@ store::Schema InventorySchema() {
 }
 
 std::string ReadStock(store::Client& client) {
-  auto records = client.ViewGetSync("by_warehouse", "yyz");
+  auto records = client.ViewGetSync("by_warehouse", "yyz",
+                                    store::ReadOptions{});
   MVSTORE_CHECK(records.ok());
-  for (const store::ViewRecord& r : *records) {
+  for (const store::ViewRecord& r : records.records) {
     if (r.base_key == "widget") {
       return r.cells.GetValue("stock").value_or("?");
     }
@@ -58,7 +59,9 @@ int main() {
   std::printf("== without a session ==\n");
   auto plain = cluster.NewClient(0);
   MVSTORE_CHECK(
-      plain->PutSync("inventory", "widget", {{"stock", std::string("99")}})
+      plain
+          ->PutSync("inventory", "widget", {{"stock", std::string("99")}},
+                    store::WriteOptions{})
           .ok());
   SimTime before = cluster.Now();
   std::string stock = ReadStock(*plain);
@@ -74,7 +77,8 @@ int main() {
   session_client->BeginSession();
   MVSTORE_CHECK(session_client
                     ->PutSync("inventory", "widget",
-                              {{"stock", std::string("98")}})
+                              {{"stock", std::string("98")}},
+                              store::WriteOptions{})
                     .ok());
   before = cluster.Now();
   stock = ReadStock(*session_client);
@@ -93,7 +97,8 @@ int main() {
   bystander->BeginSession();
   MVSTORE_CHECK(session_client
                     ->PutSync("inventory", "widget",
-                              {{"stock", std::string("97")}})
+                              {{"stock", std::string("97")}},
+                              store::WriteOptions{})
                     .ok());
   before = cluster.Now();
   stock = ReadStock(*bystander);

@@ -43,8 +43,8 @@ int main() {
     for (int c = 0; c < kClients; ++c) {
       const std::string owner = "user" + std::to_string(c);
       clients[static_cast<std::size_t>(c)]->Put(
-          "doc", "design-doc", {{"owner", owner}},
-          [&done](Status s) { ++done; });
+          "doc", "design-doc", {{"owner", owner}}, store::WriteOptions{},
+          [&done](store::WriteResult) { ++done; });
     }
   }
   while (done < kClients * kRounds) cluster.simulation().Step();
@@ -65,9 +65,9 @@ int main() {
   auto reader = cluster.NewClient();
   for (int c = 0; c < kClients; ++c) {
     const std::string owner = "user" + std::to_string(c);
-    auto records = reader->ViewGetSync("by_owner", owner, {}, 3);
+    auto records = reader->ViewGetSync("by_owner", owner, {.quorum = 3});
     MVSTORE_CHECK(records.ok());
-    if (!records->empty()) {
+    if (!records.records.empty()) {
       std::printf("  final owner: %s\n", owner.c_str());
     }
   }

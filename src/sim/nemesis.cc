@@ -22,6 +22,10 @@ const char* FaultKindName(FaultKind kind) {
       return "drop-rate";
     case FaultKind::kLatencySpike:
       return "latency-spike";
+    case FaultKind::kJoin:
+      return "join";
+    case FaultKind::kLeave:
+      return "leave";
   }
   return "?";
 }
@@ -32,8 +36,11 @@ std::string FaultEvent::ToString() const {
   switch (kind) {
     case FaultKind::kCrash:
     case FaultKind::kRestart:
+    case FaultKind::kLeave:
       os << " s" << a;
       break;
+    case FaultKind::kJoin:
+      break;  // the cluster picks the spare slot
     case FaultKind::kPartition:
     case FaultKind::kHeal:
       os << " s" << a << "<->s" << b;
@@ -125,6 +132,22 @@ FaultSchedule GenerateRandomSchedule(Rng rng, const NemesisOptions& options) {
         {start + options.spike_duration, FaultKind::kLatencySpike, 0, 0, 1.0});
   }
 
+  // Membership churn: a join early in the cycle window, a leave of a random
+  // baseline server one churn-gap later. Cycles are spread across the
+  // horizon so joins and leaves interleave with the other fault kinds; the
+  // cluster rejects infeasible events (no spare slot, target not serving),
+  // which keeps any randomly generated timeline safe to execute.
+  for (int i = 0; i < options.membership_churn; ++i) {
+    const SimTime gap =
+        rng.UniformInt(options.min_churn_gap, options.max_churn_gap);
+    if (options.horizon <= gap) break;
+    const SimTime join_at = rng.UniformInt(0, options.horizon - gap - 1);
+    const auto leaver = static_cast<EndpointId>(
+        rng.UniformInt(0, options.num_servers - 1));
+    schedule.push_back({join_at, FaultKind::kJoin, 0, 0, 0.0});
+    schedule.push_back({join_at + gap, FaultKind::kLeave, leaver, 0, 0.0});
+  }
+
   std::sort(schedule.begin(), schedule.end(),
             [](const FaultEvent& x, const FaultEvent& y) {
               return x.at < y.at;
@@ -139,6 +162,12 @@ Nemesis::Nemesis(Simulation* sim, Network* network,
       network_(network),
       crash_(std::move(crash)),
       restart_(std::move(restart)) {}
+
+void Nemesis::SetMembershipCallbacks(std::function<void()> join,
+                                     std::function<void(EndpointId)> leave) {
+  join_ = std::move(join);
+  leave_ = std::move(leave);
+}
 
 void Nemesis::Schedule(FaultSchedule schedule) {
   std::stable_sort(schedule.begin(), schedule.end(),
@@ -176,6 +205,15 @@ void Nemesis::Execute(const FaultEvent& event) {
       break;
     case FaultKind::kLatencySpike:
       network_->set_latency_multiplier(event.rate);
+      break;
+    case FaultKind::kJoin:
+      if (join_) join_();
+      break;
+    case FaultKind::kLeave:
+      // Never decommission a server the nemesis itself has down: a crashed
+      // server cannot stream its ranges out (the cluster would reject the
+      // call anyway, this just keeps the timeline legible).
+      if (leave_ && down_servers_.count(event.a) == 0) leave_(event.a);
       break;
   }
 }

@@ -36,6 +36,8 @@ enum class FaultKind {
   kHeal,          ///< restore the (a, b) link
   kDropRate,      ///< set the network drop probability to `rate`
   kLatencySpike,  ///< set the network latency multiplier to `rate`
+  kJoin,          ///< bootstrap a spare server into the ring (membership)
+  kLeave,         ///< decommission server `a` out of the ring (membership)
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -76,6 +78,15 @@ struct NemesisOptions {
   /// Latency spikes (multiplier in [2, 8], then back to 1).
   int latency_spikes = 2;
   SimTime spike_duration = Millis(500);
+  /// Membership-churn cycles: each cycle fires a kJoin (bootstrap a spare
+  /// server slot) and, a churn-gap later, a kLeave of a random baseline
+  /// server. Requires the cluster to be built with `max_servers` headroom
+  /// and membership callbacks wired via SetMembershipCallbacks; joins past
+  /// the headroom and leaves of non-serving servers are rejected by the
+  /// cluster and become no-ops.
+  int membership_churn = 0;
+  SimTime min_churn_gap = Seconds(1);  ///< join -> leave spacing in a cycle
+  SimTime max_churn_gap = Seconds(3);
 };
 
 /// Deterministically generates a random-but-reproducible schedule: the same
@@ -92,6 +103,12 @@ class Nemesis {
 
   Nemesis(const Nemesis&) = delete;
   Nemesis& operator=(const Nemesis&) = delete;
+
+  /// Wires the membership fault kinds: `join` bootstraps one spare server
+  /// (the cluster picks the slot), `leave` decommissions the given server.
+  /// kJoin/kLeave events are silently skipped while these are unset.
+  void SetMembershipCallbacks(std::function<void()> join,
+                              std::function<void(EndpointId)> leave);
 
   /// Registers every event of `schedule` with the simulation. May be called
   /// more than once; timelines interleave.
@@ -111,6 +128,8 @@ class Nemesis {
   Network* network_;
   std::function<void(EndpointId)> crash_;
   std::function<void(EndpointId)> restart_;
+  std::function<void()> join_;
+  std::function<void(EndpointId)> leave_;
   std::set<EndpointId> down_servers_;
   std::set<std::pair<EndpointId, EndpointId>> open_partitions_;
   std::uint64_t events_fired_ = 0;

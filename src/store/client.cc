@@ -299,132 +299,4 @@ ReadResult Client::IndexGetSync(const std::string& table,
   return Await(cluster_->simulation(), slot);
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated pre-options wrappers.
-// ---------------------------------------------------------------------------
-
-void Client::Get(const std::string& table, const Key& key,
-                 std::vector<ColumnName> columns,
-                 std::function<void(StatusOr<storage::Row>)> callback,
-                 int read_quorum) {
-  ReadOptions options;
-  options.quorum = read_quorum;
-  options.columns = std::move(columns);
-  Get(table, key, options,
-      [callback = std::move(callback)](ReadResult result) {
-        if (result.ok()) {
-          callback(std::move(result.row));
-        } else {
-          callback(std::move(result.status));
-        }
-      });
-}
-
-void Client::Put(const std::string& table, const Key& key,
-                 const Mutation& mutation, std::function<void(Status)> callback,
-                 int write_quorum, Timestamp ts) {
-  WriteOptions options;
-  options.quorum = write_quorum;
-  options.ts = ts;
-  Put(table, key, mutation, options,
-      [callback = std::move(callback)](WriteResult result) {
-        callback(std::move(result.status));
-      });
-}
-
-void Client::Delete(const std::string& table, const Key& key,
-                    std::vector<ColumnName> columns,
-                    std::function<void(Status)> callback, int write_quorum,
-                    Timestamp ts) {
-  WriteOptions options;
-  options.quorum = write_quorum;
-  options.ts = ts;
-  Delete(table, key, std::move(columns), options,
-         [callback = std::move(callback)](WriteResult result) {
-           callback(std::move(result.status));
-         });
-}
-
-void Client::ViewGet(
-    const std::string& view, const Key& view_key,
-    std::vector<ColumnName> columns,
-    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
-    int read_quorum) {
-  ReadOptions options;
-  options.quorum = read_quorum;
-  options.columns = std::move(columns);
-  ViewGet(view, view_key, options,
-          [callback = std::move(callback)](ReadResult result) {
-            if (result.ok()) {
-              callback(std::move(result.records));
-            } else {
-              callback(std::move(result.status));
-            }
-          });
-}
-
-void Client::IndexGet(
-    const std::string& table, const ColumnName& column, const Value& value,
-    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
-  IndexGet(table, column, value, ReadOptions{},
-           [callback = std::move(callback)](ReadResult result) {
-             if (result.ok()) {
-               callback(std::move(result.rows));
-             } else {
-               callback(std::move(result.status));
-             }
-           });
-}
-
-StatusOr<storage::Row> Client::GetSync(const std::string& table,
-                                       const Key& key,
-                                       std::vector<ColumnName> columns,
-                                       int read_quorum) {
-  std::optional<StatusOr<storage::Row>> slot;
-  Get(table, key, std::move(columns),
-      [&slot](StatusOr<storage::Row> result) { slot = std::move(result); },
-      read_quorum);
-  return Await(cluster_->simulation(), slot);
-}
-
-Status Client::PutSync(const std::string& table, const Key& key,
-                       const Mutation& mutation, int write_quorum,
-                       Timestamp ts) {
-  std::optional<Status> slot;
-  Put(table, key, mutation, [&slot](Status status) { slot = status; },
-      write_quorum, ts);
-  return Await(cluster_->simulation(), slot);
-}
-
-Status Client::DeleteSync(const std::string& table, const Key& key,
-                          std::vector<ColumnName> columns, int write_quorum,
-                          Timestamp ts) {
-  std::optional<Status> slot;
-  Delete(table, key, std::move(columns),
-         [&slot](Status status) { slot = status; }, write_quorum, ts);
-  return Await(cluster_->simulation(), slot);
-}
-
-StatusOr<std::vector<ViewRecord>> Client::ViewGetSync(
-    const std::string& view, const Key& view_key,
-    std::vector<ColumnName> columns, int read_quorum) {
-  std::optional<StatusOr<std::vector<ViewRecord>>> slot;
-  ViewGet(view, view_key, std::move(columns),
-          [&slot](StatusOr<std::vector<ViewRecord>> result) {
-            slot = std::move(result);
-          },
-          read_quorum);
-  return Await(cluster_->simulation(), slot);
-}
-
-StatusOr<std::vector<storage::KeyedRow>> Client::IndexGetSync(
-    const std::string& table, const ColumnName& column, const Value& value) {
-  std::optional<StatusOr<std::vector<storage::KeyedRow>>> slot;
-  IndexGet(table, column, value,
-           [&slot](StatusOr<std::vector<storage::KeyedRow>> result) {
-             slot = std::move(result);
-           });
-  return Await(cluster_->simulation(), slot);
-}
-
 }  // namespace mvstore::store

@@ -13,8 +13,7 @@
 // WriteResult. Both options structs carry an optional parent TraceContext;
 // when none is given (and the cluster's `trace_client_ops` is on) the client
 // mints a fresh root trace per operation, whose id comes back in the result
-// so callers can dump the causal timeline (Tracer::DumpJson). The older
-// per-operation signatures remain as thin deprecated wrappers.
+// so callers can dump the causal timeline (Tracer::DumpJson).
 
 #ifndef MVSTORE_STORE_CLIENT_H_
 #define MVSTORE_STORE_CLIENT_H_
@@ -152,47 +151,6 @@ class Client {
                          const ReadOptions& options);
   ReadResult IndexGetSync(const std::string& table, const ColumnName& column,
                           const Value& value, const ReadOptions& options);
-
-  // --- deprecated pre-options signatures (thin wrappers; prefer the
-  //     ReadOptions/WriteOptions forms above) ---
-
-  void Get(const std::string& table, const Key& key,
-           std::vector<ColumnName> columns,
-           std::function<void(StatusOr<storage::Row>)> callback,
-           int read_quorum = -1);
-
-  void Put(const std::string& table, const Key& key, const Mutation& mutation,
-           std::function<void(Status)> callback, int write_quorum = -1,
-           Timestamp ts = kNullTimestamp);
-
-  void Delete(const std::string& table, const Key& key,
-              std::vector<ColumnName> columns,
-              std::function<void(Status)> callback, int write_quorum = -1,
-              Timestamp ts = kNullTimestamp);
-
-  void ViewGet(const std::string& view, const Key& view_key,
-               std::vector<ColumnName> columns,
-               std::function<void(StatusOr<std::vector<ViewRecord>>)> callback,
-               int read_quorum = -1);
-
-  void IndexGet(
-      const std::string& table, const ColumnName& column, const Value& value,
-      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
-
-  StatusOr<storage::Row> GetSync(const std::string& table, const Key& key,
-                                 std::vector<ColumnName> columns = {},
-                                 int read_quorum = -1);
-  Status PutSync(const std::string& table, const Key& key,
-                 const Mutation& mutation, int write_quorum = -1,
-                 Timestamp ts = kNullTimestamp);
-  Status DeleteSync(const std::string& table, const Key& key,
-                    std::vector<ColumnName> columns, int write_quorum = -1,
-                    Timestamp ts = kNullTimestamp);
-  StatusOr<std::vector<ViewRecord>> ViewGetSync(
-      const std::string& view, const Key& view_key,
-      std::vector<ColumnName> columns = {}, int read_quorum = -1);
-  StatusOr<std::vector<storage::KeyedRow>> IndexGetSync(
-      const std::string& table, const ColumnName& column, const Value& value);
 
  private:
   friend class Cluster;

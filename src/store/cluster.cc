@@ -1,5 +1,6 @@
 #include "store/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/hash.h"
@@ -19,9 +20,13 @@ Cluster::Cluster(ClusterConfig config, Schema schema)
       std::make_unique<sim::Network>(&sim_, rng_.Fork(), config_.network);
   network_->set_tracer(&tracer_);
   network_->set_latency_histogram(&metrics_.stage_network);
-  servers_.reserve(static_cast<std::size_t>(config_.num_servers));
-  for (ServerId id = 0; id < static_cast<ServerId>(config_.num_servers);
-       ++id) {
+  // Provision every capacity slot up front (endpoint numbering is fixed at
+  // construction); slots above num_servers start OUTSIDE the ring and wait
+  // for JoinServer. With max_servers defaulted to 0 the capacity equals
+  // num_servers and the layout is identical to the fixed-membership one.
+  const int capacity = std::max(config_.max_servers, config_.num_servers);
+  servers_.reserve(static_cast<std::size_t>(capacity));
+  for (ServerId id = 0; id < static_cast<ServerId>(capacity); ++id) {
     servers_.push_back(std::make_unique<Server>(id, &sim_, network_.get(),
                                                 &schema_, &ring_, &config_,
                                                 &metrics_, &tracer_));
@@ -29,6 +34,10 @@ Cluster::Cluster(ClusterConfig config, Schema schema)
   server_ptrs_.reserve(servers_.size());
   for (const auto& server : servers_) server_ptrs_.push_back(server.get());
   for (const auto& server : servers_) server->set_peers(&server_ptrs_);
+  for (ServerId id = static_cast<ServerId>(config_.num_servers);
+       id < static_cast<ServerId>(capacity); ++id) {
+    servers_[id]->MarkNeverJoined();
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -53,8 +62,84 @@ void Cluster::MetricsSampleTick() {
 }
 
 std::unique_ptr<Client> Cluster::NewClient() {
-  return NewClient(
-      static_cast<ServerId>(next_client_ % servers_.size()));
+  // Round-robin over the slots, skipping servers that are not (or no
+  // longer) serving coordinators.
+  return NewClient(PickServingServer(
+      static_cast<ServerId>(next_client_ % servers_.size())));
+}
+
+ServerId Cluster::PickServingServer(ServerId hint) const {
+  const std::size_t n = servers_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServerId s =
+        static_cast<ServerId>((static_cast<std::size_t>(hint) + i) % n);
+    if (servers_[s]->membership() == MembershipState::kServing) return s;
+  }
+  return hint;
+}
+
+bool Cluster::CrashServer(ServerId id) {
+  Server& server = *servers_[id];
+  if (!server.is_member() || server.crashed()) return false;
+  server.Crash();
+  return true;
+}
+
+bool Cluster::RestartServer(ServerId id) {
+  Server& server = *servers_[id];
+  if (!server.is_member() || !server.crashed()) return false;
+  server.Restart();
+  return true;
+}
+
+std::optional<ServerId> Cluster::JoinServer() {
+  // First kLeft, non-crashed slot (deterministic: lowest id wins).
+  ServerId joiner = 0;
+  bool found = false;
+  for (ServerId id = 0; id < static_cast<ServerId>(servers_.size()); ++id) {
+    if (servers_[id]->membership() == MembershipState::kLeft &&
+        !servers_[id]->crashed()) {
+      joiner = id;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  // The server comes up first (endpoint live, ticks armed), THEN enters the
+  // ring — from that instant it receives replica writes for its ranges — and
+  // finally starts streaming the pre-join data behind them.
+  servers_[joiner]->ActivateForJoin();
+  std::vector<Ring::RangeTransfer> plan =
+      ring_.AddServer(joiner, config_.replication_factor);
+  servers_[joiner]->BeginJoinStream(std::move(plan));
+  return joiner;
+}
+
+bool Cluster::DecommissionServer(ServerId id) {
+  Server& leaver = *servers_[id];
+  if (leaver.membership() != MembershipState::kServing || leaver.crashed()) {
+    return false;
+  }
+  if (ring_.num_servers() - 1 < config_.replication_factor) return false;
+
+  // Tokens go first so every reroute below already sees the shrunk ring.
+  std::vector<Ring::RangeTransfer> plan =
+      ring_.RemoveServer(id, config_.replication_factor);
+
+  // No member may keep waiting on the leaver: queued hints re-coordinate to
+  // the keys' current replicas, and in-flight quorum ops move their
+  // unanswered slots off it.
+  for (const auto& server : servers_) {
+    if (server->id() == id || server->crashed() || !server->is_member()) {
+      continue;
+    }
+    server->RerouteHintsFor(id);
+    server->RetargetInflightOps(id);
+  }
+
+  leaver.BeginDecommission(std::move(plan));
+  return true;
 }
 
 std::unique_ptr<Client> Cluster::NewClient(ServerId coordinator) {

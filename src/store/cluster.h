@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "common/rng.h"
@@ -55,18 +56,24 @@ class Cluster {
   Tracer& tracer() { return tracer_; }
   const Ring& ring() const { return ring_; }
 
-  int num_servers() const { return config_.num_servers; }
+  /// Provisioned server SLOTS (max(max_servers, num_servers)): the size of
+  /// every per-server array. Slots above `num_servers` start outside the
+  /// ring (kLeft) until JoinServer activates them. Use num_members() for the
+  /// current ring population.
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  /// Servers currently in the ring (serving or joining).
+  int num_members() const { return ring_.num_servers(); }
   Server& server(ServerId id) { return *servers_[id]; }
   const std::vector<std::unique_ptr<Server>>& servers() const {
     return servers_;
   }
 
-  /// Endpoint ids beyond the servers.
+  /// Endpoint ids beyond the server slots.
   sim::EndpointId client_endpoint() const {
-    return static_cast<sim::EndpointId>(config_.num_servers);
+    return static_cast<sim::EndpointId>(servers_.size());
   }
   sim::EndpointId lock_service_endpoint() const {
-    return static_cast<sim::EndpointId>(config_.num_servers + 1);
+    return static_cast<sim::EndpointId>(servers_.size() + 1);
   }
 
   /// Installs the view-maintenance engine on every server.
@@ -76,9 +83,37 @@ class Cluster {
   void Start();
 
   /// Crash-stops / restarts one server (nemesis entry points; see
-  /// Server::Crash / Server::Restart for the exact semantics).
-  void CrashServer(ServerId id) { servers_[id]->Crash(); }
-  void RestartServer(ServerId id) { servers_[id]->Restart(); }
+  /// Server::Crash / Server::Restart for the exact semantics). Returns
+  /// false — without acting — when the transition does not apply (already
+  /// crashed / not crashed / outside the ring), so a nemesis schedule can
+  /// race membership churn safely.
+  bool CrashServer(ServerId id);
+  bool RestartServer(ServerId id);
+
+  // ---------------------------------------------------------------------
+  // Elastic membership (ISSUE 6).
+  // ---------------------------------------------------------------------
+
+  /// Brings the next never-joined (or previously decommissioned) capacity
+  /// slot into the ring: assigns its tokens, computes the ranges it must
+  /// bootstrap, and starts the background range streams. The server serves
+  /// replica traffic immediately (it is a ring member from this instant)
+  /// and flips to kServing when the last range lands. Returns the joined
+  /// id, or nullopt when every slot is already in use.
+  std::optional<ServerId> JoinServer();
+
+  /// Gracefully removes `id` from the ring: tokens withdrawn, owned ranges
+  /// streamed to their new owners, every other member's hints and in-flight
+  /// ops re-pointed, hinted handoffs drained, then the endpoint goes down.
+  /// Returns false — without acting — when `id` is not a serving,
+  /// non-crashed member or when leaving would drop the ring below the
+  /// replication factor.
+  bool DecommissionServer(ServerId id);
+
+  /// The serving coordinator at or after `hint` (circular scan over the
+  /// slots). Falls back to `hint` itself when nothing serves — the caller's
+  /// requests then fail loudly instead of silently redirecting.
+  ServerId PickServingServer(ServerId hint) const;
 
   /// Creates a client attached to the given coordinator (round-robin by
   /// client id when omitted).

@@ -187,6 +187,29 @@ struct ClusterConfig {
   /// session.
   bool session_guarantees = true;
 
+  // --- elastic membership (ISSUE 6) ---
+
+  /// Server slots the cluster is provisioned for (servers beyond
+  /// `num_servers` start outside the ring and can join at runtime via
+  /// Cluster::JoinServer). 0 means no headroom: capacity == num_servers,
+  /// which keeps endpoint numbering identical to the fixed-membership
+  /// layout.
+  int max_servers = 0;
+
+  /// Rows per message in a membership range stream (join bootstrap and
+  /// decommission handoff).
+  int join_stream_batch = 128;
+
+  /// Base backoff before re-pulling a range slice that timed out (grows
+  /// linearly with the attempt count, capped at 8x). The puller also
+  /// rotates to the next candidate source on each retry.
+  SimTime join_stream_retry_backoff = Millis(50);
+
+  /// How long a decommissioning server keeps waiting for its own hinted
+  /// handoffs to drain before it force-reroutes them to the keys' current
+  /// replicas and leaves anyway.
+  SimTime decommission_drain_timeout = Seconds(30);
+
   // --- observability (ISSUE 2) ---
 
   /// Capacity of the cluster's causal-trace event ring buffer (spans);

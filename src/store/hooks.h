@@ -77,6 +77,18 @@ class ViewMaintenanceHook {
   /// kick recovery work for the ranges the server owns (e.g. a view
   /// re-scrub that adopts propagations orphaned by the crash).
   virtual void OnServerRestart(Server* server) {}
+
+  /// Called when `server` finished its join bootstrap (kServing): ownership
+  /// of base-key ranges moved onto it, so the engine should re-derive view
+  /// state for the ranges it now primarily owns (dedicated propagators
+  /// re-home automatically — ExecutorOf follows the ring).
+  virtual void OnServerJoin(Server* server) {}
+
+  /// Called when `server` leaves the ring for good (decommission complete,
+  /// just before its endpoint goes down): like a crash, the engine must
+  /// orphan the server's propagation tasks and volatile state; unlike a
+  /// crash, the server is never coming back for them.
+  virtual void OnServerLeave(Server* server) {}
 };
 
 }  // namespace mvstore::store

@@ -55,6 +55,23 @@ Metrics::Metrics()
           registry.RegisterCounter("propagations_orphaned")),
       orphaned_propagations_recovered(
           registry.RegisterCounter("orphaned_propagations_recovered")),
+      member_joins_started(registry.RegisterCounter("member_joins_started")),
+      member_joins_completed(
+          registry.RegisterCounter("member_joins_completed")),
+      member_leaves_started(
+          registry.RegisterCounter("member_leaves_started")),
+      member_leaves_completed(
+          registry.RegisterCounter("member_leaves_completed")),
+      member_ranges_streamed(
+          registry.RegisterCounter("member_ranges_streamed")),
+      member_rows_streamed(registry.RegisterCounter("member_rows_streamed")),
+      member_stream_retries(
+          registry.RegisterCounter("member_stream_retries")),
+      member_hints_rerouted(
+          registry.RegisterCounter("member_hints_rerouted")),
+      member_ops_retargeted(
+          registry.RegisterCounter("member_ops_retargeted")),
+      member_drains_forced(registry.RegisterCounter("member_drains_forced")),
       get_latency(registry.RegisterHistogram("get_latency")),
       put_latency(registry.RegisterHistogram("put_latency")),
       view_get_latency(registry.RegisterHistogram("view_get_latency")),

@@ -86,6 +86,19 @@ struct Metrics {
   Counter& propagations_orphaned;   ///< tasks lost with a coordinator
   Counter& orphaned_propagations_recovered;  ///< healed by re-scrub
 
+  // Elastic membership (ISSUE 6): joins, decommissions, and the range
+  // streams / fixups that move ownership without losing acked writes.
+  Counter& member_joins_started;
+  Counter& member_joins_completed;
+  Counter& member_leaves_started;
+  Counter& member_leaves_completed;
+  Counter& member_ranges_streamed;   ///< (range, table) stream tasks finished
+  Counter& member_rows_streamed;     ///< rows shipped by membership streams
+  Counter& member_stream_retries;    ///< slice pulls that timed out and retried
+  Counter& member_hints_rerouted;    ///< hints re-sent to a range's new owners
+  Counter& member_ops_retargeted;    ///< in-flight quorum slots moved off a leaver
+  Counter& member_drains_forced;     ///< drain timeouts that force-rerouted hints
+
   // End-to-end latency recorders (simulated microseconds).
   Histogram& get_latency;
   Histogram& put_latency;

@@ -33,7 +33,9 @@ void QuorumOp<Response>::Launch() {
                                coord_->simulation()->Now());
   }
   auto self = this->shared_from_this();
-  op_id_ = coord_->RegisterInflightOp([self] { self->Abort(); });
+  op_id_ = coord_->RegisterInflightOp(
+      [self] { self->Abort(); },
+      [self](ServerId departed) { self->Retarget(departed); });
   // Fan out under the op's span so every request hop nests beneath it.
   Tracer::Scope scope(tracer, trace_);
   for (std::size_t i = 0; i < spec_.targets.size(); ++i) {
@@ -135,6 +137,43 @@ void QuorumOp<Response>::Abort() {
   if (trace_) {
     coord_->tracer()->Annotate(trace_, "aborted by crash");
     coord_->tracer()->EndSpan(trace_, coord_->simulation()->Now());
+  }
+}
+
+template <typename Response>
+void QuorumOp<Response>::Retarget(ServerId departed) {
+  if (finalized_) return;
+  if (spec_.hint_table.empty()) return;
+  for (std::size_t slot = 0; slot < spec_.targets.size(); ++slot) {
+    if (spec_.targets[slot] != departed || responses_[slot]) continue;
+    // Move the slot onto a current replica no other slot already covers.
+    ServerId replacement = 0;
+    bool found = false;
+    for (ServerId r :
+         coord_->ReplicasOf(spec_.hint_table, spec_.hint_key)) {
+      bool taken = false;
+      for (std::size_t j = 0; j < spec_.targets.size(); ++j) {
+        if (j != slot && spec_.targets[j] == r) {
+          taken = true;
+          break;
+        }
+      }
+      if (!taken) {
+        replacement = r;
+        found = true;
+        break;
+      }
+    }
+    if (!found) continue;  // every current replica already targeted
+    spec_.targets[slot] = replacement;
+    coord_->metrics()->member_ops_retargeted++;
+    if (trace_) {
+      coord_->tracer()->Annotate(
+          trace_, "retarget " + std::to_string(departed) + " -> " +
+                      std::to_string(replacement));
+    }
+    Tracer::Scope scope(coord_->tracer(), trace_);
+    SendTo(slot);
   }
 }
 

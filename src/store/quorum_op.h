@@ -116,6 +116,12 @@ class QuorumOp : public std::enable_shared_from_this<QuorumOp<Response>> {
   /// Crash-stop: the coordinator died mid-operation. Outstanding callbacks
   /// fire with errors/partials but no side effects are performed.
   void Abort();
+  /// `departed` left the ring mid-operation: unanswered slots targeting it
+  /// re-point to a current replica of the op's key and re-send, so an acked
+  /// write is never stranded waiting on a server that will not answer. Only
+  /// hint-keyed (write-shaped) ops know their key; others run out their
+  /// timeout as before.
+  void Retarget(ServerId departed);
   void Settle(bool aborted);
 
   Server* coord_;

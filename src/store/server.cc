@@ -566,6 +566,10 @@ void Server::HandleClientIndexGet(
     const std::string& table, const ColumnName& column, const Value& value,
     std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
   metrics_->client_index_gets++;
+  if (!AcceptsCoordination()) {
+    callback(Status::Unavailable("server leaving the ring"));
+    return;
+  }
   if (schema_->FindIndex(table, column) == nullptr) {
     callback(Status::NotFound("no index on " + table + "." + column));
     return;
@@ -576,12 +580,11 @@ void Server::HandleClientIndexGet(
     using Op = QuorumOp<std::vector<storage::KeyedRow>>;
     Op::Spec spec;
     spec.name = "index_scan";
-    spec.targets.resize(static_cast<std::size_t>(config_->num_servers));
-    for (ServerId s = 0; s < static_cast<ServerId>(config_->num_servers);
-         ++s) {
-      spec.targets[s] = s;
-    }
-    spec.quorum = config_->num_servers;
+    // Every CURRENT ring member holds a fragment; servers that left (or
+    // never joined) hold nothing and would only stall the full-broadcast
+    // quorum.
+    spec.targets.assign(ring_->members().begin(), ring_->members().end());
+    spec.quorum = static_cast<int>(spec.targets.size());
     spec.service = config_->perf.index_scan_local;
     spec.request = [table, column, value](Server& server) {
       return server.LocalIndexProbe(table, column, value);
@@ -629,6 +632,10 @@ void Server::HandleClientGet(
     const std::string& table, const Key& key, std::vector<ColumnName> columns,
     int read_quorum, std::function<void(StatusOr<storage::Row>)> callback) {
   metrics_->client_gets++;
+  if (!AcceptsCoordination()) {
+    callback(Status::Unavailable("server leaving the ring"));
+    return;
+  }
   const TableDef* def = schema_->GetTable(table);
   if (def == nullptr) {
     callback(Status::NotFound("no table '" + table + "'"));
@@ -653,6 +660,10 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
                              int write_quorum, SessionId session,
                              std::function<void(Status)> callback) {
   metrics_->client_puts++;
+  if (!AcceptsCoordination()) {
+    callback(Status::Unavailable("server leaving the ring"));
+    return;
+  }
   const TableDef* def = schema_->GetTable(table);
   if (def == nullptr) {
     callback(Status::NotFound("no table '" + table + "'"));
@@ -791,6 +802,10 @@ void Server::HandleClientViewGet(
     std::vector<ColumnName> columns, int read_quorum, SessionId session,
     std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) {
   metrics_->client_view_gets++;
+  if (!AcceptsCoordination()) {
+    callback(Status::Unavailable("server leaving the ring"));
+    return;
+  }
   const ViewDef* view = schema_->GetView(view_name);
   if (view == nullptr) {
     callback(Status::NotFound("no view '" + view_name + "'"));
@@ -814,7 +829,12 @@ void Server::HandleClientViewGet(
 // Background anti-entropy.
 // ---------------------------------------------------------------------------
 
-void Server::Start() { ScheduleBackgroundTicks(); }
+void Server::Start() {
+  // Capacity slots that never joined (and servers that left) stay silent
+  // until ActivateForJoin arms them.
+  if (membership_ == MembershipState::kLeft) return;
+  ScheduleBackgroundTicks();
+}
 
 void Server::ScheduleBackgroundTicks() {
   // Tick chains belong to one process incarnation: when the server crashes,
@@ -850,6 +870,12 @@ void Server::ScheduleBackgroundTicks() {
 
 void Server::AntiEntropyTick() {
   if (crashed_) return;
+  // A draining server shares no ranges with anyone (it already left the
+  // ring); its handoff runs through the decommission streams instead.
+  if (membership_ == MembershipState::kLeft ||
+      membership_ == MembershipState::kDraining) {
+    return;
+  }
   RunAntiEntropyRound();
   const std::uint64_t incarnation = incarnation_;
   sim_->After(config_->anti_entropy_interval, [this, incarnation] {
@@ -862,7 +888,7 @@ void Server::AntiEntropyTick() {
 // ---------------------------------------------------------------------------
 
 void Server::CompactionTick() {
-  if (crashed_) return;
+  if (crashed_ || membership_ == MembershipState::kLeft) return;
   RunCompactionRound();
   const std::uint64_t incarnation = incarnation_;
   sim_->After(config_->compaction_interval, [this, incarnation] {
@@ -1005,8 +1031,7 @@ void Server::RunAntiEntropyRound() {
                                 sim_->Now());
   }
   Tracer::Scope scope(tracer_, round);
-  for (ServerId peer = 0; peer < static_cast<ServerId>(config_->num_servers);
-       ++peer) {
+  for (ServerId peer : ring_->members()) {
     if (peer == id_) continue;
     for (const auto& [table, engine] : engines_) {
       SyncTableWithPeer(table, peer);
@@ -1019,14 +1044,17 @@ void Server::RunAntiEntropyRound() {
 // Crash-stop fault model.
 // ---------------------------------------------------------------------------
 
-std::uint64_t Server::RegisterInflightOp(std::function<void()> abort) {
+std::uint64_t Server::RegisterInflightOp(
+    std::function<void()> abort, std::function<void(ServerId)> retarget) {
   const std::uint64_t op_id = ++next_op_id_;
   inflight_aborts_.emplace(op_id, std::move(abort));
+  if (retarget) inflight_retargets_.emplace(op_id, std::move(retarget));
   return op_id;
 }
 
 void Server::DeregisterInflightOp(std::uint64_t op_id) {
   inflight_aborts_.erase(op_id);
+  inflight_retargets_.erase(op_id);
 }
 
 void Server::Crash() {
@@ -1046,6 +1074,7 @@ void Server::Crash() {
   //    their own request timeouts — exactly like a real silent crash.
   auto aborts = std::move(inflight_aborts_);
   inflight_aborts_.clear();
+  inflight_retargets_.clear();
   for (auto& [op_id, abort] : aborts) abort();
   metrics_->inflight_ops_aborted += aborts.size();
 
@@ -1056,6 +1085,10 @@ void Server::Crash() {
   hints_.clear();
   write_lanes_.clear();
   queue_.Reset();
+  // Membership stream progress is volatile too; Restart rebuilds the task
+  // list from the (durable) join/decommission plan and streams from scratch.
+  stream_tasks_.clear();
+  stream_pull_pending_ = false;
 
   // 4. Disappear from the network. Bumping the incarnation (a) drops every
   //    in-flight message to/from the dead process at delivery time and
@@ -1088,6 +1121,19 @@ void Server::Restart() {
   // Let the view engine re-scrub the ranges this server owns, adopting
   // propagations orphaned by the crash.
   if (view_hook_ != nullptr) view_hook_->OnServerRestart(this);
+
+  // A membership transition interrupted by the crash resumes: the plans are
+  // durable intent records, only the stream cursors died with the process.
+  if (membership_ == MembershipState::kJoining) {
+    BuildStreamTasks(join_plan_);
+    stream_min_ts_ = 0;
+    PumpStream();
+  } else if (membership_ == MembershipState::kDraining) {
+    decommission_phase_ = 1;
+    stream_min_ts_ = 0;
+    BuildStreamTasks(decommission_plan_);
+    PumpStream();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1096,6 +1142,18 @@ void Server::Restart() {
 
 void Server::StoreHint(ServerId target, const std::string& table,
                        const Key& key, const storage::Row& cells) {
+  // A write owed to a server on its way out of the ring (or already gone)
+  // must not park behind it — the target will never come back for it.
+  // Re-coordinate straight to the key's current replicas instead.
+  if (peers_ != nullptr) {
+    const MembershipState target_state = (*peers_)[target]->membership();
+    if (target_state == MembershipState::kDraining ||
+        target_state == MembershipState::kLeft) {
+      metrics_->member_hints_rerouted++;
+      RerouteWriteToCurrentReplicas(table, key, cells);
+      return;
+    }
+  }
   std::deque<Hint>& queue = hints_[target];
   if (queue.size() >= config_->max_hints_per_target) {
     queue.pop_front();  // oldest first; anti-entropy is the backstop
@@ -1121,7 +1179,7 @@ std::size_t Server::pending_hints(ServerId target) const {
 }
 
 void Server::HintReplayTick() {
-  if (crashed_) return;
+  if (crashed_ || membership_ == MembershipState::kLeft) return;
   ReplayHints();
   const std::uint64_t incarnation = incarnation_;
   sim_->After(config_->hint_replay_interval, [this, incarnation] {
@@ -1132,6 +1190,12 @@ void Server::HintReplayTick() {
 void Server::ReplayHints() {
   for (auto& [target, queue] : hints_) {
     if (queue.empty()) continue;
+    // The target left the ring since these queued: replaying at it is
+    // pointless, move the writes to the keys' current replicas.
+    if (peers_ != nullptr && !(*peers_)[target]->is_member()) {
+      RerouteHintsFor(target);
+      continue;
+    }
     // Ship the whole queue; drop it only when the target acknowledges.
     // (Re-delivery after a lost ack is harmless: LWW applies are
     // idempotent.)
@@ -1178,6 +1242,430 @@ void Server::ReplayHints() {
     };
     Op::Start(this, std::move(spec));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Elastic membership: join bootstrap, decommission handoff, hint/op fixups.
+// ---------------------------------------------------------------------------
+
+void Server::MarkNeverJoined() {
+  membership_ = MembershipState::kLeft;
+  network_->SetEndpointDown(id_, true);
+}
+
+void Server::ActivateForJoin() {
+  MVSTORE_CHECK(membership_ == MembershipState::kLeft)
+      << "server " << id_ << " cannot join twice";
+  MVSTORE_CHECK(!crashed_) << "crashed server " << id_ << " cannot join";
+  // Fresh process generation: stale messages addressed to a previous life of
+  // this slot (a decommissioned-then-rejoined server) must not deliver.
+  ++incarnation_;
+  network_->BumpIncarnation(id_);
+  network_->SetEndpointDown(id_, false);
+  membership_ = MembershipState::kJoining;
+  metrics_->member_joins_started++;
+  if (tracer_ != nullptr) {
+    member_trace_ =
+        tracer_->StartTrace("member.join", static_cast<int>(id_), sim_->Now());
+  }
+  ScheduleBackgroundTicks();
+}
+
+void Server::BeginJoinStream(std::vector<Ring::RangeTransfer> plan) {
+  MVSTORE_CHECK(membership_ == MembershipState::kJoining);
+  join_plan_ = std::move(plan);
+  stream_min_ts_ = 0;
+  BuildStreamTasks(join_plan_);
+  PumpStream();
+}
+
+void Server::BeginDecommission(std::vector<Ring::RangeTransfer> plan) {
+  MVSTORE_CHECK(membership_ == MembershipState::kServing)
+      << "server " << id_ << " is not serving";
+  MVSTORE_CHECK(!crashed_);
+  membership_ = MembershipState::kDraining;
+  decommission_plan_ = std::move(plan);
+  metrics_->member_leaves_started++;
+  if (tracer_ != nullptr) {
+    member_trace_ = tracer_->StartTrace("member.drain", static_cast<int>(id_),
+                                        sim_->Now());
+  }
+  drain_deadline_ = sim_->Now() + config_->decommission_drain_timeout;
+  // Writes coordinated while the ring change raced this call may still land
+  // here; the tail sweep (phase 2) re-ships anything stamped since shortly
+  // before the full sweep began. Client timestamps are epoch + client time.
+  tail_cutoff_ = kClientTimestampEpoch +
+                 (sim_->Now() > Seconds(1) ? sim_->Now() - Seconds(1) : 0);
+  decommission_phase_ = 1;
+  stream_min_ts_ = 0;
+  BuildStreamTasks(decommission_plan_);
+  PumpStream();
+}
+
+void Server::BuildStreamTasks(const std::vector<Ring::RangeTransfer>& plan) {
+  stream_tasks_.clear();
+  stream_pull_pending_ = false;
+  for (const Ring::RangeTransfer& transfer : plan) {
+    // No peers: the remaining members already replicate the range (leave at
+    // low replication pressure) — nothing to move.
+    if (transfer.peers.empty()) continue;
+    for (const std::string& table : schema_->TableNames()) {
+      if (membership_ == MembershipState::kDraining) {
+        // Push: one task per NEW owner — each must receive its own copy.
+        for (ServerId owner : transfer.peers) {
+          stream_tasks_.push_back(
+              StreamTask{table, transfer.range, {owner}, Key{}, 0, 0});
+        }
+      } else {
+        // Pull: one task per range, rotating through the sources on retry.
+        stream_tasks_.push_back(
+            StreamTask{table, transfer.range, transfer.peers, Key{}, 0, 0});
+      }
+    }
+  }
+}
+
+void Server::PumpStream() {
+  if (crashed_ || stream_pull_pending_) return;
+  if (membership_ != MembershipState::kJoining &&
+      membership_ != MembershipState::kDraining) {
+    return;
+  }
+  if (stream_tasks_.empty()) {
+    if (membership_ == MembershipState::kJoining) {
+      FinishJoin();
+    } else {
+      ContinueDecommission();
+    }
+    return;
+  }
+
+  StreamTask& task = stream_tasks_.front();
+  const std::uint64_t seq = ++stream_seq_;
+  stream_pull_pending_ = true;
+  const int limit = std::max(1, config_->join_stream_batch);
+  const std::string table = task.table;
+  const Ring::TokenRange range = task.range;
+  const Key from = task.cursor;
+  const Timestamp min_ts = stream_min_ts_;
+  const int attempt = task.attempt;
+
+  if (membership_ == MembershipState::kJoining) {
+    // Pull the next slice from a source replica.
+    const ServerId source =
+        task.peers[static_cast<std::size_t>(attempt) % task.peers.size()];
+    CallPeer<RangeSlice>(
+        source, config_->perf.view_scan_local,
+        [table, range, from, limit, min_ts](Server& s) {
+          return s.CollectRangeRows(table, range, from, limit, min_ts);
+        },
+        [this, seq, table](RangeSlice slice) {
+          if (seq != stream_seq_) return;  // superseded by a retry
+          // Applying the slice is real replica work: charge it through the
+          // service queue before acknowledging progress.
+          const SimTime service =
+              config_->perf.write_local *
+              static_cast<SimTime>(slice.rows.size() + 1);
+          Enqueue(service, [this, seq, table,
+                            slice = std::move(slice)]() mutable {
+            if (seq != stream_seq_) return;
+            for (const auto& kr : slice.rows) {
+              LocalApply(table, kr.key, kr.row);
+            }
+            StreamSliceSettled(seq, true, slice.rows.size(), slice.resume,
+                               slice.done);
+          });
+        });
+  } else {
+    // Decommission push: collect locally (scan demand on our own cores),
+    // then ship the slice to the single new owner of this task.
+    const ServerId target = task.peers.front();
+    Enqueue(config_->perf.view_scan_local, [this, seq, table, range, from,
+                                            limit, min_ts, target] {
+      if (seq != stream_seq_) return;
+      RangeSlice slice = CollectRangeRows(table, range, from, limit, min_ts);
+      const std::size_t n = slice.rows.size();
+      const Key resume = slice.resume;
+      const bool done = slice.done;
+      if (n == 0) {  // nothing (left) in this slice: just advance the cursor
+        StreamSliceSettled(seq, true, 0, resume, done);
+        return;
+      }
+      const SimTime service =
+          config_->perf.write_local * static_cast<SimTime>(n + 1);
+      auto rows =
+          std::make_shared<std::vector<storage::KeyedRow>>(
+              std::move(slice.rows));
+      CallPeer<bool>(
+          target, service,
+          [table, rows](Server& s) {
+            for (const auto& kr : *rows) s.LocalApply(table, kr.key, kr.row);
+            return true;
+          },
+          [this, seq, n, resume, done](bool) {
+            StreamSliceSettled(seq, true, n, resume, done);
+          });
+    });
+  }
+
+  // Arm the silence probe: an unacknowledged slice is re-requested from the
+  // last acked cursor after a linearly growing backoff, rotating to the next
+  // candidate source. Idempotent on the receiving side (LWW applies).
+  const std::uint64_t incarnation = incarnation_;
+  sim_->After(config_->rpc_timeout, [this, incarnation, seq] {
+    if (incarnation != incarnation_ || seq != stream_seq_ ||
+        !stream_pull_pending_) {
+      return;
+    }
+    stream_pull_pending_ = false;
+    metrics_->member_stream_retries++;
+    // A draining server cannot wait forever on an unreachable new owner:
+    // past the drain deadline the remaining slices for that range are
+    // abandoned (counted as a forced drain) and the surviving replicas'
+    // anti-entropy covers the gap once the owner returns. A joiner has no
+    // such deadline — it keeps rotating sources until one answers.
+    if (membership_ == MembershipState::kDraining &&
+        sim_->Now() >= drain_deadline_ && !stream_tasks_.empty()) {
+      metrics_->member_drains_forced++;
+      FinishStreamTask();
+      PumpStream();
+      return;
+    }
+    int next_attempt = 1;
+    if (!stream_tasks_.empty()) {
+      next_attempt = ++stream_tasks_.front().attempt;
+    }
+    const SimTime backoff =
+        config_->join_stream_retry_backoff *
+        static_cast<SimTime>(std::min(next_attempt, 8));
+    sim_->After(backoff, [this, incarnation] {
+      if (incarnation == incarnation_) PumpStream();
+    });
+  });
+}
+
+void Server::StreamSliceSettled(std::uint64_t seq, bool ok,
+                                std::size_t rows_acked, Key resume,
+                                bool done) {
+  if (seq != stream_seq_) return;  // a retry superseded this slice
+  stream_pull_pending_ = false;
+  if (stream_tasks_.empty()) return;
+  StreamTask& task = stream_tasks_.front();
+  if (ok) {
+    task.cursor = std::move(resume);
+    task.attempt = 0;
+    task.rows_streamed += rows_acked;
+    metrics_->member_rows_streamed += rows_acked;
+    if (done) FinishStreamTask();
+  }
+  PumpStream();
+}
+
+void Server::FinishStreamTask() {
+  const StreamTask& task = stream_tasks_.front();
+  metrics_->member_ranges_streamed++;
+  EmitMemberSpan("member.stream_range",
+                 task.table + " rows=" + std::to_string(task.rows_streamed) +
+                     " peer=" + std::to_string(task.peers.front()));
+  stream_tasks_.pop_front();
+}
+
+void Server::FinishJoin() {
+  membership_ = MembershipState::kServing;
+  join_plan_.clear();
+  metrics_->member_joins_completed++;
+  if (tracer_ != nullptr && member_trace_) {
+    tracer_->EndSpan(member_trace_, sim_->Now());
+    member_trace_ = {};
+  }
+  // The streams carried a snapshot; one immediate anti-entropy round closes
+  // any gap with writes replicated while the bootstrap was in flight.
+  RunAntiEntropyRound();
+  if (view_hook_ != nullptr) view_hook_->OnServerJoin(this);
+}
+
+void Server::ContinueDecommission() {
+  if (decommission_phase_ == 1) {
+    // Full sweep done. Tail sweep: only rows stamped since shortly before
+    // the full sweep began (straggler writes in flight at the ring change).
+    decommission_phase_ = 2;
+    stream_min_ts_ = tail_cutoff_;
+    BuildStreamTasks(decommission_plan_);
+    PumpStream();
+  } else if (decommission_phase_ == 2) {
+    decommission_phase_ = 3;
+    DrainHintsThenLeave();
+  }
+}
+
+void Server::DrainHintsThenLeave() {
+  if (crashed_ || membership_ != MembershipState::kDraining) return;
+  if (hints_outstanding() == 0) {
+    FinishLeave(/*forced=*/false);
+    return;
+  }
+  if (sim_->Now() >= drain_deadline_) {
+    // The deadline expired with hints still owed: the data must not leave
+    // with this server, so re-send every queued write to the keys' current
+    // replicas and go.
+    ForceRerouteOwnHints();
+    FinishLeave(/*forced=*/true);
+    return;
+  }
+  ReplayHints();
+  const std::uint64_t incarnation = incarnation_;
+  sim_->After(Millis(100), [this, incarnation] {
+    if (incarnation == incarnation_) DrainHintsThenLeave();
+  });
+}
+
+void Server::ForceRerouteOwnHints() {
+  metrics_->member_drains_forced++;
+  for (auto& [target, queue] : hints_) {
+    std::deque<Hint> moved;
+    moved.swap(queue);
+    for (const Hint& hint : moved) {
+      metrics_->member_hints_rerouted++;
+      RerouteWriteToCurrentReplicas(hint.table, hint.key, hint.cells);
+    }
+  }
+}
+
+void Server::FinishLeave(bool forced) {
+  MVSTORE_CHECK(membership_ == MembershipState::kDraining);
+  EmitMemberSpan("member.leave",
+                 forced ? std::string("forced") : std::string("drained"));
+
+  // Same shutdown order as Crash: the view engine sheds this server's share
+  // of volatile maintenance state first, then in-flight coordinator ops
+  // (internal ones — hint replays, view maintenance — may still be open;
+  // drain already rejected new client coordination) get their error
+  // callbacks.
+  if (view_hook_ != nullptr) view_hook_->OnServerLeave(this);
+  auto aborts = std::move(inflight_aborts_);
+  inflight_aborts_.clear();
+  inflight_retargets_.clear();
+  for (auto& [op_id, abort] : aborts) abort();
+  metrics_->inflight_ops_aborted += aborts.size();
+
+  if (!forced) {
+    MVSTORE_CHECK_EQ(hints_outstanding(), std::size_t{0})
+        << "server " << id_ << " left with hints still owed";
+  }
+  hints_.clear();
+  write_lanes_.clear();
+  queue_.Reset();
+  stream_tasks_.clear();
+  stream_pull_pending_ = false;
+  decommission_plan_.clear();
+  decommission_phase_ = 0;
+  membership_ = MembershipState::kLeft;
+  metrics_->member_leaves_completed++;
+  if (tracer_ != nullptr && member_trace_) {
+    tracer_->EndSpan(member_trace_, sim_->Now());
+    member_trace_ = {};
+  }
+  // Gone: stale in-flight messages to/from this life drop at delivery.
+  ++incarnation_;
+  network_->BumpIncarnation(id_);
+  network_->SetEndpointDown(id_, true);
+}
+
+void Server::RerouteWriteToCurrentReplicas(const std::string& table,
+                                           const Key& key,
+                                           const storage::Row& cells) {
+  for (ServerId replica : ReplicasOf(table, key)) {
+    if (replica == id_) {
+      Enqueue(WriteServiceFor(table, cells),
+              [this, table, key, cells] { LocalApply(table, key, cells); });
+      continue;
+    }
+    SendReplicaWrite(replica, table, key, cells, WriteServiceFor(table, cells),
+                     [this, replica, table, key, cells](bool acked) {
+                       if (!acked) StoreHint(replica, table, key, cells);
+                     });
+  }
+}
+
+void Server::RerouteHintsFor(ServerId departed) {
+  auto it = hints_.find(departed);
+  if (it == hints_.end() || it->second.empty()) return;
+  std::deque<Hint> moved;
+  moved.swap(it->second);
+  for (const Hint& hint : moved) {
+    metrics_->member_hints_rerouted++;
+    if (tracer_ != nullptr && hint.trace) {
+      TraceContext span = tracer_->StartSpan(
+          hint.trace, "hint.rerouted", static_cast<int>(id_), sim_->Now());
+      tracer_->Annotate(span, "departed=" + std::to_string(departed));
+      tracer_->EndSpan(span, sim_->Now());
+    }
+    RerouteWriteToCurrentReplicas(hint.table, hint.key, hint.cells);
+  }
+}
+
+void Server::RetargetInflightOps(ServerId departed) {
+  // Snapshot first: a retargeted op may complete synchronously and
+  // deregister itself, mutating the map under iteration.
+  std::vector<std::function<void(ServerId)>> retargets;
+  retargets.reserve(inflight_retargets_.size());
+  for (const auto& [op_id, fn] : inflight_retargets_) {
+    retargets.push_back(fn);
+  }
+  for (auto& fn : retargets) fn(departed);
+}
+
+std::size_t Server::hints_outstanding() const {
+  std::size_t total = 0;
+  for (const auto& [target, queue] : hints_) total += queue.size();
+  return total;
+}
+
+Server::RangeSlice Server::CollectRangeRows(const std::string& table,
+                                            Ring::TokenRange range,
+                                            const Key& from, int limit,
+                                            Timestamp min_ts) const {
+  RangeSlice slice;
+  auto it = engines_.find(table);
+  if (it == engines_.end()) return slice;  // nothing stored: done
+  // Bounded window of keys in the range past the cursor (cheap: no row
+  // merges), then point lookups for just those rows. The cursor advances
+  // over EXAMINED keys, so a min_ts tail sweep that filters everything out
+  // still makes progress.
+  bool more = false;
+  const std::vector<Key> keys = it->second->CollectKeysAfter(
+      from, limit,
+      [&](const Key& key) {
+        return range.Covers(Ring::TokenOf(PartitionKeyFor(table, key)));
+      },
+      &more);
+  slice.done = !more;
+  if (keys.empty()) return slice;
+  slice.resume = keys.back();
+  for (const Key& key : keys) {
+    auto row = it->second->GetRow(key);
+    if (!row.has_value()) continue;
+    if (min_ts > 0) {
+      bool fresh = false;
+      for (const auto& [col, cell] : row->cells()) {
+        if (cell.ts >= min_ts) {
+          fresh = true;
+          break;
+        }
+      }
+      if (!fresh) continue;
+    }
+    slice.rows.push_back(storage::KeyedRow{key, *std::move(row)});
+  }
+  return slice;
+}
+
+void Server::EmitMemberSpan(const char* name, const std::string& note) {
+  if (tracer_ == nullptr || !member_trace_) return;
+  TraceContext span = tracer_->StartSpan(member_trace_, name,
+                                         static_cast<int>(id_), sim_->Now());
+  if (!note.empty()) tracer_->Annotate(span, note);
+  tracer_->EndSpan(span, sim_->Now());
 }
 
 }  // namespace mvstore::store

@@ -39,6 +39,14 @@ namespace mvstore::store {
 /// Write payload: column -> new value (nullopt = delete the cell).
 using Mutation = std::map<ColumnName, std::optional<Value>>;
 
+/// A server's ring-membership lifecycle, orthogonal to the crash state (a
+/// joining or draining server can crash and resume the transition after
+/// Restart).
+///
+///   kLeft ──ActivateForJoin──▶ kJoining ──stream done──▶ kServing
+///   kServing ──BeginDecommission──▶ kDraining ──streamed+drained──▶ kLeft
+enum class MembershipState { kServing, kJoining, kDraining, kLeft };
+
 class Server {
  public:
   Server(ServerId id, sim::Simulation* sim, sim::Network* network,
@@ -84,6 +92,75 @@ class Server {
   /// Monotonic process generation: bumped on every crash. Closures created
   /// by one incarnation refuse to run under a later one.
   std::uint64_t incarnation() const { return incarnation_; }
+
+  // ---------------------------------------------------------------------
+  // Elastic membership (ISSUE 6). The Cluster drives the transitions: it
+  // owns the ring, so it performs the token (re)assignment and hands the
+  // affected ranges down.
+  // ---------------------------------------------------------------------
+
+  MembershipState membership() const { return membership_; }
+  /// Whether this server participates in replication (everything but
+  /// kLeft). Draining servers still apply replica writes and answer reads;
+  /// they only reject NEW client coordination.
+  bool is_member() const { return membership_ != MembershipState::kLeft; }
+  /// Whether this server accepts NEW client coordination: serving or still
+  /// bootstrapping (a joiner is already in the ring and can fan out to
+  /// replicas). Draining and left servers reject with Unavailable.
+  bool AcceptsCoordination() const {
+    return membership_ == MembershipState::kServing ||
+           membership_ == MembershipState::kJoining;
+  }
+
+  /// Marks a capacity slot constructed above `num_servers` as never joined:
+  /// outside the ring, endpoint down, no background ticks until a join.
+  void MarkNeverJoined();
+
+  /// Brings a kLeft slot up as a joiner: fresh incarnation, endpoint up,
+  /// background ticks armed, `member.join` trace opened. The Cluster calls
+  /// this BEFORE adding the server to the ring.
+  void ActivateForJoin();
+
+  /// Starts the streaming bootstrap: pulls every range in `plan` (one task
+  /// per range and table, `join_stream_batch` rows per message, resumable
+  /// cursor, per-range retry with linear backoff rotating through the
+  /// sources). Flips to kServing when the last range lands.
+  void BeginJoinStream(std::vector<Ring::RangeTransfer> plan);
+
+  /// Starts the decommission. The Cluster has already removed this server
+  /// from the ring; `plan` names the ranges it owned and their new owners.
+  /// The server streams each range out (a full sweep, then a tail sweep
+  /// that catches writes applied during the first), drains its hinted
+  /// handoffs, then leaves: endpoint down, new coordination rejected from
+  /// the moment this is called.
+  void BeginDecommission(std::vector<Ring::RangeTransfer> plan);
+
+  /// Re-coordinates every hint queued FOR `departed` to the hinted keys'
+  /// current replicas (the departed server will never ack them).
+  void RerouteHintsFor(ServerId departed);
+
+  /// Moves the unanswered slots of in-flight quorum ops off `departed` and
+  /// onto a current replica of the op's key, so acked writes are never
+  /// stranded waiting on a server that left the ring.
+  void RetargetInflightOps(ServerId departed);
+
+  /// Total hints queued across all targets (the decommission drain gate).
+  std::size_t hints_outstanding() const;
+
+  /// One batch of a membership range stream: rows of `table` whose
+  /// partition key falls in `range`, with keys strictly greater than
+  /// `from`, holding at least one cell with ts >= `min_ts`; at most `limit`
+  /// rows per call (in key order). `resume` is the cursor for the next
+  /// call; `done` signals the range is exhausted. Runs on the source server
+  /// (join pulls) or locally (decommission pushes).
+  struct RangeSlice {
+    std::vector<storage::KeyedRow> rows;
+    Key resume;
+    bool done = true;
+  };
+  RangeSlice CollectRangeRows(const std::string& table,
+                              Ring::TokenRange range, const Key& from,
+                              int limit, Timestamp min_ts) const;
 
   /// All servers of the cluster, indexed by ServerId (set by the Cluster;
   /// used to address peers).
@@ -331,9 +408,14 @@ class Server {
   void ScheduleBackgroundTicks();
 
   /// Registers an abort closure for an in-flight coordinator operation;
-  /// Crash() invokes every registered closure. Returns the registration id
-  /// the op passes to DeregisterInflightOp when it finalizes normally.
-  std::uint64_t RegisterInflightOp(std::function<void()> abort);
+  /// Crash() invokes every registered closure. `retarget` (optional) is
+  /// invoked with the id of a server that left the ring mid-operation so
+  /// the op can move unanswered slots onto a live replica. Returns the
+  /// registration id the op passes to DeregisterInflightOp when it
+  /// finalizes normally.
+  std::uint64_t RegisterInflightOp(std::function<void()> abort,
+                                   std::function<void(ServerId)> retarget =
+                                       nullptr);
   void DeregisterInflightOp(std::uint64_t op_id);
 
   /// Records a hint for a write `target` did not acknowledge.
@@ -369,6 +451,48 @@ class Server {
   /// service demand is the sum of the batched mutations' demands.
   void FlushReplicaWrites(ServerId to);
 
+  // --- elastic membership internals ---
+
+  /// One (range, table) unit of a membership stream. Join tasks pull from
+  /// `peers` (rotating on retry); decommission tasks push to the single
+  /// server in `peers`. `cursor` makes the stream resumable: a timed-out
+  /// slice re-requests from the last acknowledged key, not from scratch.
+  struct StreamTask {
+    std::string table;
+    Ring::TokenRange range;
+    std::vector<ServerId> peers;
+    Key cursor;
+    int attempt = 0;
+    std::uint64_t rows_streamed = 0;
+  };
+
+  /// Expands a transfer plan into stream tasks (join: one per range+table;
+  /// decommission: one per range+table+new owner).
+  void BuildStreamTasks(const std::vector<Ring::RangeTransfer>& plan);
+  /// Drives the front stream task: issues the next slice pull/push with a
+  /// timeout, advances the cursor on ack, retries with backoff on silence.
+  void PumpStream();
+  void StreamSliceSettled(std::uint64_t seq, bool ok,
+                          std::size_t rows_acked, Key resume, bool done);
+  void FinishStreamTask();
+  void FinishJoin();
+  /// Advances the decommission phase machine once the current sweep's
+  /// stream tasks have drained.
+  void ContinueDecommission();
+  /// Polls the hint queues; leaves when empty, force-reroutes at the drain
+  /// deadline.
+  void DrainHintsThenLeave();
+  /// Sends every still-queued hint directly to its key's current replicas
+  /// (drain deadline expired; the data must not leave with this server).
+  void ForceRerouteOwnHints();
+  /// Re-coordinates one write to the key's CURRENT ring replicas: local
+  /// apply when this server is one, replica-write (hinting on silence)
+  /// otherwise. The common leg of every hint-reroute path.
+  void RerouteWriteToCurrentReplicas(const std::string& table, const Key& key,
+                                     const storage::Row& cells);
+  void FinishLeave(bool forced);
+  void EmitMemberSpan(const char* name, const std::string& note);
+
   ServerId id_;
   sim::Simulation* sim_;
   sim::Network* network_;
@@ -397,6 +521,32 @@ class Server {
   /// Abort closures of in-flight coordinator ops, by registration id
   /// (ordered map: Crash() aborts in deterministic id order).
   std::map<std::uint64_t, std::function<void()>> inflight_aborts_;
+  /// Retarget closures of the same ops (same ids); invoked when a server
+  /// departs the ring so unanswered slots move to a live replica.
+  std::map<std::uint64_t, std::function<void(ServerId)>> inflight_retargets_;
+
+  // --- elastic membership state ---
+  MembershipState membership_ = MembershipState::kServing;
+  std::deque<StreamTask> stream_tasks_;
+  /// Matches slice replies and their timeout probes to the CURRENT pull;
+  /// a stale reply (superseded by a retry) or a stale timeout is ignored.
+  std::uint64_t stream_seq_ = 0;
+  bool stream_pull_pending_ = false;
+  /// The decommission plan outlives a crash (modeled as a durable
+  /// decommission-intent record): a draining server that crashes resumes
+  /// the handoff after Restart instead of stranding its ranges.
+  std::vector<Ring::RangeTransfer> decommission_plan_;
+  std::vector<Ring::RangeTransfer> join_plan_;
+  /// 0 = idle, 1 = full sweep, 2 = tail sweep, 3 = hint drain.
+  int decommission_phase_ = 0;
+  /// Tail-sweep filter: only rows written since shortly before the full
+  /// sweep began (straggler writes in flight when the ring changed).
+  Timestamp stream_min_ts_ = 0;
+  Timestamp tail_cutoff_ = 0;
+  SimTime drain_deadline_ = 0;
+  /// Root span of the in-progress join or drain ("member.join" /
+  /// "member.drain"); child spans mark each streamed range.
+  TraceContext member_trace_;
 };
 
 // ---------------------------------------------------------------------------

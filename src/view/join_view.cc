@@ -59,35 +59,42 @@ struct JoinState {
 
 void JoinGet(
     store::Client& client, const JoinViewDef& def, const Value& join_key,
-    std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback,
-    int read_quorum) {
+    const store::ReadOptions& options,
+    std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback) {
   auto state = std::make_shared<JoinState>();
   state->callback = std::move(callback);
-  client.ViewGet(def.LeftViewName(), join_key, def.left_columns,
-                 [state](StatusOr<std::vector<store::ViewRecord>> records) {
-                   state->left = std::move(records);
+  store::ReadOptions left_options = options;
+  left_options.columns = def.left_columns;
+  client.ViewGet(def.LeftViewName(), join_key, left_options,
+                 [state](store::ReadResult result) {
+                   if (result.ok()) {
+                     state->left = std::move(result.records);
+                   } else {
+                     state->left = std::move(result.status);
+                   }
                    state->MaybeFinish();
-                 },
-                 read_quorum);
-  client.ViewGet(def.RightViewName(), join_key, def.right_columns,
-                 [state](StatusOr<std::vector<store::ViewRecord>> records) {
-                   state->right = std::move(records);
+                 });
+  store::ReadOptions right_options = options;
+  right_options.columns = def.right_columns;
+  client.ViewGet(def.RightViewName(), join_key, right_options,
+                 [state](store::ReadResult result) {
+                   if (result.ok()) {
+                     state->right = std::move(result.records);
+                   } else {
+                     state->right = std::move(result.status);
+                   }
                    state->MaybeFinish();
-                 },
-                 read_quorum);
+                 });
 }
 
-StatusOr<std::vector<JoinedRecord>> JoinGetSync(sim::Simulation& sim,
-                                                store::Client& client,
-                                                const JoinViewDef& def,
-                                                const Value& join_key,
-                                                int read_quorum) {
+StatusOr<std::vector<JoinedRecord>> JoinGetSync(
+    sim::Simulation& sim, store::Client& client, const JoinViewDef& def,
+    const Value& join_key, const store::ReadOptions& options) {
   std::optional<StatusOr<std::vector<JoinedRecord>>> slot;
-  JoinGet(client, def, join_key,
+  JoinGet(client, def, join_key, options,
           [&slot](StatusOr<std::vector<JoinedRecord>> result) {
             slot = std::move(result);
-          },
-          read_quorum);
+          });
   while (!slot.has_value() && sim.Step()) {
   }
   MVSTORE_CHECK(slot.has_value()) << "simulation ran dry during JoinGet";

@@ -58,17 +58,16 @@ Status DeclareJoinView(store::Schema& schema, const JoinViewDef& def);
 /// Inner-join lookup by join-key value: issues both view Gets (through
 /// `client`, honoring its session) and pairs the results. The callback
 /// receives the cross product of live left and right records under the key.
+/// `options.columns` is ignored — each side reads its own materialized
+/// columns; quorum/timeout/trace apply to both underlying ViewGets.
 void JoinGet(store::Client& client, const JoinViewDef& def,
-             const Value& join_key,
-             std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback,
-             int read_quorum = -1);
+             const Value& join_key, const store::ReadOptions& options,
+             std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback);
 
 /// Synchronous wrapper (drives the simulation; tests and examples).
-StatusOr<std::vector<JoinedRecord>> JoinGetSync(sim::Simulation& sim,
-                                                store::Client& client,
-                                                const JoinViewDef& def,
-                                                const Value& join_key,
-                                                int read_quorum = -1);
+StatusOr<std::vector<JoinedRecord>> JoinGetSync(
+    sim::Simulation& sim, store::Client& client, const JoinViewDef& def,
+    const Value& join_key, const store::ReadOptions& options = {});
 
 }  // namespace mvstore::view
 

@@ -5,6 +5,7 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "storage/cell.h"
 #include "store/codec.h"
 #include "view/scrub.h"
 #include "view/view_row.h"
@@ -324,11 +325,18 @@ void MaintenanceEngine::AbsorbTask(
   cluster_->metrics().prop_batched++;
   // The winner's (pre-merge) view-key write is superseded below if the
   // newcomer's is newer; either way it never reached the view, so the
-  // newcomer's pre-image of it must not become a guess to chase.
+  // newcomer's pre-image of it must not become a guess to chase. The
+  // comparison must be storage::Supersedes, not a bare timestamp test:
+  // distinct clients can issue view-key writes at the SAME timestamp, and
+  // the base table resolves that tie by the cell ordering — if the merge
+  // kept the other cell, the coalesced round would propagate a key the
+  // base table's LWW already discarded and the view would converge to the
+  // wrong live row.
   const std::optional<Cell> own_write = winner->view_key_update;
   if (task->view_key_update &&
       (!winner->view_key_update ||
-       task->view_key_update->ts > winner->view_key_update->ts)) {
+       storage::Supersedes(*task->view_key_update,
+                           *winner->view_key_update))) {
     winner->view_key_update = task->view_key_update;
   }
   winner->materialized_updates.MergeFrom(task->materialized_updates);
@@ -505,6 +513,50 @@ void MaintenanceEngine::OnServerRestart(store::Server* server) {
       RunOwnedRangeScrub(server->id());
 }
 
+void MaintenanceEngine::OnServerJoin(store::Server* server) {
+  // Ownership of base-key ranges moved onto the joiner: re-derive view
+  // state for what it now primarily owns, adopting any family orphaned by
+  // the ownership move (a dedicated task that re-homed mid-flight).
+  cluster_->metrics().orphaned_propagations_recovered +=
+      RunOwnedRangeScrub(server->id());
+}
+
+void MaintenanceEngine::OnServerLeave(store::Server* server) {
+  const ServerId id = server->id();
+  const bool dedicated = cluster_->config().propagation_mode ==
+                         store::PropagationMode::kDedicatedPropagators;
+  // Like a crash, the leaver's volatile share dies — but the ring has
+  // ALREADY dropped it, so ExecutorOf points at the ranges' new primaries
+  // and cannot name what still physically runs here. Sweep by where work
+  // actually is: tasks originated here that never handed off (the handoff
+  // message dies with this endpoint's incarnation), attempts pumped on this
+  // propagator (executed_on), and its still-queued row queues. Handed-off
+  // tasks of this ORIGIN keep running elsewhere — their completion notice
+  // to the dead origin just drops, like after an origin crash.
+  std::vector<std::shared_ptr<PropagationTask>> doomed;
+  for (const auto& [task_id, task] : live_tasks_) {
+    if (dedicated) {
+      if ((!task->handed_off && task->origin == id) ||
+          (task->in_attempt && task->executed_on == id)) {
+        doomed.push_back(task);
+      }
+    } else if (task->origin == id) {
+      doomed.push_back(task);
+    }
+  }
+  for (const auto& [resource, queue] : row_queues_[id]) {
+    for (const auto& task : queue.tasks) doomed.push_back(task);
+  }
+  for (const auto& task : doomed) OrphanTask(task);
+  row_queues_[id].clear();
+  sessions_[id]->Reset();
+  // Recovery of the orphaned families follows the same path as after a
+  // crash: every one of them has a (new) primary owner in the ring, whose
+  // periodic owned-range scrub re-derives the view rows. Clusters that
+  // churn membership should therefore run with view_scrub_interval > 0,
+  // exactly like clusters that crash servers.
+}
+
 std::size_t MaintenanceEngine::RunOwnedRangeScrub(ServerId server) {
   std::size_t recovered = 0;
   for (const std::string& table : cluster_->schema().TableNames()) {
@@ -522,7 +574,8 @@ std::size_t MaintenanceEngine::RunOwnedRangeScrub(ServerId server) {
 }
 
 void MaintenanceEngine::OwnedRangeScrubTick(ServerId server) {
-  if (!cluster_->server(server).crashed()) {
+  if (!cluster_->server(server).crashed() &&
+      cluster_->server(server).is_member()) {
     cluster_->metrics().orphaned_propagations_recovered +=
         RunOwnedRangeScrub(server);
   }
@@ -567,6 +620,7 @@ void MaintenanceEngine::RunUnsynchronized(
   // which carries no ambient context).
   Tracer::Scope scope(&cluster_->tracer(), task->trace);
   task->in_attempt = true;
+  task->executed_on = task->origin;
   Propagation::Run(executor, task, CurrentGuess(*task),
                    [this, task](Status status) {
                      task->in_attempt = false;
@@ -588,6 +642,7 @@ void MaintenanceEngine::RunUnsynchronized(
 void MaintenanceEngine::RunWithLocks(std::shared_ptr<PropagationTask> task) {
   if (task->orphaned) return;
   store::Server* executor = &cluster_->server(task->origin);
+  task->executed_on = task->origin;
   const std::string resource = ResourceOf(*task);
   const LockMode mode = task->view_key_update.has_value()
                             ? LockMode::kExclusive
@@ -690,6 +745,7 @@ void MaintenanceEngine::PumpRowQueue(ServerId propagator,
   // re-enter the dequeued task's own span.
   Tracer::Scope scope(&cluster_->tracer(), task->trace);
   task->in_attempt = true;
+  task->executed_on = propagator;
   Propagation::Run(
       executor, task, CurrentGuess(*task),
       [this, task, propagator, resource](Status status) {

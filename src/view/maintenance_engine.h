@@ -46,6 +46,8 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
       override;
   void OnServerCrash(store::Server* server) override;
   void OnServerRestart(store::Server* server) override;
+  void OnServerJoin(store::Server* server) override;
+  void OnServerLeave(store::Server* server) override;
 
   /// Number of propagations registered but not yet completed or abandoned.
   std::uint64_t active_propagations() const { return active_; }

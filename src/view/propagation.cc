@@ -319,10 +319,16 @@ void Propagation::Promote() {
         cells.MergeFrom(self->SelectionMarkFromMaterialized());
         self->ViewPut(knew, std::move(cells), [self, knew, tnew] {
           // Line 8: the old live row becomes stale and loses its
-          // accessibility marker.
+          // accessibility marker. The revocation is stamped with the OLD
+          // row's live timestamp, not tnew: a live row's __init always
+          // carries its Next pointer's timestamp, so the tombstone still
+          // wins that tie — while a later re-promotion of the old key at
+          // tnew (reachable when distinct clients write at the same
+          // timestamp and the value tie-break re-elects it) can re-assert
+          // __init instead of losing the tie to this tombstone forever.
           Row stale;
           stale.Apply(kViewNextColumn, Cell::Live(knew, tnew));
-          stale.Apply(kViewInitColumn, Cell::Tombstone(tnew));
+          stale.Apply(kViewInitColumn, Cell::Tombstone(self->live_ts_));
           self->executor_->metrics()->stale_rows_created++;
           self->ViewPut(self->live_key_, std::move(stale),
                         [self, knew, tnew] {

@@ -93,6 +93,14 @@ struct PropagationTask {
   /// writes may be in flight, so coalescing must not mutate the payload.
   bool in_attempt = false;
 
+  /// The server the current (or most recent) attempt executes on: the
+  /// origin in lock-service/unsynchronized modes, the row's dedicated
+  /// propagator AT THE TIME the attempt was pumped otherwise. A membership
+  /// change re-homes ExecutorOf immediately, so this is the only record of
+  /// where an already-running attempt actually lives — what OnServerLeave
+  /// needs to orphan a departing executor's mid-attempt tasks.
+  ServerId executed_on = -1;
+
   /// Tasks coalesced into this one (same view + base key + origin): their
   /// updates were LWW-merged into this task's payload, and their lifecycle
   /// bookkeeping (completion metrics, session notification, trace close)

@@ -22,9 +22,13 @@ std::map<Key, Row> MergedTable(store::Cluster& cluster,
                                const std::string& table) {
   std::map<Key, Row> merged;
   for (int s = 0; s < cluster.num_servers(); ++s) {
-    cluster.server(static_cast<ServerId>(s))
-        .EngineFor(table)
-        .ForEach([&merged](const Key& key, const Row& row) {
+    store::Server& server = cluster.server(static_cast<ServerId>(s));
+    // Slots outside the ring hold nothing (never joined) or a frozen
+    // pre-decommission snapshot whose cells could resurrect rows that GC
+    // has since purged from the live replicas. Only members count.
+    if (!server.is_member()) continue;
+    server.EngineFor(table).ForEach(
+        [&merged](const Key& key, const Row& row) {
           merged[key].MergeFrom(row);
         });
   }

@@ -70,8 +70,11 @@ RunResult ClosedLoopRunner::Run(SimTime warmup, SimTime measure) {
   state->result.window = measure;
   state->clients.reserve(static_cast<std::size_t>(num_clients_));
   for (int i = 0; i < num_clients_; ++i) {
-    state->clients.push_back(cluster_->NewClient(
-        static_cast<ServerId>(i % cluster_->num_servers())));
+    // num_servers() counts capacity slots (including spares that have never
+    // joined); route each client to a serving member near its round-robin
+    // position so elastic-membership benches attach to live coordinators.
+    state->clients.push_back(cluster_->NewClient(cluster_->PickServingServer(
+        static_cast<ServerId>(i % cluster_->num_servers()))));
   }
 
   for (int i = 0; i < num_clients_; ++i) Issue(state, i);

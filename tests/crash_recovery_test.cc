@@ -105,7 +105,7 @@ TEST(CrashRecoveryTest, RestartReplaysCommitLogAndDataSurvives) {
                     ->PutSync("ticket", "t" + std::to_string(k),
                               {{"assigned_to", std::string("alice")},
                                {"status", std::string("open")}},
-                              /*write_quorum=*/3)
+                              {.quorum = 3})
                     .ok());
   }
   t.Quiesce();
@@ -123,13 +123,14 @@ TEST(CrashRecoveryTest, RestartReplaysCommitLogAndDataSurvives) {
   // Server 0's replica is intact: read it directly.
   for (int k = 0; k < 6; ++k) {
     const Key key = "t" + std::to_string(k);
-    auto row = t.cluster.server(0).EngineFor("ticket").GetRow(key);
-    if (!row.has_value()) continue;  // not a replica of this key
-    EXPECT_EQ(row->GetValue("assigned_to"), "alice") << key;
+    auto local = t.cluster.server(0).EngineFor("ticket").GetRow(key);
+    if (!local.has_value()) continue;  // not a replica of this key
+    EXPECT_EQ((*local).GetValue("assigned_to"), "alice") << key;
   }
-  auto row = client->GetSync("ticket", "t0", {"status"}, /*read_quorum=*/3);
+  auto row = client->GetSync("ticket", "t0",
+                             {.quorum = 3, .columns = {"status"}});
   ASSERT_TRUE(row.ok());
-  EXPECT_EQ(row->GetValue("status"), "open");
+  EXPECT_EQ(row.row.GetValue("status"), "open");
 }
 
 TEST(CrashRecoveryTest, CrashAbortsInflightCoordinatorOps) {
@@ -150,11 +151,10 @@ TEST(CrashRecoveryTest, CrashAbortsInflightCoordinatorOps) {
   bool replied = false;
   Status result = Status::OK();
   client->Put("ticket", "t0", {{"status", std::string("closed")}},
-              [&replied, &result](Status s) {
+              {.quorum = 3}, [&replied, &result](store::WriteResult w) {
                 replied = true;
-                result = s;
-              },
-              /*write_quorum=*/3);
+                result = w.status;
+              });
   // Let the request reach the coordinator, then kill it mid-operation.
   t.cluster.RunFor(Millis(5));
   t.cluster.CrashServer(0);
@@ -195,7 +195,8 @@ TEST(CrashRecoveryTest, CrashedLockHolderIsReclaimedAndScrubConverges) {
   client->set_request_timeout(Millis(100));
   for (int k = 0; k < 8; ++k) {
     client->Put("ticket", "t" + std::to_string(k),
-                {{"assigned_to", "b" + std::to_string(k)}}, [](Status) {}, 1);
+                {{"assigned_to", "b" + std::to_string(k)}}, {.quorum = 1},
+                [](store::WriteResult) {});
   }
   // Step until some propagation from server 0 holds its lock, then crash
   // the coordinator: the holds are stranded (a dead process cannot send
@@ -281,20 +282,21 @@ TEST(CrashRecoveryTest, ChaosNemesisViewsConvergeAfterHeal) {
       const Key key = "t" + std::to_string(rng.UniformInt(0, 11));
       auto next = [&issue, c](bool) { issue(c); };
       if (rng.Chance(0.5)) {
-        clients[c]->Put("ticket", key,
-                        {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 5))}},
-                        [next](Status s) { next(s.ok()); }, 1);
+        clients[c]->Put(
+            "ticket", key,
+            {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 5))}},
+            {.quorum = 1},
+            [next](store::WriteResult w) { next(w.ok()); });
       } else if (rng.Chance(0.5)) {
         clients[c]->Put("ticket", key,
                         {{"status", rng.Chance(0.5) ? "open" : "closed"}},
-                        [next](Status s) { next(s.ok()); }, 1);
+                        {.quorum = 1},
+                        [next](store::WriteResult w) { next(w.ok()); });
       } else {
         clients[c]->ViewGet(
             "assigned_to_view", "a" + std::to_string(rng.UniformInt(0, 5)),
-            {"status"},
-            [next](StatusOr<std::vector<store::ViewRecord>> r) {
-              next(r.ok());
-            });
+            {.columns = {"status"}},
+            [next](store::ReadResult r) { next(r.ok()); });
       }
     };
     for (int c = 0; c < 3; ++c) {
@@ -496,14 +498,17 @@ TEST(TombstoneGcTest, PendingHintDefersPurgeAndDeleteSurvivesCrash) {
   const ServerId lagging = replicas[1];
 
   auto client = t.cluster.NewClient(coord);
-  ASSERT_TRUE(client->PutSync("t", key, {{"a", std::string("v")}}, 2).ok());
+  ASSERT_TRUE(
+      client->PutSync("t", key, {{"a", std::string("v")}}, {.quorum = 2})
+          .ok());
   t.cluster.RunFor(Millis(50));
 
   // Partition the second replica, then delete at write quorum 1: the
   // coordinator applies the tombstone and stores a hint for the replica
   // still holding the live cell.
   t.cluster.network().SetEndpointDown(lagging, true);
-  ASSERT_TRUE(client->PutSync("t", key, {{"a", std::nullopt}}, 1).ok());
+  ASSERT_TRUE(
+      client->PutSync("t", key, {{"a", std::nullopt}}, {.quorum = 1}).ok());
   t.cluster.RunFor(Millis(100));  // past the rpc timeout: hint stored
   ASSERT_EQ(t.cluster.server(coord).pending_hints(lagging), 1u);
 

@@ -50,12 +50,14 @@ RunFingerprint RunOnce(std::uint64_t seed) {
       [&rng](int, store::Client& client, std::function<void(bool)> done) {
         const Key key = "t" + std::to_string(rng.UniformInt(0, 19));
         if (rng.Chance(0.5)) {
-          client.Put("ticket", key,
-                     {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 5))}},
-                     [done](Status s) { done(s.ok()); });
+          client.Put(
+              "ticket", key,
+              {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 5))}},
+              store::WriteOptions{},
+              [done](store::WriteResult w) { done(w.ok()); });
         } else {
-          client.Get("ticket", key, {"status"},
-                     [done](StatusOr<storage::Row> r) { done(r.ok()); });
+          client.Get("ticket", key, {.columns = {"status"}},
+                     [done](store::ReadResult r) { done(r.ok()); });
         }
       });
   workload::RunResult result = runner.Run(Millis(10), Millis(500));
@@ -154,7 +156,7 @@ ChaosFingerprint RunChaosOnce(std::uint64_t seed) {
     const Key key = "t" + std::to_string(rng.UniformInt(0, 9));
     client->Put("ticket", key,
                 {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 4))}},
-                [&issue](Status) { issue(); }, 1);
+                {.quorum = 1}, [&issue](store::WriteResult) { issue(); });
   };
   issue();
   t.cluster.RunFor(options.horizon + Millis(500));

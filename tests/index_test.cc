@@ -53,10 +53,10 @@ TEST(IndexEndToEndTest, LookupBySecondaryKey) {
         100 + i);
   }
   auto client = tc.cluster.NewClient();
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "alice");
+  auto rows = client->IndexGetSync("ticket", "assigned_to", "alice", store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->size(), 10u);
-  for (const auto& kr : *rows) {
+  EXPECT_EQ(rows.rows.size(), 10u);
+  for (const auto& kr : rows.rows) {
     EXPECT_EQ(kr.row.GetValue("assigned_to").value_or(""), "alice");
   }
 }
@@ -67,40 +67,38 @@ TEST(IndexEndToEndTest, IndexMaintainedSynchronouslyOnWrites) {
   ASSERT_TRUE(client
                   ->PutSync("ticket", "9",
                             {{"assigned_to", std::string("carol")},
-                             {"status", std::string("new")}},
-                            /*write_quorum=*/3)
-                  .ok());
+                             {"status", std::string("new")}}, {.quorum = 3})
+.ok());
   // No quiescing: native index maintenance is synchronous with the write.
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "carol");
+  auto rows = client->IndexGetSync("ticket", "assigned_to", "carol", store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
-  ASSERT_EQ(rows->size(), 1u);
-  EXPECT_EQ((*rows)[0].key, "9");
+  ASSERT_EQ(rows.rows.size(), 1u);
+  EXPECT_EQ(rows.rows[0].key, "9");
 
   // Reassign: the old posting disappears, the new one appears.
   ASSERT_TRUE(client
-                  ->PutSync("ticket", "9", {{"assigned_to", std::string("dave")}},
-                            /*write_quorum=*/3)
-                  .ok());
-  auto old_rows = client->IndexGetSync("ticket", "assigned_to", "carol");
+                  ->PutSync("ticket", "9", {{"assigned_to", std::string("dave")}}, {.quorum = 3})
+.ok());
+  auto old_rows = client->IndexGetSync("ticket", "assigned_to", "carol", store::ReadOptions{});
   ASSERT_TRUE(old_rows.ok());
-  EXPECT_TRUE(old_rows->empty());
-  auto new_rows = client->IndexGetSync("ticket", "assigned_to", "dave");
+  EXPECT_TRUE(old_rows.rows.empty());
+  auto new_rows = client->IndexGetSync("ticket", "assigned_to", "dave", store::ReadOptions{});
   ASSERT_TRUE(new_rows.ok());
-  EXPECT_EQ(new_rows->size(), 1u);
+  EXPECT_EQ(new_rows.rows.size(), 1u);
 }
 
 TEST(IndexEndToEndTest, DeletedColumnLeavesIndex) {
   test::TestCluster tc;
   auto client = tc.cluster.NewClient();
   ASSERT_TRUE(client
-                  ->PutSync("ticket", "9", {{"assigned_to", std::string("eve")}},
-                            3)
-                  .ok());
-  ASSERT_TRUE(client->DeleteSync("ticket", "9", {"assigned_to"}, 3).ok());
+                  ->PutSync("ticket", "9", {{"assigned_to", std::string("eve")}}, {.quorum = 3})
+.ok());
+  ASSERT_TRUE(client->DeleteSync("ticket", "9", {"assigned_to"}, {.quorum = 3})
+.ok());
   tc.Quiesce();
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "eve");
+  auto rows = client->IndexGetSync("ticket", "assigned_to", "eve", store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
-  EXPECT_TRUE(rows->empty());
+  EXPECT_TRUE(rows.rows.empty());
 }
 
 TEST(IndexEndToEndTest, StaleFragmentHitsConvergeViaAntiEntropy) {
@@ -122,27 +120,27 @@ TEST(IndexEndToEndTest, StaleFragmentHitsConvergeViaAntiEntropy) {
 
   auto client = tc.cluster.NewClient();
   // The new value is immediately findable through the updated fragment.
-  auto current = client->IndexGetSync("ticket", "assigned_to", "grace");
+  auto current = client->IndexGetSync("ticket", "assigned_to", "grace", store::ReadOptions{});
   ASSERT_TRUE(current.ok());
-  EXPECT_EQ(current->size(), 1u);
+  EXPECT_EQ(current.rows.size(), 1u);
   // The old value still surfaces through the lagging fragments (the merged
   // row the coordinator sees from them predates the update).
-  auto stale = client->IndexGetSync("ticket", "assigned_to", "frank");
+  auto stale = client->IndexGetSync("ticket", "assigned_to", "frank", store::ReadOptions{});
   ASSERT_TRUE(stale.ok());
-  EXPECT_EQ(stale->size(), 1u);
+  EXPECT_EQ(stale.rows.size(), 1u);
 
   // After anti-entropy converges the replicas, the stale posting is gone.
   tc.cluster.RunFor(Seconds(3));
-  auto after = client->IndexGetSync("ticket", "assigned_to", "frank");
+  auto after = client->IndexGetSync("ticket", "assigned_to", "frank", store::ReadOptions{});
   ASSERT_TRUE(after.ok());
-  EXPECT_TRUE(after->empty());
+  EXPECT_TRUE(after.rows.empty());
 }
 
 TEST(IndexEndToEndTest, MissingIndexErrors) {
   test::TestCluster tc;
   auto client = tc.cluster.NewClient();
-  auto rows = client->IndexGetSync("ticket", "status", "open");
-  EXPECT_TRUE(rows.status().IsNotFound());
+  auto rows = client->IndexGetSync("ticket", "status", "open", store::ReadOptions{});
+  EXPECT_TRUE(rows.status.IsNotFound());
 }
 
 TEST(IndexEndToEndTest, BroadcastTouchesEveryServer) {
@@ -152,7 +150,7 @@ TEST(IndexEndToEndTest, BroadcastTouchesEveryServer) {
   auto client = tc.cluster.NewClient();
   const std::uint64_t probes_before =
       tc.cluster.metrics().index_fragment_probes;
-  ASSERT_TRUE(client->IndexGetSync("ticket", "assigned_to", "x").ok());
+  ASSERT_TRUE(client->IndexGetSync("ticket", "assigned_to", "x", store::ReadOptions{}).ok());
   EXPECT_EQ(tc.cluster.metrics().index_fragment_probes - probes_before,
             static_cast<std::uint64_t>(tc.cluster.num_servers()));
 }
@@ -163,8 +161,8 @@ TEST(IndexEndToEndTest, UnavailableWhenAFragmentIsDown) {
   test::TestCluster tc(config);
   tc.cluster.network().SetEndpointDown(3, true);
   auto client = tc.cluster.NewClient(0);
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "x");
-  EXPECT_TRUE(rows.status().IsUnavailable());
+  auto rows = client->IndexGetSync("ticket", "assigned_to", "x", store::ReadOptions{});
+  EXPECT_TRUE(rows.status.IsUnavailable());
 }
 
 }  // namespace

@@ -139,7 +139,7 @@ TEST(TraceReconstruction, DeprecatedSignaturesStillTraceImplicitly) {
   auto client = tc.cluster.NewClient(0);
   ASSERT_TRUE(client
                   ->PutSync("ticket", "t9",
-                            {{"assigned_to", "dan"}, {"status", "open"}})
+                            {{"assigned_to", "dan"}, {"status", "open"}}, store::WriteOptions{})
                   .ok());
   EXPECT_GT(tc.cluster.tracer().recorded(), 0u);
 }

@@ -77,5 +77,143 @@ TEST(RingTest, SingleServerRing) {
   EXPECT_EQ(ring.ReplicasFor("x", 1), (std::vector<ServerId>{0}));
 }
 
+TEST(RingTest, ReplicationFactorEqualToMembershipIsExact) {
+  // n == num_servers: every key's replica set is the full membership, in
+  // some preference order, with no duplicates — including on a ring that
+  // grew to that size incrementally.
+  Ring ring(3, 16, 6);
+  ring.AddServer(3, 4);
+  for (int i = 0; i < 100; ++i) {
+    auto replicas = ring.ReplicasFor("k" + std::to_string(i), 4);
+    ASSERT_EQ(replicas.size(), 4u);
+    EXPECT_EQ(std::set<ServerId>(replicas.begin(), replicas.end()),
+              (std::set<ServerId>{0, 1, 2, 3}));
+  }
+}
+
+TEST(RingTest, IdenticalRebuildsShareEveryTokenRange) {
+  // Token-level determinism: two rings built from the same (seed, members)
+  // agree on every server's replicated ranges, not just on placements.
+  Ring a(4, 32, 11);
+  Ring b(4, 32, 11);
+  for (ServerId s = 0; s < 4; ++s) {
+    const auto ra = a.RangesReplicatedOn(s, 3);
+    const auto rb = b.RangesReplicatedOn(s, 3);
+    ASSERT_EQ(ra.size(), rb.size()) << "server " << s;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_TRUE(ra[i] == rb[i]) << "server " << s << " range " << i;
+    }
+  }
+}
+
+TEST(RingTest, IncrementallyGrownRingMatchesRebuiltRing) {
+  // Per-server token streams make the ring a pure function of
+  // (seed, member set): growing 3 -> 5 one join at a time lands exactly on
+  // the ring built with 5 members from scratch.
+  Ring grown(3, 32, 13);
+  grown.AddServer(3, 3);
+  grown.AddServer(4, 3);
+  Ring rebuilt(5, 32, 13);
+  for (int i = 0; i < 300; ++i) {
+    const Key key = "k" + std::to_string(i);
+    EXPECT_EQ(grown.ReplicasFor(key, 3), rebuilt.ReplicasFor(key, 3)) << key;
+  }
+  for (ServerId s = 0; s < 5; ++s) {
+    const auto ga = grown.RangesReplicatedOn(s, 3);
+    const auto ra = rebuilt.RangesReplicatedOn(s, 3);
+    ASSERT_EQ(ga.size(), ra.size()) << "server " << s;
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      EXPECT_TRUE(ga[i] == ra[i]) << "server " << s << " range " << i;
+    }
+  }
+}
+
+TEST(RingTest, ShrunkRingMatchesRebuiltRing) {
+  Ring shrunk(5, 32, 13);
+  shrunk.RemoveServer(4, 3);
+  Ring rebuilt(4, 32, 13);
+  for (int i = 0; i < 300; ++i) {
+    const Key key = "k" + std::to_string(i);
+    EXPECT_EQ(shrunk.ReplicasFor(key, 3), rebuilt.ReplicasFor(key, 3)) << key;
+  }
+}
+
+TEST(RingTest, AddServerTransfersCoverEveryRangeTheJoinerOwns) {
+  Ring ring(4, 32, 17);
+  const auto transfers = ring.AddServer(4, 3);
+  ASSERT_FALSE(transfers.empty());
+  for (const auto& transfer : transfers) {
+    // Sources exist, exclude the joiner, and are members.
+    ASSERT_FALSE(transfer.peers.empty());
+    for (ServerId peer : transfer.peers) {
+      EXPECT_NE(peer, 4u);
+      EXPECT_TRUE(ring.IsMember(peer));
+    }
+  }
+  // Every key the joiner now replicates falls in some transferred range.
+  for (int i = 0; i < 500; ++i) {
+    const Key key = "k" + std::to_string(i);
+    const auto replicas = ring.ReplicasFor(key, 3);
+    if (std::find(replicas.begin(), replicas.end(), ServerId{4}) ==
+        replicas.end()) {
+      continue;
+    }
+    const std::uint64_t token = Ring::TokenOf(key);
+    bool covered = false;
+    for (const auto& transfer : transfers) {
+      if (transfer.range.Covers(token)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << key;
+  }
+}
+
+TEST(RingTest, AddServerToSingleServerRingStreamsFromIt) {
+  // Replication factor 1 is the tight case: the sole source of every
+  // transferred range is the server the data is moving OFF of.
+  Ring ring(1, 8, 19);
+  const auto transfers = ring.AddServer(1, 1);
+  ASSERT_FALSE(transfers.empty());
+  for (const auto& transfer : transfers) {
+    EXPECT_EQ(transfer.peers, (std::vector<ServerId>{0}));
+  }
+}
+
+TEST(RingTest, RemoveServerTransfersCoverEveryRangeTheLeaverHeld) {
+  Ring before(5, 32, 23);
+  const auto leaver_ranges = before.RangesReplicatedOn(4, 3);
+  Ring ring(5, 32, 23);
+  const auto transfers = ring.RemoveServer(4, 3);
+  EXPECT_FALSE(ring.IsMember(4));
+  for (const auto& transfer : transfers) {
+    for (ServerId peer : transfer.peers) {
+      EXPECT_NE(peer, 4u);
+      EXPECT_TRUE(ring.IsMember(peer));
+    }
+  }
+  // Any token the leaver used to replicate is covered by some transfer.
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t token = Ring::TokenOf("k" + std::to_string(i));
+    bool held = false;
+    for (const auto& range : leaver_ranges) {
+      if (range.Covers(token)) {
+        held = true;
+        break;
+      }
+    }
+    if (!held) continue;
+    bool covered = false;
+    for (const auto& transfer : transfers) {
+      if (transfer.range.Covers(token)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "k" << i;
+  }
+}
+
 }  // namespace
 }  // namespace mvstore::store

@@ -60,14 +60,14 @@ TEST(SessionTest, ViewGetSeesOwnPrecedingPut) {
   client->BeginSession();
 
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
   // Immediately read the view within the session: despite the ~50 ms
   // propagation dispatch delay, the Get must block and then see the update.
-  auto records = client->ViewGetSync("assigned_to_view", "rliu");
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "resolved");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");
   EXPECT_GT(t.cluster.metrics().view_get_deferrals, 0u);
 }
 
@@ -80,14 +80,14 @@ TEST(SessionTest, WithoutSessionViewMayBeStale) {
   auto client = t.cluster.NewClient(0);  // NO session
 
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
+  ASSERT_EQ(records.records.size(), 1u);
   // Propagation dispatch is ~50 ms away; the read races ahead and sees the
   // stale value — exactly the staleness Section IV accepts.
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "open");
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
   EXPECT_EQ(t.cluster.metrics().view_get_deferrals, 0u);
 }
 
@@ -101,16 +101,16 @@ TEST(SessionTest, GuaranteeCoversViewKeyUpdates) {
   client->BeginSession();
 
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}})
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "bob");
+  auto records = client->ViewGetSync("assigned_to_view", "bob", store::ReadOptions{});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].base_key, "1");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].base_key, "1");
   // And the old key's row is gone from the reader's perspective.
-  auto old_records = client->ViewGetSync("assigned_to_view", "rliu");
+  auto old_records = client->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
   ASSERT_TRUE(old_records.ok());
-  EXPECT_TRUE(old_records->empty());
+  EXPECT_TRUE(old_records.records.empty());
 }
 
 TEST(SessionTest, OtherSessionsDoNotBlock) {
@@ -125,10 +125,10 @@ TEST(SessionTest, OtherSessionsDoNotBlock) {
   reader->BeginSession();
 
   ASSERT_TRUE(
-      writer->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+      writer->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
   const SimTime before = t.cluster.Now();
-  auto records = reader->ViewGetSync("assigned_to_view", "rliu");
+  auto records = reader->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
   ASSERT_TRUE(records.ok());
   // The reader's session has no pending propagations: no blocking beyond
   // normal request latency (far less than the 50 ms dispatch delay).
@@ -146,11 +146,11 @@ TEST(SessionTest, SessionsDisabledByConfig) {
   auto client = t.cluster.NewClient(0);
   client->BeginSession();
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("resolved")}})
+      client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "open");
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
 }
 
 TEST(SessionTest, MultiplePendingPutsAllVisible) {
@@ -166,13 +166,13 @@ TEST(SessionTest, MultiplePendingPutsAllVisible) {
   auto client = t.cluster.NewClient(0);
   client->BeginSession();
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("s1")}}).ok());
+      client->PutSync("ticket", "1", {{"status", std::string("s1")}}, store::WriteOptions{}).ok());
   ASSERT_TRUE(
-      client->PutSync("ticket", "2", {{"status", std::string("s2")}}).ok());
-  auto records = client->ViewGetSync("assigned_to_view", "a");
+      client->PutSync("ticket", "2", {{"status", std::string("s2")}}, store::WriteOptions{}).ok());
+  auto records = client->ViewGetSync("assigned_to_view", "a", store::ReadOptions{});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 2u);
-  for (const auto& record : *records) {
+  ASSERT_EQ(records.records.size(), 2u);
+  for (const auto& record : records.records) {
     if (record.base_key == "1") {
       EXPECT_EQ(record.cells.GetValue("status").value_or(""), "s1");
     } else {

@@ -104,7 +104,8 @@ TEST(HintedHandoffTest, HintsStoredForUnackedReplicaAndReplayed) {
   while (coordinator == down) ++coordinator;
   auto client = t.cluster.NewClient(coordinator);
   ASSERT_TRUE(
-      client->PutSync("t", "k", {{"a", std::string("v")}}, /*W=*/1).ok());
+      client->PutSync("t", "k", {{"a", std::string("v")}}, {.quorum = 1})
+          .ok());
   t.cluster.RunFor(Millis(100));  // past the rpc timeout
 
   EXPECT_GT(t.cluster.metrics().hints_stored, 0u);
@@ -127,7 +128,8 @@ TEST(HintedHandoffTest, NoHintsWhenAllReplicasAck) {
   store::ClusterConfig config = test::DefaultTestConfig();
   TestCluster t(config, PlainSchema());
   auto client = t.cluster.NewClient();
-  ASSERT_TRUE(client->PutSync("t", "k", {{"a", std::string("v")}}, 3).ok());
+  ASSERT_TRUE(client->PutSync("t", "k", {{"a", std::string("v")}}, {.quorum = 3})
+.ok());
   t.cluster.RunFor(Millis(400));
   EXPECT_EQ(t.cluster.metrics().hints_stored, 0u);
 }
@@ -147,7 +149,8 @@ TEST(HintedHandoffTest, QueueCapDropsOldest) {
   auto client = t.cluster.NewClient(coordinator);
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(client
-                    ->PutSync("t", "k", {{"a", std::to_string(i)}}, /*W=*/1)
+                    ->PutSync("t", "k", {{"a", std::to_string(i)}},
+                              {.quorum = 1})
                     .ok());
     t.cluster.RunFor(Millis(50));
   }
@@ -253,10 +256,10 @@ TEST(ScanRepairTest, ViewPartitionHealsOnRead) {
   auto client = t.cluster.NewClient();
   // A full-quorum view read observes all three replicas, returns the newest
   // value, and pushes repairs to the lagging replicas.
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "resolved");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");
   t.cluster.RunFor(Millis(100));
   EXPECT_GT(t.cluster.metrics().read_repairs, 0u);
   for (ServerId replica : replicas) {

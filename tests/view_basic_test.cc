@@ -16,6 +16,7 @@ namespace mvstore {
 namespace {
 
 using store::Mutation;
+using store::ReadOptions;
 using store::ViewRecord;
 using test::TestCluster;
 
@@ -55,35 +56,36 @@ TEST(ViewBasicTest, Figure1ViewContents) {
   LoadFigure1(t.cluster);
   auto client = t.cluster.NewClient();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
-  ASSERT_TRUE(rliu.ok()) << rliu.status();
-  EXPECT_EQ(StatusByTicket(*rliu),
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  ASSERT_TRUE(rliu.ok()) << rliu.status;
+  EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{{"1", "open"}, {"4", "resolved"}}));
 
-  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem");
+  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem", ReadOptions{});
   ASSERT_TRUE(kmsalem.ok());
-  EXPECT_EQ(StatusByTicket(*kmsalem),
+  EXPECT_EQ(StatusByTicket(kmsalem.records),
             (std::map<Key, Value>{{"2", "open"}, {"3", "open"}}));
 
-  auto cjin = client->ViewGetSync("assigned_to_view", "cjin");
+  auto cjin = client->ViewGetSync("assigned_to_view", "cjin", ReadOptions{});
   ASSERT_TRUE(cjin.ok());
-  EXPECT_EQ(StatusByTicket(*cjin),
+  EXPECT_EQ(StatusByTicket(cjin.records),
             (std::map<Key, Value>{{"5", "open"}, {"7", "resolved"}}));
 
   // Ticket 6 has a NULL view key: no view row anywhere (Definition 1).
-  auto nobody = client->ViewGetSync("assigned_to_view", "");
+  auto nobody = client->ViewGetSync("assigned_to_view", "", ReadOptions{});
   ASSERT_TRUE(nobody.ok());
-  EXPECT_TRUE(nobody->empty());
+  EXPECT_TRUE(nobody.records.empty());
 }
 
 TEST(ViewBasicTest, ViewsAreNotUpdateable) {
   TestCluster t;
   auto client = t.cluster.NewClient();
-  Status put = client->PutSync("assigned_to_view", "rliu", {{"status", "x"}});
-  EXPECT_EQ(put.code(), StatusCode::kInvalidArgument);
+  auto put = client->PutSync("assigned_to_view", "rliu", {{"status", "x"}},
+                             store::WriteOptions{});
+  EXPECT_EQ(put.status.code(), StatusCode::kInvalidArgument);
   // And plain Gets are redirected away from the backing table.
-  auto get = client->GetSync("assigned_to_view", "rliu");
-  EXPECT_EQ(get.status().code(), StatusCode::kInvalidArgument);
+  auto get = client->GetSync("assigned_to_view", "rliu", ReadOptions{});
+  EXPECT_EQ(get.status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(ViewBasicTest, MaterializedColumnUpdatePropagates) {
@@ -91,12 +93,14 @@ TEST(ViewBasicTest, MaterializedColumnUpdatePropagates) {
   LoadFigure1(t.cluster);
   auto client = t.cluster.NewClient();
 
-  ASSERT_TRUE(client->PutSync("ticket", "1", {{"status", "resolved"}}).ok());
+  ASSERT_TRUE(client->PutSync("ticket", "1", {{"status", "resolved"}},
+                              store::WriteOptions{})
+                  .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
   ASSERT_TRUE(rliu.ok());
-  EXPECT_EQ(StatusByTicket(*rliu),
+  EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{{"1", "resolved"}, {"4", "resolved"}}));
 }
 
@@ -106,18 +110,20 @@ TEST(ViewBasicTest, Example1ViewKeyUpdate) {
   LoadFigure1(t.cluster);
   auto client = t.cluster.NewClient();
 
-  ASSERT_TRUE(client->PutSync("ticket", "2", {{"assigned_to", "rliu"}}).ok());
+  ASSERT_TRUE(client->PutSync("ticket", "2", {{"assigned_to", "rliu"}},
+                              store::WriteOptions{})
+                  .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
   ASSERT_TRUE(rliu.ok());
-  EXPECT_EQ(StatusByTicket(*rliu),
+  EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{
                 {"1", "open"}, {"2", "open"}, {"4", "resolved"}}));
 
-  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem");
+  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem", ReadOptions{});
   ASSERT_TRUE(kmsalem.ok());
-  EXPECT_EQ(StatusByTicket(*kmsalem), (std::map<Key, Value>{{"3", "open"}}));
+  EXPECT_EQ(StatusByTicket(kmsalem.records), (std::map<Key, Value>{{"3", "open"}}));
 
   // The versioned view retains a stale row under kmsalem whose Next pointer
   // leads to rliu (Definition 3) — invisible to reads, visible to the
@@ -143,11 +149,12 @@ TEST(ViewBasicTest, ViewGetReturnsOnlyRequestedColumns) {
       {{"assigned_to", "rliu"}, {"status", "open"}, {"priority", "P1"}}, 100);
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {"priority"});
+  auto records = client->ViewGetSync("assigned_to_view", "rliu",
+                                     {.columns = {"priority"}});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].cells.GetValue("priority").value_or(""), "P1");
-  EXPECT_FALSE((*records)[0].cells.GetValue("status").has_value());
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].cells.GetValue("priority").value_or(""), "P1");
+  EXPECT_FALSE(records.records[0].cells.GetValue("status").has_value());
 }
 
 TEST(ViewBasicTest, FreshInsertCreatesViewRow) {
@@ -156,13 +163,14 @@ TEST(ViewBasicTest, FreshInsertCreatesViewRow) {
 
   ASSERT_TRUE(client
                   ->PutSync("ticket", "42",
-                            {{"assigned_to", "alice"}, {"status", "new"}})
+                            {{"assigned_to", "alice"}, {"status", "new"}},
+                            store::WriteOptions{})
                   .ok());
   t.Quiesce();
 
-  auto records = client->ViewGetSync("assigned_to_view", "alice");
+  auto records = client->ViewGetSync("assigned_to_view", "alice", ReadOptions{});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(StatusByTicket(*records),
+  EXPECT_EQ(StatusByTicket(records.records),
             (std::map<Key, Value>{{"42", "new"}}));
   EXPECT_TRUE(
       view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
@@ -173,21 +181,25 @@ TEST(ViewBasicTest, ViewKeyDeletionHidesRow) {
   LoadFigure1(t.cluster);
   auto client = t.cluster.NewClient();
 
-  ASSERT_TRUE(client->DeleteSync("ticket", "1", {"assigned_to"}).ok());
+  ASSERT_TRUE(client->DeleteSync("ticket", "1", {"assigned_to"},
+                                 store::WriteOptions{})
+          .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
   ASSERT_TRUE(rliu.ok());
-  EXPECT_EQ(StatusByTicket(*rliu), (std::map<Key, Value>{{"4", "resolved"}}));
+  EXPECT_EQ(StatusByTicket(rliu.records), (std::map<Key, Value>{{"4", "resolved"}}));
   EXPECT_TRUE(
       view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
 
   // Reassigning later (larger timestamp) resurrects the row under a new key.
-  ASSERT_TRUE(client->PutSync("ticket", "1", {{"assigned_to", "bob"}}).ok());
+  ASSERT_TRUE(client->PutSync("ticket", "1", {{"assigned_to", "bob"}},
+                              store::WriteOptions{})
+                  .ok());
   t.Quiesce();
-  auto bob = client->ViewGetSync("assigned_to_view", "bob");
+  auto bob = client->ViewGetSync("assigned_to_view", "bob", ReadOptions{});
   ASSERT_TRUE(bob.ok());
-  EXPECT_EQ(StatusByTicket(*bob), (std::map<Key, Value>{{"1", "open"}}));
+  EXPECT_EQ(StatusByTicket(bob.records), (std::map<Key, Value>{{"1", "open"}}));
 }
 
 TEST(ViewBasicTest, ChainOfReassignments) {
@@ -198,18 +210,20 @@ TEST(ViewBasicTest, ChainOfReassignments) {
   const char* assignees[] = {"a", "b", "c", "d", "e"};
   for (const char* who : assignees) {
     ASSERT_TRUE(
-        client->PutSync("ticket", "5", {{"assigned_to", who}}).ok());
+        client->PutSync("ticket", "5", {{"assigned_to", who}},
+                        store::WriteOptions{})
+            .ok());
   }
   t.Quiesce();
 
   for (const char* who : {"cjin", "a", "b", "c", "d"}) {
-    auto records = client->ViewGetSync("assigned_to_view", who);
+    auto records = client->ViewGetSync("assigned_to_view", who, ReadOptions{});
     ASSERT_TRUE(records.ok());
-    EXPECT_EQ(StatusByTicket(*records).count("5"), 0u) << who;
+    EXPECT_EQ(StatusByTicket(records.records).count("5"), 0u) << who;
   }
-  auto e = client->ViewGetSync("assigned_to_view", "e");
+  auto e = client->ViewGetSync("assigned_to_view", "e", ReadOptions{});
   ASSERT_TRUE(e.ok());
-  EXPECT_EQ(StatusByTicket(*e), (std::map<Key, Value>{{"5", "open"}}));
+  EXPECT_EQ(StatusByTicket(e.records), (std::map<Key, Value>{{"5", "open"}}));
 
   view::ScrubReport report =
       view::CheckView(t.cluster, test::TicketView(t.cluster));
@@ -224,13 +238,14 @@ TEST(ViewBasicTest, UpdateBothViewKeyAndMaterializedColumn) {
 
   ASSERT_TRUE(client
                   ->PutSync("ticket", "3",
-                            {{"assigned_to", "rliu"}, {"status", "resolved"}})
+                            {{"assigned_to", "rliu"}, {"status", "resolved"}},
+                            store::WriteOptions{})
                   .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu");
+  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
   ASSERT_TRUE(rliu.ok());
-  EXPECT_EQ(StatusByTicket(*rliu)["3"], "resolved");
+  EXPECT_EQ(StatusByTicket(rliu.records)["3"], "resolved");
   EXPECT_TRUE(
       view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
 }

@@ -68,10 +68,10 @@ TEST_P(ViewConcurrentTest, Example2FirstUpdatePropagatesFirst) {
   // Issue in submission order rliu -> cjin; dispatch delay is constant, so
   // propagation follows submission order.
   ASSERT_TRUE(c1->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
-                          -1, kT0 + 1)
+                          {.ts = kT0 + 1})
                   .ok());
   ASSERT_TRUE(c2->PutSync("ticket", "2", {{"assigned_to", std::string("cjin")}},
-                          -1, kT0 + 2)
+                          {.ts = kT0 + 2})
                   .ok());
   t.Quiesce();
 
@@ -97,11 +97,11 @@ TEST_P(ViewConcurrentTest, Example2SecondUpdatePropagatesFirst) {
   // cjin carries the LARGER timestamp but is issued (and so propagated)
   // first; rliu's smaller-timestamped update propagates second.
   ASSERT_TRUE(c2->PutSync("ticket", "2", {{"assigned_to", std::string("cjin")}},
-                          -1, kT0 + 2)
+                          {.ts = kT0 + 2})
                   .ok());
   t.Quiesce();  // cjin's propagation completes first
   ASSERT_TRUE(c1->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
-                          -1, kT0 + 1)
+                          {.ts = kT0 + 1})
                   .ok());
   t.Quiesce();
 
@@ -123,17 +123,15 @@ TEST_P(ViewConcurrentTest, Example2FullyConcurrent) {
 
   int done = 0;
   c1->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
-          [&done](Status s) {
-            ASSERT_TRUE(s.ok());
+          {.ts = kT0 + 1}, [&done](store::WriteResult w) {
+            ASSERT_TRUE(w.ok());
             ++done;
-          },
-          -1, kT0 + 1);
+          });
   c2->Put("ticket", "2", {{"assigned_to", std::string("cjin")}},
-          [&done](Status s) {
-            ASSERT_TRUE(s.ok());
+          {.ts = kT0 + 2}, [&done](store::WriteResult w) {
+            ASSERT_TRUE(w.ok());
             ++done;
-          },
-          -1, kT0 + 2);
+          });
   while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
   t.Quiesce();
 
@@ -153,13 +151,12 @@ TEST_P(ViewConcurrentTest, ReassignBackToFormerAssignee) {
 
   ASSERT_TRUE(client
                   ->PutSync("ticket", "2", {{"assigned_to", std::string("rliu")}},
-                            -1, kT0 + 1)
+                          {.ts = kT0 + 1})
                   .ok());
   t.Quiesce();
   ASSERT_TRUE(client
                   ->PutSync("ticket", "2",
-                            {{"assigned_to", std::string("kmsalem")}}, -1,
-                            kT0 + 2)
+                            {{"assigned_to", std::string("kmsalem")}}, {.ts = kT0 + 2})
                   .ok());
   t.Quiesce();
 
@@ -181,17 +178,17 @@ TEST_P(ViewConcurrentTest, MaterializedRacesViewKeyUpdate) {
 
   int done = 0;
   c1->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
-          [&done](Status s) { ++done; }, -1, kT0 + 1);
+          {.ts = kT0 + 1}, [&done](store::WriteResult) { ++done; });
   c2->Put("ticket", "2", {{"status", std::string("resolved")}},
-          [&done](Status s) { ++done; }, -1, kT0 + 2);
+          {.ts = kT0 + 2}, [&done](store::WriteResult) { ++done; });
   while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
   t.Quiesce();
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {}, 2);
+  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 2});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "resolved");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");
   EXPECT_TRUE(
       view::CheckView(t.cluster, test::TicketView(t.cluster)).clean());
 }
@@ -207,10 +204,10 @@ TEST_P(ViewConcurrentTest, DeleteRacesReassignment) {
     const Timestamp ts_delete = delete_wins ? kT0 + 2 : kT0 + 1;
     const Timestamp ts_assign = delete_wins ? kT0 + 1 : kT0 + 2;
     int done = 0;
-    c1->Delete("ticket", "2", {"assigned_to"},
-               [&done](Status s) { ++done; }, -1, ts_delete);
+    c1->Delete("ticket", "2", {"assigned_to"}, {.ts = ts_delete},
+               [&done](store::WriteResult) { ++done; });
     c2->Put("ticket", "2", {{"assigned_to", std::string("rliu")}},
-            [&done](Status s) { ++done; }, -1, ts_assign);
+            {.ts = ts_assign}, [&done](store::WriteResult) { ++done; });
     while (done < 2) ASSERT_TRUE(t.cluster.simulation().Step());
     t.Quiesce();
 
@@ -245,8 +242,8 @@ TEST_P(ViewConcurrentTest, HotRowConvergence) {
       const std::string who = "user" + std::to_string(c);
       const Timestamp ts = kT0 + round * 100 + c;
       clients[static_cast<std::size_t>(c)]->Put(
-          "ticket", "2", {{"assigned_to", who}},
-          [&done](Status s) { ++done; }, -1, ts);
+          "ticket", "2", {{"assigned_to", who}}, {.ts = ts},
+          [&done](store::WriteResult) { ++done; });
     }
   }
   while (done < kClients * kUpdatesPerClient) {

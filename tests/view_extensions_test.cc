@@ -14,6 +14,8 @@
 namespace mvstore {
 namespace {
 
+using store::ReadOptions;
+using store::WriteOptions;
 using test::TestCluster;
 
 // ---------------------------------------------------------------------------
@@ -70,7 +72,7 @@ TEST(JoinViewTest, InnerJoinByJoinKey) {
 
   auto client = t.cluster.NewClient();
   auto emea = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                                "emea", 3);
+                                "emea", {.quorum = 3});
   ASSERT_TRUE(emea.ok());
   ASSERT_EQ(emea->size(), 2u);  // 1 customer x 2 orders
   for (const view::JoinedRecord& r : *emea) {
@@ -80,7 +82,7 @@ TEST(JoinViewTest, InnerJoinByJoinKey) {
 
   // apac has a customer but no orders: inner join is empty.
   auto apac = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                                "apac", 3);
+                                "apac", {.quorum = 3});
   ASSERT_TRUE(apac.ok());
   EXPECT_TRUE(apac->empty());
 }
@@ -92,27 +94,30 @@ TEST(JoinViewTest, MaintainedIncrementallyOnBothSides) {
   ASSERT_TRUE(client
                   ->PutSync("customer", "c1",
                             {{"region", std::string("emea")},
-                             {"name", std::string("acme")}})
+                             {"name", std::string("acme")}},
+                            WriteOptions{})
                   .ok());
   ASSERT_TRUE(client
                   ->PutSync("orders", "o1",
                             {{"region", std::string("emea")},
-                             {"item", std::string("widget")}})
+                             {"item", std::string("widget")}},
+                            WriteOptions{})
                   .ok());
   t.Quiesce();
   auto joined = view::JoinGetSync(t.cluster.simulation(), *client,
-                                  OrdersJoin(), "emea", 3);
+                                  OrdersJoin(), "emea", {.quorum = 3});
   ASSERT_TRUE(joined.ok());
   ASSERT_EQ(joined->size(), 1u);
   EXPECT_EQ((*joined)[0].right.GetValue("item").value_or(""), "widget");
 
   // Moving the order to another region drops it from the emea join.
   ASSERT_TRUE(
-      client->PutSync("orders", "o1", {{"region", std::string("apac")}})
+      client->PutSync("orders", "o1", {{"region", std::string("apac")}},
+                            WriteOptions{})
           .ok());
   t.Quiesce();
   joined = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                             "emea", 3);
+                             "emea", {.quorum = 3});
   ASSERT_TRUE(joined.ok());
   EXPECT_TRUE(joined->empty());
 }
@@ -131,7 +136,8 @@ TEST(TrimTest, RetiresOldStaleRowsOnly) {
   for (int i = 1; i <= 5; ++i) {
     ASSERT_TRUE(client
                     ->PutSync("ticket", "1",
-                              {{"assigned_to", "a" + std::to_string(i)}})
+                              {{"assigned_to", "a" + std::to_string(i)}},
+                            WriteOptions{})
                     .ok());
     t.Quiesce();
   }
@@ -152,9 +158,9 @@ TEST(TrimTest, RetiresOldStaleRowsOnly) {
   EXPECT_EQ(after.live_rows, 1u);
 
   // Reads still serve the live row.
-  auto records = client->ViewGetSync("assigned_to_view", "a5", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "a5", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(records.records.size(), 1u);
 }
 
 TEST(TrimTest, FreshStaleRowsSurvive) {
@@ -163,7 +169,8 @@ TEST(TrimTest, FreshStaleRowsSurvive) {
                              {{"assigned_to", std::string("a0")}}, 100);
   auto client = t.cluster.NewClient();
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("a1")}})
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("a1")}},
+                            WriteOptions{})
           .ok());
   t.Quiesce();
   const store::ViewDef& view = test::TicketView(t.cluster);
@@ -180,7 +187,8 @@ TEST(TrimTest, TrimmedKeyCanBeReassignedBack) {
                              100);
   auto client = t.cluster.NewClient();
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}})
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}},
+                            WriteOptions{})
           .ok());
   t.Quiesce();
   const store::ViewDef& view = test::TicketView(t.cluster);
@@ -195,12 +203,13 @@ TEST(TrimTest, TrimmedKeyCanBeReassignedBack) {
 
   // Theorem 1 case 2b territory: assign back to the trimmed key.
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("alice")}})
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("alice")}},
+                            WriteOptions{})
           .ok());
   t.Quiesce();
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
+  ASSERT_EQ(records.records.size(), 1u);
   EXPECT_TRUE(view::CheckView(t.cluster, view).clean());
 }
 
@@ -234,19 +243,20 @@ TEST(MultiViewTest, OnePutMaintainsBothViews) {
   ASSERT_TRUE(client
                   ->PutSync("ticket", "1",
                             {{"assigned_to", std::string("alice")},
-                             {"status", std::string("open")}})
+                             {"status", std::string("open")}},
+                            WriteOptions{})
                   .ok());
   t.Quiesce();
 
-  auto by_assignee = client->ViewGetSync("by_assignee", "alice", {}, 3);
+  auto by_assignee = client->ViewGetSync("by_assignee", "alice", {.quorum = 3});
   ASSERT_TRUE(by_assignee.ok());
-  ASSERT_EQ(by_assignee->size(), 1u);
-  EXPECT_EQ((*by_assignee)[0].cells.GetValue("status").value_or(""), "open");
+  ASSERT_EQ(by_assignee.records.size(), 1u);
+  EXPECT_EQ(by_assignee.records[0].cells.GetValue("status").value_or(""), "open");
 
-  auto by_status = client->ViewGetSync("by_status", "open", {}, 3);
+  auto by_status = client->ViewGetSync("by_status", "open", {.quorum = 3});
   ASSERT_TRUE(by_status.ok());
-  ASSERT_EQ(by_status->size(), 1u);
-  EXPECT_EQ((*by_status)[0].cells.GetValue("assigned_to").value_or(""),
+  ASSERT_EQ(by_status.records.size(), 1u);
+  EXPECT_EQ(by_status.records[0].cells.GetValue("assigned_to").value_or(""),
             "alice");
 
   for (const char* name : {"by_assignee", "by_status"}) {
@@ -264,21 +274,22 @@ TEST(MultiViewTest, ViewsEvolveIndependently) {
                              100);
   auto client = t.cluster.NewClient();
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("closed")}})
+      client->PutSync("ticket", "1", {{"status", std::string("closed")}},
+                            WriteOptions{})
           .ok());
   t.Quiesce();
 
   // by_status saw a view-KEY change; by_assignee a materialized change.
-  auto open = client->ViewGetSync("by_status", "open", {}, 3);
+  auto open = client->ViewGetSync("by_status", "open", {.quorum = 3});
   ASSERT_TRUE(open.ok());
-  EXPECT_TRUE(open->empty());
-  auto closed = client->ViewGetSync("by_status", "closed", {}, 3);
+  EXPECT_TRUE(open.records.empty());
+  auto closed = client->ViewGetSync("by_status", "closed", {.quorum = 3});
   ASSERT_TRUE(closed.ok());
-  EXPECT_EQ(closed->size(), 1u);
-  auto alice = client->ViewGetSync("by_assignee", "alice", {}, 3);
+  EXPECT_EQ(closed.records.size(), 1u);
+  auto alice = client->ViewGetSync("by_assignee", "alice", {.quorum = 3});
   ASSERT_TRUE(alice.ok());
-  ASSERT_EQ(alice->size(), 1u);
-  EXPECT_EQ((*alice)[0].cells.GetValue("status").value_or(""), "closed");
+  ASSERT_EQ(alice.records.size(), 1u);
+  EXPECT_EQ(alice.records[0].cells.GetValue("status").value_or(""), "closed");
 }
 
 // ---------------------------------------------------------------------------
@@ -291,8 +302,8 @@ TEST(ClientTimeoutTest, DeadCoordinatorTimesOut) {
   auto client = t.cluster.NewClient(2);
   client->set_request_timeout(Millis(100));
   const SimTime before = t.cluster.Now();
-  auto row = client->GetSync("ticket", "k");
-  EXPECT_TRUE(row.status().IsTimedOut()) << row.status();
+  auto row = client->GetSync("ticket", "k", ReadOptions{});
+  EXPECT_TRUE(row.status.IsTimedOut()) << row.status;
   EXPECT_GE(t.cluster.Now() - before, Millis(100));
 }
 
@@ -302,9 +313,9 @@ TEST(ClientTimeoutTest, HealthyRequestsUnaffected) {
                              {{"status", std::string("open")}}, 100);
   auto client = t.cluster.NewClient();
   client->set_request_timeout(Millis(100));
-  auto row = client->GetSync("ticket", "k");
+  auto row = client->GetSync("ticket", "k", ReadOptions{});
   ASSERT_TRUE(row.ok());
-  EXPECT_EQ(row->GetValue("status").value_or(""), "open");
+  EXPECT_EQ(row.row.GetValue("status").value_or(""), "open");
   // The armed deadline must be inert after the reply.
   t.cluster.RunFor(Millis(200));
 }
@@ -315,13 +326,15 @@ TEST(ClientTimeoutTest, AppliesToAllOperationTypes) {
   t.cluster.network().SetEndpointDown(1, true);
   auto client = t.cluster.NewClient(1);
   client->set_request_timeout(Millis(50));
-  EXPECT_TRUE(client->PutSync("ticket", "k", {{"status", std::string("x")}})
-                  .IsTimedOut());
+  EXPECT_TRUE(client
+                  ->PutSync("ticket", "k", {{"status", std::string("x")}},
+                            WriteOptions{})
+                  .status.IsTimedOut());
   EXPECT_TRUE(
-      client->ViewGetSync("assigned_to_view", "a").status().IsTimedOut());
-  EXPECT_TRUE(client->IndexGetSync("ticket", "assigned_to", "a")
-                  .status()
-                  .IsTimedOut());
+      client->ViewGetSync("assigned_to_view", "a", ReadOptions{})
+          .status.IsTimedOut());
+  EXPECT_TRUE(client->IndexGetSync("ticket", "assigned_to", "a", ReadOptions{})
+                  .status.IsTimedOut());
 }
 
 }  // namespace

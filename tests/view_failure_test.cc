@@ -35,10 +35,9 @@ TEST(ViewFailureTest, PropagationSurvivesMessageLoss) {
   int acked = 0;
   for (int i = 0; i < 10; ++i) {
     client->Put("ticket", "1", {{"assigned_to", "u" + std::to_string(i)}},
-                [&acked](Status s) {
-                  if (s.ok()) ++acked;
-                },
-                /*write_quorum=*/1);
+                {.quorum = 1}, [&acked](store::WriteResult w) {
+                  if (w.ok()) ++acked;
+                });
     t.cluster.RunFor(Millis(50));
   }
   t.cluster.RunFor(Seconds(2));
@@ -79,20 +78,19 @@ TEST(ViewFailureTest, PropagationRetriesThroughReplicaOutage) {
   while (coordinator == replicas[2]) ++coordinator;
   auto writer = t.cluster.NewClient(coordinator);
   ASSERT_TRUE(
-      writer->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}},
-                      /*write_quorum=*/1)
-          .ok());
+      writer->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}}, {.quorum = 1})
+.ok());
   t.Quiesce();
 
-  auto records = writer->ViewGetSync("assigned_to_view", "bob", {}, 2);
+  auto records = writer->ViewGetSync("assigned_to_view", "bob", {.quorum = 2});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(records.records.size(), 1u);
 
   // Bring the replica back; anti-entropy is off in this config, but a
   // majority-read of the view plus read repair heals it on access.
   t.cluster.network().SetEndpointDown(replicas[2], false);
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(writer->ViewGetSync("assigned_to_view", "bob", {}, 3).ok());
+    ASSERT_TRUE(writer->ViewGetSync("assigned_to_view", "bob", {.quorum = 3}).ok());
     t.cluster.RunFor(Millis(100));
   }
   view::ScrubReport report =
@@ -126,9 +124,8 @@ TEST(ViewFailureTest, AbandonedPropagationIsRepairable) {
   }
   auto client = t.cluster.NewClient(coordinator);
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}},
-                      /*write_quorum=*/1)
-          .ok());
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}}, {.quorum = 1})
+.ok());
   t.Quiesce();  // terminates via abandonment
   EXPECT_GT(t.cluster.metrics().propagations_abandoned, 0u);
 
@@ -142,9 +139,9 @@ TEST(ViewFailureTest, AbandonedPropagationIsRepairable) {
   view::ScrubReport repaired =
       view::CheckView(t.cluster, test::TicketView(t.cluster));
   EXPECT_TRUE(repaired.clean()) << repaired.Summary();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(records.records.size(), 1u);
 }
 
 TEST(ViewFailureTest, LossyNetworkPropertySweep) {
@@ -169,13 +166,14 @@ TEST(ViewFailureTest, LossyNetworkPropertySweep) {
     for (int i = 0; i < 40; ++i) {
       const Key key = "t" + std::to_string(rng.UniformInt(0, 9));
       if (rng.Chance(0.5)) {
-        client->Put("ticket", key,
-                    {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 4))}},
-                    [](Status) {}, 1);
+        client->Put(
+            "ticket", key,
+            {{"assigned_to", "a" + std::to_string(rng.UniformInt(0, 4))}},
+            {.quorum = 1}, [](store::WriteResult) {});
       } else {
         client->Put("ticket", key,
                     {{"status", rng.Chance(0.5) ? "open" : "closed"}},
-                    [](Status) {}, 1);
+                    {.quorum = 1}, [](store::WriteResult) {});
       }
       ++issued;
       t.cluster.RunFor(Millis(20));

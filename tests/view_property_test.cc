@@ -131,16 +131,20 @@ TEST_P(ViewPropertyTest, ConvergesToDefinition1) {
         t.cluster.Now() + static_cast<SimTime>(rng.UniformInt(0, 20000));
     t.cluster.simulation().At(
         issue_at, [&client, key, who, status, ts, roll, done, &shape] {
+          auto on_write = [done](store::WriteResult w) { done(w.status); };
           if (roll < shape.w_set) {
-            client.Put("ticket", key, {{"assigned_to", who}}, done, -1, ts);
+            client.Put("ticket", key, {{"assigned_to", who}}, {.ts = ts},
+                       on_write);
           } else if (roll < shape.w_set + shape.w_mat) {
-            client.Put("ticket", key, {{"status", status}}, done, -1, ts);
+            client.Put("ticket", key, {{"status", status}}, {.ts = ts},
+                       on_write);
           } else if (roll < shape.w_set + shape.w_mat + shape.w_both) {
             client.Put("ticket", key,
-                       {{"assigned_to", who}, {"status", status}}, done, -1,
-                       ts);
+                       {{"assigned_to", who}, {"status", status}}, {.ts = ts},
+                       on_write);
           } else {
-            client.Delete("ticket", key, {"assigned_to"}, done, -1, ts);
+            client.Delete("ticket", key, {"assigned_to"}, {.ts = ts},
+                          on_write);
           }
         });
   }

@@ -57,9 +57,9 @@ TEST(ViewReadWindowTest, UninitializedRowIsNeverExposed) {
   auto client = t.cluster.NewClient();
 
   const SimTime before = t.cluster.Now();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(records.records.empty());
   // The reader spun waiting for the initialization that never came.
   EXPECT_GT(t.cluster.metrics().view_get_spins, 0u);
   EXPECT_GE(t.cluster.Now() - before, Millis(50));
@@ -78,10 +78,10 @@ TEST(ViewReadWindowTest, SpinResolvesWhenInitializationLands) {
 
   auto client = t.cluster.NewClient();
   const SimTime before = t.cluster.Now();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].cells.GetValue("status").value_or(""), "open");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
   const SimTime waited = t.cluster.Now() - before;
   EXPECT_GE(waited, Millis(20));
   EXPECT_LT(waited, Millis(64));  // resolved well before the spin budget
@@ -99,14 +99,14 @@ TEST(ViewReadWindowTest, OldLiveRowServedDuringPromotionWindow) {
                        UninitializedLiveRow("bob", "1", 200, "open"));
   auto client = t.cluster.NewClient();
 
-  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
   ASSERT_TRUE(old_key.ok());
-  ASSERT_EQ(old_key->size(), 1u);
-  EXPECT_EQ((*old_key)[0].base_key, "1");
+  ASSERT_EQ(old_key.records.size(), 1u);
+  EXPECT_EQ(old_key.records[0].base_key, "1");
 
-  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {}, 3);
+  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
   ASSERT_TRUE(new_key.ok());
-  EXPECT_TRUE(new_key->empty());
+  EXPECT_TRUE(new_key.records.empty());
 }
 
 TEST(ViewReadWindowTest, AfterPromotionCompletesOnlyNewKeyServes) {
@@ -121,14 +121,14 @@ TEST(ViewReadWindowTest, AfterPromotionCompletesOnlyNewKeyServes) {
   PutViewRowEverywhere(t.cluster, "bob", "1", LiveRow("bob", "1", 200, "open"));
 
   auto client = t.cluster.NewClient();
-  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
   ASSERT_TRUE(old_key.ok());
-  EXPECT_TRUE(old_key->empty());
+  EXPECT_TRUE(old_key.records.empty());
   EXPECT_GT(t.cluster.metrics().stale_rows_filtered, 0u);
 
-  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {}, 3);
+  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
   ASSERT_TRUE(new_key.ok());
-  EXPECT_EQ(new_key->size(), 1u);
+  EXPECT_EQ(new_key.records.size(), 1u);
 }
 
 TEST(ViewReadWindowTest, MixedPartitionFiltersPerBaseKey) {
@@ -145,10 +145,10 @@ TEST(ViewReadWindowTest, MixedPartitionFiltersPerBaseKey) {
                        UninitializedLiveRow("team", "c", 100, "s3"));
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "team", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "team", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].base_key, "a");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].base_key, "a");
 }
 
 TEST(ViewReadWindowTest, SentinelPartitionsUnreachableThroughClientApi) {
@@ -159,17 +159,20 @@ TEST(ViewReadWindowTest, SentinelPartitionsUnreachableThroughClientApi) {
   t.cluster.BootstrapLoadRow("ticket", "1",
                              {{"assigned_to", std::string("alice")}}, 100);
   auto client = t.cluster.NewClient();
-  ASSERT_TRUE(client->DeleteSync("ticket", "1", {"assigned_to"}).ok());
+  ASSERT_TRUE(client->DeleteSync("ticket", "1", {"assigned_to"},
+                                 store::WriteOptions{})
+                  .ok());
   t.Quiesce();
 
-  Status bad = client->PutSync(
-      "ticket", "2", {{"assigned_to", std::string("\x03sneaky")}});
-  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  auto bad = client->PutSync(
+      "ticket", "2", {{"assigned_to", std::string("\x03sneaky")}},
+      store::WriteOptions{});
+  EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
 
   // The sentinel row exists internally but no client key reaches it.
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {}, 3);
+  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(records.records.empty());
 }
 
 }  // namespace

@@ -45,10 +45,10 @@ TEST(ViewSelectionTest, BootstrapHonorsSelection) {
                               {"status", std::string("closed")}},
                              101);
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  auto records = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  ASSERT_EQ(records->size(), 1u);
-  EXPECT_EQ((*records)[0].base_key, "1");
+  ASSERT_EQ(records.records.size(), 1u);
+  EXPECT_EQ(records.records[0].base_key, "1");
 }
 
 TEST(ViewSelectionTest, StatusFlipRemovesAndRestoresRow) {
@@ -60,19 +60,19 @@ TEST(ViewSelectionTest, StatusFlipRemovesAndRestoresRow) {
   auto client = t.cluster.NewClient();
 
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("closed")}})
+      client->PutSync("ticket", "1", {{"status", std::string("closed")}}, store::WriteOptions{})
           .ok());
   t.Quiesce();
-  auto closed = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  auto closed = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
   ASSERT_TRUE(closed.ok());
-  EXPECT_TRUE(closed->empty());
+  EXPECT_TRUE(closed.records.empty());
 
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("open")}}).ok());
+      client->PutSync("ticket", "1", {{"status", std::string("open")}}, store::WriteOptions{}).ok());
   t.Quiesce();
-  auto reopened = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  auto reopened = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
   ASSERT_TRUE(reopened.ok());
-  ASSERT_EQ(reopened->size(), 1u);
+  ASSERT_EQ(reopened.records.size(), 1u);
   EXPECT_TRUE(
       view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
 }
@@ -88,19 +88,17 @@ TEST(ViewSelectionTest, OutOfOrderFlipsConvergeByTimestamp) {
 
   // "closed" carries the larger timestamp but is issued first; the
   // lower-timestamped "open" propagates later and must NOT resurrect the row.
-  ASSERT_TRUE(c1->PutSync("ticket", "1", {{"status", std::string("closed")}},
-                          -1, kClientTimestampEpoch + 200)
+  ASSERT_TRUE(c1->PutSync("ticket", "1", {{"status", std::string("closed")}}, {.ts = kClientTimestampEpoch + 200})
                   .ok());
   t.Quiesce();
-  ASSERT_TRUE(c2->PutSync("ticket", "1", {{"status", std::string("open")}},
-                          -1, kClientTimestampEpoch + 100)
+  ASSERT_TRUE(c2->PutSync("ticket", "1", {{"status", std::string("open")}}, {.ts = kClientTimestampEpoch + 100})
                   .ok());
   t.Quiesce();
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("open_by_assignee", "a", {}, 3);
+  auto records = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(records.records.empty());
   EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
 }
 
@@ -113,21 +111,21 @@ TEST(ViewSelectionTest, ReassignmentCarriesSelectionState) {
   auto client = t.cluster.NewClient();
   // Reassign a deselected (closed) ticket: the promoted row must stay hidden.
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"assigned_to", std::string("b")}})
+      client->PutSync("ticket", "1", {{"assigned_to", std::string("b")}}, store::WriteOptions{})
           .ok());
   t.Quiesce();
-  auto records = client->ViewGetSync("open_by_assignee", "b", {}, 3);
+  auto records = client->ViewGetSync("open_by_assignee", "b", {.quorum = 3});
   ASSERT_TRUE(records.ok());
-  EXPECT_TRUE(records->empty());
+  EXPECT_TRUE(records.records.empty());
   EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
 
   // Reopening makes it visible under the new assignee.
   ASSERT_TRUE(
-      client->PutSync("ticket", "1", {{"status", std::string("open")}}).ok());
+      client->PutSync("ticket", "1", {{"status", std::string("open")}}, store::WriteOptions{}).ok());
   t.Quiesce();
-  auto visible = client->ViewGetSync("open_by_assignee", "b", {}, 3);
+  auto visible = client->ViewGetSync("open_by_assignee", "b", {.quorum = 3});
   ASSERT_TRUE(visible.ok());
-  ASSERT_EQ(visible->size(), 1u);
+  ASSERT_EQ(visible.records.size(), 1u);
 }
 
 TEST(ViewSelectionTest, SelectionOnViewKeyColumn) {
@@ -146,19 +144,19 @@ TEST(ViewSelectionTest, SelectionOnViewKeyColumn) {
   auto client = t.cluster.NewClient();
   ASSERT_TRUE(client
                   ->PutSync("ticket", "1", {{"assigned_to", std::string("rliu")},
-                                            {"status", std::string("open")}})
+                                            {"status", std::string("open")}}, store::WriteOptions{})
                   .ok());
   ASSERT_TRUE(client
                   ->PutSync("ticket", "2", {{"assigned_to", std::string("bob")},
-                                            {"status", std::string("open")}})
+                                            {"status", std::string("open")}}, store::WriteOptions{})
                   .ok());
   t.Quiesce();
-  auto rliu = client->ViewGetSync("rliu_only", "rliu", {}, 3);
+  auto rliu = client->ViewGetSync("rliu_only", "rliu", {.quorum = 3});
   ASSERT_TRUE(rliu.ok());
-  EXPECT_EQ(rliu->size(), 1u);
-  auto bob = client->ViewGetSync("rliu_only", "bob", {}, 3);
+  EXPECT_EQ(rliu.records.size(), 1u);
+  auto bob = client->ViewGetSync("rliu_only", "bob", {.quorum = 3});
   ASSERT_TRUE(bob.ok());
-  EXPECT_TRUE(bob->empty());
+  EXPECT_TRUE(bob.records.empty());
   EXPECT_TRUE(
       view::CheckView(t.cluster, *t.cluster.schema().GetView("rliu_only"))
           .clean());

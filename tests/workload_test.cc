@@ -61,8 +61,8 @@ TEST(RunnerTest, CountsOperationsAndLatency) {
   ClosedLoopRunner runner(
       &tc.cluster, /*num_clients=*/2,
       [](int index, store::Client& client, std::function<void(bool)> done) {
-        client.Get("ticket", "k", {"status"},
-                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+        client.Get("ticket", "k", {.columns = {"status"}},
+                   [done](store::ReadResult row) { done(row.ok()); });
       });
   RunResult result = runner.Run(Millis(20), Millis(200));
   EXPECT_GT(result.operations, 100u);
@@ -80,8 +80,8 @@ TEST(RunnerTest, MoreClientsMoreThroughputWhileUnsaturated) {
     ClosedLoopRunner runner(
         &tc.cluster, clients,
         [](int, store::Client& client, std::function<void(bool)> done) {
-          client.Get("ticket", "k", {"status"},
-                     [done](StatusOr<storage::Row> row) { done(row.ok()); });
+          client.Get("ticket", "k", {.columns = {"status"}},
+                     [done](store::ReadResult row) { done(row.ok()); });
         });
     return runner.Run(Millis(20), Millis(200)).Throughput();
   };
@@ -97,8 +97,8 @@ TEST(RunnerTest, ThinkTimeThrottlesThroughput) {
   ClosedLoopRunner runner(
       &tc.cluster, 1,
       [](int, store::Client& client, std::function<void(bool)> done) {
-        client.Get("ticket", "k", {"status"},
-                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+        client.Get("ticket", "k", {.columns = {"status"}},
+                   [done](store::ReadResult row) { done(row.ok()); });
       });
   runner.set_think_time(Millis(10));
   RunResult result = runner.Run(Millis(10), Millis(500));
@@ -112,8 +112,8 @@ TEST(RunnerTest, FailuresAreCounted) {
   ClosedLoopRunner runner(
       &tc.cluster, 1,
       [](int, store::Client& client, std::function<void(bool)> done) {
-        client.Get("no_such_table", "k", {},
-                   [done](StatusOr<storage::Row> row) { done(row.ok()); });
+        client.Get("no_such_table", "k", store::ReadOptions{},
+                   [done](store::ReadResult row) { done(row.ok()); });
       });
   RunResult result = runner.Run(0, Millis(50));
   EXPECT_GT(result.operations, 0u);
