@@ -19,6 +19,11 @@ struct Result {
   double read_ms;
   double write_ms;
   double stale_rate;
+  /// Age of the returned data: client clock at read completion minus the
+  /// newest cell timestamp in the returned row (the freshness-contract
+  /// vocabulary, ISSUE 7). R+W>N keeps this at round-trip scale; weaker
+  /// quorums let it grow into replication-lag territory.
+  Histogram staleness_age_us;
 };
 
 Result MeasureQuorums(int read_quorum, int write_quorum,
@@ -32,6 +37,7 @@ Result MeasureQuorums(int read_quorum, int write_quorum,
 
   Histogram read_latency;
   Histogram write_latency;
+  Histogram staleness_age;
   std::int64_t remaining = scale.latency_reads;
   std::int64_t probes = 0;
   std::int64_t stale = 0;
@@ -57,6 +63,11 @@ Result MeasureQuorums(int read_quorum, int write_quorum,
                         if (row.row.GetValue("field0").value_or("") != value) {
                           ++stale;
                         }
+                        const Timestamp newest = row.row.MaxTimestamp();
+                        if (newest != kNullTimestamp) {
+                          staleness_age.Record(store::kClientTimestampEpoch +
+                                               bc.cluster.Now() - newest);
+                        }
                         next();
                       });
         });
@@ -66,10 +77,13 @@ Result MeasureQuorums(int read_quorum, int write_quorum,
          static_cast<std::uint64_t>(scale.latency_reads)) {
     MVSTORE_CHECK(bc.cluster.simulation().Step());
   }
-  return Result{read_latency.Mean() / 1000.0, write_latency.Mean() / 1000.0,
+  Result result{read_latency.Mean() / 1000.0, write_latency.Mean() / 1000.0,
                 probes == 0 ? 0.0
                             : static_cast<double>(stale) /
-                                  static_cast<double>(probes)};
+                                  static_cast<double>(probes),
+                {}};
+  result.staleness_age_us = staleness_age;
+  return result;
 }
 
 void Run() {
@@ -92,6 +106,7 @@ void Run() {
     report.Add(prefix + "_read_ms", result.read_ms);
     report.Add(prefix + "_write_ms", result.write_ms);
     report.Add(prefix + "_stale_rate", result.stale_rate);
+    report.AddHistogramUs(prefix + "_staleness", result.staleness_age_us);
   }
   PrintNote("R+W>N rows must show 0% stale; R+W<=N may not");
   report.Write();

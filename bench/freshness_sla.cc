@@ -1,0 +1,224 @@
+// Freshness SLA — p99 staleness vs throughput under the freshness contract
+// (ISSUE 7).
+//
+// Setup: the MV scenario cluster, plus a native secondary index on the same
+// skey column so the adaptive router has a real SI escape hatch. One client
+// issues Put/ViewGet pairs back-to-back (the worst case for a bounded read:
+// the Put's propagation intent is pending when the Get arrives), sweeping
+// the read's consistency setting:
+//
+//   eventual     — the baseline: read whatever the view holds.
+//   bound=500ms  — generous bound; the pending intent is younger than the
+//                  bound, so the tracker proves the bound immediately.
+//   bound=20ms   — mid bound; usually provable, occasionally parks until
+//                  the propagation applies.
+//   bound=200us  — unsatisfiable: typical propagation lag far exceeds the
+//                  bound, so the router sends the read to the SI path.
+//
+// Reported per setting: throughput (pairs/s of simulated time), observed
+// staleness percentiles (client clock at completion minus the result's
+// freshness claim), the served_by split, and the freshness counters. The
+// expected shape: staleness p99 drops as the bound tightens, throughput
+// pays for it (wider quorums, parks, SI scans); the tight bound is served
+// almost entirely by the SI.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace mvstore::bench {
+namespace {
+
+struct Setting {
+  std::string name;
+  store::ReadConsistency consistency;
+  SimTime max_staleness;  // 0 = cluster default (bounded only)
+};
+
+struct Outcome {
+  Histogram staleness_us;
+  Histogram pair_latency_us;
+  std::uint64_t served_view = 0;
+  std::uint64_t served_si = 0;
+  std::uint64_t served_base = 0;
+  double sim_seconds = 0;
+  std::uint64_t bound_misses = 0;
+  std::uint64_t bound_waits = 0;
+  std::uint64_t fallback_si = 0;
+  std::uint64_t fallback_base = 0;
+  std::uint64_t targeted_repairs = 0;
+};
+
+/// MV schema plus a secondary index on the view-key column: the router's
+/// fallback then has the cheap path the contract's cost model prefers.
+store::Schema SchemaWithEscapeHatch() {
+  store::Schema schema = BenchSchema(Scenario::kMaterializedView);
+  MVSTORE_CHECK(
+      schema.CreateIndex({.table = "usertable", .column = "skey"}).ok());
+  return schema;
+}
+
+Outcome RunSetting(const Setting& setting, const BenchScale& scale,
+                   std::int64_t pairs) {
+  store::ClusterConfig config = PaperConfig();
+  store::Cluster cluster(config, SchemaWithEscapeHatch());
+  view::MaintenanceEngine views(&cluster);
+  cluster.Start();
+  for (std::int64_t i = 0; i < scale.rows; ++i) {
+    cluster.BootstrapLoadRow(
+        "usertable", workload::FormatKey("k", static_cast<std::uint64_t>(i)),
+        {{"skey", workload::FormatKey("s", static_cast<std::uint64_t>(i))},
+         {"field0", std::string("payload-") + std::to_string(i)}},
+        /*ts=*/1000 + i);
+  }
+  auto client = cluster.NewClient(0);
+  Rng rng(9100 + static_cast<std::uint64_t>(setting.max_staleness));
+
+  // Warmup primes the tracker's propagation-lag EWMA so the router has a
+  // real estimate before measurement starts.
+  const std::int64_t warmup = std::max<std::int64_t>(20, pairs / 10);
+  Outcome out;
+  std::int64_t issued = 0;
+  std::int64_t completed = 0;
+  SimTime measure_start = 0;
+  std::uint64_t base_misses = 0, base_waits = 0, base_fb_si = 0,
+                base_fb_base = 0, base_repairs = 0;
+
+  std::function<void()> next = [&] {
+    if (issued++ >= warmup + pairs) return;
+    if (issued == warmup + 1) {
+      measure_start = cluster.Now();
+      const store::Metrics& m = cluster.metrics();
+      base_misses = m.freshness_bound_misses;
+      base_waits = m.freshness_bound_waits;
+      base_fb_si = m.freshness_fallback_si;
+      base_fb_base = m.freshness_fallback_base;
+      base_repairs = m.freshness_targeted_repairs;
+    }
+    const bool measuring = issued > warmup;
+    const auto rank =
+        static_cast<std::uint64_t>(rng.UniformInt(0, scale.rows - 1));
+    const SimTime start = cluster.Now();
+    client->Put("usertable", workload::FormatKey("k", rank),
+                {{"field0", "v" + std::to_string(start)}},
+                store::WriteOptions{},
+                [&, rank, start, measuring](store::WriteResult w) {
+                  MVSTORE_CHECK(w.ok()) << w.status;
+                  store::ReadOptions options;
+                  options.columns = {"field0"};
+                  options.consistency = setting.consistency;
+                  options.max_staleness = setting.max_staleness;
+                  client->ViewGet(
+                      "by_skey", workload::FormatKey("s", rank), options,
+                      [&, start, measuring](store::ReadResult r) {
+                        MVSTORE_CHECK(r.ok()) << r.status;
+                        if (measuring) {
+                          const Timestamp now_ts =
+                              store::kClientTimestampEpoch + cluster.Now();
+                          if (r.freshness != kNullTimestamp) {
+                            out.staleness_us.Record(
+                                std::max<Timestamp>(0, now_ts - r.freshness));
+                          }
+                          out.pair_latency_us.Record(cluster.Now() - start);
+                          switch (r.served_by) {
+                            case store::ServedBy::kView:
+                              out.served_view++;
+                              break;
+                            case store::ServedBy::kSiPath:
+                              out.served_si++;
+                              break;
+                            case store::ServedBy::kBaseScan:
+                              out.served_base++;
+                              break;
+                          }
+                          completed++;
+                        }
+                        next();
+                      });
+                });
+  };
+  next();
+  while (completed < pairs) {
+    MVSTORE_CHECK(cluster.simulation().Step())
+        << "simulation ran dry mid-bench";
+  }
+  out.sim_seconds = static_cast<double>(cluster.Now() - measure_start) / 1e6;
+  const store::Metrics& m = cluster.metrics();
+  out.bound_misses = m.freshness_bound_misses - base_misses;
+  out.bound_waits = m.freshness_bound_waits - base_waits;
+  out.fallback_si = m.freshness_fallback_si - base_fb_si;
+  out.fallback_base = m.freshness_fallback_base - base_fb_base;
+  out.targeted_repairs = m.freshness_targeted_repairs - base_repairs;
+  views.Quiesce();
+  return out;
+}
+
+void Run() {
+  BenchScale scale;
+  const std::int64_t pairs = EnvInt("MV_BENCH_PAIRS", 300);
+  PrintTitle(
+      "Freshness SLA: p99 staleness vs throughput across staleness bounds");
+  PrintNote(StrFormat(
+      "rows=%lld pairs=%lld per setting; Put/ViewGet back-to-back (pending "
+      "propagation on every read)",
+      static_cast<long long>(scale.rows), static_cast<long long>(pairs)));
+
+  const std::vector<Setting> settings = {
+      {"eventual", store::ReadConsistency::kEventual, 0},
+      {"bound_500ms", store::ReadConsistency::kBoundedStaleness, Millis(500)},
+      {"bound_20ms", store::ReadConsistency::kBoundedStaleness, Millis(20)},
+      {"bound_200us", store::ReadConsistency::kBoundedStaleness, Micros(200)},
+  };
+
+  BenchReport report("freshness_sla");
+  report.Add("rows", scale.rows);
+  report.Add("pairs", pairs);
+
+  std::printf("%-12s %10s %12s %12s %8s %8s %8s %8s %8s\n", "setting",
+              "pairs/s", "stale_p50us", "stale_p99us", "view", "si", "base",
+              "waits", "repairs");
+  for (const Setting& setting : settings) {
+    const Outcome out = RunSetting(setting, scale, pairs);
+    const double throughput =
+        out.sim_seconds > 0 ? static_cast<double>(pairs) / out.sim_seconds : 0;
+    const double p50 =
+        out.staleness_us.count() ? out.staleness_us.Percentile(50) : 0;
+    const double p99 =
+        out.staleness_us.count() ? out.staleness_us.Percentile(99) : 0;
+    std::printf("%-12s %10.1f %12.0f %12.0f %8llu %8llu %8llu %8llu %8llu\n",
+                setting.name.c_str(), throughput, p50, p99,
+                static_cast<unsigned long long>(out.served_view),
+                static_cast<unsigned long long>(out.served_si),
+                static_cast<unsigned long long>(out.served_base),
+                static_cast<unsigned long long>(out.bound_waits),
+                static_cast<unsigned long long>(out.targeted_repairs));
+
+    const std::string& p = setting.name;
+    report.Add(p + "_bound_us", static_cast<std::int64_t>(
+                                    setting.max_staleness));
+    report.Add(p + "_pairs_per_s", throughput);
+    report.AddHistogramUs(p + "_staleness", out.staleness_us);
+    report.AddHistogramUs(p + "_pair_latency", out.pair_latency_us);
+    report.Add(p + "_served_view", out.served_view);
+    report.Add(p + "_served_si", out.served_si);
+    report.Add(p + "_served_base", out.served_base);
+    report.Add(p + "_bound_misses", out.bound_misses);
+    report.Add(p + "_bound_waits", out.bound_waits);
+    report.Add(p + "_fallback_si", out.fallback_si);
+    report.Add(p + "_fallback_base", out.fallback_base);
+    report.Add(p + "_targeted_repairs", out.targeted_repairs);
+  }
+  PrintNote(
+      "expected shape: staleness p99 falls as the bound tightens; the "
+      "tight bound routes to the SI (served si >> view) and pays in "
+      "throughput");
+  report.Write();
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

@@ -133,18 +133,34 @@ void Client::Get(const std::string& table, const Key& key,
   auto reply = ReturnToClient<ReadResult>(std::move(callback),
                                           &cluster_->metrics().get_latency, op,
                                           options.timeout);
+  // Base-table reads are bounded by construction when the quorum spans
+  // every replica: the scan then cannot miss an acked write, so the result
+  // is fresh "as of now". kBoundedStaleness widens the quorum to get there.
+  const int replication = cluster_->config().replication_factor;
+  int quorum = ReadQuorum(options.quorum);
+  if (options.consistency == ReadConsistency::kBoundedStaleness) {
+    quorum = replication;
+  }
+  const bool full_quorum = quorum >= replication;
+  Cluster* cluster = cluster_;
   // Adapt the coordinator's reply shape at the coordinator, so one result
   // object travels the return hop.
-  auto adapted = [reply = std::move(reply)](StatusOr<storage::Row> row) {
+  auto adapted = [reply = std::move(reply), cluster,
+                  full_quorum](StatusOr<storage::Row> row) {
     ReadResult result;
     if (row.ok()) {
       result.row = *std::move(row);
+      result.payload = ReadPayload::kRow;
+      result.served_by = ServedBy::kBaseScan;
+      if (full_quorum) {
+        result.freshness =
+            kClientTimestampEpoch + cluster->simulation().Now();
+      }
     } else {
       result.status = row.status();
     }
     reply(std::move(result));
   };
-  const int quorum = ReadQuorum(options.quorum);
   Tracer::Scope scope(&cluster_->tracer(), op);
   SendToCoordinator([table, key, columns = options.columns, quorum,
                      adapted = std::move(adapted)](Server& server) mutable {
@@ -194,23 +210,35 @@ void Client::ViewGet(const std::string& view, const Key& view_key,
       std::move(callback), &cluster_->metrics().view_get_latency, op,
       options.timeout);
   auto adapted =
-      [reply = std::move(reply)](StatusOr<std::vector<ViewRecord>> records) {
+      [reply = std::move(reply)](StatusOr<ViewReadOutcome> outcome) {
         ReadResult result;
-        if (records.ok()) {
-          result.records = *std::move(records);
+        if (outcome.ok()) {
+          ViewReadOutcome value = *std::move(outcome);
+          result.records = std::move(value.records);
+          result.payload = ReadPayload::kRecords;
+          result.freshness = value.freshness;
+          result.served_by = value.served_by;
         } else {
-          result.status = records.status();
+          result.status = outcome.status();
         }
         reply(std::move(result));
       };
   const int quorum = ReadQuorum(options.quorum);
   const SessionId session = session_;
+  // BeginSession() is sugar for read-your-writes: a session-carrying view
+  // Get at the default level upgrades to kReadYourWrites.
+  ReadConsistency consistency = options.consistency;
+  if (consistency == ReadConsistency::kEventual && session != 0) {
+    consistency = ReadConsistency::kReadYourWrites;
+  }
+  const SimTime max_staleness = options.max_staleness;
   Tracer::Scope scope(&cluster_->tracer(), op);
   SendToCoordinator([view, view_key, columns = options.columns, quorum,
-                     session,
+                     session, consistency, max_staleness,
                      adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientViewGet(view, view_key, std::move(columns), quorum,
-                               session, std::move(adapted));
+                               session, consistency, max_staleness,
+                               std::move(adapted));
   });
 }
 
@@ -221,11 +249,17 @@ void Client::IndexGet(const std::string& table, const ColumnName& column,
   auto reply = ReturnToClient<ReadResult>(
       std::move(callback), &cluster_->metrics().index_get_latency, op,
       options.timeout);
-  auto adapted = [reply = std::move(reply)](
-                     StatusOr<std::vector<storage::KeyedRow>> rows) {
+  Cluster* cluster = cluster_;
+  auto adapted = [reply = std::move(reply),
+                  cluster](StatusOr<std::vector<storage::KeyedRow>> rows) {
     ReadResult result;
     if (rows.ok()) {
       result.rows = *std::move(rows);
+      result.payload = ReadPayload::kRows;
+      result.served_by = ServedBy::kSiPath;
+      // The SI is written synchronously with each replica write and the
+      // scan contacts every server, so the merged answer is current.
+      result.freshness = kClientTimestampEpoch + cluster->simulation().Now();
     } else {
       result.status = rows.status();
     }

@@ -14,6 +14,40 @@
 // when none is given (and the cluster's `trace_client_ops` is on) the client
 // mints a fresh root trace per operation, whose id comes back in the result
 // so callers can dump the causal timeline (Tracer::DumpJson).
+//
+// ## The freshness contract
+//
+// Every read names a consistency level (ReadOptions::consistency) and gets
+// back a freshness claim (ReadResult::freshness) plus the path that served
+// it (ReadResult::served_by):
+//
+//  * kEventual — the default. The read observes whatever the contacted
+//    quorum holds; a ViewGet may miss updates still propagating. `freshness`
+//    is the store's best lower bound on how fresh the answer is (for a view,
+//    the tracker's FreshAsOf for the partition): every base write with a
+//    timestamp <= freshness is reflected, later writes may or may not be.
+//
+//  * kBoundedStaleness — ViewGet only (Get/IndexGet read the base table
+//    directly and are bounded by construction). The returned rows are
+//    guaranteed to reflect every base write older than
+//    `max_staleness` (0 = the cluster's `max_staleness_default`). The
+//    coordinator proves the bound from the cluster-wide FreshnessTracker;
+//    when it cannot, it briefly parks the read (up to `freshness_wait_max`),
+//    fires a targeted repair of wounded view families, or — when the
+//    tracker's propagation-lag estimate says the view cannot catch up in
+//    time — routes the read to the secondary index or a base-table scan
+//    (`served_by` = kSiPath / kBaseScan), which trade freshness-by-
+//    construction for a costlier scan.
+//
+//  * kReadYourWrites — the Section V session guarantee. Within a session
+//    (BeginSession), a view Get blocks until the session's own earlier
+//    updates are reflected. BeginSession() remains the sugar for this
+//    level: a session-carrying ViewGet at kEventual is upgraded to
+//    kReadYourWrites automatically.
+//
+// `freshness` is a Timestamp in the client-timestamp domain
+// (kClientTimestampEpoch + simulated time); staleness of a result at time T
+// is (kClientTimestampEpoch + T) - freshness.
 
 #ifndef MVSTORE_STORE_CLIENT_H_
 #define MVSTORE_STORE_CLIENT_H_
@@ -24,6 +58,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/logging.h"
 #include "common/statusor.h"
 #include "common/trace.h"
 #include "common/types.h"
@@ -51,6 +86,11 @@ struct ReadOptions {
   /// callers stitch several operations into one causal trace. Null = mint a
   /// root trace (when the cluster's `trace_client_ops` is enabled).
   TraceContext trace;
+  /// Consistency level (see the freshness-contract comment above).
+  ReadConsistency consistency = ReadConsistency::kEventual;
+  /// kBoundedStaleness only: the staleness bound, in simulated time units.
+  /// 0 uses the cluster's `max_staleness_default`.
+  SimTime max_staleness = 0;
 };
 
 /// Options shared by every write-shaped operation (Put, Delete).
@@ -65,17 +105,47 @@ struct WriteOptions {
   TraceContext trace;
 };
 
+/// Which of ReadResult's payload fields the operation populated.
+enum class ReadPayload {
+  kNone,     ///< failed read (or a Get that found nothing)
+  kRow,      ///< Get: `row`
+  kRecords,  ///< ViewGet: `records`
+  kRows,     ///< IndexGet: `rows`
+};
+
 /// The one result shape every read-shaped operation delivers. Exactly one
 /// payload field is populated, matching the operation: `row` for Get,
-/// `records` for ViewGet, `rows` for IndexGet.
+/// `records` for ViewGet, `rows` for IndexGet; `payload_kind()` says which.
 struct ReadResult {
   Status status = Status::OK();
   storage::Row row;
   std::vector<ViewRecord> records;
   std::vector<storage::KeyedRow> rows;
+  /// Freshness claim (see the contract comment above): every base write
+  /// with ts <= freshness is reflected in the payload. kNullTimestamp when
+  /// the operation failed.
+  Timestamp freshness = kNullTimestamp;
+  /// The path that served the read: the materialized view, the secondary
+  /// index, or a base-table read/scan.
+  ServedBy served_by = ServedBy::kBaseScan;
   /// Trace id of the operation (0 when untraced).
   TraceId trace = 0;
   bool ok() const { return status.ok(); }
+
+  /// The populated payload field. Debug builds verify that the fields not
+  /// named by `payload` really are empty (the exactly-one invariant).
+  ReadPayload payload_kind() const {
+#ifndef NDEBUG
+    MVSTORE_CHECK((payload == ReadPayload::kRow || row.empty()) &&
+                  (payload == ReadPayload::kRecords || records.empty()) &&
+                  (payload == ReadPayload::kRows || rows.empty()))
+        << "ReadResult populated a payload field its kind does not name";
+#endif
+    return payload;
+  }
+
+  /// Set by the client adapters; read through payload_kind().
+  ReadPayload payload = ReadPayload::kNone;
 };
 
 struct WriteResult {

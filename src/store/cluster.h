@@ -27,6 +27,7 @@
 #include "sim/network.h"
 #include "sim/simulation.h"
 #include "store/config.h"
+#include "store/freshness.h"
 #include "store/hooks.h"
 #include "store/metrics.h"
 #include "store/ring.h"
@@ -52,6 +53,10 @@ class Cluster {
   const Schema& schema() const { return schema_; }
   const ClusterConfig& config() const { return config_; }
   Metrics& metrics() { return metrics_; }
+  /// Cluster-wide freshness tracker (ISSUE 7): per-(view, partition) intents
+  /// from in-flight propagations, applied high-water marks, and the per-view
+  /// propagation-lag estimate the bounded-read router consults.
+  FreshnessTracker& freshness() { return freshness_; }
   /// Cluster-wide causal-trace recorder (disabled when trace_capacity == 0).
   Tracer& tracer() { return tracer_; }
   const Ring& ring() const { return ring_; }
@@ -143,6 +148,7 @@ class Cluster {
   ClusterConfig config_;
   Schema schema_;
   Metrics metrics_;
+  FreshnessTracker freshness_{&metrics_};
   Tracer tracer_;
   sim::Simulation sim_;
   Rng rng_;

@@ -60,6 +60,11 @@ struct PerfModel {
   /// One clock-driven compaction round over a server's engines (merge +
   /// tombstone GC), charged per run merged.
   SimTime compaction_service = Micros(250);
+  /// Full local match-scan over a base table (the bounded-read router's
+  /// last-resort fallback when no secondary index covers the view key):
+  /// every row is visited and filtered, so it costs far more than an index
+  /// probe — the cost asymmetry the router weighs.
+  SimTime base_scan_local = Micros(2400);
   /// Fixed receive overhead charged once per delivered peer message
   /// (deserialization, dispatch). This is what replica-write batching saves:
   /// a batch of k mutations costs one message_process instead of k.
@@ -186,6 +191,24 @@ struct ClusterConfig {
   /// Enforce Definition 4 (session guarantee) for view reads issued within a
   /// session.
   bool session_guarantees = true;
+
+  // --- freshness contract (ISSUE 7): bounded-staleness reads ---
+
+  /// Bound applied to a kBoundedStaleness read whose ReadOptions left
+  /// `max_staleness` at 0.
+  SimTime max_staleness_default = Millis(500);
+  /// How long a bounded read may stay parked waiting for in-flight
+  /// propagations before the router gives up on the view and falls back to
+  /// the SI/base-table path.
+  SimTime freshness_wait_max = Millis(100);
+  /// EWMA smoothing factor for the per-view propagation-lag estimate that
+  /// feeds the router's cost model.
+  double freshness_lag_alpha = 0.2;
+  /// Adaptive MV/SI routing: when the observed propagation lag for a view
+  /// exceeds a read's staleness bound, route to the SI/base path at once
+  /// instead of burning the whole wait budget first. Off = always wait out
+  /// `freshness_wait_max` before falling back.
+  bool freshness_router = true;
 
   // --- elastic membership (ISSUE 6) ---
 

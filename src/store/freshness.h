@@ -1,0 +1,268 @@
+// The freshness contract: cluster-wide tracking of how stale every view
+// partition can be, and the vocabulary the read surface uses to talk about
+// it (ISSUE 7).
+//
+// The paper measures view staleness after the fact (figs 7/8); here it
+// becomes a promise. Every base Put that affects a view registers an
+// *intent* — "a write at timestamp T is on its way into view V" — before
+// the Put is even acknowledged, and the intent settles when the propagation
+// applies (MarkApplied), turns out to be a no-op (Discard), or dies with a
+// crash / retry-budget exhaustion (MarkWounded). A bounded-staleness read
+// at bound B then has an exact question to ask: is there an unsettled
+// intent older than now - B that could reach my partition? If not, the
+// view is provably fresh enough; if so, the coordinator waits, repairs, or
+// routes around the view (view/maintenance_engine.cc's policy ladder).
+//
+// The tracker is engine-central, modeling the per-partition tracker shards
+// a real cluster would colocate with the view partition replicas: intent
+// registration rides the Put's coordinator work, settlement rides the
+// propagation's own quorum traffic (plus one network hop in dedicated-
+// propagator mode, exactly like the session completion notice it
+// generalizes), and the advisory lag estimates ride piggyback on the
+// propagation completion's replica traffic (FreshnessCache).
+//
+// Section V's per-coordinator session bookkeeping is subsumed: a session's
+// "my own writes" set is the set of intents registered under (origin,
+// session), so view::SessionManager is now a facade over the session layer
+// here (one origin's slice of it).
+
+#ifndef MVSTORE_STORE_FRESHNESS_H_
+#define MVSTORE_STORE_FRESHNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mvstore::store {
+
+struct Metrics;
+
+/// Identifies a client session (Section V). 0 = no session.
+using SessionId = std::uint64_t;
+
+/// The consistency contract of a read (ReadOptions::consistency).
+enum class ReadConsistency {
+  /// Serve whatever the read quorum holds (the paper's behaviour).
+  kEventual,
+  /// Never serve view state older than ReadOptions::max_staleness: the
+  /// coordinator proves the bound from the freshness tracker, briefly waits
+  /// for in-flight propagations, repairs wounded families, or routes to the
+  /// SI/base-table path when the view cannot satisfy the bound in time.
+  kBoundedStaleness,
+  /// Definition 4: block until the session's own pending propagations for
+  /// the view have completed. BeginSession() is sugar for this.
+  kReadYourWrites,
+};
+
+/// Which access path actually served a read (ReadResult::served_by).
+enum class ServedBy {
+  kView,      ///< materialized-view partition scan (Algorithm 4)
+  kSiPath,    ///< secondary-index broadcast probe
+  kBaseScan,  ///< base-table read (point Get, or match-scan fallback)
+};
+
+/// Cluster-wide freshness bookkeeping. One instance per Cluster; see the
+/// file comment for what each piece models.
+class FreshnessTracker {
+ public:
+  /// `metrics` may be null (standalone SessionManager construction in unit
+  /// tests); instrument updates are then skipped.
+  explicit FreshnessTracker(Metrics* metrics = nullptr);
+
+  FreshnessTracker(const FreshnessTracker&) = delete;
+  FreshnessTracker& operator=(const FreshnessTracker&) = delete;
+
+  // -------------------------------------------------------------------
+  // Intent lifecycle (driven by the maintenance engine).
+  // -------------------------------------------------------------------
+
+  /// Registers a pending propagation of a write at `ts` to `view`,
+  /// synchronously at Put issue — BEFORE the Put is acknowledged, so a
+  /// bounded read issued right after the ack can never miss it. Until
+  /// ResolvePartitions names the view-key partitions the write can land
+  /// in, the intent conservatively blocks EVERY partition of the view.
+  /// Also opens the (origin, session) bookkeeping (Section V).
+  std::uint64_t RegisterIntent(const std::string& view, const Key& base_key,
+                               Timestamp ts, SessionId session,
+                               ServerId origin);
+
+  /// Narrows `intent` to the named view-key partitions (the written view
+  /// key plus every collected pre-image guess). An empty set leaves the
+  /// intent blocking all partitions (nothing was collected — the paper's
+  /// unreachable-replica window).
+  void ResolvePartitions(std::uint64_t intent, std::set<Key> partitions);
+
+  /// The Put turned out not to touch this view: the intent settles with no
+  /// freshness effect. 0 is a no-op.
+  void Discard(std::uint64_t intent);
+
+  /// The propagation applied at its write quorum: the intent stops
+  /// blocking, the per-partition applied high-water advances, and parked
+  /// bounded reads are woken.
+  void MarkApplied(std::uint64_t intent);
+
+  /// The propagation died (coordinator crash, orphaning, retry budget):
+  /// the write may or may not be in the view, so the intent KEEPS blocking
+  /// bounded reads — only a family audit (owned-range scrub or a targeted
+  /// repair) can prove the family converged and clear the wound.
+  /// Idempotent; settles the session bookkeeping on first call.
+  void MarkWounded(std::uint64_t intent);
+
+  /// A scrub/repair audited the (view, base_key) family against
+  /// Definition 1: every intent for that family — wounded blockers and
+  /// dead bookkeeping whose completion notice was lost — is cleared.
+  /// Returns the number of intents cleared.
+  std::size_t FamilyAudited(const std::string& view, const Key& base_key);
+
+  // -------------------------------------------------------------------
+  // Queries (driven by the bounded-read path).
+  // -------------------------------------------------------------------
+
+  /// The freshness a read of (view, partition) at wall-clock `now_ts` may
+  /// claim: just below the oldest unsettled intent that can reach the
+  /// partition, or `now_ts` when none is pending.
+  Timestamp FreshAsOf(const std::string& view, const Key& partition,
+                      Timestamp now_ts) const;
+
+  struct BlockerSummary {
+    int live = 0;     ///< propagations still in flight
+    int wounded = 0;  ///< families needing an audit
+    std::vector<Key> wounded_keys;  ///< base keys of the wounded families
+  };
+  /// The unsettled intents with ts <= `need` that can reach (view,
+  /// partition) — exactly the writes a read requiring freshness `need`
+  /// cannot yet prove are reflected.
+  BlockerSummary BlockersBefore(const std::string& view, const Key& partition,
+                                Timestamp need) const;
+
+  /// Per-(view, partition) high-water timestamp of applied propagations
+  /// (kNullTimestamp when none applied yet). Exposed for gossip.
+  Timestamp AppliedHighWater(const std::string& view,
+                             const Key& partition) const;
+
+  /// One-shot callback fired the next time `view`'s freshness can have
+  /// improved (an intent applied, discarded, or audited away). Parked
+  /// bounded reads use this instead of polling.
+  void NotifyOnImprovement(const std::string& view,
+                           std::function<void()> callback);
+
+  /// EWMA of observed propagation lag per view (`alpha` = smoothing
+  /// factor), the router's cost-model input. LagEstimate returns -1 until
+  /// the first sample.
+  void RecordLag(const std::string& view, SimTime lag, double alpha);
+  SimTime LagEstimate(const std::string& view) const;
+
+  /// Unsettled intents (introspection for tests).
+  std::size_t pending_intents() const { return intents_.size(); }
+
+  // -------------------------------------------------------------------
+  // Session layer (Section V, Definition 4) — per-origin slices, fronted
+  // by view::SessionManager.
+  // -------------------------------------------------------------------
+
+  void SessionStarted(ServerId origin, SessionId session,
+                      const std::string& view);
+  void SessionFinished(ServerId origin, SessionId session,
+                       const std::string& view);
+  bool SessionMustDefer(ServerId origin, SessionId session,
+                        const std::string& view) const;
+  /// Callers check SessionMustDefer first.
+  void SessionDefer(ServerId origin, SessionId session,
+                    const std::string& view, std::function<void()> resume);
+  /// Drops `origin`'s session bookkeeping and parked resumes (its
+  /// coordinator crashed; deferred Gets are answered by the client's own
+  /// request timeout).
+  void ResetSessions(ServerId origin);
+  std::uint64_t deferred_total(ServerId origin) const;
+
+ private:
+  struct Intent {
+    std::string view;
+    Key base_key;
+    Timestamp ts = kNullTimestamp;
+    SessionId session = 0;
+    ServerId origin = 0;
+    /// Partitions (view keys) the write can land in; empty = unresolved,
+    /// blocking every partition of the view.
+    std::set<Key> partitions;
+    bool wounded = false;
+    /// The (origin, session) bookkeeping settles exactly once even though
+    /// a wounded intent can later be applied or audited.
+    bool session_settled = false;
+  };
+
+  /// Whether `intent` can affect `partition`.
+  static bool Covers(const Intent& intent, const Key& partition) {
+    return intent.partitions.empty() ||
+           intent.partitions.count(partition) != 0;
+  }
+
+  void SettleSession(Intent& intent);
+  void EraseIntent(std::map<std::uint64_t, Intent>::iterator it);
+  void FireImprovement(const std::string& view);
+
+  using SessionKey = std::tuple<ServerId, SessionId, std::string>;
+
+  Metrics* metrics_;
+  std::uint64_t next_intent_ = 0;
+  std::map<std::uint64_t, Intent> intents_;
+  /// Intent ids per view (the read path's index).
+  std::map<std::string, std::set<std::uint64_t>> by_view_;
+  /// (view, partition) -> high-water timestamp of applied propagations.
+  std::map<std::pair<std::string, Key>, Timestamp> applied_high_water_;
+  std::map<std::string, std::vector<std::function<void()>>> improvement_;
+  struct LagEwma {
+    double value = 0.0;
+    bool primed = false;
+  };
+  std::map<std::string, LagEwma> lag_;
+
+  std::map<SessionKey, int> session_pending_;
+  std::map<SessionKey, std::vector<std::function<void()>>> session_waiting_;
+  std::map<ServerId, std::uint64_t> session_deferred_;
+};
+
+/// A server's advisory cache of per-view freshness facts, merged from the
+/// gossip the maintenance engine piggybacks on propagation-completion
+/// replica traffic. Volatile: dies with the process on crash. The bounded-
+/// read router consults it first (a coordinator should not need a tracker
+/// round trip to decide a fallback) and falls through to the tracker's own
+/// estimate when cold.
+struct FreshnessCache {
+  struct Entry {
+    Timestamp high_water = kNullTimestamp;
+    double lag_ewma = 0.0;
+    bool has_lag = false;
+  };
+  std::map<std::string, Entry> by_view;
+
+  void Merge(const std::string& view, Timestamp high_water, SimTime lag,
+             double alpha) {
+    Entry& entry = by_view[view];
+    if (high_water > entry.high_water) entry.high_water = high_water;
+    if (!entry.has_lag) {
+      entry.lag_ewma = static_cast<double>(lag);
+      entry.has_lag = true;
+    } else {
+      entry.lag_ewma =
+          alpha * static_cast<double>(lag) + (1.0 - alpha) * entry.lag_ewma;
+    }
+  }
+
+  /// -1 when no sample has arrived yet.
+  SimTime LagEstimate(const std::string& view) const {
+    auto it = by_view.find(view);
+    if (it == by_view.end() || !it->second.has_lag) return -1;
+    return static_cast<SimTime>(it->second.lag_ewma);
+  }
+};
+
+}  // namespace mvstore::store
+
+#endif  // MVSTORE_STORE_FRESHNESS_H_

@@ -18,14 +18,14 @@
 #include "common/types.h"
 #include "storage/cell.h"
 #include "storage/row.h"
+#include "store/freshness.h"
 #include "store/schema.h"
 
 namespace mvstore::store {
 
 class Server;
 
-/// Identifies a client session (Section V). 0 = no session.
-using SessionId = std::uint64_t;
+// SessionId, ReadConsistency, and ServedBy live in store/freshness.h.
 
 /// One record returned by a view Get: the base key that produced the view
 /// row plus the requested materialized cells.
@@ -46,26 +46,64 @@ struct CollectedViewKeys {
   bool full_collection = false;
 };
 
+/// Everything a view Get carries besides the view and its key: the
+/// consistency contract (ISSUE 7) plus the classic quorum/column knobs.
+struct ViewReadSpec {
+  /// Columns to return; empty = all materialized columns.
+  std::vector<ColumnName> columns;
+  int read_quorum = 1;
+  SessionId session = 0;
+  ReadConsistency consistency = ReadConsistency::kEventual;
+  /// kBoundedStaleness only: the staleness bound; 0 uses the cluster's
+  /// `max_staleness_default`.
+  SimTime max_staleness = 0;
+};
+
+/// A view Get's result: the records, plus the freshness contract's answer —
+/// how fresh the serving state provably was and which path produced it.
+struct ViewReadOutcome {
+  std::vector<ViewRecord> records;
+  /// The serving state provably reflects every write at ts <= freshness.
+  Timestamp freshness = kNullTimestamp;
+  ServedBy served_by = ServedBy::kView;
+};
+
 class ViewMaintenanceHook {
  public:
   virtual ~ViewMaintenanceHook() = default;
 
+  /// Called synchronously on the coordinator while a base-table Put that
+  /// affects `views` is being ISSUED — before any replica traffic, so the
+  /// freshness intents it registers are visible to bounded reads from the
+  /// instant the Put can be acknowledged. Returns an opaque group handle
+  /// that the matching OnBasePutCommitted call passes back (0 = none).
+  virtual std::uint64_t OnBasePutIssued(Server* coordinator, const Key& key,
+                                        const std::vector<const ViewDef*>& views,
+                                        Timestamp ts, SessionId session) {
+    return 0;
+  }
+
   /// Called on the coordinating server after a base-table Put has been
   /// acknowledged to the client AND the pre-update view keys have been
   /// collected from all reachable replicas. `written` holds exactly the
-  /// cells the Put applied (with their timestamps). The hook schedules the
-  /// asynchronous propagation (Algorithm 1, lines 5-7).
+  /// cells the Put applied (with their timestamps); `put_group` is what the
+  /// matching OnBasePutIssued returned. The hook schedules the asynchronous
+  /// propagation (Algorithm 1, lines 5-7).
   virtual void OnBasePutCommitted(Server* coordinator, const Key& base_key,
                                   const storage::Row& written,
                                   std::vector<CollectedViewKeys> views,
-                                  SessionId session) = 0;
+                                  SessionId session,
+                                  std::uint64_t put_group) = 0;
 
-  /// Serves a client Get on a view (Algorithm 4), honoring the session
-  /// guarantee (Definition 4) when `session` != 0.
+  /// Serves a client Get on a view (Algorithm 4) under `spec`'s consistency
+  /// contract: kReadYourWrites defers on the session's own pending
+  /// propagations (Definition 4), kBoundedStaleness proves the staleness
+  /// bound against the freshness tracker (waiting, repairing, or routing to
+  /// the SI/base path as needed), kEventual serves the quorum's state as is.
   virtual void HandleViewGet(
       Server* coordinator, const ViewDef& view, const Key& view_key,
-      std::vector<ColumnName> columns, int read_quorum, SessionId session,
-      std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) = 0;
+      ViewReadSpec spec,
+      std::function<void(StatusOr<ViewReadOutcome>)> callback) = 0;
 
   /// Called synchronously from Server::Crash, BEFORE in-flight coordinator
   /// ops are aborted: the engine must treat the server's share of its

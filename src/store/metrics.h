@@ -99,6 +99,18 @@ struct Metrics {
   Counter& member_ops_retargeted;    ///< in-flight quorum slots moved off a leaver
   Counter& member_drains_forced;     ///< drain timeouts that force-rerouted hints
 
+  // Freshness contract (ISSUE 7): intent tracking, bound enforcement, and
+  // the adaptive MV/SI router.
+  Counter& freshness_intents_registered;  ///< propagation intents opened
+  Counter& freshness_intents_wounded;     ///< intents left blocking by a death
+  Counter& freshness_bound_misses;        ///< bounded reads that found blockers
+  Counter& freshness_bound_waits;         ///< bounded reads parked on progress
+  Counter& freshness_targeted_repairs;    ///< partition repairs fired by reads
+  Counter& freshness_fallback_si;         ///< bounded reads routed to the SI
+  Counter& freshness_fallback_base;       ///< bounded reads routed to base scan
+  Counter& freshness_gossip_updates;      ///< advisory cache merges shipped
+  Counter& freshness_wounds_cleared;      ///< wounded intents audited away
+
   // End-to-end latency recorders (simulated microseconds).
   Histogram& get_latency;
   Histogram& put_latency;
@@ -114,6 +126,8 @@ struct Metrics {
   Histogram& stage_network;
   Histogram& stage_batch_flush;  ///< wait inside a replica-write batch
   Histogram& stage_compaction;   ///< service time of each compaction round
+  Histogram& view_staleness;     ///< claimed staleness of each view read
+  Histogram& freshness_wait;     ///< time bounded reads spent parked
 
   MetricsSnapshot Snapshot() const { return registry.Snapshot(); }
   std::string ToJson() const { return registry.ToJson(); }

@@ -243,6 +243,19 @@ std::vector<storage::KeyedRow> Server::LocalIndexProbe(
   return result;
 }
 
+std::vector<storage::KeyedRow> Server::LocalMatchScan(
+    const std::string& table, const ColumnName& column, const Value& value) {
+  metrics_->replica_reads++;
+  std::vector<storage::KeyedRow> result;
+  EngineFor(table).ForEach([&](const Key& key, const storage::Row& row) {
+    auto current = row.GetValue(column);
+    if (current && *current == value) {
+      result.push_back(storage::KeyedRow{key, row});
+    }
+  });
+  return result;
+}
+
 // ---------------------------------------------------------------------------
 // Quorum read: a QuorumOp policy. The merge rule is LWW across the answered
 // slots; settlement pushes read repair to stale responders (never on abort —
@@ -577,37 +590,76 @@ void Server::HandleClientIndexGet(
   auto reply = WrapReply(std::move(callback));
   Enqueue(config_->perf.coordinator_op, [this, table, column, value,
                                          reply = std::move(reply)]() mutable {
-    using Op = QuorumOp<std::vector<storage::KeyedRow>>;
-    Op::Spec spec;
-    spec.name = "index_scan";
-    // Every CURRENT ring member holds a fragment; servers that left (or
-    // never joined) hold nothing and would only stall the full-broadcast
-    // quorum.
-    spec.targets.assign(ring_->members().begin(), ring_->members().end());
-    spec.quorum = static_cast<int>(spec.targets.size());
-    spec.service = config_->perf.index_scan_local;
-    spec.request = [table, column, value](Server& server) {
-      return server.LocalIndexProbe(table, column, value);
-    };
-    spec.quorum_error = "index fragments unreachable";
-    spec.on_quorum = [column, value, reply](Op& op) {
-      // A fragment may return keys whose globally-latest value no longer
-      // matches (its replica was stale); filter on the merged image, as
-      // Cassandra's coordinator re-checks index hits.
-      std::map<Key, storage::Row> merged = MergeScanResponses(op.responses());
-      std::vector<storage::KeyedRow> rows;
-      for (auto& [key, row] : merged) {
-        auto current = row.GetValue(column);
-        if (!current || *current != value) continue;
-        rows.push_back(storage::KeyedRow{key, std::move(row)});
-      }
-      reply(std::move(rows));
-    };
-    spec.on_error = [reply = std::move(reply)](Op&, const Status& status) {
-      reply(status);
-    };
-    Op::Start(this, std::move(spec));
+    CoordinateIndexScan(table, column, value, std::move(reply));
   });
+}
+
+void Server::CoordinateIndexScan(
+    const std::string& table, const ColumnName& column, const Value& value,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  using Op = QuorumOp<std::vector<storage::KeyedRow>>;
+  Op::Spec spec;
+  spec.name = "index_scan";
+  // Every CURRENT ring member holds a fragment; servers that left (or
+  // never joined) hold nothing and would only stall the full-broadcast
+  // quorum.
+  spec.targets.assign(ring_->members().begin(), ring_->members().end());
+  spec.quorum = static_cast<int>(spec.targets.size());
+  spec.service = config_->perf.index_scan_local;
+  spec.request = [table, column, value](Server& server) {
+    return server.LocalIndexProbe(table, column, value);
+  };
+  spec.quorum_error = "index fragments unreachable";
+  spec.on_quorum = [column, value, callback](Op& op) {
+    // A fragment may return keys whose globally-latest value no longer
+    // matches (its replica was stale); filter on the merged image, as
+    // Cassandra's coordinator re-checks index hits.
+    std::map<Key, storage::Row> merged = MergeScanResponses(op.responses());
+    std::vector<storage::KeyedRow> rows;
+    for (auto& [key, row] : merged) {
+      auto current = row.GetValue(column);
+      if (!current || *current != value) continue;
+      rows.push_back(storage::KeyedRow{key, std::move(row)});
+    }
+    callback(std::move(rows));
+  };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  Op::Start(this, std::move(spec));
+}
+
+void Server::CoordinateBaseMatchScan(
+    const std::string& table, const ColumnName& column, const Value& value,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  using Op = QuorumOp<std::vector<storage::KeyedRow>>;
+  Op::Spec spec;
+  spec.name = "base_match_scan";
+  // Same broadcast shape as the index scan, but every server walks its whole
+  // local fragment of the table — the router's priced-in worst case.
+  spec.targets.assign(ring_->members().begin(), ring_->members().end());
+  spec.quorum = static_cast<int>(spec.targets.size());
+  spec.service = config_->perf.base_scan_local;
+  spec.request = [table, column, value](Server& server) {
+    return server.LocalMatchScan(table, column, value);
+  };
+  spec.quorum_error = "base-scan replicas unreachable";
+  spec.on_quorum = [column, value, callback](Op& op) {
+    std::map<Key, storage::Row> merged = MergeScanResponses(op.responses());
+    std::vector<storage::KeyedRow> rows;
+    for (auto& [key, row] : merged) {
+      auto current = row.GetValue(column);
+      if (!current || *current != value) continue;
+      rows.push_back(storage::KeyedRow{key, std::move(row)});
+    }
+    callback(std::move(rows));
+  };
+  spec.on_error = [callback = std::move(callback)](Op&,
+                                                   const Status& status) {
+    callback(status);
+  };
+  Op::Start(this, std::move(spec));
 }
 
 // ---------------------------------------------------------------------------
@@ -718,6 +770,12 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
     return;
   }
 
+  // Freshness contract (ISSUE 7): register the pending propagations NOW,
+  // synchronously, before any replica traffic — a bounded-staleness read
+  // issued the instant this Put is acknowledged must already see them.
+  const std::uint64_t put_group =
+      view_hook_->OnBasePutIssued(this, key, affected, ts, session);
+
   // Columns whose pre-update versions Algorithm 1 must collect: the view
   // key column of every affected view.
   std::vector<ColumnName> read_columns;
@@ -728,8 +786,8 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
     }
   }
 
-  auto on_collected = [this, affected, key, cells,
-                       session](std::vector<storage::Row> pre_images) {
+  auto on_collected = [this, affected, key, cells, session,
+                       put_group](std::vector<storage::Row> pre_images) {
     const bool full_collection =
         static_cast<int>(pre_images.size()) == config_->replication_factor;
     std::vector<CollectedViewKeys> collected;
@@ -755,7 +813,7 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
       collected.push_back(std::move(entry));
     }
     view_hook_->OnBasePutCommitted(this, key, cells, std::move(collected),
-                                   session);
+                                   session, put_group);
   };
 
   if (config_->combined_get_then_put) {
@@ -800,7 +858,8 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
 void Server::HandleClientViewGet(
     const std::string& view_name, const Key& view_key,
     std::vector<ColumnName> columns, int read_quorum, SessionId session,
-    std::function<void(StatusOr<std::vector<ViewRecord>>)> callback) {
+    ReadConsistency consistency, SimTime max_staleness,
+    std::function<void(StatusOr<ViewReadOutcome>)> callback) {
   metrics_->client_view_gets++;
   if (!AcceptsCoordination()) {
     callback(Status::Unavailable("server leaving the ring"));
@@ -815,12 +874,17 @@ void Server::HandleClientViewGet(
     callback(Status::FailedPrecondition("view engine not installed"));
     return;
   }
+  ViewReadSpec spec;
+  spec.columns = std::move(columns);
+  spec.read_quorum = read_quorum;
+  spec.session = session;
+  spec.consistency = consistency;
+  spec.max_staleness = max_staleness;
   auto reply = WrapReply(std::move(callback));
   Enqueue(config_->perf.coordinator_op,
-          [this, view, view_key, columns = std::move(columns), read_quorum,
-           session, reply = std::move(reply)]() mutable {
-            view_hook_->HandleViewGet(this, *view, view_key,
-                                      std::move(columns), read_quorum, session,
+          [this, view, view_key, spec = std::move(spec),
+           reply = std::move(reply)]() mutable {
+            view_hook_->HandleViewGet(this, *view, view_key, std::move(spec),
                                       std::move(reply));
           });
 }
@@ -1084,6 +1148,7 @@ void Server::Crash() {
   for (auto& [table, engine] : engines_) engine->LoseVolatileState();
   hints_.clear();
   write_lanes_.clear();
+  freshness_cache_.by_view.clear();
   queue_.Reset();
   // Membership stream progress is volatile too; Restart rebuilds the task
   // list from the (durable) join/decommission plan and streams from scratch.

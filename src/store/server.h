@@ -29,6 +29,7 @@
 #include "sim/simulation.h"
 #include "storage/engine.h"
 #include "store/config.h"
+#include "store/freshness.h"
 #include "store/hooks.h"
 #include "store/metrics.h"
 #include "store/ring.h"
@@ -184,11 +185,13 @@ class Server {
                        int write_quorum, SessionId session,
                        std::function<void(Status)> callback);
 
-  /// Get on a view by view key (Algorithm 4; set of live records).
+  /// Get on a view by view key (Algorithm 4; set of live records), under
+  /// the consistency contract in `consistency` / `max_staleness` (ISSUE 7).
   void HandleClientViewGet(
       const std::string& view, const Key& view_key,
       std::vector<ColumnName> columns, int read_quorum, SessionId session,
-      std::function<void(StatusOr<std::vector<ViewRecord>>)> callback);
+      ReadConsistency consistency, SimTime max_staleness,
+      std::function<void(StatusOr<ViewReadOutcome>)> callback);
 
   /// Lookup by secondary key through the native secondary index: broadcast
   /// to every server, probe local fragments, merge.
@@ -233,6 +236,23 @@ class Server {
       const std::string& table, const Key& partition_prefix, int read_quorum,
       std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
 
+  /// Secondary-index probe as a coordinator primitive: broadcast to every
+  /// ring member, probe local index fragments, merge, re-filter. The inner
+  /// machinery of HandleClientIndexGet, exposed so the bounded-read router
+  /// can fall back to the SI path (ISSUE 7).
+  void CoordinateIndexScan(
+      const std::string& table, const ColumnName& column, const Value& value,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
+  /// Last-resort fallback when no secondary index covers the routed column:
+  /// broadcast a full local match-scan of `table` (every row visited, at
+  /// `perf.base_scan_local` per server) and merge. Deliberately expensive —
+  /// the router only picks it when the view cannot satisfy a bound and no
+  /// SI exists.
+  void CoordinateBaseMatchScan(
+      const std::string& table, const ColumnName& column, const Value& value,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
   // ---------------------------------------------------------------------
   // Local replica handlers (run on THIS server under its service queue;
   // invoked via peer messages).
@@ -260,6 +280,12 @@ class Server {
   std::vector<storage::KeyedRow> LocalIndexProbe(const std::string& table,
                                                  const ColumnName& column,
                                                  const Value& value);
+
+  /// Full local scan of `table` for rows whose `column` equals `value`
+  /// (no index consulted).
+  std::vector<storage::KeyedRow> LocalMatchScan(const std::string& table,
+                                                const ColumnName& column,
+                                                const Value& value);
 
   /// Sends `handler` to run on peer `to` under its service queue (service
   /// time `remote_service`, plus the fixed per-message receive overhead);
@@ -289,6 +315,11 @@ class Server {
 
   /// This server's row cache; null when `row_cache_entries` == 0.
   storage::RowCache* row_cache() const { return row_cache_.get(); }
+
+  /// This server's advisory freshness cache (ISSUE 7), merged from gossip
+  /// the maintenance engine piggybacks on propagation-completion traffic.
+  /// Volatile: cleared on crash.
+  FreshnessCache& freshness_cache() { return freshness_cache_; }
 
   /// Populates the row cache for a bootstrap-loaded key (loading applies
   /// rows, and applies invalidate — warming restores the "hot replica"
@@ -514,6 +545,9 @@ class Server {
   /// Per-destination replica-write lanes (write_batch_max > 1 only);
   /// cleared on crash — parked mutations die with the coordinator.
   std::map<ServerId, ReplicaWriteLane> write_lanes_;
+  /// Advisory per-view freshness facts gossiped by the maintenance engine;
+  /// volatile (cleared on crash).
+  FreshnessCache freshness_cache_;
 
   bool crashed_ = false;
   std::uint64_t incarnation_ = 0;

@@ -27,7 +27,10 @@ MaintenanceEngine::MaintenanceEngine(store::Cluster* cluster)
   locks_.set_expired_counter(&cluster->metrics().locks_expired);
   sessions_.reserve(static_cast<std::size_t>(cluster->num_servers()));
   for (int i = 0; i < cluster->num_servers(); ++i) {
-    sessions_.push_back(std::make_unique<SessionManager>());
+    // Each coordinator's session facade fronts its slice of the cluster-wide
+    // freshness tracker (ISSUE 7).
+    sessions_.push_back(std::make_unique<SessionManager>(
+        &cluster->freshness(), static_cast<ServerId>(i)));
   }
   // Background owned-range scrub: one staggered tick chain per server.
   const SimTime scrub_interval = cluster->config().view_scrub_interval;
@@ -79,12 +82,46 @@ SimTime MaintenanceEngine::SampleDispatchDelay() {
 // Algorithm 1, lines 5-7: schedule asynchronous propagation.
 // ---------------------------------------------------------------------------
 
+std::uint64_t MaintenanceEngine::OnBasePutIssued(
+    store::Server* coordinator, const Key& key,
+    const std::vector<const store::ViewDef*>& views, Timestamp ts,
+    store::SessionId session) {
+  // Register the freshness intents NOW — synchronously, before the Put's
+  // replica traffic — so a bounded read racing the Put's ack can never miss
+  // them. Partitions are unresolved until the pre-image collection settles,
+  // so each intent conservatively blocks its whole view.
+  const std::uint64_t group_id = ++next_put_group_;
+  PutGroup group;
+  group.origin = coordinator->id();
+  for (const store::ViewDef* view : views) {
+    group.intents[view->name] = cluster_->freshness().RegisterIntent(
+        view->name, key, ts, session, coordinator->id());
+  }
+  put_groups_.emplace(group_id, std::move(group));
+  return group_id;
+}
+
 void MaintenanceEngine::OnBasePutCommitted(
     store::Server* coordinator, const Key& base_key,
     const storage::Row& written, std::vector<store::CollectedViewKeys> views,
-    store::SessionId session) {
+    store::SessionId session, std::uint64_t put_group) {
+  // Claim the intent group registered at Put issue. A missing group means
+  // the origin crashed (or left) in the issue->collection window and the
+  // cleanup already wounded its intents: intent_of then yields 0, and every
+  // tracker call below no-ops.
+  std::map<std::string, std::uint64_t> intents;
+  if (auto it = put_groups_.find(put_group); it != put_groups_.end()) {
+    intents = std::move(it->second.intents);
+    put_groups_.erase(it);
+  }
+  auto intent_of = [&intents](const std::string& view_name) -> std::uint64_t {
+    auto it = intents.find(view_name);
+    return it == intents.end() ? 0 : it->second;
+  };
+
   for (store::CollectedViewKeys& collected : views) {
     const store::ViewDef* view = collected.view;
+    const std::uint64_t intent = intent_of(view->name);
     auto task = std::make_shared<PropagationTask>();
     task->id = ++next_task_id_;
     task->view = view;
@@ -98,15 +135,38 @@ void MaintenanceEngine::OnBasePutCommitted(
       }
     }
     if (!task->view_key_update && task->materialized_updates.empty()) {
-      continue;  // Put did not actually touch this view
+      // Put did not actually touch this view: the intent settles with no
+      // freshness effect.
+      cluster_->freshness().Discard(intent);
+      continue;
     }
     if (coordinator->crashed()) {
       // The coordinator died between committing the Put and scheduling the
       // propagation (the abort path still delivers the collected pre-images).
       // The base update is durable on its replicas but nobody will propagate
       // it — orphaned until the owned-range scrub re-derives the view row.
+      // (The intent was already wounded by OnServerCrash's group cleanup,
+      // so the MarkWounded here is a no-op on the usual path.)
+      cluster_->freshness().MarkWounded(intent);
       cluster_->metrics().propagations_orphaned++;
       continue;
+    }
+    task->freshness_intent = intent;
+    // Narrow the intent to the partitions this write can actually land in:
+    // the written view key plus every collected pre-image. An empty set
+    // (nothing collected, no key written) keeps blocking the whole view.
+    {
+      std::set<Key> partitions;
+      if (task->view_key_update && !task->view_key_update->tombstone &&
+          !task->view_key_update->value.empty()) {
+        partitions.insert(task->view_key_update->value);
+      }
+      for (const Cell& guess : collected.old_keys) {
+        if (!guess.IsNull() && !guess.tombstone && !guess.value.empty()) {
+          partitions.insert(guess.value);
+        }
+      }
+      cluster_->freshness().ResolvePartitions(intent, std::move(partitions));
     }
     // Prefer recent guesses: the newest pre-image is most likely to be the
     // current live key (the coordinator "is free to try the keys in any
@@ -130,7 +190,9 @@ void MaintenanceEngine::OnBasePutCommitted(
                                      task->created_at);
     }
 
-    sessions_[task->origin]->PropagationStarted(session, view->name);
+    // Session bookkeeping already opened at RegisterIntent (Put issue) —
+    // strictly earlier than the historical PropagationStarted call here, so
+    // Definition 4's guarantee window only widened.
     cluster_->metrics().propagations_started++;
     ++active_;
     RegisterTask(task);
@@ -383,7 +445,7 @@ void MaintenanceEngine::FinishAbsorbed(
     }
     --active_;
     UnregisterTask(task);
-    NotifyOrigin(task);
+    NotifyOrigin(task, completed);
   }
   winner->absorbed.clear();
 }
@@ -396,7 +458,8 @@ void MaintenanceEngine::TaskCompleted(
   cluster_->tracer().EndSpan(task->trace, cluster_->simulation().Now());
   --active_;
   UnregisterTask(task);
-  NotifyOrigin(task);
+  NotifyOrigin(task, /*completed=*/true);
+  GossipFreshness(task);
   FinishAbsorbed(task, /*completed=*/true);
   WakeParked(ResourceOf(*task));
 }
@@ -420,7 +483,7 @@ void MaintenanceEngine::TaskAbandoned(
   }
   --active_;
   UnregisterTask(task);
-  NotifyOrigin(task);
+  NotifyOrigin(task, /*completed=*/false);
   FinishAbsorbed(task, /*completed=*/false);
 }
 
@@ -477,12 +540,13 @@ void MaintenanceEngine::OrphanTask(
       if (tasks.empty()) parked_.erase(it);
     }
   }
-  // Unblock the origin's session bookkeeping directly (engine-level cleanup
+  // Wound the intent: the write may or may not be in the view, so bounded
+  // reads stay blocked until a family audit proves convergence. Wounding
+  // also settles the origin's session bookkeeping (engine-level cleanup
   // modeling the origin's failure detector): a session must not wait forever
   // on a propagation that died with another server. When the origin itself
   // is the crashed server, OnServerCrash resets its sessions right after.
-  sessions_[task->origin]->PropagationFinished(task->session,
-                                               task->view->name);
+  cluster_->freshness().MarkWounded(task->freshness_intent);
   // Tasks absorbed into this one died with it (the flag guard above makes
   // this idempotent against OnServerCrash orphaning them directly).
   for (const auto& absorbed : task->absorbed) OrphanTask(absorbed);
@@ -504,6 +568,19 @@ void MaintenanceEngine::OnServerCrash(store::Server* server) {
     }
   }
   for (const auto& task : doomed) OrphanTask(task);
+  // Intents registered at Put issue on `id` but not yet attached to a task
+  // (the issue->collection window) die with the coordinator: wound them so
+  // bounded reads stay honest until the families are audited.
+  for (auto it = put_groups_.begin(); it != put_groups_.end();) {
+    if (it->second.origin == id) {
+      for (const auto& [view_name, intent] : it->second.intents) {
+        cluster_->freshness().MarkWounded(intent);
+      }
+      it = put_groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   row_queues_[id].clear();
   sessions_[id]->Reset();
 }
@@ -548,6 +625,18 @@ void MaintenanceEngine::OnServerLeave(store::Server* server) {
     for (const auto& task : queue.tasks) doomed.push_back(task);
   }
   for (const auto& task : doomed) OrphanTask(task);
+  // Same unattached-intent cleanup as a crash: the leaver's issue-window
+  // intents will never attach to a task.
+  for (auto it = put_groups_.begin(); it != put_groups_.end();) {
+    if (it->second.origin == id) {
+      for (const auto& [view_name, intent] : it->second.intents) {
+        cluster_->freshness().MarkWounded(intent);
+      }
+      it = put_groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   row_queues_[id].clear();
   sessions_[id]->Reset();
   // Recovery of the orphaned families follows the same path as after a
@@ -562,11 +651,18 @@ std::size_t MaintenanceEngine::RunOwnedRangeScrub(ServerId server) {
   for (const std::string& table : cluster_->schema().TableNames()) {
     for (const store::ViewDef* view : cluster_->schema().ViewsOn(table)) {
       recovered += ScrubOwnedRanges(
-          *cluster_, *view, server, [this, view](const Key& base_key) {
+          *cluster_, *view, server,
+          [this, view](const Key& base_key) {
             std::string resource = view->name;
             resource.push_back('\0');
             resource += base_key;
             return active_per_resource_.count(resource) != 0;
+          },
+          [this, view](const Key& base_key) {
+            // The audit proved the family matches Definition 1: clear its
+            // intents — wounded blockers, and dead bookkeeping whose
+            // completion notice was lost (ISSUE 7).
+            cluster_->freshness().FamilyAudited(view->name, base_key);
           });
     }
   }
@@ -585,24 +681,31 @@ void MaintenanceEngine::OwnedRangeScrubTick(ServerId server) {
 }
 
 void MaintenanceEngine::NotifyOrigin(
-    const std::shared_ptr<PropagationTask>& task) {
-  // Session bookkeeping lives at the originating coordinator; in dedicated-
-  // propagator mode the completion notice crosses the network.
-  SessionManager* sessions = sessions_[task->origin].get();
-  const store::SessionId session = task->session;
-  const std::string view = task->view->name;
-  sim::EndpointId origin_endpoint = task->origin;
+    const std::shared_ptr<PropagationTask>& task, bool completed) {
+  // Settling the freshness intent also settles the origin's session
+  // bookkeeping (the tracker's session layer). Intent bookkeeping lives
+  // with the origin's tracker shard; in dedicated-propagator mode the
+  // settlement notice crosses the network, exactly like the historical
+  // session completion notice it generalizes — and, like it, can be lost to
+  // an origin crash, in which case the next family audit clears the intent.
+  const std::uint64_t intent = task->freshness_intent;
+  if (intent == 0) return;
+  store::FreshnessTracker* tracker = &cluster_->freshness();
+  auto settle = [tracker, intent, completed] {
+    if (completed) {
+      tracker->MarkApplied(intent);
+    } else {
+      tracker->MarkWounded(intent);
+    }
+  };
   if (cluster_->config().propagation_mode !=
       store::PropagationMode::kDedicatedPropagators) {
     // Lock-service and unsynchronized modes execute on the origin itself.
-    sessions->PropagationFinished(session, view);
+    settle();
     return;
   }
-  cluster_->network().Send(
-      cluster_->ring().PrimaryFor(task->base_key), origin_endpoint,
-      [sessions, session, view] {
-        sessions->PropagationFinished(session, view);
-      });
+  cluster_->network().Send(cluster_->ring().PrimaryFor(task->base_key),
+                           task->origin, std::move(settle));
 }
 
 // ---------------------------------------------------------------------------
@@ -775,40 +878,274 @@ void MaintenanceEngine::PumpRowQueue(ServerId propagator,
 
 void MaintenanceEngine::HandleViewGet(
     store::Server* coordinator, const store::ViewDef& view,
-    const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
-    store::SessionId session,
-    std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback) {
-  SessionManager& sessions = *sessions_[coordinator->id()];
+    const Key& view_key, store::ViewReadSpec spec,
+    std::function<void(StatusOr<store::ViewReadOutcome>)> callback) {
   // The ViewDef lives in the cluster schema, which is immutable for the
   // cluster's lifetime; hold it by pointer across the async hops.
   const store::ViewDef* view_def = &view;
-  if (cluster_->config().session_guarantees && session != 0 &&
-      sessions.MustDefer(session, view.name)) {
+
+  if (spec.consistency == store::ReadConsistency::kBoundedStaleness) {
+    const SimTime bound = spec.max_staleness > 0
+                              ? spec.max_staleness
+                              : cluster_->config().max_staleness_default;
+    const SimTime deadline =
+        cluster_->simulation().Now() + cluster_->config().freshness_wait_max;
+    BoundedViewGet(coordinator, view, view_key, std::move(spec), bound,
+                   deadline, /*attempt=*/0, std::move(callback));
+    return;
+  }
+
+  SessionManager& sessions = *sessions_[coordinator->id()];
+  if (cluster_->config().session_guarantees && spec.session != 0 &&
+      spec.consistency == store::ReadConsistency::kReadYourWrites &&
+      sessions.MustDefer(spec.session, view.name)) {
     cluster_->metrics().view_get_deferrals++;
-    // The deferred continuation fires from PropagationFinished, under
-    // whatever context THAT runs in — capture this read's context explicitly
-    // and span the blocked interval (Definition 4's wait, Figure 7).
+    // The deferred continuation fires from the tracker's session layer,
+    // under whatever context THAT runs in — capture this read's context
+    // explicitly and span the blocked interval (Definition 4's wait, Fig 7).
     Tracer& tracer = cluster_->tracer();
     const TraceContext ctx = tracer.current();
     const TraceContext defer =
         tracer.StartSpan(ctx, "view.session_defer",
                          static_cast<int>(coordinator->id()),
                          cluster_->simulation().Now());
+    const store::SessionId session = spec.session;
     sessions.Defer(session, view.name,
                    [this, coordinator, view_def, view_key, ctx, defer,
-                    columns = std::move(columns), read_quorum,
+                    spec = std::move(spec),
                     callback = std::move(callback)]() mutable {
                      cluster_->tracer().EndSpan(defer,
                                                 cluster_->simulation().Now());
                      Tracer::Scope scope(&cluster_->tracer(), ctx);
-                     DoViewGet(coordinator, *view_def, view_key,
-                               std::move(columns), read_quorum, /*attempt=*/0,
-                               std::move(callback));
+                     ServeFromView(coordinator, *view_def, view_key, spec,
+                                   spec.read_quorum, std::move(callback));
                    });
     return;
   }
-  DoViewGet(coordinator, view, view_key, std::move(columns), read_quorum,
-            /*attempt=*/0, std::move(callback));
+  ServeFromView(coordinator, view, view_key, spec, spec.read_quorum,
+                std::move(callback));
+}
+
+// ---------------------------------------------------------------------------
+// Freshness contract (ISSUE 7): the bounded-staleness policy ladder.
+// ---------------------------------------------------------------------------
+
+void MaintenanceEngine::BoundedViewGet(
+    store::Server* coordinator, const store::ViewDef& view,
+    const Key& view_key, store::ViewReadSpec spec, SimTime bound,
+    SimTime deadline, int attempt,
+    std::function<void(StatusOr<store::ViewReadOutcome>)> callback) {
+  const store::ViewDef* view_def = &view;
+  store::FreshnessTracker& tracker = cluster_->freshness();
+  const Timestamp now_ts =
+      store::kClientTimestampEpoch + cluster_->simulation().Now();
+  const Timestamp need = std::max<Timestamp>(0, now_ts - bound);
+
+  const store::FreshnessTracker::BlockerSummary blockers =
+      tracker.BlockersBefore(view.name, view_key, need);
+
+  if (blockers.live == 0 && blockers.wounded == 0) {
+    // The bound is proven: no unsettled intent older than (now - bound) can
+    // reach this partition. Serve from the view — at a quorum that
+    // intersects propagation's majority write quorum, so the scan cannot
+    // read a single replica that missed an applied (settled) propagation.
+    ServeFromView(coordinator, view, view_key, spec,
+                  std::max(spec.read_quorum, coordinator->MajorityQuorum()),
+                  std::move(callback));
+    return;
+  }
+
+  if (attempt == 0) cluster_->metrics().freshness_bound_misses++;
+
+  if (blockers.live == 0) {
+    // Only wounded families block: their propagations died, so no amount of
+    // waiting helps. Fire a targeted repair of exactly those families (the
+    // owned-range scrub's audit, scoped to the blockers), then re-prove.
+    cluster_->metrics().freshness_targeted_repairs++;
+    std::vector<Key> wounded = blockers.wounded_keys;
+    coordinator->Enqueue(
+        cluster_->config().perf.view_scan_local,
+        [this, coordinator, view_def, view_key, spec = std::move(spec), bound,
+         deadline, attempt, wounded = std::move(wounded),
+         callback = std::move(callback)]() mutable {
+          RepairViewFamilies(*cluster_, *view_def, wounded,
+                             [this, view_def](const Key& base_key) {
+                               std::string resource = view_def->name;
+                               resource.push_back('\0');
+                               resource += base_key;
+                               return active_per_resource_.count(resource) !=
+                                      0;
+                             });
+          // The audited families provably match Definition 1 now; clearing
+          // their intents guarantees the re-entry below cannot see the same
+          // wounded blockers (no repair loop).
+          for (const Key& base_key : wounded) {
+            cluster_->freshness().FamilyAudited(view_def->name, base_key);
+          }
+          BoundedViewGet(coordinator, *view_def, view_key, std::move(spec),
+                         bound, deadline, attempt + 1, std::move(callback));
+        });
+    return;
+  }
+
+  // Live propagations block. Ask the router: will they plausibly settle
+  // within the bound/wait budget? The coordinator's advisory cache answers
+  // without a tracker round trip; fall through to the tracker's own
+  // estimate when the cache is cold.
+  SimTime lag = coordinator->freshness_cache().LagEstimate(view.name);
+  if (lag < 0) lag = tracker.LagEstimate(view.name);
+  const SimTime now = cluster_->simulation().Now();
+  if (now >= deadline ||
+      (cluster_->config().freshness_router && lag >= 0 && lag > bound)) {
+    // Waiting is hopeless (deadline spent) or pointless (typical
+    // propagation lag exceeds the bound): route around the view.
+    FallbackRead(coordinator, view, view_key, spec, std::move(callback));
+    return;
+  }
+
+  // Park until the view's freshness improves (an intent applies, discards,
+  // or audits away) or the wait deadline fires — whichever comes first.
+  cluster_->metrics().freshness_bound_waits++;
+  Tracer& tracer = cluster_->tracer();
+  const TraceContext ctx = tracer.current();
+  auto fired = std::make_shared<bool>(false);
+  auto wake = std::make_shared<std::function<void()>>(
+      [this, coordinator, view_def, view_key, spec = std::move(spec), bound,
+       deadline, attempt, ctx, fired, parked_at = now,
+       callback = std::move(callback)]() mutable {
+        if (*fired) return;
+        *fired = true;
+        cluster_->metrics().freshness_wait.Record(
+            cluster_->simulation().Now() - parked_at);
+        Tracer::Scope scope(&cluster_->tracer(), ctx);
+        BoundedViewGet(coordinator, *view_def, view_key, std::move(spec),
+                       bound, deadline, attempt + 1, std::move(callback));
+      });
+  tracker.NotifyOnImprovement(view.name, [wake] { (*wake)(); });
+  cluster_->simulation().After(std::max<SimTime>(1, deadline - now),
+                               [wake] { (*wake)(); });
+}
+
+void MaintenanceEngine::ServeFromView(
+    store::Server* coordinator, const store::ViewDef& view,
+    const Key& view_key, const store::ViewReadSpec& spec, int read_quorum,
+    std::function<void(StatusOr<store::ViewReadOutcome>)> callback) {
+  const store::ViewDef* view_def = &view;
+  DoViewGet(coordinator, view, view_key, spec.columns, read_quorum,
+            /*attempt=*/0,
+            [this, view_def, view_key, callback = std::move(callback)](
+                StatusOr<std::vector<store::ViewRecord>> records) mutable {
+              if (!records.ok()) {
+                callback(records.status());
+                return;
+              }
+              store::ViewReadOutcome outcome;
+              outcome.records = *std::move(records);
+              const Timestamp now_ts = store::kClientTimestampEpoch +
+                                       cluster_->simulation().Now();
+              outcome.freshness = cluster_->freshness().FreshAsOf(
+                  view_def->name, view_key, now_ts);
+              outcome.served_by = store::ServedBy::kView;
+              cluster_->metrics().view_staleness.Record(
+                  std::max<Timestamp>(0, now_ts - outcome.freshness));
+              callback(std::move(outcome));
+            });
+}
+
+void MaintenanceEngine::FallbackRead(
+    store::Server* coordinator, const store::ViewDef& view,
+    const Key& view_key, const store::ViewReadSpec& spec,
+    std::function<void(StatusOr<store::ViewReadOutcome>)> callback) {
+  const store::ViewDef* view_def = &view;
+  const bool si = cluster_->schema().FindIndex(view.base_table,
+                                               view.view_key_column) != nullptr;
+  const store::ServedBy path =
+      si ? store::ServedBy::kSiPath : store::ServedBy::kBaseScan;
+  if (si) {
+    cluster_->metrics().freshness_fallback_si++;
+  } else {
+    cluster_->metrics().freshness_fallback_base++;
+  }
+  auto on_rows = [this, view_def, path, columns = spec.columns,
+                  callback = std::move(callback)](
+                     StatusOr<std::vector<storage::KeyedRow>> rows) mutable {
+    if (!rows.ok()) {
+      callback(rows.status());
+      return;
+    }
+    // Evaluate the view definition inline over the base rows: selection
+    // filter, then project the wanted materialized columns.
+    const std::vector<ColumnName>& wanted =
+        columns.empty() ? view_def->materialized_columns : columns;
+    store::ViewReadOutcome outcome;
+    for (const storage::KeyedRow& kr : *rows) {
+      if (view_def->selection.has_value()) {
+        auto selected = kr.row.GetValue(view_def->selection->column);
+        if (!selected || *selected != view_def->selection->equals) continue;
+      }
+      store::ViewRecord record;
+      record.base_key = kr.key;
+      for (const ColumnName& col : wanted) {
+        if (auto cell = kr.row.Get(col); cell && !cell->tombstone) {
+          record.cells.Apply(col, *cell);
+        }
+      }
+      outcome.records.push_back(std::move(record));
+    }
+    // Both fallback paths read the base table's CURRENT state (the SI is
+    // maintained synchronously with each replica write), so the outcome
+    // claims freshness "now": staleness zero by construction.
+    outcome.freshness =
+        store::kClientTimestampEpoch + cluster_->simulation().Now();
+    outcome.served_by = path;
+    cluster_->metrics().view_staleness.Record(0);
+    callback(std::move(outcome));
+  };
+  if (si) {
+    coordinator->CoordinateIndexScan(view.base_table, view.view_key_column,
+                                     view_key, std::move(on_rows));
+  } else {
+    coordinator->CoordinateBaseMatchScan(view.base_table, view.view_key_column,
+                                         view_key, std::move(on_rows));
+  }
+}
+
+void MaintenanceEngine::GossipFreshness(
+    const std::shared_ptr<PropagationTask>& task) {
+  // Piggyback (applied high-water, observed lag) for this view onto traffic
+  // toward the view partition's replicas — the servers a future read of
+  // this partition will coordinate scans against.
+  const std::string view_name = task->view->name;
+  const SimTime lag = cluster_->simulation().Now() - task->created_at;
+  const double alpha = cluster_->config().freshness_lag_alpha;
+  cluster_->freshness().RecordLag(view_name, lag, alpha);
+
+  Key partition;
+  if (task->view_key_update && !task->view_key_update->tombstone &&
+      !task->view_key_update->value.empty()) {
+    partition = task->view_key_update->value;
+  } else {
+    for (const Cell& guess : task->guesses) {
+      if (!guess.IsNull() && !guess.tombstone && !guess.value.empty()) {
+        partition = guess.value;
+        break;
+      }
+    }
+  }
+  if (partition.empty()) return;
+
+  const Timestamp high_water =
+      cluster_->freshness().AppliedHighWater(view_name, partition);
+  const ServerId from = ExecutorOf(*task);
+  for (ServerId replica : cluster_->server(0).ReplicasOf(
+           view_name, store::ViewPartitionPrefix(partition))) {
+    cluster_->metrics().freshness_gossip_updates++;
+    store::Server* target = &cluster_->server(replica);
+    cluster_->network().Send(
+        from, replica, [target, view_name, high_water, lag, alpha] {
+          target->freshness_cache().Merge(view_name, high_water, lag, alpha);
+        });
+  }
 }
 
 void MaintenanceEngine::DoViewGet(

@@ -34,16 +34,19 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   MaintenanceEngine& operator=(const MaintenanceEngine&) = delete;
 
   // --- store::ViewMaintenanceHook ---
+  std::uint64_t OnBasePutIssued(store::Server* coordinator, const Key& key,
+                                const std::vector<const store::ViewDef*>& views,
+                                Timestamp ts,
+                                store::SessionId session) override;
   void OnBasePutCommitted(store::Server* coordinator, const Key& base_key,
                           const storage::Row& written,
                           std::vector<store::CollectedViewKeys> views,
-                          store::SessionId session) override;
+                          store::SessionId session,
+                          std::uint64_t put_group) override;
   void HandleViewGet(
       store::Server* coordinator, const store::ViewDef& view,
-      const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
-      store::SessionId session,
-      std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback)
-      override;
+      const Key& view_key, store::ViewReadSpec spec,
+      std::function<void(StatusOr<store::ViewReadOutcome>)> callback) override;
   void OnServerCrash(store::Server* server) override;
   void OnServerRestart(store::Server* server) override;
   void OnServerJoin(store::Server* server) override;
@@ -112,7 +115,12 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
 
   void TaskCompleted(const std::shared_ptr<PropagationTask>& task);
   void TaskAbandoned(const std::shared_ptr<PropagationTask>& task);
-  void NotifyOrigin(const std::shared_ptr<PropagationTask>& task);
+  /// Settles the task's freshness intent (and with it the origin's session
+  /// bookkeeping): MarkApplied when `completed`, MarkWounded otherwise. In
+  /// dedicated-propagator mode the settlement notice crosses the network to
+  /// the tracker shard colocated with the origin.
+  void NotifyOrigin(const std::shared_ptr<PropagationTask>& task,
+                    bool completed);
 
   // --- propagation coalescing ---
 
@@ -155,6 +163,40 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
       int attempt,
       std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback);
 
+  // --- freshness contract (ISSUE 7) ---
+
+  /// The bounded-staleness policy ladder: prove the bound from the tracker,
+  /// else repair wounded families, else park briefly for in-flight
+  /// propagations, else route to the SI/base path (FallbackRead). `deadline`
+  /// caps the total parked time; `bound` is the resolved staleness bound.
+  void BoundedViewGet(
+      store::Server* coordinator, const store::ViewDef& view,
+      const Key& view_key, store::ViewReadSpec spec, SimTime bound,
+      SimTime deadline, int attempt,
+      std::function<void(StatusOr<store::ViewReadOutcome>)> callback);
+
+  /// DoViewGet wrapped into the outcome vocabulary: freshness claimed from
+  /// the tracker, served_by = kView.
+  void ServeFromView(
+      store::Server* coordinator, const store::ViewDef& view,
+      const Key& view_key, const store::ViewReadSpec& spec, int read_quorum,
+      std::function<void(StatusOr<store::ViewReadOutcome>)> callback);
+
+  /// Serves the read from the secondary index on the view-key column when
+  /// one exists, else from a broadcast base-table match scan. Both paths
+  /// read the base table's current state, so the outcome claims freshness
+  /// "now" (staleness 0) — the router's escape hatch when the view cannot
+  /// satisfy a bound in time.
+  void FallbackRead(
+      store::Server* coordinator, const store::ViewDef& view,
+      const Key& view_key, const store::ViewReadSpec& spec,
+      std::function<void(StatusOr<store::ViewReadOutcome>)> callback);
+
+  /// Piggybacks (applied high-water, observed lag) for the task's view onto
+  /// replica traffic toward the view partition's replicas, feeding their
+  /// advisory FreshnessCaches.
+  void GossipFreshness(const std::shared_ptr<PropagationTask>& task);
+
   static constexpr int kMaxReadSpins = 64;
   static constexpr SimTime kReadSpinDelay = Millis(1);
 
@@ -178,6 +220,16 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   /// The most recently created still-pending task per resource — the merge
   /// target for propagation coalescing. Erased when that task finishes.
   std::map<std::string, std::shared_ptr<PropagationTask>> coalesce_anchor_;
+
+  /// Freshness intents registered at Put issue but not yet attached to
+  /// their propagation tasks (OnBasePutIssued -> OnBasePutCommitted window).
+  /// A crash of the origin in that window wounds the whole group.
+  struct PutGroup {
+    ServerId origin;
+    std::map<std::string, std::uint64_t> intents;  // by view name
+  };
+  std::map<std::uint64_t, PutGroup> put_groups_;
+  std::uint64_t next_put_group_ = 0;
 };
 
 }  // namespace mvstore::view

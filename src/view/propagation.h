@@ -107,6 +107,11 @@ struct PropagationTask {
   /// settles when this task settles.
   std::vector<std::shared_ptr<PropagationTask>> absorbed;
 
+  /// Freshness intent (ISSUE 7) this task settles: registered by
+  /// OnBasePutIssued, attached by OnBasePutCommitted, MarkApplied /
+  /// MarkWounded when the task completes / dies. 0 = none.
+  std::uint64_t freshness_intent = 0;
+
   /// True when no replica had ever seen a view key for this row — the only
   /// situation in which propagation may create the row's first view row.
   bool AllGuessesNull() const;

@@ -254,50 +254,103 @@ std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view) {
   return expected.size();
 }
 
-std::size_t ScrubOwnedRanges(store::Cluster& cluster,
-                             const store::ViewDef& view, ServerId owner,
-                             const std::function<bool(const Key&)>& skip) {
-  const std::map<Key, Row> base = MergedTable(cluster, view.base_table);
-  const std::map<Key, Row> view_rows = MergedTable(cluster, view.name);
+namespace {
 
-  // Group the versioned view's rows into per-base-key families.
-  struct FamilyRow {
-    Key view_key;
-    Key row_key;
-    const Row* row;
-    RowStatus status;
-  };
+/// One classified row of a per-base-key view family.
+struct FamilyRow {
+  Key view_key;
+  Key row_key;
+  const Row* row;
+  RowStatus status;
+};
+
+/// The merged state a family audit works from. FamilyRow::row points into
+/// `view_rows` (map nodes are stable under move).
+struct FamilyIndex {
+  std::map<Key, Row> base;
+  std::map<Key, Row> view_rows;
   std::map<Key, std::vector<FamilyRow>> families;
-  for (const auto& [key, row] : view_rows) {
+};
+
+FamilyIndex LoadFamilies(store::Cluster& cluster, const store::ViewDef& view) {
+  FamilyIndex index;
+  index.base = MergedTable(cluster, view.base_table);
+  index.view_rows = MergedTable(cluster, view.name);
+  for (const auto& [key, row] : index.view_rows) {
     auto split = store::SplitViewRowKey(key);
     if (!split) continue;
     RowStatus status = ClassifyViewRow(row, split->first);
     if (!status.exists) continue;
-    families[split->second].push_back({split->first, key, &row, status});
+    index.families[split->second].push_back({split->first, key, &row, status});
   }
+  return index;
+}
 
-  // Definition-1 evaluation of one merged base row.
-  auto expected_of = [&base,
-                      &view](const Key& base_key) -> std::optional<ExpectedRecord> {
-    auto it = base.find(base_key);
-    if (it == base.end()) return std::nullopt;
-    const Row& row = it->second;
-    auto view_key = row.Get(view.view_key_column);
-    if (!view_key || view_key->tombstone) return std::nullopt;
-    if (view.selection.has_value()) {
-      auto selected = row.GetValue(view.selection->column);
-      if (!selected || *selected != view.selection->equals) return std::nullopt;
+/// Definition-1 evaluation of one merged base row.
+std::optional<ExpectedRecord> ExpectedOf(const FamilyIndex& index,
+                                         const store::ViewDef& view,
+                                         const Key& base_key) {
+  auto it = index.base.find(base_key);
+  if (it == index.base.end()) return std::nullopt;
+  const Row& row = it->second;
+  auto view_key = row.Get(view.view_key_column);
+  if (!view_key || view_key->tombstone) return std::nullopt;
+  if (view.selection.has_value()) {
+    auto selected = row.GetValue(view.selection->column);
+    if (!selected || *selected != view.selection->equals) return std::nullopt;
+  }
+  ExpectedRecord record;
+  record.view_key = view_key->value;
+  record.base_key = base_key;
+  for (const ColumnName& col : view.materialized_columns) {
+    if (auto cell = row.Get(col); cell && !cell->tombstone) {
+      record.cells.Apply(col, *cell);
     }
-    ExpectedRecord record;
-    record.view_key = view_key->value;
-    record.base_key = base_key;
+  }
+  return record;
+}
+
+/// Audits one family against Definition 1 and repairs it when broken.
+/// Returns true when a repair was applied. The shared guts of
+/// ScrubOwnedRanges and RepairViewFamilies.
+bool AuditAndRepairFamily(store::Cluster& cluster, const store::ViewDef& view,
+                          const FamilyIndex& index, const Key& base_key) {
+  const std::optional<ExpectedRecord> expected =
+      ExpectedOf(index, view, base_key);
+  static const std::vector<FamilyRow> kNoRows;
+  auto fam_it = index.families.find(base_key);
+  const std::vector<FamilyRow>& fam =
+      fam_it == index.families.end() ? kNoRows : fam_it->second;
+
+  // Health check: exactly the Definition-1 record exposed (value AND
+  // timestamp — repairs preserve base timestamps, so this is stable), no
+  // stray live rows, no uninitialized live row a reader would spin on.
+  // Hidden live rows (selection currently false) are a valid resting state
+  // and judged only through the exposure count.
+  bool broken = false;
+  int exposed = 0;
+  for (const FamilyRow& fr : fam) {
+    if (!fr.status.live) continue;
+    if (!fr.status.initialized) {
+      broken = true;
+      continue;
+    }
+    if (fr.status.hidden) continue;
+    ++exposed;
+    if (!expected || fr.view_key != expected->view_key) {
+      broken = true;
+      continue;
+    }
+    Row cells;
     for (const ColumnName& col : view.materialized_columns) {
-      if (auto cell = row.Get(col); cell && !cell->tombstone) {
-        record.cells.Apply(col, *cell);
+      if (auto cell = fr.row->Get(col); cell && !cell->tombstone) {
+        cells.Apply(col, *cell);
       }
     }
-    return record;
-  };
+    if (!(cells == expected->cells)) broken = true;
+  }
+  if (exposed != (expected.has_value() ? 1 : 0)) broken = true;
+  if (!broken) return false;
 
   // Crashed replicas are skipped: their copy is re-synchronized by WAL
   // replay plus anti-entropy at restart.
@@ -308,95 +361,88 @@ std::size_t ScrubOwnedRanges(store::Cluster& cluster,
     }
   };
 
+  // Per-family RepairView: force-write the expected live row (and re-root
+  // its anchor), retire everything else, all one tick above the family's
+  // newest cell so LWW makes the repair stick.
+  Timestamp repair_ts = 0;
+  for (const FamilyRow& fr : fam) {
+    repair_ts = std::max(repair_ts, fr.row->MaxTimestamp());
+  }
+  if (expected) {
+    repair_ts = std::max(repair_ts, expected->cells.MaxTimestamp());
+  }
+  repair_ts += 1;
+
+  std::set<Key> keep;
+  if (expected) {
+    const Key key = store::ComposeViewRowKey(expected->view_key, base_key);
+    keep.insert(key);
+    Row cells;
+    cells.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
+    cells.Apply(store::kViewNextColumn,
+                Cell::Live(expected->view_key, repair_ts));
+    cells.Apply(store::kViewInitColumn, Cell::Live("1", repair_ts));
+    cells.Apply(store::kViewSelectionColumn, Cell::Tombstone(repair_ts));
+    cells.MergeFrom(expected->cells);
+    apply_alive(key, cells);
+
+    const Key anchor_row = store::ComposeViewRowKey(
+        store::DeletedSentinelViewKey(base_key), base_key);
+    keep.insert(anchor_row);
+    Row anchor;
+    anchor.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
+    anchor.Apply(store::kViewNextColumn,
+                 Cell::Live(expected->view_key, repair_ts));
+    anchor.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
+    apply_alive(anchor_row, anchor);
+  }
+  for (const FamilyRow& fr : fam) {
+    if (keep.count(fr.row_key) != 0) continue;
+    Row cells;
+    cells.Apply(store::kViewNextColumn, Cell::Tombstone(repair_ts));
+    cells.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
+    apply_alive(fr.row_key, cells);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t ScrubOwnedRanges(
+    store::Cluster& cluster, const store::ViewDef& view, ServerId owner,
+    const std::function<bool(const Key&)>& skip,
+    const std::function<void(const Key&)>& on_family_audited) {
+  const FamilyIndex index = LoadFamilies(cluster, view);
+
   // Every base key with either a base row or leftover view rows.
   std::set<Key> base_keys;
-  for (const auto& [key, row] : base) base_keys.insert(key);
-  for (const auto& [key, fam] : families) base_keys.insert(key);
+  for (const auto& [key, row] : index.base) base_keys.insert(key);
+  for (const auto& [key, fam] : index.families) base_keys.insert(key);
 
   std::size_t repaired = 0;
   for (const Key& base_key : base_keys) {
     if (cluster.ring().PrimaryFor(base_key) != owner) continue;
     if (skip && skip(base_key)) continue;
-    const std::optional<ExpectedRecord> expected = expected_of(base_key);
-    static const std::vector<FamilyRow> kNoRows;
-    auto fam_it = families.find(base_key);
-    const std::vector<FamilyRow>& fam =
-        fam_it == families.end() ? kNoRows : fam_it->second;
+    if (AuditAndRepairFamily(cluster, view, index, base_key)) ++repaired;
+    // After the audit (repairing or not) the family provably matches
+    // Definition 1 — the proof the freshness tracker needs to clear the
+    // family's wounded intents.
+    if (on_family_audited) on_family_audited(base_key);
+  }
+  return repaired;
+}
 
-    // Health check: exactly the Definition-1 record exposed (value AND
-    // timestamp — repairs preserve base timestamps, so this is stable), no
-    // stray live rows, no uninitialized live row a reader would spin on.
-    // Hidden live rows (selection currently false) are a valid resting state
-    // and judged only through the exposure count.
-    bool broken = false;
-    int exposed = 0;
-    for (const FamilyRow& fr : fam) {
-      if (!fr.status.live) continue;
-      if (!fr.status.initialized) {
-        broken = true;
-        continue;
-      }
-      if (fr.status.hidden) continue;
-      ++exposed;
-      if (!expected || fr.view_key != expected->view_key) {
-        broken = true;
-        continue;
-      }
-      Row cells;
-      for (const ColumnName& col : view.materialized_columns) {
-        if (auto cell = fr.row->Get(col); cell && !cell->tombstone) {
-          cells.Apply(col, *cell);
-        }
-      }
-      if (!(cells == expected->cells)) broken = true;
-    }
-    if (exposed != (expected.has_value() ? 1 : 0)) broken = true;
-    if (!broken) continue;
-
-    // Per-family RepairView: force-write the expected live row (and re-root
-    // its anchor), retire everything else, all one tick above the family's
-    // newest cell so LWW makes the repair stick.
-    ++repaired;
-    Timestamp repair_ts = 0;
-    for (const FamilyRow& fr : fam) {
-      repair_ts = std::max(repair_ts, fr.row->MaxTimestamp());
-    }
-    if (expected) {
-      repair_ts = std::max(repair_ts, expected->cells.MaxTimestamp());
-    }
-    repair_ts += 1;
-
-    std::set<Key> keep;
-    if (expected) {
-      const Key key =
-          store::ComposeViewRowKey(expected->view_key, base_key);
-      keep.insert(key);
-      Row cells;
-      cells.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
-      cells.Apply(store::kViewNextColumn,
-                  Cell::Live(expected->view_key, repair_ts));
-      cells.Apply(store::kViewInitColumn, Cell::Live("1", repair_ts));
-      cells.Apply(store::kViewSelectionColumn, Cell::Tombstone(repair_ts));
-      cells.MergeFrom(expected->cells);
-      apply_alive(key, cells);
-
-      const Key anchor_row = store::ComposeViewRowKey(
-          store::DeletedSentinelViewKey(base_key), base_key);
-      keep.insert(anchor_row);
-      Row anchor;
-      anchor.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
-      anchor.Apply(store::kViewNextColumn,
-                   Cell::Live(expected->view_key, repair_ts));
-      anchor.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
-      apply_alive(anchor_row, anchor);
-    }
-    for (const FamilyRow& fr : fam) {
-      if (keep.count(fr.row_key) != 0) continue;
-      Row cells;
-      cells.Apply(store::kViewNextColumn, Cell::Tombstone(repair_ts));
-      cells.Apply(store::kViewInitColumn, Cell::Tombstone(repair_ts));
-      apply_alive(fr.row_key, cells);
-    }
+std::size_t RepairViewFamilies(store::Cluster& cluster,
+                               const store::ViewDef& view,
+                               const std::vector<Key>& base_keys,
+                               const std::function<bool(const Key&)>& skip) {
+  const FamilyIndex index = LoadFamilies(cluster, view);
+  std::set<Key> seen;
+  std::size_t repaired = 0;
+  for (const Key& base_key : base_keys) {
+    if (!seen.insert(base_key).second) continue;
+    if (skip && skip(base_key)) continue;
+    if (AuditAndRepairFamily(cluster, view, index, base_key)) ++repaired;
   }
   return repaired;
 }

@@ -101,9 +101,26 @@ std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view);
 /// propagation engine. Repairs are applied to the non-crashed replicas only;
 /// anti-entropy carries them to recovering servers. Returns the number of
 /// families repaired.
-std::size_t ScrubOwnedRanges(store::Cluster& cluster,
-                             const store::ViewDef& view, ServerId owner,
-                             const std::function<bool(const Key&)>& skip);
+///
+/// `on_family_audited` (optional) fires for EVERY family the scrub actually
+/// audited — owned, not skipped — whether or not it needed repair: after the
+/// call the family provably matches Definition 1, which is what lets the
+/// freshness tracker clear the family's wounded intents (ISSUE 7).
+std::size_t ScrubOwnedRanges(
+    store::Cluster& cluster, const store::ViewDef& view, ServerId owner,
+    const std::function<bool(const Key&)>& skip,
+    const std::function<void(const Key&)>& on_family_audited = nullptr);
+
+/// Targeted variant for the bounded-read path (ISSUE 7): audits and repairs
+/// exactly the named families, with no ownership filter — the reading
+/// coordinator repairs whatever wounded family blocks its staleness bound,
+/// wherever it lives. Same audit and repair logic as ScrubOwnedRanges;
+/// families for which `skip` returns true are left alone (and NOT proven
+/// converged). Returns the number of families repaired.
+std::size_t RepairViewFamilies(store::Cluster& cluster,
+                               const store::ViewDef& view,
+                               const std::vector<Key>& base_keys,
+                               const std::function<bool(const Key&)>& skip);
 
 /// Retires stale rows whose every cell is older than `older_than` by
 /// tombstoning them on all replicas (the engines' tombstone GC then purges

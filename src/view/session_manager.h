@@ -5,56 +5,79 @@
 // associates every pending view-update propagation with the session of the
 // base-table update that triggered it; a session's view Get blocks until the
 // session's own pending propagations for that view have completed.
+//
+// Since ISSUE 7 the actual bookkeeping lives in the cluster-wide
+// store::FreshnessTracker (a session's "my own writes" set is exactly the
+// set of freshness intents registered under this coordinator + session), so
+// this class is a facade over one origin's slice of the tracker's session
+// layer. The historical standalone shape — default-construct and drive
+// PropagationStarted/Finished directly — still works: the facade then owns a
+// private tracker of its own.
 
 #ifndef MVSTORE_VIEW_SESSION_MANAGER_H_
 #define MVSTORE_VIEW_SESSION_MANAGER_H_
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <utility>
-#include <vector>
+#include <memory>
 
-#include "store/hooks.h"
+#include "store/freshness.h"
 
 namespace mvstore::view {
 
 class SessionManager {
  public:
-  SessionManager() = default;
+  /// Standalone: owns a private tracker (unit tests, bare construction).
+  SessionManager()
+      : owned_(std::make_unique<store::FreshnessTracker>()),
+        tracker_(owned_.get()),
+        origin_(0) {}
+
+  /// Facade over `origin`'s slice of the cluster-wide tracker.
+  SessionManager(store::FreshnessTracker* tracker, ServerId origin)
+      : tracker_(tracker), origin_(origin) {}
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
 
   /// Registers one pending propagation for (session, view). Called when the
-  /// base Put commits — before the propagation is even dispatched — so a
+  /// base Put is issued — before the propagation is even dispatched — so a
   /// view Get issued immediately after the Put's ack observes it.
-  void PropagationStarted(store::SessionId session, const std::string& view);
+  void PropagationStarted(store::SessionId session, const std::string& view) {
+    tracker_->SessionStarted(origin_, session, view);
+  }
 
   /// Marks one propagation complete; resumes any Gets it was blocking.
-  void PropagationFinished(store::SessionId session, const std::string& view);
+  void PropagationFinished(store::SessionId session, const std::string& view) {
+    tracker_->SessionFinished(origin_, session, view);
+  }
 
   /// True when a Get on `view` within `session` must wait.
-  bool MustDefer(store::SessionId session, const std::string& view) const;
+  bool MustDefer(store::SessionId session, const std::string& view) const {
+    return tracker_->SessionMustDefer(origin_, session, view);
+  }
 
   /// Parks `resume` until (session, view) has no pending propagations.
   /// Callers check MustDefer first.
   void Defer(store::SessionId session, const std::string& view,
-             std::function<void()> resume);
+             std::function<void()> resume) {
+    tracker_->SessionDefer(origin_, session, view, std::move(resume));
+  }
 
-  /// Drops all session bookkeeping and parked resumes: the coordinator that
-  /// owned these sessions crashed, and its sessions died with it (deferred
-  /// Gets are answered by the client's own request timeout).
-  void Reset();
+  /// Drops this origin's session bookkeeping and parked resumes: the
+  /// coordinator that owned these sessions crashed, and its sessions died
+  /// with it (deferred Gets are answered by the client's own request
+  /// timeout).
+  void Reset() { tracker_->ResetSessions(origin_); }
 
-  std::uint64_t deferred_total() const { return deferred_total_; }
+  std::uint64_t deferred_total() const {
+    return tracker_->deferred_total(origin_);
+  }
 
  private:
-  using SessionView = std::pair<store::SessionId, std::string>;
-
-  std::map<SessionView, int> pending_;
-  std::map<SessionView, std::vector<std::function<void()>>> waiting_;
-  std::uint64_t deferred_total_ = 0;
+  std::unique_ptr<store::FreshnessTracker> owned_;
+  store::FreshnessTracker* tracker_;
+  ServerId origin_;
 };
 
 }  // namespace mvstore::view

@@ -14,6 +14,7 @@ namespace mvstore {
 namespace {
 
 using store::Mutation;
+using store::ReadConsistency;
 using test::TestCluster;
 
 // Slow down propagation dispatch so the guarantee actually has to block.
@@ -64,7 +65,11 @@ TEST(SessionTest, ViewGetSeesOwnPrecedingPut) {
           .ok());
   // Immediately read the view within the session: despite the ~50 ms
   // propagation dispatch delay, the Get must block and then see the update.
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
+  // (Spelled explicitly; a session-carrying read at kEventual upgrades to
+  // the same level automatically.)
+  auto records = client->ViewGetSync(
+      "assigned_to_view", "rliu",
+      {.consistency = ReadConsistency::kReadYourWrites});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");
@@ -82,7 +87,9 @@ TEST(SessionTest, WithoutSessionViewMayBeStale) {
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 3});
+  auto records = client->ViewGetSync(
+      "assigned_to_view", "rliu",
+      {.quorum = 3, .consistency = ReadConsistency::kEventual});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   // Propagation dispatch is ~50 ms away; the read races ahead and sees the
@@ -151,6 +158,52 @@ TEST(SessionTest, SessionsDisabledByConfig) {
   auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
+}
+
+TEST(SessionTest, CrashedCoordinatorAnswersDeferredGetByClientTimeout) {
+  // A view Get deferred on the session guarantee is parked at the
+  // coordinator. If the coordinator crashes, SessionManager::Reset() drops
+  // the parked continuation with the rest of the coordinator's volatile
+  // state — the client's own request deadline must answer the call, and the
+  // callback must fire exactly once (no leak, no double answer).
+  TestCluster t(SlowPropagationConfig());
+  t.cluster.BootstrapLoadRow("ticket", "1",
+                             {{"assigned_to", std::string("rliu")},
+                              {"status", std::string("open")}},
+                             100);
+  auto client = t.cluster.NewClient(0);
+  client->BeginSession();
+  client->set_request_timeout(Millis(200));
+
+  ASSERT_TRUE(
+      client
+          ->PutSync("ticket", "1", {{"status", std::string("resolved")}},
+                    store::WriteOptions{})
+          .ok());
+  int answers = 0;
+  store::ReadResult out;
+  client->ViewGet("assigned_to_view", "rliu",
+                  {.consistency = ReadConsistency::kReadYourWrites},
+                  [&](store::ReadResult r) {
+                    ++answers;
+                    out = std::move(r);
+                  });
+  // Let the Get reach the coordinator and park on the pending propagation
+  // (dispatch is ~50 ms away), then kill the coordinator.
+  t.cluster.RunFor(Millis(5));
+  ASSERT_GT(t.cluster.metrics().view_get_deferrals, 0u);
+  ASSERT_EQ(answers, 0);
+  ASSERT_TRUE(t.cluster.CrashServer(0));
+
+  while (answers == 0) {
+    ASSERT_TRUE(t.cluster.simulation().Step());
+  }
+  EXPECT_TRUE(out.status.IsTimedOut()) << out.status;
+
+  // Recovery must not re-deliver the dropped continuation.
+  ASSERT_TRUE(t.cluster.RestartServer(0));
+  t.Quiesce();
+  EXPECT_EQ(answers, 1);
 }
 
 TEST(SessionTest, MultiplePendingPutsAllVisible) {
