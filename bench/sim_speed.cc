@@ -1,0 +1,134 @@
+// Harness-speed bench — simulated-ops per wall-second on a fixed seed.
+//
+// Every other bench in this directory measures *simulated* performance
+// (latency and throughput in virtual time, which a fixed seed makes exactly
+// reproducible). This one measures the opposite axis: how much wall-clock
+// the harness burns to push a fixed seeded workload through the full
+// client -> quorum -> storage -> view-maintenance stack. It is the gate for
+// the raw-speed work (ISSUE 8): calendar event queue, move-only closures,
+// interned keys, pooled flush/merge buffers.
+//
+// The workload is deliberately allocation-heavy for the harness: closed-loop
+// clients mix view reads, base reads, and skey updates (each update fans out
+// replica writes AND a view propagation with composed view-row keys), while
+// small memtables force continuous flush/merge churn underneath.
+//
+//   MV_BENCH_ROWS             table size                (default 5000)
+//   MV_BENCH_MEASURE_SECONDS  simulated window          (default 3)
+//   MV_BENCH_SIM_CLIENTS      closed-loop clients       (default 16)
+//   MV_BENCH_SIM_SEED         workload seed             (default 42)
+//
+// Wall-clock numbers are machine-dependent; the CI gate therefore compares
+// against a committed baseline (bench/baselines/BENCH_sim_speed_baseline.json)
+// captured on the same runner class, and the JSON also records the
+// machine-independent fingerprint (sim events, client ops, end time) so a
+// speed change can be told apart from a workload change.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace mvstore::bench {
+namespace {
+
+void Run() {
+  // Smaller defaults than the figure benches: the pre-refactor harness pays
+  // O(table) scan copies per anti-entropy round, and the baseline must stay
+  // runnable on a CI machine.
+  BenchScale scale;
+  scale.rows = EnvInt("MV_BENCH_ROWS", 5000);
+  scale.measure_seconds = EnvInt("MV_BENCH_MEASURE_SECONDS", 3);
+  const auto clients = static_cast<int>(EnvInt("MV_BENCH_SIM_CLIENTS", 16));
+  const auto seed = static_cast<std::uint64_t>(EnvInt("MV_BENCH_SIM_SEED", 42));
+  const SimTime measure = Seconds(scale.measure_seconds > 0
+                                      ? scale.measure_seconds
+                                      : 3);
+
+  store::ClusterConfig config = PaperConfig(seed);
+  // Small memtables keep the flush -> run -> size-tiered merge pipeline hot;
+  // the compaction clock adds periodic full merges on top.
+  config.engine.memtable_flush_entries = 512;
+  config.compaction_interval = Millis(500);
+  config.anti_entropy_interval = Millis(800);
+
+  PrintTitle("sim_speed: harness wall-clock throughput (fixed seed)");
+  std::printf("rows=%lld clients=%d simulated=%llds seed=%llu\n",
+              static_cast<long long>(scale.rows), clients,
+              static_cast<long long>(ToSeconds(measure)),
+              static_cast<unsigned long long>(seed));
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  BenchCluster bc(Scenario::kMaterializedView, scale, config);
+  const auto wall_loaded = std::chrono::steady_clock::now();
+
+  const auto rows = static_cast<std::uint64_t>(scale.rows);
+  Rng rng(seed * 9176);
+  std::uint64_t fresh = rows;
+  workload::ClosedLoopRunner runner(
+      &bc.cluster, clients,
+      [&](int, store::Client& client, std::function<void(bool)> done) {
+        const std::uint64_t rank = rng.UniformInt(0, rows - 1);
+        const double draw = rng.NextDouble();
+        if (draw < 0.40) {
+          IssueSkeyUpdate(client, rank, fresh++, std::move(done));
+        } else if (draw < 0.80) {
+          IssueRead(Scenario::kMaterializedView, client, rank,
+                    std::move(done));
+        } else {
+          IssueRead(Scenario::kBaseTable, client, rank, std::move(done));
+        }
+      });
+  workload::RunResult result = runner.Run(/*warmup=*/Millis(500), measure);
+  bc.views->Quiesce();
+  bc.cluster.RunFor(Millis(500));
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  const double wall_load_s =
+      std::chrono::duration<double>(wall_loaded - wall_start).count();
+  const double wall_run_s =
+      std::chrono::duration<double>(wall_end - wall_loaded).count();
+  const std::uint64_t sim_events = bc.cluster.simulation().steps();
+  const double events_per_wall_s =
+      wall_run_s > 0 ? static_cast<double>(sim_events) / wall_run_s : 0;
+  const double ops_per_wall_s =
+      wall_run_s > 0 ? static_cast<double>(result.operations) / wall_run_s : 0;
+
+  std::printf("\n  %-34s %12.2f\n  %-34s %12.2f\n", "bootstrap wall s",
+              wall_load_s, "run wall s", wall_run_s);
+  std::printf("  %-34s %12llu\n  %-34s %12llu\n", "sim events executed",
+              static_cast<unsigned long long>(sim_events), "client ops",
+              static_cast<unsigned long long>(result.operations));
+  std::printf("  %-34s %12.0f\n  %-34s %12.0f\n", "sim events / wall s",
+              events_per_wall_s, "client ops / wall s", ops_per_wall_s);
+  std::printf("  %-34s %12.0f\n", "sim ops / sim s (virtual)",
+              result.Throughput());
+
+  BenchReport report("sim_speed");
+  report.Add("rows", static_cast<std::int64_t>(scale.rows));
+  report.Add("clients", clients);
+  report.Add("seed", static_cast<std::uint64_t>(seed));
+  report.Add("simulated_seconds", ToSeconds(measure));
+  // Machine-independent fingerprint: identical across machines for one
+  // build of the code, so baseline comparisons can verify the workload
+  // itself did not drift.
+  report.Add("sim_events", sim_events);
+  report.Add("client_ops", result.operations);
+  report.Add("client_failures", result.failures);
+  report.Add("sim_end_time_us", static_cast<std::int64_t>(bc.cluster.Now()));
+  // Machine-dependent speed (what the gate ratios against the baseline).
+  report.Add("bootstrap_wall_s", wall_load_s);
+  report.Add("run_wall_s", wall_run_s);
+  report.Add("sim_events_per_wall_s", events_per_wall_s);
+  report.Add("client_ops_per_wall_s", ops_per_wall_s);
+  report.Write();
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() {
+  mvstore::bench::Run();
+  return 0;
+}

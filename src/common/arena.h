@@ -1,0 +1,80 @@
+// Block bump allocator.
+//
+// Backs the key interner (common/interner.h) and per-engine scratch pools:
+// many small byte strings with identical lifetime are carved out of a few
+// large blocks, so allocation is a pointer bump and deallocation is freeing
+// the blocks. Nothing allocated from an Arena is individually freed — the
+// owner drops everything at once (Reset) or never (interned keys live for
+// the process).
+
+#ifndef MVSTORE_COMMON_ARENA_H_
+#define MVSTORE_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace mvstore {
+
+class Arena {
+ public:
+  /// `block_bytes` is the granularity of the backing allocations; requests
+  /// larger than a block get a dedicated oversized block.
+  explicit Arena(std::size_t block_bytes = 64 * 1024)
+      : block_bytes_(block_bytes == 0 ? 1 : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `n` bytes (byte-aligned; this arena serves
+  /// string payloads, not typed objects).
+  char* Allocate(std::size_t n) {
+    if (n > remaining_) Grow(n);
+    char* out = next_;
+    next_ += n;
+    remaining_ -= n;
+    bytes_used_ += n;
+    return out;
+  }
+
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view Copy(std::string_view s) {
+    if (s.empty()) return {};
+    char* dst = Allocate(s.size());
+    std::memcpy(dst, s.data(), s.size());
+    return {dst, s.size()};
+  }
+
+  /// Drops every allocation and all blocks. Invalidates every pointer and
+  /// view previously handed out.
+  void Reset() {
+    blocks_.clear();
+    next_ = nullptr;
+    remaining_ = 0;
+    bytes_used_ = 0;
+  }
+
+  std::size_t bytes_used() const { return bytes_used_; }
+  std::size_t blocks() const { return blocks_.size(); }
+  std::size_t block_bytes() const { return block_bytes_; }
+
+ private:
+  void Grow(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+    blocks_.push_back(std::make_unique<char[]>(size));
+    next_ = blocks_.back().get();
+    remaining_ = size;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* next_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t bytes_used_ = 0;
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_ARENA_H_

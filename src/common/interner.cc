@@ -1,0 +1,74 @@
+#include "common/interner.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mvstore {
+
+namespace {
+
+std::size_t RoundUpPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+KeyInterner::KeyInterner() : KeyInterner(Options()) {}
+
+KeyInterner::KeyInterner(Options options)
+    : arena_(options.arena_block_bytes) {
+  const std::size_t capacity =
+      RoundUpPow2(options.initial_capacity < 16 ? 16 : options.initial_capacity);
+  slots_.assign(capacity, KeyRef::kInvalidId);
+  mask_ = capacity - 1;
+}
+
+std::size_t KeyInterner::Probe(std::string_view s, std::uint64_t hash) const {
+  // Linear probing: the table is power-of-two sized and kept under 3/4
+  // load, so clusters stay short and the scan is cache-friendly.
+  std::size_t i = static_cast<std::size_t>(hash) & mask_;
+  while (true) {
+    const std::uint32_t id = slots_[i];
+    if (id == KeyRef::kInvalidId) return i;
+    const Entry& entry = entries_[id];
+    if (entry.hash == hash && entry.bytes == s) return i;
+    i = (i + 1) & mask_;
+  }
+}
+
+KeyRef KeyInterner::Intern(std::string_view s) {
+  const std::uint64_t hash = Hash64(s);
+  std::size_t slot = Probe(s, hash);
+  if (slots_[slot] != KeyRef::kInvalidId) return KeyRef{slots_[slot]};
+  if ((entries_.size() + 1) * 4 > slots_.size() * 3) {
+    GrowTable();
+    slot = Probe(s, hash);
+  }
+  MVSTORE_CHECK_LT(entries_.size(), KeyRef::kInvalidId);
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{arena_.Copy(s), hash});
+  slots_[slot] = id;
+  return KeyRef{id};
+}
+
+KeyRef KeyInterner::Find(std::string_view s) const {
+  const std::size_t slot = Probe(s, Hash64(s));
+  return KeyRef{slots_[slot]};
+}
+
+void KeyInterner::GrowTable() {
+  std::vector<std::uint32_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, KeyRef::kInvalidId);
+  mask_ = slots_.size() - 1;
+  for (std::uint32_t id : old) {
+    if (id == KeyRef::kInvalidId) continue;
+    const Entry& entry = entries_[id];
+    std::size_t i = static_cast<std::size_t>(entry.hash) & mask_;
+    while (slots_[i] != KeyRef::kInvalidId) i = (i + 1) & mask_;
+    slots_[i] = id;
+  }
+}
+
+}  // namespace mvstore

@@ -1,0 +1,96 @@
+// Key interning: byte strings to fixed-size handles.
+//
+// Row keys, column names, and partition prefixes recur constantly — every
+// routing decision, view-maintenance step, and anti-entropy comparison
+// re-hashes and re-compares the same few byte strings. Interning maps each
+// distinct string to a stable 32-bit KeyRef: equality is an integer compare,
+// the 64-bit hash (common/hash.h, the same function data placement uses) is
+// computed once at intern time and read back in O(1), and the bytes live in
+// an arena so a KeyRef's string_view stays valid for the interner's
+// lifetime.
+//
+// Ownership rule: a KeyRef is a handle INTO one KeyInterner — it is only
+// meaningful alongside the interner that produced it, and it never expires
+// (interners don't evict). Components that model crashes must treat the
+// interner as durable metadata or re-intern after restart; nothing in the
+// storage fault model (engine.h) stores KeyRefs across LoseVolatileState.
+
+#ifndef MVSTORE_COMMON_INTERNER_H_
+#define MVSTORE_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/arena.h"
+
+namespace mvstore {
+
+/// Fixed-size handle to an interned string. Two KeyRefs from the same
+/// interner are equal iff their strings are byte-equal.
+struct KeyRef {
+  static constexpr std::uint32_t kInvalidId = 0xFFFFFFFFu;
+
+  std::uint32_t id = kInvalidId;
+
+  bool valid() const { return id != kInvalidId; }
+
+  friend bool operator==(KeyRef a, KeyRef b) { return a.id == b.id; }
+  friend bool operator!=(KeyRef a, KeyRef b) { return a.id != b.id; }
+  friend bool operator<(KeyRef a, KeyRef b) { return a.id < b.id; }
+};
+
+class KeyInterner {
+ public:
+  struct Options {
+    /// Initial open-addressing table capacity (rounded up to a power of
+    /// two). The table grows at 3/4 load; sizing it for the expected
+    /// distinct-key count avoids rehashes.
+    std::size_t initial_capacity = 1024;
+    /// Block size of the arena holding the interned bytes.
+    std::size_t arena_block_bytes = 64 * 1024;
+  };
+
+  KeyInterner();
+  explicit KeyInterner(Options options);
+
+  KeyInterner(const KeyInterner&) = delete;
+  KeyInterner& operator=(const KeyInterner&) = delete;
+
+  /// The handle for `s`, interning it on first sight.
+  KeyRef Intern(std::string_view s);
+
+  /// The handle for `s` if already interned; KeyRef{} otherwise. Never
+  /// allocates — probe-only lookups for read paths.
+  KeyRef Find(std::string_view s) const;
+
+  /// The interned bytes. Valid for the interner's lifetime.
+  std::string_view View(KeyRef ref) const {
+    return entries_[ref.id].bytes;
+  }
+
+  /// The string's Hash64, computed once at intern time.
+  std::uint64_t HashOf(KeyRef ref) const { return entries_[ref.id].hash; }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t arena_bytes() const { return arena_.bytes_used(); }
+
+ private:
+  struct Entry {
+    std::string_view bytes;  // owned by arena_
+    std::uint64_t hash = 0;
+  };
+
+  /// Index into slots_ where `s` lives or would be inserted.
+  std::size_t Probe(std::string_view s, std::uint64_t hash) const;
+  void GrowTable();
+
+  Arena arena_;
+  std::vector<Entry> entries_;            // indexed by KeyRef::id
+  std::vector<std::uint32_t> slots_;      // open addressing; kInvalidId = empty
+  std::size_t mask_ = 0;                  // slots_.size() - 1 (power of two)
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_INTERNER_H_

@@ -1,0 +1,127 @@
+// Move-only callable wrapper with a large inline buffer.
+//
+// The simulator stores every scheduled event, network delivery, and service
+// completion as a closure. With std::function those closures must be
+// copyable — forcing captured payloads (rows, batched write vectors) to be
+// copyable too — and anything beyond a couple of words heap-allocates per
+// event. UniqueFn lifts both limits: captures may be move-only (payload
+// vectors ride through Network::Send without a copy), and closures up to
+// kInlineBytes live inside the event record itself, so scheduling the
+// common timer/completion closures does not allocate.
+
+#ifndef MVSTORE_COMMON_UNIQUE_FN_H_
+#define MVSTORE_COMMON_UNIQUE_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mvstore {
+
+template <typename Signature>
+class UniqueFn;
+
+template <typename R, typename... Args>
+class UniqueFn<R(Args...)> {
+ public:
+  /// Sized so a typical simulator closure (an object pointer, a couple of
+  /// ids, a trace context) fits without touching the heap, while the whole
+  /// wrapper stays one cache line.
+  static constexpr std::size_t kInlineBytes = 56;
+
+  UniqueFn() noexcept = default;
+  /*implicit*/ UniqueFn(std::nullptr_t) noexcept {}
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, UniqueFn> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  /*implicit*/ UniqueFn(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  UniqueFn(UniqueFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UniqueFn& operator=(UniqueFn&& other) noexcept {
+    if (this != &other) {
+      if (ops_ != nullptr) ops_->destroy(storage_);
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.storage_, storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UniqueFn& operator=(std::nullptr_t) noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~UniqueFn() {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void* self, Args&&... args);
+    /// Move-constructs into `dst` and destroys `src` (both point at the
+    /// inline buffer; heap targets just relocate the owning pointer).
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* self, Args&&... args) -> R {
+        return (*static_cast<D*>(self))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        D* d = static_cast<D*>(src);
+        ::new (dst) D(std::move(*d));
+        d->~D();
+      },
+      [](void* self) noexcept { static_cast<D*>(self)->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* self, Args&&... args) -> R {
+        return (**static_cast<D**>(self))(std::forward<Args>(args)...);
+      },
+      [](void* src, void* dst) noexcept {
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+      },
+      [](void* self) noexcept { delete *static_cast<D**>(self); },
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace mvstore
+
+#endif  // MVSTORE_COMMON_UNIQUE_FN_H_

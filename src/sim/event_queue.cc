@@ -1,0 +1,166 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mvstore::sim {
+
+namespace {
+
+/// Strict (time, seq) order; seq is unique, so this is a total order.
+inline bool EarlierEvent(const SimEvent& a, const SimEvent& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue(SimTime bucket_width, std::size_t num_buckets)
+    : width_(bucket_width), buckets_(num_buckets) {
+  MVSTORE_CHECK_GT(bucket_width, 0);
+  MVSTORE_CHECK_GT(num_buckets, 0u);
+  horizon_day_ = static_cast<std::int64_t>(num_buckets);
+}
+
+void CalendarQueue::Push(SimEvent event) {
+  ++size_;
+  const std::int64_t day = DayOf(event.time);
+  if (day >= horizon_day_) {
+    OverflowPush(std::move(event));
+    return;
+  }
+  // A push may land before the cursor's day: RunUntil peeks ahead, then
+  // hands control back with the clock behind the peeked event, and the next
+  // scheduled event can be earlier than where the peek walked the cursor.
+  // Rewinding is safe — the days between hold no events, or Position()'s
+  // min-day check re-skips them.
+  if (day < day_) day_ = day;
+  BucketPush(buckets_[static_cast<std::size_t>(day) % buckets_.size()],
+             std::move(event));
+  ++ring_size_;
+}
+
+void CalendarQueue::BucketPush(Bucket& bucket, SimEvent event) {
+  const auto slot = static_cast<std::uint32_t>(bucket.slots.size());
+  bucket.slots.push_back(std::move(event));
+  // Sift the new slot index up the per-bucket heap (u32 moves only).
+  bucket.heap.push_back(slot);
+  std::size_t i = bucket.heap.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!EarlierEvent(bucket.slots[bucket.heap[i]],
+                      bucket.slots[bucket.heap[parent]])) {
+      break;
+    }
+    std::swap(bucket.heap[i], bucket.heap[parent]);
+    i = parent;
+  }
+}
+
+SimEvent CalendarQueue::BucketPop(Bucket& bucket) {
+  const std::uint32_t slot = bucket.heap.front();
+  SimEvent event = std::move(bucket.slots[slot]);
+  // Standard sift-down after moving the last leaf to the root.
+  bucket.heap.front() = bucket.heap.back();
+  bucket.heap.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = bucket.heap.size();
+  while (true) {
+    std::size_t best = i;
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = 2 * i + 2;
+    if (left < n && EarlierEvent(bucket.slots[bucket.heap[left]],
+                                 bucket.slots[bucket.heap[best]])) {
+      best = left;
+    }
+    if (right < n && EarlierEvent(bucket.slots[bucket.heap[right]],
+                                  bucket.slots[bucket.heap[best]])) {
+      best = right;
+    }
+    if (best == i) break;
+    std::swap(bucket.heap[i], bucket.heap[best]);
+    i = best;
+  }
+  if (bucket.heap.empty()) {
+    // Bucket drained: drop the dead slots but keep moderate capacity for
+    // its next lap around the calendar.
+    if (bucket.slots.capacity() > 512) {
+      std::vector<SimEvent>().swap(bucket.slots);
+    } else {
+      bucket.slots.clear();
+    }
+  }
+  return event;
+}
+
+void CalendarQueue::OverflowPush(SimEvent event) {
+  overflow_.push_back(std::move(event));
+  std::push_heap(overflow_.begin(), overflow_.end(),
+                 [](const SimEvent& a, const SimEvent& b) {
+                   return EarlierEvent(b, a);  // min-heap
+                 });
+}
+
+SimEvent CalendarQueue::OverflowPop() {
+  std::pop_heap(overflow_.begin(), overflow_.end(),
+                [](const SimEvent& a, const SimEvent& b) {
+                  return EarlierEvent(b, a);
+                });
+  SimEvent event = std::move(overflow_.back());
+  overflow_.pop_back();
+  return event;
+}
+
+void CalendarQueue::ExtendHorizon() {
+  const std::int64_t reach =
+      day_ + static_cast<std::int64_t>(buckets_.size());
+  if (reach <= horizon_day_) return;
+  horizon_day_ = reach;
+  while (!overflow_.empty() && DayOf(overflow_.front().time) < horizon_day_) {
+    SimEvent event = OverflowPop();
+    BucketPush(
+        buckets_[static_cast<std::size_t>(DayOf(event.time)) % buckets_.size()],
+        std::move(event));
+    ++ring_size_;
+  }
+}
+
+CalendarQueue::Bucket* CalendarQueue::Position() {
+  if (size_ == 0) return nullptr;
+  while (true) {
+    if (ring_size_ == 0) {
+      // Nothing in the ring: jump the cursor straight to the overflow's
+      // earliest day instead of walking empty buckets toward it.
+      day_ = std::max(day_, DayOf(overflow_.front().time));
+      ExtendHorizon();
+      continue;
+    }
+    Bucket& bucket = buckets_[static_cast<std::size_t>(day_) % buckets_.size()];
+    // The bucket counts only when its earliest event belongs to the
+    // cursor's day — it may also hold events a whole lap (or more) ahead.
+    if (!bucket.heap.empty() &&
+        DayOf(bucket.slots[bucket.heap.front()].time) == day_) {
+      return &bucket;
+    }
+    ++day_;
+    ExtendHorizon();
+  }
+}
+
+SimTime CalendarQueue::MinTime() {
+  Bucket* bucket = Position();
+  if (bucket == nullptr) return kSimTimeMax;
+  return bucket->slots[bucket->heap.front()].time;
+}
+
+SimEvent CalendarQueue::PopMin() {
+  Bucket* bucket = Position();
+  MVSTORE_CHECK(bucket != nullptr);
+  --ring_size_;
+  --size_;
+  return BucketPop(*bucket);
+}
+
+}  // namespace mvstore::sim

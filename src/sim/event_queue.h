@@ -1,0 +1,111 @@
+// Bucketed calendar queue for simulation events.
+//
+// The global std::priority_queue the simulator started with pays O(log n)
+// comparisons and Event moves per push AND per pop; at millions of pending
+// events the constant is what bounds simulated-ops-per-wall-second. Event
+// times in this simulator cluster tightly (network latencies and service
+// times are tens of microseconds), so a calendar layout fits: the near
+// future is a ring of fixed-width day buckets addressed by t / width, and
+// only events beyond the ring's horizon (long timers: rpc timeouts, hint
+// replay, anti-entropy ticks) fall through to a sorted overflow heap, which
+// migrates into the ring as the horizon slides forward.
+//
+// Ordering contract (the determinism guarantee): events execute in strictly
+// increasing (time, seq) order, where seq is the global scheduling counter
+// — exactly the order the old priority queue produced, so seeded runs
+// replay byte-identically across the swap. Within a bucket the order is
+// kept by a small binary heap of slot indices (u32 moves, not event moves);
+// across buckets by the day cursor, which only accepts a bucket when its
+// earliest event belongs to the cursor's day (a bucket may hold events from
+// several calendar laps); against the overflow by the horizon invariant
+// (every overflow event is at or past the horizon, which never shrinks).
+
+#ifndef MVSTORE_SIM_EVENT_QUEUE_H_
+#define MVSTORE_SIM_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "common/unique_fn.h"
+
+namespace mvstore::sim {
+
+struct SimEvent {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  // tie-breaker: FIFO within an instant
+  UniqueFn<void()> fn;
+  std::shared_ptr<bool> cancelled;  // null for non-cancelable events
+};
+
+class CalendarQueue {
+ public:
+  /// `bucket_width` is the span of virtual time one bucket covers;
+  /// `num_buckets` sets how far ahead of the cursor the ring reaches
+  /// (width * buckets). Events past that horizon wait in the overflow heap.
+  explicit CalendarQueue(SimTime bucket_width = Micros(128),
+                         std::size_t num_buckets = 4096);
+
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  /// Adds an event. The simulator guarantees event.time >= the time of the
+  /// last popped event (no scheduling into the past); pushes earlier than
+  /// the cursor's current day rewind the cursor, which is safe because the
+  /// skipped days hold no events of their own lap.
+  void Push(SimEvent event);
+
+  /// Time of the earliest pending event; kSimTimeMax when empty. May slide
+  /// the calendar window (hence non-const).
+  SimTime MinTime();
+
+  /// Removes and returns the earliest pending event. Precondition: !empty().
+  SimEvent PopMin();
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  SimTime bucket_width() const { return width_; }
+
+ private:
+  struct Bucket {
+    /// Events appended in arrival order. Slots whose event was popped keep
+    /// their (dead) entry until the bucket drains, so heap indices stay
+    /// stable.
+    std::vector<SimEvent> slots;
+    /// Binary min-heap of slot indices ordered by (time, seq).
+    std::vector<std::uint32_t> heap;
+  };
+
+  std::int64_t DayOf(SimTime t) const { return t / width_; }
+
+  void BucketPush(Bucket& bucket, SimEvent event);
+  SimEvent BucketPop(Bucket& bucket);
+  /// Positions `day_` at the day of the globally earliest event and returns
+  /// its bucket; nullptr when the queue is empty.
+  Bucket* Position();
+  /// Extends the horizon to cover `day_ + num_buckets` and moves every
+  /// overflow event inside it into its bucket.
+  void ExtendHorizon();
+
+  // Overflow min-heap on (time, seq), stored as a std::*_heap vector.
+  void OverflowPush(SimEvent event);
+  SimEvent OverflowPop();
+
+  SimTime width_;
+  std::vector<Bucket> buckets_;
+  std::vector<SimEvent> overflow_;
+  /// Pop cursor: the day currently being drained. Pushes may rewind it.
+  std::int64_t day_ = 0;
+  /// First day NOT admitted to the ring (overflow events are all >= this).
+  /// Never shrinks.
+  std::int64_t horizon_day_ = 0;
+  std::size_t ring_size_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mvstore::sim
+
+#endif  // MVSTORE_SIM_EVENT_QUEUE_H_

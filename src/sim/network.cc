@@ -27,8 +27,8 @@ bool Network::Blocked(EndpointId from, EndpointId to) const {
          (from != to && cut_links_.count(Ordered(from, to)) != 0);
 }
 
-void Network::Send(EndpointId from, EndpointId to,
-                   std::function<void()> deliver, std::uint64_t payloads) {
+void Network::Send(EndpointId from, EndpointId to, UniqueFn<void()> deliver,
+                   std::uint64_t payloads) {
   ++messages_sent_;
   payloads_sent_ += payloads;
   // A hop span inherits the sender's ambient context; the span stays open
@@ -56,7 +56,7 @@ void Network::Send(EndpointId from, EndpointId to,
   const std::uint64_t from_inc = incarnation(from);
   const std::uint64_t to_inc = incarnation(to);
   sim_->After(latency, [this, from, to, from_inc, to_inc, hop,
-                        deliver = std::move(deliver)] {
+                        deliver = std::move(deliver)]() mutable {
     if (Blocked(from, to) || incarnation(from) != from_inc ||
         incarnation(to) != to_inc) {
       ++messages_dropped_;
@@ -95,11 +95,13 @@ bool Network::IsEndpointDown(EndpointId e) const {
   return down_.count(e) != 0;
 }
 
-void Network::BumpIncarnation(EndpointId e) { ++incarnations_[e]; }
+void Network::BumpIncarnation(EndpointId e) {
+  if (e >= incarnations_.size()) incarnations_.resize(e + 1, 0);
+  ++incarnations_[e];
+}
 
 std::uint64_t Network::incarnation(EndpointId e) const {
-  auto it = incarnations_.find(e);
-  return it == incarnations_.end() ? 0 : it->second;
+  return e < incarnations_.size() ? incarnations_[e] : 0;
 }
 
 }  // namespace mvstore::sim

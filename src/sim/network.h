@@ -15,8 +15,6 @@
 #define MVSTORE_SIM_NETWORK_H_
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <set>
 #include <utility>
 #include <vector>
@@ -25,6 +23,7 @@
 #include "common/rng.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "common/unique_fn.h"
 #include "sim/simulation.h"
 
 namespace mvstore::sim {
@@ -56,7 +55,7 @@ class Network {
   /// `payloads` counts the logical requests the message carries (a batched
   /// replica-write flush ships several in one envelope); it only feeds the
   /// payloads_sent() accounting — the wire cost is still one message.
-  void Send(EndpointId from, EndpointId to, std::function<void()> deliver,
+  void Send(EndpointId from, EndpointId to, UniqueFn<void()> deliver,
             std::uint64_t payloads = 1);
 
   /// Cuts both directions of the (a, b) link until RestoreLink. Messages in
@@ -112,7 +111,9 @@ class Network {
   double latency_multiplier_ = 1.0;
   std::set<std::pair<EndpointId, EndpointId>> cut_links_;
   std::set<EndpointId> down_;
-  std::map<EndpointId, std::uint64_t> incarnations_;
+  /// Dense, indexed by endpoint id (ids are allocated contiguously from 0);
+  /// grown on first bump so unseen endpoints read incarnation 0.
+  std::vector<std::uint64_t> incarnations_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t payloads_sent_ = 0;

@@ -12,7 +12,7 @@ ServiceQueue::ServiceQueue(Simulation* sim, int cores) : sim_(sim) {
   core_free_at_.assign(n, 0);
 }
 
-void ServiceQueue::Submit(SimTime service_time, std::function<void()> fn) {
+void ServiceQueue::Submit(SimTime service_time, UniqueFn<void()> fn) {
   MVSTORE_CHECK_GE(service_time, 0);
   auto it = std::min_element(core_free_at_.begin(), core_free_at_.end());
   const SimTime start = std::max(sim_->Now(), *it);
@@ -29,7 +29,7 @@ void ServiceQueue::Submit(SimTime service_time, std::function<void()> fn) {
     if (queue_wait > 0) {
       tracer_->Annotate(span, "queue_wait_us=" + std::to_string(queue_wait));
     }
-    sim_->At(end, [tracer = tracer_, span, end, fn = std::move(fn)] {
+    sim_->At(end, [tracer = tracer_, span, end, fn = std::move(fn)]() mutable {
       tracer->EndSpan(span, end);
       Tracer::Scope scope(tracer, span);
       fn();

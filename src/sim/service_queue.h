@@ -11,12 +11,12 @@
 #define MVSTORE_SIM_SERVICE_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/histogram.h"
 #include "common/trace.h"
 #include "common/types.h"
+#include "common/unique_fn.h"
 #include "sim/simulation.h"
 
 namespace mvstore::sim {
@@ -30,7 +30,7 @@ class ServiceQueue {
 
   /// Runs `fn` after the work has queued for a free core and then executed
   /// for `service_time`. FIFO assignment to the earliest-free core.
-  void Submit(SimTime service_time, std::function<void()> fn);
+  void Submit(SimTime service_time, UniqueFn<void()> fn);
 
   /// Virtual time the next submission would wait before starting service.
   SimTime QueueDelay() const;

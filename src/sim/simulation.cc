@@ -6,22 +6,22 @@
 
 namespace mvstore::sim {
 
-void Simulation::Push(SimTime t, std::function<void()> fn,
+void Simulation::Push(SimTime t, UniqueFn<void()> fn,
                       std::shared_ptr<bool> cancelled) {
   MVSTORE_CHECK_GE(t, now_);
-  queue_.push(Event{t, next_seq_++, std::move(fn), std::move(cancelled)});
+  queue_.Push(SimEvent{t, next_seq_++, std::move(fn), std::move(cancelled)});
 }
 
-void Simulation::At(SimTime t, std::function<void()> fn) {
+void Simulation::At(SimTime t, UniqueFn<void()> fn) {
   Push(t, std::move(fn), nullptr);
 }
 
-void Simulation::After(SimTime dt, std::function<void()> fn) {
+void Simulation::After(SimTime dt, UniqueFn<void()> fn) {
   MVSTORE_CHECK_GE(dt, 0);
   Push(now_ + dt, std::move(fn), nullptr);
 }
 
-EventHandle Simulation::AfterCancelable(SimTime dt, std::function<void()> fn) {
+EventHandle Simulation::AfterCancelable(SimTime dt, UniqueFn<void()> fn) {
   MVSTORE_CHECK_GE(dt, 0);
   auto cancelled = std::make_shared<bool>(false);
   Push(now_ + dt, std::move(fn), cancelled);
@@ -30,8 +30,7 @@ EventHandle Simulation::AfterCancelable(SimTime dt, std::function<void()> fn) {
 
 bool Simulation::Step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  SimEvent ev = queue_.PopMin();
   now_ = ev.time;
   if (!(ev.cancelled && *ev.cancelled)) {
     ++steps_;
@@ -42,8 +41,7 @@ bool Simulation::Step() {
 
 void Simulation::Run() {
   while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
+    SimEvent ev = queue_.PopMin();
     now_ = ev.time;
     if (ev.cancelled && *ev.cancelled) continue;
     ++steps_;
@@ -53,9 +51,8 @@ void Simulation::Run() {
 
 void Simulation::RunUntil(SimTime t) {
   MVSTORE_CHECK_GE(t, now_);
-  while (!queue_.empty() && queue_.top().time <= t) {
-    Event ev = queue_.top();
-    queue_.pop();
+  while (!queue_.empty() && queue_.MinTime() <= t) {
+    SimEvent ev = queue_.PopMin();
     now_ = ev.time;
     if (ev.cancelled && *ev.cancelled) continue;
     ++steps_;

@@ -9,17 +9,23 @@
 // relevant behaviour (message latencies, per-server service demand, and the
 // interleavings that make multi-master view maintenance hard) in simulated
 // time.
+//
+// The event queue is a bucketed calendar queue (sim/event_queue.h): O(1)
+// amortized push/pop for the near-future events that dominate, a sorted
+// overflow heap for long timers, and the exact (time, seq) execution order
+// of the priority queue it replaced — seeded runs replay byte-identically.
+// Closures are move-only (common/unique_fn.h), so events can carry payload
+// buffers without copies and the typical closure schedules allocation-free.
 
 #ifndef MVSTORE_SIM_SIMULATION_H_
 #define MVSTORE_SIM_SIMULATION_H_
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <vector>
 
 #include "common/types.h"
+#include "common/unique_fn.h"
+#include "sim/event_queue.h"
 
 namespace mvstore::sim {
 
@@ -42,9 +48,21 @@ class EventHandle {
   std::shared_ptr<bool> cancelled_;
 };
 
+/// Calendar-queue tuning (see sim/event_queue.h). The defaults suit the
+/// microsecond-scale latencies every cluster in this repo simulates; they
+/// only affect speed, never event order.
+struct SimulationOptions {
+  /// Virtual-time span of one calendar bucket.
+  SimTime bucket_width = Micros(128);
+  /// Ring length; bucket_width * num_buckets is the near-future horizon
+  /// (events past it wait in the sorted overflow heap).
+  std::size_t num_buckets = 4096;
+};
+
 class Simulation {
  public:
-  Simulation() = default;
+  explicit Simulation(SimulationOptions options = SimulationOptions())
+      : queue_(options.bucket_width, options.num_buckets) {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -53,13 +71,13 @@ class Simulation {
   SimTime Now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (>= Now()).
-  void At(SimTime t, std::function<void()> fn);
+  void At(SimTime t, UniqueFn<void()> fn);
 
   /// Schedules `fn` after a delay of `dt` (>= 0).
-  void After(SimTime dt, std::function<void()> fn);
+  void After(SimTime dt, UniqueFn<void()> fn);
 
   /// Like After, but returns a handle that can cancel the event.
-  EventHandle AfterCancelable(SimTime dt, std::function<void()> fn);
+  EventHandle AfterCancelable(SimTime dt, UniqueFn<void()> fn);
 
   /// Runs events until the queue is empty.
   void Run();
@@ -77,27 +95,13 @@ class Simulation {
   /// Total events executed (for tests and debugging).
   std::uint64_t steps() const { return steps_; }
 
-  /// Number of pending events.
+  /// Number of pending events (cancelled-but-unpopped ones included).
   std::size_t pending() const { return queue_.size(); }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;  // tie-breaker: FIFO within an instant
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;  // may be null
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  void Push(SimTime t, UniqueFn<void()> fn, std::shared_ptr<bool> cancelled);
 
-  void Push(SimTime t, std::function<void()> fn,
-            std::shared_ptr<bool> cancelled);
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t steps_ = 0;

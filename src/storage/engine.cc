@@ -6,6 +6,82 @@
 
 namespace mvstore::storage {
 
+namespace {
+
+bool HasPrefix(const Key& key, const Key& prefix) {
+  return key.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// One sorted input to a merged scan: a run's entry span or the memtable's
+/// row map (distinguished by `from_map`).
+struct SourceCursor {
+  const KeyedRow* vit = nullptr;
+  const KeyedRow* vend = nullptr;
+  std::map<Key, Row>::const_iterator mit;
+  std::map<Key, Row>::const_iterator mend;
+  bool from_map = false;
+
+  bool Done(const Key* prefix) const {
+    if (from_map ? mit == mend : vit == vend) return true;
+    return prefix != nullptr && !HasPrefix(key(), *prefix);
+  }
+  const Key& key() const { return from_map ? mit->first : vit->key; }
+  const Row& row() const { return from_map ? mit->second : vit->row; }
+  void Advance() {
+    if (from_map) {
+      ++mit;
+    } else {
+      ++vit;
+    }
+  }
+};
+
+/// Streaming k-way merge in key order. The old implementation accumulated a
+/// full std::map<Key, Row> copy of the table per scan — the dominant cost of
+/// anti-entropy at large table sizes. Here a key served by one source is
+/// handed to `fn` by reference (zero copies); only keys present in several
+/// sources merge, through `scratch`, whose buffer is reused across keys.
+void MergedScan(std::vector<SourceCursor>& cursors, const Key* prefix,
+                Row& scratch,
+                const std::function<void(const Key&, const Row&)>& fn) {
+  while (true) {
+    const Key* min_key = nullptr;
+    for (const SourceCursor& c : cursors) {
+      if (!c.Done(prefix) && (min_key == nullptr || c.key() < *min_key)) {
+        min_key = &c.key();
+      }
+    }
+    if (min_key == nullptr) break;
+    const Row* single = nullptr;
+    int matches = 0;
+    for (const SourceCursor& c : cursors) {
+      if (!c.Done(prefix) && c.key() == *min_key) {
+        single = &c.row();
+        ++matches;
+      }
+    }
+    if (matches == 1) {
+      fn(*min_key, *single);
+    } else {
+      // Sources merge in cursor order (runs oldest-first, then memtable),
+      // matching the map-based code this replaced; LWW is commutative so
+      // the merged row is the same either way.
+      scratch.Clear();
+      for (const SourceCursor& c : cursors) {
+        if (!c.Done(prefix) && c.key() == *min_key) scratch.MergeFrom(c.row());
+      }
+      fn(*min_key, scratch);
+    }
+    // min_key stays valid while advancing: it points into a run's immutable
+    // entry array or a live map node.
+    for (SourceCursor& c : cursors) {
+      if (!c.Done(prefix) && c.key() == *min_key) c.Advance();
+    }
+  }
+}
+
+}  // namespace
+
 Engine::Engine(EngineOptions options) : options_(options) {}
 
 void Engine::Apply(const Key& key, const ColumnName& col, const Cell& cell) {
@@ -21,6 +97,15 @@ void Engine::ApplyRow(const Key& key, const Row& row) {
     AppendToLog(key, col, cell);
   }
   memtable_.ApplyRow(key, row);
+  MaybeFlushAndCompact();
+}
+
+void Engine::ApplyRow(const Key& key, Row&& row) {
+  if (row_cache_ != nullptr) row_cache_->Invalidate(cache_tag_, key);
+  for (const auto& [col, cell] : row.cells()) {
+    AppendToLog(key, col, cell);
+  }
+  memtable_.ApplyRow(key, std::move(row));
   MaybeFlushAndCompact();
 }
 
@@ -100,24 +185,47 @@ std::optional<Cell> Engine::GetCell(const Key& key,
 void Engine::ScanPrefix(
     const Key& prefix,
     const std::function<void(const Key&, const Row&)>& fn) const {
-  std::map<Key, Row> merged;
-  auto collect = [&](const Key& key, const Row& row) {
-    merged[key].MergeFrom(row);
-  };
-  for (const auto& run : runs_) run->ScanPrefix(prefix, collect);
-  memtable_.ScanPrefix(prefix, collect);
-  for (const auto& [key, row] : merged) fn(key, row);
+  std::vector<SourceCursor> cursors;
+  cursors.reserve(runs_.size() + 1);
+  for (const auto& run : runs_) {
+    SourceCursor c;
+    c.vit = run->PrefixLowerBound(prefix);
+    c.vend = run->entries_end();
+    if (c.vit != c.vend) cursors.push_back(c);
+  }
+  const auto& rows = memtable_.rows();
+  auto mit = rows.lower_bound(prefix);
+  if (mit != rows.end()) {
+    SourceCursor c;
+    c.from_map = true;
+    c.mit = mit;
+    c.mend = rows.end();
+    cursors.push_back(c);
+  }
+  MergedScan(cursors, &prefix, scan_scratch_, fn);
 }
 
 void Engine::ForEach(
     const std::function<void(const Key&, const Row&)>& fn) const {
-  std::map<Key, Row> merged;
-  auto collect = [&](const Key& key, const Row& row) {
-    merged[key].MergeFrom(row);
-  };
-  for (const auto& run : runs_) run->ForEach(collect);
-  memtable_.ForEach(collect);
-  for (const auto& [key, row] : merged) fn(key, row);
+  std::vector<SourceCursor> cursors;
+  cursors.reserve(runs_.size() + 1);
+  for (const auto& run : runs_) {
+    const auto& entries = run->sorted_entries();
+    if (entries.empty()) continue;
+    SourceCursor c;
+    c.vit = entries.data();
+    c.vend = entries.data() + entries.size();
+    cursors.push_back(c);
+  }
+  const auto& rows = memtable_.rows();
+  if (!rows.empty()) {
+    SourceCursor c;
+    c.from_map = true;
+    c.mit = rows.begin();
+    c.mend = rows.end();
+    cursors.push_back(c);
+  }
+  MergedScan(cursors, nullptr, scan_scratch_, fn);
 }
 
 std::vector<Key> Engine::CollectKeysAfter(
@@ -149,13 +257,9 @@ std::vector<Key> Engine::CollectKeysAfter(
 
 void Engine::Flush() {
   if (memtable_.empty()) return;
-  std::vector<KeyedRow> entries;
-  entries.reserve(memtable_.entries());
-  memtable_.ForEach([&](const Key& key, const Row& row) {
-    entries.push_back(KeyedRow{key, row});
-  });
-  runs_.push_back(Run::FromSorted(std::move(entries)));
-  memtable_.Clear();
+  // Seal by MOVING the memtable's rows into the run — keys and cell buffers
+  // transfer; nothing is copied per cell.
+  runs_.push_back(Run::FromSorted(memtable_.DrainSorted()));
   // Checkpoint: everything logged so far now lives in a durable run.
   log_.clear();
 }

@@ -73,6 +73,8 @@ class Engine {
 
   /// Merges a whole row (replication / anti-entropy path).
   void ApplyRow(const Key& key, const Row& row);
+  /// Move form: the row's cell buffer lands in the memtable without a copy.
+  void ApplyRow(const Key& key, Row&& row);
 
   /// Merged view of a row across memtable and all runs. Returns nullopt when
   /// the key appears nowhere (tombstoned rows ARE returned).
@@ -157,6 +159,9 @@ class Engine {
   std::uint64_t log_dropped_ = 0;
   RowCache* row_cache_ = nullptr;  // not owned; nullptr = caching disabled
   std::string cache_tag_;
+  /// Pooled scratch for multi-source keys in merged scans: cleared per key,
+  /// reallocated never (mutable: scans are logically const).
+  mutable Row scan_scratch_;
 };
 
 }  // namespace mvstore::storage

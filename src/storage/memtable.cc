@@ -16,6 +16,13 @@ void MemTable::ApplyRow(const Key& key, const Row& row) {
   cell_count_ += dst.size() - before;
 }
 
+void MemTable::ApplyRow(const Key& key, Row&& row) {
+  Row& dst = rows_[key];
+  const std::size_t before = dst.size();
+  dst.MergeFrom(std::move(row));
+  cell_count_ += dst.size() - before;
+}
+
 const Row* MemTable::Get(const Key& key) const {
   auto it = rows_.find(key);
   return it == rows_.end() ? nullptr : &it->second;
@@ -38,6 +45,19 @@ void MemTable::ForEach(
 void MemTable::Clear() {
   rows_.clear();
   cell_count_ = 0;
+}
+
+std::vector<KeyedRow> MemTable::DrainSorted() {
+  std::vector<KeyedRow> out;
+  out.reserve(rows_.size());
+  // extract() hands back the node with a mutable key, so both the key and
+  // the row's cell buffer move instead of copying.
+  while (!rows_.empty()) {
+    auto node = rows_.extract(rows_.begin());
+    out.push_back(KeyedRow{std::move(node.key()), std::move(node.mapped())});
+  }
+  cell_count_ = 0;
+  return out;
 }
 
 }  // namespace mvstore::storage

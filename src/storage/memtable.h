@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <vector>
 
 #include "common/types.h"
 #include "storage/row.h"
@@ -26,6 +27,8 @@ class MemTable {
 
   /// Merges a whole row (used by replication/anti-entropy).
   void ApplyRow(const Key& key, const Row& row);
+  /// Move form: `row`'s cell buffer is consumed instead of copied.
+  void ApplyRow(const Key& key, Row&& row);
 
   const Row* Get(const Key& key) const;
 
@@ -41,6 +44,11 @@ class MemTable {
   std::size_t cell_count() const { return cell_count_; }
   bool empty() const { return rows_.empty(); }
   void Clear();
+
+  /// Moves every (key, row) out in key order and leaves the memtable empty.
+  /// The flush path: rows (and their cell buffers) transfer into the sealed
+  /// run without a per-cell copy.
+  std::vector<KeyedRow> DrainSorted();
 
   const std::map<Key, Row>& rows() const { return rows_; }
 

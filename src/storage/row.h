@@ -1,16 +1,25 @@
 // Rows: maps from column name to cell.
 //
 // Different records in the same table may have different column sets
-// (schema-free, as in the paper's system model), so a Row is simply an
-// ordered map. Merging two versions of a row merges cell-wise with LWW.
+// (schema-free, as in the paper's system model), so a Row is a sorted
+// association of column name to cell. Merging two versions of a row merges
+// cell-wise with LWW.
+//
+// Representation: a sorted vector of (column, cell) pairs, not a node-based
+// map. Rows hold a handful of columns, so binary search plus contiguous
+// storage beats per-node allocation everywhere rows are built, merged, and
+// scanned — and a whole row moves as one buffer through flushes and run
+// merges (the pooled-cells path: scratch rows recycle their vectors via
+// Clear(), and ReleaseCells()/the Cells constructor transfer a built row
+// without touching the individual cells).
 
 #ifndef MVSTORE_STORAGE_ROW_H_
 #define MVSTORE_STORAGE_ROW_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <ostream>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -20,14 +29,24 @@ namespace mvstore::storage {
 
 class Row {
  public:
+  /// Sorted by column name, unique.
+  using Cells = std::vector<std::pair<ColumnName, Cell>>;
+
   Row() = default;
+
+  /// Adopts `cells`, which must already be sorted by column and unique
+  /// (checked in debug) — the zero-copy path out of a merge scratch row.
+  explicit Row(Cells cells);
 
   /// Applies `cell` to `col` with LWW resolution. Returns true if the stored
   /// cell changed.
   bool Apply(const ColumnName& col, const Cell& cell);
+  bool Apply(const ColumnName& col, Cell&& cell);
 
   /// Merges every cell of `other` into this row.
   void MergeFrom(const Row& other);
+  /// Move form: `other`'s cells are consumed (it is left empty).
+  void MergeFrom(Row&& other);
 
   /// The cell stored under `col`, or nullopt if the column was never written
   /// (tombstoned columns ARE returned — callers distinguish deletions from
@@ -40,6 +59,13 @@ class Row {
   bool empty() const { return cells_.empty(); }
   std::size_t size() const { return cells_.size(); }
 
+  /// Empties the row but keeps its buffer — scratch rows reused across merge
+  /// iterations allocate once.
+  void Clear() { cells_.clear(); }
+
+  /// Moves the cell buffer out, leaving the row empty.
+  Cells ReleaseCells() { return std::move(cells_); }
+
   /// Largest cell timestamp in the row (kNullTimestamp if empty).
   Timestamp MaxTimestamp() const;
 
@@ -47,14 +73,16 @@ class Row {
   /// deleted and eligible for GC once past the grace period).
   bool AllTombstones() const;
 
-  const std::map<ColumnName, Cell>& cells() const { return cells_; }
+  const Cells& cells() const { return cells_; }
 
   friend bool operator==(const Row& a, const Row& b) {
     return a.cells_ == b.cells_;
   }
 
  private:
-  std::map<ColumnName, Cell> cells_;
+  Cells::iterator LowerBound(const ColumnName& col);
+
+  Cells cells_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Row& row);

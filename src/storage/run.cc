@@ -1,7 +1,6 @@
 #include "storage/run.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/logging.h"
 
@@ -30,32 +29,82 @@ std::shared_ptr<const Run> Run::Merge(
     const std::vector<std::shared_ptr<const Run>>& runs,
     Timestamp purge_tombstones_before, Timestamp defer_before,
     GcStats* stats) {
-  // Simulation-scale partitions are small; a map-based merge keeps this
-  // obviously correct. (A k-way heap merge would be the disk-scale choice.)
-  std::map<Key, Row> merged;
+  // Streaming k-way merge over the sorted inputs: each output row is built
+  // once, in key order, with no intermediate map and no per-cell heap churn
+  // — a key held by a single input is copied wholesale, and multi-input
+  // keys merge through one reused scratch row whose buffer transfers into
+  // the output entry.
+  struct Cursor {
+    const KeyedRow* it;
+    const KeyedRow* end;
+  };
+  std::vector<Cursor> cursors;
+  cursors.reserve(runs.size());
+  std::size_t total = 0;
   for (const auto& run : runs) {
-    run->ForEach([&](const Key& key, const Row& row) {
-      merged[key].MergeFrom(row);
-    });
+    const auto& entries = run->sorted_entries();
+    if (!entries.empty()) {
+      cursors.push_back(Cursor{entries.data(), entries.data() + entries.size()});
+      total += entries.size();
+    }
   }
+  const bool may_purge = purge_tombstones_before != kNullTimestamp ||
+                         defer_before != kNullTimestamp;
   std::vector<KeyedRow> entries;
-  entries.reserve(merged.size());
-  for (auto& [key, row] : merged) {
-    Row kept;
-    for (const auto& [col, cell] : row.cells()) {
-      if (cell.tombstone) {
-        if (cell.ts < purge_tombstones_before) {
-          if (stats != nullptr) ++stats->tombstones_purged;
-          continue;
-        }
-        if (cell.ts < defer_before && stats != nullptr) {
-          ++stats->tombstones_deferred;
+  entries.reserve(total);
+  Row scratch;
+  while (true) {
+    const Key* min_key = nullptr;
+    for (const Cursor& c : cursors) {
+      if (c.it != c.end && (min_key == nullptr || c.it->key < *min_key)) {
+        min_key = &c.it->key;
+      }
+    }
+    if (min_key == nullptr) break;
+    // Collect every input holding the key (in input order, matching the LWW
+    // merge order of the map-based code this replaced — the result is the
+    // same either way because the cell merge is commutative).
+    const Row* single = nullptr;
+    int matches = 0;
+    for (const Cursor& c : cursors) {
+      if (c.it != c.end && c.it->key == *min_key) {
+        single = &c.it->row;
+        ++matches;
+      }
+    }
+    if (matches == 1 && !may_purge) {
+      entries.push_back(KeyedRow{*min_key, *single});
+    } else {
+      scratch.Clear();
+      for (const Cursor& c : cursors) {
+        if (c.it != c.end && c.it->key == *min_key) {
+          scratch.MergeFrom(c.it->row);
         }
       }
-      kept.Apply(col, cell);
+      Row::Cells cells = scratch.ReleaseCells();
+      auto kept = cells.begin();
+      for (auto it = cells.begin(); it != cells.end(); ++it) {
+        if (it->second.tombstone) {
+          if (it->second.ts < purge_tombstones_before) {
+            if (stats != nullptr) ++stats->tombstones_purged;
+            continue;
+          }
+          if (it->second.ts < defer_before && stats != nullptr) {
+            ++stats->tombstones_deferred;
+          }
+        }
+        if (kept != it) *kept = std::move(*it);
+        ++kept;
+      }
+      cells.erase(kept, cells.end());
+      if (!cells.empty()) {
+        // Copy the key BEFORE advancing the cursors below (min_key points
+        // into one of them).
+        entries.push_back(KeyedRow{*min_key, Row(std::move(cells))});
+      }
     }
-    if (!kept.empty()) {
-      entries.push_back(KeyedRow{key, std::move(kept)});
+    for (Cursor& c : cursors) {
+      if (c.it != c.end && c.it->key == *min_key) ++c.it;
     }
   }
   return std::shared_ptr<const Run>(new Run(std::move(entries)));
@@ -85,6 +134,17 @@ bool Run::MayContainPrefix(const Key& prefix) const {
   // could start with the prefix.
   if (min_key_.compare(0, prefix.size(), prefix) > 0) return false;
   return true;
+}
+
+const KeyedRow* Run::PrefixLowerBound(const Key& prefix) const {
+  if (!MayContainPrefix(prefix)) {
+    ++fence_skips_;
+    return entries_end();
+  }
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const KeyedRow& e, const Key& k) { return e.key < k; });
+  return entries_.data() + (it - entries_.begin());
 }
 
 void Run::ScanPrefix(

@@ -71,6 +71,16 @@ class Run {
 
   std::size_t entries() const { return entries_.size(); }
 
+  /// The run's entries in key order — raw input for the engine's streaming
+  /// k-way merge (no callback per entry, no copies).
+  const std::vector<KeyedRow>& sorted_entries() const { return entries_; }
+
+  /// Pointer to the first entry whose key starts with `prefix` (scan forward
+  /// until the prefix stops matching); entries_end() when the run's fences
+  /// exclude the prefix (counted as a fence skip, like ScanPrefix).
+  const KeyedRow* PrefixLowerBound(const Key& prefix) const;
+  const KeyedRow* entries_end() const { return entries_.data() + entries_.size(); }
+
  private:
   explicit Run(std::vector<KeyedRow> entries);
 

@@ -2,9 +2,7 @@
 
 namespace mvstore::store {
 
-std::string EscapeComponent(const std::string& component) {
-  std::string out;
-  out.reserve(component.size());
+void AppendEscapedComponent(std::string_view component, std::string& out) {
   for (char c : component) {
     if (c == kComponentSeparator) {
       out.push_back(kEscape);
@@ -16,21 +14,28 @@ std::string EscapeComponent(const std::string& component) {
       out.push_back(c);
     }
   }
+}
+
+std::string EscapeComponent(std::string_view component) {
+  std::string out;
+  out.reserve(component.size());
+  AppendEscapedComponent(component, out);
   return out;
 }
 
-Key DeletedSentinelViewKey(const Key& base_key) {
+Key DeletedSentinelViewKey(std::string_view base_key) {
   Key out;
+  out.reserve(base_key.size() + 1);
   out.push_back(kSentinelPrefix);
   out += base_key;
   return out;
 }
 
-bool IsSentinelViewKey(const Key& view_key) {
+bool IsSentinelViewKey(std::string_view view_key) {
   return !view_key.empty() && view_key[0] == kSentinelPrefix;
 }
 
-std::optional<std::string> UnescapeComponent(const std::string& escaped) {
+std::optional<std::string> UnescapeComponent(std::string_view escaped) {
   std::string out;
   out.reserve(escaped.size());
   for (std::size_t i = 0; i < escaped.size(); ++i) {
@@ -53,38 +58,63 @@ std::optional<std::string> UnescapeComponent(const std::string& escaped) {
   return out;
 }
 
-Key ComposeViewRowKey(const Key& view_key, const Key& base_key) {
-  Key out = EscapeComponent(view_key);
+void ComposeViewRowKeyTo(std::string_view view_key, std::string_view base_key,
+                         std::string& out) {
+  AppendEscapedComponent(view_key, out);
   out.push_back(kComponentSeparator);
-  out += EscapeComponent(base_key);
+  AppendEscapedComponent(base_key, out);
+}
+
+Key ComposeViewRowKey(std::string_view view_key, std::string_view base_key) {
+  Key out;
+  out.reserve(view_key.size() + base_key.size() + 1);
+  ComposeViewRowKeyTo(view_key, base_key, out);
   return out;
 }
 
-Key ViewPartitionPrefix(const Key& view_key) {
-  Key out = EscapeComponent(view_key);
+Key ViewPartitionPrefix(std::string_view view_key) {
+  Key out;
+  out.reserve(view_key.size() + 1);
+  AppendEscapedComponent(view_key, out);
   out.push_back(kComponentSeparator);
   return out;
 }
 
-std::optional<std::pair<Key, Key>> SplitViewRowKey(const Key& key) {
+bool SplitViewRowKeyViews(std::string_view key, std::string_view* escaped_view,
+                          std::string_view* escaped_base) {
   // Find the (only unescaped) separator.
-  std::size_t sep = std::string::npos;
   for (std::size_t i = 0; i < key.size(); ++i) {
     if (key[i] == kEscape) {
       ++i;  // skip escaped byte
     } else if (key[i] == kComponentSeparator) {
-      sep = i;
-      break;
+      *escaped_view = key.substr(0, i);
+      *escaped_base = key.substr(i + 1);
+      return true;
     }
   }
-  if (sep == std::string::npos) return std::nullopt;
-  auto view_key = UnescapeComponent(key.substr(0, sep));
-  auto base_key = UnescapeComponent(key.substr(sep + 1));
+  return false;
+}
+
+std::optional<std::pair<Key, Key>> SplitViewRowKey(std::string_view key) {
+  std::string_view escaped_view;
+  std::string_view escaped_base;
+  if (!SplitViewRowKeyViews(key, &escaped_view, &escaped_base)) {
+    return std::nullopt;
+  }
+  auto view_key = UnescapeComponent(escaped_view);
+  auto base_key = UnescapeComponent(escaped_base);
   if (!view_key || !base_key) return std::nullopt;
   return std::make_pair(std::move(*view_key), std::move(*base_key));
 }
 
-Key PartitionPrefixOf(const Key& composed_key) {
+KeyRef InternViewRowKey(KeyInterner& interner, std::string_view view_key,
+                        std::string_view base_key, std::string& scratch) {
+  scratch.clear();
+  ComposeViewRowKeyTo(view_key, base_key, scratch);
+  return interner.Intern(scratch);
+}
+
+std::string_view PartitionPrefixViewOf(std::string_view composed_key) {
   for (std::size_t i = 0; i < composed_key.size(); ++i) {
     if (composed_key[i] == kEscape) {
       ++i;
@@ -93,6 +123,10 @@ Key PartitionPrefixOf(const Key& composed_key) {
     }
   }
   return composed_key;
+}
+
+Key PartitionPrefixOf(const Key& composed_key) {
+  return Key(PartitionPrefixViewOf(composed_key));
 }
 
 }  // namespace mvstore::store

@@ -22,8 +22,10 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
+#include "common/interner.h"
 #include "common/types.h"
 
 namespace mvstore::store {
@@ -43,31 +45,60 @@ inline constexpr char kSentinelPrefix = '\x03';
 
 /// The sentinel view key for `base_key` (unique per base row, so sentinel
 /// rows spread over the ring like any other partition).
-Key DeletedSentinelViewKey(const Key& base_key);
+Key DeletedSentinelViewKey(std::string_view base_key);
 
 /// True for sentinel view keys (hidden from all reads).
-bool IsSentinelViewKey(const Key& view_key);
+bool IsSentinelViewKey(std::string_view view_key);
 
 /// Escapes one key component.
-std::string EscapeComponent(const std::string& component);
+std::string EscapeComponent(std::string_view component);
+
+/// Appends the escaped form of `component` to `out` — the allocation-free
+/// building block: loops that compose many keys reuse one scratch buffer.
+void AppendEscapedComponent(std::string_view component, std::string& out);
 
 /// Inverse of EscapeComponent; nullopt on malformed input.
-std::optional<std::string> UnescapeComponent(const std::string& escaped);
+std::optional<std::string> UnescapeComponent(std::string_view escaped);
 
 /// Flat storage key for the view row (view_key, base_key).
-Key ComposeViewRowKey(const Key& view_key, const Key& base_key);
+Key ComposeViewRowKey(std::string_view view_key, std::string_view base_key);
+
+/// Appends Compose(view_key, base_key) to `out` without allocating a fresh
+/// string (when `out`'s capacity suffices).
+void ComposeViewRowKeyTo(std::string_view view_key, std::string_view base_key,
+                         std::string& out);
 
 /// Scan prefix matching exactly the rows with this view key.
-Key ViewPartitionPrefix(const Key& view_key);
+Key ViewPartitionPrefix(std::string_view view_key);
 
 /// Splits a composed key back into (view_key, base_key); nullopt if `key` is
 /// not a well-formed composite.
-std::optional<std::pair<Key, Key>> SplitViewRowKey(const Key& key);
+std::optional<std::pair<Key, Key>> SplitViewRowKey(std::string_view key);
+
+/// Zero-copy split: points `escaped_view` / `escaped_base` at the
+/// still-escaped component slices of `key` (valid while `key`'s bytes live).
+/// Returns false when `key` has no separator. Callers that only route or
+/// compare avoid the two unescape allocations of SplitViewRowKey.
+bool SplitViewRowKeyViews(std::string_view key, std::string_view* escaped_view,
+                          std::string_view* escaped_base);
+
+/// Interned encode: composes (view_key, base_key) into `scratch` and interns
+/// the result. The returned handle's bytes live in the interner's arena —
+/// decode with interner.View(ref) (feed that to SplitViewRowKey), compare
+/// and hash by the fixed-size KeyRef. Repeated encodes of the same view row
+/// cost one escape pass into the reused scratch plus one table probe.
+KeyRef InternViewRowKey(KeyInterner& interner, std::string_view view_key,
+                        std::string_view base_key, std::string& scratch);
 
 /// The partition component of a key in a composite-key table (everything up
 /// to and including the separator). For non-composite tables callers use the
 /// whole key.
 Key PartitionPrefixOf(const Key& composed_key);
+
+/// Zero-copy form of PartitionPrefixOf: a view into `composed_key` (valid
+/// while the key outlives it). The routing hot path hashes this slice
+/// directly instead of materializing a substring per placement decision.
+std::string_view PartitionPrefixViewOf(std::string_view composed_key);
 
 }  // namespace mvstore::store
 

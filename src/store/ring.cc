@@ -79,7 +79,7 @@ void Ring::ForEachSegment(int n, Fn fn) const {
   }
 }
 
-std::vector<ServerId> Ring::ReplicasFor(const Key& partition_key,
+std::vector<ServerId> Ring::ReplicasFor(std::string_view partition_key,
                                         int n) const {
   MVSTORE_CHECK_LE(n, num_servers());
   const std::uint64_t token = TokenOf(partition_key);
@@ -91,11 +91,11 @@ std::vector<ServerId> Ring::ReplicasFor(const Key& partition_key,
   return WalkFrom(start, n);
 }
 
-ServerId Ring::PrimaryFor(const Key& partition_key) const {
+ServerId Ring::PrimaryFor(std::string_view partition_key) const {
   return ReplicasFor(partition_key, 1)[0];
 }
 
-std::uint64_t Ring::TokenOf(const Key& partition_key) {
+std::uint64_t Ring::TokenOf(std::string_view partition_key) {
   return Hash64(partition_key);
 }
 
@@ -115,6 +115,7 @@ std::vector<Ring::TokenRange> Ring::RangesReplicatedOn(ServerId server,
 
 std::vector<Ring::RangeTransfer> Ring::AddServer(ServerId server, int n) {
   MVSTORE_CHECK(!IsMember(server));
+  ++version_;
   members_.insert(server);
   auto tokens = TokensFor(server);
   vnodes_.insert(vnodes_.end(), tokens.begin(), tokens.end());
@@ -157,6 +158,7 @@ std::vector<Ring::RangeTransfer> Ring::AddServer(ServerId server, int n) {
 std::vector<Ring::RangeTransfer> Ring::RemoveServer(ServerId server, int n) {
   MVSTORE_CHECK(IsMember(server));
   MVSTORE_CHECK_GT(num_servers(), 1);
+  ++version_;
 
   // Snapshot, before removal, every range the leaver replicates together
   // with its old replica set.

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string_view>
 #include <vector>
 
 #include "common/types.h"
@@ -69,18 +70,24 @@ class Ring {
   std::vector<RangeTransfer> RemoveServer(ServerId server, int n);
 
   /// The `n` distinct servers responsible for `partition_key`, in preference
-  /// order. Requires n <= num_servers.
-  std::vector<ServerId> ReplicasFor(const Key& partition_key, int n) const;
+  /// order. Requires n <= num_servers. Takes a view so callers routing on a
+  /// slice of a composed key need not materialize it.
+  std::vector<ServerId> ReplicasFor(std::string_view partition_key,
+                                    int n) const;
 
   /// First replica (used to pick dedicated propagators).
-  ServerId PrimaryFor(const Key& partition_key) const;
+  ServerId PrimaryFor(std::string_view partition_key) const;
 
   /// The ranges `server` replicates at replication factor `n` in the
   /// current ring (adjacent segments merged).
   std::vector<TokenRange> RangesReplicatedOn(ServerId server, int n) const;
 
   /// The token a partition key hashes to (for range membership checks).
-  static std::uint64_t TokenOf(const Key& partition_key);
+  static std::uint64_t TokenOf(std::string_view partition_key);
+
+  /// Monotone counter bumped by every membership change. Placement caches
+  /// key their validity on it: same version, same ReplicasFor answers.
+  std::uint64_t version() const { return version_; }
 
   bool IsMember(ServerId server) const {
     return members_.count(server) != 0;
@@ -114,6 +121,7 @@ class Ring {
 
   int vnodes_per_server_;
   std::uint64_t seed_;
+  std::uint64_t version_ = 0;
   std::set<ServerId> members_;
   std::vector<VNode> vnodes_;  // sorted by token
 };

@@ -93,17 +93,33 @@ storage::Engine& Server::EngineFor(const std::string& table) {
 }
 
 Key Server::PartitionKeyFor(const std::string& table, const Key& key) const {
+  return Key(PartitionViewFor(table, key));
+}
+
+std::string_view Server::PartitionViewFor(const std::string& table,
+                                          const Key& key) const {
   const TableDef* def = schema_->GetTable(table);
   if (def != nullptr && def->composite_keys) {
-    return PartitionPrefixOf(key);
+    return PartitionPrefixViewOf(key);
   }
   return key;
 }
 
-std::vector<ServerId> Server::ReplicasOf(const std::string& table,
-                                         const Key& key) const {
-  return ring_->ReplicasFor(PartitionKeyFor(table, key),
-                            config_->replication_factor);
+const std::vector<ServerId>& Server::ReplicasOf(const std::string& table,
+                                                const Key& key) const {
+  const KeyRef ref = placement_keys_.Intern(PartitionViewFor(table, key));
+  if (ref.id >= placement_cache_.size()) {
+    placement_cache_.resize(static_cast<std::size_t>(ref.id) + 1);
+  }
+  PlacementEntry& entry = placement_cache_[ref.id];
+  const std::uint64_t version = ring_->version();
+  if (!entry.valid || entry.ring_version != version) {
+    entry.replicas = ring_->ReplicasFor(placement_keys_.View(ref),
+                                        config_->replication_factor);
+    entry.ring_version = version;
+    entry.valid = true;
+  }
+  return entry.replicas;
 }
 
 SimTime Server::ReadServiceFor(const std::string& table,
@@ -370,7 +386,7 @@ void Server::CoordinateWrite(const std::string& table, const Key& key,
 void Server::SendReplicaWrite(ServerId to, const std::string& table,
                               const Key& key, const storage::Row& cells,
                               SimTime service,
-                              std::function<void(bool)> on_ack) {
+                              UniqueFn<void(bool)> on_ack) {
   if (config_->write_batch_max <= 1) {
     CallPeer<bool>(
         to, service,
@@ -410,16 +426,22 @@ void Server::FlushReplicaWrites(ServerId to) {
   auto it = write_lanes_.find(to);
   if (it == write_lanes_.end() || it->second.parked.empty()) return;
   ReplicaWriteLane& lane = it->second;
-  auto batch = std::make_shared<std::vector<PendingReplicaWrite>>(
-      std::move(lane.parked));
+  std::vector<PendingReplicaWrite> batch = std::move(lane.parked);
   lane.parked.clear();
   ++lane.in_flight;
   metrics_->replica_write_batches++;
   const SimTime now = sim_->Now();
+  const std::uint64_t payloads = batch.size();
   SimTime service = 0;
-  for (const PendingReplicaWrite& item : *batch) {
+  // Split the batch: the acks stay on this coordinator (the reply closure
+  // owns them), the payload rows move into the request closure outright —
+  // no shared ownership, no copy of the batched cells.
+  std::vector<UniqueFn<void(bool)>> acks;
+  acks.reserve(batch.size());
+  for (PendingReplicaWrite& item : batch) {
     metrics_->stage_batch_flush.Record(now - item.enqueued_at);
     service += item.service;
+    acks.push_back(std::move(item.on_ack));
   }
   // Reopen the lane when the batch acks — or after rpc_timeout if the ack
   // was lost — and ship whatever parked during the flight.
@@ -437,17 +459,17 @@ void Server::FlushReplicaWrites(ServerId to) {
   // ack fans back out to every batched mutation's op.
   CallPeer<bool>(
       to, service,
-      [batch](Server& s) {
-        for (const PendingReplicaWrite& item : *batch) {
+      [batch = std::move(batch)](Server& s) {
+        for (const PendingReplicaWrite& item : batch) {
           s.LocalApply(item.table, item.key, item.cells);
         }
         return true;
       },
-      [batch, settle](bool ok) {
-        for (PendingReplicaWrite& item : *batch) item.on_ack(ok);
+      [acks = std::move(acks), settle](bool ok) mutable {
+        for (UniqueFn<void(bool)>& ack : acks) ack(ok);
         settle();
       },
-      batch->size());
+      payloads);
   sim_->After(config_->rpc_timeout, settle);
 }
 
@@ -997,15 +1019,16 @@ std::vector<std::uint64_t> Server::ComputeSyncDigests(const std::string& table,
   // DIFFERENT rows, silently skipping the bucket forever.
   std::vector<std::uint64_t> counts(static_cast<std::size_t>(buckets), 0);
   it->second->ForEach([&](const Key& key, const storage::Row& row) {
-    const auto replicas = ReplicasOf(table, key);
+    const auto& replicas = ReplicasOf(table, key);
     const bool shared =
         std::find(replicas.begin(), replicas.end(), id_) != replicas.end() &&
         std::find(replicas.begin(), replicas.end(), peer) != replicas.end();
     if (!shared) return;
+    const std::uint64_t key_hash = Hash64(key);
     const std::size_t bucket =
-        Hash64(key) % static_cast<std::uint64_t>(buckets);
+        key_hash % static_cast<std::uint64_t>(buckets);
     digests[bucket] +=
-        HashCombine(HashCombine(Hash64(key), storage::RowDigest(row)),
+        HashCombine(HashCombine(key_hash, storage::RowDigest(row)),
                     kSyncDigestSalt);
     ++counts[bucket];
   });
@@ -1030,7 +1053,7 @@ std::vector<storage::KeyedRow> Server::CollectBucketRows(
     const std::size_t bucket =
         Hash64(key) % static_cast<std::uint64_t>(total_buckets);
     if (!wanted[bucket]) return;
-    const auto replicas = ReplicasOf(table, key);
+    const auto& replicas = ReplicasOf(table, key);
     const bool shared =
         std::find(replicas.begin(), replicas.end(), id_) != replicas.end() &&
         std::find(replicas.begin(), replicas.end(), peer) != replicas.end();
@@ -1701,7 +1724,7 @@ Server::RangeSlice Server::CollectRangeRows(const std::string& table,
   const std::vector<Key> keys = it->second->CollectKeysAfter(
       from, limit,
       [&](const Key& key) {
-        return range.Covers(Ring::TokenOf(PartitionKeyFor(table, key)));
+        return range.Covers(Ring::TokenOf(PartitionViewFor(table, key)));
       },
       &more);
   slice.done = !more;

@@ -20,7 +20,9 @@
 #include <string>
 #include <vector>
 
+#include "common/interner.h"
 #include "common/statusor.h"
+#include "common/unique_fn.h"
 #include "common/trace.h"
 #include "common/types.h"
 #include "index/local_index.h"
@@ -291,11 +293,15 @@ class Server {
   /// time `remote_service`, plus the fixed per-message receive overhead);
   /// the returned value travels back and `on_reply` runs here. Either leg
   /// may be dropped by the network. `payloads` is the logical request count
-  /// the message carries (> 1 for a batched replica-write flush).
+  /// the message carries (> 1 for a batched replica-write flush). Both
+  /// closures are move-only, so a request may own its payload vector
+  /// outright (no shared_ptr indirection); callers that must re-send — the
+  /// quorum retry path — keep a copyable std::function and pay one copy per
+  /// send.
   template <typename Response>
   void CallPeer(ServerId to, SimTime remote_service,
-                std::function<Response(Server&)> handler,
-                std::function<void(Response)> on_reply,
+                UniqueFn<Response(Server&)> handler,
+                UniqueFn<void(Response)> on_reply,
                 std::uint64_t payloads = 1);
 
   /// CallPeer variant whose service demand is resolved ON THE PEER when the
@@ -304,9 +310,9 @@ class Server {
   /// sender cannot know (is the row cached there?).
   template <typename Response>
   void CallPeerDynamic(ServerId to,
-                       std::function<SimTime(Server&)> remote_service,
-                       std::function<Response(Server&)> handler,
-                       std::function<void(Response)> on_reply,
+                       UniqueFn<SimTime(Server&)> remote_service,
+                       UniqueFn<Response(Server&)> handler,
+                       UniqueFn<void(Response)> on_reply,
                        std::uint64_t payloads = 1);
 
   /// Service demand of a local point read of (table, key): the cached rate
@@ -339,17 +345,22 @@ class Server {
   /// Runs `fn` on this server after (queueing +) `service` time — unless the
   /// server has crashed (or crashed and restarted) in between: work queued
   /// by one process incarnation dies with it.
-  void Enqueue(SimTime service, std::function<void()> fn) {
+  void Enqueue(SimTime service, UniqueFn<void()> fn) {
     queue_.Submit(service, [this, incarnation = incarnation_,
-                            fn = std::move(fn)] {
+                            fn = std::move(fn)]() mutable {
       if (incarnation != incarnation_ || crashed_) return;
       fn();
     });
   }
 
   /// Replicas of `key` in `table` (partition prefix for composite keys).
-  std::vector<ServerId> ReplicasOf(const std::string& table,
-                                   const Key& key) const;
+  /// Served from a per-server placement cache keyed by the interned
+  /// partition key and the ring version, so repeated routing of the same
+  /// partition (every write, every anti-entropy row) costs one hash and one
+  /// probe instead of a ring walk and a fresh allocation. The reference is
+  /// stable until the ring membership changes.
+  const std::vector<ServerId>& ReplicasOf(const std::string& table,
+                                          const Key& key) const;
 
   /// Majority quorum for the replication factor (view maintenance ops).
   int MajorityQuorum() const { return config_->replication_factor / 2 + 1; }
@@ -415,7 +426,7 @@ class Server {
   /// per-message receive overhead, not the apply work).
   void SendReplicaWrite(ServerId to, const std::string& table, const Key& key,
                         const storage::Row& cells, SimTime service,
-                        std::function<void(bool)> on_ack);
+                        UniqueFn<void(bool)> on_ack);
 
  private:
   friend class Cluster;
@@ -460,14 +471,19 @@ class Server {
 
   /// Resolves the partition key used for ring placement.
   Key PartitionKeyFor(const std::string& table, const Key& key) const;
+  /// Zero-copy form: a slice of `key` (valid while `key` lives).
+  std::string_view PartitionViewFor(const std::string& table,
+                                    const Key& key) const;
 
-  /// One parked replica mutation awaiting a batch flush.
+  /// One parked replica mutation awaiting a batch flush. Move-only (the ack
+  /// is a UniqueFn), so a flushed batch MOVES into the request closure —
+  /// cells and keys ride to the replica without a copy or a shared_ptr.
   struct PendingReplicaWrite {
     std::string table;
     Key key;
     storage::Row cells;
     SimTime service;
-    std::function<void(bool)> on_ack;
+    UniqueFn<void(bool)> on_ack;
     SimTime enqueued_at;
   };
 
@@ -559,6 +575,18 @@ class Server {
   /// departs the ring so unanswered slots move to a live replica.
   std::map<std::uint64_t, std::function<void(ServerId)>> inflight_retargets_;
 
+  // --- placement cache ---
+  /// Cached ring placements, one slot per interned partition key, revalidated
+  /// against the ring version (a deque so entries never relocate — returned
+  /// references survive cache growth).
+  struct PlacementEntry {
+    std::uint64_t ring_version = 0;
+    bool valid = false;
+    std::vector<ServerId> replicas;
+  };
+  mutable KeyInterner placement_keys_;
+  mutable std::deque<PlacementEntry> placement_cache_;
+
   // --- elastic membership state ---
   MembershipState membership_ = MembershipState::kServing;
   std::deque<StreamTask> stream_tasks_;
@@ -589,8 +617,8 @@ class Server {
 
 template <typename Response>
 void Server::CallPeer(ServerId to, SimTime remote_service,
-                      std::function<Response(Server&)> handler,
-                      std::function<void(Response)> on_reply,
+                      UniqueFn<Response(Server&)> handler,
+                      UniqueFn<void(Response)> on_reply,
                       std::uint64_t payloads) {
   Server* self = this;
   Server* peer = (*peers_)[to];
@@ -623,9 +651,9 @@ void Server::CallPeer(ServerId to, SimTime remote_service,
 
 template <typename Response>
 void Server::CallPeerDynamic(ServerId to,
-                             std::function<SimTime(Server&)> remote_service,
-                             std::function<Response(Server&)> handler,
-                             std::function<void(Response)> on_reply,
+                             UniqueFn<SimTime(Server&)> remote_service,
+                             UniqueFn<Response(Server&)> handler,
+                             UniqueFn<void(Response)> on_reply,
                              std::uint64_t payloads) {
   Server* self = this;
   Server* peer = (*peers_)[to];

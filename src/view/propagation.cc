@@ -57,12 +57,18 @@ Propagation::Propagation(store::Server* executor,
       guess_(std::move(guess)),
       done_(std::move(done)) {}
 
+const Key& Propagation::ComposedRowKey(const Key& view_key) {
+  composed_scratch_.clear();
+  store::ComposeViewRowKeyTo(view_key, task_->base_key, composed_scratch_);
+  return composed_scratch_;
+}
+
 void Propagation::ViewPut(const Key& view_key, storage::Row cells,
                           std::function<void()> next) {
   auto self = shared_from_this();
   executor_->CoordinateWrite(
-      task_->view->name, store::ComposeViewRowKey(view_key, task_->base_key),
-      cells, executor_->MajorityQuorum(),
+      task_->view->name, ComposedRowKey(view_key), cells,
+      executor_->MajorityQuorum(),
       [self, next = std::move(next)](Status status) {
         if (!status.ok()) {
           self->Finish(status);
@@ -76,8 +82,8 @@ void Propagation::ViewReadRow(
     const Key& view_key, std::vector<ColumnName> columns,
     std::function<void(StatusOr<storage::Row>)> next) {
   executor_->CoordinateRead(
-      task_->view->name, store::ComposeViewRowKey(view_key, task_->base_key),
-      std::move(columns), executor_->MajorityQuorum(), std::move(next));
+      task_->view->name, ComposedRowKey(view_key), std::move(columns),
+      executor_->MajorityQuorum(), std::move(next));
 }
 
 // The effective new view key of a view-key update: deletions map to the

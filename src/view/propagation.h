@@ -154,11 +154,15 @@ class Propagation : public std::enable_shared_from_this<Propagation> {
                std::function<void()> next);
   void ViewReadRow(const Key& view_key, std::vector<ColumnName> columns,
                    std::function<void(StatusOr<storage::Row>)> next);
+  /// Compose(view_key, base_key) built in `composed_scratch_`: each chain
+  /// hop re-encodes into the same buffer instead of allocating a fresh key.
+  const Key& ComposedRowKey(const Key& view_key);
 
   store::Server* executor_;
   std::shared_ptr<PropagationTask> task_;
   storage::Cell guess_;
   std::function<void(Status)> done_;
+  Key composed_scratch_;
 
   // Resolved by GetLiveKey.
   Key live_key_;

@@ -1,0 +1,143 @@
+// Key interning and arena allocation: handle identity must agree exactly
+// with string equality (the property every placement-cache and codec fast
+// path relies on), interned views and hashes must be stable across table
+// growth, and the arena must honor its block/reset contract.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/interner.h"
+#include "common/rng.h"
+
+namespace mvstore {
+namespace {
+
+TEST(ArenaTest, CopyReturnsStableIndependentBytes) {
+  Arena arena(64);
+  std::string original = "hello arena";
+  std::string_view copy = arena.Copy(original);
+  EXPECT_EQ(copy, "hello arena");
+  // The copy does not alias the source.
+  original[0] = 'X';
+  EXPECT_EQ(copy, "hello arena");
+}
+
+TEST(ArenaTest, SmallAllocationsShareBlocks) {
+  Arena arena(1024);
+  for (int i = 0; i < 10; ++i) arena.Allocate(32);
+  EXPECT_EQ(arena.blocks(), 1u);
+  EXPECT_GE(arena.bytes_used(), 320u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(64);
+  std::string big(1000, 'b');
+  std::string_view copy = arena.Copy(big);
+  EXPECT_EQ(copy, big);
+  // Small allocations still work after an oversized one.
+  EXPECT_EQ(arena.Copy("tail"), "tail");
+}
+
+TEST(ArenaTest, ResetReclaimsSpace) {
+  Arena arena(256);
+  for (int i = 0; i < 50; ++i) arena.Copy("some payload bytes");
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.Copy("after reset"), "after reset");
+}
+
+TEST(InternerTest, SameStringSameRef) {
+  KeyInterner interner;
+  KeyRef a = interner.Intern("alpha");
+  KeyRef b = interner.Intern("alpha");
+  KeyRef c = interner.Intern("beta");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(interner.size(), 2u);
+}
+
+TEST(InternerTest, ViewRoundTripsAndHashMatchesHash64) {
+  KeyInterner interner;
+  const std::string nasty("k\x00\x01\x02y", 5);
+  KeyRef ref = interner.Intern(nasty);
+  EXPECT_EQ(interner.View(ref), std::string_view(nasty));
+  EXPECT_EQ(interner.HashOf(ref), Hash64(nasty));
+}
+
+TEST(InternerTest, FindNeverInterns) {
+  KeyInterner interner;
+  EXPECT_FALSE(interner.Find("missing").valid());
+  EXPECT_EQ(interner.size(), 0u);
+  KeyRef ref = interner.Intern("present");
+  EXPECT_EQ(interner.Find("present"), ref);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(InternerTest, EmptyStringIsInternable) {
+  KeyInterner interner;
+  KeyRef empty = interner.Intern("");
+  EXPECT_TRUE(empty.valid());
+  EXPECT_EQ(interner.View(empty), "");
+  EXPECT_EQ(interner.Intern(""), empty);
+  EXPECT_NE(interner.Intern("x"), empty);
+}
+
+TEST(InternerTest, RefsSurviveTableGrowth) {
+  // Start tiny so Intern must rehash several times; handles and views issued
+  // before every growth stay valid after it.
+  KeyInterner::Options options;
+  options.initial_capacity = 2;
+  KeyInterner interner(options);
+  std::vector<KeyRef> refs;
+  std::vector<std::string> strings;
+  for (int i = 0; i < 500; ++i) {
+    strings.push_back("key-" + std::to_string(i));
+    refs.push_back(interner.Intern(strings.back()));
+  }
+  EXPECT_EQ(interner.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(interner.View(refs[i]), strings[i]);
+    EXPECT_EQ(interner.Intern(strings[i]), refs[i]);
+    EXPECT_EQ(interner.Find(strings[i]), refs[i]);
+  }
+}
+
+TEST(InternerTest, FuzzRefEqualityMatchesStringEquality) {
+  // The core contract: ref identity <=> byte equality, under a workload of
+  // short binary strings dense enough to force collisions and growth.
+  Rng rng(2024);
+  KeyInterner::Options options;
+  options.initial_capacity = 4;
+  KeyInterner interner(options);
+  std::map<std::string, KeyRef> model;
+  for (int i = 0; i < 20000; ++i) {
+    std::string s;
+    const int len = static_cast<int>(rng.UniformInt(0, 8));
+    for (int j = 0; j < len; ++j) {
+      // A 4-symbol alphabet makes duplicates and near-misses common.
+      s.push_back(static_cast<char>(rng.UniformInt(0, 3)));
+    }
+    KeyRef ref = interner.Intern(s);
+    auto [it, fresh] = model.emplace(s, ref);
+    if (fresh) {
+      EXPECT_EQ(interner.View(ref), s);
+    } else {
+      EXPECT_EQ(ref, it->second) << "same bytes must re-yield the same ref";
+    }
+    EXPECT_EQ(interner.HashOf(ref), Hash64(s));
+  }
+  EXPECT_EQ(interner.size(), model.size());
+  // Distinct strings got distinct refs (injectivity).
+  std::set<std::uint32_t> ids;
+  for (const auto& [s, ref] : model) ids.insert(ref.id);
+  EXPECT_EQ(ids.size(), model.size());
+}
+
+}  // namespace
+}  // namespace mvstore
