@@ -24,6 +24,10 @@
 //                             runs); N>0 sets row_cache_entries=N; unset
 //                             uses the bench default (65536 — large enough
 //                             to keep every bootstrap-loaded replica hot)
+//   MV_BENCH_VIEW_SHARDS      sub-shards per view key for the MV scenario
+//                             (default 1 = classic layout; >1 spreads each
+//                             view key over that many ring partitions and
+//                             ViewGets scatter-gather, see DESIGN.md §12)
 
 #ifndef MVSTORE_BENCH_BENCH_COMMON_H_
 #define MVSTORE_BENCH_BENCH_COMMON_H_
@@ -119,6 +123,10 @@ inline store::ClusterConfig PaperConfig(std::uint64_t seed = 42) {
   } else {
     config.row_cache_entries = 65536;
   }
+  // Sub-shards per view key (ISSUE 9); BenchSchema builds "by_skey" with
+  // this count.
+  config.view_shard_count =
+      static_cast<int>(EnvInt("MV_BENCH_VIEW_SHARDS", 1));
   return config;
 }
 
@@ -126,7 +134,7 @@ inline store::ClusterConfig PaperConfig(std::uint64_t seed = 42) {
 /// "skey" (values unique across rows, as in Section VI-A) and a payload
 /// column "field0". The scenario decides whether an index or a view exists
 /// on skey.
-inline store::Schema BenchSchema(Scenario scenario) {
+inline store::Schema BenchSchema(Scenario scenario, int view_shards = 1) {
   store::Schema schema;
   MVSTORE_CHECK(schema.CreateTable({.name = "usertable"}).ok());
   if (scenario == Scenario::kSecondaryIndex) {
@@ -134,12 +142,14 @@ inline store::Schema BenchSchema(Scenario scenario) {
         schema.CreateIndex({.table = "usertable", .column = "skey"}).ok());
   }
   if (scenario == Scenario::kMaterializedView) {
-    store::ViewDef view;
-    view.name = "by_skey";
-    view.base_table = "usertable";
-    view.view_key_column = "skey";
-    view.materialized_columns = {"field0"};
-    MVSTORE_CHECK(schema.CreateView(view).ok());
+    auto view = store::ViewDefBuilder("by_skey")
+                    .Base("usertable")
+                    .Key("skey")
+                    .Materialize("field0")
+                    .Shards(view_shards)
+                    .Build();
+    MVSTORE_CHECK(view.ok()) << view.status();
+    MVSTORE_CHECK(schema.CreateView(std::move(view).value()).ok());
   }
   return schema;
 }
@@ -150,7 +160,7 @@ struct BenchCluster {
   BenchCluster(Scenario scenario, const BenchScale& scale,
                store::ClusterConfig config = PaperConfig())
       : scenario(scenario),
-        cluster(config, BenchSchema(scenario)),
+        cluster(config, BenchSchema(scenario, config.view_shard_count)),
         views(std::make_unique<view::MaintenanceEngine>(&cluster)) {
     cluster.Start();
     for (std::int64_t i = 0; i < scale.rows; ++i) {
@@ -180,19 +190,20 @@ inline void IssueRead(Scenario scenario, store::Client& client,
       break;
     }
     case Scenario::kSecondaryIndex:
-      client.IndexGet("usertable", "skey", workload::FormatKey("s", rank),
-                      store::ReadOptions{},
-                      [done](store::ReadResult result) {
-                        done(result.ok() && !result.rows.empty());
-                      });
+      client.Query(store::QuerySpec::Index("usertable", "skey",
+                                           workload::FormatKey("s", rank)),
+                   store::ReadOptions{}, [done](store::ReadResult result) {
+                     done(result.ok() && !result.rows.empty());
+                   });
       break;
     case Scenario::kMaterializedView: {
       store::ReadOptions options;
       options.columns = {"field0"};
-      client.ViewGet("by_skey", workload::FormatKey("s", rank), options,
-                     [done](store::ReadResult result) {
-                       done(result.ok() && !result.records.empty());
-                     });
+      client.Query(
+          store::QuerySpec::View("by_skey", workload::FormatKey("s", rank)),
+          options, [done](store::ReadResult result) {
+            done(result.ok() && !result.records.empty());
+          });
       break;
     }
   }

@@ -61,14 +61,14 @@ double MeasurePairLatency(Scenario scenario, SimTime client_delay,
               next();
             };
             if (bc.scenario == Scenario::kSecondaryIndex) {
-              client->IndexGet(
-                  "usertable", "skey", workload::FormatKey("s", rank),
+              client->Query(
+                  store::QuerySpec::Index("usertable", "skey", workload::FormatKey("s", rank)),
                   store::ReadOptions{}, [finish](store::ReadResult r) {
                     finish(r.ok() && !r.rows.empty(), r.freshness);
                   });
             } else {
-              client->ViewGet(
-                  "by_skey", workload::FormatKey("s", rank),
+              client->Query(
+                  store::QuerySpec::View("by_skey", workload::FormatKey("s", rank)),
                   {.columns = {"field0"}}, [finish](store::ReadResult r) {
                     finish(r.ok() && !r.records.empty(), r.freshness);
                   });

@@ -111,9 +111,9 @@ Outcome RunSetting(const Setting& setting, const BenchScale& scale,
                   options.columns = {"field0"};
                   options.consistency = setting.consistency;
                   options.max_staleness = setting.max_staleness;
-                  client->ViewGet(
-                      "by_skey", workload::FormatKey("s", rank), options,
-                      [&, start, measuring](store::ReadResult r) {
+                  client->Query(
+                      store::QuerySpec::View("by_skey", workload::FormatKey("s", rank)),
+                      options, [&, start, measuring](store::ReadResult r) {
                         MVSTORE_CHECK(r.ok()) << r.status;
                         if (measuring) {
                           const Timestamp now_ts =

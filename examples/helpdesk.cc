@@ -52,7 +52,8 @@ void DumpVersionedView(store::Cluster& cluster) {
 }
 
 void DumpClientView(store::Client& client, const char* who) {
-  auto records = client.ViewGetSync("assigned_to", who, {.quorum = 3});
+  auto records = client.QuerySync(
+      store::QuerySpec::View("assigned_to", who), {.quorum = 3});
   MVSTORE_CHECK(records.ok());
   std::printf("  %s ->", who);
   for (const store::ViewRecord& r : records.records) {

@@ -51,17 +51,17 @@ int main() {
   views.Quiesce();
 
   auto show = [&](const char* region) {
-    auto joined = view::JoinGetSync(cluster.simulation(), *client, market,
-                                    region, {.quorum = 3});
+    auto joined = client->QuerySync(view::JoinQuerySpec(market, region),
+                                    {.quorum = 3});
     MVSTORE_CHECK(joined.ok());
     std::printf("%s:\n", region);
-    if (joined->empty()) std::printf("  (no matches)\n");
-    for (const view::JoinedRecord& r : *joined) {
+    if (joined.joined.empty()) std::printf("  (no matches)\n");
+    for (const store::JoinedPair& r : joined.joined) {
       std::printf("  %s (%s*) sells %s for %s\n",
-                  r.left.GetValue("name").value_or("?").c_str(),
-                  r.left.GetValue("rating").value_or("?").c_str(),
-                  r.right.GetValue("item").value_or("?").c_str(),
-                  r.right.GetValue("price").value_or("?").c_str());
+                  r.left.cells.GetValue("name").value_or("?").c_str(),
+                  r.left.cells.GetValue("rating").value_or("?").c_str(),
+                  r.right.cells.GetValue("item").value_or("?").c_str(),
+                  r.right.cells.GetValue("price").value_or("?").c_str());
     }
   };
 

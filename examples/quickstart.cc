@@ -68,7 +68,9 @@ int main() {
   // 5. Read by secondary key: one cheap single-partition Get instead of a
   //    cluster-wide scan.
   auto waterloo =
-      client->ViewGetSync("users_by_city", "waterloo", store::ReadOptions{});
+      client->QuerySync(
+          store::QuerySpec::View("users_by_city", "waterloo"),
+          store::ReadOptions{});
   MVSTORE_CHECK(waterloo.ok());
   std::printf("users in waterloo:\n");
   for (const store::ViewRecord& record : waterloo.records) {
@@ -84,7 +86,9 @@ int main() {
                     .ok());
   views.Quiesce();
   auto brisbane =
-      client->ViewGetSync("users_by_city", "brisbane", store::ReadOptions{});
+      client->QuerySync(
+          store::QuerySpec::View("users_by_city", "brisbane"),
+          store::ReadOptions{});
   MVSTORE_CHECK(brisbane.ok());
   std::printf("users in brisbane after the move: %zu\n",
               brisbane.records.size());
@@ -118,7 +122,8 @@ int main() {
   store::ReadOptions traced_read;
   traced_read.trace = root;
   store::ReadResult traced =
-      client->ViewGetSync("users_by_city", "waterloo", traced_read);
+      client->QuerySync(
+          store::QuerySpec::View("users_by_city", "waterloo"), traced_read);
   MVSTORE_CHECK(traced.ok());
   tracer.EndSpan(root, cluster.Now());
 

@@ -27,7 +27,8 @@ store::Schema InventorySchema() {
 }
 
 std::string ReadStock(store::Client& client, store::ReadOptions options = {}) {
-  auto records = client.ViewGetSync("by_warehouse", "yyz", options);
+  auto records = client.QuerySync(
+      store::QuerySpec::View("by_warehouse", "yyz"), options);
   MVSTORE_CHECK(records.ok());
   for (const store::ViewRecord& r : records.records) {
     if (r.base_key == "widget") {
@@ -122,8 +123,8 @@ int main() {
   // propagation ~80 ms away and a 0.1 ms bound, the pending write blocks
   // the view and the router serves the read from the base table
   // (served_by tells you which path answered).
-  auto result = bounded->ViewGetSync(
-      "by_warehouse", "yyz",
+  auto result = bounded->QuerySync(
+      store::QuerySpec::View("by_warehouse", "yyz"),
       {.consistency = store::ReadConsistency::kBoundedStaleness,
        .max_staleness = Micros(100)});
   MVSTORE_CHECK(result.ok());

@@ -65,7 +65,8 @@ int main() {
   auto reader = cluster.NewClient();
   for (int c = 0; c < kClients; ++c) {
     const std::string owner = "user" + std::to_string(c);
-    auto records = reader->ViewGetSync("by_owner", owner, {.quorum = 3});
+    auto records = reader->QuerySync(
+        store::QuerySpec::View("by_owner", owner), {.quorum = 3});
     MVSTORE_CHECK(records.ok());
     if (!records.records.empty()) {
       std::printf("  final owner: %s\n", owner.c_str());

@@ -203,8 +203,26 @@ void Client::Delete(const std::string& table, const Key& key,
   Put(table, key, mutation, options, std::move(callback));
 }
 
-void Client::ViewGet(const std::string& view, const Key& view_key,
-                     const ReadOptions& options, ReadCallback callback) {
+void Client::Query(const QuerySpec& spec, const ReadOptions& options,
+                   ReadCallback callback) {
+  switch (spec.kind) {
+    case QuerySpec::Kind::kView:
+      QueryView(spec, options, std::move(callback));
+      return;
+    case QuerySpec::Kind::kIndex:
+      QueryIndex(spec, options, std::move(callback));
+      return;
+    case QuerySpec::Kind::kJoin:
+      QueryJoin(spec, options, std::move(callback));
+      return;
+  }
+  ReadResult result;
+  result.status = Status::InvalidArgument("unknown QuerySpec kind");
+  callback(std::move(result));
+}
+
+void Client::QueryView(const QuerySpec& spec, const ReadOptions& options,
+                       ReadCallback callback) {
   TraceContext op = StartOpTrace("client.view_get", options.trace);
   auto reply = ReturnToClient<ReadResult>(
       std::move(callback), &cluster_->metrics().view_get_latency, op,
@@ -233,8 +251,9 @@ void Client::ViewGet(const std::string& view, const Key& view_key,
   }
   const SimTime max_staleness = options.max_staleness;
   Tracer::Scope scope(&cluster_->tracer(), op);
-  SendToCoordinator([view, view_key, columns = options.columns, quorum,
-                     session, consistency, max_staleness,
+  SendToCoordinator([view = spec.view, view_key = spec.view_key,
+                     columns = options.columns, quorum, session, consistency,
+                     max_staleness,
                      adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientViewGet(view, view_key, std::move(columns), quorum,
                                session, consistency, max_staleness,
@@ -242,19 +261,33 @@ void Client::ViewGet(const std::string& view, const Key& view_key,
   });
 }
 
-void Client::IndexGet(const std::string& table, const ColumnName& column,
-                      const Value& value, const ReadOptions& options,
-                      ReadCallback callback) {
+void Client::QueryIndex(const QuerySpec& spec, const ReadOptions& options,
+                        ReadCallback callback) {
   TraceContext op = StartOpTrace("client.index_get", options.trace);
   auto reply = ReturnToClient<ReadResult>(
       std::move(callback), &cluster_->metrics().index_get_latency, op,
       options.timeout);
   Cluster* cluster = cluster_;
-  auto adapted = [reply = std::move(reply),
-                  cluster](StatusOr<std::vector<storage::KeyedRow>> rows) {
+  // The projection is applied HERE — at the coordinator, on the merged
+  // broadcast image — never per replica, so the returned columns cannot
+  // depend on which index fragments answered (QuerySpec's uniformity rule).
+  auto adapted = [reply = std::move(reply), cluster,
+                  columns = options.columns](
+                     StatusOr<std::vector<storage::KeyedRow>> rows) {
     ReadResult result;
     if (rows.ok()) {
       result.rows = *std::move(rows);
+      if (!columns.empty()) {
+        for (storage::KeyedRow& kr : result.rows) {
+          storage::Row projected;
+          for (const ColumnName& col : columns) {
+            if (auto cell = kr.row.Get(col); cell && !cell->tombstone) {
+              projected.Apply(col, *cell);
+            }
+          }
+          kr.row = std::move(projected);
+        }
+      }
       result.payload = ReadPayload::kRows;
       result.served_by = ServedBy::kSiPath;
       // The SI is written synchronously with each replica write and the
@@ -266,10 +299,71 @@ void Client::IndexGet(const std::string& table, const ColumnName& column,
     reply(std::move(result));
   };
   Tracer::Scope scope(&cluster_->tracer(), op);
-  SendToCoordinator([table, column, value,
+  SendToCoordinator([table = spec.table, column = spec.column,
+                     value = spec.value,
                      adapted = std::move(adapted)](Server& server) mutable {
     server.HandleClientIndexGet(table, column, value, std::move(adapted));
   });
+}
+
+namespace {
+
+/// Gathers the two sides of a join query and zips them (cross product of
+/// the sides' live records, as the paper's join views expose it).
+struct JoinQueryState {
+  std::optional<ReadResult> left;
+  std::optional<ReadResult> right;
+  ReadCallback callback;
+
+  void MaybeFinish() {
+    if (!left.has_value() || !right.has_value()) return;
+    ReadResult result;
+    if (!left->ok()) {
+      result.status = left->status;
+      result.trace = left->trace;
+    } else if (!right->ok()) {
+      result.status = right->status;
+      result.trace = right->trace;
+    } else {
+      result.joined.reserve(left->records.size() * right->records.size());
+      for (const ViewRecord& l : left->records) {
+        for (const ViewRecord& r : right->records) {
+          result.joined.push_back(JoinedPair{l, r});
+        }
+      }
+      result.payload = ReadPayload::kJoined;
+      // A join is only as fresh as its staler side; both sides must have
+      // come off the same path for the claim to name one.
+      result.freshness = std::min(left->freshness, right->freshness);
+      result.served_by = left->served_by;
+      result.trace = left->trace;
+    }
+    callback(std::move(result));
+  }
+};
+
+}  // namespace
+
+void Client::QueryJoin(const QuerySpec& spec, const ReadOptions& options,
+                       ReadCallback callback) {
+  auto state = std::make_shared<JoinQueryState>();
+  state->callback = std::move(callback);
+  // Each side projects its own column set; ReadOptions::columns is ignored
+  // for joins (the sides materialize different columns).
+  ReadOptions left_options = options;
+  left_options.columns = spec.left_columns;
+  QueryView(QuerySpec::View(spec.view, spec.view_key), left_options,
+            [state](ReadResult result) {
+              state->left = std::move(result);
+              state->MaybeFinish();
+            });
+  ReadOptions right_options = options;
+  right_options.columns = spec.right_columns;
+  QueryView(QuerySpec::View(spec.right_view, spec.view_key), right_options,
+            [state](ReadResult result) {
+              state->right = std::move(result);
+              state->MaybeFinish();
+            });
 }
 
 // ---------------------------------------------------------------------------
@@ -316,20 +410,11 @@ WriteResult Client::DeleteSync(const std::string& table, const Key& key,
   return Await(cluster_->simulation(), slot);
 }
 
-ReadResult Client::ViewGetSync(const std::string& view, const Key& view_key,
-                               const ReadOptions& options) {
+ReadResult Client::QuerySync(const QuerySpec& spec,
+                             const ReadOptions& options) {
   std::optional<ReadResult> slot;
-  ViewGet(view, view_key, options,
-          [&slot](ReadResult result) { slot = std::move(result); });
-  return Await(cluster_->simulation(), slot);
-}
-
-ReadResult Client::IndexGetSync(const std::string& table,
-                                const ColumnName& column, const Value& value,
-                                const ReadOptions& options) {
-  std::optional<ReadResult> slot;
-  IndexGet(table, column, value, options,
-           [&slot](ReadResult result) { slot = std::move(result); });
+  Query(spec, options,
+        [&slot](ReadResult result) { slot = std::move(result); });
   return Await(cluster_->simulation(), slot);
 }
 

@@ -8,9 +8,11 @@
 // operation completes (tests and examples only — workloads use the async
 // API so many clients can run concurrently).
 //
-// The canonical read surface is Get/ViewGet/IndexGet taking a ReadOptions
+// The canonical read surface is Get plus the unified Query entry point
+// (QuerySpec names a view, index, or join query), each taking a ReadOptions
 // and delivering one ReadResult; writes take a WriteOptions and deliver a
-// WriteResult. Both options structs carry an optional parent TraceContext;
+// WriteResult. The pre-ISSUE-9 ViewGet/IndexGet names survive as deprecated
+// forwarders onto Query. Both options structs carry an optional parent TraceContext;
 // when none is given (and the cluster's `trace_client_ops` is on) the client
 // mints a fresh root trace per operation, whose id comes back in the result
 // so callers can dump the causal timeline (Tracer::DumpJson).
@@ -73,12 +75,15 @@ class Cluster;
 // kClientTimestampEpoch (the floor of client-generated timestamps) lives in
 // store/config.h so clock-driven server tasks can share it.
 
-/// Options shared by every read-shaped operation (Get, ViewGet, IndexGet).
+/// Options shared by every read-shaped operation (Get, Query).
 struct ReadOptions {
-  /// Read quorum R; < 0 uses the config default. (IndexGet broadcasts to
-  /// every server and ignores it.)
+  /// Read quorum R; < 0 uses the config default. (Index queries broadcast
+  /// to every server and ignore it.)
   int quorum = -1;
-  /// Columns to return; empty = all. (IndexGet always returns whole rows.)
+  /// Columns to return; empty = all. Applied uniformly by the coordinator
+  /// on the merged image for every query kind (see QuerySpec for the
+  /// per-kind semantics) — replicas never project individually, so the
+  /// answer cannot depend on which replicas happened to respond.
   std::vector<ColumnName> columns;
   /// Per-request client deadline; 0 falls back to request_timeout().
   SimTime timeout = 0;
@@ -105,22 +110,32 @@ struct WriteOptions {
   TraceContext trace;
 };
 
+/// One result pair of a join query: the matched left- and right-side view
+/// records (each side's base key + projected cells).
+struct JoinedPair {
+  ViewRecord left;
+  ViewRecord right;
+};
+
 /// Which of ReadResult's payload fields the operation populated.
 enum class ReadPayload {
   kNone,     ///< failed read (or a Get that found nothing)
   kRow,      ///< Get: `row`
-  kRecords,  ///< ViewGet: `records`
-  kRows,     ///< IndexGet: `rows`
+  kRecords,  ///< view query: `records`
+  kRows,     ///< index query: `rows`
+  kJoined,   ///< join query: `joined`
 };
 
 /// The one result shape every read-shaped operation delivers. Exactly one
 /// payload field is populated, matching the operation: `row` for Get,
-/// `records` for ViewGet, `rows` for IndexGet; `payload_kind()` says which.
+/// `records` for a view query, `rows` for an index query, `joined` for a
+/// join query; `payload_kind()` says which.
 struct ReadResult {
   Status status = Status::OK();
   storage::Row row;
   std::vector<ViewRecord> records;
   std::vector<storage::KeyedRow> rows;
+  std::vector<JoinedPair> joined;
   /// Freshness claim (see the contract comment above): every base write
   /// with ts <= freshness is reflected in the payload. kNullTimestamp when
   /// the operation failed.
@@ -138,7 +153,8 @@ struct ReadResult {
 #ifndef NDEBUG
     MVSTORE_CHECK((payload == ReadPayload::kRow || row.empty()) &&
                   (payload == ReadPayload::kRecords || records.empty()) &&
-                  (payload == ReadPayload::kRows || rows.empty()))
+                  (payload == ReadPayload::kRows || rows.empty()) &&
+                  (payload == ReadPayload::kJoined || joined.empty()))
         << "ReadResult populated a payload field its kind does not name";
 #endif
     return payload;
@@ -155,6 +171,78 @@ struct WriteResult {
   /// Trace id of the operation (0 when untraced).
   TraceId trace = 0;
   bool ok() const { return status.ok(); }
+};
+
+/// The one read-routing description (ISSUE 9): every non-Get read — view,
+/// index, or join — goes through Client::Query with one of these. The tag
+/// says which describing fields are meaningful; build specs with the static
+/// factories, not by hand.
+///
+/// ## Projection semantics (uniform across kinds)
+///
+/// ReadOptions::columns is applied by the COORDINATOR on the merged image,
+/// never per replica, so the projection cannot vary with which replicas
+/// answered:
+///  * kView — projects the view's materialized columns (empty = all of
+///    them; bookkeeping columns are never returned).
+///  * kIndex — projects the merged whole-row broadcast result (empty = the
+///    full rows).
+///  * kJoin — each side projects to its own `left_columns`/`right_columns`
+///    from the spec; ReadOptions::columns is ignored (the two sides
+///    materialize different column sets).
+struct QuerySpec {
+  enum class Kind {
+    kView,   ///< records of one view key (scatter-gathered when sharded)
+    kIndex,  ///< secondary-index probe: rows where `column == value`
+    kJoin,   ///< zip of two per-side views sharing a join key
+  };
+
+  Kind kind = Kind::kView;
+
+  /// kView: the view to read and the view-key value to look up.
+  std::string view;
+  Key view_key;
+
+  /// kIndex: the indexed base table, column, and match value.
+  std::string table;
+  ColumnName column;
+  Value value;
+
+  /// kJoin: the two per-side views (as declared by DeclareJoinView) read
+  /// at `view_key`, and each side's projection.
+  std::string right_view;  // the left view rides in `view`
+  std::vector<ColumnName> left_columns;
+  std::vector<ColumnName> right_columns;
+
+  static QuerySpec View(std::string view, Key view_key) {
+    QuerySpec spec;
+    spec.kind = Kind::kView;
+    spec.view = std::move(view);
+    spec.view_key = std::move(view_key);
+    return spec;
+  }
+
+  static QuerySpec Index(std::string table, ColumnName column, Value value) {
+    QuerySpec spec;
+    spec.kind = Kind::kIndex;
+    spec.table = std::move(table);
+    spec.column = std::move(column);
+    spec.value = std::move(value);
+    return spec;
+  }
+
+  static QuerySpec Join(std::string left_view, std::string right_view,
+                        Key join_key, std::vector<ColumnName> left_columns,
+                        std::vector<ColumnName> right_columns) {
+    QuerySpec spec;
+    spec.kind = Kind::kJoin;
+    spec.view = std::move(left_view);
+    spec.right_view = std::move(right_view);
+    spec.view_key = std::move(join_key);
+    spec.left_columns = std::move(left_columns);
+    spec.right_columns = std::move(right_columns);
+    return spec;
+  }
 };
 
 using ReadCallback = std::function<void(ReadResult)>;
@@ -201,12 +289,11 @@ class Client {
               std::vector<ColumnName> columns, const WriteOptions& options,
               WriteCallback callback);
 
-  void ViewGet(const std::string& view, const Key& view_key,
-               const ReadOptions& options, ReadCallback callback);
-
-  void IndexGet(const std::string& table, const ColumnName& column,
-                const Value& value, const ReadOptions& options,
-                ReadCallback callback);
+  /// The single non-Get read entry point: routes a view, index, or join
+  /// query (see QuerySpec). The scatter-gather path for sharded views hangs
+  /// off the kView route, so every read surface gains it at once.
+  void Query(const QuerySpec& spec, const ReadOptions& options,
+             ReadCallback callback);
 
   // --- canonical synchronous wrappers (drive the simulation) ---
 
@@ -217,10 +304,34 @@ class Client {
   WriteResult DeleteSync(const std::string& table, const Key& key,
                          std::vector<ColumnName> columns,
                          const WriteOptions& options);
-  ReadResult ViewGetSync(const std::string& view, const Key& view_key,
-                         const ReadOptions& options);
-  ReadResult IndexGetSync(const std::string& table, const ColumnName& column,
-                          const Value& value, const ReadOptions& options);
+  ReadResult QuerySync(const QuerySpec& spec, const ReadOptions& options);
+
+  // --- deprecated read surface (thin forwarders onto Query) ---
+
+  [[deprecated("use Query(QuerySpec::View(...), ...)")]] void ViewGet(
+      const std::string& view, const Key& view_key, const ReadOptions& options,
+      ReadCallback callback) {
+    Query(QuerySpec::View(view, view_key), options, std::move(callback));
+  }
+
+  [[deprecated("use Query(QuerySpec::Index(...), ...)")]] void IndexGet(
+      const std::string& table, const ColumnName& column, const Value& value,
+      const ReadOptions& options, ReadCallback callback) {
+    Query(QuerySpec::Index(table, column, value), options,
+          std::move(callback));
+  }
+
+  [[deprecated("use QuerySync(QuerySpec::View(...), ...)")]] ReadResult
+  ViewGetSync(const std::string& view, const Key& view_key,
+              const ReadOptions& options) {
+    return QuerySync(QuerySpec::View(view, view_key), options);
+  }
+
+  [[deprecated("use QuerySync(QuerySpec::Index(...), ...)")]] ReadResult
+  IndexGetSync(const std::string& table, const ColumnName& column,
+               const Value& value, const ReadOptions& options) {
+    return QuerySync(QuerySpec::Index(table, column, value), options);
+  }
 
  private:
   friend class Cluster;
@@ -229,6 +340,14 @@ class Client {
   int ReadQuorum(int requested) const;
   int WriteQuorum(int requested) const;
   Timestamp ResolveTimestamp(Timestamp ts);
+
+  // Per-kind Query routes (the old ViewGet/IndexGet guts plus the join zip).
+  void QueryView(const QuerySpec& spec, const ReadOptions& options,
+                 ReadCallback callback);
+  void QueryIndex(const QuerySpec& spec, const ReadOptions& options,
+                  ReadCallback callback);
+  void QueryJoin(const QuerySpec& spec, const ReadOptions& options,
+                 ReadCallback callback);
 
   /// The operation's span: a child of `parent` when given, else a fresh root
   /// trace (when config().trace_client_ops allows), else null.

@@ -188,7 +188,9 @@ void Cluster::BootstrapLoadRow(const std::string& table, const Key& key,
       view_key = DeletedSentinelViewKey(key);
       ts_key = view_key_cell ? view_key_cell->ts : kNullTimestamp + 1;
     }
-    const Key row_key = ComposeViewRowKey(view_key, key);
+    const int shard = ShardOfBaseKey(key, view->shard_count);
+    const Key row_key =
+        ShardedViewRowKey(view_key, key, shard, view->shard_count);
     storage::Row view_cells;
     view_cells.Apply(kViewBaseKeyColumn, storage::Cell::Live(key, ts_key));
     view_cells.Apply(kViewNextColumn, storage::Cell::Live(view_key, ts_key));
@@ -223,7 +225,8 @@ void Cluster::BootstrapLoadRow(const std::string& table, const Key& key,
                    storage::Cell::Live(key, kNullTimestamp + 1));
       anchor.Apply(kViewNextColumn,
                    storage::Cell::Live(view_key, kNullTimestamp + 1));
-      const Key anchor_row = ComposeViewRowKey(anchor_key, key);
+      const Key anchor_row =
+          ShardedViewRowKey(anchor_key, key, shard, view->shard_count);
       for (ServerId replica :
            servers_[0]->ReplicasOf(view->name, anchor_row)) {
         servers_[replica]->LocalApply(view->name, anchor_row, anchor);

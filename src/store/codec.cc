@@ -1,6 +1,28 @@
 #include "store/codec.h"
 
+#include "common/hash.h"
+#include "common/logging.h"
+
 namespace mvstore::store {
+
+namespace {
+
+/// Appends the two-byte shard header when the view is actually sharded.
+void AppendShardHeader(int shard, int shard_count, std::string& out) {
+  if (shard_count <= 1) return;
+  MVSTORE_CHECK(shard >= 0 && shard < shard_count)
+      << "shard " << shard << " out of range for shard_count " << shard_count;
+  out.push_back(kShardHeaderPrefix);
+  out.push_back(static_cast<char>(kShardByteBase + shard));
+}
+
+}  // namespace
+
+int ShardOfBaseKey(std::string_view base_key, int shard_count) {
+  if (shard_count <= 1) return 0;
+  return static_cast<int>(Hash64(base_key) %
+                          static_cast<std::uint64_t>(shard_count));
+}
 
 void AppendEscapedComponent(std::string_view component, std::string& out) {
   for (char c : component) {
@@ -78,6 +100,46 @@ Key ViewPartitionPrefix(std::string_view view_key) {
   AppendEscapedComponent(view_key, out);
   out.push_back(kComponentSeparator);
   return out;
+}
+
+void ShardedViewRowKeyTo(std::string_view view_key, std::string_view base_key,
+                         int shard, int shard_count, std::string& out) {
+  AppendShardHeader(shard, shard_count, out);
+  ComposeViewRowKeyTo(view_key, base_key, out);
+}
+
+Key ShardedViewRowKey(std::string_view view_key, std::string_view base_key,
+                      int shard, int shard_count) {
+  Key out;
+  out.reserve(view_key.size() + base_key.size() + 3);
+  ShardedViewRowKeyTo(view_key, base_key, shard, shard_count, out);
+  return out;
+}
+
+Key ShardedViewPartitionPrefix(std::string_view view_key, int shard,
+                               int shard_count) {
+  Key out;
+  out.reserve(view_key.size() + 3);
+  AppendShardHeader(shard, shard_count, out);
+  AppendEscapedComponent(view_key, out);
+  out.push_back(kComponentSeparator);
+  return out;
+}
+
+std::optional<int> ShardOfComposedKey(std::string_view key, int shard_count) {
+  if (shard_count <= 1) return 0;
+  if (key.size() < 2 || key[0] != kShardHeaderPrefix) return std::nullopt;
+  const int shard = static_cast<unsigned char>(key[1]) -
+                    static_cast<unsigned char>(kShardByteBase);
+  if (shard < 0 || shard >= shard_count) return std::nullopt;
+  return shard;
+}
+
+std::optional<std::pair<Key, Key>> SplitShardedViewRowKey(std::string_view key,
+                                                          int shard_count) {
+  if (shard_count <= 1) return SplitViewRowKey(key);
+  if (!ShardOfComposedKey(key, shard_count).has_value()) return std::nullopt;
+  return SplitViewRowKey(key.substr(2));
 }
 
 bool SplitViewRowKeyViews(std::string_view key, std::string_view* escaped_view,

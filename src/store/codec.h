@@ -43,6 +43,34 @@ inline constexpr char kEscape = '\x02';
 /// start with this byte (writes are rejected).
 inline constexpr char kSentinelPrefix = '\x03';
 
+/// Reserved first byte of *sharded* composed view-row keys. A view with
+/// shard_count > 1 splits each view-key partition into sub-shards spread
+/// over the ring: its composed keys carry a two-byte header
+///
+///   kShardHeaderPrefix + char(kShardByteBase + shard)
+///
+/// ahead of the usual Escape(kv) + SEP + Escape(kB). The header is part of
+/// the partition prefix (PartitionPrefixViewOf stops at the first unescaped
+/// separator, and neither header byte is SEP or the escape byte), so record
+/// placement, anti-entropy, and membership streaming see each sub-shard as
+/// an ordinary distinct partition with zero special-casing. Views with
+/// shard_count <= 1 never emit the header — their layout is byte-identical
+/// to the unsharded encoding.
+inline constexpr char kShardHeaderPrefix = '\x04';
+
+/// Offset added to the shard id inside the header byte, keeping it clear of
+/// kComponentSeparator and kEscape for every legal shard id.
+inline constexpr char kShardByteBase = '\x10';
+
+/// Upper bound on ViewDef::shard_count (keeps the shard header a single
+/// byte with room to spare; far beyond any sensible ring size).
+inline constexpr int kMaxViewShards = 128;
+
+/// The sub-shard owning `base_key`'s row family. Stable hash, so the live
+/// row, its stale chain, and the sentinel anchor of one base key always land
+/// in the same sub-shard. Returns 0 when shard_count <= 1.
+int ShardOfBaseKey(std::string_view base_key, int shard_count);
+
 /// The sentinel view key for `base_key` (unique per base row, so sentinel
 /// rows spread over the ring like any other partition).
 Key DeletedSentinelViewKey(std::string_view base_key);
@@ -70,6 +98,34 @@ void ComposeViewRowKeyTo(std::string_view view_key, std::string_view base_key,
 
 /// Scan prefix matching exactly the rows with this view key.
 Key ViewPartitionPrefix(std::string_view view_key);
+
+/// Sharded flat storage key: Compose(view_key, base_key) prefixed with the
+/// shard header when shard_count > 1; byte-identical to ComposeViewRowKey
+/// when shard_count <= 1. `shard` must be in [0, shard_count).
+Key ShardedViewRowKey(std::string_view view_key, std::string_view base_key,
+                      int shard, int shard_count);
+
+/// Appending form of ShardedViewRowKey (the propagation hot path re-encodes
+/// into one scratch buffer per chain hop).
+void ShardedViewRowKeyTo(std::string_view view_key, std::string_view base_key,
+                         int shard, int shard_count, std::string& out);
+
+/// Scan prefix matching exactly sub-shard `shard` of this view key.
+/// Byte-identical to ViewPartitionPrefix when shard_count <= 1.
+Key ShardedViewPartitionPrefix(std::string_view view_key, int shard,
+                               int shard_count);
+
+/// Splits a (possibly sharded) composed key back into (view_key, base_key),
+/// stripping the shard header when shard_count > 1; nullopt if `key` is not
+/// a well-formed composite for that shard_count. Equivalent to
+/// SplitViewRowKey when shard_count <= 1.
+std::optional<std::pair<Key, Key>> SplitShardedViewRowKey(std::string_view key,
+                                                          int shard_count);
+
+/// The shard id encoded in a composed key of a view with this shard_count;
+/// nullopt when the header is missing or out of range. Always 0 when
+/// shard_count <= 1.
+std::optional<int> ShardOfComposedKey(std::string_view key, int shard_count);
 
 /// Splits a composed key back into (view_key, base_key); nullopt if `key` is
 /// not a well-formed composite.

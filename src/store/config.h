@@ -52,6 +52,12 @@ struct PerfModel {
   SimTime index_update_local = Micros(18);  ///< adjust one local index posting
   SimTime index_scan_local = Micros(600);   ///< probe the local index fragment
   SimTime view_scan_local = Micros(60);  ///< prefix-scan one view partition
+  /// Additional view-scan service per row in the scanned partition. The
+  /// default 0 keeps the flat `view_scan_local` model (the paper's workload
+  /// has one row per view key, so per-row cost is unobservable there). Set
+  /// it (bench/fig9_view_skew does) to model hot view keys whose partitions
+  /// grow large — the cost that sub-sharding (ViewDef::shard_count) divides.
+  SimTime view_scan_per_row = 0;
   SimTime coordinator_op = Micros(12);   ///< coordinator bookkeeping/merge
   /// Point read answered from the replica-local row cache: no memtable/run
   /// merge, just the cache probe and a copy. Used instead of `read_local`
@@ -187,6 +193,14 @@ struct ClusterConfig {
   /// a coordinator crash: every base key has exactly one primary owner, so
   /// every orphan is recovered within one scrub period of its owner being up.
   SimTime view_scrub_interval = 0;
+
+  /// Default ViewDef::shard_count applied by harnesses that build their
+  /// views from the cluster config (benches honour MV_BENCH_VIEW_SHARDS
+  /// through this). 1 = classic one-partition-per-view-key layout,
+  /// byte-identical to the pre-sharding encoding; > 1 spreads each view key
+  /// over that many ring partitions and serves ViewGets by scatter-gather
+  /// (see DESIGN.md §12).
+  int view_shard_count = 1;
 
   /// Enforce Definition 4 (session guarantee) for view reads issued within a
   /// session.

@@ -130,6 +130,14 @@ class FreshnessTracker {
   Timestamp FreshAsOf(const std::string& view, const Key& partition,
                       Timestamp now_ts) const;
 
+  /// Per-sub-shard FreshAsOf for sharded views (ISSUE 9): like FreshAsOf
+  /// but only intents whose base key hashes into `shard` (of `shard_count`)
+  /// count — an intent routed to another sub-shard cannot affect this one.
+  /// A scatter-gather read's freshness claim is the min of this over the
+  /// shards it actually merged. Identical to FreshAsOf when shard_count<=1.
+  Timestamp FreshAsOfShard(const std::string& view, const Key& partition,
+                           int shard, int shard_count, Timestamp now_ts) const;
+
   struct BlockerSummary {
     int live = 0;     ///< propagations still in flight
     int wounded = 0;  ///< families needing an audit

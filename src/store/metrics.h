@@ -66,6 +66,7 @@ struct Metrics {
   Counter& view_get_deferrals;     ///< session guarantee blocks
   Counter& view_get_spins;         ///< waits on initializing rows
   Counter& stale_rows_filtered;    ///< non-live rows skipped by reads
+  Counter& view_scatter_scans;     ///< sharded ViewGets fanned out (ISSUE 9)
 
   // Read-path performance layer (ISSUE 5): row cache, pruning, and the
   // clock-driven tombstone GC.

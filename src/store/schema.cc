@@ -1,8 +1,19 @@
 #include "store/schema.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "store/codec.h"
 
 namespace mvstore::store {
+
+namespace {
+
+bool IsReservedColumn(const ColumnName& col) {
+  return col.rfind("__", 0) == 0;
+}
+
+}  // namespace
 
 bool ViewDef::Affects(const ColumnName& column) const {
   return column == view_key_column || IsMaterialized(column);
@@ -11,6 +22,70 @@ bool ViewDef::Affects(const ColumnName& column) const {
 bool ViewDef::IsMaterialized(const ColumnName& column) const {
   return std::find(materialized_columns.begin(), materialized_columns.end(),
                    column) != materialized_columns.end();
+}
+
+ViewDefBuilder::ViewDefBuilder(std::string name) {
+  def_.name = std::move(name);
+}
+
+ViewDefBuilder& ViewDefBuilder::Base(std::string base_table) {
+  def_.base_table = std::move(base_table);
+  return *this;
+}
+
+ViewDefBuilder& ViewDefBuilder::Key(ColumnName view_key_column) {
+  def_.view_key_column = std::move(view_key_column);
+  return *this;
+}
+
+ViewDefBuilder& ViewDefBuilder::Materialize(ColumnName column) {
+  def_.materialized_columns.push_back(std::move(column));
+  return *this;
+}
+
+ViewDefBuilder& ViewDefBuilder::Materialize(std::vector<ColumnName> columns) {
+  for (ColumnName& col : columns) {
+    def_.materialized_columns.push_back(std::move(col));
+  }
+  return *this;
+}
+
+ViewDefBuilder& ViewDefBuilder::Select(ColumnName column, Value equals) {
+  def_.selection = SelectionDef{std::move(column), std::move(equals)};
+  return *this;
+}
+
+ViewDefBuilder& ViewDefBuilder::Shards(int shard_count) {
+  def_.shard_count = shard_count;
+  return *this;
+}
+
+StatusOr<ViewDef> ViewDefBuilder::Build() const {
+  if (def_.name.empty()) {
+    return Status::InvalidArgument("view name must not be empty");
+  }
+  if (def_.base_table.empty()) {
+    return Status::InvalidArgument("view must name a base table");
+  }
+  if (def_.view_key_column.empty()) {
+    return Status::InvalidArgument("view must name a view-key column");
+  }
+  if (IsReservedColumn(def_.view_key_column)) {
+    return Status::InvalidArgument("column names starting with __ are reserved");
+  }
+  for (const ColumnName& col : def_.materialized_columns) {
+    if (IsReservedColumn(col)) {
+      return Status::InvalidArgument(
+          "column names starting with __ are reserved");
+    }
+  }
+  if (def_.shard_count < 1) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (def_.shard_count > kMaxViewShards) {
+    return Status::InvalidArgument("shard_count exceeds kMaxViewShards");
+  }
+  return def_;
 }
 
 Status Schema::CreateTable(TableDef def) {
@@ -51,7 +126,17 @@ Status Schema::CreateView(ViewDef def) {
   if (base->is_view_backing) {
     return Status::InvalidArgument("views on views are not supported");
   }
-  if (views_.count(def.name) != 0 || tables_.count(def.name) != 0) {
+  if (auto it = views_.find(def.name); it != views_.end()) {
+    // Re-sharding an existing view would need a backing-table rewrite the
+    // store does not implement; name the refusal so callers can tell it
+    // apart from an accidental duplicate definition.
+    if (it->second.shard_count != def.shard_count) {
+      return Status::InvalidArgument(
+          "cannot change shard_count of existing view '" + def.name + "'");
+    }
+    return Status::AlreadyExists("name '" + def.name + "' already in use");
+  }
+  if (tables_.count(def.name) != 0) {
     return Status::AlreadyExists("name '" + def.name + "' already in use");
   }
   if (def.view_key_column.empty()) {
@@ -68,6 +153,12 @@ Status Schema::CreateView(ViewDef def) {
       return Status::InvalidArgument(
           "column names starting with __ are reserved");
     }
+  }
+  if (def.shard_count < 1) {
+    return Status::InvalidArgument("shard_count must be >= 1");
+  }
+  if (def.shard_count > kMaxViewShards) {
+    return Status::InvalidArgument("shard_count exceeds kMaxViewShards");
   }
   if (def.IsMaterialized(def.view_key_column)) {
     return Status::InvalidArgument(

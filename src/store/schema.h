@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/statusor.h"
 #include "common/types.h"
 
 namespace mvstore::store {
@@ -62,9 +63,47 @@ struct ViewDef {
   std::vector<ColumnName> materialized_columns;
   std::optional<SelectionDef> selection;
 
+  /// Sub-shards per view-key partition (ISSUE 9). 1 = the classic layout:
+  /// every row of a view key on one replica set, byte-identical keys. > 1
+  /// splits each view-key partition into `shard_count` ring partitions
+  /// (shard chosen by base-key hash, see store/codec.h) so hot view keys
+  /// spread their read load; ViewGets then scatter-gather over the shards.
+  int shard_count = 1;
+
   /// True if a Put touching `column` requires maintenance of this view.
   bool Affects(const ColumnName& column) const;
   bool IsMaterialized(const ColumnName& column) const;
+};
+
+/// Fluent construction for ViewDef — the supported way to define views
+/// (positional aggregate initialization breaks every time ViewDef grows a
+/// field). Build() validates what can be checked without the catalog;
+/// Schema::CreateView re-validates against existing tables.
+///
+///   auto def = ViewDefBuilder("by_country")
+///                  .Base("users").Key("country")
+///                  .Materialize("name").Materialize("email")
+///                  .Select("status", "active")
+///                  .Shards(8)
+///                  .Build();
+class ViewDefBuilder {
+ public:
+  explicit ViewDefBuilder(std::string name);
+
+  ViewDefBuilder& Base(std::string base_table);
+  ViewDefBuilder& Key(ColumnName view_key_column);
+  /// Appends one materialized column; call repeatedly.
+  ViewDefBuilder& Materialize(ColumnName column);
+  ViewDefBuilder& Materialize(std::vector<ColumnName> columns);
+  ViewDefBuilder& Select(ColumnName column, Value equals);
+  ViewDefBuilder& Shards(int shard_count);
+
+  /// Validates and returns the definition: non-empty name/base/key, no
+  /// "__"-prefixed (reserved) columns, 1 <= shard_count <= kMaxViewShards.
+  StatusOr<ViewDef> Build() const;
+
+ private:
+  ViewDef def_;
 };
 
 class Schema {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 #include <set>
 #include <utility>
 
@@ -539,6 +540,21 @@ void Server::CoordinateScan(
   spec.targets = ReplicasOf(table, partition_prefix);
   spec.quorum = read_quorum;
   spec.service = config_->perf.view_scan_local;
+  if (config_->perf.view_scan_per_row > 0) {
+    // Row-proportional scan demand, evaluated against the target's local
+    // partition size: the cost that view sub-sharding divides.
+    spec.service_at = [table, partition_prefix,
+                       base = config_->perf.view_scan_local,
+                       per_row =
+                           config_->perf.view_scan_per_row](Server& s) {
+      SimTime rows = 0;
+      s.EngineFor(table).ScanPrefix(
+          partition_prefix, [&rows](const Key&, const storage::Row&) {
+            ++rows;
+          });
+      return base + per_row * rows;
+    };
+  }
   spec.request = [table, partition_prefix](Server& s) {
     return s.LocalScanPrefix(table, partition_prefix);
   };
@@ -588,6 +604,90 @@ void Server::CoordinateScan(
     }
   };
   Op::Start(this, std::move(spec));
+}
+
+// ---------------------------------------------------------------------------
+// Scatter-gather over a sharded view partition (ISSUE 9): one CoordinateScan
+// per sub-shard (each its own QuorumOp with the scan path's retarget and
+// read-repair behaviour), gathered at this coordinator with a streaming
+// k-way merge of the per-shard sorted results.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Heap-based k-way merge of sorted per-shard scan results. Sub-shard key
+/// spaces are disjoint (distinct shard header bytes), so duplicates only
+/// arise from a caller passing overlapping prefixes — they LWW-merge.
+std::vector<storage::KeyedRow> MergeSortedShardScans(
+    std::vector<std::vector<storage::KeyedRow>> shards) {
+  struct Cursor {
+    std::size_t shard;
+    std::size_t pos;
+  };
+  auto after = [&shards](const Cursor& a, const Cursor& b) {
+    return shards[a.shard][a.pos].key > shards[b.shard][b.pos].key;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(after)> heap(
+      after);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    total += shards[i].size();
+    if (!shards[i].empty()) heap.push(Cursor{i, 0});
+  }
+  std::vector<storage::KeyedRow> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    storage::KeyedRow& kr = shards[c.shard][c.pos];
+    if (!out.empty() && out.back().key == kr.key) {
+      out.back().row.MergeFrom(kr.row);
+    } else {
+      out.push_back(std::move(kr));
+    }
+    if (++c.pos < shards[c.shard].size()) heap.push(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void Server::CoordinateViewScatterScan(
+    const std::string& table, std::vector<Key> shard_prefixes, int read_quorum,
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+  MVSTORE_CHECK(!shard_prefixes.empty()) << "scatter scan needs a prefix";
+  if (shard_prefixes.size() == 1) {
+    CoordinateScan(table, shard_prefixes[0], read_quorum, std::move(callback));
+    return;
+  }
+  metrics_->view_scatter_scans++;
+  struct Gather {
+    std::vector<std::vector<storage::KeyedRow>> results;
+    std::size_t pending = 0;
+    Status first_error = Status::OK();
+    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->results.resize(shard_prefixes.size());
+  gather->pending = shard_prefixes.size();
+  gather->callback = std::move(callback);
+  for (std::size_t i = 0; i < shard_prefixes.size(); ++i) {
+    CoordinateScan(table, shard_prefixes[i], read_quorum,
+                   [gather, i](StatusOr<std::vector<storage::KeyedRow>> scan) {
+                     if (scan.ok()) {
+                       gather->results[i] = *std::move(scan);
+                     } else if (gather->first_error.ok()) {
+                       gather->first_error = scan.status();
+                     }
+                     if (--gather->pending > 0) return;
+                     if (!gather->first_error.ok()) {
+                       gather->callback(std::move(gather->first_error));
+                       return;
+                     }
+                     gather->callback(
+                         MergeSortedShardScans(std::move(gather->results)));
+                   });
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -238,6 +238,18 @@ class Server {
       const std::string& table, const Key& partition_prefix, int read_quorum,
       std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
 
+  /// Scatter-gather scan over a sharded view partition (ISSUE 9): one
+  /// CoordinateScan QuorumOp per sub-shard prefix, answered with a streaming
+  /// k-way merge of the per-shard sorted results (duplicate keys LWW-merge;
+  /// by construction sub-shard key spaces are disjoint). A single prefix
+  /// degenerates to CoordinateScan verbatim, so unsharded views pay nothing.
+  /// Fails with the first sub-scan error: a partition's answer must cover
+  /// every shard or rows silently vanish from the merged image.
+  void CoordinateViewScatterScan(
+      const std::string& table, std::vector<Key> shard_prefixes,
+      int read_quorum,
+      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+
   /// Secondary-index probe as a coordinator primitive: broadcast to every
   /// ring member, probe local index fragments, merge, re-filter. The inner
   /// machinery of HandleClientIndexGet, exposed so the bounded-read router

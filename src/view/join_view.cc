@@ -26,34 +26,26 @@ Status DeclareJoinView(store::Schema& schema, const JoinViewDef& def) {
   return schema.CreateView(right);
 }
 
+store::QuerySpec JoinQuerySpec(const JoinViewDef& def, const Value& join_key) {
+  return store::QuerySpec::Join(def.LeftViewName(), def.RightViewName(),
+                                join_key, def.left_columns,
+                                def.right_columns);
+}
+
 namespace {
 
-struct JoinState {
-  std::optional<StatusOr<std::vector<store::ViewRecord>>> left;
-  std::optional<StatusOr<std::vector<store::ViewRecord>>> right;
-  std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback;
-
-  void MaybeFinish() {
-    if (!left.has_value() || !right.has_value()) return;
-    if (!left->ok()) {
-      callback(left->status());
-      return;
-    }
-    if (!right->ok()) {
-      callback(right->status());
-      return;
-    }
-    std::vector<JoinedRecord> joined;
-    joined.reserve(left->value().size() * right->value().size());
-    for (const store::ViewRecord& l : left->value()) {
-      for (const store::ViewRecord& r : right->value()) {
-        joined.push_back(
-            JoinedRecord{l.base_key, l.cells, r.base_key, r.cells});
-      }
-    }
-    callback(std::move(joined));
+/// Maps the Query route's JoinedPair payload to this header's JoinedRecord.
+std::vector<JoinedRecord> ToJoinedRecords(std::vector<store::JoinedPair> in) {
+  std::vector<JoinedRecord> out;
+  out.reserve(in.size());
+  for (store::JoinedPair& pair : in) {
+    out.push_back(JoinedRecord{std::move(pair.left.base_key),
+                               std::move(pair.left.cells),
+                               std::move(pair.right.base_key),
+                               std::move(pair.right.cells)});
   }
-};
+  return out;
+}
 
 }  // namespace
 
@@ -61,40 +53,28 @@ void JoinGet(
     store::Client& client, const JoinViewDef& def, const Value& join_key,
     const store::ReadOptions& options,
     std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback) {
-  auto state = std::make_shared<JoinState>();
-  state->callback = std::move(callback);
-  store::ReadOptions left_options = options;
-  left_options.columns = def.left_columns;
-  client.ViewGet(def.LeftViewName(), join_key, left_options,
-                 [state](store::ReadResult result) {
-                   if (result.ok()) {
-                     state->left = std::move(result.records);
-                   } else {
-                     state->left = std::move(result.status);
-                   }
-                   state->MaybeFinish();
-                 });
-  store::ReadOptions right_options = options;
-  right_options.columns = def.right_columns;
-  client.ViewGet(def.RightViewName(), join_key, right_options,
-                 [state](store::ReadResult result) {
-                   if (result.ok()) {
-                     state->right = std::move(result.records);
-                   } else {
-                     state->right = std::move(result.status);
-                   }
-                   state->MaybeFinish();
-                 });
+  client.Query(JoinQuerySpec(def, join_key), options,
+               [callback = std::move(callback)](store::ReadResult result) {
+                 if (!result.ok()) {
+                   callback(std::move(result.status));
+                   return;
+                 }
+                 callback(ToJoinedRecords(std::move(result.joined)));
+               });
 }
 
 StatusOr<std::vector<JoinedRecord>> JoinGetSync(
     sim::Simulation& sim, store::Client& client, const JoinViewDef& def,
     const Value& join_key, const store::ReadOptions& options) {
   std::optional<StatusOr<std::vector<JoinedRecord>>> slot;
-  JoinGet(client, def, join_key, options,
-          [&slot](StatusOr<std::vector<JoinedRecord>> result) {
-            slot = std::move(result);
-          });
+  client.Query(JoinQuerySpec(def, join_key), options,
+               [&slot](store::ReadResult result) {
+                 if (!result.ok()) {
+                   slot = std::move(result.status);
+                 } else {
+                   slot = ToJoinedRecords(std::move(result.joined));
+                 }
+               });
   while (!slot.has_value() && sim.Step()) {
   }
   MVSTORE_CHECK(slot.has_value()) << "simulation ran dry during JoinGet";

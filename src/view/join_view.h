@@ -55,19 +55,27 @@ struct JoinedRecord {
 /// constructing the Cluster, like any other DDL.
 Status DeclareJoinView(store::Schema& schema, const JoinViewDef& def);
 
-/// Inner-join lookup by join-key value: issues both view Gets (through
-/// `client`, honoring its session) and pairs the results. The callback
-/// receives the cross product of live left and right records under the key.
-/// `options.columns` is ignored — each side reads its own materialized
-/// columns; quorum/timeout/trace apply to both underlying ViewGets.
-void JoinGet(store::Client& client, const JoinViewDef& def,
-             const Value& join_key, const store::ReadOptions& options,
-             std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback);
+/// The Query route for this join view: Client::Query(JoinQuerySpec(def,
+/// key), ...) delivers the joined pairs in ReadResult::joined.
+/// `options.columns` is ignored for joins — each side reads its own
+/// materialized columns.
+store::QuerySpec JoinQuerySpec(const JoinViewDef& def, const Value& join_key);
+
+/// Inner-join lookup by join-key value — deprecated forwarder onto
+/// Client::Query(JoinQuerySpec(...)); kept for the JoinedRecord shape.
+[[deprecated("use Client::Query(JoinQuerySpec(def, key), ...)")]] void JoinGet(
+    store::Client& client, const JoinViewDef& def, const Value& join_key,
+    const store::ReadOptions& options,
+    std::function<void(StatusOr<std::vector<JoinedRecord>>)> callback);
+
+using JoinedRecords = std::vector<JoinedRecord>;
 
 /// Synchronous wrapper (drives the simulation; tests and examples).
-StatusOr<std::vector<JoinedRecord>> JoinGetSync(
-    sim::Simulation& sim, store::Client& client, const JoinViewDef& def,
-    const Value& join_key, const store::ReadOptions& options = {});
+[[deprecated("use Client::QuerySync(JoinQuerySpec(def, key), ...)")]]  //
+StatusOr<JoinedRecords>
+JoinGetSync(sim::Simulation& sim, store::Client& client,
+            const JoinViewDef& def, const Value& join_key,
+            const store::ReadOptions& options = {});
 
 }  // namespace mvstore::view
 

@@ -1043,8 +1043,22 @@ void MaintenanceEngine::ServeFromView(
               outcome.records = *std::move(records);
               const Timestamp now_ts = store::kClientTimestampEpoch +
                                        cluster_->simulation().Now();
-              outcome.freshness = cluster_->freshness().FreshAsOf(
-                  view_def->name, view_key, now_ts);
+              if (view_def->shard_count > 1) {
+                // A scatter-gather read is only as fresh as its weakest
+                // sub-shard: claim the min of the per-shard freshness
+                // (ISSUE 9's freshness-over-shards rule).
+                Timestamp fresh = now_ts;
+                for (int shard = 0; shard < view_def->shard_count; ++shard) {
+                  fresh = std::min(
+                      fresh, cluster_->freshness().FreshAsOfShard(
+                                 view_def->name, view_key, shard,
+                                 view_def->shard_count, now_ts));
+                }
+                outcome.freshness = fresh;
+              } else {
+                outcome.freshness = cluster_->freshness().FreshAsOf(
+                    view_def->name, view_key, now_ts);
+              }
               outcome.served_by = store::ServedBy::kView;
               cluster_->metrics().view_staleness.Record(
                   std::max<Timestamp>(0, now_ts - outcome.freshness));
@@ -1137,8 +1151,14 @@ void MaintenanceEngine::GossipFreshness(
   const Timestamp high_water =
       cluster_->freshness().AppliedHighWater(view_name, partition);
   const ServerId from = ExecutorOf(*task);
+  // Gossip to the replicas of the sub-shard this task actually wrote — the
+  // servers a scatter-gather read of that shard will scan.
+  const int shard_count = task->view->shard_count;
   for (ServerId replica : cluster_->server(0).ReplicasOf(
-           view_name, store::ViewPartitionPrefix(partition))) {
+           view_name,
+           store::ShardedViewPartitionPrefix(
+               partition, store::ShardOfBaseKey(task->base_key, shard_count),
+               shard_count))) {
     cluster_->metrics().freshness_gossip_updates++;
     store::Server* target = &cluster_->server(replica);
     cluster_->network().Send(
@@ -1154,8 +1174,17 @@ void MaintenanceEngine::DoViewGet(
     int attempt,
     std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback) {
   const store::ViewDef* view_def = &view;
-  coordinator->CoordinateScan(
-      view.name, store::ViewPartitionPrefix(view_key), read_quorum,
+  // Sharded views scatter one scan per sub-shard and merge at the
+  // coordinator; a single-shard view degenerates to the classic one-prefix
+  // scan inside CoordinateViewScatterScan.
+  std::vector<Key> prefixes;
+  prefixes.reserve(static_cast<std::size_t>(std::max(1, view.shard_count)));
+  for (int shard = 0; shard < std::max(1, view.shard_count); ++shard) {
+    prefixes.push_back(
+        store::ShardedViewPartitionPrefix(view_key, shard, view.shard_count));
+  }
+  coordinator->CoordinateViewScatterScan(
+      view.name, std::move(prefixes), read_quorum,
       [this, coordinator, view_def, view_key, columns, read_quorum, attempt,
        callback = std::move(callback)](
           StatusOr<std::vector<storage::KeyedRow>> scan) mutable {
@@ -1166,7 +1195,8 @@ void MaintenanceEngine::DoViewGet(
         std::map<Key, const storage::Row*> live_rows;  // by base key
         std::map<Key, bool> initializing;              // by base key
         for (const storage::KeyedRow& kr : *scan) {
-          auto split = store::SplitViewRowKey(kr.key);
+          auto split =
+              store::SplitShardedViewRowKey(kr.key, view_def->shard_count);
           if (!split || split->first != view_key) continue;
           const Key& base_key = split->second;
           RowStatus status = ClassifyViewRow(kr.row, view_key);

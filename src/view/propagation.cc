@@ -59,7 +59,14 @@ Propagation::Propagation(store::Server* executor,
 
 const Key& Propagation::ComposedRowKey(const Key& view_key) {
   composed_scratch_.clear();
-  store::ComposeViewRowKeyTo(view_key, task_->base_key, composed_scratch_);
+  // Shard by BASE key, not view key: every row of one base key's family
+  // (live row, stale chain, sentinel anchor) must stay within one sub-shard
+  // or GetLiveKey's chain walk would cross partitions (DESIGN.md §12).
+  const store::ViewDef& view = *task_->view;
+  store::ShardedViewRowKeyTo(
+      view_key, task_->base_key,
+      store::ShardOfBaseKey(task_->base_key, view.shard_count),
+      view.shard_count, composed_scratch_);
   return composed_scratch_;
 }
 

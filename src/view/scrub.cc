@@ -70,7 +70,7 @@ std::vector<ExpectedRecord> ReadConvergedView(store::Cluster& cluster,
                                               const store::ViewDef& view) {
   std::vector<ExpectedRecord> exposed;
   for (const auto& [key, row] : MergedTable(cluster, view.name)) {
-    auto split = store::SplitViewRowKey(key);
+    auto split = store::SplitShardedViewRowKey(key, view.shard_count);
     if (!split) continue;
     RowStatus status = ClassifyViewRow(row, split->first);
     if (!status.exists || !status.live || !status.initialized ||
@@ -116,7 +116,7 @@ ScrubReport CheckView(store::Cluster& cluster, const store::ViewDef& view) {
   // Index the versioned view by (base key -> view key -> status).
   std::map<Key, std::map<Key, RowStatus>> by_base;
   for (const auto& [key, row] : rows) {
-    auto split = store::SplitViewRowKey(key);
+    auto split = store::SplitShardedViewRowKey(key, view.shard_count);
     if (!split) continue;
     RowStatus status = ClassifyViewRow(row, split->first);
     if (!status.exists) continue;
@@ -213,7 +213,10 @@ std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view) {
   };
 
   for (const ExpectedRecord& record : expected) {
-    const Key key = store::ComposeViewRowKey(record.view_key, record.base_key);
+    const int shard =
+        store::ShardOfBaseKey(record.base_key, view.shard_count);
+    const Key key = store::ShardedViewRowKey(record.view_key, record.base_key,
+                                             shard, view.shard_count);
     keep.insert(key);
     Row cells;
     cells.Apply(store::kViewBaseKeyColumn,
@@ -230,8 +233,8 @@ std::size_t RepairView(store::Cluster& cluster, const store::ViewDef& view) {
     // engine's creation logic relies on).
     const Key anchor_key =
         store::DeletedSentinelViewKey(record.base_key);
-    const Key anchor_row =
-        store::ComposeViewRowKey(anchor_key, record.base_key);
+    const Key anchor_row = store::ShardedViewRowKey(
+        anchor_key, record.base_key, shard, view.shard_count);
     keep.insert(anchor_row);
     Row anchor;
     anchor.Apply(store::kViewBaseKeyColumn,
@@ -277,7 +280,7 @@ FamilyIndex LoadFamilies(store::Cluster& cluster, const store::ViewDef& view) {
   index.base = MergedTable(cluster, view.base_table);
   index.view_rows = MergedTable(cluster, view.name);
   for (const auto& [key, row] : index.view_rows) {
-    auto split = store::SplitViewRowKey(key);
+    auto split = store::SplitShardedViewRowKey(key, view.shard_count);
     if (!split) continue;
     RowStatus status = ClassifyViewRow(row, split->first);
     if (!status.exists) continue;
@@ -375,7 +378,9 @@ bool AuditAndRepairFamily(store::Cluster& cluster, const store::ViewDef& view,
 
   std::set<Key> keep;
   if (expected) {
-    const Key key = store::ComposeViewRowKey(expected->view_key, base_key);
+    const int shard = store::ShardOfBaseKey(base_key, view.shard_count);
+    const Key key = store::ShardedViewRowKey(expected->view_key, base_key,
+                                             shard, view.shard_count);
     keep.insert(key);
     Row cells;
     cells.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
@@ -386,8 +391,9 @@ bool AuditAndRepairFamily(store::Cluster& cluster, const store::ViewDef& view,
     cells.MergeFrom(expected->cells);
     apply_alive(key, cells);
 
-    const Key anchor_row = store::ComposeViewRowKey(
-        store::DeletedSentinelViewKey(base_key), base_key);
+    const Key anchor_row = store::ShardedViewRowKey(
+        store::DeletedSentinelViewKey(base_key), base_key, shard,
+        view.shard_count);
     keep.insert(anchor_row);
     Row anchor;
     anchor.Apply(store::kViewBaseKeyColumn, Cell::Live(base_key, repair_ts));
@@ -457,7 +463,7 @@ std::size_t TrimStaleViewRows(store::Cluster& cluster,
   // — and remember each family's live key so anchors can be re-pointed.
   std::map<Key, Key> live_key_of;  // base key -> live view key
   for (const auto& [key, row] : rows) {
-    auto split = store::SplitViewRowKey(key);
+    auto split = store::SplitShardedViewRowKey(key, view.shard_count);
     if (!split) continue;
     RowStatus status = ClassifyViewRow(row, split->first);
     if (status.exists && status.live) live_key_of[split->second] = split->first;
@@ -466,7 +472,7 @@ std::size_t TrimStaleViewRows(store::Cluster& cluster,
   std::size_t trimmed = 0;
   std::set<Key> trimmed_families;
   for (const auto& [key, row] : rows) {
-    auto split = store::SplitViewRowKey(key);
+    auto split = store::SplitShardedViewRowKey(key, view.shard_count);
     if (!split) continue;
     // The sentinel anchor is the row family's permanent chain root: never
     // trimmed (it is re-pointed below instead).
@@ -505,7 +511,9 @@ std::size_t TrimStaleViewRows(store::Cluster& cluster,
     Row repoint;
     repoint.Apply(store::kViewNextColumn,
                   Cell::Live(live_key_of[base_key], older_than));
-    const Key anchor_row = store::ComposeViewRowKey(anchor_key, base_key);
+    const Key anchor_row = store::ShardedViewRowKey(
+        anchor_key, base_key,
+        store::ShardOfBaseKey(base_key, view.shard_count), view.shard_count);
     for (ServerId replica :
          cluster.server(0).ReplicasOf(view.name, anchor_row)) {
       cluster.server(replica).EngineFor(view.name).ApplyRow(anchor_row,

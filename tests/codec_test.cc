@@ -208,6 +208,124 @@ TEST(CodecTest, InternedRefIdentityMatchesPairIdentityFuzz) {
   EXPECT_EQ(interner.size(), model.size());
 }
 
+// ---------------------------------------------------------------------------
+// Sub-shard headers (ISSUE 9).
+// ---------------------------------------------------------------------------
+
+TEST(CodecShardTest, ShardCountOneIsByteIdenticalToClassicLayout) {
+  // The regression the whole PR hangs on: shard_count == 1 must not move a
+  // single byte, so pre-sharding clusters keep their data layout.
+  const std::pair<Key, Key> cases[] = {
+      {"rliu", "ticket-1"},
+      {"", ""},
+      {std::string("a\x01b\x02"), std::string("\x02\x01")},
+  };
+  for (const auto& [vk, bk] : cases) {
+    EXPECT_EQ(ShardedViewRowKey(vk, bk, 0, 1), ComposeViewRowKey(vk, bk));
+    std::string appended;
+    ShardedViewRowKeyTo(vk, bk, 0, 1, appended);
+    EXPECT_EQ(appended, ComposeViewRowKey(vk, bk));
+    EXPECT_EQ(ShardedViewPartitionPrefix(vk, 0, 1), ViewPartitionPrefix(vk));
+  }
+  Key classic = ComposeViewRowKey("v", "b");
+  auto split = SplitShardedViewRowKey(classic, 1);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_EQ(split->first, "v");
+  EXPECT_EQ(split->second, "b");
+  EXPECT_EQ(ShardOfComposedKey(classic, 1).value_or(-1), 0);
+}
+
+TEST(CodecShardTest, ShardedRoundTrip) {
+  Rng rng(20130913);
+  auto random_component = [&rng]() {
+    std::string s;
+    const int len = static_cast<int>(rng.UniformInt(0, 6));
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(rng.UniformInt(0, 5)));  // nasty bytes
+    }
+    return s;
+  };
+  for (int shard_count : {2, 8, kMaxViewShards}) {
+    for (int i = 0; i < 500; ++i) {
+      const Key vk = random_component();
+      const Key bk = random_component();
+      const int shard = ShardOfBaseKey(bk, shard_count);
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, shard_count);
+      const Key composed = ShardedViewRowKey(vk, bk, shard, shard_count);
+      auto split = SplitShardedViewRowKey(composed, shard_count);
+      ASSERT_TRUE(split.has_value());
+      EXPECT_EQ(split->first, vk);
+      EXPECT_EQ(split->second, bk);
+      EXPECT_EQ(ShardOfComposedKey(composed, shard_count).value_or(-1), shard);
+    }
+  }
+}
+
+TEST(CodecShardTest, ShardRoutingIsDeterministic) {
+  EXPECT_EQ(ShardOfBaseKey("ticket-42", 8), ShardOfBaseKey("ticket-42", 8));
+  EXPECT_EQ(ShardOfBaseKey("anything", 1), 0);
+  EXPECT_EQ(ShardOfBaseKey("anything", 0), 0);
+}
+
+TEST(CodecShardTest, ShardHeaderExtendsThePartitionPrefix) {
+  // Placement for free: the shard header precedes the first separator, so
+  // PartitionPrefixOf — which the ring, anti-entropy, and membership
+  // streaming all key on — automatically distinguishes sub-shards.
+  const int shard_count = 8;
+  const Key bk = "ticket-7";
+  const int shard = ShardOfBaseKey(bk, shard_count);
+  const Key composed = ShardedViewRowKey("rliu", bk, shard, shard_count);
+  EXPECT_EQ(PartitionPrefixOf(composed),
+            ShardedViewPartitionPrefix("rliu", shard, shard_count));
+  // Distinct sub-shards of one view key are distinct ring partitions.
+  EXPECT_NE(ShardedViewPartitionPrefix("rliu", 0, shard_count),
+            ShardedViewPartitionPrefix("rliu", 1, shard_count));
+}
+
+TEST(CodecShardTest, RowsOfOneShardGroupUnderItsPrefix) {
+  const int shard_count = 4;
+  for (int shard = 0; shard < shard_count; ++shard) {
+    const Key prefix = ShardedViewPartitionPrefix("hot", shard, shard_count);
+    const Key row = ShardedViewRowKey("hot", "b" + std::to_string(shard),
+                                      shard, shard_count);
+    EXPECT_EQ(row.compare(0, prefix.size(), prefix), 0);
+    // And not under any other shard's prefix.
+    const Key other =
+        ShardedViewPartitionPrefix("hot", (shard + 1) % shard_count,
+                                   shard_count);
+    EXPECT_NE(row.compare(0, other.size(), other), 0);
+  }
+}
+
+TEST(CodecShardTest, MalformedShardHeadersRejected) {
+  const int shard_count = 8;
+  // A classic (headerless) key is not a valid sharded key.
+  const Key classic = ComposeViewRowKey("v", "b");
+  EXPECT_FALSE(SplitShardedViewRowKey(classic, shard_count).has_value());
+  EXPECT_FALSE(ShardOfComposedKey(classic, shard_count).has_value());
+  // A shard byte outside [0, shard_count) is rejected.
+  Key bad = ShardedViewRowKey("v", "b", 7, shard_count);
+  bad[1] = static_cast<char>(kShardByteBase + shard_count);
+  EXPECT_FALSE(SplitShardedViewRowKey(bad, shard_count).has_value());
+  EXPECT_FALSE(ShardOfComposedKey(bad, shard_count).has_value());
+  // Truncated: header with nothing behind it.
+  const Key truncated(1, kShardHeaderPrefix);
+  EXPECT_FALSE(SplitShardedViewRowKey(truncated, shard_count).has_value());
+}
+
+TEST(CodecShardTest, SentinelFamiliesStayInTheirBaseKeyShard) {
+  // The anchor row of base key B lives under the sentinel view key but is
+  // sharded by B — the whole family (live row, stale chain, anchor) must
+  // land in ONE sub-shard so chain walks never cross partitions.
+  const int shard_count = 8;
+  const Key bk = "ticket-3";
+  const int shard = ShardOfBaseKey(bk, shard_count);
+  const Key anchor =
+      ShardedViewRowKey(DeletedSentinelViewKey(bk), bk, shard, shard_count);
+  EXPECT_EQ(ShardOfComposedKey(anchor, shard_count).value_or(-1), shard);
+}
+
 TEST(CodecTest, SentinelViewKeys) {
   Key sentinel = DeletedSentinelViewKey("base-7");
   EXPECT_TRUE(IsSentinelViewKey(sentinel));

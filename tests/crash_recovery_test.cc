@@ -293,8 +293,8 @@ TEST(CrashRecoveryTest, ChaosNemesisViewsConvergeAfterHeal) {
                         {.quorum = 1},
                         [next](store::WriteResult w) { next(w.ok()); });
       } else {
-        clients[c]->ViewGet(
-            "assigned_to_view", "a" + std::to_string(rng.UniformInt(0, 5)),
+        clients[c]->Query(
+            store::QuerySpec::View("assigned_to_view", "a" + std::to_string(rng.UniformInt(0, 5))),
             {.columns = {"status"}},
             [next](store::ReadResult r) { next(r.ok()); });
       }

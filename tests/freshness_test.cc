@@ -22,6 +22,7 @@ namespace mvstore {
 namespace {
 
 using store::ReadConsistency;
+using store::QuerySpec;
 using store::ServedBy;
 using test::TestCluster;
 
@@ -124,8 +125,8 @@ TEST(BoundedStalenessTest, ProvenBoundServesFromView) {
   t.Quiesce();
   auto client = t.cluster.NewClient(0);
 
-  auto result = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto result = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kBoundedStaleness,
        .max_staleness = Millis(500)});
   ASSERT_TRUE(result.ok()) << result.status;
@@ -158,8 +159,8 @@ TEST(BoundedStalenessTest, ParksUntilPropagationApplies) {
                             store::WriteOptions{})
                   .ok());
   // Tight bound: the pending intent (registered at the Put) blocks it.
-  auto result = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto result = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kBoundedStaleness,
        .max_staleness = Micros(100)});
   ASSERT_TRUE(result.ok()) << result.status;
@@ -193,8 +194,8 @@ TEST(BoundedStalenessTest, RouterFallsBackToSiWhenBoundUnsatisfiable) {
                   ->PutSync("ticket", "1", {{"status", std::string("s2")}},
                             store::WriteOptions{})
                   .ok());
-  auto result = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto result = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kBoundedStaleness,
        .max_staleness = Micros(100)});
   ASSERT_TRUE(result.ok()) << result.status;
@@ -222,8 +223,8 @@ TEST(BoundedStalenessTest, FallsBackToBaseScanWithoutIndex) {
                   ->PutSync("ticket", "1", {{"status", std::string("s2")}},
                             store::WriteOptions{})
                   .ok());
-  auto result = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto result = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kBoundedStaleness,
        .max_staleness = Micros(100)});
   ASSERT_TRUE(result.ok()) << result.status;
@@ -249,8 +250,8 @@ TEST(BoundedStalenessTest, WoundedIntentTriggersTargetedRepair) {
   t.cluster.freshness().MarkWounded(intent);
 
   auto client = t.cluster.NewClient(0);
-  auto result = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto result = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kBoundedStaleness,
        .max_staleness = Micros(100)});
   ASSERT_TRUE(result.ok()) << result.status;
@@ -275,14 +276,15 @@ TEST(ReadResultTest, PayloadKindMatchesOperation) {
   EXPECT_EQ(get.payload_kind(), store::ReadPayload::kRow);
   EXPECT_EQ(get.served_by, ServedBy::kBaseScan);
 
-  auto view = client->ViewGetSync("assigned_to_view", "rliu",
-                                  store::ReadOptions{});
+  auto view = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), store::ReadOptions{});
   ASSERT_TRUE(view.ok());
   EXPECT_EQ(view.payload_kind(), store::ReadPayload::kRecords);
 
   auto index =
-      client->IndexGetSync("ticket", "assigned_to", "rliu",
-                           store::ReadOptions{});
+      client->QuerySync(
+          QuerySpec::Index("ticket", "assigned_to", "rliu"),
+          store::ReadOptions{});
   ASSERT_TRUE(index.ok());
   EXPECT_EQ(index.payload_kind(), store::ReadPayload::kRows);
   EXPECT_EQ(index.served_by, ServedBy::kSiPath);
@@ -367,11 +369,10 @@ TEST(BoundedStalenessPropertyTest, NeverServesOlderThanBoundUnderNemesis) {
         assignees[static_cast<std::size_t>(rng.UniformInt(0, 2))];
     const SimTime issue_now = t.cluster.Now();
     bool read_done = false;
-    reader->ViewGet(
-        "assigned_to_view", assignee,
+    reader->Query(
+        QuerySpec::View("assigned_to_view", assignee),
         {.consistency = ReadConsistency::kBoundedStaleness,
-         .max_staleness = kBound},
-        [&](store::ReadResult r) {
+         .max_staleness = kBound}, [&](store::ReadResult r) {
           read_done = true;
           if (!r.ok()) return;  // failing is allowed; serving stale is not
           ++checked_reads;

@@ -53,7 +53,9 @@ TEST(IndexEndToEndTest, LookupBySecondaryKey) {
         100 + i);
   }
   auto client = tc.cluster.NewClient();
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "alice", store::ReadOptions{});
+  auto rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "alice"),
+      store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   EXPECT_EQ(rows.rows.size(), 10u);
   for (const auto& kr : rows.rows) {
@@ -70,7 +72,9 @@ TEST(IndexEndToEndTest, IndexMaintainedSynchronouslyOnWrites) {
                              {"status", std::string("new")}}, {.quorum = 3})
 .ok());
   // No quiescing: native index maintenance is synchronous with the write.
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "carol", store::ReadOptions{});
+  auto rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "carol"),
+      store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   ASSERT_EQ(rows.rows.size(), 1u);
   EXPECT_EQ(rows.rows[0].key, "9");
@@ -79,10 +83,14 @@ TEST(IndexEndToEndTest, IndexMaintainedSynchronouslyOnWrites) {
   ASSERT_TRUE(client
                   ->PutSync("ticket", "9", {{"assigned_to", std::string("dave")}}, {.quorum = 3})
 .ok());
-  auto old_rows = client->IndexGetSync("ticket", "assigned_to", "carol", store::ReadOptions{});
+  auto old_rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "carol"),
+      store::ReadOptions{});
   ASSERT_TRUE(old_rows.ok());
   EXPECT_TRUE(old_rows.rows.empty());
-  auto new_rows = client->IndexGetSync("ticket", "assigned_to", "dave", store::ReadOptions{});
+  auto new_rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "dave"),
+      store::ReadOptions{});
   ASSERT_TRUE(new_rows.ok());
   EXPECT_EQ(new_rows.rows.size(), 1u);
 }
@@ -96,7 +104,9 @@ TEST(IndexEndToEndTest, DeletedColumnLeavesIndex) {
   ASSERT_TRUE(client->DeleteSync("ticket", "9", {"assigned_to"}, {.quorum = 3})
 .ok());
   tc.Quiesce();
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "eve", store::ReadOptions{});
+  auto rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "eve"),
+      store::ReadOptions{});
   ASSERT_TRUE(rows.ok());
   EXPECT_TRUE(rows.rows.empty());
 }
@@ -120,18 +130,24 @@ TEST(IndexEndToEndTest, StaleFragmentHitsConvergeViaAntiEntropy) {
 
   auto client = tc.cluster.NewClient();
   // The new value is immediately findable through the updated fragment.
-  auto current = client->IndexGetSync("ticket", "assigned_to", "grace", store::ReadOptions{});
+  auto current = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "grace"),
+      store::ReadOptions{});
   ASSERT_TRUE(current.ok());
   EXPECT_EQ(current.rows.size(), 1u);
   // The old value still surfaces through the lagging fragments (the merged
   // row the coordinator sees from them predates the update).
-  auto stale = client->IndexGetSync("ticket", "assigned_to", "frank", store::ReadOptions{});
+  auto stale = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "frank"),
+      store::ReadOptions{});
   ASSERT_TRUE(stale.ok());
   EXPECT_EQ(stale.rows.size(), 1u);
 
   // After anti-entropy converges the replicas, the stale posting is gone.
   tc.cluster.RunFor(Seconds(3));
-  auto after = client->IndexGetSync("ticket", "assigned_to", "frank", store::ReadOptions{});
+  auto after = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "frank"),
+      store::ReadOptions{});
   ASSERT_TRUE(after.ok());
   EXPECT_TRUE(after.rows.empty());
 }
@@ -139,7 +155,9 @@ TEST(IndexEndToEndTest, StaleFragmentHitsConvergeViaAntiEntropy) {
 TEST(IndexEndToEndTest, MissingIndexErrors) {
   test::TestCluster tc;
   auto client = tc.cluster.NewClient();
-  auto rows = client->IndexGetSync("ticket", "status", "open", store::ReadOptions{});
+  auto rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "status", "open"),
+      store::ReadOptions{});
   EXPECT_TRUE(rows.status.IsNotFound());
 }
 
@@ -150,7 +168,9 @@ TEST(IndexEndToEndTest, BroadcastTouchesEveryServer) {
   auto client = tc.cluster.NewClient();
   const std::uint64_t probes_before =
       tc.cluster.metrics().index_fragment_probes;
-  ASSERT_TRUE(client->IndexGetSync("ticket", "assigned_to", "x", store::ReadOptions{}).ok());
+  ASSERT_TRUE(client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "x"),
+      store::ReadOptions{}).ok());
   EXPECT_EQ(tc.cluster.metrics().index_fragment_probes - probes_before,
             static_cast<std::uint64_t>(tc.cluster.num_servers()));
 }
@@ -161,7 +181,9 @@ TEST(IndexEndToEndTest, UnavailableWhenAFragmentIsDown) {
   test::TestCluster tc(config);
   tc.cluster.network().SetEndpointDown(3, true);
   auto client = tc.cluster.NewClient(0);
-  auto rows = client->IndexGetSync("ticket", "assigned_to", "x", store::ReadOptions{});
+  auto rows = client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "x"),
+      store::ReadOptions{});
   EXPECT_TRUE(rows.status.IsUnavailable());
 }
 

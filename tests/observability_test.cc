@@ -20,6 +20,7 @@ namespace mvstore {
 namespace {
 
 using store::ReadOptions;
+using store::QuerySpec;
 using store::WriteOptions;
 using test::TestCluster;
 
@@ -66,7 +67,8 @@ TEST(TraceReconstruction, PutThenViewGetFormsOneConnectedTrace) {
   get_options.columns = {"status"};
   get_options.trace = root;
   store::ReadResult got =
-      client->ViewGetSync("assigned_to_view", "alice", get_options);
+      client->QuerySync(
+          QuerySpec::View("assigned_to_view", "alice"), get_options);
   ASSERT_TRUE(got.ok()) << got.status;
   ASSERT_EQ(got.records.size(), 1u);
   EXPECT_EQ(got.trace, root.trace);
@@ -300,8 +302,9 @@ RunArtifacts RunSeededWorkload() {
   }
   tc.Quiesce();
   for (int i = 0; i < 3; ++i) {
-    store::ReadResult got = client->ViewGetSync(
-        "assigned_to_view", "user" + std::to_string(i), ReadOptions{});
+    store::ReadResult got = client->QuerySync(
+        QuerySpec::View("assigned_to_view", "user" + std::to_string(i)),
+        ReadOptions{});
     MVSTORE_CHECK(got.ok());
   }
   return RunArtifacts{tc.cluster.metrics().ToJson(),

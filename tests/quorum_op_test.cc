@@ -26,6 +26,7 @@ namespace {
 
 using storage::Cell;
 using store::QuorumOp;
+using store::QuerySpec;
 using store::ReadOptions;
 using store::WriteOptions;
 
@@ -246,8 +247,9 @@ TEST(QuorumOpTest, EachOperationKindReportsItsOwnQuorumFailure) {
   EXPECT_EQ(combined.status.message(), "get-then-put quorum not reached");
 
   // An index scan needs every fragment; one severed link is enough.
-  auto scan = client->IndexGetSync("ticket", "assigned_to",
-                                   std::string("alice"), ReadOptions{});
+  auto scan = client->QuerySync(
+      QuerySpec::Index("ticket", "assigned_to", std::string("alice")),
+      ReadOptions{});
   EXPECT_EQ(scan.status.message(), "index fragments unreachable");
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "store/codec.h"
 #include "store/schema.h"
 
 namespace mvstore::store {
@@ -127,6 +130,102 @@ TEST(SchemaTest, IndexOnViewRejected) {
   EXPECT_EQ(
       schema.CreateIndex({.table = "by_owner", .column = "state"}).code(),
       StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// ViewDefBuilder and sub-shard counts (ISSUE 9).
+// ---------------------------------------------------------------------------
+
+TEST(ViewDefBuilderTest, BuildsACompleteDefinition) {
+  auto def = ViewDefBuilder("by_owner")
+                 .Base("items")
+                 .Key("owner")
+                 .Materialize("state")
+                 .Materialize("price")
+                 .Select("state", "open")
+                 .Shards(8)
+                 .Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->name, "by_owner");
+  EXPECT_EQ(def->base_table, "items");
+  EXPECT_EQ(def->view_key_column, "owner");
+  EXPECT_EQ(def->materialized_columns,
+            (std::vector<ColumnName>{"state", "price"}));
+  ASSERT_TRUE(def->selection.has_value());
+  EXPECT_EQ(def->selection->column, "state");
+  EXPECT_EQ(def->shard_count, 8);
+}
+
+TEST(ViewDefBuilderTest, DefaultsToOneShard) {
+  auto def =
+      ViewDefBuilder("by_owner").Base("items").Key("owner").Build();
+  ASSERT_TRUE(def.ok()) << def.status();
+  EXPECT_EQ(def->shard_count, 1);
+}
+
+TEST(ViewDefBuilderTest, RejectsIncompleteOrInvalidDefinitions) {
+  EXPECT_EQ(ViewDefBuilder("").Base("items").Key("owner").Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ViewDefBuilder("v").Key("owner").Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ViewDefBuilder("v").Base("items").Build().status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ViewDefBuilder("v")
+                .Base("items")
+                .Key("owner")
+                .Materialize("__next")
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      ViewDefBuilder("v").Base("items").Key("owner").Shards(0).Build().status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(ViewDefBuilder("v")
+                .Base("items")
+                .Key("owner")
+                .Shards(kMaxViewShards + 1)
+                .Build()
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ShardedViewAccepted) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.shard_count = 8;
+  ASSERT_TRUE(schema.CreateView(view).ok());
+  EXPECT_EQ(schema.GetView("by_owner")->shard_count, 8);
+}
+
+TEST(SchemaTest, ShardCountOutOfRangeRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.shard_count = 0;
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+  view.shard_count = kMaxViewShards + 1;
+  EXPECT_EQ(schema.CreateView(view).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ShardCountChangeOfExistingViewRejected) {
+  // Re-sharding in place would strand rows under the old key layout; the
+  // catalog refuses it (a new view name is the supported path).
+  Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "items"}).ok());
+  ViewDef view = SampleView();
+  view.shard_count = 4;
+  ASSERT_TRUE(schema.CreateView(view).ok());
+  ViewDef resharded = SampleView();
+  resharded.shard_count = 8;
+  EXPECT_EQ(schema.CreateView(resharded).code(),
+            StatusCode::kInvalidArgument);
+  // Same shard_count stays a plain duplicate.
+  ViewDef same = SampleView();
+  same.shard_count = 4;
+  EXPECT_EQ(schema.CreateView(same).code(), StatusCode::kAlreadyExists);
 }
 
 TEST(SchemaTest, AffectsAndIsMaterialized) {

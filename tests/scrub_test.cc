@@ -154,11 +154,13 @@ TEST(ScrubTest, RepairRestoresEveryCorruption) {
 
   // And the repaired view still serves reads correctly.
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].base_key, "1");
-  auto gone = client->ViewGetSync("assigned_to_view", "mallory", {.quorum = 3});
+  auto gone = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "mallory"), {.quorum = 3});
   ASSERT_TRUE(gone.ok());
   EXPECT_TRUE(gone.records.empty());
 }

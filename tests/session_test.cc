@@ -67,8 +67,8 @@ TEST(SessionTest, ViewGetSeesOwnPrecedingPut) {
   // propagation dispatch delay, the Get must block and then see the update.
   // (Spelled explicitly; a session-carrying read at kEventual upgrades to
   // the same level automatically.)
-  auto records = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"),
       {.consistency = ReadConsistency::kReadYourWrites});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
@@ -87,8 +87,8 @@ TEST(SessionTest, WithoutSessionViewMayBeStale) {
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync(
-      "assigned_to_view", "rliu",
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"),
       {.quorum = 3, .consistency = ReadConsistency::kEventual});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
@@ -110,12 +110,14 @@ TEST(SessionTest, GuaranteeCoversViewKeyUpdates) {
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"assigned_to", std::string("bob")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "bob", store::ReadOptions{});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), store::ReadOptions{});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].base_key, "1");
   // And the old key's row is gone from the reader's perspective.
-  auto old_records = client->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
+  auto old_records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"), store::ReadOptions{});
   ASSERT_TRUE(old_records.ok());
   EXPECT_TRUE(old_records.records.empty());
 }
@@ -135,7 +137,8 @@ TEST(SessionTest, OtherSessionsDoNotBlock) {
       writer->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
   const SimTime before = t.cluster.Now();
-  auto records = reader->ViewGetSync("assigned_to_view", "rliu", store::ReadOptions{});
+  auto records = reader->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"), store::ReadOptions{});
   ASSERT_TRUE(records.ok());
   // The reader's session has no pending propagations: no blocking beyond
   // normal request latency (far less than the 50 ms dispatch delay).
@@ -155,7 +158,8 @@ TEST(SessionTest, SessionsDisabledByConfig) {
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"status", std::string("resolved")}}, store::WriteOptions{})
           .ok());
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
 }
@@ -182,9 +186,10 @@ TEST(SessionTest, CrashedCoordinatorAnswersDeferredGetByClientTimeout) {
           .ok());
   int answers = 0;
   store::ReadResult out;
-  client->ViewGet("assigned_to_view", "rliu",
-                  {.consistency = ReadConsistency::kReadYourWrites},
-                  [&](store::ReadResult r) {
+  client->Query(
+      store::QuerySpec::View("assigned_to_view", "rliu"),
+      {.consistency = ReadConsistency::kReadYourWrites},
+      [&](store::ReadResult r) {
                     ++answers;
                     out = std::move(r);
                   });
@@ -222,7 +227,8 @@ TEST(SessionTest, MultiplePendingPutsAllVisible) {
       client->PutSync("ticket", "1", {{"status", std::string("s1")}}, store::WriteOptions{}).ok());
   ASSERT_TRUE(
       client->PutSync("ticket", "2", {{"status", std::string("s2")}}, store::WriteOptions{}).ok());
-  auto records = client->ViewGetSync("assigned_to_view", "a", store::ReadOptions{});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "a"), store::ReadOptions{});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 2u);
   for (const auto& record : records.records) {

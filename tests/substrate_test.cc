@@ -256,7 +256,8 @@ TEST(ScanRepairTest, ViewPartitionHealsOnRead) {
   auto client = t.cluster.NewClient();
   // A full-quorum view read observes all three replicas, returns the newest
   // value, and pushes repairs to the lagging replicas.
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");

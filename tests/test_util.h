@@ -11,6 +11,7 @@
 #include <cmath>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "store/client.h"
 #include "store/cluster.h"
@@ -38,9 +39,10 @@ inline store::ClusterConfig DefaultTestConfig() {
   return config;
 }
 
-/// The paper's Figure 1 schema.
+/// The paper's Figure 1 schema. `view_shards` > 1 declares the view with
+/// that many sub-shards per view key (scatter-gather reads, ISSUE 9).
 inline store::Schema TicketSchema(bool with_index = true,
-                                  bool with_view = true) {
+                                  bool with_view = true, int view_shards = 1) {
   store::Schema schema;
   MVSTORE_CHECK(schema.CreateTable({.name = "ticket"}).ok());
   if (with_index) {
@@ -48,12 +50,14 @@ inline store::Schema TicketSchema(bool with_index = true,
         schema.CreateIndex({.table = "ticket", .column = "assigned_to"}).ok());
   }
   if (with_view) {
-    store::ViewDef view;
-    view.name = "assigned_to_view";
-    view.base_table = "ticket";
-    view.view_key_column = "assigned_to";
-    view.materialized_columns = {"status"};
-    MVSTORE_CHECK(schema.CreateView(view).ok());
+    auto view = store::ViewDefBuilder("assigned_to_view")
+                    .Base("ticket")
+                    .Key("assigned_to")
+                    .Materialize("status")
+                    .Shards(view_shards)
+                    .Build();
+    MVSTORE_CHECK(view.ok()) << view.status();
+    MVSTORE_CHECK(schema.CreateView(std::move(view).value()).ok());
   }
   return schema;
 }

@@ -16,6 +16,7 @@ namespace mvstore {
 namespace {
 
 using store::Mutation;
+using store::QuerySpec;
 using store::ReadOptions;
 using store::ViewRecord;
 using test::TestCluster;
@@ -56,23 +57,27 @@ TEST(ViewBasicTest, Figure1ViewContents) {
   LoadFigure1(t.cluster);
   auto client = t.cluster.NewClient();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  auto rliu = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), ReadOptions{});
   ASSERT_TRUE(rliu.ok()) << rliu.status;
   EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{{"1", "open"}, {"4", "resolved"}}));
 
-  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem", ReadOptions{});
+  auto kmsalem = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "kmsalem"), ReadOptions{});
   ASSERT_TRUE(kmsalem.ok());
   EXPECT_EQ(StatusByTicket(kmsalem.records),
             (std::map<Key, Value>{{"2", "open"}, {"3", "open"}}));
 
-  auto cjin = client->ViewGetSync("assigned_to_view", "cjin", ReadOptions{});
+  auto cjin = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "cjin"), ReadOptions{});
   ASSERT_TRUE(cjin.ok());
   EXPECT_EQ(StatusByTicket(cjin.records),
             (std::map<Key, Value>{{"5", "open"}, {"7", "resolved"}}));
 
   // Ticket 6 has a NULL view key: no view row anywhere (Definition 1).
-  auto nobody = client->ViewGetSync("assigned_to_view", "", ReadOptions{});
+  auto nobody = client->QuerySync(
+      QuerySpec::View("assigned_to_view", ""), ReadOptions{});
   ASSERT_TRUE(nobody.ok());
   EXPECT_TRUE(nobody.records.empty());
 }
@@ -98,7 +103,8 @@ TEST(ViewBasicTest, MaterializedColumnUpdatePropagates) {
                   .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  auto rliu = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), ReadOptions{});
   ASSERT_TRUE(rliu.ok());
   EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{{"1", "resolved"}, {"4", "resolved"}}));
@@ -115,13 +121,15 @@ TEST(ViewBasicTest, Example1ViewKeyUpdate) {
                   .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  auto rliu = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), ReadOptions{});
   ASSERT_TRUE(rliu.ok());
   EXPECT_EQ(StatusByTicket(rliu.records),
             (std::map<Key, Value>{
                 {"1", "open"}, {"2", "open"}, {"4", "resolved"}}));
 
-  auto kmsalem = client->ViewGetSync("assigned_to_view", "kmsalem", ReadOptions{});
+  auto kmsalem = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "kmsalem"), ReadOptions{});
   ASSERT_TRUE(kmsalem.ok());
   EXPECT_EQ(StatusByTicket(kmsalem.records), (std::map<Key, Value>{{"3", "open"}}));
 
@@ -149,8 +157,8 @@ TEST(ViewBasicTest, ViewGetReturnsOnlyRequestedColumns) {
       {{"assigned_to", "rliu"}, {"status", "open"}, {"priority", "P1"}}, 100);
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "rliu",
-                                     {.columns = {"priority"}});
+  auto records = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), {.columns = {"priority"}});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].cells.GetValue("priority").value_or(""), "P1");
@@ -168,7 +176,8 @@ TEST(ViewBasicTest, FreshInsertCreatesViewRow) {
                   .ok());
   t.Quiesce();
 
-  auto records = client->ViewGetSync("assigned_to_view", "alice", ReadOptions{});
+  auto records = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "alice"), ReadOptions{});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(StatusByTicket(records.records),
             (std::map<Key, Value>{{"42", "new"}}));
@@ -186,7 +195,8 @@ TEST(ViewBasicTest, ViewKeyDeletionHidesRow) {
           .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  auto rliu = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), ReadOptions{});
   ASSERT_TRUE(rliu.ok());
   EXPECT_EQ(StatusByTicket(rliu.records), (std::map<Key, Value>{{"4", "resolved"}}));
   EXPECT_TRUE(
@@ -197,7 +207,8 @@ TEST(ViewBasicTest, ViewKeyDeletionHidesRow) {
                               store::WriteOptions{})
                   .ok());
   t.Quiesce();
-  auto bob = client->ViewGetSync("assigned_to_view", "bob", ReadOptions{});
+  auto bob = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "bob"), ReadOptions{});
   ASSERT_TRUE(bob.ok());
   EXPECT_EQ(StatusByTicket(bob.records), (std::map<Key, Value>{{"1", "open"}}));
 }
@@ -217,11 +228,13 @@ TEST(ViewBasicTest, ChainOfReassignments) {
   t.Quiesce();
 
   for (const char* who : {"cjin", "a", "b", "c", "d"}) {
-    auto records = client->ViewGetSync("assigned_to_view", who, ReadOptions{});
+    auto records = client->QuerySync(
+        QuerySpec::View("assigned_to_view", who), ReadOptions{});
     ASSERT_TRUE(records.ok());
     EXPECT_EQ(StatusByTicket(records.records).count("5"), 0u) << who;
   }
-  auto e = client->ViewGetSync("assigned_to_view", "e", ReadOptions{});
+  auto e = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "e"), ReadOptions{});
   ASSERT_TRUE(e.ok());
   EXPECT_EQ(StatusByTicket(e.records), (std::map<Key, Value>{{"5", "open"}}));
 
@@ -243,7 +256,8 @@ TEST(ViewBasicTest, UpdateBothViewKeyAndMaterializedColumn) {
                   .ok());
   t.Quiesce();
 
-  auto rliu = client->ViewGetSync("assigned_to_view", "rliu", ReadOptions{});
+  auto rliu = client->QuerySync(
+      QuerySpec::View("assigned_to_view", "rliu"), ReadOptions{});
   ASSERT_TRUE(rliu.ok());
   EXPECT_EQ(StatusByTicket(rliu.records)["3"], "resolved");
   EXPECT_TRUE(

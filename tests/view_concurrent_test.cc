@@ -185,7 +185,8 @@ TEST_P(ViewConcurrentTest, MaterializedRacesViewKeyUpdate) {
   t.Quiesce();
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "rliu", {.quorum = 2});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "rliu"), {.quorum = 2});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "resolved");

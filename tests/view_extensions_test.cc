@@ -71,20 +71,20 @@ TEST(JoinViewTest, InnerJoinByJoinKey) {
       {{"region", std::string("emea")}, {"item", std::string("gadget")}}, 103);
 
   auto client = t.cluster.NewClient();
-  auto emea = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                                "emea", {.quorum = 3});
+  auto emea = client->QuerySync(view::JoinQuerySpec(OrdersJoin(), "emea"),
+                                {.quorum = 3});
   ASSERT_TRUE(emea.ok());
-  ASSERT_EQ(emea->size(), 2u);  // 1 customer x 2 orders
-  for (const view::JoinedRecord& r : *emea) {
-    EXPECT_EQ(r.left_key, "c1");
-    EXPECT_EQ(r.left.GetValue("name").value_or(""), "acme");
+  ASSERT_EQ(emea.joined.size(), 2u);  // 1 customer x 2 orders
+  for (const store::JoinedPair& r : emea.joined) {
+    EXPECT_EQ(r.left.base_key, "c1");
+    EXPECT_EQ(r.left.cells.GetValue("name").value_or(""), "acme");
   }
 
   // apac has a customer but no orders: inner join is empty.
-  auto apac = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                                "apac", {.quorum = 3});
+  auto apac = client->QuerySync(view::JoinQuerySpec(OrdersJoin(), "apac"),
+                                {.quorum = 3});
   ASSERT_TRUE(apac.ok());
-  EXPECT_TRUE(apac->empty());
+  EXPECT_TRUE(apac.joined.empty());
 }
 
 TEST(JoinViewTest, MaintainedIncrementallyOnBothSides) {
@@ -104,11 +104,12 @@ TEST(JoinViewTest, MaintainedIncrementallyOnBothSides) {
                             WriteOptions{})
                   .ok());
   t.Quiesce();
-  auto joined = view::JoinGetSync(t.cluster.simulation(), *client,
-                                  OrdersJoin(), "emea", {.quorum = 3});
+  auto joined = client->QuerySync(view::JoinQuerySpec(OrdersJoin(), "emea"),
+                                  {.quorum = 3});
   ASSERT_TRUE(joined.ok());
-  ASSERT_EQ(joined->size(), 1u);
-  EXPECT_EQ((*joined)[0].right.GetValue("item").value_or(""), "widget");
+  ASSERT_EQ(joined.joined.size(), 1u);
+  EXPECT_EQ(joined.joined[0].right.cells.GetValue("item").value_or(""),
+            "widget");
 
   // Moving the order to another region drops it from the emea join.
   ASSERT_TRUE(
@@ -116,10 +117,10 @@ TEST(JoinViewTest, MaintainedIncrementallyOnBothSides) {
                             WriteOptions{})
           .ok());
   t.Quiesce();
-  joined = view::JoinGetSync(t.cluster.simulation(), *client, OrdersJoin(),
-                             "emea", {.quorum = 3});
+  joined = client->QuerySync(view::JoinQuerySpec(OrdersJoin(), "emea"),
+                             {.quorum = 3});
   ASSERT_TRUE(joined.ok());
-  EXPECT_TRUE(joined->empty());
+  EXPECT_TRUE(joined.joined.empty());
 }
 
 // ---------------------------------------------------------------------------
@@ -158,7 +159,8 @@ TEST(TrimTest, RetiresOldStaleRowsOnly) {
   EXPECT_EQ(after.live_rows, 1u);
 
   // Reads still serve the live row.
-  auto records = client->ViewGetSync("assigned_to_view", "a5", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "a5"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.records.size(), 1u);
 }
@@ -207,7 +209,8 @@ TEST(TrimTest, TrimmedKeyCanBeReassignedBack) {
                             WriteOptions{})
           .ok());
   t.Quiesce();
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_TRUE(view::CheckView(t.cluster, view).clean());
@@ -248,12 +251,14 @@ TEST(MultiViewTest, OnePutMaintainsBothViews) {
                   .ok());
   t.Quiesce();
 
-  auto by_assignee = client->ViewGetSync("by_assignee", "alice", {.quorum = 3});
+  auto by_assignee = client->QuerySync(
+      store::QuerySpec::View("by_assignee", "alice"), {.quorum = 3});
   ASSERT_TRUE(by_assignee.ok());
   ASSERT_EQ(by_assignee.records.size(), 1u);
   EXPECT_EQ(by_assignee.records[0].cells.GetValue("status").value_or(""), "open");
 
-  auto by_status = client->ViewGetSync("by_status", "open", {.quorum = 3});
+  auto by_status = client->QuerySync(
+      store::QuerySpec::View("by_status", "open"), {.quorum = 3});
   ASSERT_TRUE(by_status.ok());
   ASSERT_EQ(by_status.records.size(), 1u);
   EXPECT_EQ(by_status.records[0].cells.GetValue("assigned_to").value_or(""),
@@ -280,13 +285,16 @@ TEST(MultiViewTest, ViewsEvolveIndependently) {
   t.Quiesce();
 
   // by_status saw a view-KEY change; by_assignee a materialized change.
-  auto open = client->ViewGetSync("by_status", "open", {.quorum = 3});
+  auto open = client->QuerySync(
+      store::QuerySpec::View("by_status", "open"), {.quorum = 3});
   ASSERT_TRUE(open.ok());
   EXPECT_TRUE(open.records.empty());
-  auto closed = client->ViewGetSync("by_status", "closed", {.quorum = 3});
+  auto closed = client->QuerySync(
+      store::QuerySpec::View("by_status", "closed"), {.quorum = 3});
   ASSERT_TRUE(closed.ok());
   EXPECT_EQ(closed.records.size(), 1u);
-  auto alice = client->ViewGetSync("by_assignee", "alice", {.quorum = 3});
+  auto alice = client->QuerySync(
+      store::QuerySpec::View("by_assignee", "alice"), {.quorum = 3});
   ASSERT_TRUE(alice.ok());
   ASSERT_EQ(alice.records.size(), 1u);
   EXPECT_EQ(alice.records[0].cells.GetValue("status").value_or(""), "closed");
@@ -331,9 +339,11 @@ TEST(ClientTimeoutTest, AppliesToAllOperationTypes) {
                             WriteOptions{})
                   .status.IsTimedOut());
   EXPECT_TRUE(
-      client->ViewGetSync("assigned_to_view", "a", ReadOptions{})
+      client->QuerySync(
+          store::QuerySpec::View("assigned_to_view", "a"), ReadOptions{})
           .status.IsTimedOut());
-  EXPECT_TRUE(client->IndexGetSync("ticket", "assigned_to", "a", ReadOptions{})
+  EXPECT_TRUE(client->QuerySync(
+      store::QuerySpec::Index("ticket", "assigned_to", "a"), ReadOptions{})
                   .status.IsTimedOut());
 }
 

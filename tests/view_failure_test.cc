@@ -82,7 +82,8 @@ TEST(ViewFailureTest, PropagationRetriesThroughReplicaOutage) {
 .ok());
   t.Quiesce();
 
-  auto records = writer->ViewGetSync("assigned_to_view", "bob", {.quorum = 2});
+  auto records = writer->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 2});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.records.size(), 1u);
 
@@ -90,7 +91,8 @@ TEST(ViewFailureTest, PropagationRetriesThroughReplicaOutage) {
   // majority-read of the view plus read repair heals it on access.
   t.cluster.network().SetEndpointDown(replicas[2], false);
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(writer->ViewGetSync("assigned_to_view", "bob", {.quorum = 3}).ok());
+    ASSERT_TRUE(writer->QuerySync(
+        store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3}).ok());
     t.cluster.RunFor(Millis(100));
   }
   view::ScrubReport report =
@@ -139,7 +141,8 @@ TEST(ViewFailureTest, AbandonedPropagationIsRepairable) {
   view::ScrubReport repaired =
       view::CheckView(t.cluster, test::TicketView(t.cluster));
   EXPECT_TRUE(repaired.clean()) << repaired.Summary();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_EQ(records.records.size(), 1u);
 }

@@ -57,7 +57,8 @@ TEST(ViewReadWindowTest, UninitializedRowIsNeverExposed) {
   auto client = t.cluster.NewClient();
 
   const SimTime before = t.cluster.Now();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records.records.empty());
   // The reader spun waiting for the initialization that never came.
@@ -78,7 +79,8 @@ TEST(ViewReadWindowTest, SpinResolvesWhenInitializationLands) {
 
   auto client = t.cluster.NewClient();
   const SimTime before = t.cluster.Now();
-  auto records = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].cells.GetValue("status").value_or(""), "open");
@@ -99,12 +101,14 @@ TEST(ViewReadWindowTest, OldLiveRowServedDuringPromotionWindow) {
                        UninitializedLiveRow("bob", "1", 200, "open"));
   auto client = t.cluster.NewClient();
 
-  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto old_key = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(old_key.ok());
   ASSERT_EQ(old_key.records.size(), 1u);
   EXPECT_EQ(old_key.records[0].base_key, "1");
 
-  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
+  auto new_key = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3});
   ASSERT_TRUE(new_key.ok());
   EXPECT_TRUE(new_key.records.empty());
 }
@@ -121,12 +125,14 @@ TEST(ViewReadWindowTest, AfterPromotionCompletesOnlyNewKeyServes) {
   PutViewRowEverywhere(t.cluster, "bob", "1", LiveRow("bob", "1", 200, "open"));
 
   auto client = t.cluster.NewClient();
-  auto old_key = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto old_key = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(old_key.ok());
   EXPECT_TRUE(old_key.records.empty());
   EXPECT_GT(t.cluster.metrics().stale_rows_filtered, 0u);
 
-  auto new_key = client->ViewGetSync("assigned_to_view", "bob", {.quorum = 3});
+  auto new_key = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "bob"), {.quorum = 3});
   ASSERT_TRUE(new_key.ok());
   EXPECT_EQ(new_key.records.size(), 1u);
 }
@@ -145,7 +151,8 @@ TEST(ViewReadWindowTest, MixedPartitionFiltersPerBaseKey) {
                        UninitializedLiveRow("team", "c", 100, "s3"));
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("assigned_to_view", "team", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "team"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].base_key, "a");
@@ -170,7 +177,8 @@ TEST(ViewReadWindowTest, SentinelPartitionsUnreachableThroughClientApi) {
   EXPECT_EQ(bad.status.code(), StatusCode::kInvalidArgument);
 
   // The sentinel row exists internally but no client key reaches it.
-  auto records = client->ViewGetSync("assigned_to_view", "alice", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("assigned_to_view", "alice"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records.records.empty());
 }

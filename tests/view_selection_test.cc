@@ -45,7 +45,8 @@ TEST(ViewSelectionTest, BootstrapHonorsSelection) {
                               {"status", std::string("closed")}},
                              101);
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "a"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records.records.size(), 1u);
   EXPECT_EQ(records.records[0].base_key, "1");
@@ -63,14 +64,16 @@ TEST(ViewSelectionTest, StatusFlipRemovesAndRestoresRow) {
       client->PutSync("ticket", "1", {{"status", std::string("closed")}}, store::WriteOptions{})
           .ok());
   t.Quiesce();
-  auto closed = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
+  auto closed = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "a"), {.quorum = 3});
   ASSERT_TRUE(closed.ok());
   EXPECT_TRUE(closed.records.empty());
 
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"status", std::string("open")}}, store::WriteOptions{}).ok());
   t.Quiesce();
-  auto reopened = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
+  auto reopened = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "a"), {.quorum = 3});
   ASSERT_TRUE(reopened.ok());
   ASSERT_EQ(reopened.records.size(), 1u);
   EXPECT_TRUE(
@@ -96,7 +99,8 @@ TEST(ViewSelectionTest, OutOfOrderFlipsConvergeByTimestamp) {
   t.Quiesce();
 
   auto client = t.cluster.NewClient();
-  auto records = client->ViewGetSync("open_by_assignee", "a", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "a"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records.records.empty());
   EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
@@ -114,7 +118,8 @@ TEST(ViewSelectionTest, ReassignmentCarriesSelectionState) {
       client->PutSync("ticket", "1", {{"assigned_to", std::string("b")}}, store::WriteOptions{})
           .ok());
   t.Quiesce();
-  auto records = client->ViewGetSync("open_by_assignee", "b", {.quorum = 3});
+  auto records = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "b"), {.quorum = 3});
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records.records.empty());
   EXPECT_TRUE(view::CheckView(t.cluster, SelectionView(t.cluster)).clean());
@@ -123,7 +128,8 @@ TEST(ViewSelectionTest, ReassignmentCarriesSelectionState) {
   ASSERT_TRUE(
       client->PutSync("ticket", "1", {{"status", std::string("open")}}, store::WriteOptions{}).ok());
   t.Quiesce();
-  auto visible = client->ViewGetSync("open_by_assignee", "b", {.quorum = 3});
+  auto visible = client->QuerySync(
+      store::QuerySpec::View("open_by_assignee", "b"), {.quorum = 3});
   ASSERT_TRUE(visible.ok());
   ASSERT_EQ(visible.records.size(), 1u);
 }
@@ -151,10 +157,12 @@ TEST(ViewSelectionTest, SelectionOnViewKeyColumn) {
                                             {"status", std::string("open")}}, store::WriteOptions{})
                   .ok());
   t.Quiesce();
-  auto rliu = client->ViewGetSync("rliu_only", "rliu", {.quorum = 3});
+  auto rliu = client->QuerySync(
+      store::QuerySpec::View("rliu_only", "rliu"), {.quorum = 3});
   ASSERT_TRUE(rliu.ok());
   EXPECT_EQ(rliu.records.size(), 1u);
-  auto bob = client->ViewGetSync("rliu_only", "bob", {.quorum = 3});
+  auto bob = client->QuerySync(
+      store::QuerySpec::View("rliu_only", "bob"), {.quorum = 3});
   ASSERT_TRUE(bob.ok());
   EXPECT_TRUE(bob.records.empty());
   EXPECT_TRUE(
