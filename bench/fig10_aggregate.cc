@@ -1,0 +1,258 @@
+// Figure 10 (extension) — Aggregate views: delta maintenance vs
+// recompute-on-read.
+//
+// An aggregate ("orders per customer", "total qty per group") can be served
+// two ways in a record store:
+//
+//   recompute — keep only the base table (plus the SI on the group column)
+//     and fold the aggregate from the matching base rows on EVERY read. The
+//     probe broadcasts to every ring member (each holds an index fragment),
+//     ships the full row set to the coordinator, and re-folds work that was
+//     already done the last hundred times.
+//
+//   mv — declare an aggregate view (ISSUE 10). Writes delta-maintain one
+//     per-base-key sub-aggregate cell through the normal propagation path;
+//     a read scans ONE view partition and folds the compact cells at the
+//     coordinator.
+//
+// Both arms run the same flat scan model the paper figures are calibrated
+// against (Figures 3/5), the same pre-loaded rows, the same update storm
+// before measurement, and the same zipfian read mix. The bench also
+// cross-checks correctness: after quiescing, the mv fold of every group
+// must equal the recompute fold.
+//
+// CI gates speedup_rps (mv read throughput / recompute read throughput)
+// against bench/baselines/BENCH_fig10_aggregate.json.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "view/aggregate.h"
+
+namespace mvstore::bench {
+namespace {
+
+constexpr int kGroups = 8;
+
+store::Schema AggregateSchema(int view_shards) {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "usertable"}).ok());
+  auto sum = store::ViewDefBuilder("qty_per_grp")
+                 .Base("usertable")
+                 .Key("grp")
+                 .Aggregate(store::AggregateFn::kSum, "qty")
+                 .Shards(view_shards)
+                 .Build();
+  MVSTORE_CHECK(sum.ok()) << sum.status();
+  MVSTORE_CHECK(schema.CreateView(std::move(sum).value()).ok());
+  // A second view on the same key exercises the shared change-set group:
+  // every qty update fans both deltas in one maintenance round.
+  auto count = store::ViewDefBuilder("orders_per_grp")
+                   .Base("usertable")
+                   .Key("grp")
+                   .Aggregate(store::AggregateFn::kCount)
+                   .Shards(view_shards)
+                   .Build();
+  MVSTORE_CHECK(count.ok()) << count.status();
+  MVSTORE_CHECK(schema.CreateView(std::move(count).value()).ok());
+  return schema;
+}
+
+store::Schema RecomputeSchema() {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "usertable"}).ok());
+  MVSTORE_CHECK(
+      schema.CreateIndex({.table = "usertable", .column = "grp"}).ok());
+  return schema;
+}
+
+std::int64_t FoldRows(const std::vector<storage::KeyedRow>& rows) {
+  std::int64_t sum = 0;
+  for (const storage::KeyedRow& kr : rows) {
+    if (auto qty = kr.row.GetValue("qty")) {
+      if (auto value = view::ParseAggregateValue(*qty)) sum += *value;
+    }
+  }
+  return sum;
+}
+
+struct Arm {
+  double rps = 0;
+  double p50_us = 0;
+  Histogram latency;
+  std::map<std::string, std::int64_t> folds;  ///< group -> final aggregate
+  std::uint64_t multi_view_groups = 0;
+  std::uint64_t aggregate_folds = 0;
+};
+
+/// Loads the shared dataset and runs the shared update storm through
+/// `cluster`'s client path, so both arms maintain their derived state (view
+/// deltas / index updates) through the same write plan.
+void LoadAndUpdate(store::Cluster& cluster, const BenchScale& scale,
+                   std::uint64_t seed) {
+  for (std::int64_t i = 0; i < scale.rows; ++i) {
+    cluster.BootstrapLoadRow(
+        "usertable", workload::FormatKey("k", static_cast<std::uint64_t>(i)),
+        {{"grp", workload::FormatKey(
+             "g", static_cast<std::uint64_t>(i % kGroups))},
+         {"qty", std::to_string(i % 100)}},
+        /*ts=*/1000 + i);
+  }
+  // The update storm delta-maintains the mv arm (and the recompute arm's
+  // index): re-price a zipfian-hot subset, move some rows between groups.
+  Rng rng(seed);
+  workload::ZipfianKeyGenerator keys(
+      "k", static_cast<std::uint64_t>(scale.rows), 0.99);
+  auto client = cluster.NewClient();
+  const std::int64_t updates = std::min<std::int64_t>(scale.rows, 2000);
+  for (std::int64_t i = 0; i < updates; ++i) {
+    store::Mutation mutation{
+        {"qty", std::to_string(rng.UniformInt(0, 99))}};
+    if (rng.Chance(0.2)) {
+      mutation["grp"] = workload::FormatKey(
+          "g", static_cast<std::uint64_t>(rng.UniformInt(0, kGroups - 1)));
+    }
+    MVSTORE_CHECK(
+        client->PutSync("usertable", keys.Next(rng), mutation, {.quorum = 1})
+            .ok());
+  }
+}
+
+Arm MeasureMv(const BenchScale& scale, int view_shards) {
+  store::ClusterConfig config = PaperConfig(/*seed=*/10100);
+  store::Cluster cluster(config, AggregateSchema(view_shards));
+  view::MaintenanceEngine views(&cluster);
+  cluster.Start();
+  LoadAndUpdate(cluster, scale, /*seed=*/10200);
+  views.Quiesce();
+
+  Rng rng(10300);
+  workload::ZipfianKeyGenerator groups("g", kGroups, 0.99);
+  workload::ClosedLoopRunner runner(
+      &cluster, /*num_clients=*/1,
+      [&rng, &groups](int, store::Client& client,
+                      std::function<void(bool)> done) {
+        client.Query(store::QuerySpec::View("qty_per_grp", groups.Next(rng)),
+                     store::ReadOptions{},
+                     [done](store::ReadResult result) {
+                       done(result.ok() && result.records.size() == 1);
+                     });
+      });
+  workload::RunResult result =
+      runner.Run(Millis(500), Seconds(scale.measure_seconds));
+  MVSTORE_CHECK_EQ(result.failures, 0u);
+
+  Arm arm;
+  arm.rps = result.Throughput();
+  arm.p50_us =
+      result.latency.count() > 0 ? result.latency.Percentile(50) : 0.0;
+  arm.latency = result.latency;
+  arm.multi_view_groups = cluster.metrics().prop_multi_view_groups;
+  arm.aggregate_folds = cluster.metrics().view_aggregate_folds;
+  auto client = cluster.NewClient();
+  for (int g = 0; g < kGroups; ++g) {
+    const std::string group =
+        workload::FormatKey("g", static_cast<std::uint64_t>(g));
+    auto read = client->QuerySync(
+        store::QuerySpec::View("qty_per_grp", group), {.quorum = 3});
+    MVSTORE_CHECK(read.ok()) << read.status;
+    MVSTORE_CHECK_EQ(read.records.size(), 1u);
+    arm.folds[group] = *view::ParseAggregateValue(
+        *read.records[0].cells.GetValue("sum(qty)"));
+  }
+  return arm;
+}
+
+Arm MeasureRecompute(const BenchScale& scale) {
+  store::ClusterConfig config = PaperConfig(/*seed=*/10100);
+  store::Cluster cluster(config, RecomputeSchema());
+  cluster.Start();
+  LoadAndUpdate(cluster, scale, /*seed=*/10200);
+
+  Rng rng(10300);
+  workload::ZipfianKeyGenerator groups("g", kGroups, 0.99);
+  workload::ClosedLoopRunner runner(
+      &cluster, /*num_clients=*/1,
+      [&rng, &groups](int, store::Client& client,
+                      std::function<void(bool)> done) {
+        client.Query(
+            store::QuerySpec::Index("usertable", "grp", groups.Next(rng)),
+            store::ReadOptions{}, [done](store::ReadResult result) {
+              // The fold happens client-side on every read — that IS the
+              // recompute arm's contract.
+              done(result.ok() && FoldRows(result.rows) >= 0);
+            });
+      });
+  workload::RunResult result =
+      runner.Run(Millis(500), Seconds(scale.measure_seconds));
+  MVSTORE_CHECK_EQ(result.failures, 0u);
+
+  Arm arm;
+  arm.rps = result.Throughput();
+  arm.p50_us =
+      result.latency.count() > 0 ? result.latency.Percentile(50) : 0.0;
+  arm.latency = result.latency;
+  auto client = cluster.NewClient();
+  for (int g = 0; g < kGroups; ++g) {
+    const std::string group =
+        workload::FormatKey("g", static_cast<std::uint64_t>(g));
+    auto read = client->QuerySync(
+        store::QuerySpec::Index("usertable", "grp", group), {});
+    MVSTORE_CHECK(read.ok()) << read.status;
+    arm.folds[group] = FoldRows(read.rows);
+  }
+  return arm;
+}
+
+void Run() {
+  BenchScale scale;
+  const int shards = static_cast<int>(EnvInt("MV_BENCH_VIEW_SHARDS", 4));
+  PrintTitle(
+      "Figure 10: Aggregate Views — delta maintenance vs recompute-on-read");
+  PrintNote(StrFormat(
+      "rows=%lld groups=%d window=%llds view_shards=%d (1 reader, zipfian "
+      "groups, shared update storm)",
+      static_cast<long long>(scale.rows), kGroups,
+      static_cast<long long>(scale.measure_seconds), shards));
+
+  const Arm mv = MeasureMv(scale, shards);
+  const Arm recompute = MeasureRecompute(scale);
+  // Same writes, quiesced views: the delta-maintained fold must equal the
+  // recomputed one for every group, or the speedup is measuring a bug.
+  for (const auto& [group, want] : recompute.folds) {
+    const auto it = mv.folds.find(group);
+    MVSTORE_CHECK(it != mv.folds.end()) << group;
+    MVSTORE_CHECK_EQ(it->second, want) << "aggregate diverged for " << group;
+  }
+  const double speedup = recompute.rps > 0 ? mv.rps / recompute.rps : 0.0;
+
+  std::printf("%-12s %10s %12s\n", "arm", "req/sec", "p50(us)");
+  std::printf("%-12s %10.1f %12.0f\n", "recompute", recompute.rps,
+              recompute.p50_us);
+  std::printf("%-12s %10.1f %12.0f\n", "mv", mv.rps, mv.p50_us);
+  std::printf("speedup: %.2fx (multi-view groups: %llu)\n", speedup,
+              static_cast<unsigned long long>(mv.multi_view_groups));
+
+  BenchReport report("fig10_aggregate");
+  report.Add("rows", scale.rows);
+  report.Add("groups", kGroups);
+  report.Add("window_seconds", scale.measure_seconds);
+  report.Add("view_shards", shards);
+  report.Add("recompute_rps", recompute.rps);
+  report.AddHistogramUs("recompute_latency", recompute.latency);
+  report.Add("mv_rps", mv.rps);
+  report.AddHistogramUs("mv_latency", mv.latency);
+  report.Add("mv_multi_view_groups", mv.multi_view_groups);
+  report.Add("mv_aggregate_folds", mv.aggregate_folds);
+  report.Add("speedup_rps", speedup);
+  report.Write();
+}
+
+}  // namespace
+}  // namespace mvstore::bench
+
+int main() { mvstore::bench::Run(); }

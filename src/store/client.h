@@ -11,8 +11,9 @@
 // The canonical read surface is Get plus the unified Query entry point
 // (QuerySpec names a view, index, or join query), each taking a ReadOptions
 // and delivering one ReadResult; writes take a WriteOptions and deliver a
-// WriteResult. The pre-ISSUE-9 ViewGet/IndexGet names survive as deprecated
-// forwarders onto Query. Both options structs carry an optional parent TraceContext;
+// WriteResult. (The pre-ISSUE-9 ViewGet/IndexGet forwarders are gone; spell
+// reads as Query(QuerySpec::View/Index(...), ...).)
+// Both options structs carry an optional parent TraceContext;
 // when none is given (and the cluster's `trace_client_ops` is on) the client
 // mints a fresh root trace per operation, whose id comes back in the result
 // so callers can dump the causal timeline (Tracer::DumpJson).
@@ -305,33 +306,6 @@ class Client {
                          std::vector<ColumnName> columns,
                          const WriteOptions& options);
   ReadResult QuerySync(const QuerySpec& spec, const ReadOptions& options);
-
-  // --- deprecated read surface (thin forwarders onto Query) ---
-
-  [[deprecated("use Query(QuerySpec::View(...), ...)")]] void ViewGet(
-      const std::string& view, const Key& view_key, const ReadOptions& options,
-      ReadCallback callback) {
-    Query(QuerySpec::View(view, view_key), options, std::move(callback));
-  }
-
-  [[deprecated("use Query(QuerySpec::Index(...), ...)")]] void IndexGet(
-      const std::string& table, const ColumnName& column, const Value& value,
-      const ReadOptions& options, ReadCallback callback) {
-    Query(QuerySpec::Index(table, column, value), options,
-          std::move(callback));
-  }
-
-  [[deprecated("use QuerySync(QuerySpec::View(...), ...)")]] ReadResult
-  ViewGetSync(const std::string& view, const Key& view_key,
-              const ReadOptions& options) {
-    return QuerySync(QuerySpec::View(view, view_key), options);
-  }
-
-  [[deprecated("use QuerySync(QuerySpec::Index(...), ...)")]] ReadResult
-  IndexGetSync(const std::string& table, const ColumnName& column,
-               const Value& value, const ReadOptions& options) {
-    return QuerySync(QuerySpec::Index(table, column, value), options);
-  }
 
  private:
   friend class Cluster;

@@ -67,6 +67,13 @@ struct Metrics {
   Counter& view_get_spins;         ///< waits on initializing rows
   Counter& stale_rows_filtered;    ///< non-live rows skipped by reads
   Counter& view_scatter_scans;     ///< sharded ViewGets fanned out (ISSUE 9)
+  Counter& view_scatter_partial;   ///< kEventual scatter reads served with
+                                   ///< one or more sub-shards missing
+  Counter& prop_multi_view_groups; ///< base updates fanning one maintenance
+                                   ///< round to >1 dependent view (ISSUE 10)
+  Counter& view_aggregate_folds;   ///< aggregate reads folded at coordinator
+  Counter& view_aggregate_fold_skipped;  ///< records dropped by a fold
+                                         ///< (missing/unparsable cells)
 
   // Read-path performance layer (ISSUE 5): row cache, pruning, and the
   // clock-driven tombstone GC.

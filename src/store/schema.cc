@@ -15,6 +15,31 @@ bool IsReservedColumn(const ColumnName& col) {
 
 }  // namespace
 
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kNone:
+      return "none";
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+ColumnName ViewDef::AggregateOutputColumn() const {
+  if (!IsAggregate()) return ColumnName();
+  std::string out = AggregateFnName(aggregate);
+  out.push_back('(');
+  out += aggregate == AggregateFn::kCount ? "*" : aggregate_column;
+  out.push_back(')');
+  return out;
+}
+
 bool ViewDef::Affects(const ColumnName& column) const {
   return column == view_key_column || IsMaterialized(column);
 }
@@ -60,6 +85,12 @@ ViewDefBuilder& ViewDefBuilder::Shards(int shard_count) {
   return *this;
 }
 
+ViewDefBuilder& ViewDefBuilder::Aggregate(AggregateFn fn, ColumnName column) {
+  def_.aggregate = fn;
+  def_.aggregate_column = std::move(column);
+  return *this;
+}
+
 StatusOr<ViewDef> ViewDefBuilder::Build() const {
   if (def_.name.empty()) {
     return Status::InvalidArgument("view name must not be empty");
@@ -85,7 +116,38 @@ StatusOr<ViewDef> ViewDefBuilder::Build() const {
   if (def_.shard_count > kMaxViewShards) {
     return Status::InvalidArgument("shard_count exceeds kMaxViewShards");
   }
-  return def_;
+  ViewDef def = def_;
+  if (def.IsAggregate()) {
+    // The aggregate column is the view's ONLY materialized column (Build
+    // adds it below): extra projected columns would make the folded record
+    // ambiguous, and the fold is the only read surface an aggregate view
+    // exposes.
+    if (!def.materialized_columns.empty()) {
+      return Status::InvalidArgument(
+          "aggregate views take no Materialize() columns (the aggregate "
+          "column is materialized implicitly)");
+    }
+    if (def.aggregate == AggregateFn::kCount) {
+      if (!def.aggregate_column.empty()) {
+        return Status::InvalidArgument("count(*) takes no aggregate column");
+      }
+    } else {
+      if (def.aggregate_column.empty()) {
+        return Status::InvalidArgument(
+            "sum/min/max aggregates must name the aggregated column");
+      }
+      if (IsReservedColumn(def.aggregate_column)) {
+        return Status::InvalidArgument(
+            "column names starting with __ are reserved");
+      }
+      if (def.aggregate_column == def.view_key_column) {
+        return Status::InvalidArgument(
+            "cannot aggregate the view-key column itself");
+      }
+      def.materialized_columns.push_back(def.aggregate_column);
+    }
+  }
+  return def;
 }
 
 Status Schema::CreateTable(TableDef def) {
@@ -163,6 +225,21 @@ Status Schema::CreateView(ViewDef def) {
   if (def.IsMaterialized(def.view_key_column)) {
     return Status::InvalidArgument(
         "the view-key column is implicit; do not also materialize it");
+  }
+  if (def.IsAggregate()) {
+    // Re-validate the aggregate shape for hand-constructed defs (builder
+    // output always satisfies this; see ViewDefBuilder::Build).
+    if (def.aggregate == AggregateFn::kCount) {
+      if (!def.aggregate_column.empty() || !def.materialized_columns.empty()) {
+        return Status::InvalidArgument(
+            "count(*) views carry no aggregate or materialized columns");
+      }
+    } else if (def.aggregate_column.empty() ||
+               def.materialized_columns !=
+                   std::vector<ColumnName>{def.aggregate_column}) {
+      return Status::InvalidArgument(
+          "sum/min/max views must materialize exactly the aggregate column");
+    }
   }
   if (def.selection.has_value() && !def.Affects(def.selection->column)) {
     return Status::InvalidArgument(

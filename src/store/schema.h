@@ -54,6 +54,24 @@ struct SelectionDef {
   Value equals;
 };
 
+/// Aggregation function of an aggregate view (ISSUE 10). The view's rows
+/// keep one per-base-key *sub-aggregate* cell each — the contribution of
+/// that base row — merged LWW like any other materialized cell, so
+/// duplicated or reordered propagation deltas converge without coordination
+/// (the same row-count-fold idea that fixed the PR 4 anti-entropy digests:
+/// store order-insensitive per-element state, fold at read time). The
+/// coordinator folds the partition scan into the single aggregate record.
+enum class AggregateFn {
+  kNone,   ///< not an aggregate view (plain projection)
+  kCount,  ///< COUNT(*): number of base rows under the view key
+  kSum,    ///< SUM(column) over parseable integer cells
+  kMin,    ///< MIN(column) over parseable integer cells
+  kMax,    ///< MAX(column) over parseable integer cells
+};
+
+/// Printable name of the function ("count", "sum", ...).
+const char* AggregateFnName(AggregateFn fn);
+
 /// Definition 1: a view over `base_table`, keyed by the value of
 /// `view_key_column`, carrying `materialized_columns` copies.
 struct ViewDef {
@@ -69,6 +87,20 @@ struct ViewDef {
   /// (shard chosen by base-key hash, see store/codec.h) so hot view keys
   /// spread their read load; ViewGets then scatter-gather over the shards.
   int shard_count = 1;
+
+  /// Aggregate views (ISSUE 10): kNone = plain projection. For kSum/kMin/
+  /// kMax, `aggregate_column` names the aggregated base column and is the
+  /// view's only materialized column (the per-base-key sub-aggregate cell);
+  /// kCount needs no column — membership of the base key under the view key
+  /// IS the sub-aggregate. Maintenance is byte-identical to projection
+  /// views; only the read path folds.
+  AggregateFn aggregate = AggregateFn::kNone;
+  ColumnName aggregate_column;
+
+  bool IsAggregate() const { return aggregate != AggregateFn::kNone; }
+  /// The column name the folded aggregate record carries, e.g. "count(*)"
+  /// or "sum(qty)". Empty for non-aggregate views.
+  ColumnName AggregateOutputColumn() const;
 
   /// True if a Put touching `column` requires maintenance of this view.
   bool Affects(const ColumnName& column) const;
@@ -86,6 +118,17 @@ struct ViewDef {
 ///                  .Select("status", "active")
 ///                  .Shards(8)
 ///                  .Build();
+///
+/// Aggregate views name a fold instead of projected columns:
+///
+///   auto cnt = ViewDefBuilder("orders_per_cust")
+///                  .Base("orders").Key("cust")
+///                  .Aggregate(AggregateFn::kCount)
+///                  .Build();
+///   auto sum = ViewDefBuilder("qty_per_cust")
+///                  .Base("orders").Key("cust")
+///                  .Aggregate(AggregateFn::kSum, "qty")
+///                  .Build();
 class ViewDefBuilder {
  public:
   explicit ViewDefBuilder(std::string name);
@@ -97,9 +140,16 @@ class ViewDefBuilder {
   ViewDefBuilder& Materialize(std::vector<ColumnName> columns);
   ViewDefBuilder& Select(ColumnName column, Value equals);
   ViewDefBuilder& Shards(int shard_count);
+  /// Declares the view an aggregate (ISSUE 10): kCount takes no column,
+  /// kSum/kMin/kMax aggregate `column`. Mutually exclusive with explicit
+  /// Materialize() calls — Build() materializes the aggregate column itself
+  /// so the projection machinery (maintenance, bootstrap, scrub) carries the
+  /// per-base-key sub-aggregate cells unchanged.
+  ViewDefBuilder& Aggregate(AggregateFn fn, ColumnName column = ColumnName());
 
   /// Validates and returns the definition: non-empty name/base/key, no
-  /// "__"-prefixed (reserved) columns, 1 <= shard_count <= kMaxViewShards.
+  /// "__"-prefixed (reserved) columns, 1 <= shard_count <= kMaxViewShards,
+  /// and the aggregate rules documented on Aggregate().
   StatusOr<ViewDef> Build() const;
 
  private:

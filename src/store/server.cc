@@ -613,11 +613,6 @@ void Server::CoordinateScan(
 // k-way merge of the per-shard sorted results.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Heap-based k-way merge of sorted per-shard scan results. Sub-shard key
-/// spaces are disjoint (distinct shard header bytes), so duplicates only
-/// arise from a caller passing overlapping prefixes — they LWW-merge.
 std::vector<storage::KeyedRow> MergeSortedShardScans(
     std::vector<std::vector<storage::KeyedRow>> shards) {
   struct Cursor {
@@ -650,43 +645,71 @@ std::vector<storage::KeyedRow> MergeSortedShardScans(
   return out;
 }
 
-}  // namespace
-
 void Server::CoordinateViewScatterScan(
     const std::string& table, std::vector<Key> shard_prefixes, int read_quorum,
-    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback) {
+    bool allow_partial,
+    std::function<void(StatusOr<ScatterScanResult>)> callback) {
   MVSTORE_CHECK(!shard_prefixes.empty()) << "scatter scan needs a prefix";
+  const int total = static_cast<int>(shard_prefixes.size());
   if (shard_prefixes.size() == 1) {
-    CoordinateScan(table, shard_prefixes[0], read_quorum, std::move(callback));
+    // One shard: partial coverage is impossible — either the scan answers
+    // the whole partition or the query fails, allow_partial or not.
+    CoordinateScan(table, shard_prefixes[0], read_quorum,
+                   [callback = std::move(callback)](
+                       StatusOr<std::vector<storage::KeyedRow>> scan) {
+                     if (!scan.ok()) {
+                       callback(scan.status());
+                       return;
+                     }
+                     ScatterScanResult result;
+                     result.rows = *std::move(scan);
+                     result.total_shards = 1;
+                     callback(std::move(result));
+                   });
     return;
   }
   metrics_->view_scatter_scans++;
   struct Gather {
     std::vector<std::vector<storage::KeyedRow>> results;
+    std::vector<bool> ok;
     std::size_t pending = 0;
     Status first_error = Status::OK();
-    std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback;
+    std::function<void(StatusOr<ScatterScanResult>)> callback;
   };
   auto gather = std::make_shared<Gather>();
   gather->results.resize(shard_prefixes.size());
+  gather->ok.assign(shard_prefixes.size(), false);
   gather->pending = shard_prefixes.size();
   gather->callback = std::move(callback);
   for (std::size_t i = 0; i < shard_prefixes.size(); ++i) {
-    CoordinateScan(table, shard_prefixes[i], read_quorum,
-                   [gather, i](StatusOr<std::vector<storage::KeyedRow>> scan) {
-                     if (scan.ok()) {
-                       gather->results[i] = *std::move(scan);
-                     } else if (gather->first_error.ok()) {
-                       gather->first_error = scan.status();
-                     }
-                     if (--gather->pending > 0) return;
-                     if (!gather->first_error.ok()) {
-                       gather->callback(std::move(gather->first_error));
-                       return;
-                     }
-                     gather->callback(
-                         MergeSortedShardScans(std::move(gather->results)));
-                   });
+    CoordinateScan(
+        table, shard_prefixes[i], read_quorum,
+        [gather, i, total, allow_partial,
+         metrics = metrics_](StatusOr<std::vector<storage::KeyedRow>> scan) {
+          if (scan.ok()) {
+            gather->results[i] = *std::move(scan);
+            gather->ok[i] = true;
+          } else if (gather->first_error.ok()) {
+            gather->first_error = scan.status();
+          }
+          if (--gather->pending > 0) return;
+          const int failed = total - static_cast<int>(std::count(
+                                         gather->ok.begin(), gather->ok.end(),
+                                         true));
+          // A failed shard fails the whole query unless the caller opted
+          // into partial coverage AND at least one shard answered (an
+          // all-shards-dead "partial" would be an empty lie).
+          if (failed > 0 && (!allow_partial || failed == total)) {
+            gather->callback(std::move(gather->first_error));
+            return;
+          }
+          ScatterScanResult result;
+          result.rows = MergeSortedShardScans(std::move(gather->results));
+          result.failed_shards = failed;
+          result.total_shards = total;
+          if (failed > 0) metrics->view_scatter_partial++;
+          gather->callback(std::move(result));
+        });
   }
 }
 
@@ -912,12 +935,15 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
                        put_group](std::vector<storage::Row> pre_images) {
     const bool full_collection =
         static_cast<int>(pre_images.size()) == config_->replication_factor;
-    std::vector<CollectedViewKeys> collected;
-    collected.reserve(affected.size());
+    // Dedupe the pre-image versions ONCE per distinct view-key column and
+    // share the guess list across every view keyed by it — part of the
+    // shared change-set (ISSUE 10): a Put touching N same-column views does
+    // the collection work once, not N times.
+    std::map<ColumnName, std::vector<storage::Cell>> guesses_by_column;
     for (const ViewDef* view : affected) {
-      CollectedViewKeys entry;
-      entry.view = view;
-      entry.full_collection = full_collection;
+      auto [it, inserted] = guesses_by_column.try_emplace(
+          view->view_key_column);
+      if (!inserted) continue;
       std::set<std::pair<Timestamp, Value>> seen;
       for (const storage::Row& pre : pre_images) {
         storage::Cell cell;  // null cell when the replica had no value
@@ -926,12 +952,20 @@ void Server::HandleClientPut(const std::string& table, const Key& key,
         const auto fingerprint =
             std::make_pair(cell.ts, cell.tombstone ? Value() : cell.value);
         if (seen.insert(fingerprint).second) {
-          entry.old_keys.push_back(std::move(cell));
+          it->second.push_back(std::move(cell));
         }
       }
-      if (entry.old_keys.empty()) {
-        entry.old_keys.push_back(storage::Cell{});  // nothing collected
+      if (it->second.empty()) {
+        it->second.push_back(storage::Cell{});  // nothing collected
       }
+    }
+    std::vector<CollectedViewKeys> collected;
+    collected.reserve(affected.size());
+    for (const ViewDef* view : affected) {
+      CollectedViewKeys entry;
+      entry.view = view;
+      entry.full_collection = full_collection;
+      entry.old_keys = guesses_by_column[view->view_key_column];
       collected.push_back(std::move(entry));
     }
     view_hook_->OnBasePutCommitted(this, key, cells, std::move(collected),

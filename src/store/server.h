@@ -42,6 +42,24 @@ namespace mvstore::store {
 /// Write payload: column -> new value (nullopt = delete the cell).
 using Mutation = std::map<ColumnName, std::optional<Value>>;
 
+/// Heap-based k-way merge of sorted per-shard scan results into one sorted
+/// stream. Sub-shard key spaces are disjoint by construction (distinct shard
+/// header bytes), so duplicate keys only arise from overlapping prefixes —
+/// they LWW-merge cell-by-cell (Row::MergeFrom). Exposed at namespace scope
+/// so tests can fuzz it against a single-map oracle (ISSUE 10).
+std::vector<storage::KeyedRow> MergeSortedShardScans(
+    std::vector<std::vector<storage::KeyedRow>> shards);
+
+/// What a scatter-gather view scan produced (ISSUE 10): the merged rows plus
+/// how much of the partition they actually cover. `failed_shards` > 0 only
+/// on the allow-partial path — the merged image is missing those sub-shards'
+/// rows, so callers must degrade their freshness claim accordingly.
+struct ScatterScanResult {
+  std::vector<storage::KeyedRow> rows;
+  int failed_shards = 0;
+  int total_shards = 0;
+};
+
 /// A server's ring-membership lifecycle, orthogonal to the crash state (a
 /// joining or draining server can crash and resume the transition after
 /// Restart).
@@ -243,12 +261,17 @@ class Server {
   /// k-way merge of the per-shard sorted results (duplicate keys LWW-merge;
   /// by construction sub-shard key spaces are disjoint). A single prefix
   /// degenerates to CoordinateScan verbatim, so unsharded views pay nothing.
-  /// Fails with the first sub-scan error: a partition's answer must cover
-  /// every shard or rows silently vanish from the merged image.
+  ///
+  /// With `allow_partial` false, fails with the first sub-scan error: a
+  /// partition's answer must cover every shard or rows silently vanish from
+  /// the merged image. With `allow_partial` true (eventual-consistency
+  /// reads, ISSUE 10), one quorum-dead shard no longer fails the whole
+  /// query: the reachable shards' merge is served with `failed_shards` set,
+  /// and only all-shards-failed surfaces the error.
   void CoordinateViewScatterScan(
       const std::string& table, std::vector<Key> shard_prefixes,
-      int read_quorum,
-      std::function<void(StatusOr<std::vector<storage::KeyedRow>>)> callback);
+      int read_quorum, bool allow_partial,
+      std::function<void(StatusOr<ScatterScanResult>)> callback);
 
   /// Secondary-index probe as a coordinator primitive: broadcast to every
   /// ring member, probe local index fragments, merge, re-filter. The inner

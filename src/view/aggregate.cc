@@ -1,0 +1,86 @@
+#include "view/aggregate.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "storage/cell.h"
+
+namespace mvstore::view {
+
+std::optional<std::int64_t> ParseAggregateValue(std::string_view value) {
+  if (value.empty()) return std::nullopt;
+  // strtoll accepts leading whitespace and trailing garbage; reject both by
+  // checking the parse consumed the whole string.
+  std::string buf(value);
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size()) return std::nullopt;
+  return static_cast<std::int64_t>(parsed);
+}
+
+AggregateFold FoldAggregateRecords(
+    const store::ViewDef& view,
+    const std::vector<store::ViewRecord>& records) {
+  AggregateFold fold;
+  for (const store::ViewRecord& record : records) {
+    if (view.aggregate == store::AggregateFn::kCount) {
+      // Membership is the sub-aggregate: every live record counts once,
+      // cells or not.
+      fold.value += 1;
+      fold.has_value = true;
+      fold.contributing++;
+      for (const auto& [col, cell] : record.cells.cells()) {
+        fold.max_ts = std::max(fold.max_ts, cell.ts);
+      }
+      continue;
+    }
+    auto cell = record.cells.Get(view.aggregate_column);
+    std::optional<std::int64_t> value;
+    if (cell && !cell->tombstone) value = ParseAggregateValue(cell->value);
+    if (!value) {
+      fold.skipped++;
+      continue;
+    }
+    switch (view.aggregate) {
+      case store::AggregateFn::kSum:
+        fold.value += *value;
+        break;
+      case store::AggregateFn::kMin:
+        fold.value = fold.has_value ? std::min(fold.value, *value) : *value;
+        break;
+      case store::AggregateFn::kMax:
+        fold.value = fold.has_value ? std::max(fold.value, *value) : *value;
+        break;
+      case store::AggregateFn::kCount:
+      case store::AggregateFn::kNone:
+        break;  // unreachable: count handled above, kNone never folds
+    }
+    fold.has_value = true;
+    fold.contributing++;
+    fold.max_ts = std::max(fold.max_ts, cell->ts);
+  }
+  return fold;
+}
+
+std::vector<store::ViewRecord> FoldedAggregateView(
+    const store::ViewDef& view,
+    const std::vector<store::ViewRecord>& records) {
+  return FoldedAggregateView(view, FoldAggregateRecords(view, records));
+}
+
+std::vector<store::ViewRecord> FoldedAggregateView(const store::ViewDef& view,
+                                                   const AggregateFold& fold) {
+  std::vector<store::ViewRecord> out;
+  if (!fold.has_value) return out;
+  store::ViewRecord record;
+  record.cells.Apply(view.AggregateOutputColumn(),
+                     storage::Cell::Live(std::to_string(fold.value),
+                                         fold.max_ts));
+  out.push_back(std::move(record));
+  return out;
+}
+
+}  // namespace mvstore::view

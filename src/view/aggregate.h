@@ -1,0 +1,66 @@
+// Read-side folding for aggregate views (ISSUE 10).
+//
+// An aggregate view's backing table stores one row per (view key, base key)
+// — exactly the layout of a projection view — whose materialized cell is
+// that base row's *sub-aggregate* (its qty for SUM(qty), its bare
+// membership for COUNT(*)). Propagation deltas therefore stay LWW cell
+// merges: duplicated or reordered deltas converge to the same per-base-key
+// cells without coordination, the same order-insensitive-state/fold-at-read
+// split that fixed the PR 4 anti-entropy digests. The fold below is the
+// other half: the coordinator collapses the (possibly scatter-gathered)
+// partition scan into the single aggregate record the client sees.
+//
+// Folding at read time is what makes the design eventually consistent for
+// free: a stored running total would need the deltas to commute *as
+// applied* (increments), which LWW registers do not give — per-base-key
+// cells do.
+
+#ifndef MVSTORE_VIEW_AGGREGATE_H_
+#define MVSTORE_VIEW_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+#include "store/hooks.h"
+#include "store/schema.h"
+
+namespace mvstore::view {
+
+/// Parses a cell value as a signed 64-bit integer (the aggregate domain).
+/// Rejects empty strings, non-digit characters, and out-of-range values.
+std::optional<std::int64_t> ParseAggregateValue(std::string_view value);
+
+/// The fold of one view key's live records.
+struct AggregateFold {
+  /// False when nothing contributed (no records, or every record's
+  /// aggregate cell was missing/unparsable for sum/min/max).
+  bool has_value = false;
+  std::int64_t value = 0;
+  std::uint64_t contributing = 0;  ///< records folded into `value`
+  std::uint64_t skipped = 0;       ///< records dropped (bad/missing cell)
+  /// Newest cell timestamp among contributing records (kNullTimestamp when
+  /// none carried a cell, e.g. COUNT over bookkeeping-only rows).
+  Timestamp max_ts = kNullTimestamp;
+};
+
+/// Folds the per-base-key records of `view` (which must be an aggregate
+/// view) under its AggregateFn. COUNT counts every record; SUM/MIN/MAX fold
+/// the parseable `aggregate_column` cells and count the rest in `skipped`.
+AggregateFold FoldAggregateRecords(const store::ViewDef& view,
+                                   const std::vector<store::ViewRecord>& records);
+
+/// The client-visible shape: one record named by AggregateOutputColumn()
+/// carrying the folded value (base_key empty — no single base row produced
+/// it), or an empty vector when nothing contributed (like SQL GROUP BY, an
+/// empty group is absent rather than zero).
+std::vector<store::ViewRecord> FoldedAggregateView(const store::ViewDef& view,
+                                                   const AggregateFold& fold);
+std::vector<store::ViewRecord> FoldedAggregateView(
+    const store::ViewDef& view, const std::vector<store::ViewRecord>& records);
+
+}  // namespace mvstore::view
+
+#endif  // MVSTORE_VIEW_AGGREGATE_H_

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "storage/cell.h"
 #include "store/codec.h"
+#include "view/aggregate.h"
 #include "view/scrub.h"
 #include "view/view_row.h"
 
@@ -119,6 +120,11 @@ void MaintenanceEngine::OnBasePutCommitted(
     return it == intents.end() ? 0 : it->second;
   };
 
+  // Tasks that survive the per-view checks below. The whole group shares
+  // ONE dispatch delay (sampled after the loop): a Put touching N views is
+  // maintained in a single maintenance round, extending the same-row
+  // coalescing of PR 3 across views of the same change-set.
+  std::vector<std::shared_ptr<PropagationTask>> group_tasks;
   for (store::CollectedViewKeys& collected : views) {
     const store::ViewDef* view = collected.view;
     const std::uint64_t intent = intent_of(view->name);
@@ -177,6 +183,7 @@ void MaintenanceEngine::OnBasePutCommitted(
               [](const Cell& a, const Cell& b) { return a.ts > b.ts; });
     task->session = session;
     task->origin = coordinator->id();
+    task->put_group = put_group;
     task->created_at = cluster_->simulation().Now();
     // The task's lifetime span hangs off the Put's trace (we run inside the
     // collection continuation, which the coordinator scoped to the Put's
@@ -212,11 +219,19 @@ void MaintenanceEngine::OnBasePutCommitted(
       coalesce_anchor_[resource] = task;
     }
 
-    const SimTime delay = SampleDispatchDelay();
+    group_tasks.push_back(std::move(task));
+  }
+
+  if (group_tasks.empty()) return;
+  if (group_tasks.size() > 1) cluster_->metrics().prop_multi_view_groups++;
+  // One delay for the whole change-set: the views of a multi-view Put enter
+  // maintenance together rather than straggling in independently.
+  const SimTime delay = SampleDispatchDelay();
+  for (std::shared_ptr<PropagationTask>& task : group_tasks) {
     switch (cluster_->config().propagation_mode) {
       case store::PropagationMode::kLockService:
-        cluster_->simulation().After(delay,
-                                     [this, task] { RunWithLocks(task); });
+        cluster_->simulation().After(
+            delay, [this, task] { RunWithLocks(task); });
         break;
       case store::PropagationMode::kDedicatedPropagators:
         cluster_->simulation().After(
@@ -884,6 +899,14 @@ void MaintenanceEngine::HandleViewGet(
   // cluster's lifetime; hold it by pointer across the async hops.
   const store::ViewDef* view_def = &view;
 
+  if (view.IsAggregate()) {
+    // The client sees only the folded output column; a caller-supplied
+    // projection would starve the fold of the per-base-key sub-aggregate
+    // cells it reads. Every path below (view scan, SI/base fallback) folds
+    // from the view's own materialized columns.
+    spec.columns.clear();
+  }
+
   if (spec.consistency == store::ReadConsistency::kBoundedStaleness) {
     const SimTime bound = spec.max_staleness > 0
                               ? spec.max_staleness
@@ -1031,18 +1054,43 @@ void MaintenanceEngine::ServeFromView(
     const Key& view_key, const store::ViewReadSpec& spec, int read_quorum,
     std::function<void(StatusOr<store::ViewReadOutcome>)> callback) {
   const store::ViewDef* view_def = &view;
+  // Only eventual reads may degrade to a partial scatter: RYW and bounded
+  // reads promised something about the rows they return, and rows missing
+  // with their sub-shard would silently break that promise.
+  const bool allow_partial =
+      spec.consistency == store::ReadConsistency::kEventual;
   DoViewGet(coordinator, view, view_key, spec.columns, read_quorum,
-            /*attempt=*/0,
+            allow_partial, /*attempt=*/0,
             [this, view_def, view_key, callback = std::move(callback)](
-                StatusOr<std::vector<store::ViewRecord>> records) mutable {
-              if (!records.ok()) {
-                callback(records.status());
+                StatusOr<ViewScanResult> scan) mutable {
+              if (!scan.ok()) {
+                callback(scan.status());
                 return;
               }
               store::ViewReadOutcome outcome;
-              outcome.records = *std::move(records);
+              outcome.records = std::move(scan->records);
+              if (view_def->IsAggregate()) {
+                // Collapse the per-base-key sub-aggregates into the single
+                // record the client sees (ISSUE 10).
+                const AggregateFold fold =
+                    FoldAggregateRecords(*view_def, outcome.records);
+                cluster_->metrics().view_aggregate_folds++;
+                cluster_->metrics().view_aggregate_fold_skipped +=
+                    fold.skipped;
+                outcome.records = FoldedAggregateView(*view_def, fold);
+              }
               const Timestamp now_ts = store::kClientTimestampEpoch +
                                        cluster_->simulation().Now();
+              if (scan->failed_shards > 0) {
+                // Partial coverage: some sub-shards' rows are simply absent,
+                // so no freshness can honestly be claimed — clamp to the
+                // null timestamp ("everything after the epoch may be
+                // missing") and record the degradation, not a staleness.
+                outcome.freshness = kNullTimestamp;
+                outcome.served_by = store::ServedBy::kView;
+                callback(std::move(outcome));
+                return;
+              }
               if (view_def->shard_count > 1) {
                 // A scatter-gather read is only as fresh as its weakest
                 // sub-shard: claim the min of the per-shard freshness
@@ -1105,6 +1153,15 @@ void MaintenanceEngine::FallbackRead(
         }
       }
       outcome.records.push_back(std::move(record));
+    }
+    if (view_def->IsAggregate()) {
+      // Same fold as the view path, over the base rows' freshly evaluated
+      // records — recompute-on-read, the baseline fig10 measures against.
+      const AggregateFold fold =
+          FoldAggregateRecords(*view_def, outcome.records);
+      cluster_->metrics().view_aggregate_folds++;
+      cluster_->metrics().view_aggregate_fold_skipped += fold.skipped;
+      outcome.records = FoldedAggregateView(*view_def, fold);
     }
     // Both fallback paths read the base table's CURRENT state (the SI is
     // maintained synchronously with each replica write), so the outcome
@@ -1171,8 +1228,8 @@ void MaintenanceEngine::GossipFreshness(
 void MaintenanceEngine::DoViewGet(
     store::Server* coordinator, const store::ViewDef& view,
     const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
-    int attempt,
-    std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback) {
+    bool allow_partial, int attempt,
+    std::function<void(StatusOr<ViewScanResult>)> callback) {
   const store::ViewDef* view_def = &view;
   // Sharded views scatter one scan per sub-shard and merge at the
   // coordinator; a single-shard view degenerates to the classic one-prefix
@@ -1184,17 +1241,17 @@ void MaintenanceEngine::DoViewGet(
         store::ShardedViewPartitionPrefix(view_key, shard, view.shard_count));
   }
   coordinator->CoordinateViewScatterScan(
-      view.name, std::move(prefixes), read_quorum,
-      [this, coordinator, view_def, view_key, columns, read_quorum, attempt,
-       callback = std::move(callback)](
-          StatusOr<std::vector<storage::KeyedRow>> scan) mutable {
+      view.name, std::move(prefixes), read_quorum, allow_partial,
+      [this, coordinator, view_def, view_key, columns, read_quorum,
+       allow_partial, attempt, callback = std::move(callback)](
+          StatusOr<store::ScatterScanResult> scan) mutable {
         if (!scan.ok()) {
           callback(scan.status());
           return;
         }
         std::map<Key, const storage::Row*> live_rows;  // by base key
         std::map<Key, bool> initializing;              // by base key
-        for (const storage::KeyedRow& kr : *scan) {
+        for (const storage::KeyedRow& kr : scan->rows) {
           auto split =
               store::SplitShardedViewRowKey(kr.key, view_def->shard_count);
           if (!split || split->first != view_key) continue;
@@ -1235,19 +1292,21 @@ void MaintenanceEngine::DoViewGet(
           cluster_->simulation().After(
               kReadSpinDelay,
               [this, coordinator, view_def, view_key, ctx, spin,
-               columns = std::move(columns), read_quorum, attempt,
-               callback = std::move(callback)]() mutable {
+               columns = std::move(columns), read_quorum, allow_partial,
+               attempt, callback = std::move(callback)]() mutable {
                 cluster_->tracer().EndSpan(spin, cluster_->simulation().Now());
                 Tracer::Scope scope(&cluster_->tracer(), ctx);
                 DoViewGet(coordinator, *view_def, view_key, std::move(columns),
-                          read_quorum, attempt + 1, std::move(callback));
+                          read_quorum, allow_partial, attempt + 1,
+                          std::move(callback));
               });
           return;
         }
         const std::vector<ColumnName>& wanted =
             columns.empty() ? view_def->materialized_columns : columns;
-        std::vector<store::ViewRecord> records;
-        records.reserve(live_rows.size());
+        ViewScanResult result;
+        result.failed_shards = scan->failed_shards;
+        result.records.reserve(live_rows.size());
         for (const auto& [base_key, row] : live_rows) {
           store::ViewRecord record;
           record.base_key = base_key;
@@ -1256,9 +1315,9 @@ void MaintenanceEngine::DoViewGet(
               record.cells.Apply(col, *cell);
             }
           }
-          records.push_back(std::move(record));
+          result.records.push_back(std::move(record));
         }
-        callback(std::move(records));
+        callback(std::move(result));
       });
 }
 

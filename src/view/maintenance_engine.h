@@ -156,12 +156,21 @@ class MaintenanceEngine : public store::ViewMaintenanceHook {
   std::size_t RunOwnedRangeScrub(ServerId server);
   void OwnedRangeScrubTick(ServerId server);
 
+  /// What DoViewGet's partition scan produced: the live records plus how
+  /// many sub-shards the scatter could not reach (ISSUE 10; nonzero only on
+  /// the allow-partial path, where ServeFromView must clamp its freshness
+  /// claim because the missing shards' rows are simply absent).
+  struct ViewScanResult {
+    std::vector<store::ViewRecord> records;
+    int failed_shards = 0;
+  };
+
   // Algorithm 4 with the Section IV-F wait-on-initializing-row rule.
   void DoViewGet(
       store::Server* coordinator, const store::ViewDef& view,
       const Key& view_key, std::vector<ColumnName> columns, int read_quorum,
-      int attempt,
-      std::function<void(StatusOr<std::vector<store::ViewRecord>>)> callback);
+      bool allow_partial, int attempt,
+      std::function<void(StatusOr<ViewScanResult>)> callback);
 
   // --- freshness contract (ISSUE 7) ---
 

@@ -112,6 +112,12 @@ struct PropagationTask {
   /// MarkWounded when the task completes / dies. 0 = none.
   std::uint64_t freshness_intent = 0;
 
+  /// Change-set group (ISSUE 10): every task fanned out of the same base
+  /// Put shares the put-group id and ONE dispatch delay, so a multi-view
+  /// update is maintained in a single maintenance round instead of one
+  /// independently-timed round per view. 0 = pre-group task (tests).
+  std::uint64_t put_group = 0;
+
   /// True when no replica had ever seen a view key for this row — the only
   /// situation in which propagation may create the row's first view row.
   bool AllGuessesNull() const;

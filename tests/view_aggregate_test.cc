@@ -1,0 +1,485 @@
+// Aggregate views (ISSUE 10): builder validation, the read-time fold, delta
+// maintenance of the per-base-key sub-aggregate cells, sharded aggregate
+// partitions, the multi-view change-set group, and convergence of every
+// aggregate to the fold of the base table under crash + churn chaos.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/nemesis.h"
+#include "store/client.h"
+#include "store/cluster.h"
+#include "store/schema.h"
+#include "tests/test_util.h"
+#include "view/aggregate.h"
+#include "view/scrub.h"
+#include "workload/key_generator.h"
+
+namespace mvstore {
+namespace {
+
+using store::AggregateFn;
+using store::QuerySpec;
+using store::ReadConsistency;
+using store::ViewDefBuilder;
+using store::WriteOptions;
+using test::TestCluster;
+
+/// Order table keyed by order id; aggregates grouped by customer.
+store::Schema OrderSchema(int shards = 1, bool with_projection = false) {
+  store::Schema schema;
+  MVSTORE_CHECK(schema.CreateTable({.name = "order"}).ok());
+  auto count = ViewDefBuilder("orders_per_cust")
+                   .Base("order")
+                   .Key("customer")
+                   .Aggregate(AggregateFn::kCount)
+                   .Shards(shards)
+                   .Build();
+  MVSTORE_CHECK(count.ok()) << count.status();
+  MVSTORE_CHECK(schema.CreateView(std::move(count).value()).ok());
+  auto sum = ViewDefBuilder("qty_per_cust")
+                 .Base("order")
+                 .Key("customer")
+                 .Aggregate(AggregateFn::kSum, "qty")
+                 .Shards(shards)
+                 .Build();
+  MVSTORE_CHECK(sum.ok()) << sum.status();
+  MVSTORE_CHECK(schema.CreateView(std::move(sum).value()).ok());
+  auto max = ViewDefBuilder("max_qty_per_cust")
+                 .Base("order")
+                 .Key("customer")
+                 .Aggregate(AggregateFn::kMax, "qty")
+                 .Shards(shards)
+                 .Build();
+  MVSTORE_CHECK(max.ok()) << max.status();
+  MVSTORE_CHECK(schema.CreateView(std::move(max).value()).ok());
+  if (with_projection) {
+    auto projection = ViewDefBuilder("orders_by_cust")
+                          .Base("order")
+                          .Key("customer")
+                          .Materialize("qty")
+                          .Build();
+    MVSTORE_CHECK(projection.ok()) << projection.status();
+    MVSTORE_CHECK(schema.CreateView(std::move(projection).value()).ok());
+  }
+  return schema;
+}
+
+std::int64_t SingleValue(const store::ReadResult& result,
+                         const ColumnName& column) {
+  EXPECT_EQ(result.records.size(), 1u);
+  if (result.records.size() != 1) return INT64_MIN;
+  EXPECT_TRUE(result.records[0].base_key.empty());
+  auto value = result.records[0].cells.GetValue(column);
+  EXPECT_TRUE(value.has_value()) << "no '" << column << "' cell";
+  if (!value) return INT64_MIN;
+  return *view::ParseAggregateValue(*value);
+}
+
+// --- builder / schema validation ---------------------------------------
+
+TEST(AggregateSchemaTest, BuilderRejectsIllFormedAggregates) {
+  EXPECT_FALSE(ViewDefBuilder("v").Base("t").Key("k")
+                   .Aggregate(AggregateFn::kCount, "qty").Build().ok())
+      << "count(*) must not take a column";
+  EXPECT_FALSE(ViewDefBuilder("v").Base("t").Key("k")
+                   .Aggregate(AggregateFn::kSum).Build().ok())
+      << "sum needs a column";
+  EXPECT_FALSE(ViewDefBuilder("v").Base("t").Key("k")
+                   .Aggregate(AggregateFn::kSum, "k").Build().ok())
+      << "cannot aggregate the view key itself";
+  EXPECT_FALSE(ViewDefBuilder("v").Base("t").Key("k").Materialize("s")
+                   .Aggregate(AggregateFn::kCount).Build().ok())
+      << "aggregates take no explicit Materialize columns";
+}
+
+TEST(AggregateSchemaTest, BuildMaterializesTheAggregateColumn) {
+  auto sum = ViewDefBuilder("v").Base("t").Key("k")
+                 .Aggregate(AggregateFn::kSum, "qty").Build();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->materialized_columns, std::vector<ColumnName>{"qty"});
+  EXPECT_EQ(sum->AggregateOutputColumn(), "sum(qty)");
+
+  auto count = ViewDefBuilder("v").Base("t").Key("k")
+                   .Aggregate(AggregateFn::kCount).Build();
+  ASSERT_TRUE(count.ok());
+  EXPECT_TRUE(count->materialized_columns.empty());
+  EXPECT_EQ(count->AggregateOutputColumn(), "count(*)");
+}
+
+TEST(AggregateSchemaTest, CreateViewRevalidatesHandConstructedDefs) {
+  store::Schema schema;
+  ASSERT_TRUE(schema.CreateTable({.name = "t"}).ok());
+  store::ViewDef def;
+  def.name = "v";
+  def.base_table = "t";
+  def.view_key_column = "k";
+  def.aggregate = AggregateFn::kSum;
+  def.aggregate_column = "qty";
+  // A hand-built sum def whose materialized columns disagree with the
+  // aggregate column must be rejected, not silently mis-served.
+  def.materialized_columns = {"other"};
+  EXPECT_FALSE(schema.CreateView(def).ok());
+  def.materialized_columns = {"qty"};
+  EXPECT_TRUE(schema.CreateView(def).ok());
+}
+
+// --- fold unit tests ----------------------------------------------------
+
+TEST(AggregateFoldTest, ParseRejectsGarbageAndOverflow) {
+  EXPECT_EQ(view::ParseAggregateValue("42").value_or(-1), 42);
+  EXPECT_EQ(view::ParseAggregateValue("-7").value_or(1), -7);
+  EXPECT_FALSE(view::ParseAggregateValue("").has_value());
+  EXPECT_FALSE(view::ParseAggregateValue("12x").has_value());
+  EXPECT_FALSE(view::ParseAggregateValue("x12").has_value());
+  EXPECT_FALSE(
+      view::ParseAggregateValue("99999999999999999999999").has_value());
+}
+
+TEST(AggregateFoldTest, FoldsEveryFunction) {
+  auto make = [](AggregateFn fn, ColumnName col) {
+    auto view = ViewDefBuilder("v").Base("t").Key("k")
+                    .Aggregate(fn, std::move(col)).Build();
+    MVSTORE_CHECK(view.ok());
+    return std::move(view).value();
+  };
+  std::vector<store::ViewRecord> records(3);
+  for (int i = 0; i < 3; ++i) {
+    records[static_cast<std::size_t>(i)].base_key = "b" + std::to_string(i);
+    records[static_cast<std::size_t>(i)].cells.Apply(
+        "qty", storage::Cell::Live(std::to_string(5 * (i + 1)),
+                                   static_cast<Timestamp>(100 + i)));
+  }
+  const store::ViewDef count = make(AggregateFn::kCount, "");
+  const store::ViewDef sum = make(AggregateFn::kSum, "qty");
+  const store::ViewDef min = make(AggregateFn::kMin, "qty");
+  const store::ViewDef max = make(AggregateFn::kMax, "qty");
+  EXPECT_EQ(view::FoldAggregateRecords(count, records).value, 3);
+  EXPECT_EQ(view::FoldAggregateRecords(sum, records).value, 30);
+  EXPECT_EQ(view::FoldAggregateRecords(min, records).value, 5);
+  EXPECT_EQ(view::FoldAggregateRecords(max, records).value, 15);
+
+  // A record with an unparsable cell is skipped by sum but counted by count.
+  records[1].cells.Apply("qty", storage::Cell::Live("oops", 200));
+  const view::AggregateFold broken = view::FoldAggregateRecords(sum, records);
+  EXPECT_EQ(broken.value, 20);
+  EXPECT_EQ(broken.skipped, 1u);
+  EXPECT_EQ(view::FoldAggregateRecords(count, records).value, 3);
+
+  // Empty input folds to "no value" -> no client record (SQL GROUP BY).
+  EXPECT_FALSE(view::FoldAggregateRecords(sum, {}).has_value);
+  EXPECT_TRUE(
+      view::FoldedAggregateView(sum, std::vector<store::ViewRecord>{})
+          .empty());
+}
+
+// --- end-to-end through the client --------------------------------------
+
+TEST(AggregateViewTest, CountAndSumTrackPutsMovesAndDeletes) {
+  TestCluster t(test::DefaultTestConfig(), OrderSchema());
+  auto client = t.cluster.NewClient();
+  for (int k = 0; k < 6; ++k) {
+    ASSERT_TRUE(client
+                    ->PutSync("order", "o" + std::to_string(k),
+                              {{"customer", std::string(k < 4 ? "alice"
+                                                              : "bob")},
+                               {"qty", std::to_string(10 + k)}},
+                              WriteOptions{})
+                    .ok());
+  }
+  t.Quiesce();
+
+  auto count = client->QuerySync(QuerySpec::View("orders_per_cust", "alice"),
+                                 {.quorum = 3});
+  ASSERT_TRUE(count.ok()) << count.status;
+  EXPECT_EQ(SingleValue(count, "count(*)"), 4);
+  auto sum = client->QuerySync(QuerySpec::View("qty_per_cust", "alice"),
+                               {.quorum = 3});
+  ASSERT_TRUE(sum.ok()) << sum.status;
+  EXPECT_EQ(SingleValue(sum, "sum(qty)"), 10 + 11 + 12 + 13);
+  auto max = client->QuerySync(QuerySpec::View("max_qty_per_cust", "bob"),
+                               {.quorum = 3});
+  ASSERT_TRUE(max.ok()) << max.status;
+  EXPECT_EQ(SingleValue(max, "max(qty)"), 15);
+  EXPECT_GT(t.cluster.metrics().view_aggregate_folds, 0u);
+
+  // Delta maintenance: overwrite one qty, move one order to bob, delete one.
+  ASSERT_TRUE(client->PutSync("order", "o0", {{"qty", std::string("100")}},
+                              WriteOptions{})
+                  .ok());
+  ASSERT_TRUE(client->PutSync("order", "o1",
+                              {{"customer", std::string("bob")}},
+                              WriteOptions{})
+                  .ok());
+  ASSERT_TRUE(
+      client->DeleteSync("order", "o2", {"customer"}, WriteOptions{}).ok());
+  t.Quiesce();
+
+  count = client->QuerySync(QuerySpec::View("orders_per_cust", "alice"),
+                            {.quorum = 3});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(SingleValue(count, "count(*)"), 2);  // o0, o3
+  sum = client->QuerySync(QuerySpec::View("qty_per_cust", "alice"),
+                          {.quorum = 3});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(SingleValue(sum, "sum(qty)"), 100 + 13);
+  sum = client->QuerySync(QuerySpec::View("qty_per_cust", "bob"),
+                          {.quorum = 3});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(SingleValue(sum, "sum(qty)"), 11 + 14 + 15);
+}
+
+TEST(AggregateViewTest, EmptyGroupIsAbsentNotZero) {
+  TestCluster t(test::DefaultTestConfig(), OrderSchema());
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(client
+                  ->PutSync("order", "o1",
+                            {{"customer", std::string("alice")},
+                             {"qty", std::string("3")}},
+                            WriteOptions{})
+                  .ok());
+  t.Quiesce();
+  auto result = client->QuerySync(QuerySpec::View("orders_per_cust", "nobody"),
+                                  {.quorum = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.records.empty());
+
+  // Deleting the last member empties the group again.
+  ASSERT_TRUE(
+      client->DeleteSync("order", "o1", {"customer"}, WriteOptions{}).ok());
+  t.Quiesce();
+  result = client->QuerySync(QuerySpec::View("orders_per_cust", "alice"),
+                             {.quorum = 3});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.records.empty());
+}
+
+TEST(AggregateViewTest, CallerColumnsCannotStarveTheFold) {
+  TestCluster t(test::DefaultTestConfig(), OrderSchema());
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(client
+                  ->PutSync("order", "o1",
+                            {{"customer", std::string("alice")},
+                             {"qty", std::string("7")}},
+                            WriteOptions{})
+                  .ok());
+  t.Quiesce();
+  // A projection that names neither "qty" nor the output column must still
+  // come back as the folded aggregate — HandleViewGet ignores caller
+  // columns for aggregate views.
+  auto result = client->QuerySync(QuerySpec::View("qty_per_cust", "alice"),
+                                  {.quorum = 3, .columns = {"bogus"}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(SingleValue(result, "sum(qty)"), 7);
+}
+
+TEST(AggregateViewTest, ShardedAggregateFoldsAcrossSubShards) {
+  TestCluster t(test::DefaultTestConfig(), OrderSchema(/*shards=*/8));
+  auto client = t.cluster.NewClient();
+  const int kRows = 32;
+  std::int64_t want = 0;
+  for (int k = 0; k < kRows; ++k) {
+    want += k;
+    ASSERT_TRUE(client
+                    ->PutSync("order", "o" + std::to_string(k),
+                              {{"customer", std::string("alice")},
+                               {"qty", std::to_string(k)}},
+                              WriteOptions{})
+                    .ok());
+  }
+  t.Quiesce();
+  auto sum = client->QuerySync(QuerySpec::View("qty_per_cust", "alice"),
+                               {.quorum = 3});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(SingleValue(sum, "sum(qty)"), want);
+  auto count = client->QuerySync(QuerySpec::View("orders_per_cust", "alice"),
+                                 {.quorum = 3});
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(SingleValue(count, "count(*)"), kRows);
+  EXPECT_GT(t.cluster.metrics().view_scatter_scans, 0u);
+}
+
+TEST(AggregateViewTest, BoundedStalenessServesTheFoldedShape) {
+  TestCluster t(test::DefaultTestConfig(), OrderSchema());
+  auto client = t.cluster.NewClient();
+  for (int k = 0; k < 4; ++k) {
+    ASSERT_TRUE(client
+                    ->PutSync("order", "o" + std::to_string(k),
+                              {{"customer", std::string("alice")},
+                               {"qty", std::to_string(k + 1)}},
+                              WriteOptions{})
+                    .ok());
+  }
+  t.Quiesce();
+  auto result = client->QuerySync(
+      QuerySpec::View("qty_per_cust", "alice"),
+      {.quorum = 3, .consistency = ReadConsistency::kBoundedStaleness});
+  ASSERT_TRUE(result.ok()) << result.status;
+  EXPECT_EQ(SingleValue(result, "sum(qty)"), 1 + 2 + 3 + 4);
+}
+
+// A Put hitting several views fans its deltas as ONE change-set group: one
+// maintenance round, one multi-view group counted, and the pre-image
+// collection shared across the same-keyed views.
+TEST(AggregateViewTest, MultiViewPutsShareOneChangeSetGroup) {
+  TestCluster t(test::DefaultTestConfig(),
+                OrderSchema(/*shards=*/1, /*with_projection=*/true));
+  auto client = t.cluster.NewClient();
+  ASSERT_TRUE(client
+                  ->PutSync("order", "o1",
+                            {{"customer", std::string("alice")},
+                             {"qty", std::string("5")}},
+                            WriteOptions{})
+                  .ok());
+  t.Quiesce();
+  // customer+qty touch all four views of the schema.
+  EXPECT_GT(t.cluster.metrics().prop_multi_view_groups, 0u);
+
+  // Every surface of the same change-set agrees after one round.
+  auto sum = client->QuerySync(QuerySpec::View("qty_per_cust", "alice"),
+                               {.quorum = 3});
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(SingleValue(sum, "sum(qty)"), 5);
+  auto projection = client->QuerySync(QuerySpec::View("orders_by_cust",
+                                                      "alice"),
+                                      {.quorum = 3});
+  ASSERT_TRUE(projection.ok());
+  ASSERT_EQ(projection.records.size(), 1u);
+  EXPECT_EQ(projection.records[0].cells.GetValue("qty").value_or(""), "5");
+}
+
+// --- the acceptance nemesis: crash + churn + duplicated/reordered deltas --
+
+TEST(AggregateViewPropertyTest, ConvergesToBaseFoldUnderCrashAndChurn) {
+  const std::uint64_t seed = 29;
+  store::ClusterConfig config = test::DefaultTestConfig();
+  config.seed = seed;
+  config.max_servers = 6;
+  config.rpc_timeout = Millis(50);
+  config.anti_entropy_interval = Millis(250);
+  config.hint_replay_interval = Millis(100);
+  config.view_scrub_interval = Millis(300);
+  TestCluster t(config, OrderSchema(/*shards=*/4));
+  const int kOrders = 36;
+  const int kCustomers = 4;
+  for (int k = 0; k < kOrders; ++k) {
+    t.cluster.BootstrapLoadRow(
+        "order", workload::FormatKey("o", static_cast<std::uint64_t>(k)),
+        {{"customer", "c" + std::to_string(k % kCustomers)},
+         {"qty", std::to_string(k)}},
+        100 + k);
+  }
+
+  sim::Nemesis nemesis(
+      &t.cluster.simulation(), &t.cluster.network(),
+      [&t](sim::EndpointId s) { t.cluster.CrashServer(s); },
+      [&t](sim::EndpointId s) { t.cluster.RestartServer(s); });
+  nemesis.SetMembershipCallbacks(
+      [&t] { t.cluster.JoinServer(); },
+      [&t](sim::EndpointId s) { t.cluster.DecommissionServer(s); });
+  sim::NemesisOptions options;
+  options.horizon = Seconds(3);
+  options.num_servers = t.cluster.num_servers();
+  options.crashes = 2;
+  options.min_downtime = Millis(150);
+  options.max_downtime = Millis(500);
+  options.partitions = 1;  // partitions duplicate and reorder deltas
+  options.membership_churn = 1;
+  options.min_churn_gap = Millis(500);
+  options.max_churn_gap = Seconds(1);
+  nemesis.Schedule(sim::GenerateRandomSchedule(Rng(seed * 13), options));
+  nemesis.HealAllAt(options.horizon);
+
+  // Zipfian updates: hot orders get re-priced and re-assigned while reads
+  // fold the aggregates mid-chaos (results unchecked — the chaos makes any
+  // single answer legal; convergence below is the assertion).
+  Rng rng(seed * 101);
+  workload::ZipfianKeyGenerator orders("o", kOrders, 0.99);
+  workload::ZipfianKeyGenerator customers("c", kCustomers, 0.99);
+  std::vector<std::unique_ptr<store::Client>> clients;
+  std::function<void(int)> issue = [&](int c) {
+    auto next = [&issue, c](bool) { issue(c); };
+    const double roll = rng.NextDouble();
+    if (roll < 0.5) {
+      clients[c]->Put("order", orders.Next(rng),
+                      {{"customer", customers.Next(rng)},
+                       {"qty", std::to_string(rng.UniformInt(0, 49))}},
+                      {.quorum = 1},
+                      [next](store::WriteResult w) { next(w.ok()); });
+    } else if (roll < 0.6) {
+      clients[c]->Delete("order", orders.Next(rng), {"customer"},
+                         {.quorum = 1},
+                         [next](store::WriteResult w) { next(w.ok()); });
+    } else {
+      const char* view = roll < 0.8 ? "qty_per_cust" : "orders_per_cust";
+      clients[c]->Query(QuerySpec::View(view, customers.Next(rng)), {},
+                        [next](store::ReadResult r) { next(r.ok()); });
+    }
+  };
+  for (int c = 0; c < 3; ++c) {
+    clients.push_back(t.cluster.NewClient(c));
+    clients.back()->set_request_timeout(Millis(120));
+    issue(c);
+  }
+  t.cluster.RunFor(options.horizon + Millis(500));
+  issue = [](int) {};  // stop the loops
+
+  const store::Metrics& m = t.cluster.metrics();
+  for (int i = 0; i < 100 &&
+                  (m.member_joins_completed < m.member_joins_started ||
+                   m.member_leaves_completed < m.member_leaves_started);
+       ++i) {
+    t.cluster.RunFor(Millis(100));
+  }
+  t.views->Quiesce();
+  t.cluster.RunFor(Seconds(2));
+  t.Quiesce();
+
+  // Every aggregate view: structurally clean, and the client-visible fold
+  // equals the fold of Definition 1 evaluated on the merged base table.
+  auto client = t.cluster.NewClient();
+  for (const char* view_name :
+       {"orders_per_cust", "qty_per_cust", "max_qty_per_cust"}) {
+    const store::ViewDef* view = t.cluster.schema().GetView(view_name);
+    ASSERT_NE(view, nullptr);
+    view::ScrubReport report = view::CheckView(t.cluster, *view);
+    EXPECT_TRUE(report.clean()) << view_name << ": " << report.Summary();
+
+    // Group Definition 1's expected records by view key and fold each group.
+    std::map<Key, std::vector<store::ViewRecord>> expected_groups;
+    for (const view::ExpectedRecord& rec :
+         view::ComputeExpectedView(t.cluster, *view)) {
+      store::ViewRecord r;
+      r.base_key = rec.base_key;
+      r.cells = rec.cells;
+      expected_groups[rec.view_key].push_back(std::move(r));
+    }
+    for (int c = 0; c < kCustomers; ++c) {
+      const Key customer = "c" + std::to_string(c);
+      auto result = client->QuerySync(QuerySpec::View(view_name, customer),
+                                      {.quorum = 3});
+      ASSERT_TRUE(result.ok()) << view_name << "/" << customer << ": "
+                               << result.status;
+      const view::AggregateFold want =
+          view::FoldAggregateRecords(*view, expected_groups[customer]);
+      if (!want.has_value) {
+        EXPECT_TRUE(result.records.empty())
+            << view_name << "/" << customer << " should be empty";
+        continue;
+      }
+      EXPECT_EQ(SingleValue(result, view->AggregateOutputColumn()),
+                want.value)
+          << view_name << "/" << customer;
+    }
+  }
+  EXPECT_GT(m.view_aggregate_folds, 0u);
+}
+
+}  // namespace
+}  // namespace mvstore
